@@ -1,0 +1,62 @@
+//! Model-checker cost vs. heap size and formula shape (the §4.5
+//! complexity discussion: "checking predicates over combinations of
+//! variables over many collected stack-heap models can be slow").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sling_bench::{list_model, snode_preds, snode_types, two_list_model};
+use sling_checker::CheckCtx;
+use sling_logic::parse_formula;
+
+fn checker_vs_heap_size(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let ctx = CheckCtx::new(&types, &preds);
+    let sll = parse_formula("sll(x)").unwrap();
+    let mut group = c.benchmark_group("check_sll");
+    for n in [4usize, 16, 64, 256] {
+        let model = list_model(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| ctx.check(m, &sll).expect("holds"));
+        });
+    }
+    group.finish();
+}
+
+fn checker_segments(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let ctx = CheckCtx::new(&types, &preds);
+    let f = parse_formula("exists u. lseg(x, u) * sll(u)").unwrap();
+    let mut group = c.benchmark_group("check_lseg_split");
+    for n in [8usize, 32, 128] {
+        let model = list_model(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| ctx.check(m, &f).expect("holds"));
+        });
+    }
+    group.finish();
+}
+
+fn checker_rejects(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let ctx = CheckCtx::new(&types, &preds);
+    // x and y are separate: one sll cannot cover both, and lseg(x, y)
+    // fails because x's list never reaches y.
+    let f = parse_formula("lseg(x, y)").unwrap();
+    let mut group = c.benchmark_group("check_reject");
+    for n in [8usize, 32] {
+        let model = two_list_model(n, n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| {
+                let red = ctx.check(m, &f);
+                assert!(red.map(|r| r.covered == 0).unwrap_or(true));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checker_vs_heap_size, checker_segments, checker_rejects);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end SLING cost on representative corpus programs — the shape
+//! behind Table 1's Time column (list categories cheap, DLL/priority
+//! categories expensive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sling_suite::corpus::all_benches;
+use sling_suite::eval::{run_bench, EvalConfig};
+
+fn bench_program(c: &mut Criterion, name: &str) {
+    let bench = all_benches().into_iter().find(|b| b.name == name).unwrap();
+    let config = EvalConfig::default();
+    let id = name.replace('/', "_");
+    c.bench_function(&format!("e2e_{id}"), |b| {
+        b.iter(|| {
+            let run = run_bench(&bench, &config);
+            assert!(run.outcome.runs > 0);
+        });
+    });
+}
+
+fn e2e(c: &mut Criterion) {
+    // One representative per cost regime of Table 1.
+    bench_program(c, "sll/reverse"); // cheap: iterative SLL
+    bench_program(c, "gh_sll_rec/concat"); // recursive SLL
+    bench_program(c, "dll/concat"); // the paper's running example
+    bench_program(c, "bst/find"); // trees
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = e2e
+}
+criterion_main!(benches);

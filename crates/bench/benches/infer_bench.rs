@@ -1,0 +1,91 @@
+//! InferAtom / SplitHeap costs vs. boundary size and trace count —
+//! the enumeration the paper calls exponential in predicates and
+//! parameters (§4.5), and the §5 claim that few traces suffice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sling::{infer_at_location, SlingConfig};
+use sling_bench::{snode_preds, snode_types, two_list_model};
+use sling_checker::CheckCtx;
+use sling_lang::{parse_program, Location, Snapshot};
+use sling_logic::Symbol;
+
+fn snapshot_of(model: sling_models::StackHeapModel, act: u64) -> Snapshot {
+    Snapshot { location: Location::Entry, model, tainted: false, activation: act }
+}
+
+fn infer_vs_traces(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let ctx = CheckCtx::new(&types, &preds);
+    let program = parse_program(
+        "struct SNode { next: SNode*; data: int; }
+         fn f(x: SNode*, y: SNode*) -> SNode* { return x; }",
+    )
+    .unwrap();
+    let func = program.func(Symbol::intern("f")).unwrap();
+    let config = SlingConfig::default();
+
+    let mut group = c.benchmark_group("infer_vs_traces");
+    for traces in [1usize, 4, 16] {
+        let models: Vec<sling_models::StackHeapModel> =
+            (0..traces).map(|i| two_list_model(8, 5, i as u64)).collect();
+        let snaps: Vec<Snapshot> = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| snapshot_of(m, i as u64 + 1))
+            .collect();
+        let refs: Vec<&Snapshot> = snaps.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(traces), &refs, |b, refs| {
+            b.iter(|| {
+                let report = infer_at_location(
+                    &ctx,
+                    Location::Entry,
+                    refs,
+                    &[Symbol::intern("x"), Symbol::intern("y")],
+                    func,
+                    &config,
+                );
+                assert!(!report.invariants.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn infer_vs_heap_size(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let ctx = CheckCtx::new(&types, &preds);
+    let program = parse_program(
+        "struct SNode { next: SNode*; data: int; }
+         fn f(x: SNode*, y: SNode*) -> SNode* { return x; }",
+    )
+    .unwrap();
+    let func = program.func(Symbol::intern("f")).unwrap();
+    let config = SlingConfig::default();
+
+    let mut group = c.benchmark_group("infer_vs_heap_size");
+    for n in [4usize, 10, 24] {
+        let snaps: Vec<Snapshot> = (0..3)
+            .map(|i| snapshot_of(two_list_model(n, n, i as u64), i as u64 + 1))
+            .collect();
+        let refs: Vec<&Snapshot> = snaps.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            b.iter(|| {
+                infer_at_location(
+                    &ctx,
+                    Location::Entry,
+                    refs,
+                    &[Symbol::intern("x"), Symbol::intern("y")],
+                    func,
+                    &config,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, infer_vs_traces, infer_vs_heap_size);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Table 1: per-category corpus statistics,
+//! trace counts, invariant counts (with spurious counts), A/S/X coverage,
+//! timing, and per-invariant atom averages.
+//!
+//! Usage: `cargo run --release -p sling-bench --bin table1 [category-substring]`
+
+use sling_suite::eval::{run_corpus, table1, EvalConfig};
+use sling_suite::report::render_table1;
+
+fn main() {
+    let filter_arg = std::env::args().nth(1);
+    let config = EvalConfig::default();
+    let filter = filter_arg.as_deref().map(|s| s.to_lowercase());
+    let runs = run_corpus(
+        &config,
+        filter
+            .as_ref()
+            .map(|f| {
+                let f = f.clone();
+                Box::new(move |b: &sling_suite::Bench| {
+                    b.category.label().to_lowercase().contains(&f)
+                        || b.name.to_lowercase().contains(&f)
+                }) as Box<dyn Fn(&sling_suite::Bench) -> bool>
+            })
+            .as_deref(),
+    );
+    let rows = table1(&runs);
+    println!("Table 1. SLING on the benchmark corpus ({} programs)\n", runs.len());
+    println!("{}", render_table1(&rows));
+
+    let total_time: f64 = rows.iter().map(|r| r.time).sum();
+    let total_invs: usize = rows.iter().map(|r| r.invs).sum();
+    let total_locs: usize = rows.iter().map(|r| r.ilocs).sum();
+    if total_invs > 0 && total_locs > 0 {
+        println!(
+            "avg {:.2} invariants/location; {:.2}s/program; {:.2}s/invariant",
+            total_invs as f64 / total_locs as f64,
+            total_time / runs.len().max(1) as f64,
+            total_time / total_invs as f64,
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 2: SLING vs. the bi-abduction baseline
+//! ("S2") on the documented properties of the corpus.
+//!
+//! Usage: `cargo run --release -p sling-bench --bin table2 [category-substring]`
+
+use sling_suite::eval::{run_corpus, table2, EvalConfig};
+use sling_suite::report::render_table2;
+
+fn main() {
+    let filter_arg = std::env::args().nth(1);
+    let config = EvalConfig::default();
+    let filter = filter_arg.as_deref().map(|s| s.to_lowercase());
+    let runs = run_corpus(
+        &config,
+        filter
+            .as_ref()
+            .map(|f| {
+                let f = f.clone();
+                Box::new(move |b: &sling_suite::Bench| {
+                    b.category.label().to_lowercase().contains(&f)
+                        || b.name.to_lowercase().contains(&f)
+                }) as Box<dyn Fn(&sling_suite::Bench) -> bool>
+            })
+            .as_deref(),
+    );
+    let rows = table2(&runs);
+    println!("Table 2. Comparing SLING to the S2-style baseline\n");
+    println!("{}", render_table2(&rows));
+}

@@ -1,0 +1,84 @@
+//! Shared fixtures for the SLING benchmarks (see `benches/` and the
+//! `table1`/`table2` binaries).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sling_lang::{gen_list, DataOrder, ListLayout, RtHeap};
+use sling_logic::{
+    parse_predicates, FieldDef, FieldTy, PredEnv, StructDef, Symbol, TypeEnv,
+};
+use sling_models::{Stack, StackHeapModel, Val};
+
+/// Builds the `SNode`-based type environment used by the micro-benches.
+pub fn snode_types() -> TypeEnv {
+    let mut types = TypeEnv::new();
+    let node = Symbol::intern("SNode");
+    types
+        .define(StructDef {
+            name: node,
+            fields: vec![
+                FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
+                FieldDef { name: Symbol::intern("data"), ty: FieldTy::Int },
+            ],
+        })
+        .expect("fresh env");
+    types
+}
+
+/// `sll`/`lseg` predicates over `SNode`.
+pub fn snode_preds() -> PredEnv {
+    let mut env = PredEnv::new();
+    for d in parse_predicates(
+        "pred sll(x: SNode*) := emp & x == nil
+           | exists u, d. x -> SNode{next: u, data: d} * sll(u);
+         pred lseg(x: SNode*, y: SNode*) := emp & x == y
+           | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);",
+    )
+    .expect("predicates parse")
+    {
+        env.define(d).expect("fresh env");
+    }
+    env
+}
+
+/// A stack-heap model with `x` pointing at a random list of `n` cells.
+pub fn list_model(n: usize, seed: u64) -> StackHeapModel {
+    let mut heap = RtHeap::new();
+    let layout = ListLayout {
+        ty: Symbol::intern("SNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head = gen_list(&mut heap, &layout, n, DataOrder::Random, &mut rng);
+    let mut stack = Stack::new();
+    stack.bind(Symbol::intern("x"), head);
+    StackHeapModel::new(stack, heap.live().clone())
+}
+
+/// A model with `x` and `y` pointing at two disjoint lists.
+pub fn two_list_model(n: usize, m: usize, seed: u64) -> StackHeapModel {
+    let mut heap = RtHeap::new();
+    let layout = ListLayout {
+        ty: Symbol::intern("SNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = gen_list(&mut heap, &layout, n, DataOrder::Random, &mut rng);
+    let y = gen_list(&mut heap, &layout, m, DataOrder::Random, &mut rng);
+    let mut stack = Stack::new();
+    stack.bind(Symbol::intern("x"), x);
+    stack.bind(Symbol::intern("y"), y);
+    StackHeapModel::new(stack, heap.live().clone())
+}
+
+/// A `Val` re-export so benches don't need the models crate directly.
+pub type Value = Val;

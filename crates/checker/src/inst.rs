@@ -1,0 +1,108 @@
+//! Existential instantiations (the `ι` of Definition 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sling_logic::Symbol;
+use sling_models::Val;
+
+/// A mapping from existential variables to concrete values, produced by a
+/// successful model check.
+///
+/// Unconstrained existentials (ones the model never forces a value for) are
+/// absent; SLING's pure inference only derives equalities between variables
+/// that are *present* in every model's instantiation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Instantiation {
+    map: BTreeMap<Symbol, Val>,
+}
+
+impl Instantiation {
+    /// The empty instantiation.
+    pub fn new() -> Instantiation {
+        Instantiation::default()
+    }
+
+    /// Builds an instantiation from `(variable, value)` pairs.
+    pub fn from_bindings<I: IntoIterator<Item = (Symbol, Val)>>(iter: I) -> Instantiation {
+        Instantiation { map: iter.into_iter().collect() }
+    }
+
+    /// The value of `var`, if the model constrained it.
+    pub fn get(&self, var: Symbol) -> Option<Val> {
+        self.map.get(&var).copied()
+    }
+
+    /// Iterates over `(variable, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Val)> + '_ {
+        self.map.iter().map(|(s, v)| (*s, *v))
+    }
+
+    /// Adds or replaces a binding.
+    pub fn bind(&mut self, var: Symbol, val: Val) -> Option<Val> {
+        self.map.insert(var, val)
+    }
+
+    /// Merges another instantiation (per Algorithm 1's `I ⊕ I'`).
+    /// Later bindings win on clash (clashes do not occur in practice:
+    /// the algorithm merges instantiations of disjoint existential sets).
+    pub fn merge(&mut self, other: &Instantiation) {
+        self.map.extend(other.iter());
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl FromIterator<(Symbol, Val)> for Instantiation {
+    fn from_iter<T: IntoIterator<Item = (Symbol, Val)>>(iter: T) -> Instantiation {
+        Instantiation::from_bindings(iter)
+    }
+}
+
+impl fmt::Display for Instantiation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ι{")?;
+        for (i, (s, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s} := {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_models::Loc;
+
+    #[test]
+    fn bind_get_merge() {
+        let u = Symbol::intern("u1");
+        let v = Symbol::intern("u2");
+        let mut a = Instantiation::new();
+        a.bind(u, Val::Addr(Loc::new(1)));
+        let mut b = Instantiation::new();
+        b.bind(v, Val::Nil);
+        a.merge(&b);
+        assert_eq!(a.get(u), Some(Val::Addr(Loc::new(1))));
+        assert_eq!(a.get(v), Some(Val::Nil));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let mut a = Instantiation::new();
+        a.bind(Symbol::intern("u1"), Val::Addr(Loc::new(3)));
+        assert_eq!(a.to_string(), "ι{u1 := 0x03}");
+    }
+}

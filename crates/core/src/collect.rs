@@ -1,0 +1,153 @@
+//! Model collection — the paper's `CollectModels` (Algorithm 1, line 1).
+//!
+//! Runs the program on every test input under the tracer and groups the
+//! observed stack-heap models by breakpoint location. A run that faults
+//! (seeded bug, non-termination guard) contributes the snapshots recorded
+//! *before* the fault — the paper's Red-black-tree `insert` analysis
+//! (§5.4) relies on exactly this partial-trace behaviour.
+
+use std::collections::BTreeMap;
+
+use sling_lang::{Location, Program, RtError, RtHeap, Snapshot, TraceConfig, Tracer, Vm, VmConfig};
+use sling_logic::Symbol;
+use sling_models::Val;
+
+/// Builds the argument vector for one run, allocating input structures
+/// directly in the VM heap.
+pub type InputBuilder = Box<dyn Fn(&mut RtHeap) -> Vec<Val>>;
+
+/// One traced run of the target function.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Snapshots in execution order.
+    pub snapshots: Vec<Snapshot>,
+    /// The fault that ended the run early, if any.
+    pub error: Option<RtError>,
+}
+
+/// All models observed for one target function across a test suite.
+#[derive(Debug, Clone, Default)]
+pub struct Collected {
+    /// Per-run traces.
+    pub runs: Vec<RunTrace>,
+}
+
+impl Collected {
+    /// Snapshots grouped by location (flattened across runs, in run then
+    /// execution order).
+    pub fn by_location(&self) -> BTreeMap<Location, Vec<&Snapshot>> {
+        let mut out: BTreeMap<Location, Vec<&Snapshot>> = BTreeMap::new();
+        for run in &self.runs {
+            for snap in &run.snapshots {
+                out.entry(snap.location).or_default().push(snap);
+            }
+        }
+        out
+    }
+
+    /// Total number of snapshots (the paper's "Traces" column).
+    pub fn total_snapshots(&self) -> usize {
+        self.runs.iter().map(|r| r.snapshots.len()).sum()
+    }
+
+    /// Number of runs that faulted.
+    pub fn faulted_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.error.is_some()).count()
+    }
+}
+
+/// Runs `target` once per input builder and collects the traces.
+pub fn collect_models(
+    program: &Program,
+    target: Symbol,
+    inputs: &[InputBuilder],
+    vm_config: VmConfig,
+    trace_config: TraceConfig,
+) -> Collected {
+    let mut out = Collected::default();
+    // Each run's VM numbers activations from 1; offset them so activation
+    // ids are unique across the whole collection (the frame-rule
+    // validation pairs entry/exit snapshots by activation id).
+    let mut base: u64 = 0;
+    for build in inputs {
+        let mut vm = Vm::new(program, vm_config);
+        let args = build(&mut vm.heap);
+        vm.set_tracer(Tracer::new(target, trace_config));
+        let result = vm.call(target, &args);
+        let tracer = vm.take_tracer().expect("tracer was installed");
+        let mut snapshots = tracer.snapshots;
+        let mut max_act = 0;
+        for s in &mut snapshots {
+            max_act = max_act.max(s.activation);
+            s.activation += base;
+        }
+        base += max_act;
+        out.runs.push(RunTrace { snapshots, error: result.err() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    const SUM: &str = "
+        struct Cell { next: Cell*; data: int; }
+        fn sum(x: Cell*) -> int {
+            var total: int = 0;
+            while @inv (x != null) { total = total + x->data; x = x->next; }
+            return total;
+        }";
+
+    fn list_builder(vals: &'static [i64]) -> InputBuilder {
+        Box::new(move |heap: &mut RtHeap| {
+            let mut next = Val::Nil;
+            for v in vals.iter().rev() {
+                let loc = heap.alloc(sym("Cell"), vec![next, Val::Int(*v)]);
+                next = Val::Addr(loc);
+            }
+            vec![next]
+        })
+    }
+
+    #[test]
+    fn collects_across_runs() {
+        let p = parse_program(SUM).unwrap();
+        check_program(&p).unwrap();
+        let inputs: Vec<InputBuilder> =
+            vec![list_builder(&[]), list_builder(&[1]), list_builder(&[1, 2, 3])];
+        let c = collect_models(&p, sym("sum"), &inputs, VmConfig::default(), TraceConfig::default());
+        assert_eq!(c.runs.len(), 3);
+        assert_eq!(c.faulted_runs(), 0);
+        let by_loc = c.by_location();
+        assert_eq!(by_loc[&Location::Entry].len(), 3);
+        // Loop head: 1 + 2 + 4 hits.
+        assert_eq!(by_loc[&Location::LoopHead(sym("inv"))].len(), 7);
+        assert_eq!(by_loc[&Location::Exit(0)].len(), 3);
+        assert_eq!(c.total_snapshots(), 13);
+    }
+
+    #[test]
+    fn faulting_run_keeps_prefix() {
+        let p = parse_program(
+            "struct Cell { next: Cell*; data: int; }
+             fn bad(x: Cell*) -> int {
+                 @before;
+                 return x->data;
+             }",
+        )
+        .unwrap();
+        check_program(&p).unwrap();
+        let inputs: Vec<InputBuilder> = vec![Box::new(|_| vec![Val::Nil])];
+        let c = collect_models(&p, sym("bad"), &inputs, VmConfig::default(), TraceConfig::default());
+        assert_eq!(c.runs.len(), 1);
+        assert!(c.runs[0].error.is_some());
+        // Entry and @before were recorded before the crash.
+        assert_eq!(c.runs[0].snapshots.len(), 2);
+    }
+}

@@ -1,0 +1,643 @@
+//! Atomic-predicate inference — the paper's `InferAtom` (Algorithm 2).
+//!
+//! Given the sub-models of a root pointer and their common boundary,
+//! `InferAtom` searches the predicate set for atomic formulae satisfied by
+//! *all* sub-models:
+//!
+//! 1. **Inductive predicates** — for each predicate with a parameter of
+//!    the root's type, enumerate argument tuples: subsets `A` of the
+//!    boundary containing the root (ascending size), padded with fresh
+//!    existential variables, placed injectively into parameter positions
+//!    that are type-consistent (Algorithm 2, line 8). Each candidate
+//!    `∃u⃗. p(k1..kn)` is model-checked against every sub-model; accepted
+//!    candidates carry their per-model residual heaps and existential
+//!    instantiations.
+//! 2. **Singleton predicates** — when every sub-model is a single cell at
+//!    the root, a points-to atom is built; fields take the common stack
+//!    variable (or `nil`) when one exists in *all* models, otherwise a
+//!    fresh existential instantiated per model.
+//! 3. **`emp`** — the fallback when nothing else matched: the whole
+//!    sub-heap becomes residue.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sling_checker::{CheckCtx, Instantiation};
+use sling_logic::{
+    Expr, FieldAssign, FieldTy, FreshVars, PredDef, SpatialAtom, SymHeap, Symbol,
+};
+use sling_models::{Heap, StackHeapModel, Val};
+
+use crate::split::BoundaryItem;
+
+/// Limits for the candidate search.
+#[derive(Debug, Clone, Copy)]
+pub struct InferConfig {
+    /// Maximum accepted atomic formulae per variable (strongest —
+    /// smallest total residue — kept first).
+    pub max_results_per_var: usize,
+    /// Maximum candidate argument tuples tried per predicate.
+    pub max_candidates_per_pred: usize,
+    /// Reject inductive candidates that cover no cell in any model
+    /// (vacuously true base-case matches convey nothing beyond `emp`).
+    pub require_nonvacuous: bool,
+}
+
+impl Default for InferConfig {
+    fn default() -> InferConfig {
+        InferConfig {
+            max_results_per_var: 4,
+            max_candidates_per_pred: 4_096,
+            require_nonvacuous: true,
+        }
+    }
+}
+
+/// One accepted atomic formula with its per-model evidence.
+#[derive(Debug, Clone)]
+pub struct AtomResult {
+    /// `∃u⃗. p(...)`, a points-to, or `emp`.
+    pub formula: SymHeap,
+    /// Per model: the part of the sub-heap *not* covered.
+    pub residues: Vec<Heap>,
+    /// Per model: values of the formula's existentials.
+    pub insts: Vec<Instantiation>,
+    /// Total residue size across models (smaller = stronger).
+    pub total_residue: usize,
+}
+
+/// How a stack variable is typed, derived from observed values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarTy {
+    /// Pointer to a known structure.
+    Ptr(Symbol),
+    /// Integer.
+    Int,
+    /// Only `nil` observed: compatible with every pointer type.
+    NilPtr,
+}
+
+impl VarTy {
+    fn fits(self, param: FieldTy) -> bool {
+        match (self, param) {
+            (VarTy::Ptr(a), FieldTy::Ptr(b)) => a == b,
+            (VarTy::NilPtr, FieldTy::Ptr(_)) => true,
+            (VarTy::Int, FieldTy::Int) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Derives variable types from the values observed across models: an
+/// address typed by its cell wins over `nil`; integers are `Int`.
+pub fn var_types(models: &[StackHeapModel]) -> BTreeMap<Symbol, VarTy> {
+    let mut out: BTreeMap<Symbol, VarTy> = BTreeMap::new();
+    for m in models {
+        for (w, val) in m.stack.iter() {
+            match val {
+                Val::Int(_) => {
+                    out.insert(w, VarTy::Int);
+                }
+                Val::Addr(loc) => {
+                    if let Some(cell) = m.heap.get(loc) {
+                        out.insert(w, VarTy::Ptr(cell.ty));
+                    } else {
+                        out.entry(w).or_insert(VarTy::NilPtr);
+                    }
+                }
+                Val::Nil => {
+                    out.entry(w).or_insert(VarTy::NilPtr);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs `InferAtom` for the root variable `v` (Algorithm 2).
+///
+/// `types` maps stack variables to their observed types (for the
+/// `type(ki) <: type(ti)` check); `fresh` supplies existential names
+/// shared across the whole location so `u1, u2, ...` never collide.
+pub fn infer_atom(
+    ctx: &CheckCtx<'_>,
+    v: Symbol,
+    sub_models: &[StackHeapModel],
+    boundary: &BTreeSet<BoundaryItem>,
+    types: &BTreeMap<Symbol, VarTy>,
+    fresh: &mut FreshVars,
+    config: &InferConfig,
+) -> Vec<AtomResult> {
+    let n_models = sub_models.len();
+    assert!(n_models > 0, "InferAtom needs at least one model");
+
+    // Empty sub-heaps in every model: only `emp` is informative.
+    if sub_models.iter().all(|m| m.heap.is_empty()) {
+        return vec![emp_result(sub_models)];
+    }
+
+    let mut results: Vec<AtomResult> = Vec::new();
+
+    // --- Inductive predicates -------------------------------------------
+    let root_ty = sub_models.iter().find_map(|m| {
+        m.stack.get(v).and_then(|val| val.as_addr()).and_then(|l| m.heap.get(l)).map(|c| c.ty)
+    });
+    if let Some(root_ty) = root_ty {
+        let items: Vec<BoundaryItem> = boundary.iter().copied().collect();
+        for pred in ctx.preds.for_root_type(root_ty) {
+            infer_inductive(
+                ctx, v, sub_models, &items, types, pred, fresh, config, &mut results,
+            );
+        }
+    }
+
+    // --- Singleton predicate --------------------------------------------
+    if let Some(single) = infer_singleton(ctx, v, sub_models, fresh) {
+        results.push(single);
+    }
+
+    // --- emp fallback -----------------------------------------------------
+    if results.is_empty() {
+        return vec![emp_result(sub_models)];
+    }
+
+    // Keep a *diverse* strongest set. Two rankings matter:
+    //  * smallest total residue (covers the most memory), and
+    //  * the root variable in the earliest predicate position (the
+    //    paper's head-rooted presentation, e.g. `dll(x, u1, u2, tmp)` —
+    //    §2.3 keeps it even though its residue is larger than the
+    //    tail-rooted alternative when back-pointers reach above `x`).
+    // Half the slots go to each ranking; duplicates collapse.
+    let k = config.max_results_per_var.max(1);
+    let mut ranked = results.clone();
+    ranked.sort_by_cached_key(|r| {
+        (r.total_residue, root_position(&r.formula, v), r.formula.exists.len(), r.formula.to_string())
+    });
+    results.sort_by_cached_key(|r| {
+        (root_position(&r.formula, v), r.total_residue, r.formula.exists.len(), r.formula.to_string())
+    });
+    let mut keep: Vec<AtomResult> = Vec::with_capacity(k);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for r in ranked.into_iter().take(k.div_ceil(2)).chain(results) {
+        if keep.len() >= k {
+            break;
+        }
+        if seen.insert(r.formula.to_string()) {
+            keep.push(r);
+        }
+    }
+    keep
+}
+
+/// Index of the root variable among the first spatial atom's arguments
+/// (points-to roots count as position 0; absent roots sort last).
+fn root_position(formula: &SymHeap, root: Symbol) -> usize {
+    match formula.spatial.first() {
+        Some(SpatialAtom::Pred { args, .. }) => args
+            .iter()
+            .position(|a| a.as_var() == Some(root))
+            .unwrap_or(usize::MAX),
+        Some(SpatialAtom::PointsTo { .. }) => 0,
+        None => usize::MAX,
+    }
+}
+
+fn emp_result(sub_models: &[StackHeapModel]) -> AtomResult {
+    AtomResult {
+        formula: SymHeap::emp(),
+        residues: sub_models.iter().map(|m| m.heap.clone()).collect(),
+        insts: vec![Instantiation::new(); sub_models.len()],
+        total_residue: sub_models.iter().map(|m| m.heap.len()).sum(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn infer_inductive(
+    ctx: &CheckCtx<'_>,
+    root: Symbol,
+    sub_models: &[StackHeapModel],
+    boundary: &[BoundaryItem],
+    types: &BTreeMap<Symbol, VarTy>,
+    pred: &PredDef,
+    fresh: &mut FreshVars,
+    config: &InferConfig,
+    results: &mut Vec<AtomResult>,
+) {
+    let n = pred.arity();
+    let root_item = BoundaryItem::Var(root);
+    let others: Vec<BoundaryItem> =
+        boundary.iter().copied().filter(|b| *b != root_item).collect();
+
+    let mut tried = 0usize;
+
+    // Subsets of the boundary that contain the root, ascending size.
+    for extra in 0..=others.len().min(n.saturating_sub(1)) {
+        for combo in combinations(&others, extra) {
+            let mut set = vec![root_item];
+            set.extend(combo);
+            // Injective placements of `set` into the n positions.
+            let placements = placements(&set, n, pred, types);
+            for placement in placements {
+                tried += 1;
+                if tried > config.max_candidates_per_pred {
+                    return;
+                }
+                try_candidate(ctx, sub_models, pred, &placement, fresh, config, results);
+            }
+        }
+    }
+}
+
+/// All ways to place the boundary items of `set` injectively into the
+/// `n` parameter positions of `pred`, respecting types. Unused positions
+/// are `None` (filled with fresh existentials later).
+fn placements(
+    set: &[BoundaryItem],
+    n: usize,
+    pred: &PredDef,
+    types: &BTreeMap<Symbol, VarTy>,
+) -> Vec<Vec<Option<BoundaryItem>>> {
+    let mut out = Vec::new();
+    let mut current: Vec<Option<BoundaryItem>> = vec![None; n];
+    place_rec(set, 0, pred, types, &mut current, &mut out);
+    out
+}
+
+fn place_rec(
+    set: &[BoundaryItem],
+    idx: usize,
+    pred: &PredDef,
+    types: &BTreeMap<Symbol, VarTy>,
+    current: &mut Vec<Option<BoundaryItem>>,
+    out: &mut Vec<Vec<Option<BoundaryItem>>>,
+) {
+    if idx == set.len() {
+        out.push(current.clone());
+        return;
+    }
+    let item = set[idx];
+    for pos in 0..current.len() {
+        if current[pos].is_some() {
+            continue;
+        }
+        let param_ty = pred.params[pos].ty;
+        let ok = match item {
+            BoundaryItem::Nil => matches!(param_ty, FieldTy::Ptr(_)),
+            BoundaryItem::Var(w) => match types.get(&w) {
+                Some(t) => t.fits(param_ty),
+                // Unknown (never-seen) variable: be permissive for
+                // pointer positions.
+                None => matches!(param_ty, FieldTy::Ptr(_)),
+            },
+        };
+        if !ok {
+            continue;
+        }
+        current[pos] = Some(item);
+        place_rec(set, idx + 1, pred, types, current, out);
+        current[pos] = None;
+    }
+}
+
+fn try_candidate(
+    ctx: &CheckCtx<'_>,
+    sub_models: &[StackHeapModel],
+    pred: &PredDef,
+    placement: &[Option<BoundaryItem>],
+    fresh: &mut FreshVars,
+    config: &InferConfig,
+    results: &mut Vec<AtomResult>,
+) {
+    // Build ∃u⃗. p(args): fresh names are *tentative* — they only stick
+    // if the candidate is accepted, so rejected candidates do not burn
+    // through the u-namespace.
+    let mut trial = fresh.clone();
+    let mut exists = Vec::new();
+    let args: Vec<Expr> = placement
+        .iter()
+        .map(|slot| match slot {
+            Some(item) => item.to_expr(),
+            None => {
+                let u = trial.next();
+                exists.push(u);
+                Expr::Var(u)
+            }
+        })
+        .collect();
+    let formula = SymHeap {
+        exists,
+        spatial: vec![SpatialAtom::Pred { name: pred.name, args }],
+        pure: vec![],
+    };
+
+    let mut residues = Vec::with_capacity(sub_models.len());
+    let mut insts = Vec::with_capacity(sub_models.len());
+    let mut covered_any = false;
+    for m in sub_models {
+        match ctx.check(m, &formula) {
+            Some(red) => {
+                covered_any |= red.covered > 0;
+                residues.push(red.residual);
+                insts.push(red.inst);
+            }
+            None => return,
+        }
+    }
+    if config.require_nonvacuous && !covered_any {
+        return;
+    }
+    *fresh = trial;
+    let total_residue = residues.iter().map(|h| h.len()).sum();
+    results.push(AtomResult { formula, residues, insts, total_residue });
+}
+
+/// Singleton inference (Algorithm 2, lines 12–13).
+fn infer_singleton(
+    ctx: &CheckCtx<'_>,
+    v: Symbol,
+    sub_models: &[StackHeapModel],
+    fresh: &mut FreshVars,
+) -> Option<AtomResult> {
+    // Applicable only when every sub-model is exactly the root's cell.
+    let mut cells = Vec::with_capacity(sub_models.len());
+    for m in sub_models {
+        if m.heap.len() != 1 {
+            return None;
+        }
+        let loc = m.stack.get(v)?.as_addr()?;
+        let cell = m.heap.get(loc)?;
+        cells.push((m, cell));
+    }
+    let ty = cells[0].1.ty;
+    if cells.iter().any(|(_, c)| c.ty != ty) {
+        return None;
+    }
+    let def = ctx.types.get(ty)?;
+
+    let mut exists = Vec::new();
+    let mut fields = Vec::with_capacity(def.fields.len());
+    let mut insts = vec![Instantiation::new(); sub_models.len()];
+    for (i, fdef) in def.fields.iter().enumerate() {
+        // A common constant value: nil everywhere?
+        if cells.iter().all(|(_, c)| c.fields[i] == Val::Nil) {
+            fields.push(FieldAssign { name: fdef.name, value: Expr::Nil });
+            continue;
+        }
+        // A common integer literal?
+        if let Val::Int(k) = cells[0].1.fields[i] {
+            if cells.iter().all(|(_, c)| c.fields[i] == Val::Int(k)) {
+                fields.push(FieldAssign { name: fdef.name, value: Expr::Int(k) });
+                continue;
+            }
+        }
+        // A stack variable with this value in every model?
+        let common_var = cells[0]
+            .0
+            .stack
+            .iter()
+            .filter(|(w, _)| *w != v)
+            .find(|(w, _)| {
+                cells.iter().all(|(m, c)| m.stack.get(*w) == Some(c.fields[i]))
+            })
+            .map(|(w, _)| w);
+        if let Some(w) = common_var {
+            fields.push(FieldAssign { name: fdef.name, value: Expr::Var(w) });
+            continue;
+        }
+        // Fresh existential, instantiated per model.
+        let u = fresh.next();
+        exists.push(u);
+        for (k, (_, c)) in cells.iter().enumerate() {
+            insts[k].bind(u, c.fields[i]);
+        }
+        fields.push(FieldAssign { name: fdef.name, value: Expr::Var(u) });
+    }
+
+    Some(AtomResult {
+        formula: SymHeap {
+            exists,
+            spatial: vec![SpatialAtom::PointsTo { root: Expr::Var(v), ty, fields }],
+            pure: vec![],
+        },
+        residues: vec![Heap::new(); sub_models.len()],
+        insts,
+        total_residue: 0,
+    })
+}
+
+/// `k`-element combinations of `items`, in deterministic order.
+fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec<T: Copy>(items: &[T], k: usize, start: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_logic::{parse_predicates, FieldDef, PredEnv, StructDef, TypeEnv};
+    use sling_models::{Loc, Stack};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn l(n: u64) -> Loc {
+        Loc::new(n)
+    }
+
+    fn envs() -> (TypeEnv, PredEnv) {
+        let mut types = TypeEnv::new();
+        let node = sym("Node");
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![
+                    FieldDef { name: sym("next"), ty: FieldTy::Ptr(node) },
+                    FieldDef { name: sym("prev"), ty: FieldTy::Ptr(node) },
+                ],
+            })
+            .unwrap();
+        let mut preds = PredEnv::new();
+        for d in parse_predicates(
+            "pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
+                 emp & hd == nx & pr == tl
+               | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);",
+        )
+        .unwrap()
+        {
+            preds.define(d).unwrap();
+        }
+        (types, preds)
+    }
+
+    fn dcell(next: Val, prev: Val) -> sling_models::HeapCell {
+        sling_models::HeapCell::new(sym("Node"), vec![next, prev])
+    }
+
+    /// Sub-models of x from Figure 3 (iterations 1..=3), with the full
+    /// stacks.
+    fn fig3_submodels() -> Vec<StackHeapModel> {
+        (1..=3u64)
+            .map(|i| {
+                let mut heap = Heap::new();
+                for c in 1..=i {
+                    let next = if c < i { Val::Addr(l(c + 1)) } else { Val::Addr(l(i + 1)) };
+                    let prev = if c > 1 { Val::Addr(l(c - 1)) } else { Val::Nil };
+                    heap.insert(l(c), dcell(next, prev));
+                }
+                let mut stack = Stack::new();
+                stack.bind(sym("x"), Val::Addr(l(1)));
+                stack.bind(sym("tmp"), Val::Addr(l(i + 1)));
+                stack.bind(sym("y"), Val::Addr(l(4)));
+                stack.bind(sym("res"), Val::Addr(l(1)));
+                StackHeapModel::new(stack, heap)
+            })
+            .collect()
+    }
+
+    fn boundary() -> BTreeSet<BoundaryItem> {
+        [
+            BoundaryItem::Var(sym("x")),
+            BoundaryItem::Var(sym("res")),
+            BoundaryItem::Nil,
+            BoundaryItem::Var(sym("tmp")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn finds_paper_formula_fx() {
+        let (types, preds) = envs();
+        let ctx = CheckCtx::new(&types, &preds);
+        let models = fig3_submodels();
+        let mut fresh = FreshVars::new("u");
+        let vt = var_types(&models);
+        let results = infer_atom(
+            &ctx,
+            sym("x"),
+            &models,
+            &boundary(),
+            &vt,
+            &mut fresh,
+            &InferConfig::default(),
+        );
+        assert!(!results.is_empty());
+        // The strongest results must fully cover every sub-heap.
+        assert_eq!(results[0].total_residue, 0);
+        // Among accepted formulas there must be a dll rooted at x ending
+        // at tmp (the paper's Fx = ∃u1,u2. dll(x, u1, u2, tmp)).
+        let found = results.iter().any(|r| {
+            let s = r.formula.to_string();
+            s.contains("dll(x,") && s.trim_end().ends_with("tmp)")
+        });
+        assert!(found, "missing Fx; got: {:?}",
+            results.iter().map(|r| r.formula.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_submodels_give_emp() {
+        let (types, preds) = envs();
+        let ctx = CheckCtx::new(&types, &preds);
+        let mut stack = Stack::new();
+        stack.bind(sym("res"), Val::Addr(l(1)));
+        let models = vec![StackHeapModel::new(stack, Heap::new())];
+        let mut fresh = FreshVars::new("u");
+        let vt = var_types(&models);
+        let results = infer_atom(
+            &ctx,
+            sym("res"),
+            &models,
+            &BTreeSet::new(),
+            &vt,
+            &mut fresh,
+            &InferConfig::default(),
+        );
+        assert_eq!(results.len(), 1);
+        assert!(results[0].formula.is_emp());
+    }
+
+    #[test]
+    fn singleton_inferred_for_one_cell() {
+        let (types, preds) = envs();
+        let ctx = CheckCtx::new(&types, &preds);
+        // One cell whose next points to y's address and prev is nil.
+        let mut heap = Heap::new();
+        heap.insert(l(1), dcell(Val::Addr(l(9)), Val::Nil));
+        let mut stack = Stack::new();
+        stack.bind(sym("p"), Val::Addr(l(1)));
+        stack.bind(sym("q"), Val::Addr(l(9)));
+        let models = vec![StackHeapModel::new(stack, heap)];
+        let mut fresh = FreshVars::new("u");
+        let vt = var_types(&models);
+        let results = infer_atom(
+            &ctx,
+            sym("p"),
+            &models,
+            &[BoundaryItem::Var(sym("p")), BoundaryItem::Var(sym("q"))].into_iter().collect(),
+            &vt,
+            &mut fresh,
+            &InferConfig::default(),
+        );
+        let singleton = results
+            .iter()
+            .find(|r| matches!(r.formula.spatial.first(), Some(SpatialAtom::PointsTo { .. })))
+            .expect("a singleton result");
+        assert_eq!(singleton.formula.to_string(), "p -> Node{next: q, prev: nil}");
+    }
+
+    #[test]
+    fn vacuous_candidates_are_rejected() {
+        let (types, preds) = envs();
+        let ctx = CheckCtx::new(&types, &preds);
+        let models = fig3_submodels();
+        let mut fresh = FreshVars::new("u");
+        let vt = var_types(&models);
+        let results = infer_atom(
+            &ctx,
+            sym("x"),
+            &models,
+            &boundary(),
+            &vt,
+            &mut fresh,
+            &InferConfig::default(),
+        );
+        // No accepted inductive formula may be a vacuous base-case match.
+        for r in &results {
+            assert!(
+                r.total_residue < models.iter().map(|m| m.heap.len()).sum::<usize>(),
+                "vacuous: {}",
+                r.formula
+            );
+        }
+    }
+
+    #[test]
+    fn combinations_count() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 0).len(), 1);
+        assert_eq!(combinations(&items, 4).len(), 1);
+    }
+
+    #[test]
+    fn var_types_from_models() {
+        let models = fig3_submodels();
+        let vt = var_types(&models);
+        assert_eq!(vt.get(&sym("x")), Some(&VarTy::Ptr(sym("Node"))));
+        // y = 0x04 is outside every sub-heap, so it stays a bare pointer.
+        assert_eq!(vt.get(&sym("y")), Some(&VarTy::NilPtr));
+    }
+}

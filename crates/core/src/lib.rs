@@ -1,0 +1,94 @@
+//! # SLING — dynamic inference of separation-logic invariants
+//!
+//! A from-scratch Rust reproduction of *"SLING: Using Dynamic Analysis to
+//! Infer Program Invariants in Separation Logic"* (Le, Zheng, Nguyen —
+//! PLDI 2019).
+//!
+//! Given a MiniC program, a target function, a set of inductive heap
+//! predicate definitions, and test inputs, SLING:
+//!
+//! 1. **collects stack-heap models** at breakpoints (entry, labels, loop
+//!    heads, returns) by running the program under an embedded debugger
+//!    ([`collect_models`]);
+//! 2. **partitions** each heap into per-variable sub-heaps with their
+//!    boundary variables ([`split_heap`], §4.1);
+//! 3. **searches** the predicate set for atomic formulae every sub-heap
+//!    satisfies, via a symbolic-heap model checker that returns residual
+//!    heaps and existential instantiations ([`infer_atom`], §4.2);
+//! 4. conjoins the per-variable formulae with `∗`, then infers **pure
+//!    equalities** over stack variables, existentials, `nil` and `res`
+//!    ([`infer_pure`], §4.3);
+//! 5. **validates** entry/exit pairs with the frame rule
+//!    ([`validate_frame`], §4.4).
+//!
+//! The one-call driver is [`analyze`].
+//!
+//! # Example
+//!
+//! Infer the paper's `concat` specification (§2):
+//!
+//! ```
+//! use sling::{analyze, InputBuilder, SlingConfig};
+//! use sling_lang::{check_program, parse_program, Location, RtHeap};
+//! use sling_logic::{parse_predicates, PredEnv, Symbol};
+//! use sling_models::Val;
+//!
+//! let program = parse_program(
+//!     "struct Node { next: Node*; prev: Node*; }
+//!      fn concat(x: Node*, y: Node*) -> Node* {
+//!          if (x == null) { return y; }
+//!          var tmp: Node* = concat(x->next, y);
+//!          x->next = tmp;
+//!          if (tmp != null) { tmp->prev = x; }
+//!          return x;
+//!      }",
+//! )?;
+//! check_program(&program)?;
+//! let types = program.type_env();
+//! let mut preds = PredEnv::new();
+//! for d in parse_predicates(
+//!     "pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
+//!          emp & hd == nx & pr == tl
+//!        | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);",
+//! )? {
+//!     preds.define(d)?;
+//! }
+//!
+//! // One input: x = 2-node dll, y = 1-node dll.
+//! let inputs: Vec<InputBuilder> = vec![Box::new(|heap: &mut RtHeap| {
+//!     let node = Symbol::intern("Node");
+//!     let b = heap.alloc(node, vec![Val::Nil, Val::Nil]);
+//!     let a = heap.alloc(node, vec![Val::Addr(b), Val::Nil]);
+//!     heap.live_mut(b).unwrap().fields[1] = Val::Addr(a);
+//!     let y = heap.alloc(node, vec![Val::Nil, Val::Nil]);
+//!     vec![Val::Addr(a), Val::Addr(y)]
+//! })];
+//!
+//! let outcome = analyze(
+//!     &program, Symbol::intern("concat"), &inputs, &types, &preds,
+//!     &SlingConfig::default(),
+//! );
+//! let entry = outcome.at(Location::Entry).expect("entry reached");
+//! assert!(!entry.invariants.is_empty());
+//! println!("precondition: {}", entry.invariants[0].formula);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod collect;
+mod infer;
+mod pipeline;
+mod pure;
+mod split;
+mod validate;
+
+pub use collect::{collect_models, Collected, InputBuilder, RunTrace};
+pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
+pub use pipeline::{
+    analyze, infer_at_location, AnalysisOutcome, Invariant, InvariantStats, LocationReport,
+    SlingConfig,
+};
+pub use pure::infer_pure;
+pub use split::{split_heap, BoundaryItem, Split};
+pub use validate::validate_frame;

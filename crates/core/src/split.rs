@@ -1,0 +1,226 @@
+//! Heap partitioning — the paper's `SplitHeap` (§4.1).
+//!
+//! Given the (residual) stack-heap models at a location and a root pointer
+//! variable `v`, `SplitHeap` carves each heap into the *sub-heap* of `v`
+//! (cells reachable from `v` stopping at cells other stack variables point
+//! to) and the rest, and computes the *common boundary*: the variables —
+//! plus `nil` — that delimit those sub-heaps across all models. The
+//! boundary supplies the candidate arguments for `InferAtom`.
+
+use std::collections::BTreeSet;
+
+use sling_logic::{Expr, Symbol};
+use sling_models::{traverse, Heap, Loc, StackHeapModel};
+
+/// An element of a sub-heap boundary: the `nil` pointer or a stack
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BoundaryItem {
+    /// The null pointer (reachable from the root).
+    Nil,
+    /// A stack variable on the rim of (or aliasing into) the sub-heap.
+    Var(Symbol),
+}
+
+impl BoundaryItem {
+    /// The boundary item as a logic expression (predicate argument).
+    pub fn to_expr(self) -> Expr {
+        match self {
+            BoundaryItem::Nil => Expr::Nil,
+            BoundaryItem::Var(v) => Expr::Var(v),
+        }
+    }
+}
+
+impl std::fmt::Display for BoundaryItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundaryItem::Nil => f.write_str("nil"),
+            BoundaryItem::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Output of [`split_heap`]: per-model sub-heaps and rests, plus the
+/// common boundary.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// `SHv`: per model, the stack with the sub-heap of the root variable.
+    pub sub_models: Vec<StackHeapModel>,
+    /// `SHr`: per model, the remaining heap (`h \ h'`).
+    pub rest: Vec<Heap>,
+    /// The intersection of all models' boundaries.
+    pub boundary: BTreeSet<BoundaryItem>,
+}
+
+/// Partitions each model's heap around the pointer variable `v`
+/// (Algorithm 1, line 7: `SHv, SHr, B ← SplitHeap(SH, v)`).
+///
+/// For each model, a depth-first traversal from `s(v)` collects cells
+/// until it reaches `nil` or a cell some *other, non-aliasing* stack
+/// variable points to. The per-model boundary contains `v`, every
+/// variable whose value lies in the sub-heap or on its rim, and `nil` if
+/// it was reached; the common boundary is the intersection over models.
+///
+/// # Examples
+///
+/// See the paper's Figure 3: for the root `x` with stack
+/// `{x: 0x01, tmp: 0x02, y: 0x04, res: 0x01}` and the 5-cell heap, the
+/// sub-heap is `{0x01}` and the boundary `{x, res, nil, tmp}`.
+pub fn split_heap(models: &[StackHeapModel], v: Symbol) -> Split {
+    let mut sub_models = Vec::with_capacity(models.len());
+    let mut rest = Vec::with_capacity(models.len());
+    let mut common: Option<BTreeSet<BoundaryItem>> = None;
+
+    for m in models {
+        let root = m.stack.get(v).unwrap_or(sling_models::Val::Nil);
+        // Stop at cells pointed to by other (non-aliasing) stack pointers.
+        let stops: BTreeSet<Loc> = m
+            .stack
+            .iter()
+            .filter(|(w, val)| *w != v && *val != root)
+            .filter_map(|(_, val)| val.as_addr())
+            .collect();
+        let trav = traverse(&m.heap, root, &stops);
+        let sub = m.heap.restrict(&trav.cells);
+        let remaining = m.heap.difference(&sub);
+
+        let mut boundary: BTreeSet<BoundaryItem> = BTreeSet::new();
+        boundary.insert(BoundaryItem::Var(v));
+        if trav.saw_nil {
+            boundary.insert(BoundaryItem::Nil);
+        }
+        let rim: BTreeSet<Loc> = trav.cells.union(&trav.hit_stops).copied().collect();
+        for (w, val) in m.stack.iter() {
+            if let Some(loc) = val.as_addr() {
+                if rim.contains(&loc) {
+                    boundary.insert(BoundaryItem::Var(w));
+                }
+            }
+        }
+
+        common = Some(match common {
+            None => boundary,
+            Some(acc) => acc.intersection(&boundary).copied().collect(),
+        });
+        sub_models.push(StackHeapModel::new(m.stack.clone(), sub));
+        rest.push(remaining);
+    }
+
+    Split { sub_models, rest, boundary: common.unwrap_or_default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_models::{Heap, HeapCell, Loc, Stack, Val};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn l(n: u64) -> Loc {
+        Loc::new(n)
+    }
+
+    fn dcell(next: Val, prev: Val) -> HeapCell {
+        HeapCell::new(sym("Node"), vec![next, prev])
+    }
+
+    /// The Figure 2(b)/Figure 3 model at iteration `i`.
+    fn fig3_model(i: u64) -> StackHeapModel {
+        let mut heap = Heap::new();
+        heap.insert(l(1), dcell(Val::Addr(l(2)), Val::Nil));
+        heap.insert(l(2), dcell(Val::Addr(l(3)), Val::Addr(l(1))));
+        heap.insert(l(3), dcell(Val::Addr(l(4)), Val::Addr(l(2))));
+        heap.insert(l(4), dcell(Val::Addr(l(5)), Val::Addr(l(3))));
+        heap.insert(l(5), dcell(Val::Nil, Val::Addr(l(4))));
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Addr(l(i)));
+        stack.bind(sym("tmp"), Val::Addr(l(i + 1)));
+        stack.bind(sym("y"), Val::Addr(l(4)));
+        stack.bind(sym("res"), Val::Addr(l(i)));
+        StackHeapModel::new(stack, heap)
+    }
+
+    #[test]
+    fn figure3_subheaps_and_boundary() {
+        let models: Vec<StackHeapModel> = (1..=3).map(fig3_model).collect();
+        let split = split_heap(&models, sym("x"));
+        // h'1 = {0x01}, h'2 = {0x01, 0x02}, h'3 = {0x01, 0x02, 0x03}.
+        assert_eq!(split.sub_models[0].heap.domain(), [l(1)].into_iter().collect());
+        assert_eq!(split.sub_models[1].heap.domain(), [l(1), l(2)].into_iter().collect());
+        assert_eq!(
+            split.sub_models[2].heap.domain(),
+            [l(1), l(2), l(3)].into_iter().collect()
+        );
+        // Common boundary = {x, res, nil, tmp} — y only appears in the
+        // third model's boundary, so the intersection drops it.
+        let expect: BTreeSet<BoundaryItem> = [
+            BoundaryItem::Var(sym("x")),
+            BoundaryItem::Var(sym("res")),
+            BoundaryItem::Nil,
+            BoundaryItem::Var(sym("tmp")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(split.boundary, expect);
+        // Rest is the complement.
+        assert_eq!(split.rest[0].len(), 4);
+        assert_eq!(split.rest[2].len(), 2);
+    }
+
+    #[test]
+    fn tmp_split_on_residue() {
+        // After x's sub-heap is removed, splitting the residue on tmp
+        // reaches y and stops; x is boundary via the dangling prev.
+        let m = fig3_model(1);
+        let split_x = split_heap(&[m.clone()], sym("x"));
+        let residue = StackHeapModel::new(m.stack.clone(), split_x.rest[0].clone());
+        let split_tmp = split_heap(&[residue], sym("tmp"));
+        assert_eq!(
+            split_tmp.sub_models[0].heap.domain(),
+            [l(2), l(3)].into_iter().collect()
+        );
+        let expect: BTreeSet<BoundaryItem> = [
+            BoundaryItem::Var(sym("tmp")),
+            BoundaryItem::Var(sym("x")),
+            BoundaryItem::Var(sym("res")),
+            BoundaryItem::Var(sym("y")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(split_tmp.boundary, expect, "paper: boundary of tmp is {{tmp, x, res, y}}");
+    }
+
+    #[test]
+    fn nil_root_gives_empty_subheap() {
+        let mut heap = Heap::new();
+        heap.insert(l(1), dcell(Val::Nil, Val::Nil));
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Nil);
+        stack.bind(sym("y"), Val::Addr(l(1)));
+        let m = StackHeapModel::new(stack, heap);
+        let split = split_heap(&[m], sym("x"));
+        assert!(split.sub_models[0].heap.is_empty());
+        assert_eq!(split.rest[0].len(), 1);
+        assert!(split.boundary.contains(&BoundaryItem::Nil));
+        assert!(split.boundary.contains(&BoundaryItem::Var(sym("x"))));
+        assert!(!split.boundary.contains(&BoundaryItem::Var(sym("y"))));
+    }
+
+    #[test]
+    fn aliases_do_not_stop_traversal() {
+        // z aliases x: traversal from x must pass straight through.
+        let mut heap = Heap::new();
+        heap.insert(l(1), dcell(Val::Addr(l(2)), Val::Nil));
+        heap.insert(l(2), dcell(Val::Nil, Val::Addr(l(1))));
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Addr(l(1)));
+        stack.bind(sym("z"), Val::Addr(l(1)));
+        let m = StackHeapModel::new(stack, heap);
+        let split = split_heap(&[m], sym("x"));
+        assert_eq!(split.sub_models[0].heap.len(), 2);
+        assert!(split.boundary.contains(&BoundaryItem::Var(sym("z"))));
+    }
+}

@@ -1,0 +1,107 @@
+//! Specification validation via the frame rule (§4.4).
+//!
+//! A precondition `P` (inferred at entry) and a postcondition `Q`
+//! (inferred at an exit) form a valid triple `{P} C {Q}` only if the
+//! memory *not* modeled by `P` at entry — the frame — is exactly the
+//! memory not modeled by `Q` at the paired exit: the frame rule says `C`
+//! must not have touched it. The pairing key is the activation id the
+//! tracer stamped on each snapshot.
+
+use std::collections::BTreeMap;
+
+use sling_models::Heap;
+
+use crate::pipeline::Invariant;
+
+/// Checks the frame condition between an entry invariant and an exit
+/// invariant: for every activation observed at both locations, the
+/// residual heaps must be identical.
+///
+/// Activations seen at only one side (e.g. an exit on a different branch)
+/// do not participate. Returns `false` when no activation pairs up — an
+/// unpaired spec cannot be validated.
+pub fn validate_frame(pre: &Invariant, post: &Invariant) -> bool {
+    let pre_by_act: BTreeMap<u64, &Heap> =
+        pre.activations.iter().copied().zip(pre.residues.iter()).collect();
+    let mut paired = 0usize;
+    for (act, post_res) in post.activations.iter().zip(post.residues.iter()) {
+        let Some(pre_res) = pre_by_act.get(act) else { continue };
+        paired += 1;
+        if *pre_res != post_res {
+            return false;
+        }
+    }
+    paired > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::InvariantStats;
+    use sling_lang::Location;
+    use sling_logic::{Symbol, SymHeap};
+    use sling_models::{HeapCell, Loc, Val};
+
+    fn heap(locs: &[u64]) -> Heap {
+        let mut h = Heap::new();
+        for &n in locs {
+            h.insert(Loc::new(n), HeapCell::new(Symbol::intern("N"), vec![Val::Nil]));
+        }
+        h
+    }
+
+    fn inv(location: Location, pairs: &[(u64, Heap)]) -> Invariant {
+        Invariant {
+            location,
+            formula: SymHeap::emp(),
+            residues: pairs.iter().map(|(_, h)| h.clone()).collect(),
+            activations: pairs.iter().map(|(a, _)| *a).collect(),
+            stats: InvariantStats::default(),
+            spurious: false,
+        }
+    }
+
+    #[test]
+    fn equal_frames_validate() {
+        let pre = inv(Location::Entry, &[(1, heap(&[])), (2, heap(&[1]))]);
+        let post = inv(Location::Exit(0), &[(1, heap(&[])), (2, heap(&[1]))]);
+        assert!(validate_frame(&pre, &post));
+    }
+
+    #[test]
+    fn different_frames_fail() {
+        let pre = inv(Location::Entry, &[(1, heap(&[1]))]);
+        let post = inv(Location::Exit(0), &[(1, heap(&[2]))]);
+        assert!(!validate_frame(&pre, &post));
+    }
+
+    #[test]
+    fn unpaired_activations_ignored() {
+        // Activation 3 exits elsewhere; only activation 1 pairs.
+        let pre = inv(Location::Entry, &[(1, heap(&[])), (3, heap(&[1]))]);
+        let post = inv(Location::Exit(0), &[(1, heap(&[]))]);
+        assert!(validate_frame(&pre, &post));
+    }
+
+    #[test]
+    fn no_pairs_fails() {
+        let pre = inv(Location::Entry, &[(1, heap(&[]))]);
+        let post = inv(Location::Exit(0), &[(2, heap(&[]))]);
+        assert!(!validate_frame(&pre, &post));
+    }
+
+    #[test]
+    fn frame_contents_matter() {
+        // Same domain, different cell contents: the frame was touched.
+        let mut pre_h = Heap::new();
+        pre_h.insert(Loc::new(1), HeapCell::new(Symbol::intern("N"), vec![Val::Nil]));
+        let mut post_h = Heap::new();
+        post_h.insert(
+            Loc::new(1),
+            HeapCell::new(Symbol::intern("N"), vec![Val::Addr(Loc::new(2))]),
+        );
+        let pre = inv(Location::Entry, &[(1, pre_h)]);
+        let post = inv(Location::Exit(0), &[(1, post_h)]);
+        assert!(!validate_frame(&pre, &post));
+    }
+}

@@ -1,0 +1,387 @@
+//! Lexer for MiniC source text.
+
+use std::fmt;
+
+use sling_logic::{Span, Symbol};
+
+/// A MiniC token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// `struct`
+    Struct,
+    /// `fn`
+    Fn,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `free`
+    Free,
+    /// `new`
+    New,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `void`
+    KwVoid,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(s) => return write!(f, "identifier `{s}`"),
+            Tok::Int(k) => return write!(f, "integer `{k}`"),
+            Tok::Struct => "`struct`",
+            Tok::Fn => "`fn`",
+            Tok::Var => "`var`",
+            Tok::If => "`if`",
+            Tok::Else => "`else`",
+            Tok::While => "`while`",
+            Tok::Return => "`return`",
+            Tok::Free => "`free`",
+            Tok::New => "`new`",
+            Tok::Null => "`null`",
+            Tok::True => "`true`",
+            Tok::False => "`false`",
+            Tok::KwInt => "`int`",
+            Tok::KwBool => "`bool`",
+            Tok::KwVoid => "`void`",
+            Tok::LParen => "`(`",
+            Tok::RParen => "`)`",
+            Tok::LBrace => "`{`",
+            Tok::RBrace => "`}`",
+            Tok::Semi => "`;`",
+            Tok::Comma => "`,`",
+            Tok::Colon => "`:`",
+            Tok::Arrow => "`->`",
+            Tok::At => "`@`",
+            Tok::Assign => "`=`",
+            Tok::Eq => "`==`",
+            Tok::Ne => "`!=`",
+            Tok::Lt => "`<`",
+            Tok::Le => "`<=`",
+            Tok::Gt => "`>`",
+            Tok::Ge => "`>=`",
+            Tok::Plus => "`+`",
+            Tok::Minus => "`-`",
+            Tok::Star => "`*`",
+            Tok::Slash => "`/`",
+            Tok::Percent => "`%`",
+            Tok::Bang => "`!`",
+            Tok::AndAnd => "`&&`",
+            Tok::OrOr => "`||`",
+            Tok::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniLexError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl fmt::Display for MiniLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for MiniLexError {}
+
+/// Tokenizes MiniC source. `//` comments run to end of line; `/* ... */`
+/// comments may span lines (no nesting).
+///
+/// # Errors
+///
+/// Returns [`MiniLexError`] on unexpected characters, unterminated block
+/// comments, or integer overflow.
+pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, MiniLexError> {
+    let b = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    macro_rules! push1 {
+        ($tok:expr) => {{
+            out.push(($tok, Span::new(i as u32, i as u32 + 1)));
+            i += 1;
+        }};
+    }
+    macro_rules! push2 {
+        ($tok:expr) => {{
+            out.push(($tok, Span::new(i as u32, i as u32 + 2)));
+            i += 2;
+        }};
+    }
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(MiniLexError {
+                            message: "unterminated block comment".into(),
+                            span: Span::new(start as u32, b.len() as u32),
+                        });
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push1!(Tok::LParen),
+            ')' => push1!(Tok::RParen),
+            '{' => push1!(Tok::LBrace),
+            '}' => push1!(Tok::RBrace),
+            ';' => push1!(Tok::Semi),
+            ',' => push1!(Tok::Comma),
+            ':' => push1!(Tok::Colon),
+            '@' => push1!(Tok::At),
+            '+' => push1!(Tok::Plus),
+            '*' => push1!(Tok::Star),
+            '/' => push1!(Tok::Slash),
+            '%' => push1!(Tok::Percent),
+            '-' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    push2!(Tok::Arrow)
+                } else {
+                    push1!(Tok::Minus)
+                }
+            }
+            '=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push2!(Tok::Eq)
+                } else {
+                    push1!(Tok::Assign)
+                }
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push2!(Tok::Ne)
+                } else {
+                    push1!(Tok::Bang)
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push2!(Tok::Le)
+                } else {
+                    push1!(Tok::Lt)
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push2!(Tok::Ge)
+                } else {
+                    push1!(Tok::Gt)
+                }
+            }
+            '&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    push2!(Tok::AndAnd)
+                } else {
+                    return Err(MiniLexError {
+                        message: "expected `&&`".into(),
+                        span: Span::new(i as u32, i as u32 + 1),
+                    });
+                }
+            }
+            '|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    push2!(Tok::OrOr)
+                } else {
+                    return Err(MiniLexError {
+                        message: "expected `||`".into(),
+                        span: Span::new(i as u32, i as u32 + 1),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| MiniLexError {
+                    message: format!("integer literal `{text}` overflows i64"),
+                    span: Span::new(start as u32, i as u32),
+                })?;
+                out.push((Tok::Int(value), Span::new(start as u32, i as u32)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let span = Span::new(start as u32, i as u32);
+                let tok = match text {
+                    "struct" => Tok::Struct,
+                    "fn" => Tok::Fn,
+                    "var" => Tok::Var,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "free" => Tok::Free,
+                    "new" => Tok::New,
+                    "null" => Tok::Null,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "int" => Tok::KwInt,
+                    "bool" => Tok::KwBool,
+                    "void" => Tok::KwVoid,
+                    _ => Tok::Ident(Symbol::intern(text)),
+                };
+                out.push((tok, span));
+            }
+            other => {
+                return Err(MiniLexError {
+                    message: format!("unexpected character `{other}`"),
+                    span: Span::new(i as u32, i as u32 + 1),
+                });
+            }
+        }
+    }
+    out.push((Tok::Eof, Span::new(b.len() as u32, b.len() as u32)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_function_header() {
+        let toks = lex("fn concat(x: Node*, y: Node*) -> Node* {").unwrap();
+        assert_eq!(toks[0].0, Tok::Fn);
+        assert!(matches!(toks[1].0, Tok::Ident(_)));
+        assert_eq!(toks.last().unwrap().0, Tok::Eof);
+    }
+
+    #[test]
+    fn lex_label() {
+        let toks = lex("@L1;").unwrap();
+        assert_eq!(toks[0].0, Tok::At);
+        assert_eq!(toks[1].0, Tok::Ident(Symbol::intern("L1")));
+        assert_eq!(toks[2].0, Tok::Semi);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ops = lex("== != <= >= && || -> = < >").unwrap();
+        let kinds: Vec<Tok> = ops.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Arrow,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = lex("a // line\n b /* block\n still */ c").unwrap();
+        assert_eq!(toks.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn single_amp_rejected() {
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,624 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Grammar sketch:
+//!
+//! ```text
+//! program  := (struct_decl | func_decl)*
+//! struct   := "struct" IDENT "{" (IDENT ":" ty ";")* "}"
+//! func     := "fn" IDENT "(" (param ("," param)*)? ")" ("->" ty)? block
+//! param    := IDENT ":" ty
+//! ty       := "int" | "bool" | IDENT "*"
+//! block    := "{" stmt* "}"
+//! stmt     := "var" IDENT ":" ty ("=" expr)? ";"
+//!           | "if" "(" expr ")" block ("else" (block | if_stmt))?
+//!           | "while" ("@" IDENT)? "(" expr ")" block
+//!           | "return" expr? ";"
+//!           | "free" "(" expr ")" ";"
+//!           | "@" IDENT ";"
+//!           | expr ("=" expr)? ";"        // assignment or expr statement
+//! expr     := or-chain of comparisons over additive/multiplicative terms
+//! primary  := INT | "true" | "false" | "null" | IDENT | IDENT "(" args ")"
+//!           | "new" IDENT ("{" IDENT ":" expr ("," IDENT ":" expr)* "}")?
+//!           | "(" expr ")" ; postfix "->" IDENT repeatedly
+//! ```
+
+use std::fmt;
+
+use sling_logic::{Span, Symbol};
+
+use crate::ast::*;
+use crate::lexer::{lex, MiniLexError, Tok};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniParseError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl fmt::Display for MiniParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for MiniParseError {}
+
+impl From<MiniLexError> for MiniParseError {
+    fn from(e: MiniLexError) -> MiniParseError {
+        MiniParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parses a whole MiniC program.
+///
+/// # Errors
+///
+/// Returns [`MiniParseError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let program = sling_lang::parse_program(
+///     "struct Node { next: Node*; }
+///      fn id(x: Node*) -> Node* { return x; }",
+/// )?;
+/// assert_eq!(program.structs.len(), 1);
+/// assert_eq!(program.funcs.len(), 1);
+/// # Ok::<(), sling_lang::MiniParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, MiniParseError> {
+    let mut p = P::new(source)?;
+    let mut program = Program::default();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Struct => program.structs.push(p.struct_decl()?),
+            Tok::Fn => program.funcs.push(p.func_decl()?),
+            other => return Err(p.err(format!("expected `struct` or `fn`, found {other}"))),
+        }
+    }
+    Ok(program)
+}
+
+struct P {
+    toks: Vec<(Tok, Span)>,
+    pos: usize,
+}
+
+impl P {
+    fn new(source: &str) -> Result<P, MiniParseError> {
+        Ok(P { toks: lex(source)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Tok {
+        self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> Tok {
+        self.toks.get(self.pos + 1).map(|t| t.0).unwrap_or(Tok::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> (Tok, Span) {
+        let t = self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> MiniParseError {
+        MiniParseError { message, span: self.span() }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<Span, MiniParseError> {
+        if self.peek() == want {
+            Ok(self.bump().1)
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, MiniParseError> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<TyExpr, MiniParseError> {
+        match self.peek() {
+            Tok::KwInt => {
+                self.bump();
+                Ok(TyExpr::Int)
+            }
+            Tok::KwBool => {
+                self.bump();
+                Ok(TyExpr::Bool)
+            }
+            Tok::KwVoid => {
+                self.bump();
+                Ok(TyExpr::Void)
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                self.expect(Tok::Star)?;
+                Ok(TyExpr::Ptr(s))
+            }
+            other => Err(self.err(format!("expected a type, found {other}"))),
+        }
+    }
+
+    fn struct_decl(&mut self) -> Result<StructDecl, MiniParseError> {
+        let lo = self.expect(Tok::Struct)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != Tok::RBrace {
+            let fname = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let fty = self.ty()?;
+            self.expect(Tok::Semi)?;
+            fields.push((fname, fty));
+        }
+        let hi = self.expect(Tok::RBrace)?;
+        Ok(StructDecl { name, fields, span: lo.to(hi) })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, MiniParseError> {
+        let lo = self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let pty = self.ty()?;
+                params.push(Param { name: pname, ty: pty });
+                if self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let hi = self.expect(Tok::RParen)?;
+        let ret = if self.peek() == Tok::Arrow {
+            self.bump();
+            self.ty()?
+        } else {
+            TyExpr::Void
+        };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body, span: lo.to(hi) })
+    }
+
+    fn block(&mut self) -> Result<Block, MiniParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, MiniParseError> {
+        let lo = self.span();
+        match self.peek() {
+            Tok::Var => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                let init = if self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let hi = self.expect(Tok::Semi)?;
+                Ok(Stmt { kind: StmtKind::VarDecl { name, ty, init }, span: lo.to(hi) })
+            }
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.bump();
+                let label = if self.peek() == Tok::At {
+                    self.bump();
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::While { label, cond, body }, span: lo })
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let hi = self.expect(Tok::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return(value), span: lo.to(hi) })
+            }
+            Tok::Free => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let hi = self.expect(Tok::Semi)?;
+                Ok(Stmt { kind: StmtKind::Free(e), span: lo.to(hi) })
+            }
+            Tok::At => {
+                self.bump();
+                let name = self.ident()?;
+                let hi = self.expect(Tok::Semi)?;
+                Ok(Stmt { kind: StmtKind::Label(name), span: lo.to(hi) })
+            }
+            _ => {
+                // Assignment or expression statement.
+                let e = self.expr()?;
+                if self.peek() == Tok::Assign {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let hi = self.expect(Tok::Semi)?;
+                    let lhs = match e.kind {
+                        ExprKind::Var(v) => LValue::Var(v),
+                        ExprKind::Field(base, f) => LValue::Field(*base, f),
+                        _ => {
+                            return Err(MiniParseError {
+                                message: "invalid assignment target".into(),
+                                span: e.span,
+                            })
+                        }
+                    };
+                    Ok(Stmt { kind: StmtKind::Assign { lhs, rhs }, span: lo.to(hi) })
+                } else {
+                    let hi = self.expect(Tok::Semi)?;
+                    Ok(Stmt { kind: StmtKind::ExprStmt(e), span: lo.to(hi) })
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, MiniParseError> {
+        let lo = self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.peek() == Tok::Else {
+            self.bump();
+            if self.peek() == Tok::If {
+                // `else if`: wrap in a one-statement block.
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![nested] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span: lo })
+    }
+
+    // Precedence climbing: || < && < comparisons < additive < multiplicative
+    // < unary < postfix.
+    fn expr(&mut self) -> Result<Expr, MiniParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, MiniParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                let lo = self.bump().1;
+                let inner = self.unary_expr()?;
+                let span = lo.to(inner.span);
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)), span })
+            }
+            Tok::Bang => {
+                let lo = self.bump().1;
+                let inner = self.unary_expr()?;
+                let span = lo.to(inner.span);
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(inner)), span })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let mut e = self.primary_expr()?;
+        while self.peek() == Tok::Arrow {
+            self.bump();
+            let field = self.ident()?;
+            let span = e.span.to(self.span());
+            e = Expr { kind: ExprKind::Field(Box::new(e), field), span };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, MiniParseError> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Int(k) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Int(k), span })
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(true), span })
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(false), span })
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Null, span })
+            }
+            Tok::New => {
+                self.bump();
+                let ty = self.ident()?;
+                let mut inits = Vec::new();
+                if self.peek() == Tok::LBrace {
+                    self.bump();
+                    if self.peek() != Tok::RBrace {
+                        loop {
+                            let f = self.ident()?;
+                            self.expect(Tok::Colon)?;
+                            let e = self.expr()?;
+                            inits.push((f, e));
+                            if self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                Ok(Expr { kind: ExprKind::New(ty, inits), span })
+            }
+            Tok::Ident(name) => {
+                if self.peek2() == Tok::LParen {
+                    self.bump();
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let hi = self.expect(Tok::RParen)?;
+                    Ok(Expr { kind: ExprKind::Call(name, args), span: span.to(hi) })
+                } else {
+                    self.bump();
+                    Ok(Expr { kind: ExprKind::Var(name), span })
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONCAT: &str = r#"
+        struct Node { next: Node*; prev: Node*; }
+
+        fn concat(x: Node*, y: Node*) -> Node* {
+            @L1;
+            if (x == null) {
+                @L2;
+                return y;
+            } else {
+                var tmp: Node* = concat(x->next, y);
+                x->next = tmp;
+                if (tmp != null) { tmp->prev = x; }
+                @L3;
+                return x;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parse_concat() {
+        let p = parse_program(CONCAT).unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, TyExpr::Ptr(Symbol::intern("Node")));
+    }
+
+    #[test]
+    fn locations_of_concat() {
+        use crate::trace::Location;
+        let p = parse_program(CONCAT).unwrap();
+        let locs = p.locations_of(Symbol::intern("concat"));
+        assert_eq!(
+            locs,
+            vec![
+                Location::Entry,
+                Location::Label(Symbol::intern("L1")),
+                Location::Label(Symbol::intern("L2")),
+                Location::Exit(0),
+                Location::Label(Symbol::intern("L3")),
+                Location::Exit(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_while_with_label() {
+        let p = parse_program(
+            "fn f(x: Node*) {
+                 while @inv (x != null) { x = x->next; }
+             }
+             struct Node { next: Node*; }",
+        )
+        .unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::While { label, .. } => assert_eq!(*label, Some(Symbol::intern("inv"))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_new_with_inits() {
+        let p = parse_program(
+            "fn f() -> Node* { return new Node { next: null }; } struct Node { next: Node*; }",
+        )
+        .unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => assert!(matches!(e.kind, ExprKind::New(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_field_chain_assignment() {
+        let p = parse_program(
+            "fn f(x: Node*) { x->next->next = x; } struct Node { next: Node*; }",
+        )
+        .unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::Assign { lhs: LValue::Field(base, _), .. } => {
+                assert!(matches!(base.kind, ExprKind::Field(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_else_if_chain() {
+        let p = parse_program(
+            "fn f(n: int) -> int {
+                 if (n < 0) { return 0; }
+                 else if (n == 0) { return 1; }
+                 else { return 2; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_program("fn f(a: int, b: int) -> bool { return a + 2 * b == 7; }").unwrap();
+        match &p.funcs[0].body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Binary(BinOp::Eq, lhs, _) => {
+                    assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Add, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_target() {
+        assert!(parse_program("fn f() { 3 = 4; }").is_err());
+    }
+
+    #[test]
+    fn reject_garbage_toplevel() {
+        assert!(parse_program("var x: int;").is_err());
+    }
+}

@@ -1,0 +1,557 @@
+//! Random data-structure input generation (the paper's §5.2 setup).
+//!
+//! The paper runs each benchmark on "empty and randomly generated data
+//! structure inputs of a fixed size of 10". This module builds those
+//! inputs directly in a [`RtHeap`]: singly/doubly linked lists (optionally
+//! sorted or circular), binary trees, BSTs, AVL-shaped and red-black-shaped
+//! trees.
+//!
+//! Generators are parameterized by a *layout* — which field index plays
+//! which structural role — because the corpus uses many record layouts
+//! (`Node{next,prev}`, `Cell{next,data}`, `TreeNode{left,right,parent,v}`,
+//! ...). All randomness flows through a caller-provided seeded RNG, so runs
+//! are reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sling_logic::Symbol;
+use sling_models::{Loc, Val};
+
+use crate::interp::RtHeap;
+
+/// Field layout of a list node.
+#[derive(Debug, Clone, Copy)]
+pub struct ListLayout {
+    /// Structure name.
+    pub ty: Symbol,
+    /// Total number of fields.
+    pub nfields: usize,
+    /// Index of the `next` pointer.
+    pub next: usize,
+    /// Index of the `prev` pointer, for doubly linked lists.
+    pub prev: Option<usize>,
+    /// Index of an integer payload field.
+    pub data: Option<usize>,
+}
+
+/// Field layout of a binary tree node.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeLayout {
+    /// Structure name.
+    pub ty: Symbol,
+    /// Total number of fields.
+    pub nfields: usize,
+    /// Index of the left-child pointer.
+    pub left: usize,
+    /// Index of the right-child pointer.
+    pub right: usize,
+    /// Index of the parent pointer, if the layout has one.
+    pub parent: Option<usize>,
+    /// Index of an integer key field.
+    pub data: Option<usize>,
+    /// Index of a color field (0 = black, 1 = red) for red-black trees.
+    pub color: Option<usize>,
+}
+
+/// How list payloads are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataOrder {
+    /// Uniformly random values.
+    Random,
+    /// Non-decreasing values (sorted-list benchmarks).
+    Sorted,
+    /// Non-increasing values.
+    Reversed,
+}
+
+fn blank(layout_nfields: usize) -> Vec<Val> {
+    vec![Val::Nil; layout_nfields]
+}
+
+fn payload(rng: &mut StdRng, n: usize, order: DataOrder) -> Vec<i64> {
+    let mut vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+    match order {
+        DataOrder::Random => {}
+        DataOrder::Sorted => vals.sort_unstable(),
+        DataOrder::Reversed => {
+            vals.sort_unstable();
+            vals.reverse();
+        }
+    }
+    vals
+}
+
+/// Builds a nil-terminated list of `size` nodes; returns the head
+/// (`Val::Nil` when `size == 0`). Doubly linked if the layout has `prev`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sling_lang::{gen_list, DataOrder, ListLayout, RtHeap};
+/// use sling_logic::Symbol;
+///
+/// let mut heap = RtHeap::new();
+/// let layout = ListLayout {
+///     ty: Symbol::intern("Node"), nfields: 2, next: 0, prev: Some(1), data: None,
+/// };
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let head = gen_list(&mut heap, &layout, 10, DataOrder::Random, &mut rng);
+/// assert!(head.as_addr().is_some());
+/// assert_eq!(heap.live().len(), 10);
+/// ```
+pub fn gen_list(
+    heap: &mut RtHeap,
+    layout: &ListLayout,
+    size: usize,
+    order: DataOrder,
+    rng: &mut StdRng,
+) -> Val {
+    let vals = payload(rng, size, order);
+    let mut locs: Vec<Loc> = Vec::with_capacity(size);
+    for i in 0..size {
+        let mut fields = blank(layout.nfields);
+        if let Some(d) = layout.data {
+            fields[d] = Val::Int(vals[i]);
+        }
+        locs.push(heap.alloc(layout.ty, fields));
+    }
+    link_list(heap, layout, &locs, false);
+    locs.first().map(|l| Val::Addr(*l)).unwrap_or(Val::Nil)
+}
+
+/// Builds a circular list: the last node's `next` points back to the head
+/// (and the head's `prev` to the last node, for doubly linked layouts).
+/// Returns the head (`Val::Nil` when `size == 0`).
+pub fn gen_circular_list(
+    heap: &mut RtHeap,
+    layout: &ListLayout,
+    size: usize,
+    order: DataOrder,
+    rng: &mut StdRng,
+) -> Val {
+    let vals = payload(rng, size, order);
+    let mut locs: Vec<Loc> = Vec::with_capacity(size);
+    for i in 0..size {
+        let mut fields = blank(layout.nfields);
+        if let Some(d) = layout.data {
+            fields[d] = Val::Int(vals[i]);
+        }
+        locs.push(heap.alloc(layout.ty, fields));
+    }
+    link_list(heap, layout, &locs, true);
+    locs.first().map(|l| Val::Addr(*l)).unwrap_or(Val::Nil)
+}
+
+fn link_list(heap: &mut RtHeap, layout: &ListLayout, locs: &[Loc], circular: bool) {
+    let n = locs.len();
+    for (i, &loc) in locs.iter().enumerate() {
+        let next = if i + 1 < n {
+            Val::Addr(locs[i + 1])
+        } else if circular && n > 0 {
+            Val::Addr(locs[0])
+        } else {
+            Val::Nil
+        };
+        set_field(heap, loc, layout.next, next);
+        if let Some(p) = layout.prev {
+            let prev = if i > 0 {
+                Val::Addr(locs[i - 1])
+            } else if circular && n > 0 {
+                Val::Addr(locs[n - 1])
+            } else {
+                Val::Nil
+            };
+            set_field(heap, loc, p, prev);
+        }
+    }
+}
+
+/// The kind of binary tree to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Random shape, random keys.
+    Random,
+    /// Binary search tree built by inserting random distinct keys.
+    Bst,
+    /// Height-balanced BST (valid AVL) built from sorted keys.
+    Balanced,
+    /// Balanced BST with a valid red-black coloring
+    /// (requires [`TreeLayout::color`]).
+    RedBlack,
+}
+
+/// Builds a binary tree of `size` nodes; returns the root (`Val::Nil` when
+/// `size == 0`). Parent pointers are filled when the layout has them.
+///
+/// # Panics
+///
+/// Panics if `kind == TreeKind::RedBlack` and the layout has no color
+/// field.
+pub fn gen_tree(
+    heap: &mut RtHeap,
+    layout: &TreeLayout,
+    size: usize,
+    kind: TreeKind,
+    rng: &mut StdRng,
+) -> Val {
+    if size == 0 {
+        return Val::Nil;
+    }
+    let root = match kind {
+        TreeKind::Random => build_random_tree(heap, layout, size, rng),
+        TreeKind::Bst => build_bst(heap, layout, size, rng),
+        TreeKind::Balanced | TreeKind::RedBlack => {
+            let mut keys: Vec<i64> = Vec::with_capacity(size);
+            let mut k = 0i64;
+            for _ in 0..size {
+                k += rng.gen_range(1..10);
+                keys.push(k);
+            }
+            let root = build_balanced(heap, layout, &keys);
+            if kind == TreeKind::RedBlack {
+                let color =
+                    layout.color.expect("red-black generation needs a color field");
+                paint_red_black(heap, layout, root, color);
+            }
+            root
+        }
+    };
+    if let Some(p) = layout.parent {
+        fill_parents(heap, layout, root, Val::Nil, p);
+    }
+    Val::Addr(root)
+}
+
+fn new_node(heap: &mut RtHeap, layout: &TreeLayout, key: i64) -> Loc {
+    let mut fields = blank(layout.nfields);
+    if let Some(d) = layout.data {
+        fields[d] = Val::Int(key);
+    }
+    if let Some(c) = layout.color {
+        fields[c] = Val::Int(0);
+    }
+    heap.alloc(layout.ty, fields)
+}
+
+fn build_random_tree(heap: &mut RtHeap, layout: &TreeLayout, size: usize, rng: &mut StdRng) -> Loc {
+    let root = new_node(heap, layout, rng.gen_range(0..100));
+    let mut nodes = vec![root];
+    while nodes.len() < size {
+        // Pick a random node with a free child slot.
+        let candidates: Vec<Loc> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| {
+                let cell = heap.live().get(n).expect("just allocated");
+                cell.fields[layout.left] == Val::Nil || cell.fields[layout.right] == Val::Nil
+            })
+            .collect();
+        let parent = candidates[rng.gen_range(0..candidates.len())];
+        let child = new_node(heap, layout, rng.gen_range(0..100));
+        let cell = heap.live().get(parent).expect("exists");
+        let side = if cell.fields[layout.left] == Val::Nil
+            && (cell.fields[layout.right] != Val::Nil || rng.gen_bool(0.5))
+        {
+            layout.left
+        } else {
+            layout.right
+        };
+        set_field(heap, parent, side, Val::Addr(child));
+        nodes.push(child);
+    }
+    root
+}
+
+fn build_bst(heap: &mut RtHeap, layout: &TreeLayout, size: usize, rng: &mut StdRng) -> Loc {
+    let data = layout.data.expect("BST generation needs a key field");
+    // Distinct keys so lookups are unambiguous.
+    let mut keys: Vec<i64> = Vec::new();
+    while keys.len() < size {
+        let k = rng.gen_range(0..1000);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let root = new_node(heap, layout, keys[0]);
+    for &k in &keys[1..] {
+        let node = new_node(heap, layout, k);
+        let mut cur = root;
+        loop {
+            let cell = heap.live().get(cur).expect("exists");
+            let ck = cell.fields[data].as_int().expect("int key");
+            let side = if k < ck { layout.left } else { layout.right };
+            match cell.fields[side] {
+                Val::Addr(next) => cur = next,
+                _ => {
+                    set_field(heap, cur, side, Val::Addr(node));
+                    break;
+                }
+            }
+        }
+    }
+    root
+}
+
+fn build_balanced(heap: &mut RtHeap, layout: &TreeLayout, keys: &[i64]) -> Loc {
+    let mid = keys.len() / 2;
+    let node = new_node(heap, layout, keys[mid]);
+    if mid > 0 {
+        let left = build_balanced(heap, layout, &keys[..mid]);
+        set_field(heap, node, layout.left, Val::Addr(left));
+    }
+    if mid + 1 < keys.len() {
+        let right = build_balanced(heap, layout, &keys[mid + 1..]);
+        set_field(heap, node, layout.right, Val::Addr(right));
+    }
+    node
+}
+
+/// Colors a balanced tree as a valid red-black tree: nodes at the maximum
+/// depth are red (unless the root), everything else black. Because the
+/// balanced builder keeps depths within one level, every nil leaf then
+/// sees the same number of black nodes.
+fn paint_red_black(heap: &mut RtHeap, layout: &TreeLayout, root: Loc, color: usize) {
+    fn depths(heap: &RtHeap, layout: &TreeLayout, n: Loc, d: usize, out: &mut Vec<(Loc, usize)>) {
+        out.push((n, d));
+        let cell = heap.live().get(n).expect("exists");
+        if let Val::Addr(l) = cell.fields[layout.left] {
+            depths(heap, layout, l, d + 1, out);
+        }
+        if let Val::Addr(r) = cell.fields[layout.right] {
+            depths(heap, layout, r, d + 1, out);
+        }
+    }
+    let mut all = Vec::new();
+    depths(heap, layout, root, 1, &mut all);
+    let max_d = all.iter().map(|(_, d)| *d).max().unwrap_or(1);
+    for (loc, d) in all {
+        let red = d == max_d && max_d > 1;
+        set_field(heap, loc, color, Val::Int(red as i64));
+    }
+}
+
+fn fill_parents(heap: &mut RtHeap, layout: &TreeLayout, node: Loc, parent: Val, pidx: usize) {
+    set_field(heap, node, pidx, parent);
+    let cell = heap.live().get(node).expect("exists").clone();
+    if let Val::Addr(l) = cell.fields[layout.left] {
+        fill_parents(heap, layout, l, Val::Addr(node), pidx);
+    }
+    if let Val::Addr(r) = cell.fields[layout.right] {
+        fill_parents(heap, layout, r, Val::Addr(node), pidx);
+    }
+}
+
+fn set_field(heap: &mut RtHeap, loc: Loc, idx: usize, val: Val) {
+    // Direct structural write; cells were allocated by this module.
+    let cell = heap
+        .live_mut(loc)
+        .expect("generator writes only to cells it allocated");
+    cell.fields[idx] = val;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn list_layout(dll: bool, data: bool) -> ListLayout {
+        ListLayout {
+            ty: Symbol::intern("G"),
+            nfields: 3,
+            next: 0,
+            prev: dll.then_some(1),
+            data: data.then_some(2),
+        }
+    }
+
+    fn tree_layout() -> TreeLayout {
+        TreeLayout {
+            ty: Symbol::intern("T"),
+            nfields: 5,
+            left: 0,
+            right: 1,
+            parent: Some(2),
+            data: Some(3),
+            color: Some(4),
+        }
+    }
+
+    fn walk_list(heap: &RtHeap, head: Val, next: usize, limit: usize) -> Vec<Loc> {
+        let mut out = Vec::new();
+        let mut cur = head;
+        while let Val::Addr(l) = cur {
+            if out.contains(&l) || out.len() > limit {
+                break;
+            }
+            out.push(l);
+            cur = heap.live().get(l).unwrap().fields[next];
+        }
+        out
+    }
+
+    #[test]
+    fn sll_is_nil_terminated() {
+        let mut heap = RtHeap::new();
+        let head = gen_list(&mut heap, &list_layout(false, true), 10, DataOrder::Random, &mut rng());
+        let locs = walk_list(&heap, head, 0, 20);
+        assert_eq!(locs.len(), 10);
+        let last = heap.live().get(*locs.last().unwrap()).unwrap();
+        assert_eq!(last.fields[0], Val::Nil);
+    }
+
+    #[test]
+    fn empty_list_is_nil() {
+        let mut heap = RtHeap::new();
+        assert_eq!(
+            gen_list(&mut heap, &list_layout(false, false), 0, DataOrder::Random, &mut rng()),
+            Val::Nil
+        );
+        assert!(heap.live().is_empty());
+    }
+
+    #[test]
+    fn dll_prev_pointers_consistent() {
+        let mut heap = RtHeap::new();
+        let head = gen_list(&mut heap, &list_layout(true, false), 5, DataOrder::Random, &mut rng());
+        let locs = walk_list(&heap, head, 0, 10);
+        assert_eq!(locs.len(), 5);
+        assert_eq!(heap.live().get(locs[0]).unwrap().fields[1], Val::Nil);
+        for w in locs.windows(2) {
+            assert_eq!(heap.live().get(w[1]).unwrap().fields[1], Val::Addr(w[0]));
+        }
+    }
+
+    #[test]
+    fn sorted_list_is_sorted() {
+        let mut heap = RtHeap::new();
+        let head = gen_list(&mut heap, &list_layout(false, true), 10, DataOrder::Sorted, &mut rng());
+        let locs = walk_list(&heap, head, 0, 20);
+        let vals: Vec<i64> =
+            locs.iter().map(|l| heap.live().get(*l).unwrap().fields[2].as_int().unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn circular_list_wraps() {
+        let mut heap = RtHeap::new();
+        let head =
+            gen_circular_list(&mut heap, &list_layout(true, false), 4, DataOrder::Random, &mut rng());
+        let Val::Addr(first) = head else { panic!("non-empty") };
+        let locs = walk_list(&heap, head, 0, 10);
+        assert_eq!(locs.len(), 4);
+        let last = *locs.last().unwrap();
+        assert_eq!(heap.live().get(last).unwrap().fields[0], Val::Addr(first));
+        assert_eq!(heap.live().get(first).unwrap().fields[1], Val::Addr(last));
+    }
+
+    #[test]
+    fn bst_property_holds() {
+        let mut heap = RtHeap::new();
+        let layout = tree_layout();
+        let root = gen_tree(&mut heap, &layout, 10, TreeKind::Bst, &mut rng());
+        let Val::Addr(root) = root else { panic!("non-empty") };
+        fn check(heap: &RtHeap, layout: &TreeLayout, n: Loc, lo: i64, hi: i64, count: &mut usize) {
+            *count += 1;
+            let cell = heap.live().get(n).unwrap();
+            let k = cell.fields[layout.data.unwrap()].as_int().unwrap();
+            assert!(lo <= k && k < hi, "BST violation: {k} not in [{lo},{hi})");
+            if let Val::Addr(l) = cell.fields[layout.left] {
+                check(heap, layout, l, lo, k, count);
+            }
+            if let Val::Addr(r) = cell.fields[layout.right] {
+                check(heap, layout, r, k, hi, count);
+            }
+        }
+        let mut count = 0;
+        check(&heap, &layout, root, i64::MIN, i64::MAX, &mut count);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn balanced_tree_is_avl() {
+        let mut heap = RtHeap::new();
+        let layout = tree_layout();
+        let root = gen_tree(&mut heap, &layout, 12, TreeKind::Balanced, &mut rng());
+        let Val::Addr(root) = root else { panic!("non-empty") };
+        fn height(heap: &RtHeap, layout: &TreeLayout, n: Val) -> i64 {
+            match n {
+                Val::Addr(l) => {
+                    let cell = heap.live().get(l).unwrap();
+                    let lh = height(heap, layout, cell.fields[layout.left]);
+                    let rh = height(heap, layout, cell.fields[layout.right]);
+                    assert!((lh - rh).abs() <= 1, "AVL violation");
+                    1 + lh.max(rh)
+                }
+                _ => 0,
+            }
+        }
+        height(&heap, &layout, Val::Addr(root));
+    }
+
+    #[test]
+    fn red_black_invariants() {
+        let mut heap = RtHeap::new();
+        let layout = tree_layout();
+        for size in [1usize, 3, 7, 10, 12] {
+            let mut heap2 = RtHeap::new();
+            let root = gen_tree(&mut heap2, &layout, size, TreeKind::RedBlack, &mut rng());
+            let Val::Addr(root) = root else { panic!("non-empty") };
+            let cidx = layout.color.unwrap();
+            // Root is black.
+            assert_eq!(heap2.live().get(root).unwrap().fields[cidx], Val::Int(0));
+            // No red-red edges; equal black height to all nil leaves.
+            fn bh(heap: &RtHeap, layout: &TreeLayout, n: Val, parent_red: bool, cidx: usize) -> i64 {
+                match n {
+                    Val::Addr(l) => {
+                        let cell = heap.live().get(l).unwrap();
+                        let red = cell.fields[cidx] == Val::Int(1);
+                        assert!(!(red && parent_red), "red-red violation");
+                        let lb = bh(heap, layout, cell.fields[layout.left], red, cidx);
+                        let rb = bh(heap, layout, cell.fields[layout.right], red, cidx);
+                        assert_eq!(lb, rb, "black-height violation");
+                        lb + (!red as i64)
+                    }
+                    _ => 1,
+                }
+            }
+            bh(&heap2, &layout, Val::Addr(root), false, cidx);
+            let _ = &mut heap; // silence unused in the loop
+        }
+    }
+
+    #[test]
+    fn parent_pointers_filled() {
+        let mut heap = RtHeap::new();
+        let layout = tree_layout();
+        let root = gen_tree(&mut heap, &layout, 8, TreeKind::Random, &mut rng());
+        let Val::Addr(root) = root else { panic!("non-empty") };
+        assert_eq!(heap.live().get(root).unwrap().fields[2], Val::Nil);
+        fn check(heap: &RtHeap, layout: &TreeLayout, n: Loc) {
+            let cell = heap.live().get(n).unwrap().clone();
+            for side in [layout.left, layout.right] {
+                if let Val::Addr(c) = cell.fields[side] {
+                    assert_eq!(heap.live().get(c).unwrap().fields[2], Val::Addr(n));
+                    check(heap, layout, c);
+                }
+            }
+        }
+        check(&heap, &layout, root);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let build = || {
+            let mut heap = RtHeap::new();
+            let mut r = StdRng::seed_from_u64(123);
+            gen_list(&mut heap, &list_layout(true, true), 10, DataOrder::Random, &mut r);
+            format!("{}", heap.live())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,235 @@
+//! The embedded debugger: breakpoint locations and stack-heap snapshots.
+//!
+//! This module replaces the paper's LLDB usage (§2.2, §5.2). The
+//! interpreter calls into a [`Tracer`] whenever execution of the *target
+//! function* reaches a breakpoint: the function entry, a `@label;`
+//! statement, a labelled loop head (before every condition evaluation), or
+//! a `return` (where the ghost variable `res` is bound to the return
+//! value).
+//!
+//! A snapshot's heap contains the cells *reachable from the in-scope stack
+//! variables* — exactly what a debugger can walk from the locals. The
+//! LLDB quirk the paper reports in §5.3 (a `free(x)` does not make the
+//! memory unobservable, so traces through dangling pointers contain stale
+//! cells) is reproduced by [`TraceConfig::observe_freed`]: freed cells
+//! remain visible to the traversal and mark the snapshot *tainted*, which
+//! is what makes the affected invariants spurious in Table 1.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sling_logic::Symbol;
+use sling_models::{Heap, Loc, Stack, StackHeapModel, Val};
+
+/// A breakpoint location within the target function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// Function entry (preconditions).
+    Entry,
+    /// The `i`-th `return` statement in source order (postconditions).
+    Exit(usize),
+    /// A `@name;` statement.
+    Label(Symbol),
+    /// A labelled loop head, hit before each condition evaluation
+    /// (loop invariants).
+    LoopHead(Symbol),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Entry => f.write_str("entry"),
+            Location::Exit(i) => write!(f, "exit#{i}"),
+            Location::Label(s) => write!(f, "@{s}"),
+            Location::LoopHead(s) => write!(f, "loop@{s}"),
+        }
+    }
+}
+
+/// One observation: a stack-heap model at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Where it was taken.
+    pub location: Location,
+    /// The observed stack-heap model.
+    pub model: StackHeapModel,
+    /// True if the heap contains freed-but-observable cells (the paper's
+    /// "invalid traces"; invariants derived from them are spurious).
+    pub tainted: bool,
+    /// Which dynamic activation of the target function this snapshot
+    /// belongs to (1-based). Entry and exit snapshots with the same
+    /// activation pair up for the frame-rule validation (§4.4).
+    pub activation: u64,
+}
+
+/// Tracer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// If true (default — mirrors LLDB), freed cells that are still
+    /// referenced are included in snapshots and taint them.
+    pub observe_freed: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { observe_freed: true }
+    }
+}
+
+/// Collects snapshots of a single target function during a run.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    /// The traced function.
+    pub target: Symbol,
+    /// Configuration.
+    pub config: TraceConfig,
+    /// Snapshots in execution order.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl Tracer {
+    /// Creates a tracer for `target` with the given configuration.
+    pub fn new(target: Symbol, config: TraceConfig) -> Tracer {
+        Tracer { target, config, snapshots: Vec::new() }
+    }
+
+    /// Records a snapshot. `live` and `freed` are the interpreter's two
+    /// heap views; the snapshot heap is the subset reachable from `roots`
+    /// — typically the pointer values of *every* frame on the call stack,
+    /// the way a debugger walks the whole backtrace (see the §4.4
+    /// discussion: inner activations still observe outer frames' cells).
+    pub fn record(
+        &mut self,
+        location: Location,
+        stack: Stack,
+        roots: &[Val],
+        live: &Heap,
+        freed: &Heap,
+        activation: u64,
+    ) {
+        let (heap, tainted) = reachable_view(roots, live, freed, self.config.observe_freed);
+        self.snapshots.push(Snapshot {
+            location,
+            model: StackHeapModel::new(stack, heap),
+            tainted,
+            activation,
+        });
+    }
+
+    /// Snapshots taken at `location`, in execution order.
+    pub fn at(&self, location: Location) -> Vec<&Snapshot> {
+        self.snapshots.iter().filter(|s| s.location == location).collect()
+    }
+
+    /// The distinct locations observed, in source-independent (sorted)
+    /// order.
+    pub fn locations(&self) -> Vec<Location> {
+        let set: BTreeSet<Location> = self.snapshots.iter().map(|s| s.location).collect();
+        set.into_iter().collect()
+    }
+}
+
+/// Computes the sub-heap reachable from the root values, walking `live`
+/// cells and — when `observe_freed` — `freed` cells as well. Returns the
+/// view and whether any freed cell leaked into it.
+fn reachable_view(roots: &[Val], live: &Heap, freed: &Heap, observe_freed: bool) -> (Heap, bool) {
+    let mut out = Heap::new();
+    let mut tainted = false;
+    let mut work: Vec<Loc> = roots.iter().filter_map(|v| v.as_addr()).collect();
+    let mut seen: BTreeSet<Loc> = BTreeSet::new();
+    while let Some(loc) = work.pop() {
+        if !seen.insert(loc) {
+            continue;
+        }
+        let cell = if let Some(c) = live.get(loc) {
+            Some(c)
+        } else if observe_freed {
+            let c = freed.get(loc);
+            if c.is_some() {
+                tainted = true;
+            }
+            c
+        } else {
+            None
+        };
+        let Some(cell) = cell else { continue };
+        out.insert(loc, cell.clone());
+        work.extend(cell.out_edges());
+    }
+    (out, tainted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_models::HeapCell;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn l(n: u64) -> Loc {
+        Loc::new(n)
+    }
+
+    fn cell(next: Val) -> HeapCell {
+        HeapCell::new(sym("N"), vec![next])
+    }
+
+    #[test]
+    fn snapshot_is_reachable_subset() {
+        let mut live = Heap::new();
+        live.insert(l(1), cell(Val::Addr(l(2))));
+        live.insert(l(2), cell(Val::Nil));
+        live.insert(l(9), cell(Val::Nil)); // unreachable
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Addr(l(1)));
+        let mut t = Tracer::new(sym("f"), TraceConfig::default());
+        let roots: Vec<Val> = stack.iter().map(|(_, v)| v).collect();
+        t.record(Location::Entry, stack, &roots, &live, &Heap::new(), 1);
+        let snap = &t.snapshots[0];
+        assert_eq!(snap.model.heap.len(), 2);
+        assert!(!snap.model.heap.contains(l(9)));
+        assert!(!snap.tainted);
+    }
+
+    #[test]
+    fn freed_cells_taint_when_observed() {
+        let mut live = Heap::new();
+        live.insert(l(1), cell(Val::Addr(l(2))));
+        let mut freed = Heap::new();
+        freed.insert(l(2), cell(Val::Nil));
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Addr(l(1)));
+
+        let mut t = Tracer::new(sym("f"), TraceConfig { observe_freed: true });
+        let roots: Vec<Val> = stack.iter().map(|(_, v)| v).collect();
+        t.record(Location::Entry, stack.clone(), &roots, &live, &freed, 1);
+        assert!(t.snapshots[0].tainted);
+        assert_eq!(t.snapshots[0].model.heap.len(), 2);
+
+        let mut t = Tracer::new(sym("f"), TraceConfig { observe_freed: false });
+        t.record(Location::Entry, stack, &roots, &live, &freed, 1);
+        assert!(!t.snapshots[0].tainted);
+        assert_eq!(t.snapshots[0].model.heap.len(), 1);
+    }
+
+    #[test]
+    fn at_filters_by_location() {
+        let mut t = Tracer::new(sym("f"), TraceConfig::default());
+        t.record(Location::Entry, Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
+        t.record(Location::Exit(0), Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
+        t.record(Location::Entry, Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
+        assert_eq!(t.at(Location::Entry).len(), 2);
+        assert_eq!(t.at(Location::Exit(0)).len(), 1);
+        assert_eq!(t.locations().len(), 2);
+    }
+
+    #[test]
+    fn location_display() {
+        assert_eq!(Location::Entry.to_string(), "entry");
+        assert_eq!(Location::Exit(1).to_string(), "exit#1");
+        assert_eq!(Location::Label(sym("L3")).to_string(), "@L3");
+        assert_eq!(Location::LoopHead(sym("inv")).to_string(), "loop@inv");
+    }
+}

@@ -1,0 +1,521 @@
+//! Static checks for MiniC: name resolution and type checking.
+//!
+//! The checker enforces:
+//!
+//! * structures are unique, fields are unique, pointer fields name known
+//!   structures;
+//! * functions are unique; parameters and locals are well-typed; no
+//!   variable shadowing (so a snapshot's stack is unambiguous);
+//! * conditions are `bool`; arithmetic is over `int`; equality comparisons
+//!   are between same-typed values; `->` is applied to pointers with the
+//!   named field; calls match arity and parameter types;
+//! * `return` values match the declared return type;
+//! * breakpoint labels (statement labels and loop labels) are unique per
+//!   function.
+//!
+//! "All paths return" is *not* checked statically: falling off the end of
+//! a non-void function is a runtime error, mirroring C's undefined
+//! behaviour without the undefinedness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sling_logic::{Span, Symbol};
+
+use crate::ast::*;
+
+/// A static error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Checks a program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+///
+/// # Examples
+///
+/// ```
+/// let p = sling_lang::parse_program(
+///     "struct Node { next: Node*; }
+///      fn len(x: Node*) -> int {
+///          var n: int = 0;
+///          while (x != null) { n = n + 1; x = x->next; }
+///          return n;
+///      }",
+/// )?;
+/// sling_lang::check_program(&p)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_program(program: &Program) -> Result<(), TypeError> {
+    let mut structs: BTreeMap<Symbol, &StructDecl> = BTreeMap::new();
+    for s in &program.structs {
+        if structs.insert(s.name, s).is_some() {
+            return Err(TypeError { message: format!("duplicate struct `{}`", s.name), span: s.span });
+        }
+        let mut names = BTreeSet::new();
+        for (fname, _) in &s.fields {
+            if !names.insert(*fname) {
+                return Err(TypeError {
+                    message: format!("duplicate field `{fname}` in struct `{}`", s.name),
+                    span: s.span,
+                });
+            }
+        }
+    }
+    // Pointer fields must name known structs.
+    for s in &program.structs {
+        for (fname, fty) in &s.fields {
+            if let TyExpr::Ptr(t) = fty {
+                if !structs.contains_key(t) {
+                    return Err(TypeError {
+                        message: format!("field `{fname}` points to unknown struct `{t}`"),
+                        span: s.span,
+                    });
+                }
+            }
+            if *fty == TyExpr::Void {
+                return Err(TypeError {
+                    message: format!("field `{fname}` cannot be void"),
+                    span: s.span,
+                });
+            }
+        }
+    }
+
+    let mut funcs: BTreeMap<Symbol, &FuncDecl> = BTreeMap::new();
+    for f in &program.funcs {
+        if funcs.insert(f.name, f).is_some() {
+            return Err(TypeError {
+                message: format!("duplicate function `{}`", f.name),
+                span: f.span,
+            });
+        }
+    }
+
+    for f in &program.funcs {
+        Checker { structs: &structs, funcs: &funcs, func: f, scopes: Vec::new(), labels: BTreeSet::new() }
+            .check_func()?;
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    structs: &'a BTreeMap<Symbol, &'a StructDecl>,
+    funcs: &'a BTreeMap<Symbol, &'a FuncDecl>,
+    func: &'a FuncDecl,
+    scopes: Vec<BTreeMap<Symbol, TyExpr>>,
+    labels: BTreeSet<Symbol>,
+}
+
+impl Checker<'_> {
+    fn check_func(mut self) -> Result<(), TypeError> {
+        let mut top = BTreeMap::new();
+        for p in &self.func.params {
+            self.check_value_ty(p.ty, self.func.span)?;
+            if top.insert(p.name, p.ty).is_some() {
+                return Err(TypeError {
+                    message: format!("duplicate parameter `{}`", p.name),
+                    span: self.func.span,
+                });
+            }
+        }
+        self.scopes.push(top);
+        let body = self.func.body.clone();
+        self.check_block(&body)?;
+        Ok(())
+    }
+
+    fn check_value_ty(&self, ty: TyExpr, span: Span) -> Result<(), TypeError> {
+        match ty {
+            TyExpr::Ptr(t) if !self.structs.contains_key(&t) => {
+                Err(TypeError { message: format!("unknown struct `{t}`"), span })
+            }
+            TyExpr::Void => Err(TypeError { message: "void is not a value type".into(), span }),
+            _ => Ok(()),
+        }
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<TyExpr> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name).copied())
+    }
+
+    fn declare(&mut self, name: Symbol, ty: TyExpr, span: Span) -> Result<(), TypeError> {
+        if self.lookup(name).is_some() {
+            return Err(TypeError {
+                message: format!("variable `{name}` shadows an existing binding"),
+                span,
+            });
+        }
+        self.scopes.last_mut().expect("scope").insert(name, ty);
+        Ok(())
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<(), TypeError> {
+        self.scopes.push(BTreeMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), TypeError> {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, ty, init } => {
+                self.check_value_ty(*ty, stmt.span)?;
+                if let Some(e) = init {
+                    let ety = self.check_expr(e)?;
+                    self.compat(*ty, ety, e.span)?;
+                }
+                self.declare(*name, *ty, stmt.span)
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let lty = match lhs {
+                    LValue::Var(v) => self.lookup(*v).ok_or_else(|| TypeError {
+                        message: format!("unknown variable `{v}`"),
+                        span: stmt.span,
+                    })?,
+                    LValue::Field(base, field) => self.field_ty(base, *field)?,
+                };
+                let rty = self.check_expr(rhs)?;
+                self.compat(lty, rty, rhs.span)
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let cty = self.check_expr(cond)?;
+                self.compat(TyExpr::Bool, cty, cond.span)?;
+                self.check_block(then_blk)?;
+                if let Some(e) = else_blk {
+                    self.check_block(e)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { label, cond, body } => {
+                if let Some(l) = label {
+                    self.declare_label(*l, stmt.span)?;
+                }
+                let cty = self.check_expr(cond)?;
+                self.compat(TyExpr::Bool, cty, cond.span)?;
+                self.check_block(body)
+            }
+            StmtKind::Return(value) => match (value, self.func.ret) {
+                (None, TyExpr::Void) => Ok(()),
+                (None, ret) => Err(TypeError {
+                    message: format!("function returns {ret}; `return;` has no value"),
+                    span: stmt.span,
+                }),
+                (Some(_), TyExpr::Void) => Err(TypeError {
+                    message: "void function returns a value".into(),
+                    span: stmt.span,
+                }),
+                (Some(e), ret) => {
+                    let ety = self.check_expr(e)?;
+                    self.compat(ret, ety, e.span)
+                }
+            },
+            StmtKind::Free(e) => {
+                let ty = self.check_expr(e)?;
+                match ty {
+                    TyExpr::Ptr(_) => Ok(()),
+                    other => Err(TypeError {
+                        message: format!("free() needs a pointer, got {other}"),
+                        span: e.span,
+                    }),
+                }
+            }
+            StmtKind::ExprStmt(e) => {
+                self.check_expr(e)?;
+                Ok(())
+            }
+            StmtKind::Label(l) => self.declare_label(*l, stmt.span),
+        }
+    }
+
+    fn declare_label(&mut self, l: Symbol, span: Span) -> Result<(), TypeError> {
+        if !self.labels.insert(l) {
+            return Err(TypeError {
+                message: format!("duplicate breakpoint label `@{l}` in `{}`", self.func.name),
+                span,
+            });
+        }
+        Ok(())
+    }
+
+    fn field_ty(&mut self, base: &Expr, field: Symbol) -> Result<TyExpr, TypeError> {
+        let bty = self.check_expr(base)?;
+        let TyExpr::Ptr(sname) = bty else {
+            return Err(TypeError {
+                message: format!("`->` applied to non-pointer ({bty})"),
+                span: base.span,
+            });
+        };
+        let sdef = self.structs.get(&sname).expect("checked");
+        sdef.fields
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, t)| *t)
+            .ok_or_else(|| TypeError {
+                message: format!("struct `{sname}` has no field `{field}`"),
+                span: base.span,
+            })
+    }
+
+    /// `expected` is satisfied by `actual`? Null is compatible with any
+    /// pointer (the parser types `null` as a wildcard pointer).
+    fn compat(&self, expected: TyExpr, actual: TyExpr, span: Span) -> Result<(), TypeError> {
+        let ok = match (expected, actual) {
+            (a, b) if a == b => true,
+            (TyExpr::Ptr(_), TyExpr::Ptr(n)) if n == null_struct() => true,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(TypeError { message: format!("expected {expected}, found {actual}"), span })
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<TyExpr, TypeError> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(TyExpr::Int),
+            ExprKind::Bool(_) => Ok(TyExpr::Bool),
+            ExprKind::Null => Ok(TyExpr::Ptr(null_struct())),
+            ExprKind::Var(v) => self.lookup(*v).ok_or_else(|| TypeError {
+                message: format!("unknown variable `{v}`"),
+                span: e.span,
+            }),
+            ExprKind::Field(base, f) => self.field_ty(base, *f),
+            ExprKind::New(sname, inits) => {
+                let Some(sdef) = self.structs.get(sname).copied() else {
+                    return Err(TypeError {
+                        message: format!("unknown struct `{sname}`"),
+                        span: e.span,
+                    });
+                };
+                let mut seen = BTreeSet::new();
+                for (fname, fexpr) in inits {
+                    let Some((_, fty)) = sdef.fields.iter().find(|(f, _)| f == fname) else {
+                        return Err(TypeError {
+                            message: format!("struct `{sname}` has no field `{fname}`"),
+                            span: fexpr.span,
+                        });
+                    };
+                    if !seen.insert(*fname) {
+                        return Err(TypeError {
+                            message: format!("field `{fname}` initialized twice"),
+                            span: fexpr.span,
+                        });
+                    }
+                    let ety = self.check_expr(fexpr)?;
+                    self.compat(*fty, ety, fexpr.span)?;
+                }
+                Ok(TyExpr::Ptr(*sname))
+            }
+            ExprKind::Unary(op, inner) => {
+                let ity = self.check_expr(inner)?;
+                match op {
+                    UnOp::Neg => self.compat(TyExpr::Int, ity, inner.span).map(|_| TyExpr::Int),
+                    UnOp::Not => self.compat(TyExpr::Bool, ity, inner.span).map(|_| TyExpr::Bool),
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let aty = self.check_expr(a)?;
+                let bty = self.check_expr(b)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        self.compat(TyExpr::Int, aty, a.span)?;
+                        self.compat(TyExpr::Int, bty, b.span)?;
+                        Ok(TyExpr::Int)
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        self.compat(TyExpr::Int, aty, a.span)?;
+                        self.compat(TyExpr::Int, bty, b.span)?;
+                        Ok(TyExpr::Bool)
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        // Same type, or pointer vs null in either order.
+                        let ok = aty == bty
+                            || matches!((aty, bty),
+                                (TyExpr::Ptr(_), TyExpr::Ptr(n)) | (TyExpr::Ptr(n), TyExpr::Ptr(_))
+                                    if n == null_struct());
+                        if !ok {
+                            return Err(TypeError {
+                                message: format!("cannot compare {aty} with {bty}"),
+                                span: e.span,
+                            });
+                        }
+                        Ok(TyExpr::Bool)
+                    }
+                    BinOp::And | BinOp::Or => {
+                        self.compat(TyExpr::Bool, aty, a.span)?;
+                        self.compat(TyExpr::Bool, bty, b.span)?;
+                        Ok(TyExpr::Bool)
+                    }
+                }
+            }
+            ExprKind::Call(fname, args) => {
+                let Some(fdef) = self.funcs.get(fname).copied() else {
+                    return Err(TypeError {
+                        message: format!("unknown function `{fname}`"),
+                        span: e.span,
+                    });
+                };
+                if fdef.params.len() != args.len() {
+                    return Err(TypeError {
+                        message: format!(
+                            "`{fname}` expects {} arguments, got {}",
+                            fdef.params.len(),
+                            args.len()
+                        ),
+                        span: e.span,
+                    });
+                }
+                for (p, a) in fdef.params.iter().zip(args) {
+                    let aty = self.check_expr(a)?;
+                    self.compat(p.ty, aty, a.span)?;
+                }
+                Ok(fdef.ret)
+            }
+        }
+    }
+}
+
+/// The wildcard "struct name" used to type `null` before unification.
+/// Never clashes with user structs because `!` is not a valid identifier
+/// character in MiniC.
+pub(crate) fn null_struct() -> Symbol {
+    Symbol::intern("!null")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), TypeError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_concat() {
+        check(
+            "struct Node { next: Node*; prev: Node*; }
+             fn concat(x: Node*, y: Node*) -> Node* {
+                 if (x == null) { return y; }
+                 else {
+                     var tmp: Node* = concat(x->next, y);
+                     x->next = tmp;
+                     if (tmp != null) { tmp->prev = x; }
+                     return x;
+                 }
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = check("fn f() { x = 3; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_shadowing() {
+        let err = check(
+            "fn f(x: int) { if (x == 0) { var x: int = 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("shadows"));
+    }
+
+    #[test]
+    fn rejects_bad_field() {
+        let err = check(
+            "struct Node { next: Node*; } fn f(x: Node*) -> Node* { return x->prev; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no field"));
+    }
+
+    #[test]
+    fn rejects_int_condition() {
+        let err = check("fn f(n: int) { if (n) { } }").unwrap_err();
+        assert!(err.message.contains("expected bool"));
+    }
+
+    #[test]
+    fn rejects_ptr_arith() {
+        let err = check(
+            "struct Node { next: Node*; } fn f(x: Node*) -> int { return x + 1; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expected int"));
+    }
+
+    #[test]
+    fn null_compares_with_any_pointer() {
+        check(
+            "struct A { x: int; } struct B { y: int; }
+             fn f(a: A*, b: B*) -> bool { return a == null || b != null; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_cross_struct_compare() {
+        let err = check(
+            "struct A { x: int; } struct B { y: int; }
+             fn f(a: A*, b: B*) -> bool { return a == b; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cannot compare"));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let err = check("fn f() { @a; @a; }").unwrap_err();
+        assert!(err.message.contains("duplicate breakpoint label"));
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let err = check("fn f() -> int { return true; }").unwrap_err();
+        assert!(err.message.contains("expected int"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = check("fn g(n: int) -> int { return n; } fn f() -> int { return g(); }")
+            .unwrap_err();
+        assert!(err.message.contains("expects 1 arguments"));
+    }
+
+    #[test]
+    fn rejects_unknown_ptr_field_struct() {
+        let err = check("struct A { x: Ghost*; }").unwrap_err();
+        assert!(err.message.contains("unknown struct"));
+    }
+
+    #[test]
+    fn new_with_bad_init_rejected() {
+        let err = check(
+            "struct Node { next: Node*; } fn f() -> Node* { return new Node { data: 3 }; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no field"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Lexer for the SL predicate / formula surface syntax.
+
+use std::fmt;
+
+use crate::span::Span;
+use crate::symbol::Symbol;
+
+/// A lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (variable, predicate, struct, or field name).
+    Ident(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// `pred`
+    KwPred,
+    /// `exists`
+    KwExists,
+    /// `emp`
+    KwEmp,
+    /// `nil` (also accepts `null`)
+    KwNil,
+    /// `int`
+    KwInt,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `->`
+    Arrow,
+    /// `:=`
+    ColonEq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(k) => write!(f, "integer `{k}`"),
+            Token::KwPred => f.write_str("`pred`"),
+            Token::KwExists => f.write_str("`exists`"),
+            Token::KwEmp => f.write_str("`emp`"),
+            Token::KwNil => f.write_str("`nil`"),
+            Token::KwInt => f.write_str("`int`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::LBrace => f.write_str("`{`"),
+            Token::RBrace => f.write_str("`}`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Colon => f.write_str("`:`"),
+            Token::Semi => f.write_str("`;`"),
+            Token::Dot => f.write_str("`.`"),
+            Token::Pipe => f.write_str("`|`"),
+            Token::Star => f.write_str("`*`"),
+            Token::Amp => f.write_str("`&`"),
+            Token::Arrow => f.write_str("`->`"),
+            Token::ColonEq => f.write_str("`:=`"),
+            Token::EqEq => f.write_str("`==`"),
+            Token::BangEq => f.write_str("`!=`"),
+            Token::Lt => f.write_str("`<`"),
+            Token::Le => f.write_str("`<=`"),
+            Token::Gt => f.write_str("`>`"),
+            Token::Ge => f.write_str("`>=`"),
+            Token::Plus => f.write_str("`+`"),
+            Token::Minus => f.write_str("`-`"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexing error: an unexpected character or malformed literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where it happened.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source`, returning tokens with their spans. The final token is
+/// always [`Token::Eof`].
+///
+/// Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unexpected character or an integer literal
+/// that overflows `i64`.
+pub fn lex(source: &str) -> Result<Vec<(Token, Span)>, LexError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let lo = i as u32;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((Token::LParen, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '{' => {
+                out.push((Token::LBrace, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '}' => {
+                out.push((Token::RBrace, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            ';' => {
+                out.push((Token::Semi, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '.' => {
+                out.push((Token::Dot, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '|' => {
+                out.push((Token::Pipe, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '*' => {
+                out.push((Token::Star, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '&' => {
+                out.push((Token::Amp, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '+' => {
+                out.push((Token::Plus, Span::new(lo, lo + 1)));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Token::Arrow, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    out.push((Token::Minus, Span::new(lo, lo + 1)));
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::ColonEq, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    out.push((Token::Colon, Span::new(lo, lo + 1)));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::EqEq, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `==` (single `=` is not a token)".into(),
+                        span: Span::new(lo, lo + 1),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::BangEq, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `!=`".into(),
+                        span: Span::new(lo, lo + 1),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Le, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    out.push((Token::Lt, Span::new(lo, lo + 1)));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Ge, Span::new(lo, lo + 2)));
+                    i += 2;
+                } else {
+                    out.push((Token::Gt, Span::new(lo, lo + 1)));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` overflows i64"),
+                    span: Span::new(lo, i as u32),
+                })?;
+                out.push((Token::Int(value), Span::new(lo, i as u32)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let span = Span::new(lo, i as u32);
+                let tok = match text {
+                    "pred" => Token::KwPred,
+                    "exists" => Token::KwExists,
+                    "emp" => Token::KwEmp,
+                    "nil" | "null" => Token::KwNil,
+                    "int" => Token::KwInt,
+                    _ => Token::Ident(Symbol::intern(text)),
+                };
+                out.push((tok, span));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    span: Span::new(lo, lo + 1),
+                });
+            }
+        }
+    }
+    out.push((Token::Eof, Span::new(bytes.len() as u32, bytes.len() as u32)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_predicate_header() {
+        let toks = lex("pred dll(hd: Node*) :=").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::KwPred,
+                Token::Ident(Symbol::intern("dll")),
+                Token::LParen,
+                Token::Ident(Symbol::intern("hd")),
+                Token::Colon,
+                Token::Ident(Symbol::intern("Node")),
+                Token::Star,
+                Token::RParen,
+                Token::ColonEq,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex("== != <= < -> :=").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            kinds,
+            vec![Token::EqEq, Token::BangEq, Token::Le, Token::Lt, Token::Arrow, Token::ColonEq, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_comment() {
+        let toks = lex("emp // trailing words == *\n nil").unwrap();
+        assert_eq!(toks.len(), 3); // emp, nil, eof
+    }
+
+    #[test]
+    fn lex_rejects_single_eq() {
+        assert!(lex("x = y").is_err());
+    }
+
+    #[test]
+    fn lex_null_alias() {
+        let toks = lex("null").unwrap();
+        assert_eq!(toks[0].0, Token::KwNil);
+    }
+
+    #[test]
+    fn lex_int_overflow() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].1, Span::new(0, 2));
+        assert_eq!(toks[1].1, Span::new(3, 5));
+    }
+}

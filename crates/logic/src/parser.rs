@@ -1,0 +1,499 @@
+//! Recursive-descent parser for SL formulae and predicate definitions.
+//!
+//! Grammar (see the paper, Figure 4, plus a concrete `pred` declaration
+//! form):
+//!
+//! ```text
+//! preds    := pred_def*
+//! pred_def := "pred" IDENT "(" (param ("," param)*)? ")" ":=" formula ("|" formula)* ";"
+//! param    := IDENT ":" ("int" | IDENT "*"? )
+//! formula  := ("exists" IDENT ("," IDENT)* ".")? term (("*" | "&") term)*
+//! term     := "emp"
+//!           | IDENT "(" (expr ("," expr)*)? ")"              // predicate
+//!           | expr "->" IDENT "{" field ("," field)* "}"     // points-to
+//!           | expr cmp expr                                  // pure atom
+//! field    := IDENT ":" expr
+//! cmp      := "==" | "!=" | "<" | "<=" | ">" | ">="
+//! expr     := add ; multiplication only inside parentheses: "(" INT "*" expr ")"
+//! ```
+//!
+//! `*` separates spatial atoms, `&` introduces pure atoms; pure atoms must
+//! follow the spatial ones (the symbolic-heap normal form `Σ ∧ Π`).
+
+use std::fmt;
+
+use crate::ast::{Expr, FieldAssign, PureAtom, SpatialAtom, SymHeap};
+use crate::lexer::{lex, LexError, Token};
+use crate::pred::{PredDef, PredParam};
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::types::FieldTy;
+
+/// A parse error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parses a single symbolic-heap formula.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+///
+/// # Examples
+///
+/// ```
+/// use sling_logic::parse_formula;
+///
+/// let f = parse_formula("exists u. dll(x, nil, u, y) & x != nil")?;
+/// assert_eq!(f.pred_count(), 1);
+/// # Ok::<(), sling_logic::ParseError>(())
+/// ```
+pub fn parse_formula(source: &str) -> Result<SymHeap, ParseError> {
+    let mut p = Parser::new(source)?;
+    let f = p.formula()?;
+    p.expect(Token::Eof)?;
+    Ok(f)
+}
+
+/// Parses zero or more `pred` definitions.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_predicates(source: &str) -> Result<Vec<PredDef>, ParseError> {
+    let mut p = Parser::new(source)?;
+    let mut defs = Vec::new();
+    while p.peek() != Token::Eof {
+        defs.push(p.pred_def()?);
+    }
+    Ok(defs)
+}
+
+struct Parser {
+    tokens: Vec<(Token, Span)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { tokens: lex(source)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Token {
+        self.tokens[self.pos].0
+    }
+
+    fn peek2(&self) -> Token {
+        self.tokens.get(self.pos + 1).map(|t| t.0).unwrap_or(Token::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, span: self.span() }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, ParseError> {
+        match self.peek() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // pred IDENT ( params ) := case (| case)* ;
+    fn pred_def(&mut self) -> Result<PredDef, ParseError> {
+        self.expect(Token::KwPred)?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Token::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Token::Colon)?;
+                let ty = self.param_ty()?;
+                params.push(PredParam { name: pname, ty });
+                if self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RParen)?;
+        self.expect(Token::ColonEq)?;
+        let mut cases = vec![self.formula()?];
+        while self.peek() == Token::Pipe {
+            self.bump();
+            cases.push(self.formula()?);
+        }
+        self.expect(Token::Semi)?;
+        Ok(PredDef { name, params, cases })
+    }
+
+    fn param_ty(&mut self) -> Result<FieldTy, ParseError> {
+        match self.peek() {
+            Token::KwInt => {
+                self.bump();
+                Ok(FieldTy::Int)
+            }
+            Token::Ident(s) => {
+                self.bump();
+                if self.peek() == Token::Star {
+                    self.bump();
+                }
+                Ok(FieldTy::Ptr(s))
+            }
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    // ("exists" idents ".")? term (("*"|"&") term)*
+    fn formula(&mut self) -> Result<SymHeap, ParseError> {
+        let mut exists = Vec::new();
+        if self.peek() == Token::KwExists {
+            self.bump();
+            loop {
+                exists.push(self.ident()?);
+                if self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Token::Dot)?;
+        }
+
+        let mut spatial = Vec::new();
+        let mut pure = Vec::new();
+        let mut in_pure = false;
+
+        loop {
+            match self.term()? {
+                Term::Emp => {}
+                Term::Spatial(atom) => {
+                    if in_pure {
+                        return Err(
+                            self.error("spatial atom after `&`; write `Σ & Π` with all spatial atoms first".into())
+                        );
+                    }
+                    spatial.push(atom);
+                }
+                Term::Pure(atom) => {
+                    pure.push(atom);
+                    in_pure = true;
+                }
+            }
+            match self.peek() {
+                Token::Star => {
+                    if in_pure {
+                        return Err(self.error("`*` after a pure atom".into()));
+                    }
+                    self.bump();
+                }
+                Token::Amp => {
+                    self.bump();
+                    in_pure = true;
+                }
+                _ => break,
+            }
+        }
+
+        Ok(SymHeap { exists, spatial, pure })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == Token::KwEmp {
+            self.bump();
+            return Ok(Term::Emp);
+        }
+        // Predicate application: IDENT "("
+        if let (Token::Ident(name), Token::LParen) = (self.peek(), self.peek2()) {
+            self.bump();
+            self.bump();
+            let mut args = Vec::new();
+            if self.peek() != Token::RParen {
+                loop {
+                    args.push(self.expr(false)?);
+                    if self.peek() == Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Term::Spatial(SpatialAtom::Pred { name, args }));
+        }
+        // Otherwise: expr, then `->` (points-to) or comparison (pure).
+        let lhs = self.expr(false)?;
+        match self.peek() {
+            Token::Arrow => {
+                self.bump();
+                let ty = self.ident()?;
+                self.expect(Token::LBrace)?;
+                let mut fields = Vec::new();
+                if self.peek() != Token::RBrace {
+                    loop {
+                        let fname = self.ident()?;
+                        self.expect(Token::Colon)?;
+                        let value = self.expr(false)?;
+                        fields.push(FieldAssign { name: fname, value });
+                        if self.peek() == Token::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Token::RBrace)?;
+                Ok(Term::Spatial(SpatialAtom::PointsTo { root: lhs, ty, fields }))
+            }
+            Token::EqEq => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Eq(lhs, rhs)))
+            }
+            Token::BangEq => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Neq(lhs, rhs)))
+            }
+            Token::Lt => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Lt(lhs, rhs)))
+            }
+            Token::Le => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Le(lhs, rhs)))
+            }
+            Token::Gt => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Lt(rhs, lhs)))
+            }
+            Token::Ge => {
+                self.bump();
+                let rhs = self.expr(false)?;
+                Ok(Term::Pure(PureAtom::Le(rhs, lhs)))
+            }
+            other => Err(self.error(format!(
+                "expected `->` or a comparison after expression, found {other}"
+            ))),
+        }
+    }
+
+    // Additive expression. `allow_mul` is true only inside parentheses,
+    // where `*` is multiplication rather than separating conjunction.
+    fn expr(&mut self, allow_mul: bool) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary(allow_mul)?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.bump();
+                    let rhs = self.unary(allow_mul)?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Token::Minus => {
+                    self.bump();
+                    let rhs = self.unary(allow_mul)?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self, allow_mul: bool) -> Result<Expr, ParseError> {
+        if self.peek() == Token::Minus {
+            self.bump();
+            let inner = self.unary(allow_mul)?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary(allow_mul)
+    }
+
+    fn primary(&mut self, allow_mul: bool) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::KwNil => {
+                self.bump();
+                Ok(Expr::Nil)
+            }
+            Token::Ident(s) => {
+                self.bump();
+                Ok(Expr::Var(s))
+            }
+            Token::Int(k) => {
+                self.bump();
+                // `k * e` multiplication, only where unambiguous.
+                if allow_mul && self.peek() == Token::Star {
+                    self.bump();
+                    let rhs = self.unary(allow_mul)?;
+                    return Ok(Expr::Mul(k, Box::new(rhs)));
+                }
+                Ok(Expr::Int(k))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.expr(true)?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+enum Term {
+    Emp,
+    Spatial(SpatialAtom),
+    Pure(PureAtom),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dll_predicate() {
+        let defs = parse_predicates(
+            r#"
+            pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
+                emp & hd == nx & pr == tl
+              | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx)
+            ;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 1);
+        let dll = &defs[0];
+        assert_eq!(dll.name, Symbol::intern("dll"));
+        assert_eq!(dll.arity(), 4);
+        assert_eq!(dll.cases.len(), 2);
+        assert!(dll.cases[0].spatial.is_empty());
+        assert_eq!(dll.cases[0].pure.len(), 2);
+        assert_eq!(dll.cases[1].exists, vec![Symbol::intern("u")]);
+        assert_eq!(dll.cases[1].spatial.len(), 2);
+    }
+
+    #[test]
+    fn parse_two_predicates() {
+        let defs = parse_predicates(
+            r#"
+            pred sll(x: Node*) := emp & x == nil
+                | exists u. x -> Node{next: u} * sll(u);
+            pred lseg(x: Node*, y: Node*) := emp & x == y
+                | exists u. x -> Node{next: u} * lseg(u, y);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn parse_pure_only() {
+        let f = parse_formula("x == nil & y != z").unwrap();
+        assert!(f.spatial.is_empty());
+        assert_eq!(f.pure.len(), 2);
+    }
+
+    #[test]
+    fn parse_points_to_roots_nil_rejected_syntactically_ok() {
+        // `nil -> ...` is syntactically valid (semantically unsatisfiable).
+        let f = parse_formula("nil -> Node{next: nil}").unwrap();
+        assert_eq!(f.spatial.len(), 1);
+    }
+
+    #[test]
+    fn parse_int_param_predicate() {
+        let defs = parse_predicates(
+            "pred sorted(x: Node*, min: int) := emp & x == nil | exists u, v. x -> Node{next: u, data: v} * sorted(u, v) & min <= v;",
+        )
+        .unwrap();
+        assert_eq!(defs[0].params[1].ty, FieldTy::Int);
+    }
+
+    #[test]
+    fn reject_spatial_after_pure() {
+        assert!(parse_formula("x == nil & sll(y)").is_err());
+    }
+
+    #[test]
+    fn reject_star_after_pure() {
+        assert!(parse_formula("x == nil * sll(y)").is_err());
+    }
+
+    #[test]
+    fn reject_trailing_tokens() {
+        assert!(parse_formula("emp emp").is_err());
+    }
+
+    #[test]
+    fn mul_requires_parens() {
+        let f = parse_formula("emp & x == (3 * y)").unwrap();
+        assert_eq!(f.pure.len(), 1);
+        // Without parens `*` is a separator and fails after a pure atom.
+        assert!(parse_formula("emp & x == 3 * y").is_err());
+    }
+
+    #[test]
+    fn gt_normalizes_to_lt() {
+        let f = parse_formula("emp & x > y").unwrap();
+        assert_eq!(f.pure[0], PureAtom::Lt(Expr::var("y"), Expr::var("x")));
+    }
+
+    #[test]
+    fn exists_list() {
+        let f = parse_formula("exists a, b, c. emp & a == b & b == c").unwrap();
+        assert_eq!(f.exists.len(), 3);
+    }
+
+    #[test]
+    fn error_mentions_expectation() {
+        let err = parse_formula("exists . emp").unwrap_err();
+        assert!(err.message.contains("identifier"), "{}", err.message);
+    }
+}

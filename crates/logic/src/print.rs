@@ -1,0 +1,149 @@
+//! Pretty-printing of SL formulae in the paper's concrete syntax.
+//!
+//! The printed form round-trips through [`crate::parser::parse_formula`]:
+//! `parse(print(f)) == f` up to binder names (property-tested in the
+//! integration suite).
+
+use std::fmt;
+
+use crate::ast::{Expr, PureAtom, SpatialAtom, SymHeap};
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Nil => f.write_str("nil"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Int(k) => write!(f, "{k}"),
+            Expr::Neg(e) => write!(f, "-{}", Paren(e)),
+            Expr::Add(a, b) => write!(f, "{} + {}", Paren(a), Paren(b)),
+            Expr::Sub(a, b) => write!(f, "{} - {}", Paren(a), Paren(b)),
+            // Multiplication always self-parenthesizes so that `*` is never
+            // ambiguous with the separating conjunction on re-parse.
+            Expr::Mul(k, e) => write!(f, "({k} * {})", Paren(e)),
+        }
+    }
+}
+
+/// Wraps compound sub-expressions in parentheses.
+struct Paren<'a>(&'a Expr);
+
+impl fmt::Display for Paren<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            // Mul prints its own parentheses.
+            Expr::Nil | Expr::Var(_) | Expr::Int(_) | Expr::Mul(..) => write!(f, "{}", self.0),
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+impl fmt::Display for PureAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PureAtom::Eq(a, b) => write!(f, "{a} == {b}"),
+            PureAtom::Neq(a, b) => write!(f, "{a} != {b}"),
+            PureAtom::Lt(a, b) => write!(f, "{a} < {b}"),
+            PureAtom::Le(a, b) => write!(f, "{a} <= {b}"),
+        }
+    }
+}
+
+impl fmt::Display for SpatialAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialAtom::PointsTo { root, ty, fields } => {
+                write!(f, "{root} -> {ty}{{")?;
+                for (i, fa) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}: {}", fa.name, fa.value)?;
+                }
+                f.write_str("}")
+            }
+            SpatialAtom::Pred { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SymHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.exists.is_empty() {
+            f.write_str("exists ")?;
+            for (i, v) in self.exists.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str(". ")?;
+        }
+        if self.spatial.is_empty() {
+            f.write_str("emp")?;
+        } else {
+            for (i, s) in self.spatial.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" * ")?;
+                }
+                write!(f, "{s}")?;
+            }
+        }
+        for p in &self.pure {
+            write!(f, " & {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn print_emp() {
+        let h = parse_formula("emp").unwrap();
+        assert_eq!(h.to_string(), "emp");
+    }
+
+    #[test]
+    fn print_full() {
+        let h = parse_formula(
+            "exists u1, u2. x -> Node{next: u1, prev: nil} * dll(u1, x, u2, nil) & u2 == y",
+        )
+        .unwrap();
+        assert_eq!(
+            h.to_string(),
+            "exists u1, u2. x -> Node{next: u1, prev: nil} * dll(u1, x, u2, nil) & u2 == y"
+        );
+    }
+
+    #[test]
+    fn print_arith() {
+        let h = parse_formula("emp & x == (3 * y) + 1").unwrap();
+        assert_eq!(h.to_string(), "emp & x == (3 * y) + 1");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        for src in [
+            "emp",
+            "sll(x)",
+            "x -> Node{next: nil}",
+            "exists u. lseg(x, u) * u -> Node{next: nil} & x != nil",
+            "emp & x == nil & y == z",
+        ] {
+            let h = parse_formula(src).unwrap();
+            let h2 = parse_formula(&h.to_string()).unwrap();
+            assert_eq!(h, h2, "round-trip failed for `{src}`");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Source locations and spans shared by the SL and MiniC front ends.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Span {
+        Span { lo, hi }
+    }
+
+    /// A zero-width placeholder span.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Computes the 1-based line and column of `self.lo` in `source`.
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i as u32 >= self.lo {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A value paired with the span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Spanned<T> {
+        Spanned { node, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_merges_spans() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 1));
+    }
+}

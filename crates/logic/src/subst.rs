@@ -1,0 +1,176 @@
+//! Substitution and alpha-renaming over SL formulae.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, FieldAssign, PureAtom, SpatialAtom, SymHeap};
+use crate::symbol::{FreshVars, Symbol};
+
+/// A finite map from variables to expressions.
+pub type Subst = BTreeMap<Symbol, Expr>;
+
+/// Applies `map` to an expression.
+pub fn subst_expr(e: &Expr, map: &Subst) -> Expr {
+    match e {
+        Expr::Nil | Expr::Int(_) => e.clone(),
+        Expr::Var(v) => map.get(v).cloned().unwrap_or_else(|| e.clone()),
+        Expr::Neg(inner) => Expr::Neg(Box::new(subst_expr(inner, map))),
+        Expr::Add(a, b) => Expr::Add(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Sub(a, b) => Expr::Sub(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Mul(k, inner) => Expr::Mul(*k, Box::new(subst_expr(inner, map))),
+    }
+}
+
+/// Applies `map` to a pure atom.
+pub fn subst_pure(p: &PureAtom, map: &Subst) -> PureAtom {
+    match p {
+        PureAtom::Eq(a, b) => PureAtom::Eq(subst_expr(a, map), subst_expr(b, map)),
+        PureAtom::Neq(a, b) => PureAtom::Neq(subst_expr(a, map), subst_expr(b, map)),
+        PureAtom::Lt(a, b) => PureAtom::Lt(subst_expr(a, map), subst_expr(b, map)),
+        PureAtom::Le(a, b) => PureAtom::Le(subst_expr(a, map), subst_expr(b, map)),
+    }
+}
+
+/// Applies `map` to a spatial atom.
+pub fn subst_spatial(s: &SpatialAtom, map: &Subst) -> SpatialAtom {
+    match s {
+        SpatialAtom::PointsTo { root, ty, fields } => SpatialAtom::PointsTo {
+            root: subst_expr(root, map),
+            ty: *ty,
+            fields: fields
+                .iter()
+                .map(|f| FieldAssign { name: f.name, value: subst_expr(&f.value, map) })
+                .collect(),
+        },
+        SpatialAtom::Pred { name, args } => SpatialAtom::Pred {
+            name: *name,
+            args: args.iter().map(|a| subst_expr(a, map)).collect(),
+        },
+    }
+}
+
+/// Capture-avoiding substitution of free variables in a symbolic heap.
+///
+/// Bound variables that clash with the range or domain of `map` are renamed
+/// first, so free variables of replacement expressions are never captured.
+///
+/// # Examples
+///
+/// ```
+/// use sling_logic::{parse_formula, subst_symheap, Expr, Subst, Symbol};
+///
+/// let h = parse_formula("exists u. sll(x, u)").unwrap();
+/// let mut map = Subst::new();
+/// map.insert(Symbol::intern("x"), Expr::var("u"));
+/// let out = subst_symheap(&h, &map);
+/// // The binder `u` was renamed: the substituted free `u` is not captured.
+/// assert!(out.free_vars().contains(&Symbol::intern("u")));
+/// ```
+pub fn subst_symheap(h: &SymHeap, map: &Subst) -> SymHeap {
+    // Variables that must not be captured: free vars of the range.
+    let mut range_vars = std::collections::BTreeSet::new();
+    for e in map.values() {
+        e.free_vars_into(&mut range_vars);
+    }
+    let clashing: Vec<Symbol> = h
+        .exists
+        .iter()
+        .copied()
+        .filter(|b| range_vars.contains(b) || map.contains_key(b))
+        .collect();
+
+    let mut h = h.clone();
+    if !clashing.is_empty() {
+        let mut fresh = FreshVars::new("r");
+        fresh.avoid_all(h.all_vars());
+        fresh.avoid_all(range_vars.iter().copied());
+        fresh.avoid_all(map.keys().copied());
+        let rename: Subst = clashing.iter().map(|&v| (v, Expr::Var(fresh.next()))).collect();
+        h = subst_symheap_bound(&h, &rename);
+    }
+
+    // Do not substitute the (now clash-free) binders.
+    let filtered: Subst =
+        map.iter().filter(|(k, _)| !h.exists.contains(k)).map(|(k, v)| (*k, v.clone())).collect();
+
+    SymHeap {
+        exists: h.exists.clone(),
+        spatial: h.spatial.iter().map(|s| subst_spatial(s, &filtered)).collect(),
+        pure: h.pure.iter().map(|p| subst_pure(p, &filtered)).collect(),
+    }
+}
+
+/// Renames *bound* variables of `h` according to `map` (which must map
+/// variables to variables). Used internally for alpha-renaming; exposed for
+/// the star operation.
+pub fn subst_symheap_bound(h: &SymHeap, map: &Subst) -> SymHeap {
+    let exists = h
+        .exists
+        .iter()
+        .map(|v| match map.get(v) {
+            Some(Expr::Var(w)) => *w,
+            _ => *v,
+        })
+        .collect();
+    SymHeap {
+        exists,
+        spatial: h.spatial.iter().map(|s| subst_spatial(s, map)).collect(),
+        pure: h.pure.iter().map(|p| subst_pure(p, map)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn sub1(from: &str, to: Expr) -> Subst {
+        let mut m = Subst::new();
+        m.insert(Symbol::intern(from), to);
+        m
+    }
+
+    #[test]
+    fn subst_replaces_free() {
+        let h = parse_formula("sll(x, y)").unwrap();
+        let out = subst_symheap(&h, &sub1("x", Expr::Nil));
+        match &out.spatial[0] {
+            SpatialAtom::Pred { args, .. } => {
+                assert_eq!(args[0], Expr::Nil);
+                assert_eq!(args[1], Expr::var("y"));
+            }
+            other => panic!("unexpected atom {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_skips_bound() {
+        let h = parse_formula("exists x. sll(x, y)").unwrap();
+        let out = subst_symheap(&h, &sub1("x", Expr::Nil));
+        match &out.spatial[0] {
+            SpatialAtom::Pred { args, .. } => {
+                // Bound x must be untouched (possibly renamed, but not Nil).
+                assert!(matches!(args[0], Expr::Var(_)));
+            }
+            other => panic!("unexpected atom {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_in_points_to_fields() {
+        let h = parse_formula("x -> Node{next: y, prev: nil}").unwrap();
+        let out = subst_symheap(&h, &sub1("y", Expr::var("z")));
+        match &out.spatial[0] {
+            SpatialAtom::PointsTo { fields, .. } => {
+                assert_eq!(fields[0].value, Expr::var("z"));
+            }
+            other => panic!("unexpected atom {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_arith() {
+        let e = Expr::Add(Box::new(Expr::var("x")), Box::new(Expr::Int(1)));
+        let out = subst_expr(&e, &sub1("x", Expr::Int(41)));
+        assert_eq!(out, Expr::Add(Box::new(Expr::Int(41)), Box::new(Expr::Int(1))));
+    }
+}

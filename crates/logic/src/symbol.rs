@@ -1,0 +1,229 @@
+//! Interned identifiers.
+//!
+//! Every variable, predicate name, structure name, and field name in the
+//! workspace is a [`Symbol`]: a small copyable index into a global string
+//! interner. Interning makes identifier comparison and hashing O(1), which
+//! matters because the SLING search (Algorithm 2 of the paper) compares
+//! candidate argument tuples millions of times on larger benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use sling_logic::Symbol;
+//!
+//! let x = Symbol::intern("x");
+//! let x2 = Symbol::intern("x");
+//! assert_eq!(x, x2);
+//! assert_eq!(x.as_str(), "x");
+//! ```
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// An interned string.
+///
+/// `Symbol` is `Copy` and cheap to compare; the underlying text is obtained
+/// with [`Symbol::as_str`]. Symbols are ordered by their text (not creation
+/// order) so that data structures keyed by `Symbol` iterate
+/// deterministically and independently of interning history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    strings: Vec<&'static str>,
+    lookup: std::collections::HashMap<&'static str, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { strings: Vec::new(), lookup: std::collections::HashMap::new() }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        // Leaking is fine: the set of distinct identifiers in any run is
+        // small (bounded by source text), and `&'static str` lets us hand
+        // out `as_str` without a guard.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.lookup.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns `text` and returns its symbol.
+    ///
+    /// ```
+    /// # use sling_logic::Symbol;
+    /// assert_eq!(Symbol::intern("next"), Symbol::intern("next"));
+    /// ```
+    pub fn intern(text: &str) -> Symbol {
+        // Fast path: read lock only.
+        if let Some(&id) = interner().read().lookup.get(text) {
+            return Symbol(id);
+        }
+        Symbol(interner().write().intern(text))
+    }
+
+    /// Returns the interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Textual order: deterministic regardless of interning order.
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+/// Generates fresh variables (`u1`, `u2`, ...) that avoid a given set.
+///
+/// SLING introduces fresh existential variables when a predicate has more
+/// parameters than chosen boundary variables (Algorithm 2, line 5). The
+/// generator never returns a symbol in its avoid set or one it has already
+/// produced.
+///
+/// # Examples
+///
+/// ```
+/// use sling_logic::{FreshVars, Symbol};
+///
+/// let mut fresh = FreshVars::new("u");
+/// fresh.avoid(Symbol::intern("u1"));
+/// let a = fresh.next();
+/// let b = fresh.next();
+/// assert_eq!(a.as_str(), "u2"); // u1 was avoided
+/// assert_eq!(b.as_str(), "u3");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreshVars {
+    prefix: String,
+    counter: u32,
+    avoid: std::collections::HashSet<Symbol>,
+}
+
+impl FreshVars {
+    /// Creates a generator producing `<prefix>1`, `<prefix>2`, ...
+    pub fn new(prefix: &str) -> FreshVars {
+        FreshVars { prefix: prefix.to_owned(), counter: 0, avoid: Default::default() }
+    }
+
+    /// Adds a symbol the generator must never produce.
+    pub fn avoid(&mut self, sym: Symbol) {
+        self.avoid.insert(sym);
+    }
+
+    /// Adds every symbol in `syms` to the avoid set.
+    pub fn avoid_all<I: IntoIterator<Item = Symbol>>(&mut self, syms: I) {
+        self.avoid.extend(syms);
+    }
+
+    /// Returns the next fresh symbol.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Symbol {
+        loop {
+            self.counter += 1;
+            let sym = Symbol::intern(&format!("{}{}", self.prefix, self.counter));
+            if !self.avoid.contains(&sym) {
+                self.avoid.insert(sym);
+                return sym;
+            }
+        }
+    }
+
+    /// Returns `n` fresh symbols.
+    pub fn take(&mut self, n: usize) -> Vec<Symbol> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("a"), Symbol::intern("b"));
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        // Intern in reverse order; ordering must still be textual.
+        let z = Symbol::intern("zzz_order");
+        let a = Symbol::intern("aaa_order");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn fresh_skips_avoided() {
+        let mut fresh = FreshVars::new("v");
+        fresh.avoid(Symbol::intern("v1"));
+        fresh.avoid(Symbol::intern("v2"));
+        assert_eq!(fresh.next().as_str(), "v3");
+    }
+
+    #[test]
+    fn fresh_never_repeats() {
+        let mut fresh = FreshVars::new("w");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(fresh.next()));
+        }
+    }
+
+    #[test]
+    fn take_returns_n() {
+        let mut fresh = FreshVars::new("t");
+        assert_eq!(fresh.take(5).len(), 5);
+    }
+
+    #[test]
+    fn display_matches_text() {
+        assert_eq!(Symbol::intern("hd").to_string(), "hd");
+    }
+}

@@ -1,0 +1,252 @@
+//! Well-formedness checking of formulae and predicate definitions.
+//!
+//! Checks performed against a [`TypeEnv`] and [`PredEnv`]:
+//!
+//! * points-to atoms name a known structure and list **exactly** its fields
+//!   (any order in the source; callers can normalize with
+//!   [`normalize_points_to`]);
+//! * predicate applications name a known predicate with matching arity;
+//! * predicate definitions are *heap-founded*: every recursive case contains
+//!   at least one points-to atom, so unfolding against a finite heap
+//!   terminates (this is the condition the model checker relies on).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{SpatialAtom, SymHeap};
+use crate::pred::{PredDef, PredEnv};
+use crate::symbol::Symbol;
+use crate::types::TypeEnv;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WfError {
+    /// Points-to names an unknown structure type.
+    UnknownStruct(Symbol),
+    /// Points-to field set differs from the structure's declaration.
+    FieldMismatch {
+        /// The structure.
+        strukt: Symbol,
+        /// Explanation.
+        detail: String,
+    },
+    /// Application of an unknown predicate.
+    UnknownPred(Symbol),
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// The predicate.
+        pred: Symbol,
+        /// Expected arity.
+        expected: usize,
+        /// Actual argument count.
+        actual: usize,
+    },
+    /// A recursive case with no points-to atom: unfolding may diverge.
+    NotHeapFounded(Symbol),
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfError::UnknownStruct(s) => write!(f, "unknown struct `{s}` in points-to"),
+            WfError::FieldMismatch { strukt, detail } => {
+                write!(f, "field mismatch for struct `{strukt}`: {detail}")
+            }
+            WfError::UnknownPred(p) => write!(f, "unknown predicate `{p}`"),
+            WfError::ArityMismatch { pred, expected, actual } => {
+                write!(f, "predicate `{pred}` expects {expected} arguments, got {actual}")
+            }
+            WfError::NotHeapFounded(p) => write!(
+                f,
+                "predicate `{p}` has a recursive case without a points-to atom; \
+                 model checking could diverge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+/// Checks a symbolic heap against the environments.
+///
+/// # Errors
+///
+/// Returns the first [`WfError`] found.
+pub fn check_symheap(h: &SymHeap, types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
+    for atom in &h.spatial {
+        match atom {
+            SpatialAtom::PointsTo { ty, fields, .. } => {
+                let def = types.get(*ty).ok_or(WfError::UnknownStruct(*ty))?;
+                let declared: BTreeSet<Symbol> = def.fields.iter().map(|f| f.name).collect();
+                let given: BTreeSet<Symbol> = fields.iter().map(|f| f.name).collect();
+                if given.len() != fields.len() {
+                    return Err(WfError::FieldMismatch {
+                        strukt: *ty,
+                        detail: "a field is assigned twice".into(),
+                    });
+                }
+                if declared != given {
+                    let missing: Vec<String> =
+                        declared.difference(&given).map(|s| s.to_string()).collect();
+                    let extra: Vec<String> =
+                        given.difference(&declared).map(|s| s.to_string()).collect();
+                    return Err(WfError::FieldMismatch {
+                        strukt: *ty,
+                        detail: format!(
+                            "missing [{}], unknown [{}]",
+                            missing.join(", "),
+                            extra.join(", ")
+                        ),
+                    });
+                }
+            }
+            SpatialAtom::Pred { name, args } => {
+                let def = preds.get(*name).ok_or(WfError::UnknownPred(*name))?;
+                if def.arity() != args.len() {
+                    return Err(WfError::ArityMismatch {
+                        pred: *name,
+                        expected: def.arity(),
+                        actual: args.len(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a predicate definition (all cases well-formed and heap-founded).
+///
+/// # Errors
+///
+/// Returns the first [`WfError`] found.
+pub fn check_pred_def(def: &PredDef, types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
+    for case in &def.cases {
+        check_symheap(case, types, preds)?;
+        let has_points_to = case.spatial.iter().any(|a| matches!(a, SpatialAtom::PointsTo { .. }));
+        let recursive = case.spatial.iter().any(
+            |a| matches!(a, SpatialAtom::Pred { name, .. } if preds.get(*name).is_some() || *name == def.name),
+        );
+        if recursive && !has_points_to {
+            return Err(WfError::NotHeapFounded(def.name));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every predicate of `preds` (definitions may be mutually
+/// recursive; each must already be registered).
+///
+/// # Errors
+///
+/// Returns the first [`WfError`] found.
+pub fn check_pred_env(types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
+    for def in preds.iter() {
+        check_pred_def(def, types, preds)?;
+    }
+    Ok(())
+}
+
+/// Reorders the named fields of every points-to atom into the structure's
+/// declaration order. Call after a successful [`check_symheap`].
+pub fn normalize_points_to(h: &mut SymHeap, types: &TypeEnv) {
+    for atom in &mut h.spatial {
+        if let SpatialAtom::PointsTo { ty, fields, .. } = atom {
+            if let Some(def) = types.get(*ty) {
+                fields.sort_by_key(|f| def.field_index(f.name).unwrap_or(usize::MAX));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_formula, parse_predicates};
+    use crate::types::{FieldDef, FieldTy, StructDef};
+
+    fn env() -> (TypeEnv, PredEnv) {
+        let mut types = TypeEnv::new();
+        let node = Symbol::intern("Node");
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![
+                    FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
+                    FieldDef { name: Symbol::intern("prev"), ty: FieldTy::Ptr(node) },
+                ],
+            })
+            .unwrap();
+        let mut preds = PredEnv::new();
+        for def in parse_predicates(
+            "pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
+                emp & hd == nx & pr == tl
+              | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);",
+        )
+        .unwrap()
+        {
+            preds.define(def).unwrap();
+        }
+        (types, preds)
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let (types, preds) = env();
+        let h = parse_formula("exists u. x -> Node{next: u, prev: nil} * dll(u, x, y, nil)")
+            .unwrap();
+        assert_eq!(check_symheap(&h, &types, &preds), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unknown_struct() {
+        let (types, preds) = env();
+        let h = parse_formula("x -> Ghost{f: nil}").unwrap();
+        assert!(matches!(check_symheap(&h, &types, &preds), Err(WfError::UnknownStruct(_))));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let (types, preds) = env();
+        let h = parse_formula("x -> Node{next: nil}").unwrap();
+        assert!(matches!(check_symheap(&h, &types, &preds), Err(WfError::FieldMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let (types, preds) = env();
+        let h = parse_formula("dll(x, y)").unwrap();
+        assert!(matches!(
+            check_symheap(&h, &types, &preds),
+            Err(WfError::ArityMismatch { expected: 4, actual: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_heap_founded() {
+        let (types, mut preds) = env();
+        let bad = parse_predicates("pred spin(x: Node*) := spin(x);").unwrap();
+        preds.define(bad[0].clone()).unwrap();
+        assert!(matches!(check_pred_env(&types, &preds), Err(WfError::NotHeapFounded(_))));
+    }
+
+    #[test]
+    fn accepts_whole_env() {
+        let (types, preds) = env();
+        assert_eq!(check_pred_env(&types, &preds), Ok(()));
+    }
+
+    #[test]
+    fn normalize_reorders_fields() {
+        let (types, _) = env();
+        let mut h = parse_formula("x -> Node{prev: nil, next: y}").unwrap();
+        normalize_points_to(&mut h, &types);
+        match &h.spatial[0] {
+            SpatialAtom::PointsTo { fields, .. } => {
+                assert_eq!(fields[0].name, Symbol::intern("next"));
+                assert_eq!(fields[1].name, Symbol::intern("prev"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Heap models: finite partial maps from locations to typed cells.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sling_logic::Symbol;
+
+use crate::value::{Loc, Val};
+
+/// One allocated cell: an instance of a structure type.
+///
+/// Field values are stored positionally, in the structure's declaration
+/// order (the [`sling_logic::TypeEnv`] gives names to positions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeapCell {
+    /// Structure type name `τ`.
+    pub ty: Symbol,
+    /// Field values in declaration order.
+    pub fields: Vec<Val>,
+}
+
+impl HeapCell {
+    /// Creates a cell of the given type with the given field values.
+    pub fn new(ty: Symbol, fields: Vec<Val>) -> HeapCell {
+        HeapCell { ty, fields }
+    }
+
+    /// The addresses stored in this cell's fields.
+    pub fn out_edges(&self) -> impl Iterator<Item = Loc> + '_ {
+        self.fields.iter().filter_map(|v| v.as_addr())
+    }
+}
+
+impl fmt::Display for HeapCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.ty)?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Error from [`Heap::union`] when the operands overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapError {
+    /// A location present in both heaps.
+    pub loc: Loc,
+}
+
+impl fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "heaps overlap at {}", self.loc)
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+/// A heap model `h : Loc ⇀ (Type × Val*)`.
+///
+/// Deterministic iteration order (sorted by location) keeps the whole
+/// pipeline reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use sling_logic::Symbol;
+/// use sling_models::{Heap, HeapCell, Loc, Val};
+///
+/// let node = Symbol::intern("Node");
+/// let mut h = Heap::new();
+/// let a = Loc::new(1);
+/// h.insert(a, HeapCell::new(node, vec![Val::Nil]));
+/// assert_eq!(h.len(), 1);
+/// assert!(h.get(a).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Heap {
+    cells: BTreeMap<Loc, HeapCell>,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Inserts (or replaces) the cell at `loc`, returning the old cell.
+    pub fn insert(&mut self, loc: Loc, cell: HeapCell) -> Option<HeapCell> {
+        self.cells.insert(loc, cell)
+    }
+
+    /// Removes and returns the cell at `loc`.
+    pub fn remove(&mut self, loc: Loc) -> Option<HeapCell> {
+        self.cells.remove(&loc)
+    }
+
+    /// The cell at `loc`, if allocated.
+    pub fn get(&self, loc: Loc) -> Option<&HeapCell> {
+        self.cells.get(&loc)
+    }
+
+    /// Mutable access to the cell at `loc`.
+    pub fn get_mut(&mut self, loc: Loc) -> Option<&mut HeapCell> {
+        self.cells.get_mut(&loc)
+    }
+
+    /// True if `loc` is allocated.
+    pub fn contains(&self, loc: Loc) -> bool {
+        self.cells.contains_key(&loc)
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cells are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The domain `dom(h)`.
+    pub fn domain(&self) -> BTreeSet<Loc> {
+        self.cells.keys().copied().collect()
+    }
+
+    /// Iterates over `(location, cell)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &HeapCell)> {
+        self.cells.iter().map(|(l, c)| (*l, c))
+    }
+
+    /// True if `self` and `other` have disjoint domains (`h1 # h2`).
+    pub fn disjoint(&self, other: &Heap) -> bool {
+        let (small, large) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.cells.keys().all(|l| !large.contains(*l))
+    }
+
+    /// Disjoint union `h1 ∘ h2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlapError`] if the domains overlap.
+    pub fn union(&self, other: &Heap) -> Result<Heap, OverlapError> {
+        let mut out = self.clone();
+        for (l, c) in other.iter() {
+            if out.insert(l, c.clone()).is_some() {
+                return Err(OverlapError { loc: l });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Heap difference `h1 \ h2`: the cells of `self` whose locations are
+    /// not in `other`.
+    pub fn difference(&self, other: &Heap) -> Heap {
+        Heap {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(l, _)| !other.contains(**l))
+                .map(|(l, c)| (*l, c.clone()))
+                .collect(),
+        }
+    }
+
+    /// The sub-heap of `self` restricted to `locs`.
+    pub fn restrict(&self, locs: &BTreeSet<Loc>) -> Heap {
+        Heap {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(l, _)| locs.contains(l))
+                .map(|(l, c)| (*l, c.clone()))
+                .collect(),
+        }
+    }
+
+    /// True if every cell of `self` is also (identically) in `other`
+    /// (`h' ⊆ h` of Definition 2).
+    pub fn subheap_of(&self, other: &Heap) -> bool {
+        self.cells.iter().all(|(l, c)| other.get(*l) == Some(c))
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, (l, c)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{l} -> {c}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<(Loc, HeapCell)> for Heap {
+    fn from_iter<T: IntoIterator<Item = (Loc, HeapCell)>>(iter: T) -> Heap {
+        Heap { cells: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Loc, HeapCell)> for Heap {
+    fn extend<T: IntoIterator<Item = (Loc, HeapCell)>>(&mut self, iter: T) {
+        self.cells.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Symbol {
+        Symbol::intern("Node")
+    }
+
+    fn cell(next: Val) -> HeapCell {
+        HeapCell::new(node(), vec![next])
+    }
+
+    fn l(n: u64) -> Loc {
+        Loc::new(n)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut h = Heap::new();
+        assert!(h.insert(l(1), cell(Val::Nil)).is_none());
+        assert_eq!(h.get(l(1)).unwrap().fields[0], Val::Nil);
+        assert!(h.remove(l(1)).is_some());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn union_disjoint() {
+        let mut a = Heap::new();
+        a.insert(l(1), cell(Val::Addr(l(2))));
+        let mut b = Heap::new();
+        b.insert(l(2), cell(Val::Nil));
+        assert!(a.disjoint(&b));
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn union_overlap_errors() {
+        let mut a = Heap::new();
+        a.insert(l(1), cell(Val::Nil));
+        let mut b = Heap::new();
+        b.insert(l(1), cell(Val::Nil));
+        assert!(!a.disjoint(&b));
+        assert_eq!(a.union(&b).unwrap_err().loc, l(1));
+    }
+
+    #[test]
+    fn difference_and_restrict() {
+        let mut a = Heap::new();
+        a.insert(l(1), cell(Val::Nil));
+        a.insert(l(2), cell(Val::Nil));
+        a.insert(l(3), cell(Val::Nil));
+        let mut b = Heap::new();
+        b.insert(l(2), cell(Val::Nil));
+        let d = a.difference(&b);
+        assert_eq!(d.domain(), [l(1), l(3)].into_iter().collect());
+        let r = a.restrict(&[l(3)].into_iter().collect());
+        assert_eq!(r.domain(), [l(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn subheap_requires_identical_cells() {
+        let mut a = Heap::new();
+        a.insert(l(1), cell(Val::Nil));
+        let mut b = Heap::new();
+        b.insert(l(1), cell(Val::Nil));
+        b.insert(l(2), cell(Val::Nil));
+        assert!(a.subheap_of(&b));
+        assert!(!b.subheap_of(&a));
+        // Same domain, different contents: not a subheap.
+        let mut c = Heap::new();
+        c.insert(l(1), cell(Val::Addr(l(2))));
+        assert!(!c.subheap_of(&b));
+    }
+
+    #[test]
+    fn out_edges() {
+        let c = HeapCell::new(node(), vec![Val::Addr(l(7)), Val::Int(3), Val::Nil]);
+        assert_eq!(c.out_edges().collect::<Vec<_>>(), vec![l(7)]);
+    }
+}

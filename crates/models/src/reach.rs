@@ -1,0 +1,181 @@
+//! Reachability over heap models.
+//!
+//! These are the graph primitives behind SLING's `SplitHeap` (§4.1): a
+//! depth-first traversal from a root pointer that stops at designated
+//! locations (cells other stack variables point to) and records what it ran
+//! into — stop locations, `nil`, and dangling addresses.
+
+use std::collections::BTreeSet;
+
+use crate::heap::Heap;
+use crate::value::{Loc, Val};
+
+/// Everything a bounded traversal observed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Traversal {
+    /// Locations included in the sub-heap (reached, allocated, not stopped).
+    pub cells: BTreeSet<Loc>,
+    /// Stop locations that the traversal touched (they are *not* in
+    /// `cells`).
+    pub hit_stops: BTreeSet<Loc>,
+    /// True if a `nil` pointer was encountered in a traversed field or as
+    /// the root.
+    pub saw_nil: bool,
+    /// Addresses referenced but not allocated in the heap (dangling).
+    pub dangling: BTreeSet<Loc>,
+}
+
+/// Depth-first traversal from `root`, stopping at `stops`.
+///
+/// Starting from the value `root` (a pointer), follows every address-valued
+/// field of every visited cell. A location in `stops` is recorded in
+/// [`Traversal::hit_stops`] and not expanded nor included. Unallocated
+/// addresses are recorded as dangling.
+///
+/// The root itself, if it is in `stops`, yields an empty traversal with the
+/// root as a hit stop — the caller (SplitHeap) treats the variable's
+/// sub-heap as empty in that case.
+///
+/// # Examples
+///
+/// ```
+/// use sling_logic::Symbol;
+/// use sling_models::{traverse, Heap, HeapCell, Loc, Val};
+///
+/// // 1 -> 2 -> nil
+/// let n = Symbol::intern("N");
+/// let mut h = Heap::new();
+/// h.insert(Loc::new(1), HeapCell::new(n, vec![Val::Addr(Loc::new(2))]));
+/// h.insert(Loc::new(2), HeapCell::new(n, vec![Val::Nil]));
+/// let t = traverse(&h, Val::Addr(Loc::new(1)), &Default::default());
+/// assert_eq!(t.cells.len(), 2);
+/// assert!(t.saw_nil);
+/// ```
+pub fn traverse(heap: &Heap, root: Val, stops: &BTreeSet<Loc>) -> Traversal {
+    let mut t = Traversal::default();
+    let mut work: Vec<Val> = vec![root];
+    let mut visited: BTreeSet<Loc> = BTreeSet::new();
+    while let Some(v) = work.pop() {
+        match v {
+            Val::Nil => t.saw_nil = true,
+            Val::Int(_) => {}
+            Val::Addr(loc) => {
+                if visited.contains(&loc) {
+                    continue;
+                }
+                if stops.contains(&loc) {
+                    t.hit_stops.insert(loc);
+                    continue;
+                }
+                visited.insert(loc);
+                match heap.get(loc) {
+                    None => {
+                        t.dangling.insert(loc);
+                    }
+                    Some(cell) => {
+                        t.cells.insert(loc);
+                        // Push in reverse field order so the DFS visits
+                        // fields left to right (deterministic).
+                        for v in cell.fields.iter().rev() {
+                            if v.is_pointer() {
+                                work.push(*v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+/// All locations reachable from the given root values (no stops).
+pub fn reachable(heap: &Heap, roots: impl IntoIterator<Item = Val>) -> BTreeSet<Loc> {
+    let mut out = BTreeSet::new();
+    for r in roots {
+        out.extend(traverse(heap, r, &BTreeSet::new()).cells);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapCell;
+    use sling_logic::Symbol;
+
+    fn n() -> Symbol {
+        Symbol::intern("N")
+    }
+
+    fn l(x: u64) -> Loc {
+        Loc::new(x)
+    }
+
+    /// 1 -> 2 -> 3 -> nil, plus isolated 9.
+    fn chain() -> Heap {
+        let mut h = Heap::new();
+        h.insert(l(1), HeapCell::new(n(), vec![Val::Addr(l(2))]));
+        h.insert(l(2), HeapCell::new(n(), vec![Val::Addr(l(3))]));
+        h.insert(l(3), HeapCell::new(n(), vec![Val::Nil]));
+        h.insert(l(9), HeapCell::new(n(), vec![Val::Nil]));
+        h
+    }
+
+    #[test]
+    fn traverses_whole_chain() {
+        let t = traverse(&chain(), Val::Addr(l(1)), &BTreeSet::new());
+        assert_eq!(t.cells, [l(1), l(2), l(3)].into_iter().collect());
+        assert!(t.saw_nil);
+        assert!(t.hit_stops.is_empty());
+        assert!(t.dangling.is_empty());
+    }
+
+    #[test]
+    fn stops_cut_traversal() {
+        let stops = [l(3)].into_iter().collect();
+        let t = traverse(&chain(), Val::Addr(l(1)), &stops);
+        assert_eq!(t.cells, [l(1), l(2)].into_iter().collect());
+        assert_eq!(t.hit_stops, [l(3)].into_iter().collect());
+        assert!(!t.saw_nil); // nil is beyond the stop
+    }
+
+    #[test]
+    fn root_is_stop() {
+        let stops = [l(1)].into_iter().collect();
+        let t = traverse(&chain(), Val::Addr(l(1)), &stops);
+        assert!(t.cells.is_empty());
+        assert_eq!(t.hit_stops, [l(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn nil_root() {
+        let t = traverse(&chain(), Val::Nil, &BTreeSet::new());
+        assert!(t.cells.is_empty());
+        assert!(t.saw_nil);
+    }
+
+    #[test]
+    fn dangling_detected() {
+        let mut h = Heap::new();
+        h.insert(l(1), HeapCell::new(n(), vec![Val::Addr(l(42))]));
+        let t = traverse(&h, Val::Addr(l(1)), &BTreeSet::new());
+        assert_eq!(t.dangling, [l(42)].into_iter().collect());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut h = Heap::new();
+        h.insert(l(1), HeapCell::new(n(), vec![Val::Addr(l(2))]));
+        h.insert(l(2), HeapCell::new(n(), vec![Val::Addr(l(1))]));
+        let t = traverse(&h, Val::Addr(l(1)), &BTreeSet::new());
+        assert_eq!(t.cells.len(), 2);
+        assert!(!t.saw_nil);
+    }
+
+    #[test]
+    fn reachable_multi_root() {
+        let r = reachable(&chain(), [Val::Addr(l(2)), Val::Addr(l(9))]);
+        assert_eq!(r, [l(2), l(3), l(9)].into_iter().collect());
+    }
+}

@@ -1,0 +1,116 @@
+//! Runtime values and heap locations.
+
+use std::fmt;
+
+/// A heap address.
+///
+/// Locations are opaque nonzero integers; `nil` is *not* a location (it is
+/// [`Val::Nil`]), matching the paper's treatment of `nil` as a constant
+/// denoting a dangling address outside `Loc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(u64);
+
+impl Loc {
+    /// Creates a location from a raw nonzero address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw == 0`; address 0 is reserved for `nil`.
+    pub fn new(raw: u64) -> Loc {
+        assert_ne!(raw, 0, "Loc 0 is reserved for nil");
+        Loc(raw)
+    }
+
+    /// The raw address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02x}", self.0)
+    }
+}
+
+/// A runtime value: an integer, an address, or `nil`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Val {
+    /// The null pointer.
+    Nil,
+    /// A heap address.
+    Addr(Loc),
+    /// A machine integer.
+    Int(i64),
+}
+
+impl Val {
+    /// The address, if this is an address value.
+    pub fn as_addr(self) -> Option<Loc> {
+        match self {
+            Val::Addr(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer value.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// True for `nil` and addresses (i.e., pointer-typed values).
+    pub fn is_pointer(self) -> bool {
+        matches!(self, Val::Nil | Val::Addr(_))
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Nil => f.write_str("nil"),
+            Val::Addr(l) => write!(f, "{l}"),
+            Val::Int(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+impl From<Loc> for Val {
+    fn from(l: Loc) -> Val {
+        Val::Addr(l)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(k: i64) -> Val {
+        Val::Int(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn loc_zero_panics() {
+        let _ = Loc::new(0);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Loc::new(1).to_string(), "0x01");
+        assert_eq!(Loc::new(255).to_string(), "0xff");
+    }
+
+    #[test]
+    fn val_accessors() {
+        assert_eq!(Val::Addr(Loc::new(3)).as_addr(), Some(Loc::new(3)));
+        assert_eq!(Val::Int(7).as_int(), Some(7));
+        assert_eq!(Val::Nil.as_addr(), None);
+        assert!(Val::Nil.is_pointer());
+        assert!(!Val::Int(0).is_pointer());
+    }
+}

@@ -1,0 +1,326 @@
+//! AFWP programs (Itzhaky et al., "Effectively-Propositional Reasoning
+//! about Reachability in Linked Data Structures"): Table 1 rows
+//! "AFWP_SLL" (11 programs; `del` is `†`) and "AFWP_DLL" (2 programs —
+//! `dll_fix` is the §5.4 bug-explanation example with its guard
+//! commented out, and `dll_splice`).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::{adnode_layout, anode_layout};
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn alist(size: usize) -> ArgCand {
+    ArgCand::List { layout: anode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+/// A singly linked chain of `AdNode`s whose `prev` pointers are all nil —
+/// the broken input `dll_fix` repairs.
+fn adlist_broken(size: usize) -> ArgCand {
+    ArgCand::List {
+        layout: sling_lang::ListLayout { prev: None, ..adnode_layout() },
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
+}
+
+const CREATE: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn create(n: int) -> ANode* {
+    var x: ANode* = null;
+    while @inv (n > 0) {
+        x = new ANode { next: x, data: n };
+        n = n - 1;
+    }
+    return x;
+}
+"#;
+
+const DEL_ALL: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn delAll(x: ANode*) {
+    while @inv (x != null) {
+        var t: ANode* = x->next;
+        free(x);
+        x = t;
+    }
+    return;
+}
+"#;
+
+const FIND: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn find(x: ANode*, k: int) -> ANode* {
+    while @scan (x != null && x->data != k) {
+        x = x->next;
+    }
+    return x;
+}
+"#;
+
+const LAST: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn last(x: ANode*) -> ANode* {
+    if (x == null) {
+        return null;
+    }
+    while @walk (x->next != null) {
+        x = x->next;
+    }
+    return x;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn reverse(x: ANode*) -> ANode* {
+    var r: ANode* = null;
+    while @inv (x != null) {
+        var t: ANode* = x->next;
+        x->next = r;
+        r = x;
+        x = t;
+    }
+    return r;
+}
+"#;
+
+const ROTATE: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn rotate(x: ANode*) -> ANode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return x;
+    }
+    var second: ANode* = x->next;
+    var t: ANode* = second;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    x->next = null;
+    t->next = x;
+    return second;
+}
+"#;
+
+const SWAP: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn swap(x: ANode*) -> ANode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return x;
+    }
+    var second: ANode* = x->next;
+    x->next = second->next;
+    second->next = x;
+    return second;
+}
+"#;
+
+const INSERT: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn insert(x: ANode*, k: int) -> ANode* {
+    if (x == null) {
+        return new ANode { data: k };
+    }
+    var cur: ANode* = x;
+    while @scan (cur->next != null && cur->next->data < k) {
+        cur = cur->next;
+    }
+    var n: ANode* = new ANode { next: cur->next, data: k };
+    cur->next = n;
+    return x;
+}
+"#;
+
+/// `†`: the delete walk visits its loop head once per node per test, and
+/// the checker struggles with the resulting trace count at the loop.
+const DEL: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn del(x: ANode*, k: int) -> ANode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var rest: ANode* = x->next;
+        free(x);
+        return rest;
+    }
+    var prev: ANode* = x;
+    var cur: ANode* = x->next;
+    while @scan (cur != null) {
+        if (cur->data == k) {
+            prev->next = cur->next;
+            free(cur);
+            return x;
+        }
+        prev = cur;
+        cur = cur->next;
+    }
+    return x;
+}
+"#;
+
+const FILTER: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn filter(x: ANode*, k: int) -> ANode* {
+    if (x == null) {
+        return null;
+    }
+    var rest: ANode* = filter(x->next, k);
+    if (x->data < k) {
+        free(x);
+        return rest;
+    }
+    x->next = rest;
+    return x;
+}
+"#;
+
+const MERGE: &str = r#"
+struct ANode { next: ANode*; data: int; }
+fn merge(a: ANode*, b: ANode*) -> ANode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data <= b->data) {
+        a->next = merge(a->next, b);
+        return a;
+    }
+    b->next = merge(a, b->next);
+    return b;
+}
+"#;
+
+/// The §5.4 `dll_fix`: walks a singly linked chain turning it into a
+/// doubly linked list. The guard (and bookkeeping) marked BUG below is
+/// "commented out" exactly as the paper found it, so `j` and `k` stay nil
+/// and SLING's loop invariant says `k == nil` — the opposite of the
+/// expected `∃. sll(i) * dll(j,...,k,...) * dll(k,...,nil)`.
+const DLL_FIX_BUG: &str = r#"
+struct AdNode { next: AdNode*; prev: AdNode*; }
+fn dll_fix(h: AdNode*) {
+    var i: AdNode* = h;
+    var j: AdNode* = null;
+    var k: AdNode* = null;
+    while @inv (i != null) {
+        var t: AdNode* = i->next;
+        i->next = k;
+        i->prev = null;
+        // if (k != null) { k->prev = i; }      // BUG: commented out
+        // j = k;                               // BUG: commented out
+        // k = i;                               // BUG: commented out
+        i = t;
+    }
+    return;
+}
+"#;
+
+const DLL_SPLICE: &str = r#"
+struct AdNode { next: AdNode*; prev: AdNode*; }
+fn dll_splice(a: AdNode*, b: AdNode*) -> AdNode* {
+    if (a == null) {
+        return b;
+    }
+    var t: AdNode* = a;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    t->next = b;
+    if (b != null) {
+        b->prev = t;
+    }
+    return a;
+}
+"#;
+
+/// The eleven AFWP_SLL benchmarks.
+pub fn sll_benches() -> Vec<Bench> {
+    let one = || vec![nil_or(alist)];
+    let with_key = || vec![nil_or(alist), int_keys()];
+    vec![
+        Bench::new("afwp_sll/create", Category::AfwpSll, CREATE, "create",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(5), ArgCand::Int(10)]])
+            .spec("emp", &[(0, "asll(res)")])
+            .loop_inv("inv", "asll(x)"),
+        Bench::new("afwp_sll/delAll", Category::AfwpSll, DEL_ALL, "delAll", one())
+            .spec("asll(x)", &[(0, "emp")])
+            .frees(),
+        Bench::new("afwp_sll/find", Category::AfwpSll, FIND, "find", with_key())
+            .spec("asll(x)", &[(0, "asll(x) & res == x")])
+            .loop_inv("scan", "asll(x)"),
+        Bench::new("afwp_sll/last", Category::AfwpSll, LAST, "last", one())
+            .spec("asll(x)",
+                &[(0, "emp & x == nil & res == nil"),
+                  (1, "exists d. x -> ANode{next: nil, data: d} & res == x")])
+            .loop_inv("walk", "asll(x)"),
+        Bench::new("afwp_sll/reverse", Category::AfwpSll, REVERSE, "reverse", one())
+            .spec("asll(x)", &[(0, "asll(res) & x == nil")])
+            .loop_inv("inv", "asll(x) * asll(r)"),
+        Bench::new("afwp_sll/rotate", Category::AfwpSll, ROTATE, "rotate", one())
+            .spec("asll(x)", &[(2, "asll(res)")])
+            .loop_inv("walk", "asll(x)"),
+        Bench::new("afwp_sll/swap", Category::AfwpSll, SWAP, "swap", one())
+            .spec("asll(x)", &[(2, "asll(res)")]),
+        Bench::new("afwp_sll/insert", Category::AfwpSll, INSERT, "insert", with_key())
+            .spec("asll(x)", &[(1, "asll(x) & res == x")])
+            .loop_inv("scan", "asll(x)"),
+        Bench::new("afwp_sll/del", Category::AfwpSll, DEL, "del", with_key())
+            .spec("asll(x)", &[(0, "emp & x == nil & res == nil")])
+            .frees()
+            .hard_to_reach(),
+        Bench::new("afwp_sll/filter", Category::AfwpSll, FILTER, "filter", with_key())
+            .spec("asll(x)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("afwp_sll/merge", Category::AfwpSll, MERGE, "merge",
+            vec![nil_or(alist), nil_or(alist)])
+            .spec("asll(a) * asll(b)",
+                &[(0, "asll(b) & a == nil & res == b"), (1, "asll(a) & b == nil & res == a")]),
+    ]
+}
+
+/// The two AFWP_DLL benchmarks.
+pub fn dll_benches() -> Vec<Bench> {
+    vec![
+        Bench::new("afwp_dll/dll_fix", Category::AfwpDll, DLL_FIX_BUG, "dll_fix",
+            vec![nil_or(adlist_broken)])
+            // The *expected* invariant (with the guard restored); the
+            // buggy binary can only produce `k == nil`, so Table 2 counts
+            // this as found-by-neither.
+            .loop_inv("inv", "exists u1, u2, u3, u4. adsll(i) * adll(j, u1, k, u2) * adll(k, u3, u4, nil)")
+            .spec("adsll(h)", &[(0, "emp & h == nil")]),
+        Bench::new("afwp_dll/dll_splice", Category::AfwpDll, DLL_SPLICE, "dll_splice",
+            vec![nil_or(adlist_broken), nil_or(adlist_broken)])
+            .spec("adsll(a) * adsll(b)",
+                &[(0, "adsll(b) & a == nil & res == b"), (1, "adsll(a) & res == a")])
+            .loop_inv("walk", "adsll(a) * adsll(b)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in sll_benches().into_iter().chain(dll_benches()) {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn counts_match_table1() {
+        assert_eq!(sll_benches().len(), 11);
+        assert_eq!(dll_benches().len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Binomial-heap programs (Table 1 row "Binomial Heap", 2 programs):
+//! sibling-linked root lists of child-linked binomial trees.
+
+use rand::Rng;
+
+use sling_lang::RtHeap;
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::program::{ArgCand, Bench, Category};
+
+/// Builds a binomial tree of the given order rooted at `key_floor`.
+fn gen_btree(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng, order: u32, key_floor: i64) -> Val {
+    let b = Symbol::intern("BNode");
+    let key = key_floor + rng.gen_range(0..5);
+    // Children of order k tree: trees of orders k-1 .. 0, sibling-linked.
+    let mut child = Val::Nil;
+    for o in 0..order {
+        let c = gen_btree(heap, rng, o, key);
+        if let Val::Addr(cl) = c {
+            heap.live_mut(cl).unwrap().fields[1] = child;
+            child = c;
+        }
+    }
+    Val::Addr(heap.alloc(b, vec![child, Val::Nil, Val::Int(order as i64), Val::Int(key)]))
+}
+
+/// A root list of binomial trees of increasing order.
+fn gen_bheap(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    let mut head = Val::Nil;
+    for order in (0..3u32).rev() {
+        let t = gen_btree(heap, rng, order, 0);
+        if let Val::Addr(l) = t {
+            heap.live_mut(l).unwrap().fields[1] = head;
+            head = t;
+        }
+    }
+    head
+}
+
+fn heap_inputs() -> Vec<ArgCand> {
+    vec![ArgCand::Nil, ArgCand::Custom(gen_bheap)]
+}
+
+const FIND_MIN: &str = r#"
+struct BNode { child: BNode*; sibling: BNode*; degree: int; key: int; }
+fn findMin(h: BNode*) -> BNode* {
+    if (h == null) {
+        return null;
+    }
+    var best: BNode* = h;
+    var cur: BNode* = h->sibling;
+    while @scan (cur != null) {
+        if (cur->key < best->key) {
+            best = cur;
+        }
+        cur = cur->sibling;
+    }
+    return best;
+}
+"#;
+
+const MERGE: &str = r#"
+struct BNode { child: BNode*; sibling: BNode*; degree: int; key: int; }
+fn merge(a: BNode*, b: BNode*) -> BNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->degree <= b->degree) {
+        a->sibling = merge(a->sibling, b);
+        return a;
+    }
+    b->sibling = merge(a, b->sibling);
+    return b;
+}
+"#;
+
+/// The two binomial-heap benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("binomial/findMin", Category::BinomialHeap, FIND_MIN, "findMin",
+            vec![heap_inputs()])
+            .spec(
+                "bheap(h)",
+                &[(0, "emp & h == nil & res == nil"), (1, "bheap(h)")],
+            )
+            .loop_inv("scan", "bheap(h)"),
+        Bench::new("binomial/merge", Category::BinomialHeap, MERGE, "merge",
+            vec![heap_inputs(), heap_inputs()])
+            .spec(
+                "bheap(a) * bheap(b)",
+                &[(0, "bheap(b) & a == nil & res == b"),
+                  (1, "bheap(a) & b == nil & res == a"),
+                  (2, "bheap(a) & res == a")],
+            ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Binary-search-tree programs (Table 1 row "Binary Search Tree",
+//! 5 programs; `rmRoot` carries the seeded segfault `∗`).
+
+use sling_lang::TreeKind;
+
+use crate::predicates::tnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
+
+fn bst(size: usize) -> ArgCand {
+    ArgCand::Tree { layout: tnode_layout(), kind: TreeKind::Bst, size }
+}
+
+const DEL: &str = r#"
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn findMin(t: TNode*) -> TNode* {
+    if (t->left == null) {
+        return t;
+    }
+    return findMin(t->left);
+}
+fn del(t: TNode*, k: int) -> TNode* {
+    if (t == null) {
+        return null;
+    }
+    if (k < t->data) {
+        t->left = del(t->left, k);
+        return t;
+    }
+    if (k > t->data) {
+        t->right = del(t->right, k);
+        return t;
+    }
+    if (t->left == null) {
+        return t->right;
+    }
+    if (t->right == null) {
+        return t->left;
+    }
+    var m: TNode* = findMin(t->right);
+    t->data = m->data;
+    t->right = del(t->right, m->data);
+    return t;
+}
+"#;
+
+const FIND_ITER: &str = r#"
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn findIter(t: TNode*, k: int) -> TNode* {
+    while @walk (t != null && t->data != k) {
+        if (k < t->data) {
+            t = t->left;
+        } else {
+            t = t->right;
+        }
+    }
+    return t;
+}
+"#;
+
+const FIND: &str = r#"
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn find(t: TNode*, k: int) -> TNode* {
+    if (t == null) {
+        return null;
+    }
+    if (t->data == k) {
+        return t;
+    }
+    if (k < t->data) {
+        return find(t->left, k);
+    }
+    return find(t->right, k);
+}
+"#;
+
+const INSERT: &str = r#"
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn insert(t: TNode*, k: int) -> TNode* {
+    if (t == null) {
+        return new TNode { data: k };
+    }
+    if (k < t->data) {
+        t->left = insert(t->left, k);
+    } else {
+        t->right = insert(t->right, k);
+    }
+    return t;
+}
+"#;
+
+/// Seeded bug: removes the root by promoting the right child without a
+/// null check — dereferences null immediately for every input.
+const RM_ROOT_BUG: &str = r#"
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn rmRoot(t: TNode*) -> TNode* {
+    // BUG: no null checks at all.
+    var r: TNode* = t->right;
+    var l: TNode* = t->left;
+    var m: TNode* = r;
+    while (m->left != null) {
+        m = m->left;
+    }
+    m->left = l;
+    free(t);
+    return r;
+}
+"#;
+
+/// The five BST benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let with_key = || vec![nil_or(bst), int_keys()];
+    vec![
+        Bench::new("bst/del", Category::BinarySearchTree, DEL, "del", with_key())
+            .spec("exists lo, hi. bst(t, lo, hi)", &[(1, "tree(t) & res == t")]),
+        Bench::new("bst/findIter", Category::BinarySearchTree, FIND_ITER, "findIter", with_key())
+            .spec("exists lo, hi. bst(t, lo, hi)", &[(0, "tree(t) & res == t")])
+            .loop_inv("walk", "tree(t)"),
+        Bench::new("bst/find", Category::BinarySearchTree, FIND, "find", with_key())
+            .spec(
+                "exists lo, hi. bst(t, lo, hi)",
+                &[(0, "emp & t == nil & res == nil"), (1, "tree(t) & res == t")],
+            ),
+        Bench::new("bst/insert", Category::BinarySearchTree, INSERT, "insert", with_key())
+            .spec(
+                "exists lo, hi. bst(t, lo, hi)",
+                &[(0, "exists d. res -> TNode{left: nil, right: nil, data: d} & t == nil"),
+                  (1, "tree(t) & res == t")],
+            ),
+        Bench::new("bst/rmRoot", Category::BinarySearchTree, RM_ROOT_BUG, "rmRoot",
+            vec![nil_or(bst)])
+            .spec("exists lo, hi. bst(t, lo, hi)", &[(0, "tree(res)")])
+            .bug(BugKind::Segfault),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 5);
+    }
+}

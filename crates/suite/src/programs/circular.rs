@@ -1,0 +1,144 @@
+//! Circular-list programs (Table 1 row "Circular List", 4 programs).
+//! `delFront`/`delBack` free nodes the caller still reaches — Table 1
+//! reports their invariants as spurious (the LLDB quirk).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::cnode_layout;
+use crate::program::{int_keys, ArgCand, Bench, Category};
+
+fn circ(size: usize) -> ArgCand {
+    ArgCand::List { layout: cnode_layout(), order: DataOrder::Random, size, circular: true }
+}
+
+fn circ_inputs() -> Vec<ArgCand> {
+    vec![circ(1), circ(3), circ(super::super::program::DEFAULT_SIZE)]
+}
+
+const INSERT_FRONT: &str = r#"
+struct CNode { next: CNode*; data: int; }
+fn insertFront(x: CNode*, k: int) -> CNode* {
+    var n: CNode* = new CNode { data: k };
+    if (x == null) {
+        n->next = n;
+        return n;
+    }
+    // Insert after x and swap payloads so n becomes the logical front.
+    n->next = x->next;
+    x->next = n;
+    var t: int = x->data;
+    x->data = n->data;
+    n->data = t;
+    return x;
+}
+"#;
+
+const INSERT_BACK: &str = r#"
+struct CNode { next: CNode*; data: int; }
+fn insertBack(x: CNode*, k: int) -> CNode* {
+    var n: CNode* = new CNode { data: k };
+    if (x == null) {
+        n->next = n;
+        return n;
+    }
+    var t: CNode* = x;
+    while @walk (t->next != x) {
+        t = t->next;
+    }
+    t->next = n;
+    n->next = x;
+    return x;
+}
+"#;
+
+const DEL_FRONT: &str = r#"
+struct CNode { next: CNode*; data: int; }
+fn delFront(x: CNode*) -> CNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == x) {
+        free(x);
+        return null;
+    }
+    var second: CNode* = x->next;
+    var t: CNode* = second;
+    while @walk (t->next != x) {
+        t = t->next;
+    }
+    t->next = second;
+    free(x);
+    return second;
+}
+"#;
+
+const DEL_BACK: &str = r#"
+struct CNode { next: CNode*; data: int; }
+fn delBack(x: CNode*) -> CNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == x) {
+        free(x);
+        return null;
+    }
+    var t: CNode* = x;
+    while @walk (t->next->next != x) {
+        t = t->next;
+    }
+    var victim: CNode* = t->next;
+    t->next = x;
+    free(victim);
+    return x;
+}
+"#;
+
+/// The four circular-list benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("circular/insertFront", Category::CircularList, INSERT_FRONT, "insertFront",
+            vec![{
+                let mut v = vec![ArgCand::Nil];
+                v.extend(circ_inputs());
+                v
+            }, int_keys()])
+            .spec("cll(x)", &[(1, "exists u, d. x -> CNode{next: u, data: d} * clseg(u, x) & res == x")]),
+        Bench::new("circular/insertBack", Category::CircularList, INSERT_BACK, "insertBack",
+            vec![{
+                let mut v = vec![ArgCand::Nil];
+                v.extend(circ_inputs());
+                v
+            }, int_keys()])
+            .spec("cll(x)", &[(1, "exists t, u, d. clseg(x, t) * t -> CNode{next: u, data: d} \
+                 * clseg(u, x) & res == x")])
+            .loop_inv("walk", "clseg(x, t) * clseg(t, x)"),
+        Bench::new("circular/delFront", Category::CircularList, DEL_FRONT, "delFront",
+            vec![circ_inputs()])
+            .spec("cll(x)", &[(2, "cll(res)")])
+            .frees(),
+        Bench::new("circular/delBack", Category::CircularList, DEL_BACK, "delBack",
+            vec![circ_inputs()])
+            .spec("cll(x)", &[(2, "cll(x) & res == x")])
+            .frees(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Cyclist benchmarks (Brotherston & Gorogiannis; Table 1 row "Cyclist",
+//! 4 programs): a frame stack (`aplas-stack`), a composite tree with
+//! parent pointers (`composite4`), a collection iterator (`iter`), and
+//! the Schorr-Waite graph-marking algorithm on binary trees.
+
+use sling_lang::{RtHeap, TreeKind};
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::predicates::{compnode_layout, swnode_layout};
+use crate::program::{nil_or, ArgCand, Bench, Category};
+
+use rand::Rng;
+
+fn swtree(size: usize) -> ArgCand {
+    ArgCand::Tree { layout: swnode_layout(), kind: TreeKind::Random, size }
+}
+
+fn comptree(size: usize) -> ArgCand {
+    ArgCand::Tree { layout: compnode_layout(), kind: TreeKind::Random, size }
+}
+
+/// A frame stack of the given depth.
+fn gen_frames(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    let frame = Symbol::intern("Frame");
+    let mut below = Val::Nil;
+    for _ in 0..rng.gen_range(1..8) {
+        below = Val::Addr(heap.alloc(frame, vec![below, Val::Int(rng.gen_range(0..100))]));
+    }
+    below
+}
+
+/// A collection with items and a cursor mid-way (for `iter`).
+fn gen_items(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    let item = Symbol::intern("Item");
+    let mut next = Val::Nil;
+    for _ in 0..rng.gen_range(1..10) {
+        next = Val::Addr(heap.alloc(item, vec![next, Val::Int(rng.gen_range(0..100))]));
+    }
+    next
+}
+
+const APLAS_STACK: &str = r#"
+struct Frame { below: Frame*; val: int; }
+fn push(s: Frame*, v: int) -> Frame* {
+    return new Frame { below: s, val: v };
+}
+fn pop(s: Frame*) -> Frame* {
+    if (s == null) {
+        return null;
+    }
+    var rest: Frame* = s->below;
+    free(s);
+    return rest;
+}
+fn aplasStack(s: Frame*, v: int) -> Frame* {
+    @start;
+    var grown: Frame* = push(s, v);
+    grown = push(grown, v + 1);
+    var shrunk: Frame* = pop(grown);
+    @end;
+    return shrunk;
+}
+"#;
+
+const COMPOSITE4: &str = r#"
+struct CompNode { left: CompNode*; right: CompNode*; parent: CompNode*; data: int; }
+fn addChild(t: CompNode*, k: int) -> CompNode* {
+    if (t == null) {
+        return new CompNode { data: k };
+    }
+    var n: CompNode* = new CompNode { data: k };
+    if (t->left == null) {
+        t->left = n;
+        n->parent = t;
+    } else {
+        if (t->right == null) {
+            t->right = n;
+            n->parent = t;
+        } else {
+            t->left = addChild(t->left, k);
+        }
+    }
+    return t;
+}
+fn composite4(t: CompNode*, k: int) -> CompNode* {
+    var grown: CompNode* = addChild(t, k);
+    grown = addChild(grown, k + 1);
+    return grown;
+}
+"#;
+
+const ITER: &str = r#"
+struct Item { next: Item*; data: int; }
+fn iterSum(c: Item*) -> int {
+    var cursor: Item* = c;
+    var acc: int = 0;
+    while @inv (cursor != null) {
+        acc = acc + cursor->data;
+        cursor = cursor->next;
+    }
+    return acc;
+}
+"#;
+
+/// Schorr-Waite tree marking via pointer reversal (the recursion-free
+/// classic, bounded here with explicit mark bits).
+const SCHORR_WAITE: &str = r#"
+struct SwNode { left: SwNode*; right: SwNode*; mark: int; }
+fn schorrWaite(root: SwNode*) {
+    var t: SwNode* = root;
+    var p: SwNode* = null;
+    while @inv (p != null || (t != null && t->mark == 0)) {
+        if (t == null || t->mark != 0) {
+            if (p->mark == 1) {
+                // Swing: advance to the right child.
+                p->mark = 2;
+                var q: SwNode* = t;
+                t = p->right;
+                p->right = p->left;
+                p->left = q;
+            } else {
+                // Retreat.
+                p->mark = 3;
+                var q2: SwNode* = t;
+                t = p;
+                p = t->right;
+                t->right = q2;
+            }
+        } else {
+            // Advance to the left child.
+            t->mark = 1;
+            var q3: SwNode* = p;
+            p = t;
+            t = t->left;
+            p->left = q3;
+        }
+    }
+    return;
+}
+"#;
+
+/// The four Cyclist benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("cyclist/aplas-stack", Category::Cyclist, APLAS_STACK, "aplasStack",
+            vec![vec![ArgCand::Nil, ArgCand::Custom(gen_frames)],
+                 vec![ArgCand::Int(1), ArgCand::Int(9)]])
+            .spec("frames(s)", &[(0, "frames(res)")])
+            .frees(),
+        Bench::new("cyclist/composite4", Category::Cyclist, COMPOSITE4, "composite4",
+            vec![nil_or(comptree), vec![ArgCand::Int(3)]])
+            .spec("exists p. comp(t, p)", &[(0, "exists p. comp(res, p)")]),
+        Bench::new("cyclist/iter", Category::Cyclist, ITER, "iterSum",
+            vec![vec![ArgCand::Nil, ArgCand::Custom(gen_items)]])
+            .spec("items(c)", &[(0, "items(c)")])
+            .loop_inv("inv", "items(cursor)"),
+        Bench::new("cyclist/schorr-waite", Category::Cyclist, SCHORR_WAITE, "schorrWaite",
+            vec![nil_or(swtree)])
+            .spec("swtree(root)", &[(0, "swtree(root)")])
+            .hard_to_reach(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 4);
+    }
+
+    #[test]
+    fn schorr_waite_terminates_and_marks() {
+        use sling_lang::{Vm, VmConfig};
+        use rand::SeedableRng;
+        let p = parse_program(SCHORR_WAITE).unwrap();
+        check_program(&p).unwrap();
+        let mut vm = Vm::new(&p, VmConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let root = sling_lang::gen_tree(&mut vm.heap, &swnode_layout(), 7, TreeKind::Random, &mut rng);
+        vm.call(Symbol::intern("schorrWaite"), &[root]).expect("marks without fault");
+        // Every node fully processed (mark == 3) and structure restored.
+        let Val::Addr(r) = root else { panic!() };
+        fn check(heap: &sling_lang::RtHeap, l: sling_models::Loc) {
+            let c = heap.live().get(l).unwrap().clone();
+            assert_eq!(c.fields[2], Val::Int(3), "node not fully processed");
+            for side in [0, 1] {
+                if let Val::Addr(ch) = c.fields[side] {
+                    check(heap, ch);
+                }
+            }
+        }
+        check(&vm.heap, r);
+    }
+}

@@ -1,0 +1,303 @@
+//! Doubly-linked-list programs (Table 1 row "DLL", 12 programs),
+//! including the paper's running example `concat` (Figure 1).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::dnode_layout;
+use crate::program::{int_keys, nil_or, nonnil, ArgCand, Bench, Category};
+
+fn dll(size: usize) -> ArgCand {
+    ArgCand::List { layout: dnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+/// The paper's Figure 1 (with a data payload, as in VCDryad).
+const CONCAT: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn concat(x: DNode*, y: DNode*) -> DNode* {
+    @L1;
+    if (x == null) {
+        @L2;
+        return y;
+    } else {
+        var tmp: DNode* = concat(x->next, y);
+        x->next = tmp;
+        if (tmp != null) {
+            tmp->prev = x;
+        }
+        @L3;
+        return x;
+    }
+}
+"#;
+
+const APPEND: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn append(x: DNode*, k: int) -> DNode* {
+    if (x == null) {
+        return new DNode { data: k };
+    }
+    var t: DNode* = append(x->next, k);
+    x->next = t;
+    t->prev = x;
+    return x;
+}
+"#;
+
+const MELD: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn meld(x: DNode*, y: DNode*) -> DNode* {
+    if (x == null) {
+        return y;
+    }
+    if (y == null) {
+        return x;
+    }
+    var t: DNode* = x;
+    while @tail (t->next != null) {
+        t = t->next;
+    }
+    t->next = y;
+    y->prev = t;
+    return x;
+}
+"#;
+
+const DEL_ALL: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn delAll(x: DNode*) {
+    while @inv (x != null) {
+        var t: DNode* = x->next;
+        free(x);
+        x = t;
+    }
+    return;
+}
+"#;
+
+const INSERT_BACK: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn insertBack(x: DNode*, k: int) -> DNode* {
+    var n: DNode* = new DNode { data: k };
+    if (x == null) {
+        return n;
+    }
+    var t: DNode* = x;
+    while @tail (t->next != null) {
+        t = t->next;
+    }
+    t->next = n;
+    n->prev = t;
+    return x;
+}
+"#;
+
+const INSERT_FRONT: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn insertFront(x: DNode*, k: int) -> DNode* {
+    var n: DNode* = new DNode { next: x, data: k };
+    if (x != null) {
+        x->prev = n;
+    }
+    return n;
+}
+"#;
+
+const MID_INSERT: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midInsert(x: DNode*, k: int) -> DNode* {
+    if (x == null) {
+        return new DNode { data: k };
+    }
+    var n: DNode* = new DNode { data: k };
+    n->next = x->next;
+    n->prev = x;
+    if (x->next != null) {
+        x->next->prev = n;
+    }
+    x->next = n;
+    return x;
+}
+"#;
+
+const MID_DEL: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midDel(x: DNode*) -> DNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return x;
+    }
+    var victim: DNode* = x->next;
+    x->next = victim->next;
+    if (victim->next != null) {
+        victim->next->prev = x;
+    }
+    free(victim);
+    return x;
+}
+"#;
+
+/// Buggy mid-delete: forgets to fix the back pointer, leaving the list
+/// ill-formed (it still runs — the bug shows as a *weaker* invariant).
+const MID_DEL_ERROR: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midDelError(x: DNode*) -> DNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return x;
+    }
+    var victim: DNode* = x->next;
+    x->next = victim->next;
+    // BUG: victim->next->prev still points at victim.
+    free(victim);
+    return x;
+}
+"#;
+
+const MID_DEL_HD: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midDelHd(x: DNode*) -> DNode* {
+    if (x == null) {
+        return null;
+    }
+    var rest: DNode* = x->next;
+    if (rest != null) {
+        rest->prev = null;
+    }
+    free(x);
+    return rest;
+}
+"#;
+
+const MID_DEL_STAR: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midDelStar(x: DNode*) {
+    if (x == null) {
+        return;
+    }
+    midDelStar(x->next);
+    free(x);
+    return;
+}
+"#;
+
+const MID_DEL_MID: &str = r#"
+struct DNode { next: DNode*; prev: DNode*; data: int; }
+fn midDelMid(x: DNode*, k: int) -> DNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var rest: DNode* = x->next;
+        if (rest != null) {
+            rest->prev = x->prev;
+        }
+        if (x->prev != null) {
+            x->prev->next = rest;
+        }
+        free(x);
+        return rest;
+    }
+    x->next = midDelMid(x->next, k);
+    if (x->next != null) {
+        x->next->prev = x;
+    }
+    return x;
+}
+"#;
+
+/// The twelve DLL benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(dll)];
+    let with_key = || vec![nil_or(dll), int_keys()];
+    vec![
+        Bench::new("dll/concat", Category::Dll, CONCAT, "concat", vec![nil_or(dll), nil_or(dll)])
+            // The paper's §2 spec, with the postcondition in the
+            // three-segment form SLING itself derives (F'_L3; the paper
+            // notes it is *stronger* than the two-segment textbook post).
+            .spec(
+                "exists p, u, v. dll(x, p, u, nil) * dll(y, nil, v, nil)",
+                &[
+                    (0, "exists v. dll(y, nil, v, nil) & x == nil & res == y"),
+                    (1, "exists p, u, t, q, w, z, v. dll(x, p, u, t) * dll(t, q, w, y) \
+                         * dll(y, z, v, nil) & res == x"),
+                ],
+            ),
+        Bench::new("dll/append", Category::Dll, APPEND, "append", with_key())
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
+                  (1, "exists p, u. dll(x, p, u, nil) & res == x")],
+            ),
+        Bench::new("dll/meld", Category::Dll, MELD, "meld", vec![nil_or(dll), nil_or(dll)])
+            .spec(
+                "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)",
+                &[(0, "exists q, v. dll(y, q, v, nil) & x == nil & res == y"),
+                  (1, "exists p, u. dll(x, p, u, nil) & y == nil & res == x"),
+                  (2, "exists u, v. dll(x, nil, u, y) * dll(y, u, v, nil) & res == x")],
+            )
+            .loop_inv("tail", "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)"),
+        Bench::new("dll/delAll", Category::Dll, DEL_ALL, "delAll", one())
+            .spec("exists p, u. dll(x, p, u, nil)", &[(0, "emp")])
+            .frees(),
+        Bench::new("dll/insertBack", Category::Dll, INSERT_BACK, "insertBack", with_key())
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
+                  (1, "exists p, u. dll(x, p, u, nil) & res == x")],
+            ),
+        Bench::new("dll/insertFront", Category::Dll, INSERT_FRONT, "insertFront", with_key())
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(0, "exists u. dll(res, nil, u, nil)")],
+            ),
+        Bench::new("dll/midInsert", Category::Dll, MID_INSERT, "midInsert", with_key())
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
+                  (1, "exists u. dll(x, nil, u, nil) & res == x")],
+            ),
+        Bench::new("dll/midDel", Category::Dll, MID_DEL, "midDel", vec![nonnil(dll)])
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(1, "exists d. x -> DNode{next: nil, prev: nil, data: d} & res == x")],
+            )
+            .frees(),
+        Bench::new("dll/midDelError", Category::Dll, MID_DEL_ERROR, "midDelError", vec![nonnil(dll)])
+            .frees(),
+        Bench::new("dll/midDelHd", Category::Dll, MID_DEL_HD, "midDelHd", one())
+            .spec(
+                "exists p, u. dll(x, p, u, nil)",
+                &[(0, "emp & x == nil & res == nil")],
+            )
+            .frees(),
+        Bench::new("dll/midDelStar", Category::Dll, MID_DEL_STAR, "midDelStar", one())
+            .spec("exists p, u. dll(x, p, u, nil)", &[(1, "emp")])
+            .frees(),
+        Bench::new("dll/midDelMid", Category::Dll, MID_DEL_MID, "midDelMid", with_key())
+            .frees(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 12);
+    }
+}

@@ -1,0 +1,220 @@
+//! GRASShopper doubly-linked-list programs (Table 1 row
+//! "GRASShopper_DLL", 8 programs; the paper marks `filter` with `†` —
+//! its loop locations gather so many traces that checking times out).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::hdnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn hdlist(size: usize) -> ArgCand {
+    ArgCand::List { layout: hdnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const CONCAT: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn concat(a: HdNode*, b: HdNode*) -> HdNode* {
+    if (a == null) {
+        return b;
+    }
+    var t: HdNode* = a;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    t->next = b;
+    if (b != null) {
+        b->prev = t;
+    }
+    return a;
+}
+"#;
+
+const COPY: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn copy(x: HdNode*) -> HdNode* {
+    var head: HdNode* = null;
+    var tail: HdNode* = null;
+    while @inv (x != null) {
+        var n: HdNode* = new HdNode { data: x->data };
+        if (tail == null) {
+            head = n;
+        } else {
+            tail->next = n;
+            n->prev = tail;
+        }
+        tail = n;
+        x = x->next;
+    }
+    return head;
+}
+"#;
+
+const DISPOSE: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn dispose(x: HdNode*) {
+    while @inv (x != null) {
+        var t: HdNode* = x->next;
+        free(x);
+        x = t;
+    }
+    return;
+}
+"#;
+
+const FILTER: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn filter(x: HdNode*, k: int) -> HdNode* {
+    var head: HdNode* = x;
+    var cur: HdNode* = x;
+    while @inv (cur != null) {
+        var t: HdNode* = cur->next;
+        if (cur->data < k) {
+            if (cur->prev == null) {
+                head = t;
+            } else {
+                cur->prev->next = t;
+            }
+            if (t != null) {
+                t->prev = cur->prev;
+            }
+            free(cur);
+        }
+        cur = t;
+    }
+    return head;
+}
+"#;
+
+const INSERT: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn insert(x: HdNode*, k: int) -> HdNode* {
+    var n: HdNode* = new HdNode { data: k };
+    if (x == null) {
+        return n;
+    }
+    var cur: HdNode* = x;
+    while @walk (cur->next != null) {
+        cur = cur->next;
+    }
+    cur->next = n;
+    n->prev = cur;
+    return x;
+}
+"#;
+
+const RM: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn rm(x: HdNode*, k: int) -> HdNode* {
+    var cur: HdNode* = x;
+    while @scan (cur != null && cur->data != k) {
+        cur = cur->next;
+    }
+    if (cur == null) {
+        return x;
+    }
+    if (cur->prev != null) {
+        cur->prev->next = cur->next;
+    }
+    if (cur->next != null) {
+        cur->next->prev = cur->prev;
+    }
+    if (cur == x) {
+        var rest: HdNode* = cur->next;
+        free(cur);
+        return rest;
+    }
+    free(cur);
+    return x;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn reverse(x: HdNode*) -> HdNode* {
+    var last: HdNode* = null;
+    while @inv (x != null) {
+        last = x;
+        x = last->next;
+        last->next = last->prev;
+        last->prev = x;
+    }
+    return last;
+}
+"#;
+
+const TRAVERSE: &str = r#"
+struct HdNode { next: HdNode*; prev: HdNode*; data: int; }
+fn traverse(x: HdNode*) -> int {
+    var n: int = 0;
+    while @inv (x != null) {
+        n = n + 1;
+        x = x->next;
+    }
+    return n;
+}
+"#;
+
+/// The eight GRASShopper DLL benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(hdlist)];
+    let with_key = || vec![nil_or(hdlist), int_keys()];
+    vec![
+        Bench::new("gh_dll/concat", Category::GrasshopperDll, CONCAT, "concat",
+            vec![nil_or(hdlist), nil_or(hdlist)])
+            .spec(
+                "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)",
+                &[(0, "exists q, v. hdll(b, q, v, nil) & a == nil & res == b"),
+                  (1, "exists p, u. hdll(a, p, u, nil) & res == a")],
+            )
+            .loop_inv("walk", "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)"),
+        Bench::new("gh_dll/copy", Category::GrasshopperDll, COPY, "copy", one())
+            .spec(
+                "exists p, u. hdll(x, p, u, nil)",
+                &[(0, "exists u. hdll(res, nil, u, nil) & x == nil")],
+            )
+            .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new("gh_dll/dispose", Category::GrasshopperDll, DISPOSE, "dispose", one())
+            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp")])
+            .frees(),
+        Bench::new("gh_dll/filter", Category::GrasshopperDll, FILTER, "filter", with_key())
+            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "exists u. hdll(res, nil, u, nil)")])
+            .frees()
+            .hard_to_reach(),
+        Bench::new("gh_dll/insert", Category::GrasshopperDll, INSERT, "insert", with_key())
+            .spec(
+                "exists p, u. hdll(x, p, u, nil)",
+                &[(0, "exists d. res -> HdNode{next: nil, prev: nil, data: d} & x == nil"),
+                  (1, "exists p, u. hdll(x, p, u, nil) & res == x")],
+            )
+            .loop_inv("walk", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new("gh_dll/rm", Category::GrasshopperDll, RM, "rm", with_key())
+            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "exists p, u. hdll(x, p, u, nil) & res == x")])
+            .frees(),
+        Bench::new("gh_dll/reverse", Category::GrasshopperDll, REVERSE, "reverse", one())
+            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
+            .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new("gh_dll/traverse", Category::GrasshopperDll, TRAVERSE, "traverse", one())
+            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
+            .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! GRASShopper singly-linked-list programs, iterative versions (Table 1
+//! row "GRASShopper_SLL (Iterative)", 8 programs).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::hnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn hlist(size: usize) -> ArgCand {
+    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const CONCAT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn concat(a: HNode*, b: HNode*) -> HNode* {
+    if (a == null) {
+        return b;
+    }
+    var t: HNode* = a;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    t->next = b;
+    return a;
+}
+"#;
+
+const COPY: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn copy(x: HNode*) -> HNode* {
+    var head: HNode* = null;
+    var tail: HNode* = null;
+    while @inv (x != null) {
+        var n: HNode* = new HNode { data: x->data };
+        if (tail == null) {
+            head = n;
+        } else {
+            tail->next = n;
+        }
+        tail = n;
+        x = x->next;
+    }
+    return head;
+}
+"#;
+
+const DISPOSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn dispose(x: HNode*) {
+    while @inv (x != null) {
+        var t: HNode* = x->next;
+        free(x);
+        x = t;
+    }
+    return;
+}
+"#;
+
+const FILTER: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn filter(x: HNode*, k: int) -> HNode* {
+    var head: HNode* = x;
+    var prev: HNode* = null;
+    var cur: HNode* = x;
+    while @inv (cur != null) {
+        var t: HNode* = cur->next;
+        if (cur->data < k) {
+            if (prev == null) {
+                head = t;
+            } else {
+                prev->next = t;
+            }
+            free(cur);
+        } else {
+            prev = cur;
+        }
+        cur = t;
+    }
+    return head;
+}
+"#;
+
+const INSERT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn insert(x: HNode*, k: int) -> HNode* {
+    var n: HNode* = new HNode { data: k };
+    if (x == null) {
+        return n;
+    }
+    var cur: HNode* = x;
+    while @walk (cur->next != null) {
+        cur = cur->next;
+    }
+    cur->next = n;
+    return x;
+}
+"#;
+
+const RM: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn rm(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var rest: HNode* = x->next;
+        free(x);
+        return rest;
+    }
+    var prev: HNode* = x;
+    var cur: HNode* = x->next;
+    while @scan (cur != null && cur->data != k) {
+        prev = cur;
+        cur = cur->next;
+    }
+    if (cur != null) {
+        prev->next = cur->next;
+        free(cur);
+    }
+    return x;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn reverse(x: HNode*) -> HNode* {
+    var r: HNode* = null;
+    while @inv (x != null) {
+        var t: HNode* = x->next;
+        x->next = r;
+        r = x;
+        x = t;
+    }
+    return r;
+}
+"#;
+
+const TRAVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn traverse(x: HNode*) -> int {
+    var n: int = 0;
+    while @inv (x != null) {
+        n = n + 1;
+        x = x->next;
+    }
+    return n;
+}
+"#;
+
+/// The eight iterative GRASShopper SLL benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(hlist)];
+    let with_key = || vec![nil_or(hlist), int_keys()];
+    vec![
+        Bench::new("gh_sll_iter/concat", Category::GrasshopperSllIter, CONCAT, "concat",
+            vec![nil_or(hlist), nil_or(hlist)])
+            .spec("hsll(a) * hsll(b)", &[(0, "hsll(b) & a == nil & res == b"), (1, "hsll(a) & res == a")])
+            .loop_inv("walk", "hsll(a) * hsll(b)"),
+        Bench::new("gh_sll_iter/copy", Category::GrasshopperSllIter, COPY, "copy", one())
+            .spec("hsll(x)", &[(0, "hsll(x) * hsll(res) & x == nil")])
+            .loop_inv("inv", "hsll(x)"),
+        Bench::new("gh_sll_iter/dispose", Category::GrasshopperSllIter, DISPOSE, "dispose", one())
+            .spec("hsll(x)", &[(0, "emp")])
+            .frees(),
+        Bench::new("gh_sll_iter/filter", Category::GrasshopperSllIter, FILTER, "filter", with_key())
+            .spec("hsll(x)", &[(0, "hsll(res)")])
+            .frees(),
+        Bench::new("gh_sll_iter/insert", Category::GrasshopperSllIter, INSERT, "insert", with_key())
+            .spec("hsll(x)", &[(0, "exists d. res -> HNode{next: nil, data: d} & x == nil"),
+                               (1, "hsll(x) & res == x")])
+            .loop_inv("walk", "hsll(x)"),
+        Bench::new("gh_sll_iter/rm", Category::GrasshopperSllIter, RM, "rm", with_key())
+            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("gh_sll_iter/reverse", Category::GrasshopperSllIter, REVERSE, "reverse", one())
+            .spec("hsll(x)", &[(0, "hsll(res) & x == nil")])
+            .loop_inv("inv", "hsll(x) * hsll(r)"),
+        Bench::new("gh_sll_iter/traverse", Category::GrasshopperSllIter, TRAVERSE, "traverse", one())
+            .spec("hsll(x)", &[(0, "emp & x == nil")])
+            .loop_inv("inv", "hsll(x)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 8);
+    }
+}

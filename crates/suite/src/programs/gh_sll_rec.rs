@@ -1,0 +1,162 @@
+//! GRASShopper singly-linked-list programs, recursive versions (Table 1
+//! row "GRASShopper_SLL (Recursive)", 8 programs).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::hnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn hlist(size: usize) -> ArgCand {
+    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const CONCAT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn concat(a: HNode*, b: HNode*) -> HNode* {
+    if (a == null) {
+        return b;
+    }
+    a->next = concat(a->next, b);
+    return a;
+}
+"#;
+
+const COPY: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn copy(x: HNode*) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    var n: HNode* = new HNode { data: x->data };
+    n->next = copy(x->next);
+    return n;
+}
+"#;
+
+const DISPOSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn dispose(x: HNode*) {
+    if (x == null) {
+        return;
+    }
+    dispose(x->next);
+    free(x);
+    return;
+}
+"#;
+
+const FILTER: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn filter(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    var rest: HNode* = filter(x->next, k);
+    if (x->data < k) {
+        free(x);
+        return rest;
+    }
+    x->next = rest;
+    return x;
+}
+"#;
+
+const INSERT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn insert(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return new HNode { data: k };
+    }
+    x->next = insert(x->next, k);
+    return x;
+}
+"#;
+
+const RM: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn rm(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var rest: HNode* = x->next;
+        free(x);
+        return rest;
+    }
+    x->next = rm(x->next, k);
+    return x;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn revAppend(x: HNode*, acc: HNode*) -> HNode* {
+    if (x == null) {
+        return acc;
+    }
+    var t: HNode* = x->next;
+    x->next = acc;
+    return revAppend(t, x);
+}
+fn reverse(x: HNode*) -> HNode* {
+    return revAppend(x, null);
+}
+"#;
+
+const TRAVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn traverse(x: HNode*) -> int {
+    if (x == null) {
+        return 0;
+    }
+    return 1 + traverse(x->next);
+}
+"#;
+
+/// The eight recursive GRASShopper SLL benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(hlist)];
+    let with_key = || vec![nil_or(hlist), int_keys()];
+    vec![
+        Bench::new("gh_sll_rec/concat", Category::GrasshopperSllRec, CONCAT, "concat",
+            vec![nil_or(hlist), nil_or(hlist)])
+            .spec("hsll(a) * hsll(b)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
+        Bench::new("gh_sll_rec/copy", Category::GrasshopperSllRec, COPY, "copy", one())
+            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil"), (1, "hsll(x) * hsll(res)")]),
+        Bench::new("gh_sll_rec/dispose", Category::GrasshopperSllRec, DISPOSE, "dispose", one())
+            .spec("hsll(x)", &[(1, "emp")])
+            .frees(),
+        Bench::new("gh_sll_rec/filter", Category::GrasshopperSllRec, FILTER, "filter", with_key())
+            .spec("hsll(x)", &[(0, "hsll(res)")])
+            .frees(),
+        Bench::new("gh_sll_rec/insert", Category::GrasshopperSllRec, INSERT, "insert", with_key())
+            .spec("hsll(x)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
+        Bench::new("gh_sll_rec/rm", Category::GrasshopperSllRec, RM, "rm", with_key())
+            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("gh_sll_rec/reverse", Category::GrasshopperSllRec, REVERSE, "reverse", one())
+            .spec("hsll(x)", &[(0, "hsll(res)")]),
+        Bench::new("gh_sll_rec/traverse", Category::GrasshopperSllRec, TRAVERSE, "traverse", one())
+            .spec("hsll(x)", &[(0, "emp & x == nil"), (1, "hsll(x)")]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 8);
+    }
+}

@@ -1,0 +1,292 @@
+//! GRASShopper sorted-list programs (Table 1 row
+//! "GRASShopper_SortedList", 14 programs; `insertionSort` is `†`
+//! (checker-heavy loops) and `mergeSort` is `∗` (seeded segfault)).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::hnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
+
+fn sorted(size: usize) -> ArgCand {
+    ArgCand::List { layout: hnode_layout(), order: DataOrder::Sorted, size, circular: false }
+}
+
+fn unsorted(size: usize) -> ArgCand {
+    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const CONCAT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn concat(a: HNode*, b: HNode*) -> HNode* {
+    if (a == null) {
+        return b;
+    }
+    a->next = concat(a->next, b);
+    return a;
+}
+"#;
+
+const COPY: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn copy(x: HNode*) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    var n: HNode* = new HNode { data: x->data };
+    n->next = copy(x->next);
+    return n;
+}
+"#;
+
+const DISPOSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn dispose(x: HNode*) {
+    if (x == null) {
+        return;
+    }
+    dispose(x->next);
+    free(x);
+    return;
+}
+"#;
+
+const FILTER: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn filter(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    var rest: HNode* = filter(x->next, k);
+    if (x->data < k) {
+        free(x);
+        return rest;
+    }
+    x->next = rest;
+    return x;
+}
+"#;
+
+const INSERT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn insert(x: HNode*, k: int) -> HNode* {
+    if (x == null || k <= x->data) {
+        return new HNode { next: x, data: k };
+    }
+    x->next = insert(x->next, k);
+    return x;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn reverse(x: HNode*) -> HNode* {
+    var r: HNode* = null;
+    while @inv (x != null) {
+        var t: HNode* = x->next;
+        x->next = r;
+        r = x;
+        x = t;
+    }
+    return r;
+}
+"#;
+
+const RM: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn rm(x: HNode*, k: int) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var rest: HNode* = x->next;
+        free(x);
+        return rest;
+    }
+    if (x->data > k) {
+        return x;
+    }
+    x->next = rm(x->next, k);
+    return x;
+}
+"#;
+
+const SPLIT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn split(x: HNode*) -> HNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return null;
+    }
+    var second: HNode* = x->next;
+    x->next = second->next;
+    second->next = split(second);
+    return second;
+}
+"#;
+
+const TRAVERSE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn traverse(x: HNode*) -> int {
+    var n: int = 0;
+    while @inv (x != null) {
+        n = n + 1;
+        x = x->next;
+    }
+    return n;
+}
+"#;
+
+const MERGE: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn merge(a: HNode*, b: HNode*) -> HNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data <= b->data) {
+        a->next = merge(a->next, b);
+        return a;
+    }
+    b->next = merge(a, b->next);
+    return b;
+}
+"#;
+
+const DOUBLE_ALL: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn doubleAll(x: HNode*) {
+    while @inv (x != null) {
+        x->data = 2 * x->data;
+        x = x->next;
+    }
+    return;
+}
+"#;
+
+const PAIRWISE_SUM: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn pairwiseSum(a: HNode*, b: HNode*) -> HNode* {
+    if (a == null || b == null) {
+        return null;
+    }
+    var n: HNode* = new HNode { data: a->data + b->data };
+    n->next = pairwiseSum(a->next, b->next);
+    return n;
+}
+"#;
+
+/// `†`: the nested insertion loops hammer the checker with loop traces.
+const INSERTION_SORT: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn insertionSort(x: HNode*) -> HNode* {
+    var s: HNode* = null;
+    while @outer (x != null) {
+        var t: HNode* = x->next;
+        if (s == null || x->data <= s->data) {
+            x->next = s;
+            s = x;
+        } else {
+            var cur: HNode* = s;
+            while @inner (cur->next != null && cur->next->data < x->data) {
+                cur = cur->next;
+            }
+            x->next = cur->next;
+            cur->next = x;
+        }
+        x = t;
+    }
+    return s;
+}
+"#;
+
+/// `∗`: the split step loses the list tail and dereferences null.
+const MERGE_SORT_BUG: &str = r#"
+struct HNode { next: HNode*; data: int; }
+fn mergeSort(x: HNode*) -> HNode* {
+    // BUG: no null check — crashes immediately on the empty list, and the
+    // "split" below walks past the end for every non-empty one.
+    var fast: HNode* = x->next->next;
+    while (fast != null) {
+        fast = fast->next->next;
+    }
+    return x;
+}
+"#;
+
+/// The fourteen GRASShopper sorted-list benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(sorted)];
+    let with_key = || vec![nil_or(sorted), int_keys()];
+    vec![
+        Bench::new("gh_sorted/concat", Category::GrasshopperSorted, CONCAT, "concat",
+            vec![nil_or(sorted), nil_or(sorted)])
+            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
+                &[(0, "exists m. hsrtl(b, m) & a == nil & res == b"), (1, "hsll(a) & res == a")]),
+        Bench::new("gh_sorted/copy", Category::GrasshopperSorted, COPY, "copy", one())
+            .spec("exists m. hsrtl(x, m)",
+                &[(0, "emp & x == nil & res == nil"), (1, "exists m1, m2. hsrtl(x, m1) * hsrtl(res, m2)")]),
+        Bench::new("gh_sorted/dispose", Category::GrasshopperSorted, DISPOSE, "dispose", one())
+            .spec("exists m. hsrtl(x, m)", &[(1, "emp")])
+            .frees(),
+        Bench::new("gh_sorted/filter", Category::GrasshopperSorted, FILTER, "filter", with_key())
+            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("gh_sorted/insert", Category::GrasshopperSorted, INSERT, "insert", with_key())
+            .spec("exists m. hsrtl(x, m)", &[(1, "exists m. hsrtl(x, m) & res == x")]),
+        Bench::new("gh_sorted/reverse", Category::GrasshopperSorted, REVERSE, "reverse", one())
+            .spec("exists m. hsrtl(x, m)", &[(0, "hsll(res) & x == nil")])
+            .loop_inv("inv", "exists m. hsrtl(x, m) * hsll(r)"),
+        Bench::new("gh_sorted/rm", Category::GrasshopperSorted, RM, "rm", with_key())
+            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("gh_sorted/split", Category::GrasshopperSorted, SPLIT, "split", one())
+            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")]),
+        Bench::new("gh_sorted/traverse", Category::GrasshopperSorted, TRAVERSE, "traverse", one())
+            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
+            .loop_inv("inv", "exists m. hsrtl(x, m)"),
+        Bench::new("gh_sorted/merge", Category::GrasshopperSorted, MERGE, "merge",
+            vec![nil_or(sorted), nil_or(sorted)])
+            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
+                &[(0, "exists m. hsrtl(b, m) & a == nil & res == b"),
+                  (1, "exists m. hsrtl(a, m) & b == nil & res == a")]),
+        Bench::new("gh_sorted/doubleAll", Category::GrasshopperSorted, DOUBLE_ALL, "doubleAll", one())
+            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
+            .loop_inv("inv", "exists m. hsrtl(x, m)"),
+        Bench::new("gh_sorted/pairwiseSum", Category::GrasshopperSorted, PAIRWISE_SUM, "pairwiseSum",
+            vec![nil_or(sorted), nil_or(sorted)])
+            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)", &[(0, "emp & res == nil")]),
+        Bench::new("gh_sorted/insertionSort", Category::GrasshopperSorted, INSERTION_SORT,
+            "insertionSort", vec![nil_or(unsorted)])
+            .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m) & x == nil")])
+            .loop_inv("outer", "exists m. hsll(x) * hsrtl(s, m)")
+            .hard_to_reach(),
+        Bench::new("gh_sorted/mergeSort", Category::GrasshopperSorted, MERGE_SORT_BUG, "mergeSort",
+            vec![nil_or(unsorted)])
+            .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m)")])
+            .bug(BugKind::Segfault),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 14);
+    }
+}

@@ -1,0 +1,205 @@
+//! glib `GList` (doubly linked) programs (Table 1 row "glib/glist_DLL",
+//! 10 programs). `free` is the bold row's culprit: freed cells stay
+//! observable through the caller's pointer, so its invariants are
+//! spurious.
+
+use sling_lang::DataOrder;
+
+use crate::predicates::gnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn glist(size: usize) -> ArgCand {
+    ArgCand::List { layout: gnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const FIND: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn find(list: GNode*, k: int) -> GNode* {
+    while @scan (list != null && list->data != k) {
+        list = list->next;
+    }
+    return list;
+}
+"#;
+
+const FREE_ALL: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn freeAll(list: GNode*) {
+    while @inv (list != null) {
+        var t: GNode* = list->next;
+        free(list);
+        list = t;
+    }
+    return;
+}
+"#;
+
+const INDEX: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn index(list: GNode*, k: int) -> int {
+    var i: int = 0;
+    while @scan (list != null) {
+        if (list->data == k) {
+            return i;
+        }
+        i = i + 1;
+        list = list->next;
+    }
+    return -1;
+}
+"#;
+
+const LAST: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn last(list: GNode*) -> GNode* {
+    if (list == null) {
+        return null;
+    }
+    while @walk (list->next != null) {
+        list = list->next;
+    }
+    return list;
+}
+"#;
+
+const LENGTH: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn length(list: GNode*) -> int {
+    var n: int = 0;
+    while @count (list != null) {
+        n = n + 1;
+        list = list->next;
+    }
+    return n;
+}
+"#;
+
+const NTH: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn nth(list: GNode*, n: int) -> GNode* {
+    while @step (n > 0 && list != null) {
+        list = list->next;
+        n = n - 1;
+    }
+    return list;
+}
+"#;
+
+const NTH_DATA: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn nthData(list: GNode*, n: int) -> int {
+    while @step (n > 0 && list != null) {
+        list = list->next;
+        n = n - 1;
+    }
+    if (list == null) {
+        return 0;
+    }
+    return list->data;
+}
+"#;
+
+const POSITION: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn position(list: GNode*, link: GNode*) -> int {
+    var i: int = 0;
+    while @scan (list != null) {
+        if (list == link) {
+            return i;
+        }
+        i = i + 1;
+        list = list->next;
+    }
+    return -1;
+}
+"#;
+
+const PREPEND: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn prepend(list: GNode*, k: int) -> GNode* {
+    var n: GNode* = new GNode { next: list, data: k };
+    if (list != null) {
+        list->prev = n;
+    }
+    return n;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct GNode { next: GNode*; prev: GNode*; data: int; }
+fn reverse(list: GNode*) -> GNode* {
+    var last: GNode* = null;
+    while @inv (list != null) {
+        last = list;
+        list = last->next;
+        last->next = last->prev;
+        last->prev = list;
+    }
+    return last;
+}
+"#;
+
+/// The ten glib GList benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(glist)];
+    let with_key = || vec![nil_or(glist), int_keys()];
+    vec![
+        Bench::new("glib_dll/find", Category::GlibDll, FIND, "find", with_key())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")])
+            .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/free", Category::GlibDll, FREE_ALL, "freeAll", one())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp")])
+            .frees(),
+        Bench::new("glib_dll/index", Category::GlibDll, INDEX, "index", with_key())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(1, "emp & list == nil")])
+            .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/last", Category::GlibDll, LAST, "last", one())
+            .spec(
+                "exists p, u. gdll(list, p, u, nil)",
+                &[(0, "emp & list == nil & res == nil"),
+                  (1, "exists p, d. list -> GNode{next: nil, prev: p, data: d} & res == list")],
+            )
+            .loop_inv("walk", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/length", Category::GlibDll, LENGTH, "length", one())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
+            .loop_inv("count", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/nth", Category::GlibDll, NTH, "nth", with_key())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")])
+            .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/nthData", Category::GlibDll, NTH_DATA, "nthData", with_key())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
+            .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/position", Category::GlibDll, POSITION, "position",
+            vec![nil_or(glist), vec![ArgCand::Nil]])
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(1, "emp & list == nil")])
+            .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new("glib_dll/prepend", Category::GlibDll, PREPEND, "prepend", with_key())
+            .spec(
+                "exists p, u. gdll(list, p, u, nil)",
+                &[(0, "exists u. gdll(res, nil, u, nil)")],
+            ),
+        Bench::new("glib_dll/reverse", Category::GlibDll, REVERSE, "reverse", one())
+            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
+            .loop_inv("inv", "exists p, u, q, v. gdll(list, p, u, nil)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 10);
+    }
+}

@@ -1,0 +1,465 @@
+//! glib `GSList` (singly linked) programs (Table 1 row "glib/glist_SLL",
+//! 22 programs). `sortMerge` ships both the §5.4 typo bug (returns the
+//! wrong link, so the result is always null past the first node) and is
+//! the program whose *correct* version exposes FBInfer's spurious
+//! memory-leak warning.
+
+use sling_lang::DataOrder;
+
+use crate::predicates::gsnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn gslist(size: usize) -> ArgCand {
+    ArgCand::List { layout: gsnode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+fn sorted(size: usize) -> ArgCand {
+    ArgCand::List { layout: gsnode_layout(), order: DataOrder::Sorted, size, circular: false }
+}
+
+const APPEND: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn append(list: GsNode*, k: int) -> GsNode* {
+    var n: GsNode* = new GsNode { data: k };
+    if (list == null) {
+        return n;
+    }
+    var t: GsNode* = list;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    t->next = n;
+    return list;
+}
+"#;
+
+const CONCAT: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn concat(a: GsNode*, b: GsNode*) -> GsNode* {
+    if (a == null) {
+        return b;
+    }
+    var t: GsNode* = a;
+    while @walk (t->next != null) {
+        t = t->next;
+    }
+    t->next = b;
+    return a;
+}
+"#;
+
+const COPY: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn copy(list: GsNode*) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    var n: GsNode* = new GsNode { data: list->data };
+    n->next = copy(list->next);
+    return n;
+}
+"#;
+
+const DEL_LINK: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn delLink(list: GsNode*, link: GsNode*) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    if (list == link) {
+        var rest: GsNode* = list->next;
+        free(list);
+        return rest;
+    }
+    list->next = delLink(list->next, link);
+    return list;
+}
+"#;
+
+const FIND: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn find(list: GsNode*, k: int) -> GsNode* {
+    while @scan (list != null && list->data != k) {
+        list = list->next;
+    }
+    return list;
+}
+"#;
+
+const FREE_ALL: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn freeAll(list: GsNode*) {
+    while @inv (list != null) {
+        var t: GsNode* = list->next;
+        free(list);
+        list = t;
+    }
+    return;
+}
+"#;
+
+const INDEX: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn index(list: GsNode*, k: int) -> int {
+    var i: int = 0;
+    while @scan (list != null) {
+        if (list->data == k) {
+            return i;
+        }
+        i = i + 1;
+        list = list->next;
+    }
+    return -1;
+}
+"#;
+
+const INSERT_AT_POS: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn insertAtPos(list: GsNode*, k: int, pos: int) -> GsNode* {
+    if (pos <= 0 || list == null) {
+        return new GsNode { next: list, data: k };
+    }
+    var cur: GsNode* = list;
+    while @step (pos > 1 && cur->next != null) {
+        cur = cur->next;
+        pos = pos - 1;
+    }
+    var n: GsNode* = new GsNode { next: cur->next, data: k };
+    cur->next = n;
+    return list;
+}
+"#;
+
+const INSERT_BEFORE: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn insertBefore(list: GsNode*, sibling: GsNode*, k: int) -> GsNode* {
+    if (list == null || list == sibling) {
+        return new GsNode { next: list, data: k };
+    }
+    var cur: GsNode* = list;
+    while @scan (cur->next != null && cur->next != sibling) {
+        cur = cur->next;
+    }
+    var n: GsNode* = new GsNode { next: cur->next, data: k };
+    cur->next = n;
+    return list;
+}
+"#;
+
+const INSERT_SORTED: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn insertSorted(list: GsNode*, k: int) -> GsNode* {
+    if (list == null || k <= list->data) {
+        return new GsNode { next: list, data: k };
+    }
+    var cur: GsNode* = list;
+    while @scan (cur->next != null && cur->next->data < k) {
+        cur = cur->next;
+    }
+    var n: GsNode* = new GsNode { next: cur->next, data: k };
+    cur->next = n;
+    return list;
+}
+"#;
+
+const LAST: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn last(list: GsNode*) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    while @walk (list->next != null) {
+        list = list->next;
+    }
+    return list;
+}
+"#;
+
+const LENGTH: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn length(list: GsNode*) -> int {
+    var n: int = 0;
+    while @count (list != null) {
+        n = n + 1;
+        list = list->next;
+    }
+    return n;
+}
+"#;
+
+const NTH: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn nth(list: GsNode*, n: int) -> GsNode* {
+    while @step (n > 0 && list != null) {
+        list = list->next;
+        n = n - 1;
+    }
+    return list;
+}
+"#;
+
+const NTH_DATA: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn nthData(list: GsNode*, n: int) -> int {
+    while @step (n > 0 && list != null) {
+        list = list->next;
+        n = n - 1;
+    }
+    if (list == null) {
+        return 0;
+    }
+    return list->data;
+}
+"#;
+
+const POSITION: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn position(list: GsNode*, link: GsNode*) -> int {
+    var i: int = 0;
+    while @scan (list != null) {
+        if (list == link) {
+            return i;
+        }
+        i = i + 1;
+        list = list->next;
+    }
+    return -1;
+}
+"#;
+
+const PREPEND: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn prepend(list: GsNode*, k: int) -> GsNode* {
+    return new GsNode { next: list, data: k };
+}
+"#;
+
+const RM: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn rm(list: GsNode*, k: int) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    if (list->data == k) {
+        var rest: GsNode* = list->next;
+        free(list);
+        return rest;
+    }
+    list->next = rm(list->next, k);
+    return list;
+}
+"#;
+
+const RM_ALL: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn rmAll(list: GsNode*, k: int) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    if (list->data == k) {
+        var rest: GsNode* = list->next;
+        free(list);
+        return rmAll(rest, k);
+    }
+    list->next = rmAll(list->next, k);
+    return list;
+}
+"#;
+
+const RM_LINK: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn rmLink(list: GsNode*, link: GsNode*) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    if (list == link) {
+        var rest: GsNode* = list->next;
+        link->next = null;
+        return rest;
+    }
+    list->next = rmLink(list->next, link);
+    return list;
+}
+"#;
+
+const REVERSE: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn reverse(list: GsNode*) -> GsNode* {
+    var r: GsNode* = null;
+    while @inv (list != null) {
+        var t: GsNode* = list->next;
+        list->next = r;
+        r = list;
+        list = t;
+    }
+    return r;
+}
+"#;
+
+/// §5.4's buggy `sortMerge`: the typo returns `list_next` (the detached
+/// scratch link) instead of `list->next`, so the merged result is always
+/// null — SLING's unexpected `res == nil` postcondition flags it.
+const SORT_MERGE_BUG: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn sortMerge(a: GsNode*, b: GsNode*) -> GsNode* {
+    var list: GsNode* = new GsNode;
+    var l: GsNode* = list;
+    while @merge (a != null && b != null) {
+        if (a->data <= b->data) {
+            l->next = a;
+            a = a->next;
+        } else {
+            l->next = b;
+            b = b->next;
+        }
+        l = l->next;
+    }
+    if (a != null) {
+        l->next = a;
+    } else {
+        l->next = b;
+    }
+    var list_next: GsNode* = null;
+    l->next = l->next;
+    // BUG (the paper's typo): returns list_next instead of list->next.
+    return list_next;
+}
+"#;
+
+/// The correct merge sort (`sortReal`) — the program FBInfer flags with a
+/// spurious leak at `l->next = null`.
+const SORT_REAL: &str = r#"
+struct GsNode { next: GsNode*; data: int; }
+fn sortMergeReal(a: GsNode*, b: GsNode*) -> GsNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data <= b->data) {
+        a->next = sortMergeReal(a->next, b);
+        return a;
+    }
+    b->next = sortMergeReal(a, b->next);
+    return b;
+}
+fn sortReal(list: GsNode*) -> GsNode* {
+    if (list == null) {
+        return null;
+    }
+    if (list->next == null) {
+        return list;
+    }
+    var slow: GsNode* = list;
+    var fast: GsNode* = list->next;
+    while @split (fast != null && fast->next != null) {
+        slow = slow->next;
+        fast = fast->next->next;
+    }
+    var second: GsNode* = slow->next;
+    slow->next = null;
+    var a: GsNode* = sortReal(list);
+    var b: GsNode* = sortReal(second);
+    return sortMergeReal(a, b);
+}
+"#;
+
+/// The twenty-two glib GSList benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(gslist)];
+    let with_key = || vec![nil_or(gslist), int_keys()];
+    vec![
+        Bench::new("glib_sll/append", Category::GlibSll, APPEND, "append", with_key())
+            .spec("gsll(list)", &[(0, "exists d. res -> GsNode{next: nil, data: d} & list == nil"), (1, "gsll(list) & res == list")])
+            .loop_inv("walk", "gsll(list)"),
+        Bench::new("glib_sll/concat", Category::GlibSll, CONCAT, "concat",
+            vec![nil_or(gslist), nil_or(gslist)])
+            .spec("gsll(a) * gsll(b)", &[(0, "gsll(b) & a == nil & res == b"), (1, "gsll(a) & res == a")])
+            .loop_inv("walk", "gsll(a) * gsll(b)"),
+        Bench::new("glib_sll/copy", Category::GlibSll, COPY, "copy", one())
+            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (1, "gsll(list) * gsll(res)")]),
+        Bench::new("glib_sll/delLink", Category::GlibSll, DEL_LINK, "delLink",
+            vec![nil_or(gslist), vec![ArgCand::Nil]])
+            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil")])
+            .frees(),
+        Bench::new("glib_sll/find", Category::GlibSll, FIND, "find", with_key())
+            .spec("gsll(list)", &[(0, "gsll(list) & res == list")])
+            .loop_inv("scan", "gsll(list)"),
+        Bench::new("glib_sll/free", Category::GlibSll, FREE_ALL, "freeAll", one())
+            .spec("gsll(list)", &[(0, "emp")])
+            .frees(),
+        Bench::new("glib_sll/index", Category::GlibSll, INDEX, "index", with_key())
+            .spec("gsll(list)", &[(1, "emp & list == nil")])
+            .loop_inv("scan", "gsll(list)"),
+        Bench::new("glib_sll/insertAtPos", Category::GlibSll, INSERT_AT_POS, "insertAtPos",
+            vec![nil_or(gslist), int_keys(), vec![ArgCand::Int(0), ArgCand::Int(2)]])
+            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+            .loop_inv("step", "gsll(list)"),
+        Bench::new("glib_sll/insertBefore", Category::GlibSll, INSERT_BEFORE, "insertBefore",
+            vec![nil_or(gslist), vec![ArgCand::Nil], int_keys()])
+            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+            .loop_inv("scan", "gsll(list)"),
+        Bench::new("glib_sll/insertSorted", Category::GlibSll, INSERT_SORTED, "insertSorted",
+            vec![nil_or(sorted), int_keys()])
+            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+            .loop_inv("scan", "gsll(list)"),
+        Bench::new("glib_sll/last", Category::GlibSll, LAST, "last", one())
+            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (1, "exists d. list -> GsNode{next: nil, data: d} & res == list")])
+            .loop_inv("walk", "gsll(list)"),
+        Bench::new("glib_sll/length", Category::GlibSll, LENGTH, "length", one())
+            .spec("gsll(list)", &[(0, "emp & list == nil")])
+            .loop_inv("count", "gsll(list)"),
+        Bench::new("glib_sll/nth", Category::GlibSll, NTH, "nth", with_key())
+            .spec("gsll(list)", &[(0, "gsll(list) & res == list")])
+            .loop_inv("step", "gsll(list)"),
+        Bench::new("glib_sll/nthData", Category::GlibSll, NTH_DATA, "nthData", with_key())
+            .spec("gsll(list)", &[(1, "emp & list == nil")])
+            .loop_inv("step", "gsll(list)"),
+        Bench::new("glib_sll/position", Category::GlibSll, POSITION, "position",
+            vec![nil_or(gslist), vec![ArgCand::Nil]])
+            .spec("gsll(list)", &[(1, "emp & list == nil")])
+            .loop_inv("scan", "gsll(list)"),
+        Bench::new("glib_sll/prepend", Category::GlibSll, PREPEND, "prepend", with_key())
+            .spec("gsll(list)", &[(0, "gsll(res)")]),
+        Bench::new("glib_sll/rm", Category::GlibSll, RM, "rm", with_key())
+            .spec("gsll(list)", &[(0, "gsll(res)")])
+            .frees(),
+        Bench::new("glib_sll/rmAll", Category::GlibSll, RM_ALL, "rmAll", with_key())
+            .spec("gsll(list)", &[(0, "gsll(res)")])
+            .frees(),
+        Bench::new("glib_sll/rmLink", Category::GlibSll, RM_LINK, "rmLink",
+            vec![nil_or(gslist), vec![ArgCand::Nil]])
+            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (2, "gsll(list) & res == list")]),
+        Bench::new("glib_sll/reverse", Category::GlibSll, REVERSE, "reverse", one())
+            .spec("gsll(list)", &[(0, "gsll(res) & list == nil")])
+            .loop_inv("inv", "gsll(list) * gsll(r)"),
+        Bench::new("glib_sll/sortMerge", Category::GlibSll, SORT_MERGE_BUG, "sortMerge",
+            vec![nil_or(sorted), nil_or(sorted)])
+            .spec("gsll(a) * gsll(b)", &[(0, "gsll(res)")])
+            .loop_inv("merge", "gsll(a) * gsll(b)"),
+        Bench::new("glib_sll/sortReal", Category::GlibSll, SORT_REAL, "sortReal", one())
+            .spec("gsll(list)", &[(1, "gsll(res) & res == list"), (2, "gsll(res)")])
+            .loop_inv("split", "gsll(list)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 22);
+    }
+}

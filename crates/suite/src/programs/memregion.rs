@@ -1,0 +1,145 @@
+//! Linux-kernel-style memory-region program (Table 1 row
+//! "Memory Region", 1 program, 67 LoC in the paper): a doubly linked
+//! list of `[start, start+size)` descriptors with insert-sorted,
+//! coalesce, and lookup operations exercised in one driver.
+
+use rand::Rng;
+
+use sling_lang::RtHeap;
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::program::{ArgCand, Bench, Category};
+
+/// A sorted, non-overlapping region list.
+fn gen_regions(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    let mr = Symbol::intern("MRegion");
+    let n = 6;
+    let mut start = 0i64;
+    let mut locs = Vec::new();
+    for _ in 0..n {
+        start += rng.gen_range(2..10);
+        let size = rng.gen_range(1..5);
+        locs.push(heap.alloc(mr, vec![Val::Nil, Val::Nil, Val::Int(start), Val::Int(size)]));
+        start += size;
+    }
+    for i in 0..n {
+        if i + 1 < n {
+            heap.live_mut(locs[i]).unwrap().fields[0] = Val::Addr(locs[i + 1]);
+        }
+        if i > 0 {
+            heap.live_mut(locs[i]).unwrap().fields[1] = Val::Addr(locs[i - 1]);
+        }
+    }
+    Val::Addr(locs[0])
+}
+
+const MEM_REGION: &str = r#"
+struct MRegion { next: MRegion*; prev: MRegion*; start: int; size: int; }
+
+fn regionEnd(r: MRegion*) -> int {
+    return r->start + r->size;
+}
+
+fn lookup(head: MRegion*, addr: int) -> MRegion* {
+    var cur: MRegion* = head;
+    while @find (cur != null) {
+        if (cur->start <= addr && addr < cur->start + cur->size) {
+            return cur;
+        }
+        cur = cur->next;
+    }
+    return null;
+}
+
+fn insertSorted(head: MRegion*, r: MRegion*) -> MRegion* {
+    if (head == null) {
+        return r;
+    }
+    if (r->start < head->start) {
+        r->next = head;
+        head->prev = r;
+        return r;
+    }
+    var cur: MRegion* = head;
+    while @place (cur->next != null && cur->next->start < r->start) {
+        cur = cur->next;
+    }
+    r->next = cur->next;
+    r->prev = cur;
+    if (cur->next != null) {
+        cur->next->prev = r;
+    }
+    cur->next = r;
+    return head;
+}
+
+fn coalesce(head: MRegion*) -> MRegion* {
+    var cur: MRegion* = head;
+    while @merge (cur != null && cur->next != null) {
+        if (cur->start + cur->size == cur->next->start) {
+            var victim: MRegion* = cur->next;
+            cur->size = cur->size + victim->size;
+            cur->next = victim->next;
+            if (victim->next != null) {
+                victim->next->prev = cur;
+            }
+            free(victim);
+        } else {
+            cur = cur->next;
+        }
+    }
+    return head;
+}
+
+fn memRegionDllOps(head: MRegion*, addr: int, size: int) -> MRegion* {
+    var hit: MRegion* = lookup(head, addr);
+    if (hit != null) {
+        return head;
+    }
+    var fresh: MRegion* = new MRegion { start: addr, size: size };
+    var merged: MRegion* = insertSorted(head, fresh);
+    return coalesce(merged);
+}
+"#;
+
+/// The single memory-region benchmark.
+pub fn benches() -> Vec<Bench> {
+    vec![Bench::new(
+        "memregion/memRegionDllOps",
+        Category::MemoryRegion,
+        MEM_REGION,
+        "memRegionDllOps",
+        vec![
+            vec![ArgCand::Nil, ArgCand::Custom(gen_regions)],
+            vec![ArgCand::Int(1), ArgCand::Int(100)],
+            vec![ArgCand::Int(2)],
+        ],
+    )
+    .spec(
+        "exists p, u. mrdll(head, p, u, nil)",
+        &[(0, "exists p, u. mrdll(head, p, u, nil) & res == head"),
+          (1, "exists p, u. mrdll(res, p, u, nil)")],
+    )
+    .frees()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! The 157 benchmark programs, one module per Table 1 category.
+
+pub mod afwp;
+pub mod avl;
+pub mod binomial;
+pub mod bst;
+pub mod circular;
+pub mod cyclist;
+pub mod dll;
+pub mod gh_dll;
+pub mod gh_sll_iter;
+pub mod gh_sll_rec;
+pub mod gh_sorted;
+pub mod glib_dll;
+pub mod glib_sll;
+pub mod memregion;
+pub mod priority;
+pub mod queue;
+pub mod rbt;
+pub mod sll;
+pub mod sorted;
+pub mod svcomp;
+pub mod traversal;

@@ -1,0 +1,188 @@
+//! Priority-tree (heap-ordered tree) programs (Table 1 row
+//! "Priority Tree", 4 programs).
+
+use rand::Rng;
+
+use sling_lang::RtHeap;
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::program::{int_keys, ArgCand, Bench, Category};
+
+/// Builds a heap-ordered tree: every child key ≤ its parent's.
+fn gen_ptree(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    fn build(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng, top: i64, size: usize) -> Val {
+        if size == 0 {
+            return Val::Nil;
+        }
+        let key = rng.gen_range(0..=top);
+        let left_n = rng.gen_range(0..size);
+        let right_n = size - 1 - left_n;
+        let l = build(heap, rng, key, left_n);
+        let r = build(heap, rng, key, right_n);
+        Val::Addr(heap.alloc(Symbol::intern("PNode"), vec![l, r, Val::Int(key)]))
+    }
+    build(heap, rng, 100, 8)
+}
+
+fn ptree_inputs() -> Vec<ArgCand> {
+    vec![ArgCand::Nil, ArgCand::Custom(gen_ptree)]
+}
+
+const DEL: &str = r#"
+struct PNode { left: PNode*; right: PNode*; data: int; }
+fn meld(a: PNode*, b: PNode*) -> PNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data >= b->data) {
+        a->right = meld(a->right, b);
+        return a;
+    }
+    b->right = meld(a, b->right);
+    return b;
+}
+fn del(t: PNode*, k: int) -> PNode* {
+    if (t == null) {
+        return null;
+    }
+    if (t->data == k) {
+        var merged: PNode* = meld(t->left, t->right);
+        free(t);
+        return merged;
+    }
+    t->left = del(t->left, k);
+    t->right = del(t->right, k);
+    return t;
+}
+"#;
+
+const FIND: &str = r#"
+struct PNode { left: PNode*; right: PNode*; data: int; }
+fn find(t: PNode*, k: int) -> PNode* {
+    if (t == null) {
+        return null;
+    }
+    if (t->data == k) {
+        return t;
+    }
+    if (t->data < k) {
+        return null;
+    }
+    var l: PNode* = find(t->left, k);
+    if (l != null) {
+        return l;
+    }
+    return find(t->right, k);
+}
+"#;
+
+const INSERT: &str = r#"
+struct PNode { left: PNode*; right: PNode*; data: int; }
+fn insert(t: PNode*, k: int) -> PNode* {
+    var n: PNode* = new PNode { data: k };
+    if (t == null) {
+        return n;
+    }
+    if (k >= t->data) {
+        n->left = t;
+        return n;
+    }
+    t->left = insert(t->left, k);
+    return t;
+}
+"#;
+
+const RM_ROOT: &str = r#"
+struct PNode { left: PNode*; right: PNode*; data: int; }
+fn meld(a: PNode*, b: PNode*) -> PNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data >= b->data) {
+        a->right = meld(a->right, b);
+        return a;
+    }
+    b->right = meld(a, b->right);
+    return b;
+}
+fn rmRoot(t: PNode*) -> PNode* {
+    if (t == null) {
+        return null;
+    }
+    var merged: PNode* = meld(t->left, t->right);
+    free(t);
+    return merged;
+}
+"#;
+
+/// The four priority-tree benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("priority/del", Category::PriorityTree, DEL, "del",
+            vec![ptree_inputs(), int_keys()])
+            .spec("exists top. ptree(t, top)", &[(0, "emp & t == nil & res == nil")])
+            .frees(),
+        Bench::new("priority/find", Category::PriorityTree, FIND, "find",
+            vec![ptree_inputs(), int_keys()])
+            .spec(
+                "exists top. ptree(t, top)",
+                &[(0, "emp & t == nil & res == nil"),
+                  (1, "exists top. ptree(t, top) & res == t")],
+            ),
+        Bench::new("priority/insert", Category::PriorityTree, INSERT, "insert",
+            vec![ptree_inputs(), int_keys()])
+            .spec(
+                "exists top. ptree(t, top)",
+                &[(0, "exists d. res -> PNode{left: nil, right: nil, data: d} & t == nil")],
+            ),
+        Bench::new("priority/rmRoot", Category::PriorityTree, RM_ROOT, "rmRoot",
+            vec![ptree_inputs()])
+            .spec("exists top. ptree(t, top)", &[(0, "emp & t == nil & res == nil")])
+            .frees(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 4);
+    }
+
+    #[test]
+    fn ptree_generator_is_heap_ordered() {
+        use rand::SeedableRng;
+        let mut heap = RtHeap::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let root = gen_ptree(&mut heap, &mut rng);
+        fn check(heap: &RtHeap, v: Val, top: i64) {
+            if let Val::Addr(l) = v {
+                let c = heap.live().get(l).unwrap();
+                let k = c.fields[2].as_int().unwrap();
+                assert!(k <= top);
+                check(heap, c.fields[0], k);
+                check(heap, c.fields[1], k);
+            }
+        }
+        check(&heap, root, 100);
+    }
+}

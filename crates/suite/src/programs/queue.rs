@@ -1,0 +1,194 @@
+//! OpenBSD `TAILQ`-style queue programs (Table 1 row "OpenBSD Queue",
+//! 6 programs): a `Queue` header with `first`/`last` over singly linked
+//! cells.
+
+use rand::Rng;
+
+use sling_lang::RtHeap;
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::program::{int_keys, ArgCand, Bench, Category};
+
+/// A queue header with `n` cells (0 gives `first = last = nil`).
+fn gen_queue_sized(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng, n: usize) -> Val {
+    let qnode = Symbol::intern("QNode");
+    let queue = Symbol::intern("Queue");
+    let mut first = Val::Nil;
+    let mut last = Val::Nil;
+    let mut locs = Vec::new();
+    for _ in 0..n {
+        locs.push(heap.alloc(qnode, vec![Val::Nil, Val::Int(rng.gen_range(0..100))]));
+    }
+    for i in 0..n {
+        if i + 1 < n {
+            heap.live_mut(locs[i]).unwrap().fields[0] = Val::Addr(locs[i + 1]);
+        }
+    }
+    if n > 0 {
+        first = Val::Addr(locs[0]);
+        last = Val::Addr(locs[n - 1]);
+    }
+    Val::Addr(heap.alloc(queue, vec![first, last]))
+}
+
+fn gen_queue_empty(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    gen_queue_sized(heap, rng, 0)
+}
+
+fn gen_queue_one(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    gen_queue_sized(heap, rng, 1)
+}
+
+fn gen_queue_ten(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    gen_queue_sized(heap, rng, 10)
+}
+
+fn queue_inputs() -> Vec<ArgCand> {
+    vec![
+        ArgCand::Custom(gen_queue_empty),
+        ArgCand::Custom(gen_queue_one),
+        ArgCand::Custom(gen_queue_ten),
+    ]
+}
+
+const INIT: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn init() -> Queue* {
+    return new Queue;
+}
+"#;
+
+const INSERT_HD: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn insertHd(q: Queue*, k: int) {
+    var n: QNode* = new QNode { next: q->first, data: k };
+    q->first = n;
+    if (q->last == null) {
+        q->last = n;
+    }
+    return;
+}
+"#;
+
+const INSERT_TL: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn insertTl(q: Queue*, k: int) {
+    var n: QNode* = new QNode { data: k };
+    if (q->last == null) {
+        q->first = n;
+        q->last = n;
+        return;
+    }
+    q->last->next = n;
+    q->last = n;
+    return;
+}
+"#;
+
+const INSERT_AFTER: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn insertAfter(q: Queue*, k: int) {
+    // Insert after the first element (or at the head when empty).
+    if (q->first == null) {
+        var n: QNode* = new QNode { data: k };
+        q->first = n;
+        q->last = n;
+        return;
+    }
+    var n2: QNode* = new QNode { next: q->first->next, data: k };
+    q->first->next = n2;
+    if (q->last == q->first) {
+        q->last = n2;
+    }
+    return;
+}
+"#;
+
+const RM_AFTER: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn rmAfter(q: Queue*) {
+    if (q->first == null) {
+        return;
+    }
+    var victim: QNode* = q->first->next;
+    if (victim == null) {
+        return;
+    }
+    q->first->next = victim->next;
+    if (q->last == victim) {
+        q->last = q->first;
+    }
+    free(victim);
+    return;
+}
+"#;
+
+const RM_HD: &str = r#"
+struct QNode { next: QNode*; data: int; }
+struct Queue { first: QNode*; last: QNode*; }
+fn rmHd(q: Queue*) {
+    var victim: QNode* = q->first;
+    if (victim == null) {
+        return;
+    }
+    q->first = victim->next;
+    if (q->last == victim) {
+        q->last = null;
+    }
+    free(victim);
+    return;
+}
+"#;
+
+/// The six OpenBSD queue benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("queue/init", Category::OpenBsdQueue, INIT, "init", vec![])
+            .spec("emp", &[(0, "res -> Queue{first: nil, last: nil}")]),
+        Bench::new("queue/insertAfter", Category::OpenBsdQueue, INSERT_AFTER, "insertAfter",
+            vec![queue_inputs(), int_keys()])
+            .spec("wq(q)", &[(2, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)")]),
+        Bench::new("queue/insertHd", Category::OpenBsdQueue, INSERT_HD, "insertHd",
+            vec![queue_inputs(), int_keys()])
+            .spec("wq(q)", &[(0, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)")]),
+        Bench::new("queue/insertTl", Category::OpenBsdQueue, INSERT_TL, "insertTl",
+            vec![queue_inputs(), int_keys()])
+            .spec("wq(q)", &[
+                (0, "exists f, d. q -> Queue{first: f, last: f} * f -> QNode{next: nil, data: d}"),
+                (1, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)"),
+            ]),
+        Bench::new("queue/rmAfter", Category::OpenBsdQueue, RM_AFTER, "rmAfter",
+            vec![queue_inputs()])
+            .spec("wq(q)", &[(2, "wq(q)")])
+            .frees(),
+        Bench::new("queue/rmHd", Category::OpenBsdQueue, RM_HD, "rmHd", vec![queue_inputs()])
+            .spec("wq(q)", &[(1, "wq(q)")])
+            .frees(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Red-black-tree programs (Table 1 row "Red-black Tree", 2 programs;
+//! `del` carries the seeded segfault `∗`, and §5.4 discusses `insert`,
+//! which crashes after its first iteration, yielding a "too simple"
+//! partial invariant).
+
+use sling_lang::TreeKind;
+
+use crate::predicates::rnode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
+
+fn rbt(size: usize) -> ArgCand {
+    ArgCand::Tree { layout: rnode_layout(), kind: TreeKind::RedBlack, size }
+}
+
+/// Seeded bug (`∗`): rotation helpers dereference a missing grandparent.
+const DEL_BUG: &str = r#"
+struct RNode { left: RNode*; right: RNode*; color: int; data: int; }
+fn del(t: RNode*, k: int) -> RNode* {
+    // BUG: unconditionally inspects t->left->color.
+    var c: int = t->left->color;
+    if (c == 1) {
+        t->left = del(t->left->left, k);
+        return t;
+    }
+    return t->right;
+}
+"#;
+
+/// The §5.4 `insert`: crashes *after the first rebalancing iteration*, so
+/// partial traces exist and SLING's invariant covers only that first
+/// iteration's data.
+const INSERT_PARTIAL: &str = r#"
+struct RNode { left: RNode*; right: RNode*; color: int; data: int; }
+fn bstInsert(t: RNode*, k: int) -> RNode* {
+    if (t == null) {
+        return new RNode { color: 1, data: k };
+    }
+    if (k < t->data) {
+        t->left = bstInsert(t->left, k);
+    } else {
+        t->right = bstInsert(t->right, k);
+    }
+    return t;
+}
+fn insert(t: RNode*, k: int) -> RNode* {
+    @start;
+    var r: RNode* = bstInsert(t, k);
+    r->color = 0;
+    @firstIter;
+    // BUG: the "rebalance" walk assumes a red child always exists.
+    var probe: RNode* = r->left;
+    if (probe->color == 1) {
+        probe->color = 0;
+    }
+    return r;
+}
+"#;
+
+/// The two red-black-tree benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("rbt/del", Category::RedBlackTree, DEL_BUG, "del",
+            vec![nil_or(rbt), int_keys()])
+            .spec("exists c. rbt(t, c)", &[(1, "exists c. rbt(res, c)")])
+            .bug(BugKind::Segfault),
+        Bench::new("rbt/insert", Category::RedBlackTree, INSERT_PARTIAL, "insert",
+            vec![nil_or(rbt), int_keys()])
+            .spec("exists c. rbt(t, c)", &[(0, "exists c. rbt(res, c)")]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 2);
+    }
+}

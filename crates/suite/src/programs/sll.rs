@@ -1,0 +1,225 @@
+//! Standard singly-linked-list programs (Table 1 row "SLL", 8 programs).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::snode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
+
+fn list(size: usize) -> ArgCand {
+    ArgCand::List { layout: snode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+fn one_list() -> Vec<Vec<ArgCand>> {
+    vec![nil_or(list)]
+}
+
+fn list_and_key() -> Vec<Vec<ArgCand>> {
+    vec![nil_or(list), int_keys()]
+}
+
+/// The eight SLL benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let mut out = Vec::new();
+
+    out.push(
+        Bench::new(
+            "sll/append",
+            Category::Sll,
+            concat_src(),
+            "append",
+            vec![nil_or(list), nil_or(list)],
+        )
+        .spec("sll(x) * sll(y)", &[(0, "sll(res)"), (1, "sll(res)")]),
+    );
+
+    out.push(
+        Bench::new("sll/delAll", Category::Sll, del_all_src(), "delAll", one_list())
+            .spec("sll(x)", &[(0, "emp")])
+            .loop_inv("inv", "sll(x)")
+            .frees(),
+    );
+
+    out.push(
+        Bench::new("sll/find", Category::Sll, find_src(), "find", list_and_key())
+            .spec(
+                "sll(x)",
+                &[(0, "emp"), (1, "sll(res)"), (2, "sll(x)")],
+            ),
+    );
+
+    out.push(
+        Bench::new("sll/insert", Category::Sll, insert_src(), "insert", list_and_key())
+            .spec("sll(x)", &[(1, "sll(res)")]),
+    );
+
+    out.push(
+        Bench::new("sll/reverse", Category::Sll, reverse_src(), "reverse", one_list())
+            .spec("sll(x)", &[(0, "sll(res) & x == nil")])
+            .loop_inv("inv", "sll(x) * sll(r)"),
+    );
+
+    out.push(
+        Bench::new("sll/insertFront", Category::Sll, insert_front_src(), "insertFront", list_and_key())
+            .spec("sll(x)", &[(0, "exists u. res -> SNode{next: x, data: k} * sll(x)")]),
+    );
+
+    out.push(
+        Bench::new("sll/insertBack", Category::Sll, insert_back_src(), "insertBack", list_and_key())
+            .spec("sll(x)", &[(0, "sll(res)"), (1, "sll(res)")]),
+    );
+
+    out.push(
+        Bench::new("sll/copy", Category::Sll, copy_src(), "copy", one_list())
+            .spec("sll(x)", &[(0, "emp & x == nil & res == nil"), (1, "sll(x) * sll(res)")]),
+    );
+
+    out
+}
+
+fn concat_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn append(x: SNode*, y: SNode*) -> SNode* {
+    if (x == null) {
+        return y;
+    }
+    x->next = append(x->next, y);
+    return x;
+}
+"#
+    )
+}
+
+fn del_all_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn delAll(x: SNode*) {
+    while @inv (x != null) {
+        var t: SNode* = x->next;
+        free(x);
+        x = t;
+    }
+    return;
+}
+"#
+    )
+}
+
+fn find_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn find(x: SNode*, k: int) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        return x;
+    }
+    return find(x->next, k);
+}
+"#
+    )
+}
+
+fn insert_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn insert(x: SNode*, k: int) -> SNode* {
+    var n: SNode* = new SNode { data: k };
+    if (x == null) {
+        return n;
+    }
+    n->next = x->next;
+    x->next = n;
+    return x;
+}
+"#
+    )
+}
+
+fn reverse_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn reverse(x: SNode*) -> SNode* {
+    var r: SNode* = null;
+    while @inv (x != null) {
+        var t: SNode* = x->next;
+        x->next = r;
+        r = x;
+        x = t;
+    }
+    return r;
+}
+"#
+    )
+}
+
+fn insert_front_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn insertFront(x: SNode*, k: int) -> SNode* {
+    var n: SNode* = new SNode { next: x, data: k };
+    return n;
+}
+"#
+    )
+}
+
+fn insert_back_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn insertBack(x: SNode*, k: int) -> SNode* {
+    if (x == null) {
+        return new SNode { data: k };
+    }
+    x->next = insertBack(x->next, k);
+    return x;
+}
+"#
+    )
+}
+
+fn copy_src() -> &'static str {
+    concat!(
+        "struct SNode { next: SNode*; data: int; }\n",
+        r#"
+fn copy(x: SNode*) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    var n: SNode* = new SNode { data: x->data };
+    n->next = copy(x->next);
+    return n;
+}
+"#
+    )
+}
+
+// Re-export the header for the module tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn all_sll_sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+            assert!(p.func(sling_logic::Symbol::intern(b.target)).is_some(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 8);
+    }
+}

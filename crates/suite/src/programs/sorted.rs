@@ -1,0 +1,274 @@
+//! Sorted-list programs (Table 1 row "Sorted List", 10 programs; the
+//! paper marks `quickSort` with `∗` — a seeded segfault).
+
+use sling_lang::DataOrder;
+
+use crate::predicates::snode_layout;
+use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
+
+fn sorted(size: usize) -> ArgCand {
+    ArgCand::List { layout: snode_layout(), order: DataOrder::Sorted, size, circular: false }
+}
+
+fn unsorted(size: usize) -> ArgCand {
+    ArgCand::List { layout: snode_layout(), order: DataOrder::Random, size, circular: false }
+}
+
+const CONCAT: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn concat(x: SNode*, y: SNode*) -> SNode* {
+    if (x == null) {
+        return y;
+    }
+    x->next = concat(x->next, y);
+    return x;
+}
+"#;
+
+const FIND: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn find(x: SNode*, k: int) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        return x;
+    }
+    if (x->data > k) {
+        return null;
+    }
+    return find(x->next, k);
+}
+"#;
+
+const FIND_LAST: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn findLast(x: SNode*) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    while @inv (x->next != null) {
+        x = x->next;
+    }
+    return x;
+}
+"#;
+
+const INSERT: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn insert(x: SNode*, k: int) -> SNode* {
+    if (x == null) {
+        return new SNode { data: k };
+    }
+    if (k <= x->data) {
+        return new SNode { next: x, data: k };
+    }
+    x->next = insert(x->next, k);
+    return x;
+}
+"#;
+
+const INSERT_ITER: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn insertIter(x: SNode*, k: int) -> SNode* {
+    var n: SNode* = new SNode { data: k };
+    if (x == null) {
+        return n;
+    }
+    if (k <= x->data) {
+        n->next = x;
+        return n;
+    }
+    var cur: SNode* = x;
+    while @inv (cur->next != null && cur->next->data < k) {
+        cur = cur->next;
+    }
+    n->next = cur->next;
+    cur->next = n;
+    return x;
+}
+"#;
+
+const DEL_ALL: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn delAll(x: SNode*, k: int) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->data == k) {
+        var t: SNode* = x->next;
+        free(x);
+        return delAll(t, k);
+    }
+    x->next = delAll(x->next, k);
+    return x;
+}
+"#;
+
+const REVERSE_SORT: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn reverseSort(x: SNode*) -> SNode* {
+    var r: SNode* = null;
+    while @inv (x != null) {
+        var t: SNode* = x->next;
+        x->next = r;
+        r = x;
+        x = t;
+    }
+    return r;
+}
+"#;
+
+const INSERTION_SORT: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn sortedInsert(s: SNode*, n: SNode*) -> SNode* {
+    if (s == null) {
+        n->next = null;
+        return n;
+    }
+    if (n->data <= s->data) {
+        n->next = s;
+        return n;
+    }
+    s->next = sortedInsert(s->next, n);
+    return s;
+}
+fn insertionSort(x: SNode*) -> SNode* {
+    var s: SNode* = null;
+    while @inv (x != null) {
+        var t: SNode* = x->next;
+        s = sortedInsert(s, x);
+        x = t;
+    }
+    return s;
+}
+"#;
+
+const MERGE_SORT: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn merge(a: SNode*, b: SNode*) -> SNode* {
+    if (a == null) {
+        return b;
+    }
+    if (b == null) {
+        return a;
+    }
+    if (a->data <= b->data) {
+        a->next = merge(a->next, b);
+        return a;
+    }
+    b->next = merge(a, b->next);
+    return b;
+}
+fn split(x: SNode*) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return null;
+    }
+    var second: SNode* = x->next;
+    x->next = second->next;
+    second->next = split(second);
+    return second;
+}
+fn mergeSort(x: SNode*) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    if (x->next == null) {
+        return x;
+    }
+    var second: SNode* = split(x);
+    var a: SNode* = mergeSort(x);
+    var b: SNode* = mergeSort(second);
+    return merge(a, b);
+}
+"#;
+
+/// `quickSort` with the corpus's seeded bug: the partition walks past the
+/// pivot through a dangling next pointer and dereferences null on any
+/// non-trivial input.
+const QUICK_SORT_BUG: &str = r#"
+struct SNode { next: SNode*; data: int; }
+fn partition(x: SNode*, p: int) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    // BUG: the recursion drops the head's link before reading it back.
+    x->next = null;
+    var rest: SNode* = partition(x->next->next, p);
+    return rest;
+}
+fn quickSort(x: SNode*) -> SNode* {
+    if (x == null) {
+        return null;
+    }
+    var lo: SNode* = partition(x->next, x->data);
+    x->next = lo;
+    return x;
+}
+"#;
+
+/// The ten sorted-list benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let one = || vec![nil_or(sorted)];
+    let with_key = || vec![nil_or(sorted), int_keys()];
+    vec![
+        Bench::new("sorted/concat", Category::SortedList, CONCAT, "concat", vec![nil_or(sorted), nil_or(sorted)])
+            .spec(
+                "exists m1, m2. srtl(x, m1) * srtl(y, m2)",
+                &[(0, "exists m. srtl(res, m) & x == nil & res == y"), (1, "sll(x) & res == x")],
+            ),
+        Bench::new("sorted/find", Category::SortedList, FIND, "find", with_key())
+            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil"), (1, "exists m. srtl(x, m) & res == x")]),
+        Bench::new("sorted/findLast", Category::SortedList, FIND_LAST, "findLast", one())
+            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil"), (1, "exists u, d. x -> SNode{next: nil, data: d} & res == x")])
+            .loop_inv("inv", "exists m. srtl(x, m)"),
+        Bench::new("sorted/insert", Category::SortedList, INSERT, "insert", with_key())
+            .spec("exists m. srtl(x, m)", &[(0, "exists d. res -> SNode{next: nil, data: d} & x == nil"), (2, "exists m. srtl(x, m) & res == x")]),
+        Bench::new("sorted/insertIter", Category::SortedList, INSERT_ITER, "insertIter", with_key())
+            .spec("exists m. srtl(x, m)", &[(2, "exists m. srtl(x, m) & res == x")])
+            .loop_inv("inv", "exists m. srtl(cur, m)"),
+        Bench::new("sorted/delAll", Category::SortedList, DEL_ALL, "delAll", with_key())
+            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil")])
+            .frees(),
+        Bench::new("sorted/reverseSort", Category::SortedList, REVERSE_SORT, "reverseSort", one())
+            .spec("exists m. srtl(x, m)", &[(0, "sll(res) & x == nil")])
+            .loop_inv("inv", "exists m1, m2. srtl(x, m1) * sll(r)"),
+        Bench::new("sorted/insertionSort", Category::SortedList, INSERTION_SORT, "insertionSort", vec![nil_or(unsorted)])
+            .spec("sll(x)", &[(0, "exists m. srtl(res, m) & x == nil")])
+            .loop_inv("inv", "exists m. sll(x) * srtl(s, m)"),
+        Bench::new("sorted/mergeSort", Category::SortedList, MERGE_SORT, "mergeSort", vec![nil_or(unsorted)])
+            .spec("sll(x)", &[(2, "exists m. srtl(res, m)")]),
+        Bench::new("sorted/quickSort", Category::SortedList, QUICK_SORT_BUG, "quickSort", vec![nil_or(unsorted)])
+            .spec("sll(x)", &[(1, "sll(res)")])
+            .bug(BugKind::Segfault),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 10);
+    }
+
+    #[test]
+    fn quicksort_is_marked_buggy() {
+        let qs = benches().into_iter().find(|b| b.name == "sorted/quickSort").unwrap();
+        assert_eq!(qs.bug, Some(BugKind::Segfault));
+    }
+}

@@ -1,0 +1,180 @@
+//! SV-COMP heap programs (Table 1 row "SV-COMP", 7 programs): the
+//! master/slave nested-list family — every `Master` owns a `Slave` list.
+
+use rand::Rng;
+
+use sling_lang::RtHeap;
+use sling_logic::Symbol;
+use sling_models::Val;
+
+use crate::program::{ArgCand, Bench, Category};
+
+/// A master list where each master owns a short slave list.
+fn gen_masters(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
+    let master = Symbol::intern("Master");
+    let slave = Symbol::intern("Slave");
+    let mut mhead = Val::Nil;
+    for _ in 0..4 {
+        let mut shead = Val::Nil;
+        for _ in 0..rng.gen_range(0..4) {
+            shead = Val::Addr(heap.alloc(slave, vec![shead]));
+        }
+        mhead = Val::Addr(heap.alloc(master, vec![mhead, shead]));
+    }
+    mhead
+}
+
+fn master_inputs() -> Vec<ArgCand> {
+    vec![ArgCand::Nil, ArgCand::Custom(gen_masters)]
+}
+
+const ALLOC_SLAVE: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn allocSlave(m: Master*) {
+    while @inv (m != null) {
+        if (m->slave == null) {
+            m->slave = new Slave;
+        }
+        m = m->next;
+    }
+    return;
+}
+"#;
+
+const INSERT_SLAVE: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn insertSlave(m: Master*) {
+    while @inv (m != null) {
+        var s: Slave* = new Slave { next: m->slave };
+        m->slave = s;
+        m = m->next;
+    }
+    return;
+}
+"#;
+
+const CREATE_SLAVE: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn createSlave(n: int) -> Slave* {
+    var s: Slave* = null;
+    while @inv (n > 0) {
+        s = new Slave { next: s };
+        n = n - 1;
+    }
+    return s;
+}
+"#;
+
+const DESTROY_SLAVE: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn destroySlave(m: Master*) {
+    while @outer (m != null) {
+        var s: Slave* = m->slave;
+        while @inner (s != null) {
+            var t: Slave* = s->next;
+            free(s);
+            s = t;
+        }
+        m->slave = null;
+        m = m->next;
+    }
+    return;
+}
+"#;
+
+const ADD: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn add(m: Master*) -> Master* {
+    var n: Master* = new Master { next: m };
+    n->slave = new Slave;
+    return n;
+}
+"#;
+
+const DEL: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn del(m: Master*) -> Master* {
+    if (m == null) {
+        return null;
+    }
+    var rest: Master* = m->next;
+    var s: Slave* = m->slave;
+    while @drain (s != null) {
+        var t: Slave* = s->next;
+        free(s);
+        s = t;
+    }
+    free(m);
+    return rest;
+}
+"#;
+
+const INIT: &str = r#"
+struct Slave { next: Slave*; }
+struct Master { next: Master*; slave: Slave*; }
+fn init(n: int) -> Master* {
+    var m: Master* = null;
+    while @inv (n > 0) {
+        m = new Master { next: m };
+        n = n - 1;
+    }
+    return m;
+}
+"#;
+
+/// The seven SV-COMP benchmarks.
+pub fn benches() -> Vec<Bench> {
+    vec![
+        Bench::new("svcomp/allocSlave", Category::SvComp, ALLOC_SLAVE, "allocSlave",
+            vec![master_inputs()])
+            .spec("mlist(m)", &[(0, "emp & m == nil")])
+            .loop_inv("inv", "mlist(m)"),
+        Bench::new("svcomp/insertSlave", Category::SvComp, INSERT_SLAVE, "insertSlave",
+            vec![master_inputs()])
+            .spec("mlist(m)", &[(0, "emp & m == nil")])
+            .loop_inv("inv", "mlist(m)"),
+        Bench::new("svcomp/createSlave", Category::SvComp, CREATE_SLAVE, "createSlave",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(3), ArgCand::Int(10)]])
+            .spec("emp", &[(0, "slist(res)")])
+            .loop_inv("inv", "slist(s)"),
+        Bench::new("svcomp/destroySlave", Category::SvComp, DESTROY_SLAVE, "destroySlave",
+            vec![master_inputs()])
+            .spec("mlist(m)", &[(0, "emp & m == nil")])
+            .frees(),
+        Bench::new("svcomp/add", Category::SvComp, ADD, "add", vec![master_inputs()])
+            .spec("mlist(m)", &[(0, "mlist(res)")]),
+        Bench::new("svcomp/del", Category::SvComp, DEL, "del", vec![master_inputs()])
+            .spec("mlist(m)", &[(0, "emp & m == nil & res == nil"), (1, "mlist(res)")])
+            .frees(),
+        Bench::new("svcomp/init", Category::SvComp, INIT, "init",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(4), ArgCand::Int(10)]])
+            .spec("emp", &[(0, "mlist(res)")])
+            .loop_inv("inv", "mlist(m)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 7);
+    }
+}

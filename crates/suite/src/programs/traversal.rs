@@ -1,0 +1,146 @@
+//! Tree-traversal programs (Table 1 row "Tree Traversal", 5 programs;
+//! `tree2listIter` carries the seeded segfault `∗`).
+
+use sling_lang::TreeKind;
+
+use crate::predicates::tnode_layout;
+use crate::program::{nil_or, ArgCand, Bench, BugKind, Category};
+
+fn tree(size: usize) -> ArgCand {
+    ArgCand::Tree { layout: tnode_layout(), kind: TreeKind::Random, size }
+}
+
+const INORDER: &str = r#"
+struct SNode { next: SNode*; data: int; }
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn traverseInorder(t: TNode*, acc: SNode*) -> SNode* {
+    if (t == null) {
+        return acc;
+    }
+    var right: SNode* = traverseInorder(t->right, acc);
+    var here: SNode* = new SNode { next: right, data: t->data };
+    return traverseInorder(t->left, here);
+}
+"#;
+
+const POSTORDER: &str = r#"
+struct SNode { next: SNode*; data: int; }
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn traversePostorder(t: TNode*, acc: SNode*) -> SNode* {
+    if (t == null) {
+        return acc;
+    }
+    var here: SNode* = new SNode { next: acc, data: t->data };
+    var right: SNode* = traversePostorder(t->right, here);
+    return traversePostorder(t->left, right);
+}
+"#;
+
+const PREORDER: &str = r#"
+struct SNode { next: SNode*; data: int; }
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn traversePreorder(t: TNode*, acc: SNode*) -> SNode* {
+    if (t == null) {
+        return acc;
+    }
+    var right: SNode* = traversePreorder(t->right, acc);
+    var left: SNode* = traversePreorder(t->left, right);
+    return new SNode { next: left, data: t->data };
+}
+"#;
+
+/// Flattens a tree into its right spine (`rlist`).
+const TREE2LIST: &str = r#"
+struct SNode { next: SNode*; data: int; }
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn tree2list(t: TNode*) -> TNode* {
+    if (t == null) {
+        return null;
+    }
+    var left: TNode* = tree2list(t->left);
+    var right: TNode* = tree2list(t->right);
+    t->left = null;
+    t->right = right;
+    if (left == null) {
+        return t;
+    }
+    var tail: TNode* = left;
+    while @splice (tail->right != null) {
+        tail = tail->right;
+    }
+    tail->right = t;
+    return left;
+}
+"#;
+
+/// Seeded bug (`∗`): the iterative flattening loses its worklist link and
+/// dereferences null on every non-trivial input.
+const TREE2LIST_ITER_BUG: &str = r#"
+struct SNode { next: SNode*; data: int; }
+struct TNode { left: TNode*; right: TNode*; data: int; }
+fn tree2listIter(t: TNode*) -> TNode* {
+    // BUG: starts from t->right without a null check on t.
+    var cur: TNode* = t->right;
+    while (cur != null) {
+        var l: TNode* = cur->left;
+        // BUG: unconditionally walks l->right.
+        var probe: TNode* = l->right;
+        cur->left = probe;
+        cur = cur->right;
+    }
+    return t;
+}
+"#;
+
+/// The five traversal benchmarks.
+pub fn benches() -> Vec<Bench> {
+    let tree_and_acc = || {
+        vec![
+            nil_or(tree),
+            vec![ArgCand::Nil, ArgCand::List {
+                layout: crate::predicates::snode_layout(),
+                order: sling_lang::DataOrder::Random,
+                size: 3,
+                circular: false,
+            }],
+        ]
+    };
+    vec![
+        Bench::new("traversal/traverseInorder", Category::TreeTraversal, INORDER,
+            "traverseInorder", tree_and_acc())
+            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (2, "tree(t) * sll(res)")]),
+        Bench::new("traversal/traversePostorder", Category::TreeTraversal, POSTORDER,
+            "traversePostorder", tree_and_acc())
+            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (1, "tree(t) * sll(res)")]),
+        Bench::new("traversal/traversePreorder", Category::TreeTraversal, PREORDER,
+            "traversePreorder", tree_and_acc())
+            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (1, "tree(t) * sll(res)")]),
+        Bench::new("traversal/tree2list", Category::TreeTraversal, TREE2LIST, "tree2list",
+            vec![nil_or(tree)])
+            .spec("tree(t)", &[(0, "emp & t == nil & res == nil"), (1, "rlist(res) & res == t")]),
+        Bench::new("traversal/tree2listIter", Category::TreeTraversal, TREE2LIST_ITER_BUG,
+            "tree2listIter", vec![nil_or(tree)])
+            .spec("tree(t)", &[(0, "rlist(res)")])
+            .bug(BugKind::Segfault),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::{check_program, parse_program};
+
+    #[test]
+    fn sources_compile() {
+        for b in benches() {
+            let p = parse_program(b.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn count_matches_table1() {
+        assert_eq!(benches().len(), 5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text rendering of Tables 1 and 2 in the paper's layout.
+
+use std::fmt::Write as _;
+
+use crate::eval::{Table1Row, Table2Row};
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>4} {:>6} {:>6} {:>7} {:>10} {:>7} {:>9} {:>7} {:>6} {:>6}",
+        "Category", "Prog", "LoC", "iLocs", "Traces", "Invs(spur)", "A/S/X", "Time(s)", "Single", "Pred", "Pure"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0.0f64);
+    for r in rows {
+        let invs = if r.spurious > 0 {
+            format!("{}({})", r.invs, r.spurious)
+        } else {
+            format!("{}", r.invs)
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>4} {:>6} {:>6} {:>7} {:>10} {:>7} {:>9.2} {:>6.2} {:>6.2} {:>6.2}",
+            r.category.label(),
+            r.programs,
+            r.loc,
+            r.ilocs,
+            r.traces,
+            invs,
+            format!("{}/{}/{}", r.a, r.s, r.x),
+            r.time,
+            r.avg_single,
+            r.avg_pred,
+            r.avg_pure,
+        );
+        totals.0 += r.programs;
+        totals.1 += r.loc;
+        totals.2 += r.ilocs;
+        totals.3 += r.traces;
+        totals.4 += r.invs;
+        totals.5 += r.spurious;
+        totals.6 += r.time;
+    }
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    let _ = writeln!(
+        out,
+        "{:<24} {:>4} {:>6} {:>6} {:>7} {:>10} {:>7} {:>9.2}",
+        "Total",
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.3,
+        format!("{}({})", totals.4, totals.5),
+        "",
+        totals.6,
+    );
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>6} {:>7} {:>8}",
+        "Category", "Total", "Both", "S2", "SLING", "Neither"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    let mut t = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>6} {:>6} {:>7} {:>8}",
+            r.category.label(),
+            r.total,
+            r.both,
+            r.s2_only,
+            r.sling_only,
+            r.neither
+        );
+        t.0 += r.total;
+        t.1 += r.both;
+        t.2 += r.s2_only;
+        t.3 += r.sling_only;
+        t.4 += r.neither;
+    }
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>6} {:>7} {:>8}",
+        "Total Sum", t.0, t.1, t.2, t.3, t.4
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Category;
+
+    #[test]
+    fn table1_renders() {
+        let rows = vec![Table1Row {
+            category: Category::Sll,
+            programs: 8,
+            loc: 168,
+            ilocs: 26,
+            traces: 226,
+            invs: 30,
+            spurious: 0,
+            a: 8,
+            s: 0,
+            x: 0,
+            time: 1.5,
+            avg_single: 0.3,
+            avg_pred: 0.8,
+            avg_pure: 1.0,
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("SLL"));
+        assert!(text.contains("8/0/0"));
+        assert!(text.contains("Total"));
+    }
+
+    #[test]
+    fn table2_renders() {
+        let rows = vec![Table2Row {
+            category: Category::Dll,
+            total: 13,
+            both: 0,
+            s2_only: 0,
+            sling_only: 13,
+            neither: 0,
+        }];
+        let text = render_table2(&rows);
+        assert!(text.contains("DLL"));
+        assert!(text.contains("13"));
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared nothing: this package only hosts the runnable examples
+//! (`cargo run -p sling-examples --example quickstart`).

@@ -1,0 +1,89 @@
+//! Quickstart: infer separation-logic invariants for a tiny list program.
+//!
+//! ```sh
+//! cargo run -p sling-examples --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sling::{analyze, InputBuilder, SlingConfig};
+use sling_lang::{
+    check_program, gen_list, parse_program, DataOrder, ListLayout, Location, RtHeap,
+};
+use sling_logic::{parse_predicates, PredEnv, Symbol};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A program with breakpoints: entry/exits are automatic, the loop
+    //    head is labelled @inv.
+    let program = parse_program(
+        "struct SNode { next: SNode*; data: int; }
+         fn reverse(x: SNode*) -> SNode* {
+             var r: SNode* = null;
+             while @inv (x != null) {
+                 var t: SNode* = x->next;
+                 x->next = r;
+                 r = x;
+                 x = t;
+             }
+             return r;
+         }",
+    )?;
+    check_program(&program)?;
+
+    // 2. The predicate vocabulary SLING searches over.
+    let mut preds = PredEnv::new();
+    for def in parse_predicates(
+        "pred sll(x: SNode*) := emp & x == nil
+           | exists u, d. x -> SNode{next: u, data: d} * sll(u);
+         pred lseg(x: SNode*, y: SNode*) := emp & x == y
+           | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);",
+    )? {
+        preds.define(def)?;
+    }
+    let types = program.type_env();
+
+    // 3. Test inputs: nil plus random lists (the paper uses size 10).
+    let layout = ListLayout {
+        ty: Symbol::intern("SNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    };
+    let inputs: Vec<InputBuilder> = [0usize, 1, 10]
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                vec![gen_list(heap, &layout, n, DataOrder::Random, &mut rng)]
+            });
+            builder
+        })
+        .collect();
+
+    // 4. Run SLING.
+    let outcome = analyze(
+        &program,
+        Symbol::intern("reverse"),
+        &inputs,
+        &types,
+        &preds,
+        &SlingConfig::default(),
+    );
+
+    println!("reverse: {} runs, {} traces, {:.2}s\n", outcome.runs, outcome.traces, outcome.seconds);
+    for loc in [
+        Location::Entry,
+        Location::LoopHead(Symbol::intern("inv")),
+        Location::Exit(0),
+    ] {
+        let Some(report) = outcome.at(loc) else { continue };
+        println!("at {loc} ({} models):", report.models_used);
+        for inv in report.invariants.iter().take(3) {
+            println!("    {}", inv.formula);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration tests in `tests/`.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sling::InputBuilder;
+use sling_lang::{gen_list, DataOrder, ListLayout, RtHeap};
+use sling_logic::Symbol;
+
+/// Input builders for a one-list function: nil plus lists of the given
+/// sizes.
+pub fn list_inputs(ty: &str, nfields: usize, data: Option<usize>, sizes: &[usize]) -> Vec<InputBuilder> {
+    let layout = ListLayout { ty: Symbol::intern(ty), nfields, next: 0, prev: None, data };
+    let mut out: Vec<InputBuilder> = vec![Box::new(|_: &mut RtHeap| vec![sling_models::Val::Nil])];
+    for (i, &n) in sizes.iter().enumerate() {
+        let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {
+            let mut rng = StdRng::seed_from_u64(i as u64 + 1);
+            vec![gen_list(heap, &layout, n, DataOrder::Random, &mut rng)]
+        });
+        out.push(builder);
+    }
+    out
+}
