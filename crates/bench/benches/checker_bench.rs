@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sling_bench::{list_model, snode_preds, snode_types, two_list_model};
-use sling_checker::CheckCtx;
+use sling_checker::{CheckCache, CheckCtx};
 use sling_logic::parse_formula;
 
 fn checker_vs_heap_size(c: &mut Criterion) {
@@ -58,5 +58,31 @@ fn checker_rejects(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, checker_vs_heap_size, checker_segments, checker_rejects);
+fn checker_cache_warm_vs_cold(c: &mut Criterion) {
+    let types = snode_types();
+    let preds = snode_preds();
+    let sll = parse_formula("sll(x)").unwrap();
+    let mut group = c.benchmark_group("check_sll_cached");
+    for n in [16usize, 64, 256] {
+        // After the first (cold) query every further check of the same
+        // canonical shape is answered from the cache.
+        let warmup = list_model(n, 7);
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        ctx.check(&warmup, &sll).expect("holds");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &warmup, |b, m| {
+            b.iter(|| ctx.check(m, &sll).expect("holds"));
+        });
+        assert!(cache.stats().hits > 0, "warm path must be exercised");
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    checker_vs_heap_size,
+    checker_segments,
+    checker_rejects,
+    checker_cache_warm_vs_cold
+);
 criterion_main!(benches);

@@ -14,7 +14,7 @@ fn bench_program(c: &mut Criterion, name: &str) {
     c.bench_function(&format!("e2e_{id}"), |b| {
         b.iter(|| {
             let run = run_bench(&bench, &config);
-            assert!(run.outcome.runs > 0);
+            assert!(run.report.metrics.runs > 0);
         });
     });
 }

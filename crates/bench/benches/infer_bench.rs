@@ -1,35 +1,47 @@
 //! InferAtom / SplitHeap costs vs. boundary size and trace count —
 //! the enumeration the paper calls exponential in predicates and
 //! parameters (§4.5), and the §5 claim that few traces suffice.
+//!
+//! Driven through `Engine::infer_at`, the location-level entry point,
+//! with the entailment cache cleared before every sample so the numbers
+//! track cold inference cost rather than memo lookups.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sling::{infer_at_location, SlingConfig};
-use sling_bench::{snode_preds, snode_types, two_list_model};
-use sling_checker::CheckCtx;
-use sling_lang::{parse_program, Location, Snapshot};
+use sling::Engine;
+use sling_bench::{snode_preds, two_list_model};
+use sling_lang::{Location, Snapshot};
 use sling_logic::Symbol;
 
+const PROGRAM: &str = "struct SNode { next: SNode*; data: int; }
+     fn f(x: SNode*, y: SNode*) -> SNode* { return x; }";
+
+fn engine() -> Engine {
+    Engine::builder()
+        .program_source(PROGRAM)
+        .expect("bench program parses")
+        .pred_env(snode_preds())
+        .build()
+        .expect("bench engine builds")
+}
+
 fn snapshot_of(model: sling_models::StackHeapModel, act: u64) -> Snapshot {
-    Snapshot { location: Location::Entry, model, tainted: false, activation: act }
+    Snapshot {
+        location: Location::Entry,
+        model,
+        tainted: false,
+        activation: act,
+    }
 }
 
 fn infer_vs_traces(c: &mut Criterion) {
-    let types = snode_types();
-    let preds = snode_preds();
-    let ctx = CheckCtx::new(&types, &preds);
-    let program = parse_program(
-        "struct SNode { next: SNode*; data: int; }
-         fn f(x: SNode*, y: SNode*) -> SNode* { return x; }",
-    )
-    .unwrap();
-    let func = program.func(Symbol::intern("f")).unwrap();
-    let config = SlingConfig::default();
+    let target = Symbol::intern("f");
 
     let mut group = c.benchmark_group("infer_vs_traces");
     for traces in [1usize, 4, 16] {
-        let models: Vec<sling_models::StackHeapModel> =
-            (0..traces).map(|i| two_list_model(8, 5, i as u64)).collect();
+        let models: Vec<sling_models::StackHeapModel> = (0..traces)
+            .map(|i| two_list_model(8, 5, i as u64))
+            .collect();
         let snaps: Vec<Snapshot> = models
             .into_iter()
             .enumerate()
@@ -37,15 +49,14 @@ fn infer_vs_traces(c: &mut Criterion) {
             .collect();
         let refs: Vec<&Snapshot> = snaps.iter().collect();
         group.bench_with_input(BenchmarkId::from_parameter(traces), &refs, |b, refs| {
+            // Clear the cache each round so every sample measures cold
+            // inference (plus intra-location reuse), not memo lookups.
+            let engine = engine();
             b.iter(|| {
-                let report = infer_at_location(
-                    &ctx,
-                    Location::Entry,
-                    refs,
-                    &[Symbol::intern("x"), Symbol::intern("y")],
-                    func,
-                    &config,
-                );
+                engine.clear_cache();
+                let report = engine
+                    .infer_at(target, Location::Entry, refs)
+                    .expect("target exists");
                 assert!(!report.invariants.is_empty());
             });
         });
@@ -54,16 +65,7 @@ fn infer_vs_traces(c: &mut Criterion) {
 }
 
 fn infer_vs_heap_size(c: &mut Criterion) {
-    let types = snode_types();
-    let preds = snode_preds();
-    let ctx = CheckCtx::new(&types, &preds);
-    let program = parse_program(
-        "struct SNode { next: SNode*; data: int; }
-         fn f(x: SNode*, y: SNode*) -> SNode* { return x; }",
-    )
-    .unwrap();
-    let func = program.func(Symbol::intern("f")).unwrap();
-    let config = SlingConfig::default();
+    let target = Symbol::intern("f");
 
     let mut group = c.benchmark_group("infer_vs_heap_size");
     for n in [4usize, 10, 24] {
@@ -72,15 +74,12 @@ fn infer_vs_heap_size(c: &mut Criterion) {
             .collect();
         let refs: Vec<&Snapshot> = snaps.iter().collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            let engine = engine();
             b.iter(|| {
-                infer_at_location(
-                    &ctx,
-                    Location::Entry,
-                    refs,
-                    &[Symbol::intern("x"), Symbol::intern("y")],
-                    func,
-                    &config,
-                )
+                engine.clear_cache();
+                engine
+                    .infer_at(target, Location::Entry, refs)
+                    .expect("target exists")
             });
         });
     }

@@ -25,7 +25,10 @@ fn main() {
             .as_deref(),
     );
     let rows = table1(&runs);
-    println!("Table 1. SLING on the benchmark corpus ({} programs)\n", runs.len());
+    println!(
+        "Table 1. SLING on the benchmark corpus ({} programs)\n",
+        runs.len()
+    );
     println!("{}", render_table1(&rows));
 
     let total_time: f64 = rows.iter().map(|r| r.time).sum();

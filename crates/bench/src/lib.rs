@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sling_lang::{gen_list, DataOrder, ListLayout, RtHeap};
-use sling_logic::{
-    parse_predicates, FieldDef, FieldTy, PredEnv, StructDef, Symbol, TypeEnv,
-};
+use sling_logic::{parse_predicates, FieldDef, FieldTy, PredEnv, StructDef, Symbol, TypeEnv};
 use sling_models::{Stack, StackHeapModel, Val};
 
 /// Builds the `SNode`-based type environment used by the micro-benches.
@@ -20,8 +18,14 @@ pub fn snode_types() -> TypeEnv {
         .define(StructDef {
             name: node,
             fields: vec![
-                FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
-                FieldDef { name: Symbol::intern("data"), ty: FieldTy::Int },
+                FieldDef {
+                    name: Symbol::intern("next"),
+                    ty: FieldTy::Ptr(node),
+                },
+                FieldDef {
+                    name: Symbol::intern("data"),
+                    ty: FieldTy::Int,
+                },
             ],
         })
         .expect("fresh env");

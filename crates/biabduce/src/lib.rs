@@ -28,9 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use sling_lang::{BinOp, Block, Expr, ExprKind, FuncDecl, LValue, Program, Stmt, StmtKind, UnOp};
-use sling_logic::{
-    FieldTy, FreshVars, PredDef, PredEnv, SpatialAtom, SymHeap, Symbol,
-};
+use sling_logic::{FieldTy, FreshVars, PredDef, PredEnv, SpatialAtom, SymHeap, Symbol};
 
 /// Why the baseline declined a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,11 +81,7 @@ pub struct Spec {
 /// # Errors
 ///
 /// Returns [`Unsupported`] for programs outside the fragment.
-pub fn infer_spec(
-    program: &Program,
-    target: Symbol,
-    preds: &PredEnv,
-) -> Result<Spec, Unsupported> {
+pub fn infer_spec(program: &Program, target: Symbol, preds: &PredEnv) -> Result<Spec, Unsupported> {
     let func = program.func(target).ok_or(Unsupported::NotApplicable)?;
     reject_loops(&func.body)?;
 
@@ -99,7 +93,11 @@ pub fn infer_spec(
             shapes.insert(s, def);
         }
     }
-    if shapes.is_empty() && func.params.iter().any(|p| matches!(p.ty, sling_lang::TyExpr::Ptr(_)))
+    if shapes.is_empty()
+        && func
+            .params
+            .iter()
+            .any(|p| matches!(p.ty, sling_lang::TyExpr::Ptr(_)))
     {
         return Err(Unsupported::NotApplicable);
     }
@@ -160,16 +158,18 @@ pub fn infer_spec(
 /// (extra *int* parameters disqualify it: the baseline has no data
 /// reasoning).
 fn unary_shape_pred(preds: &PredEnv, ty: Symbol) -> Option<&PredDef> {
-    preds.iter().find(|d| {
-        d.params.len() == 1 && d.params[0].ty == FieldTy::Ptr(ty)
-    })
+    preds
+        .iter()
+        .find(|d| d.params.len() == 1 && d.params[0].ty == FieldTy::Ptr(ty))
 }
 
 fn reject_loops(block: &Block) -> Result<(), Unsupported> {
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::While { .. } => return Err(Unsupported::Loop),
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 reject_loops(then_blk)?;
                 if let Some(e) = else_blk {
                     reject_loops(e)?;
@@ -191,7 +191,9 @@ fn index_returns(block: &Block) -> BTreeMap<*const Stmt, usize> {
                     map.insert(stmt as *const Stmt, *idx);
                     *idx += 1;
                 }
-                StmtKind::If { then_blk, else_blk, .. } => {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
                     walk(then_blk, map, idx);
                     if let Some(e) = else_blk {
                         walk(e, map, idx);
@@ -369,7 +371,11 @@ impl<'a> Exec<'a> {
                 }
                 Ok(Outcome::Cont(out))
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let branches = self.eval_cond(cond, st)?;
                 let mut out = Vec::new();
                 for (truth, s) in branches {
@@ -386,7 +392,10 @@ impl<'a> Exec<'a> {
                 Ok(Outcome::Cont(out))
             }
             StmtKind::Return(value) => {
-                let idx = *self.exit_index.get(&(stmt as *const Stmt)).expect("indexed");
+                let idx = *self
+                    .exit_index
+                    .get(&(stmt as *const Stmt))
+                    .expect("indexed");
                 match value {
                     None => {
                         st.result = Some(SV::Null);
@@ -449,7 +458,10 @@ impl<'a> Exec<'a> {
                 Ok(out)
             }
             ExprKind::New(ty, inits) => {
-                let sdef = self.program.strukt(*ty).ok_or(Unsupported::UnknownPointer)?;
+                let sdef = self
+                    .program
+                    .strukt(*ty)
+                    .ok_or(Unsupported::UnknownPointer)?;
                 let mut fields: Vec<SV> = sdef
                     .fields
                     .iter()
@@ -474,7 +486,13 @@ impl<'a> Exec<'a> {
                 let mut out = Vec::new();
                 for (f, mut s) in states {
                     let id = s.fresh();
-                    s.cells.insert(id, Cell { ty: *ty, fields: f.clone() });
+                    s.cells.insert(
+                        id,
+                        Cell {
+                            ty: *ty,
+                            fields: f.clone(),
+                        },
+                    );
                     out.push((SV::Obj(id), s));
                 }
                 fields.clear();
@@ -689,7 +707,10 @@ impl<'a> Exec<'a> {
 
     fn field_idx(&self, st: &State, id: u32, field: Symbol) -> Result<usize, Unsupported> {
         let cell = st.cells.get(&id).ok_or(Unsupported::UnknownPointer)?;
-        let sdef = self.program.strukt(cell.ty).ok_or(Unsupported::UnknownPointer)?;
+        let sdef = self
+            .program
+            .strukt(cell.ty)
+            .ok_or(Unsupported::UnknownPointer)?;
         sdef.fields
             .iter()
             .position(|(n, _)| *n == field)
@@ -699,6 +720,7 @@ impl<'a> Exec<'a> {
 
 /// Consumes the footprint of `v` as one `shape(ty)` instance: null and
 /// chunks are consumed directly; materialized cells fold recursively.
+#[allow(clippy::only_used_in_recursion)]
 fn consume_shape(
     st: &mut State,
     v: SV,
@@ -735,10 +757,7 @@ fn consume_shape(
 /// Folds an exit state into a postcondition: the result and every
 /// leftover parameter footprint must be shape instances, and no cell may
 /// leak.
-fn fold_state(
-    state: &State,
-    shapes: &BTreeMap<Symbol, &PredDef>,
-) -> Result<SymHeap, Unsupported> {
+fn fold_state(state: &State, shapes: &BTreeMap<Symbol, &PredDef>) -> Result<SymHeap, Unsupported> {
     let mut st = state.clone();
     let mut atoms: Vec<SpatialAtom> = Vec::new();
     let mut fresh = FreshVars::new("v");
@@ -787,7 +806,11 @@ fn fold_state(
         return Err(Unsupported::FoldFailure);
     }
     let _ = fresh.take(0);
-    Ok(SymHeap { exists: vec![], spatial: atoms, pure: vec![] })
+    Ok(SymHeap {
+        exists: vec![],
+        spatial: atoms,
+        pure: vec![],
+    })
 }
 
 #[cfg(test)]
@@ -864,7 +887,10 @@ mod tests {
         )
         .unwrap();
         check_program(&p).unwrap();
-        assert!(matches!(infer_spec(&p, sym("len"), &preds()), Err(Unsupported::Loop)));
+        assert!(matches!(
+            infer_spec(&p, sym("len"), &preds()),
+            Err(Unsupported::Loop)
+        ));
     }
 
     #[test]
@@ -901,5 +927,4 @@ mod tests {
             assert_eq!(post.to_string(), "emp");
         }
     }
-
 }

@@ -1,0 +1,632 @@
+//! The memoizing entailment cache.
+//!
+//! SLING's inference loop asks the model checker the same kind of
+//! question over and over: "does this sub-heap satisfy this predicate
+//! formula?" Sub-heaps recur constantly — the same list segment shows up
+//! at entry and exit, across loop iterations, and across the many target
+//! functions of a batch analysis. [`CheckCache`] memoizes the reduction
+//! `s, h ⊩ F ⇝ h', ι` keyed on a *canonical form* of the
+//! `(sub-heap shape, formula)` pair, so a repeated query — even one whose
+//! concrete heap addresses differ — is answered without re-running the
+//! search.
+//!
+//! # Canonicalization
+//!
+//! The key must be insensitive to the accidents of a particular run:
+//!
+//! * **Addresses** are renamed to dense canonical ids by a breadth-first
+//!   walk of the heap rooted at the formula's free variables (in name
+//!   order); unreached cells follow in address order. Two isomorphic
+//!   sub-heaps therefore produce the same key, and the checker's verdict
+//!   transfers because the reduction judgment is invariant under
+//!   bijective renaming of addresses.
+//! * **Bound variables** of the formula are renamed to positional names,
+//!   so `∃u3. sll(u3)` and `∃u7. sll(u7)` share an entry.
+//! * Pointers that leave the sub-heap (boundary pointers) get their own
+//!   canonical ids in first-encounter order, preserving their equality
+//!   pattern without leaking raw addresses into the key.
+//!
+//! Cached entries store the residual domain and existential
+//! instantiation in canonical space; a hit rehydrates them through the
+//! querying model's own renaming.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sling_logic::{Expr, Subst, SymHeap, Symbol};
+use sling_models::{Loc, StackHeapModel, Val};
+
+use crate::check::Reduction;
+use crate::inst::Instantiation;
+
+/// Point-in-time counters of a [`CheckCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the full search (and seeded the cache).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// The counter movement since an `earlier` snapshot of the same
+    /// cache (entry counts are absolute, not differenced).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}%), {} entries",
+            self.hits,
+            self.lookups(),
+            100.0 * self.hit_rate(),
+            self.entries
+        )
+    }
+}
+
+/// A shared, thread-safe memo table for checker reductions.
+///
+/// Create one per [`crate::CheckCtx`] scope (an engine, a batch run) and
+/// pass it via [`crate::CheckCtx::with_cache`]. Both satisfiable and
+/// unsatisfiable verdicts are cached.
+#[derive(Debug)]
+pub struct CheckCache {
+    entries: Mutex<HashMap<String, Option<CachedReduction>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for CheckCache {
+    fn default() -> CheckCache {
+        CheckCache::new()
+    }
+}
+
+/// Default bound on stored entries; beyond it new results are computed
+/// but not retained (the working set of a corpus run stays far below).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+impl CheckCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> CheckCache {
+        CheckCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> CheckCache {
+        CheckCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len() as u64,
+        }
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+
+    pub(crate) fn lookup(&self, key: &str) -> Option<Option<CachedReduction>> {
+        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    pub(crate) fn store(&self, key: String, value: Option<CachedReduction>) {
+        let mut entries = self.entries.lock().expect("cache lock");
+        if entries.len() < self.capacity {
+            entries.insert(key, value);
+        }
+    }
+}
+
+/// A value in canonical space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CanonVal {
+    /// The null pointer.
+    Nil,
+    /// An integer (kept verbatim: formulas may constrain it).
+    Int(i64),
+    /// The `id`-th cell of the canonical heap enumeration.
+    InHeap(u32),
+    /// The `id`-th distinct pointer that leaves the sub-heap.
+    Dangling(u32),
+}
+
+/// How a cached instantiation names a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CanonName {
+    /// Positional index into the formula's binder list.
+    Binder(u32),
+    /// A free variable of the formula (part of the key, so stable).
+    Free(Symbol),
+}
+
+/// One memoized reduction, expressed in canonical space.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedReduction {
+    residual: Vec<u32>,
+    inst: Vec<(CanonName, CanonVal)>,
+}
+
+/// The canonical form of one `(model, formula)` query: the cache key
+/// plus the renamings needed to translate a stored verdict back into
+/// the model's concrete address space.
+pub(crate) struct CanonicalQuery {
+    /// The cache key.
+    pub(crate) key: String,
+    binders: Vec<Symbol>,
+    loc_ids: BTreeMap<Loc, u32>,
+    id_locs: Vec<Loc>,
+    dangling_ids: BTreeMap<Loc, u32>,
+    id_dangling: Vec<Loc>,
+}
+
+/// A stable fingerprint of the checking environments, mixed into cache
+/// keys. Both environments are `BTreeMap`-backed, so their `Debug`
+/// output is deterministic for equal contents.
+pub(crate) fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> u64 {
+    let text = format!("{types:?}\u{1}{preds:?}");
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl CanonicalQuery {
+    /// Canonicalizes a query. `scope` is prepended verbatim to the key;
+    /// callers use it to carry everything outside the `(model, formula)`
+    /// pair that the verdict depends on (environment tag, search limits).
+    pub(crate) fn new(model: &StackHeapModel, f: &SymHeap, scope: &str) -> CanonicalQuery {
+        let binders: Vec<Symbol> = f.exists.clone();
+
+        // Canonical formula text: binders renamed positionally. `$`
+        // cannot occur in source identifiers, so the names are safe.
+        let canon_formula = if binders.is_empty() {
+            f.clone()
+        } else {
+            let map: Subst = binders
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (*v, Expr::Var(Symbol::intern(&format!("$c{i}")))))
+                .collect();
+            sling_logic::subst_symheap_bound(f, &map)
+        };
+
+        let mut q = CanonicalQuery {
+            key: String::new(),
+            binders,
+            loc_ids: BTreeMap::new(),
+            id_locs: Vec::new(),
+            dangling_ids: BTreeMap::new(),
+            id_dangling: Vec::new(),
+        };
+
+        // Enumerate in-heap addresses: BFS from the formula's free
+        // variables in name order, then unreached cells in address
+        // order. This fixes the cell order the key lists below.
+        let free: Vec<Symbol> = f.free_vars().into_iter().collect(); // sorted
+        let mut queue: VecDeque<Loc> = VecDeque::new();
+        for v in &free {
+            if let Some(Val::Addr(loc)) = model.stack.get(*v) {
+                if model.heap.contains(loc) && q.assign_in_heap(loc) {
+                    queue.push_back(loc);
+                }
+            }
+        }
+        while let Some(loc) = queue.pop_front() {
+            let Some(cell) = model.heap.get(loc) else {
+                continue;
+            };
+            for val in &cell.fields {
+                if let Val::Addr(next) = val {
+                    if model.heap.contains(*next) && q.assign_in_heap(*next) {
+                        queue.push_back(*next);
+                    }
+                }
+            }
+        }
+        for loc in model.heap.domain() {
+            q.assign_in_heap(loc);
+        }
+
+        // Write the key: formula, free-variable values, heap cells. The
+        // write order is exactly the canonical order, so dangling ids
+        // are assigned deterministically as they are first printed.
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(scope.len() + 64 + 16 * q.id_locs.len());
+        key.push_str(scope);
+        let _ = write!(key, "{canon_formula}\n;");
+        for v in &free {
+            match model.stack.get(*v) {
+                Some(val) => {
+                    let c = q.canon_val(val, model);
+                    let _ = write!(key, "{v}={c:?},");
+                }
+                None => {
+                    let _ = write!(key, "{v}=?,");
+                }
+            }
+        }
+        key.push_str("\n;");
+        for i in 0..q.id_locs.len() {
+            let loc = q.id_locs[i];
+            let cell = model.heap.get(loc).expect("enumerated from the domain");
+            let _ = write!(key, "{}{{", cell.ty);
+            for val in &cell.fields {
+                let c = q.canon_val(*val, model);
+                let _ = write!(key, "{c:?},");
+            }
+            key.push_str("};");
+        }
+        q.key = key;
+        q
+    }
+
+    fn assign_in_heap(&mut self, loc: Loc) -> bool {
+        if self.loc_ids.contains_key(&loc) {
+            return false;
+        }
+        self.loc_ids.insert(loc, self.id_locs.len() as u32);
+        self.id_locs.push(loc);
+        true
+    }
+
+    /// Canonicalizes a value, assigning a dangling id on first sight of
+    /// an address outside the heap.
+    fn canon_val(&mut self, val: Val, model: &StackHeapModel) -> CanonVal {
+        match val {
+            Val::Nil => CanonVal::Nil,
+            Val::Int(k) => CanonVal::Int(k),
+            Val::Addr(loc) => {
+                if model.heap.contains(loc) {
+                    CanonVal::InHeap(self.loc_ids[&loc])
+                } else if let Some(&id) = self.dangling_ids.get(&loc) {
+                    CanonVal::Dangling(id)
+                } else {
+                    let id = self.id_dangling.len() as u32;
+                    self.dangling_ids.insert(loc, id);
+                    self.id_dangling.push(loc);
+                    CanonVal::Dangling(id)
+                }
+            }
+        }
+    }
+
+    /// Translates a fresh reduction into canonical space for storage.
+    /// Returns `None` when a value falls outside the canonical frame
+    /// (cannot happen for reductions of the canonicalized query; guarded
+    /// anyway so a surprise degrades to "don't cache" instead of a wrong
+    /// entry).
+    pub(crate) fn encode(&self, r: &Reduction) -> Option<CachedReduction> {
+        let mut residual = Vec::with_capacity(r.residual.len());
+        for loc in r.residual.domain() {
+            residual.push(*self.loc_ids.get(&loc)?);
+        }
+        let mut inst = Vec::with_capacity(r.inst.len());
+        for (sym, val) in r.inst.iter() {
+            let name = match self.binders.iter().position(|b| *b == sym) {
+                Some(i) => CanonName::Binder(i as u32),
+                None => CanonName::Free(sym),
+            };
+            let cval = match val {
+                Val::Nil => CanonVal::Nil,
+                Val::Int(k) => CanonVal::Int(k),
+                Val::Addr(loc) => match self.loc_ids.get(&loc) {
+                    Some(id) => CanonVal::InHeap(*id),
+                    None => CanonVal::Dangling(*self.dangling_ids.get(&loc)?),
+                },
+            };
+            inst.push((name, cval));
+        }
+        Some(CachedReduction { residual, inst })
+    }
+
+    /// Rehydrates a stored verdict against this query's model.
+    pub(crate) fn decode(&self, model: &StackHeapModel, c: &CachedReduction) -> Reduction {
+        let locs: std::collections::BTreeSet<Loc> = c
+            .residual
+            .iter()
+            .map(|id| self.id_locs[*id as usize])
+            .collect();
+        let residual = model.heap.restrict(&locs);
+        let covered = model.heap.len() - residual.len();
+        let inst = Instantiation::from_bindings(c.inst.iter().filter_map(|(name, cval)| {
+            let sym = match name {
+                CanonName::Binder(i) => *self.binders.get(*i as usize)?,
+                CanonName::Free(s) => *s,
+            };
+            let val = match cval {
+                CanonVal::Nil => Val::Nil,
+                CanonVal::Int(k) => Val::Int(*k),
+                CanonVal::InHeap(id) => Val::Addr(self.id_locs[*id as usize]),
+                CanonVal::Dangling(id) => Val::Addr(self.id_dangling[*id as usize]),
+            };
+            Some((sym, val))
+        }));
+        Reduction {
+            residual,
+            inst,
+            covered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_logic::{
+        parse_formula, parse_predicates, FieldDef, FieldTy, PredEnv, StructDef, TypeEnv,
+    };
+    use sling_models::{Heap, HeapCell, Stack};
+
+    use crate::CheckCtx;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn envs() -> (TypeEnv, PredEnv) {
+        let node = sym("CNode");
+        let mut types = TypeEnv::new();
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                }],
+            })
+            .unwrap();
+        let mut preds = PredEnv::new();
+        for d in parse_predicates(
+            "pred clist(x: CNode*) := emp & x == nil
+               | exists u. x -> CNode{next: u} * clist(u);",
+        )
+        .unwrap()
+        {
+            preds.define(d).unwrap();
+        }
+        (types, preds)
+    }
+
+    /// `x` heads an `n`-cell list whose addresses start at `base`.
+    fn list_model(n: u64, base: u64) -> StackHeapModel {
+        let mut heap = Heap::new();
+        for i in 0..n {
+            let next = if i + 1 < n {
+                Val::Addr(Loc::new(base + i + 1))
+            } else {
+                Val::Nil
+            };
+            heap.insert(Loc::new(base + i), HeapCell::new(sym("CNode"), vec![next]));
+        }
+        let mut stack = Stack::new();
+        let head = if n == 0 {
+            Val::Nil
+        } else {
+            Val::Addr(Loc::new(base))
+        };
+        stack.bind(sym("x"), head);
+        StackHeapModel::new(stack, heap)
+    }
+
+    #[test]
+    fn isomorphic_models_share_a_key() {
+        let f = parse_formula("clist(x)").unwrap();
+        let a = CanonicalQuery::new(&list_model(3, 1), &f, "");
+        let b = CanonicalQuery::new(&list_model(3, 100), &f, "");
+        assert_eq!(a.key, b.key);
+        let c = CanonicalQuery::new(&list_model(4, 1), &f, "");
+        assert_ne!(a.key, c.key, "different shapes must differ");
+    }
+
+    #[test]
+    fn binder_names_do_not_matter() {
+        let m = list_model(2, 1);
+        let f1 = parse_formula("exists u3. x -> CNode{next: u3} * clist(u3)").unwrap();
+        let f2 = parse_formula("exists w9. x -> CNode{next: w9} * clist(w9)").unwrap();
+        assert_eq!(
+            CanonicalQuery::new(&m, &f1, "").key,
+            CanonicalQuery::new(&m, &f2, "").key
+        );
+    }
+
+    #[test]
+    fn cached_hit_equals_fresh_verdict() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let plain = CheckCtx::new(&types, &preds);
+        let f = parse_formula("clist(x)").unwrap();
+
+        let m1 = list_model(3, 1);
+        let first = ctx.check(&m1, &f).expect("holds");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Isomorphic model at different addresses: must hit, and the
+        // rehydrated reduction must match an uncached check bit for bit.
+        let m2 = list_model(3, 50);
+        let hit = ctx.check(&m2, &f).expect("holds");
+        assert_eq!(cache.stats().hits, 1);
+        let fresh = plain.check(&m2, &f).expect("holds");
+        assert_eq!(hit, fresh);
+        assert_eq!(hit.covered, first.covered);
+        assert!(hit.residual.is_empty());
+    }
+
+    #[test]
+    fn negative_verdicts_are_cached() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        // A 2-cycle never satisfies clist.
+        let mut heap = Heap::new();
+        heap.insert(
+            Loc::new(1),
+            HeapCell::new(sym("CNode"), vec![Val::Addr(Loc::new(2))]),
+        );
+        heap.insert(
+            Loc::new(2),
+            HeapCell::new(sym("CNode"), vec![Val::Addr(Loc::new(1))]),
+        );
+        let mut stack = Stack::new();
+        stack.bind(sym("x"), Val::Addr(Loc::new(1)));
+        let m = StackHeapModel::new(stack, heap);
+        let f = parse_formula("clist(x)").unwrap();
+        assert!(ctx.check(&m, &f).is_none());
+        assert!(ctx.check(&m, &f).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn partial_reduction_rehydrates_residual() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        // x -> a -> b, but also an unreachable extra cell: clist(x)
+        // covers the chain, the stray cell is residue.
+        let mk = |base: u64| {
+            let mut m = list_model(2, base);
+            m.heap.insert(
+                Loc::new(base + 77),
+                HeapCell::new(sym("CNode"), vec![Val::Nil]),
+            );
+            m
+        };
+        let f = parse_formula("clist(x)").unwrap();
+        let r1 = ctx.check(&mk(1), &f).expect("holds");
+        assert_eq!(r1.residual.len(), 1);
+        let r2 = ctx.check(&mk(200), &f).expect("holds");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(r2.residual.len(), 1);
+        assert!(
+            r2.residual.contains(Loc::new(277)),
+            "residue maps to the query's space"
+        );
+    }
+
+    #[test]
+    fn budget_limited_verdicts_do_not_poison_full_budget_queries() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let starved = CheckCtx::with_cache(
+            &types,
+            &preds,
+            crate::CheckConfig {
+                node_budget: 1,
+                fuel_slack: 0,
+            },
+            &cache,
+        );
+        let full = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+        // The starved context gives up early; whatever it caches must not
+        // answer the full-budget query for the same shape.
+        let _ = starved.check(&list_model(3, 1), &f);
+        let red = full
+            .check(&list_model(3, 50), &f)
+            .expect("full budget proves it");
+        assert!(red.residual.is_empty());
+    }
+
+    #[test]
+    fn different_environments_never_share_entries() {
+        // Same predicate *name*, different definition, one shared cache:
+        // the env fingerprint must keep their entries apart.
+        let (types, preds_real) = envs();
+        let mut preds_empty_only = PredEnv::new();
+        for d in parse_predicates("pred clist(x: CNode*) := emp & x == nil;").unwrap() {
+            preds_empty_only.define(d).unwrap();
+        }
+        let cache = CheckCache::new();
+        let real = CheckCtx::with_cache(&types, &preds_real, Default::default(), &cache);
+        let degenerate =
+            CheckCtx::with_cache(&types, &preds_empty_only, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+
+        assert!(real.check(&list_model(2, 1), &f).is_some());
+        // Under the emp-only definition an allocated list can never
+        // satisfy clist(x); a cross-env cache hit would claim it does.
+        assert!(degenerate.check(&list_model(2, 40), &f).is_none());
+        assert_eq!(
+            cache.stats().hits,
+            0,
+            "isomorphic shapes, different envs: no sharing"
+        );
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 4,
+            entries: 9,
+        };
+        let b = CacheStats {
+            hits: 13,
+            misses: 5,
+            entries: 11,
+        };
+        let d = b.since(&a);
+        assert_eq!((d.hits, d.misses, d.entries), (3, 1, 11));
+        assert_eq!(d.lookups(), 4);
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let (types, preds) = envs();
+        let cache = CheckCache::with_capacity(2);
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+        for n in 0..6u64 {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        assert!(cache.stats().entries <= 2);
+    }
+}

@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use sling_logic::{Expr, PredEnv, PureAtom, SpatialAtom, Subst, SymHeap, Symbol, TypeEnv};
 use sling_models::{Heap, Loc, StackHeapModel, Val};
 
+use crate::cache::{CanonicalQuery, CheckCache};
 use crate::inst::Instantiation;
 
 /// Tuning knobs for the search.
@@ -42,7 +43,10 @@ pub struct CheckConfig {
 
 impl Default for CheckConfig {
     fn default() -> CheckConfig {
-        CheckConfig { node_budget: 200_000, fuel_slack: 24 }
+        CheckConfig {
+            node_budget: 200_000,
+            fuel_slack: 24,
+        }
     }
 }
 
@@ -60,7 +64,7 @@ pub struct Reduction {
 }
 
 /// Shared context for checking: type and predicate environments plus
-/// configuration.
+/// configuration, optionally backed by a memoizing [`CheckCache`].
 #[derive(Debug, Clone, Copy)]
 pub struct CheckCtx<'a> {
     /// Structure definitions.
@@ -69,12 +73,42 @@ pub struct CheckCtx<'a> {
     pub preds: &'a PredEnv,
     /// Search limits.
     pub config: CheckConfig,
+    /// Entailment cache consulted by [`CheckCtx::check`]; `None` runs
+    /// every query cold.
+    pub cache: Option<&'a CheckCache>,
+    /// Fingerprint of `(types, preds)` mixed into every cache key, so a
+    /// [`CheckCache`] shared between contexts with *different*
+    /// environments can never exchange verdicts (a predicate name alone
+    /// does not identify its definition). Zero when no cache is used.
+    pub env_tag: u64,
 }
 
 impl<'a> CheckCtx<'a> {
-    /// Creates a context with default limits.
+    /// Creates a context with default limits and no cache.
     pub fn new(types: &'a TypeEnv, preds: &'a PredEnv) -> CheckCtx<'a> {
-        CheckCtx { types, preds, config: CheckConfig::default() }
+        CheckCtx {
+            types,
+            preds,
+            config: CheckConfig::default(),
+            cache: None,
+            env_tag: 0,
+        }
+    }
+
+    /// Creates a context whose checks are memoized in `cache`.
+    pub fn with_cache(
+        types: &'a TypeEnv,
+        preds: &'a PredEnv,
+        config: CheckConfig,
+        cache: &'a CheckCache,
+    ) -> CheckCtx<'a> {
+        CheckCtx {
+            types,
+            preds,
+            config,
+            cache: Some(cache),
+            env_tag: crate::cache::env_fingerprint(types, preds),
+        }
     }
 
     /// Checks `f` against one model, returning the minimal-residue
@@ -115,12 +149,40 @@ impl<'a> CheckCtx<'a> {
     /// assert!(red.residual.is_empty());
     /// ```
     pub fn check(&self, model: &StackHeapModel, f: &SymHeap) -> Option<Reduction> {
-        Search::new(*self, model, f).run(f)
+        let Some(cache) = self.cache else {
+            return Search::new(*self, model, f).run(f);
+        };
+        // The key must cover everything the verdict depends on: the
+        // environments (tag) and the search limits (a budget-truncated
+        // "no" must not answer a full-budget query).
+        let scope = format!(
+            "env{:x};bud{};slack{};",
+            self.env_tag, self.config.node_budget, self.config.fuel_slack
+        );
+        let query = CanonicalQuery::new(model, f, &scope);
+        if let Some(entry) = cache.lookup(&query.key) {
+            return entry.map(|cached| query.decode(model, &cached));
+        }
+        let result = Search::new(*self, model, f).run(f);
+        match &result {
+            Some(r) => {
+                // `encode` only declines when a value escapes the
+                // canonical frame; in that case skip storing rather than
+                // memoize something untranslatable.
+                if let Some(encoded) = query.encode(r) {
+                    cache.store(query.key, Some(encoded));
+                }
+            }
+            None => cache.store(query.key, None),
+        }
+        result
     }
 
     /// True if `f` models the heap *exactly* (empty residue).
     pub fn holds_exact(&self, model: &StackHeapModel, f: &SymHeap) -> bool {
-        self.check(model, f).map(|r| r.residual.is_empty()).unwrap_or(false)
+        self.check(model, f)
+            .map(|r| r.residual.is_empty())
+            .unwrap_or(false)
     }
 
     /// Checks `f` against every model of a sequence; `None` unless all
@@ -171,7 +233,11 @@ impl Env {
     }
 
     fn same_class(&self, a: Symbol, b: Symbol) -> bool {
-        a == b || self.classes.iter().any(|c| c.contains(&a) && c.contains(&b))
+        a == b
+            || self
+                .classes
+                .iter()
+                .any(|c| c.contains(&a) && c.contains(&b))
     }
 
     /// Binding a variable also binds its whole unbound-equality class.
@@ -230,7 +296,15 @@ impl<'a> Search<'a> {
                 formula_exists.insert(v);
             }
         }
-        Search { ctx, model, formula_exists, nodes: 0, fresh_counter: 0, best: None, done: false }
+        Search {
+            ctx,
+            model,
+            formula_exists,
+            nodes: 0,
+            fresh_counter: 0,
+            best: None,
+            done: false,
+        }
     }
 
     fn run(mut self, f: &SymHeap) -> Option<Reduction> {
@@ -251,7 +325,11 @@ impl<'a> Search<'a> {
                 .filter(|(v, _)| self.formula_exists.contains(*v))
                 .map(|(v, val)| (*v, *val)),
         );
-        Some(Reduction { residual, inst, covered })
+        Some(Reduction {
+            residual,
+            inst,
+            covered,
+        })
     }
 
     fn fresh(&mut self) -> Symbol {
@@ -296,13 +374,7 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn eval_arith(
-        &self,
-        env: &Env,
-        a: &Expr,
-        b: &Expr,
-        op: fn(i64, i64) -> Option<i64>,
-    ) -> Evaled {
+    fn eval_arith(&self, env: &Env, a: &Expr, b: &Expr, op: fn(i64, i64) -> Option<i64>) -> Evaled {
         match (self.eval(env, a), self.eval(env, b)) {
             (Evaled::Known(Val::Int(x)), Evaled::Known(Val::Int(y))) => match op(x, y) {
                 Some(r) => Evaled::Known(Val::Int(r)),
@@ -383,7 +455,9 @@ impl<'a> Search<'a> {
                 }
             }
             SpatialAtom::Pred { name, args } => {
-                let Some(def) = self.ctx.preds.get(name) else { return };
+                let Some(def) = self.ctx.preds.get(name) else {
+                    return;
+                };
                 if def.arity() != args.len() || state.fuel == 0 {
                     return;
                 }
@@ -419,14 +493,22 @@ impl<'a> Search<'a> {
         if !state.avail.contains(&loc) {
             return;
         }
-        let Some(cell) = self.model.heap.get(loc) else { return };
+        let Some(cell) = self.model.heap.get(loc) else {
+            return;
+        };
         if cell.ty != ty {
             return;
         }
-        let Some(def) = self.ctx.types.get(ty) else { return };
+        let Some(def) = self.ctx.types.get(ty) else {
+            return;
+        };
         for fa in fields {
-            let Some(i) = def.field_index(fa.name) else { return };
-            let Some(actual) = cell.fields.get(i).copied() else { return };
+            let Some(i) = def.field_index(fa.name) else {
+                return;
+            };
+            let Some(actual) = cell.fields.get(i).copied() else {
+                return;
+            };
             match self.eval(&state.env, &fa.value) {
                 Evaled::Known(v) => {
                     if v != actual {
@@ -496,11 +578,15 @@ impl<'a> Search<'a> {
                         }
                         progress = true; // atom discharged
                     }
-                    (Evaled::Known(va), Evaled::FreeVar(vb)) if matches!(atom, PureAtom::Eq(..)) => {
+                    (Evaled::Known(va), Evaled::FreeVar(vb))
+                        if matches!(atom, PureAtom::Eq(..)) =>
+                    {
                         state.env.bind(vb, va);
                         progress = true;
                     }
-                    (Evaled::FreeVar(va), Evaled::Known(vb)) if matches!(atom, PureAtom::Eq(..)) => {
+                    (Evaled::FreeVar(va), Evaled::Known(vb))
+                        if matches!(atom, PureAtom::Eq(..)) =>
+                    {
                         state.env.bind(va, vb);
                         progress = true;
                     }
@@ -651,8 +737,11 @@ impl<'a> Search<'a> {
         if case.exists.is_empty() {
             return case;
         }
-        let map: Subst =
-            case.exists.iter().map(|v| (*v, Expr::Var(self.fresh()))).collect();
+        let map: Subst = case
+            .exists
+            .iter()
+            .map(|v| (*v, Expr::Var(self.fresh())))
+            .collect();
         sling_logic::subst_symheap_bound(&case, &map)
     }
 }

@@ -25,7 +25,9 @@ impl Instantiation {
 
     /// Builds an instantiation from `(variable, value)` pairs.
     pub fn from_bindings<I: IntoIterator<Item = (Symbol, Val)>>(iter: I) -> Instantiation {
-        Instantiation { map: iter.into_iter().collect() }
+        Instantiation {
+            map: iter.into_iter().collect(),
+        }
     }
 
     /// The value of `var`, if the model constrained it.

@@ -59,8 +59,10 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod check;
 mod inst;
 
+pub use cache::{CacheStats, CheckCache};
 pub use check::{CheckConfig, CheckCtx, Reduction};
 pub use inst::Instantiation;

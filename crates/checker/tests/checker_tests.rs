@@ -22,8 +22,14 @@ fn node_types() -> TypeEnv {
         .define(StructDef {
             name: node,
             fields: vec![
-                FieldDef { name: sym("next"), ty: FieldTy::Ptr(node) },
-                FieldDef { name: sym("prev"), ty: FieldTy::Ptr(node) },
+                FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                },
+                FieldDef {
+                    name: sym("prev"),
+                    ty: FieldTy::Ptr(node),
+                },
             ],
         })
         .unwrap();
@@ -32,8 +38,14 @@ fn node_types() -> TypeEnv {
         .define(StructDef {
             name: cell,
             fields: vec![
-                FieldDef { name: sym("next"), ty: FieldTy::Ptr(cell) },
-                FieldDef { name: sym("data"), ty: FieldTy::Int },
+                FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(cell),
+                },
+                FieldDef {
+                    name: sym("data"),
+                    ty: FieldTy::Int,
+                },
             ],
         })
         .unwrap();
@@ -42,8 +54,14 @@ fn node_types() -> TypeEnv {
         .define(StructDef {
             name: tree,
             fields: vec![
-                FieldDef { name: sym("left"), ty: FieldTy::Ptr(tree) },
-                FieldDef { name: sym("right"), ty: FieldTy::Ptr(tree) },
+                FieldDef {
+                    name: sym("left"),
+                    ty: FieldTy::Ptr(tree),
+                },
+                FieldDef {
+                    name: sym("right"),
+                    ty: FieldTy::Ptr(tree),
+                },
             ],
         })
         .unwrap();
@@ -132,10 +150,8 @@ fn whole_heap_as_two_dlls() {
     let ctx = CheckCtx::new(&types, &preds);
     let m = fig2a();
     // The paper's precondition at L1.
-    let f = parse_formula(
-        "exists u1, u2, u3, u4. dll(x, u1, u2, nil) * dll(y, u3, u4, nil)",
-    )
-    .unwrap();
+    let f =
+        parse_formula("exists u1, u2, u3, u4. dll(x, u1, u2, nil) * dll(y, u3, u4, nil)").unwrap();
     let red = ctx.check(&m, &f).expect("pre holds");
     assert_eq!(red.covered, 5);
     assert!(red.residual.is_empty());
@@ -179,8 +195,14 @@ fn paper_final_invariant_checks_exactly() {
              dll(y, u3, u5, nil) & res == x",
         )
         .unwrap();
-        let red = ctx.check(&m, &f).unwrap_or_else(|| panic!("F'_L3 fails at iteration {it}"));
-        assert_eq!(red.residual.len(), it - 1, "wrong residue at iteration {it}");
+        let red = ctx
+            .check(&m, &f)
+            .unwrap_or_else(|| panic!("F'_L3 fails at iteration {it}"));
+        assert_eq!(
+            red.residual.len(),
+            it - 1,
+            "wrong residue at iteration {it}"
+        );
         assert_eq!(red.covered, 5 - (it - 1));
         // ι instantiates u3 to x's tail-side neighbour of y.
         assert_eq!(red.inst.get(sym("u3")), Some(Val::Addr(l(3))));
@@ -209,8 +231,12 @@ fn res_equality_filters() {
     let preds = preds();
     let ctx = CheckCtx::new(&types, &preds);
     let m = fig2b(1);
-    assert!(ctx.check(&m, &parse_formula("emp & res == x").unwrap()).is_some());
-    assert!(ctx.check(&m, &parse_formula("emp & res == y").unwrap()).is_none());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & res == x").unwrap())
+        .is_some());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & res == y").unwrap())
+        .is_none());
 }
 
 #[test]
@@ -230,7 +256,9 @@ fn sll_and_lseg() {
 
     assert!(ctx.holds_exact(&m, &parse_formula("sll(x)").unwrap()));
     // lseg(x, y) covers 2 cells; residue is y's cell.
-    let red = ctx.check(&m, &parse_formula("lseg(x, y)").unwrap()).unwrap();
+    let red = ctx
+        .check(&m, &parse_formula("lseg(x, y)").unwrap())
+        .unwrap();
     assert_eq!(red.covered, 2);
     assert_eq!(red.residual.domain(), [l(3)].into_iter().collect());
     // lseg(x, y) * sll(y) covers everything.
@@ -255,9 +283,18 @@ fn sorted_list_data_constraints() {
         StackHeapModel::new(stack, heap)
     };
     let f = parse_formula("exists m. srtl(x, m)").unwrap();
-    assert!(ctx.check(&mk(1, 2, 3), &f).is_some(), "sorted list accepted");
-    assert!(ctx.check(&mk(3, 2, 1), &f).is_none(), "unsorted list rejected");
-    assert!(ctx.check(&mk(2, 2, 2), &f).is_some(), "non-strict order accepted");
+    assert!(
+        ctx.check(&mk(1, 2, 3), &f).is_some(),
+        "sorted list accepted"
+    );
+    assert!(
+        ctx.check(&mk(3, 2, 1), &f).is_none(),
+        "unsorted list rejected"
+    );
+    assert!(
+        ctx.check(&mk(2, 2, 2), &f).is_some(),
+        "non-strict order accepted"
+    );
 }
 
 #[test]
@@ -268,7 +305,10 @@ fn tree_shapes() {
     let t = sym("Tree");
     // Balanced 3-node tree.
     let mut heap = Heap::new();
-    heap.insert(l(1), HeapCell::new(t, vec![Val::Addr(l(2)), Val::Addr(l(3))]));
+    heap.insert(
+        l(1),
+        HeapCell::new(t, vec![Val::Addr(l(2)), Val::Addr(l(3))]),
+    );
     heap.insert(l(2), HeapCell::new(t, vec![Val::Nil, Val::Nil]));
     heap.insert(l(3), HeapCell::new(t, vec![Val::Nil, Val::Nil]));
     let mut stack = Stack::new();
@@ -279,7 +319,10 @@ fn tree_shapes() {
     // A "tree" with sharing is NOT a tree (separation!): left and right
     // both point to 0x02.
     let mut heap = Heap::new();
-    heap.insert(l(1), HeapCell::new(t, vec![Val::Addr(l(2)), Val::Addr(l(2))]));
+    heap.insert(
+        l(1),
+        HeapCell::new(t, vec![Val::Addr(l(2)), Val::Addr(l(2))]),
+    );
     heap.insert(l(2), HeapCell::new(t, vec![Val::Nil, Val::Nil]));
     let mut stack = Stack::new();
     stack.bind(sym("r"), Val::Addr(l(1)));
@@ -333,9 +376,21 @@ fn field_mismatch_rejected() {
     let mut stack = Stack::new();
     stack.bind(sym("p"), Val::Addr(l(7)));
     let m = StackHeapModel::new(stack, heap);
-    assert!(ctx.check(&m, &parse_formula("p -> Cell{next: nil, data: 41}").unwrap()).is_none());
-    assert!(ctx.check(&m, &parse_formula("p -> Cell{next: p, data: 42}").unwrap()).is_none());
-    assert!(ctx.check(&m, &parse_formula("p -> Cell{next: nil, data: 42}").unwrap()).is_some());
+    assert!(ctx
+        .check(
+            &m,
+            &parse_formula("p -> Cell{next: nil, data: 41}").unwrap()
+        )
+        .is_none());
+    assert!(ctx
+        .check(&m, &parse_formula("p -> Cell{next: p, data: 42}").unwrap())
+        .is_none());
+    assert!(ctx
+        .check(
+            &m,
+            &parse_formula("p -> Cell{next: nil, data: 42}").unwrap()
+        )
+        .is_some());
 }
 
 #[test]
@@ -368,7 +423,9 @@ fn circular_list_terminates() {
     let m = StackHeapModel::new(stack, heap);
     assert!(ctx.check(&m, &parse_formula("sll(x)").unwrap()).is_none());
     // lseg(x, x) holds with empty coverage (base case x == x).
-    let red = ctx.check(&m, &parse_formula("lseg(x, x)").unwrap()).unwrap();
+    let red = ctx
+        .check(&m, &parse_formula("lseg(x, x)").unwrap())
+        .unwrap();
     assert_eq!(red.covered, 2, "maximal match should go all the way around");
 }
 
@@ -377,7 +434,10 @@ fn budget_truncation_is_graceful() {
     let types = node_types();
     let preds = preds();
     let mut ctx = CheckCtx::new(&types, &preds);
-    ctx.config = CheckConfig { node_budget: 1, fuel_slack: 4 };
+    ctx.config = CheckConfig {
+        node_budget: 1,
+        fuel_slack: 4,
+    };
     let m = fig2a();
     // With a 1-node budget the search gives up; must not panic.
     let _ = ctx.check(&m, &parse_formula("dll(x, nil, u, nil)").unwrap());
@@ -389,10 +449,16 @@ fn pure_only_formulas() {
     let preds = preds();
     let ctx = CheckCtx::new(&types, &preds);
     let m = fig2a();
-    assert!(ctx.check(&m, &parse_formula("emp & x != y").unwrap()).is_some());
-    assert!(ctx.check(&m, &parse_formula("emp & x == y").unwrap()).is_none());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & x != y").unwrap())
+        .is_some());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & x == y").unwrap())
+        .is_none());
     // Existential equated to a stack var gets instantiated.
-    let red = ctx.check(&m, &parse_formula("exists a. emp & a == x").unwrap()).unwrap();
+    let red = ctx
+        .check(&m, &parse_formula("exists a. emp & a == x").unwrap())
+        .unwrap();
     assert_eq!(red.inst.get(sym("a")), Some(Val::Addr(l(1))));
 }
 
@@ -405,10 +471,18 @@ fn arithmetic_pure_atoms() {
     stack.bind(sym("n"), Val::Int(10));
     stack.bind(sym("m"), Val::Int(4));
     let m = StackHeapModel::new(stack, Heap::new());
-    assert!(ctx.check(&m, &parse_formula("emp & n == m + 6").unwrap()).is_some());
-    assert!(ctx.check(&m, &parse_formula("emp & n < m").unwrap()).is_none());
-    assert!(ctx.check(&m, &parse_formula("emp & m <= n - 6").unwrap()).is_some());
-    assert!(ctx.check(&m, &parse_formula("emp & n == (3 * m) - 2").unwrap()).is_some());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & n == m + 6").unwrap())
+        .is_some());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & n < m").unwrap())
+        .is_none());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & m <= n - 6").unwrap())
+        .is_some());
+    assert!(ctx
+        .check(&m, &parse_formula("emp & n == (3 * m) - 2").unwrap())
+        .is_some());
 }
 
 #[test]
@@ -418,10 +492,8 @@ fn disjunction_exact() {
     let ctx = CheckCtx::new(&types, &preds);
     let m = fig2a();
     let f1 = parse_formula("emp & x == nil").unwrap();
-    let f2 = parse_formula(
-        "exists u1, u2, u3, u4. dll(x, u1, u2, nil) * dll(y, u3, u4, nil)",
-    )
-    .unwrap();
+    let f2 =
+        parse_formula("exists u1, u2, u3, u4. dll(x, u1, u2, nil) * dll(y, u3, u4, nil)").unwrap();
     assert!(ctx.holds_exact_disj(&m, &[f1.clone(), f2.clone()]));
     assert!(!ctx.holds_exact_disj(&m, &[f1]));
 }

@@ -82,7 +82,10 @@ pub fn collect_models(
             s.activation += base;
         }
         base += max_act;
-        out.runs.push(RunTrace { snapshots, error: result.err() });
+        out.runs.push(RunTrace {
+            snapshots,
+            error: result.err(),
+        });
     }
     out
 }
@@ -119,9 +122,18 @@ mod tests {
     fn collects_across_runs() {
         let p = parse_program(SUM).unwrap();
         check_program(&p).unwrap();
-        let inputs: Vec<InputBuilder> =
-            vec![list_builder(&[]), list_builder(&[1]), list_builder(&[1, 2, 3])];
-        let c = collect_models(&p, sym("sum"), &inputs, VmConfig::default(), TraceConfig::default());
+        let inputs: Vec<InputBuilder> = vec![
+            list_builder(&[]),
+            list_builder(&[1]),
+            list_builder(&[1, 2, 3]),
+        ];
+        let c = collect_models(
+            &p,
+            sym("sum"),
+            &inputs,
+            VmConfig::default(),
+            TraceConfig::default(),
+        );
         assert_eq!(c.runs.len(), 3);
         assert_eq!(c.faulted_runs(), 0);
         let by_loc = c.by_location();
@@ -144,7 +156,13 @@ mod tests {
         .unwrap();
         check_program(&p).unwrap();
         let inputs: Vec<InputBuilder> = vec![Box::new(|_| vec![Val::Nil])];
-        let c = collect_models(&p, sym("bad"), &inputs, VmConfig::default(), TraceConfig::default());
+        let c = collect_models(
+            &p,
+            sym("bad"),
+            &inputs,
+            VmConfig::default(),
+            TraceConfig::default(),
+        );
         assert_eq!(c.runs.len(), 1);
         assert!(c.runs[0].error.is_some());
         // Entry and @before were recorded before the crash.

@@ -1,0 +1,367 @@
+//! The long-lived analysis engine and its builder.
+//!
+//! An [`Engine`] owns everything that is expensive to set up and cheap
+//! to reuse: the parsed, type-checked [`Program`], its [`TypeEnv`], the
+//! [`PredEnv`] of inductive predicate definitions, the base
+//! [`SlingConfig`], and a shared [`CheckCache`] that memoizes checker
+//! reductions across every request served. Construction goes through
+//! [`EngineBuilder`] (`Engine::builder()`); work is described by
+//! [`AnalysisRequest`]s and answered with [`Report`]s.
+//!
+//! Batch analysis ([`Engine::analyze_all`]) runs many target functions
+//! against the one predicate environment; because the checker cache is
+//! keyed on canonical sub-heap shapes, entailments established while
+//! analyzing one function are reused by the next — the second request
+//! for a list-shaped argument typically starts warm.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sling_checker::{CacheStats, CheckCache, CheckCtx};
+use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
+use sling_logic::{parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
+
+use crate::pipeline::{infer_location, run_target, SlingConfig};
+use crate::report::{BatchReport, LocationAnalysis, Report};
+use crate::request::AnalysisRequest;
+
+/// Why an [`EngineBuilder`] could not produce an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No program was supplied.
+    MissingProgram,
+    /// MiniC source failed to parse.
+    Parse(String),
+    /// The program failed type checking.
+    Type(String),
+    /// Predicate source failed to parse.
+    PredicateParse(String),
+    /// A predicate definition was rejected (duplicate name, ill-formed
+    /// body, non-decreasing recursion, ...).
+    Predicate(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingProgram => {
+                write!(
+                    f,
+                    "no program supplied: call `program(..)` or `program_source(..)`"
+                )
+            }
+            BuildError::Parse(e) => write!(f, "program parse error: {e}"),
+            BuildError::Type(e) => write!(f, "program type error: {e}"),
+            BuildError::PredicateParse(e) => write!(f, "predicate parse error: {e}"),
+            BuildError::Predicate(e) => write!(f, "predicate definition error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The request's target is not a function of the engine's program.
+    UnknownTarget(Symbol),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::UnknownTarget(t) => {
+                write!(f, "target `{t}` is not a function of the engine's program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Typed builder for [`Engine`]; obtained from [`Engine::builder`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    program: Option<Program>,
+    preds: PredEnv,
+    config: SlingConfig,
+    cache: Option<Arc<CheckCache>>,
+}
+
+impl EngineBuilder {
+    /// Supplies an already-parsed program (type-checked at `build`).
+    pub fn program(mut self, program: Program) -> EngineBuilder {
+        self.program = Some(program);
+        self
+    }
+
+    /// Parses MiniC source and supplies it as the program.
+    pub fn program_source(self, source: &str) -> Result<EngineBuilder, BuildError> {
+        let program = parse_program(source).map_err(|e| BuildError::Parse(e.to_string()))?;
+        Ok(self.program(program))
+    }
+
+    /// Adds predicate definitions to the engine's environment.
+    pub fn predicates<I>(mut self, defs: I) -> Result<EngineBuilder, BuildError>
+    where
+        I: IntoIterator<Item = PredDef>,
+    {
+        for def in defs {
+            self.preds
+                .define(def)
+                .map_err(|e| BuildError::Predicate(e.to_string()))?;
+        }
+        Ok(self)
+    }
+
+    /// Parses predicate source and adds every definition.
+    pub fn predicates_source(self, source: &str) -> Result<EngineBuilder, BuildError> {
+        let defs =
+            parse_predicates(source).map_err(|e| BuildError::PredicateParse(e.to_string()))?;
+        self.predicates(defs)
+    }
+
+    /// Replaces the predicate environment wholesale (e.g. with a
+    /// pre-built library).
+    pub fn pred_env(mut self, preds: PredEnv) -> EngineBuilder {
+        self.preds = preds;
+        self
+    }
+
+    /// Sets the base configuration (requests may override per call).
+    pub fn config(mut self, config: SlingConfig) -> EngineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Shares an existing checker cache with this engine, so entailments
+    /// memoized by sibling engines (e.g. a corpus run over one predicate
+    /// library) carry over. By default each engine gets a private cache.
+    pub fn shared_cache(mut self, cache: Arc<CheckCache>) -> EngineBuilder {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Type-checks the program and finalizes the engine.
+    pub fn build(self) -> Result<Engine, BuildError> {
+        let program = self.program.ok_or(BuildError::MissingProgram)?;
+        check_program(&program).map_err(|e| BuildError::Type(e.to_string()))?;
+        let types = program.type_env();
+        Ok(Engine {
+            program,
+            types,
+            preds: self.preds,
+            config: self.config,
+            cache: self.cache.unwrap_or_default(),
+        })
+    }
+}
+
+/// A reusable SLING analysis session over one program and predicate
+/// environment.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct Engine {
+    program: Program,
+    types: TypeEnv,
+    preds: PredEnv,
+    config: SlingConfig,
+    cache: Arc<CheckCache>,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The engine's program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The type environment derived from the program.
+    pub fn types(&self) -> &TypeEnv {
+        &self.types
+    }
+
+    /// The predicate environment shared by every request.
+    pub fn preds(&self) -> &PredEnv {
+        &self.preds
+    }
+
+    /// The base configuration.
+    pub fn config(&self) -> &SlingConfig {
+        &self.config
+    }
+
+    /// Cumulative checker-cache counters for this engine's cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every memoized entailment (counters are kept). Long-lived
+    /// services call this to bound memory between unrelated workloads;
+    /// benchmarks call it to measure the cold path.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Serves one request: collect traces for the target on the
+    /// request's inputs, infer invariants at every reached location,
+    /// validate entry/exit pairs with the frame rule.
+    pub fn analyze(&self, request: &AnalysisRequest) -> Result<Report, AnalyzeError> {
+        if self.program.func(request.target).is_none() {
+            return Err(AnalyzeError::UnknownTarget(request.target));
+        }
+        let config = request.config.as_ref().unwrap_or(&self.config);
+        let before = self.cache.stats();
+        let ctx = CheckCtx::with_cache(&self.types, &self.preds, config.check, &self.cache);
+        let mut report = run_target(&ctx, &self.program, request.target, &request.inputs, config);
+        report.cache = self.cache.stats().since(&before);
+        Ok(report)
+    }
+
+    /// Serves a batch of requests against the shared predicate
+    /// environment and checker cache. Targets are validated up front, so
+    /// either every request runs or none does.
+    pub fn analyze_all<'r, I>(&self, requests: I) -> Result<BatchReport, AnalyzeError>
+    where
+        I: IntoIterator<Item = &'r AnalysisRequest>,
+    {
+        let requests: Vec<&AnalysisRequest> = requests.into_iter().collect();
+        for request in &requests {
+            if self.program.func(request.target).is_none() {
+                return Err(AnalyzeError::UnknownTarget(request.target));
+            }
+        }
+        let before = self.cache.stats();
+        let mut reports = Vec::with_capacity(requests.len());
+        for request in requests {
+            reports.push(self.analyze(request)?);
+        }
+        Ok(BatchReport {
+            reports,
+            cache: self.cache.stats().since(&before),
+        })
+    }
+
+    /// Location-level entry point: infers invariants for `target` from
+    /// externally collected snapshots, sharing the engine's predicate
+    /// environment and cache. This is what benchmarking and replay
+    /// tooling use to drive inference without the tracer.
+    pub fn infer_at(
+        &self,
+        target: Symbol,
+        location: Location,
+        snaps: &[&Snapshot],
+    ) -> Result<LocationAnalysis, AnalyzeError> {
+        let Some(func) = self.program.func(target) else {
+            return Err(AnalyzeError::UnknownTarget(target));
+        };
+        let param_order: Vec<Symbol> = func.params.iter().map(|p| p.name).collect();
+        let ctx = CheckCtx::with_cache(&self.types, &self.preds, self.config.check, &self.cache);
+        Ok(infer_location(
+            &ctx,
+            location,
+            snaps,
+            &param_order,
+            &self.config,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        struct TNode { next: TNode*; data: int; }
+        fn id(x: TNode*) -> TNode* { return x; }";
+
+    const PREDS: &str = "
+        pred tlist(x: TNode*) := emp & x == nil
+           | exists u, d. x -> TNode{next: u, data: d} * tlist(u);";
+
+    #[test]
+    fn builder_requires_a_program() {
+        let err = Engine::builder().build().unwrap_err();
+        assert_eq!(err, BuildError::MissingProgram);
+    }
+
+    #[test]
+    fn builder_surfaces_parse_errors() {
+        let err = Engine::builder().program_source("fn {").unwrap_err();
+        assert!(matches!(err, BuildError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_surfaces_type_errors() {
+        let err = Engine::builder()
+            .program_source("fn f(x: Missing*) { return; }")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_surfaces_duplicate_predicates() {
+        let err = Engine::builder()
+            .predicates_source(PREDS)
+            .unwrap()
+            .predicates_source(PREDS)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Predicate(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_target_is_an_error_not_a_panic() {
+        let engine = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .predicates_source(PREDS)
+            .unwrap()
+            .build()
+            .unwrap();
+        let request = AnalysisRequest::new("missing");
+        let err = engine.analyze(&request).unwrap_err();
+        assert_eq!(err, AnalyzeError::UnknownTarget(Symbol::intern("missing")));
+        assert!(engine.analyze_all([&request]).is_err());
+    }
+
+    #[test]
+    fn engines_can_share_a_cache() {
+        let shared = Arc::new(CheckCache::new());
+        let mk = || {
+            Engine::builder()
+                .program_source(SRC)
+                .unwrap()
+                .predicates_source(PREDS)
+                .unwrap()
+                .shared_cache(Arc::clone(&shared))
+                .build()
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        let request = || {
+            AnalysisRequest::new("id").input(Box::new(|heap: &mut sling_lang::RtHeap| {
+                let n = heap.alloc(
+                    Symbol::intern("TNode"),
+                    vec![sling_models::Val::Nil, sling_models::Val::Int(1)],
+                );
+                vec![sling_models::Val::Addr(n)]
+            }))
+        };
+        let first = a.analyze(&request()).unwrap();
+        let second = b.analyze(&request()).unwrap();
+        assert!(first.invariant_count() > 0);
+        assert!(
+            second.cache.hits > 0,
+            "second engine must reuse the shared cache: {:?}",
+            second.cache
+        );
+    }
+}

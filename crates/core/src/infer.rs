@@ -22,9 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sling_checker::{CheckCtx, Instantiation};
-use sling_logic::{
-    Expr, FieldAssign, FieldTy, FreshVars, PredDef, SpatialAtom, SymHeap, Symbol,
-};
+use sling_logic::{Expr, FieldAssign, FieldTy, FreshVars, PredDef, SpatialAtom, SymHeap, Symbol};
 use sling_models::{Heap, StackHeapModel, Val};
 
 use crate::split::BoundaryItem;
@@ -139,13 +137,25 @@ pub fn infer_atom(
 
     // --- Inductive predicates -------------------------------------------
     let root_ty = sub_models.iter().find_map(|m| {
-        m.stack.get(v).and_then(|val| val.as_addr()).and_then(|l| m.heap.get(l)).map(|c| c.ty)
+        m.stack
+            .get(v)
+            .and_then(|val| val.as_addr())
+            .and_then(|l| m.heap.get(l))
+            .map(|c| c.ty)
     });
     if let Some(root_ty) = root_ty {
         let items: Vec<BoundaryItem> = boundary.iter().copied().collect();
         for pred in ctx.preds.for_root_type(root_ty) {
             infer_inductive(
-                ctx, v, sub_models, &items, types, pred, fresh, config, &mut results,
+                ctx,
+                v,
+                sub_models,
+                &items,
+                types,
+                pred,
+                fresh,
+                config,
+                &mut results,
             );
         }
     }
@@ -170,10 +180,20 @@ pub fn infer_atom(
     let k = config.max_results_per_var.max(1);
     let mut ranked = results.clone();
     ranked.sort_by_cached_key(|r| {
-        (r.total_residue, root_position(&r.formula, v), r.formula.exists.len(), r.formula.to_string())
+        (
+            r.total_residue,
+            root_position(&r.formula, v),
+            r.formula.exists.len(),
+            r.formula.to_string(),
+        )
     });
     results.sort_by_cached_key(|r| {
-        (root_position(&r.formula, v), r.total_residue, r.formula.exists.len(), r.formula.to_string())
+        (
+            root_position(&r.formula, v),
+            r.total_residue,
+            r.formula.exists.len(),
+            r.formula.to_string(),
+        )
     });
     let mut keep: Vec<AtomResult> = Vec::with_capacity(k);
     let mut seen: BTreeSet<String> = BTreeSet::new();
@@ -224,8 +244,11 @@ fn infer_inductive(
 ) {
     let n = pred.arity();
     let root_item = BoundaryItem::Var(root);
-    let others: Vec<BoundaryItem> =
-        boundary.iter().copied().filter(|b| *b != root_item).collect();
+    let others: Vec<BoundaryItem> = boundary
+        .iter()
+        .copied()
+        .filter(|b| *b != root_item)
+        .collect();
 
     let mut tried = 0usize;
 
@@ -325,7 +348,10 @@ fn try_candidate(
         .collect();
     let formula = SymHeap {
         exists,
-        spatial: vec![SpatialAtom::Pred { name: pred.name, args }],
+        spatial: vec![SpatialAtom::Pred {
+            name: pred.name,
+            args,
+        }],
         pure: vec![],
     };
 
@@ -347,7 +373,12 @@ fn try_candidate(
     }
     *fresh = trial;
     let total_residue = residues.iter().map(|h| h.len()).sum();
-    results.push(AtomResult { formula, residues, insts, total_residue });
+    results.push(AtomResult {
+        formula,
+        residues,
+        insts,
+        total_residue,
+    });
 }
 
 /// Singleton inference (Algorithm 2, lines 12–13).
@@ -379,13 +410,19 @@ fn infer_singleton(
     for (i, fdef) in def.fields.iter().enumerate() {
         // A common constant value: nil everywhere?
         if cells.iter().all(|(_, c)| c.fields[i] == Val::Nil) {
-            fields.push(FieldAssign { name: fdef.name, value: Expr::Nil });
+            fields.push(FieldAssign {
+                name: fdef.name,
+                value: Expr::Nil,
+            });
             continue;
         }
         // A common integer literal?
         if let Val::Int(k) = cells[0].1.fields[i] {
             if cells.iter().all(|(_, c)| c.fields[i] == Val::Int(k)) {
-                fields.push(FieldAssign { name: fdef.name, value: Expr::Int(k) });
+                fields.push(FieldAssign {
+                    name: fdef.name,
+                    value: Expr::Int(k),
+                });
                 continue;
             }
         }
@@ -396,11 +433,16 @@ fn infer_singleton(
             .iter()
             .filter(|(w, _)| *w != v)
             .find(|(w, _)| {
-                cells.iter().all(|(m, c)| m.stack.get(*w) == Some(c.fields[i]))
+                cells
+                    .iter()
+                    .all(|(m, c)| m.stack.get(*w) == Some(c.fields[i]))
             })
             .map(|(w, _)| w);
         if let Some(w) = common_var {
-            fields.push(FieldAssign { name: fdef.name, value: Expr::Var(w) });
+            fields.push(FieldAssign {
+                name: fdef.name,
+                value: Expr::Var(w),
+            });
             continue;
         }
         // Fresh existential, instantiated per model.
@@ -409,13 +451,20 @@ fn infer_singleton(
         for (k, (_, c)) in cells.iter().enumerate() {
             insts[k].bind(u, c.fields[i]);
         }
-        fields.push(FieldAssign { name: fdef.name, value: Expr::Var(u) });
+        fields.push(FieldAssign {
+            name: fdef.name,
+            value: Expr::Var(u),
+        });
     }
 
     Some(AtomResult {
         formula: SymHeap {
             exists,
-            spatial: vec![SpatialAtom::PointsTo { root: Expr::Var(v), ty, fields }],
+            spatial: vec![SpatialAtom::PointsTo {
+                root: Expr::Var(v),
+                ty,
+                fields,
+            }],
             pure: vec![],
         },
         residues: vec![Heap::new(); sub_models.len()],
@@ -428,7 +477,13 @@ fn infer_singleton(
 fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn rec<T: Copy>(items: &[T], k: usize, start: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+    fn rec<T: Copy>(
+        items: &[T],
+        k: usize,
+        start: usize,
+        current: &mut Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -464,8 +519,14 @@ mod tests {
             .define(StructDef {
                 name: node,
                 fields: vec![
-                    FieldDef { name: sym("next"), ty: FieldTy::Ptr(node) },
-                    FieldDef { name: sym("prev"), ty: FieldTy::Ptr(node) },
+                    FieldDef {
+                        name: sym("next"),
+                        ty: FieldTy::Ptr(node),
+                    },
+                    FieldDef {
+                        name: sym("prev"),
+                        ty: FieldTy::Ptr(node),
+                    },
                 ],
             })
             .unwrap();
@@ -493,7 +554,11 @@ mod tests {
             .map(|i| {
                 let mut heap = Heap::new();
                 for c in 1..=i {
-                    let next = if c < i { Val::Addr(l(c + 1)) } else { Val::Addr(l(i + 1)) };
+                    let next = if c < i {
+                        Val::Addr(l(c + 1))
+                    } else {
+                        Val::Addr(l(i + 1))
+                    };
                     let prev = if c > 1 { Val::Addr(l(c - 1)) } else { Val::Nil };
                     heap.insert(l(c), dcell(next, prev));
                 }
@@ -543,8 +608,14 @@ mod tests {
             let s = r.formula.to_string();
             s.contains("dll(x,") && s.trim_end().ends_with("tmp)")
         });
-        assert!(found, "missing Fx; got: {:?}",
-            results.iter().map(|r| r.formula.to_string()).collect::<Vec<_>>());
+        assert!(
+            found,
+            "missing Fx; got: {:?}",
+            results
+                .iter()
+                .map(|r| r.formula.to_string())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -586,16 +657,26 @@ mod tests {
             &ctx,
             sym("p"),
             &models,
-            &[BoundaryItem::Var(sym("p")), BoundaryItem::Var(sym("q"))].into_iter().collect(),
+            &[BoundaryItem::Var(sym("p")), BoundaryItem::Var(sym("q"))]
+                .into_iter()
+                .collect(),
             &vt,
             &mut fresh,
             &InferConfig::default(),
         );
         let singleton = results
             .iter()
-            .find(|r| matches!(r.formula.spatial.first(), Some(SpatialAtom::PointsTo { .. })))
+            .find(|r| {
+                matches!(
+                    r.formula.spatial.first(),
+                    Some(SpatialAtom::PointsTo { .. })
+                )
+            })
             .expect("a singleton result");
-        assert_eq!(singleton.formula.to_string(), "p -> Node{next: q, prev: nil}");
+        assert_eq!(
+            singleton.formula.to_string(),
+            "p -> Node{next: q, prev: nil}"
+        );
     }
 
     #[test]

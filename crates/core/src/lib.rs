@@ -4,8 +4,8 @@
 //! Infer Program Invariants in Separation Logic"* (Le, Zheng, Nguyen —
 //! PLDI 2019).
 //!
-//! Given a MiniC program, a target function, a set of inductive heap
-//! predicate definitions, and test inputs, SLING:
+//! Given a MiniC program, inductive heap predicate definitions, and test
+//! inputs, SLING:
 //!
 //! 1. **collects stack-heap models** at breakpoints (entry, labels, loop
 //!    heads, returns) by running the program under an embedded debugger
@@ -21,74 +21,102 @@
 //! 5. **validates** entry/exit pairs with the frame rule
 //!    ([`validate_frame`], §4.4).
 //!
-//! The one-call driver is [`analyze`].
+//! # The engine API
+//!
+//! The public surface is a long-lived [`Engine`], built once per program
+//! and predicate library and reused across many analyses. The engine
+//! owns the checked program, its type environment, and the predicate
+//! environment, and memoizes model-checker verdicts in a shared
+//! entailment cache ([`CacheStats`] reports its effectiveness per
+//! request), so analyzing several functions — or the same structure
+//! shape at several locations — does not repeat work.
+//!
+//! * [`Engine::builder`] → [`EngineBuilder`]: supply the program
+//!   (`program` / `program_source`), the predicates (`predicates` /
+//!   `predicates_source` / `pred_env`), optionally a [`SlingConfig`] and
+//!   a shared cache, then `build()`.
+//! * [`AnalysisRequest`]: a target function, its test inputs, and an
+//!   optional per-request config override.
+//! * [`Engine::analyze`] serves one request as a [`Report`];
+//!   [`Engine::analyze_all`] serves a batch as a [`BatchReport`] sharing
+//!   one predicate environment and cache.
 //!
 //! # Example
 //!
 //! Infer the paper's `concat` specification (§2):
 //!
 //! ```
-//! use sling::{analyze, InputBuilder, SlingConfig};
-//! use sling_lang::{check_program, parse_program, Location, RtHeap};
-//! use sling_logic::{parse_predicates, PredEnv, Symbol};
+//! use sling::{AnalysisRequest, Engine, InputBuilder};
+//! use sling_lang::{Location, RtHeap};
+//! use sling_logic::Symbol;
 //! use sling_models::Val;
 //!
-//! let program = parse_program(
-//!     "struct Node { next: Node*; prev: Node*; }
-//!      fn concat(x: Node*, y: Node*) -> Node* {
-//!          if (x == null) { return y; }
-//!          var tmp: Node* = concat(x->next, y);
-//!          x->next = tmp;
-//!          if (tmp != null) { tmp->prev = x; }
-//!          return x;
-//!      }",
-//! )?;
-//! check_program(&program)?;
-//! let types = program.type_env();
-//! let mut preds = PredEnv::new();
-//! for d in parse_predicates(
-//!     "pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
-//!          emp & hd == nx & pr == tl
-//!        | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);",
-//! )? {
-//!     preds.define(d)?;
-//! }
+//! let engine = Engine::builder()
+//!     .program_source(
+//!         "struct Node { next: Node*; prev: Node*; }
+//!          fn concat(x: Node*, y: Node*) -> Node* {
+//!              if (x == null) { return y; }
+//!              var tmp: Node* = concat(x->next, y);
+//!              x->next = tmp;
+//!              if (tmp != null) { tmp->prev = x; }
+//!              return x;
+//!          }",
+//!     )?
+//!     .predicates_source(
+//!         "pred dll(hd: Node*, pr: Node*, tl: Node*, nx: Node*) :=
+//!              emp & hd == nx & pr == tl
+//!            | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);",
+//!     )?
+//!     .build()?;
 //!
 //! // One input: x = 2-node dll, y = 1-node dll.
-//! let inputs: Vec<InputBuilder> = vec![Box::new(|heap: &mut RtHeap| {
+//! let input: InputBuilder = Box::new(|heap: &mut RtHeap| {
 //!     let node = Symbol::intern("Node");
 //!     let b = heap.alloc(node, vec![Val::Nil, Val::Nil]);
 //!     let a = heap.alloc(node, vec![Val::Addr(b), Val::Nil]);
 //!     heap.live_mut(b).unwrap().fields[1] = Val::Addr(a);
 //!     let y = heap.alloc(node, vec![Val::Nil, Val::Nil]);
 //!     vec![Val::Addr(a), Val::Addr(y)]
-//! })];
+//! });
 //!
-//! let outcome = analyze(
-//!     &program, Symbol::intern("concat"), &inputs, &types, &preds,
-//!     &SlingConfig::default(),
-//! );
-//! let entry = outcome.at(Location::Entry).expect("entry reached");
+//! let report = engine.analyze(&AnalysisRequest::new("concat").input(input))?;
+//! let entry = report.at(Location::Entry).expect("entry reached");
 //! assert!(!entry.invariants.is_empty());
 //! println!("precondition: {}", entry.invariants[0].formula);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same engine serves further requests — other inputs, other target
+//! functions of the program — with the entailment cache already warm;
+//! see [`Engine::analyze_all`].
 
 #![warn(missing_docs)]
 
 mod collect;
+mod engine;
 mod infer;
 mod pipeline;
 mod pure;
+mod report;
+mod request;
 mod split;
 mod validate;
 
 pub use collect::{collect_models, Collected, InputBuilder, RunTrace};
+pub use engine::{AnalyzeError, BuildError, Engine, EngineBuilder};
 pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
-pub use pipeline::{
-    analyze, infer_at_location, AnalysisOutcome, Invariant, InvariantStats, LocationReport,
-    SlingConfig,
-};
-pub use pure::infer_pure;
+pub use report::{BatchReport, Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
+pub use request::AnalysisRequest;
+pub use sling_checker::{CacheStats, CheckCache};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;
+
+pub use pipeline::SlingConfig;
+#[allow(deprecated)]
+pub use pipeline::{analyze, infer_at_location, AnalysisOutcome};
+
+/// Former name of [`LocationAnalysis`].
+#[deprecated(since = "0.2.0", note = "renamed to `LocationAnalysis`")]
+pub type LocationReport = LocationAnalysis;
+
+pub use pure::infer_pure;

@@ -1,11 +1,15 @@
-//! The SLING main loop (Algorithm 1) and the end-to-end driver.
+//! The SLING main loop (Algorithm 1) and the per-target driver.
 //!
 //! For each location: split the heap per pointer variable (ordered by the
 //! §2.3 reachability heuristic), infer atomic formulae for each sub-heap,
 //! conjoin them with `∗` while propagating residues and instantiations,
 //! then run pure inference and scope quantification. The driver
-//! ([`analyze`]) runs trace collection first and frame-rule validation
+//! ([`run_target`]) runs trace collection first and frame-rule validation
 //! (§4.4) last.
+//!
+//! The public entry point is [`crate::Engine`]; the free functions here
+//! ([`analyze`], [`infer_at_location`]) are deprecated shims kept for one
+//! release.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -18,6 +22,7 @@ use sling_models::{Heap, StackHeapModel};
 use crate::collect::{collect_models, InputBuilder};
 use crate::infer::{infer_atom, var_types, InferConfig, VarTy};
 use crate::pure::infer_pure;
+use crate::report::{Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
 use crate::split::split_heap;
 use crate::validate::validate_frame;
 
@@ -58,56 +63,15 @@ impl Default for SlingConfig {
     }
 }
 
-/// Size statistics of an invariant (the paper's Single/Pred/Pure
-/// columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct InvariantStats {
-    /// Points-to atoms.
-    pub singletons: usize,
-    /// Inductive predicate atoms.
-    pub preds: usize,
-    /// Pure equalities.
-    pub pures: usize,
-}
-
-/// An inferred invariant at a location.
-#[derive(Debug, Clone)]
-pub struct Invariant {
-    /// Where it holds.
-    pub location: Location,
-    /// The formula.
-    pub formula: SymHeap,
-    /// Per used model: the heap cells the formula does not cover.
-    pub residues: Vec<Heap>,
-    /// Per used model: which activation it came from.
-    pub activations: Vec<u64>,
-    /// Atom counts.
-    pub stats: InvariantStats,
-    /// True if the invariant rests on invalid traces (freed cells) or
-    /// failed frame validation.
-    pub spurious: bool,
-}
-
-/// Everything inferred at one location.
-#[derive(Debug, Clone)]
-pub struct LocationReport {
-    /// The location.
-    pub location: Location,
-    /// Invariants, strongest first.
-    pub invariants: Vec<Invariant>,
-    /// Number of models used for inference (after dedupe/caps).
-    pub models_used: usize,
-    /// Number of snapshots observed at the location.
-    pub snapshots_seen: usize,
-    /// True if any snapshot at this location was tainted by freed cells.
-    pub tainted: bool,
-}
-
 /// Result of a full analysis of one target function.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::analyze`, which returns the structured `Report`"
+)]
 #[derive(Debug, Clone)]
 pub struct AnalysisOutcome {
     /// Reports per location with at least one model, in location order.
-    pub reports: Vec<LocationReport>,
+    pub reports: Vec<LocationAnalysis>,
     /// All breakpoint locations the program declares for the target
     /// (reached or not — the paper's iLocs).
     pub declared_locations: Vec<Location>,
@@ -121,6 +85,7 @@ pub struct AnalysisOutcome {
     pub seconds: f64,
 }
 
+#[allow(deprecated)]
 impl AnalysisOutcome {
     /// Total invariants across locations.
     pub fn invariant_count(&self) -> usize {
@@ -137,7 +102,7 @@ impl AnalysisOutcome {
     }
 
     /// The report at `loc`, if any model reached it.
-    pub fn at(&self, loc: Location) -> Option<&LocationReport> {
+    pub fn at(&self, loc: Location) -> Option<&LocationAnalysis> {
         self.reports.iter().find(|r| r.location == loc)
     }
 }
@@ -150,41 +115,43 @@ struct Partial {
     insts: Vec<Instantiation>,
 }
 
-/// Runs SLING end to end on one target function: collect models on the
-/// inputs, infer invariants at every reached location, validate
-/// entry/exit pairs with the frame rule.
+/// Runs SLING end to end on one target function against the given
+/// checker context: collect models on the inputs, infer invariants at
+/// every reached location, validate entry/exit pairs with the frame
+/// rule. The cache delta of the report is left zeroed; [`crate::Engine`]
+/// fills it in.
 ///
 /// # Panics
 ///
-/// Panics if `target` is not a function of `program` (callers pass
-/// functions they just parsed).
-pub fn analyze(
+/// Panics if `target` is not a function of `program` (the engine
+/// validates targets before calling).
+pub(crate) fn run_target(
+    ctx: &CheckCtx<'_>,
     program: &Program,
     target: Symbol,
     inputs: &[InputBuilder],
-    types: &TypeEnv,
-    preds: &PredEnv,
     config: &SlingConfig,
-) -> AnalysisOutcome {
+) -> Report {
     let start = Instant::now();
     let collected = collect_models(program, target, inputs, config.vm, config.trace);
     let func = program.func(target).expect("target exists");
     let param_order: Vec<Symbol> = func.params.iter().map(|p| p.name).collect();
 
-    let ctx = CheckCtx { types, preds, config: config.check };
     let by_loc = collected.by_location();
-    let mut reports = Vec::new();
+    let mut locations = Vec::new();
     for (loc, snaps) in &by_loc {
-        reports.push(infer_at_location(&ctx, *loc, snaps, &param_order, func, config));
+        locations.push(infer_location(ctx, *loc, snaps, &param_order, config));
     }
 
     // Frame-rule validation: every exit invariant must preserve some
     // entry invariant's frame (per activation).
-    let entry_report = reports.iter().position(|r| r.location == Location::Entry);
+    let entry_report = locations.iter().position(|r| r.location == Location::Entry);
     if let Some(entry_idx) = entry_report {
-        let entry = reports[entry_idx].clone();
-        for report in &mut reports {
-            let Location::Exit(_) = report.location else { continue };
+        let entry = locations[entry_idx].clone();
+        for report in &mut locations {
+            let Location::Exit(_) = report.location else {
+                continue;
+            };
             for inv in &mut report.invariants {
                 let ok = entry.invariants.iter().any(|pre| validate_frame(pre, inv));
                 if !ok {
@@ -194,18 +161,55 @@ pub fn analyze(
         }
     }
 
-    AnalysisOutcome {
-        reports,
+    Report {
+        target,
+        locations,
         declared_locations: program.locations_of(target),
-        traces: collected.total_snapshots(),
-        runs: collected.runs.len(),
-        faulted_runs: collected.faulted_runs(),
-        seconds: start.elapsed().as_secs_f64(),
+        metrics: RunMetrics {
+            traces: collected.total_snapshots(),
+            runs: collected.runs.len(),
+            faulted_runs: collected.faulted_runs(),
+            seconds: start.elapsed().as_secs_f64(),
+        },
+        cache: Default::default(),
+    }
+}
+
+/// Runs SLING end to end on one target function.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `Engine` (`Engine::builder()`) and call `analyze` with an `AnalysisRequest`"
+)]
+#[allow(deprecated)]
+pub fn analyze(
+    program: &Program,
+    target: Symbol,
+    inputs: &[InputBuilder],
+    types: &TypeEnv,
+    preds: &PredEnv,
+    config: &SlingConfig,
+) -> AnalysisOutcome {
+    let ctx = CheckCtx {
+        types,
+        preds,
+        config: config.check,
+        cache: None,
+        env_tag: 0,
+    };
+    let report = run_target(&ctx, program, target, inputs, config);
+    AnalysisOutcome {
+        reports: report.locations,
+        declared_locations: report.declared_locations,
+        traces: report.metrics.traces,
+        runs: report.metrics.runs,
+        faulted_runs: report.metrics.faulted_runs,
+        seconds: report.metrics.seconds,
     }
 }
 
 /// Infers invariants at a single location (Algorithm 1, lines 2–11, plus
 /// pure inference and scope quantification).
+#[deprecated(since = "0.2.0", note = "use `Engine::infer_at`")]
 pub fn infer_at_location(
     ctx: &CheckCtx<'_>,
     location: Location,
@@ -213,7 +217,19 @@ pub fn infer_at_location(
     param_order: &[Symbol],
     _func: &sling_lang::FuncDecl,
     config: &SlingConfig,
-) -> LocationReport {
+) -> LocationAnalysis {
+    infer_location(ctx, location, snaps, param_order, config)
+}
+
+/// Infers invariants at a single location (Algorithm 1, lines 2–11, plus
+/// pure inference and scope quantification).
+pub(crate) fn infer_location(
+    ctx: &CheckCtx<'_>,
+    location: Location,
+    snaps: &[&Snapshot],
+    param_order: &[Symbol],
+    config: &SlingConfig,
+) -> LocationAnalysis {
     let snapshots_seen = snaps.len();
     let tainted = snaps.iter().any(|s| s.tainted);
 
@@ -235,7 +251,7 @@ pub fn infer_at_location(
         }
     }
     if models.is_empty() {
-        return LocationReport {
+        return LocationAnalysis {
             location,
             invariants: Vec::new(),
             models_used: 0,
@@ -278,8 +294,15 @@ pub fn infer_at_location(
                 .map(|(m, h)| StackHeapModel::new(m.stack.clone(), h.clone()))
                 .collect();
             let split = split_heap(&res_models, *v);
-            let atoms =
-                infer_atom(ctx, *v, &split.sub_models, &split.boundary, &vt, &mut fresh, &config.infer);
+            let atoms = infer_atom(
+                ctx,
+                *v,
+                &split.sub_models,
+                &split.boundary,
+                &vt,
+                &mut fresh,
+                &config.infer,
+            );
             all_emp &= atoms.iter().all(|a| a.formula.is_emp())
                 && split.sub_models.iter().any(|m| !m.heap.is_empty());
             for atom in atoms {
@@ -364,7 +387,13 @@ pub fn infer_at_location(
         });
     }
 
-    LocationReport { location, invariants, models_used: models.len(), snapshots_seen, tainted }
+    LocationAnalysis {
+        location,
+        invariants,
+        models_used: models.len(),
+        snapshots_seen,
+        tainted,
+    }
 }
 
 /// The §2.3 variable-order heuristic: pointer variables, parameters
@@ -458,7 +487,9 @@ fn finalize_formula(formula: &mut SymHeap, free: &BTreeSet<Symbol>) {
         p.free_vars_into(&mut used);
     }
     let mut seen = BTreeSet::new();
-    formula.exists.retain(|u| used.contains(u) && seen.insert(*u));
+    formula
+        .exists
+        .retain(|u| used.contains(u) && seen.insert(*u));
 
     // Rename to u1..uk in first-occurrence order (stable, readable).
     let binders: BTreeSet<Symbol> = formula.exists.iter().copied().collect();
@@ -511,6 +542,8 @@ fn finalize_formula(formula: &mut SymHeap, free: &BTreeSet<Symbol>) {
 mod tests {
     use super::*;
     use crate::collect::InputBuilder;
+    use crate::engine::Engine;
+    use crate::request::AnalysisRequest;
     use sling_lang::{check_program, parse_program, RtHeap};
     use sling_models::Val;
 
@@ -561,36 +594,33 @@ mod tests {
         })
     }
 
-    fn run_concat() -> AnalysisOutcome {
-        let program = parse_program(CONCAT).unwrap();
-        check_program(&program).unwrap();
-        let types = program.type_env();
-        let mut preds = PredEnv::new();
-        for d in sling_logic::parse_predicates(DLL_PRED).unwrap() {
-            preds.define(d).unwrap();
-        }
-        let inputs: Vec<InputBuilder> =
-            vec![dll_builder(0, 0), dll_builder(0, 2), dll_builder(3, 0), dll_builder(3, 2)];
-        analyze(
-            &program,
-            sym("concat"),
-            &inputs,
-            &types,
-            &preds,
-            &SlingConfig::default(),
-        )
+    fn run_concat() -> Report {
+        let engine = Engine::builder()
+            .program_source(CONCAT)
+            .unwrap()
+            .predicates_source(DLL_PRED)
+            .unwrap()
+            .build()
+            .unwrap();
+        let request = AnalysisRequest::new("concat").inputs(vec![
+            dll_builder(0, 0),
+            dll_builder(0, 2),
+            dll_builder(3, 0),
+            dll_builder(3, 2),
+        ]);
+        engine.analyze(&request).unwrap()
     }
 
     #[test]
     fn concat_end_to_end() {
-        let outcome = run_concat();
-        assert_eq!(outcome.runs, 4);
-        assert_eq!(outcome.faulted_runs, 0);
-        assert!(outcome.traces > 10);
-        assert_eq!(outcome.declared_locations.len(), 6);
+        let report = run_concat();
+        assert_eq!(report.metrics.runs, 4);
+        assert_eq!(report.metrics.faulted_runs, 0);
+        assert!(report.metrics.traces > 10);
+        assert_eq!(report.declared_locations.len(), 6);
 
         // Precondition at L1: two disjoint dlls (or the empty cases).
-        let l1 = outcome.at(Location::Label(sym("L1"))).expect("L1 reached");
+        let l1 = report.at(Location::Label(sym("L1"))).expect("L1 reached");
         assert!(!l1.invariants.is_empty());
         let strongest = &l1.invariants[0];
         let s = strongest.formula.to_string();
@@ -598,13 +628,20 @@ mod tests {
 
         // Postcondition at the non-nil exit (the paper's F'_L3 — res is
         // the ghost bound at the return) mentions res == x.
-        let exit1 = outcome.at(Location::Exit(1)).expect("exit#1 reached");
+        let exit1 = report.at(Location::Exit(1)).expect("exit#1 reached");
         let found = exit1.invariants.iter().any(|i| {
             let t = i.formula.to_string();
             t.contains("res == x") || t.contains("x == res")
         });
-        assert!(found, "exit#1 should know res == x: {:?}",
-            exit1.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>());
+        assert!(
+            found,
+            "exit#1 should know res == x: {:?}",
+            exit1
+                .invariants
+                .iter()
+                .map(|i| i.formula.to_string())
+                .collect::<Vec<_>>()
+        );
 
         // The paper's three-segment shape:
         // dll(x,...,tmp) * dll(tmp, x, ..., y) * dll(y, ..., nil)
@@ -614,20 +651,61 @@ mod tests {
             let t = i.formula.to_string();
             t.contains("dll(x") && t.contains("dll(y") && t.matches("dll(").count() >= 3
         });
-        assert!(shape, "exit#1 three-segment shape missing: {:?}",
-            exit1.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>());
+        assert!(
+            shape,
+            "exit#1 three-segment shape missing: {:?}",
+            exit1
+                .invariants
+                .iter()
+                .map(|i| i.formula.to_string())
+                .collect::<Vec<_>>()
+        );
 
         // Exit invariants validated by the frame rule (not spurious).
         assert!(exit1.invariants.iter().any(|i| !i.spurious));
 
         // exit#0 (x == nil branch): x == nil and res == y.
-        let exit0 = outcome.at(Location::Exit(0)).expect("exit#0 reached");
+        let exit0 = report.at(Location::Exit(0)).expect("exit#0 reached");
         let e0ok = exit0.invariants.iter().any(|i| {
             let t = i.formula.to_string();
             t.contains("x == nil") && (t.contains("res == y") || t.contains("y == res"))
         });
-        assert!(e0ok, "exit#0: {:?}",
-            exit0.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>());
+        assert!(
+            e0ok,
+            "exit#0: {:?}",
+            exit0
+                .invariants
+                .iter()
+                .map(|i| i.formula.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn deprecated_shim_still_works() {
+        // The positional free function must keep producing the same
+        // shape of result for one release.
+        #[allow(deprecated)]
+        {
+            let program = parse_program(CONCAT).unwrap();
+            check_program(&program).unwrap();
+            let types = program.type_env();
+            let mut preds = PredEnv::new();
+            for d in sling_logic::parse_predicates(DLL_PRED).unwrap() {
+                preds.define(d).unwrap();
+            }
+            let inputs: Vec<InputBuilder> = vec![dll_builder(2, 1)];
+            let outcome = analyze(
+                &program,
+                sym("concat"),
+                &inputs,
+                &types,
+                &preds,
+                &SlingConfig::default(),
+            );
+            assert_eq!(outcome.runs, 1);
+            assert!(outcome.at(Location::Entry).is_some());
+        }
     }
 
     #[test]
@@ -637,8 +715,13 @@ mod tests {
         let program = parse_program(CONCAT).unwrap();
         check_program(&program).unwrap();
         let inputs: Vec<InputBuilder> = vec![dll_builder(3, 2)];
-        let collected =
-            collect_models(&program, sym("concat"), &inputs, VmConfig::default(), TraceConfig::default());
+        let collected = collect_models(
+            &program,
+            sym("concat"),
+            &inputs,
+            VmConfig::default(),
+            TraceConfig::default(),
+        );
         let by_loc = collected.by_location();
         let snaps = &by_loc[&Location::Exit(1)];
         let models: Vec<StackHeapModel> = snaps.iter().map(|s| s.model.clone()).collect();

@@ -70,14 +70,23 @@ pub fn infer_pure(
     vectors.push((Entity::Nil, vec![Val::Nil; n]));
     for (w, _) in models[0].stack.iter() {
         if models.iter().all(|m| m.stack.get(w).is_some()) {
-            let entity =
-                if prefer.contains(&w) { Entity::Preferred(w) } else { Entity::Local(w) };
-            vectors.push((entity, models.iter().map(|m| m.stack.get(w).unwrap()).collect()));
+            let entity = if prefer.contains(&w) {
+                Entity::Preferred(w)
+            } else {
+                Entity::Local(w)
+            };
+            vectors.push((
+                entity,
+                models.iter().map(|m| m.stack.get(w).unwrap()).collect(),
+            ));
         }
     }
     for u in &formula.exists {
         if insts.iter().all(|i| i.get(*u).is_some()) {
-            vectors.push((Entity::Exist(*u), insts.iter().map(|i| i.get(*u).unwrap()).collect()));
+            vectors.push((
+                Entity::Exist(*u),
+                insts.iter().map(|i| i.get(*u).unwrap()).collect(),
+            ));
         }
     }
 
@@ -123,8 +132,10 @@ pub fn infer_pure(
     let binders = std::mem::take(&mut out.exists);
     out = sling_logic::subst_symheap(&out, &subst);
     let remaining = out.free_vars();
-    out.exists =
-        binders.into_iter().filter(|u| !killed.contains(u) && remaining.contains(u)).collect();
+    out.exists = binders
+        .into_iter()
+        .filter(|u| !killed.contains(u) && remaining.contains(u))
+        .collect();
     // Conjoin new equalities, dropping duplicates and trivia.
     for eq in equalities {
         let trivial = matches!(&eq, PureAtom::Eq(a, b) if a == b);
@@ -173,9 +184,14 @@ mod tests {
         ];
         let insts = vec![Instantiation::new(), Instantiation::new()];
         let out = infer_pure(&f, &models, &insts, &prefer(&["x", "res"]));
-        assert!(out.pure.contains(&PureAtom::Eq(Expr::var("x"), Expr::var("res")))
-            || out.pure.contains(&PureAtom::Eq(Expr::var("res"), Expr::var("x"))),
-            "res == x expected, got {out}");
+        assert!(
+            out.pure
+                .contains(&PureAtom::Eq(Expr::var("x"), Expr::var("res")))
+                || out
+                    .pure
+                    .contains(&PureAtom::Eq(Expr::var("res"), Expr::var("x"))),
+            "res == x expected, got {out}"
+        );
     }
 
     #[test]
@@ -221,7 +237,10 @@ mod tests {
         i0.bind(sym("u4"), Val::Addr(l(3)));
         let out = infer_pure(&f, &models, &[i0], &prefer(&["x", "y"]));
         assert_eq!(out.exists.len(), 1);
-        assert!(out.to_string().contains("lseg(x, u3) * lseg(u3, y)"), "{out}");
+        assert!(
+            out.to_string().contains("lseg(x, u3) * lseg(u3, y)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -241,7 +260,10 @@ mod tests {
         let f = parse_formula("emp").unwrap();
         let models = vec![model(&[("x", Val::Nil), ("y", Val::Addr(l(1)))])];
         let out = infer_pure(&f, &models, &[Instantiation::new()], &prefer(&["x", "y"]));
-        assert!(out.pure.contains(&PureAtom::Eq(Expr::var("x"), Expr::Nil)), "{out}");
+        assert!(
+            out.pure.contains(&PureAtom::Eq(Expr::var("x"), Expr::Nil)),
+            "{out}"
+        );
     }
 
     #[test]
@@ -257,7 +279,13 @@ mod tests {
             &[Instantiation::new(), Instantiation::new()],
             &prefer(&["n", "m"]),
         );
-        assert!(out.pure.contains(&PureAtom::Eq(Expr::var("m"), Expr::var("n")))
-            || out.pure.contains(&PureAtom::Eq(Expr::var("n"), Expr::var("m"))), "{out}");
+        assert!(
+            out.pure
+                .contains(&PureAtom::Eq(Expr::var("m"), Expr::var("n")))
+                || out
+                    .pure
+                    .contains(&PureAtom::Eq(Expr::var("n"), Expr::var("m"))),
+            "{out}"
+        );
     }
 }

@@ -1,0 +1,135 @@
+//! The structured result hierarchy produced by an [`crate::Engine`].
+//!
+//! One [`Report`] per analyzed target function, containing one
+//! [`LocationAnalysis`] per reached breakpoint, each holding
+//! [`Invariant`]s; batch runs aggregate into a [`BatchReport`]. Run
+//! accounting lives in [`RunMetrics`] and checker-cache effectiveness in
+//! the re-exported [`CacheStats`].
+
+use sling_checker::CacheStats;
+use sling_lang::Location;
+use sling_logic::{SymHeap, Symbol};
+use sling_models::Heap;
+
+/// Size statistics of an invariant (the paper's Single/Pred/Pure
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvariantStats {
+    /// Points-to atoms.
+    pub singletons: usize,
+    /// Inductive predicate atoms.
+    pub preds: usize,
+    /// Pure equalities.
+    pub pures: usize,
+}
+
+/// An inferred invariant at a location.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// Where it holds.
+    pub location: Location,
+    /// The formula.
+    pub formula: SymHeap,
+    /// Per used model: the heap cells the formula does not cover.
+    pub residues: Vec<Heap>,
+    /// Per used model: which activation it came from.
+    pub activations: Vec<u64>,
+    /// Atom counts.
+    pub stats: InvariantStats,
+    /// True if the invariant rests on invalid traces (freed cells) or
+    /// failed frame validation.
+    pub spurious: bool,
+}
+
+/// Everything inferred at one location of one target.
+#[derive(Debug, Clone)]
+pub struct LocationAnalysis {
+    /// The location.
+    pub location: Location,
+    /// Invariants, strongest first.
+    pub invariants: Vec<Invariant>,
+    /// Number of models used for inference (after dedupe/caps).
+    pub models_used: usize,
+    /// Number of snapshots observed at the location.
+    pub snapshots_seen: usize,
+    /// True if any snapshot at this location was tainted by freed cells.
+    pub tainted: bool,
+}
+
+/// Run accounting for one analyzed target.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunMetrics {
+    /// Total snapshots collected (the paper's Traces column).
+    pub traces: usize,
+    /// Number of test runs.
+    pub runs: usize,
+    /// Runs that ended in a runtime fault.
+    pub faulted_runs: usize,
+    /// Wall-clock seconds for collection + inference + validation.
+    pub seconds: f64,
+}
+
+/// The full analysis result for one target function.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The analyzed function.
+    pub target: Symbol,
+    /// Per reached location, in location order.
+    pub locations: Vec<LocationAnalysis>,
+    /// All breakpoint locations the program declares for the target
+    /// (reached or not — the paper's iLocs).
+    pub declared_locations: Vec<Location>,
+    /// Run accounting.
+    pub metrics: RunMetrics,
+    /// Checker-cache movement attributable to this request (hit/miss
+    /// deltas; `entries` is the cache's absolute size afterwards).
+    pub cache: CacheStats,
+}
+
+impl Report {
+    /// The analysis at `loc`, if any model reached it.
+    pub fn at(&self, loc: Location) -> Option<&LocationAnalysis> {
+        self.locations.iter().find(|r| r.location == loc)
+    }
+
+    /// Total invariants across locations.
+    pub fn invariant_count(&self) -> usize {
+        self.locations.iter().map(|r| r.invariants.len()).sum()
+    }
+
+    /// Total spurious invariants.
+    pub fn spurious_count(&self) -> usize {
+        self.locations
+            .iter()
+            .flat_map(|r| &r.invariants)
+            .filter(|i| i.spurious)
+            .count()
+    }
+}
+
+/// Results of a batch analysis ([`crate::Engine::analyze_all`]) over one
+/// shared program + predicate environment.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per request, in request order.
+    pub reports: Vec<Report>,
+    /// Checker-cache movement across the whole batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// The first report for `target`, if one was requested.
+    pub fn by_target(&self, target: Symbol) -> Option<&Report> {
+        self.reports.iter().find(|r| r.target == target)
+    }
+
+    /// Total invariants across all targets.
+    pub fn invariant_count(&self) -> usize {
+        self.reports.iter().map(|r| r.invariant_count()).sum()
+    }
+
+    /// Total wall-clock seconds across all targets.
+    pub fn seconds(&self) -> f64 {
+        self.reports.iter().map(|r| r.metrics.seconds).sum()
+    }
+}

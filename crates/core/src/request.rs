@@ -1,0 +1,66 @@
+//! Analysis requests: what to analyze and on which inputs.
+
+use sling_logic::Symbol;
+
+use crate::collect::InputBuilder;
+use crate::pipeline::SlingConfig;
+
+/// One unit of work for an [`crate::Engine`]: a target function of the
+/// engine's program, the test inputs to trace it on, and an optional
+/// per-request configuration override.
+///
+/// Built fluently:
+///
+/// ```ignore
+/// let request = AnalysisRequest::new("concat")
+///     .input(Box::new(|heap| { /* allocate arguments */ vec![] }))
+///     .config(SlingConfig { max_models_per_location: 16, ..engine.config().clone() });
+/// ```
+pub struct AnalysisRequest {
+    /// The function to analyze.
+    pub target: Symbol,
+    /// Input builders; each produces the argument vector for one traced
+    /// run, allocating directly in the VM heap.
+    pub inputs: Vec<InputBuilder>,
+    /// Overrides the engine's configuration for this request only.
+    pub config: Option<SlingConfig>,
+}
+
+impl AnalysisRequest {
+    /// A request for `target` with no inputs yet.
+    pub fn new(target: impl Into<Symbol>) -> AnalysisRequest {
+        AnalysisRequest {
+            target: target.into(),
+            inputs: Vec::new(),
+            config: None,
+        }
+    }
+
+    /// Adds one input builder.
+    pub fn input(mut self, builder: InputBuilder) -> AnalysisRequest {
+        self.inputs.push(builder);
+        self
+    }
+
+    /// Adds a batch of input builders.
+    pub fn inputs<I: IntoIterator<Item = InputBuilder>>(mut self, builders: I) -> AnalysisRequest {
+        self.inputs.extend(builders);
+        self
+    }
+
+    /// Overrides the engine configuration for this request.
+    pub fn config(mut self, config: SlingConfig) -> AnalysisRequest {
+        self.config = Some(config);
+        self
+    }
+}
+
+impl std::fmt::Debug for AnalysisRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisRequest")
+            .field("target", &self.target)
+            .field("inputs", &self.inputs.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}

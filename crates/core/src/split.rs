@@ -107,7 +107,11 @@ pub fn split_heap(models: &[StackHeapModel], v: Symbol) -> Split {
         rest.push(remaining);
     }
 
-    Split { sub_models, rest, boundary: common.unwrap_or_default() }
+    Split {
+        sub_models,
+        rest,
+        boundary: common.unwrap_or_default(),
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +152,14 @@ mod tests {
         let models: Vec<StackHeapModel> = (1..=3).map(fig3_model).collect();
         let split = split_heap(&models, sym("x"));
         // h'1 = {0x01}, h'2 = {0x01, 0x02}, h'3 = {0x01, 0x02, 0x03}.
-        assert_eq!(split.sub_models[0].heap.domain(), [l(1)].into_iter().collect());
-        assert_eq!(split.sub_models[1].heap.domain(), [l(1), l(2)].into_iter().collect());
+        assert_eq!(
+            split.sub_models[0].heap.domain(),
+            [l(1)].into_iter().collect()
+        );
+        assert_eq!(
+            split.sub_models[1].heap.domain(),
+            [l(1), l(2)].into_iter().collect()
+        );
         assert_eq!(
             split.sub_models[2].heap.domain(),
             [l(1), l(2), l(3)].into_iter().collect()
@@ -175,7 +185,7 @@ mod tests {
         // After x's sub-heap is removed, splitting the residue on tmp
         // reaches y and stops; x is boundary via the dangling prev.
         let m = fig3_model(1);
-        let split_x = split_heap(&[m.clone()], sym("x"));
+        let split_x = split_heap(std::slice::from_ref(&m), sym("x"));
         let residue = StackHeapModel::new(m.stack.clone(), split_x.rest[0].clone());
         let split_tmp = split_heap(&[residue], sym("tmp"));
         assert_eq!(
@@ -190,7 +200,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(split_tmp.boundary, expect, "paper: boundary of tmp is {{tmp, x, res, y}}");
+        assert_eq!(
+            split_tmp.boundary, expect,
+            "paper: boundary of tmp is {{tmp, x, res, y}}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use sling_models::Heap;
 
-use crate::pipeline::Invariant;
+use crate::report::Invariant;
 
 /// Checks the frame condition between an entry invariant and an exit
 /// invariant: for every activation observed at both locations, the
@@ -21,11 +21,17 @@ use crate::pipeline::Invariant;
 /// do not participate. Returns `false` when no activation pairs up — an
 /// unpaired spec cannot be validated.
 pub fn validate_frame(pre: &Invariant, post: &Invariant) -> bool {
-    let pre_by_act: BTreeMap<u64, &Heap> =
-        pre.activations.iter().copied().zip(pre.residues.iter()).collect();
+    let pre_by_act: BTreeMap<u64, &Heap> = pre
+        .activations
+        .iter()
+        .copied()
+        .zip(pre.residues.iter())
+        .collect();
     let mut paired = 0usize;
     for (act, post_res) in post.activations.iter().zip(post.residues.iter()) {
-        let Some(pre_res) = pre_by_act.get(act) else { continue };
+        let Some(pre_res) = pre_by_act.get(act) else {
+            continue;
+        };
         paired += 1;
         if *pre_res != post_res {
             return false;
@@ -37,15 +43,18 @@ pub fn validate_frame(pre: &Invariant, post: &Invariant) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::InvariantStats;
+    use crate::report::InvariantStats;
     use sling_lang::Location;
-    use sling_logic::{Symbol, SymHeap};
+    use sling_logic::{SymHeap, Symbol};
     use sling_models::{HeapCell, Loc, Val};
 
     fn heap(locs: &[u64]) -> Heap {
         let mut h = Heap::new();
         for &n in locs {
-            h.insert(Loc::new(n), HeapCell::new(Symbol::intern("N"), vec![Val::Nil]));
+            h.insert(
+                Loc::new(n),
+                HeapCell::new(Symbol::intern("N"), vec![Val::Nil]),
+            );
         }
         h
     }
@@ -94,7 +103,10 @@ mod tests {
     fn frame_contents_matter() {
         // Same domain, different cell contents: the frame was touched.
         let mut pre_h = Heap::new();
-        pre_h.insert(Loc::new(1), HeapCell::new(Symbol::intern("N"), vec![Val::Nil]));
+        pre_h.insert(
+            Loc::new(1),
+            HeapCell::new(Symbol::intern("N"), vec![Val::Nil]),
+        );
         let mut post_h = Heap::new();
         post_h.insert(
             Loc::new(1),

@@ -253,8 +253,11 @@ impl Program {
                     },
                 })
                 .collect();
-            env.define(sling_logic::StructDef { name: s.name, fields })
-                .expect("duplicate struct; type checker should have rejected");
+            env.define(sling_logic::StructDef {
+                name: s.name,
+                fields,
+            })
+            .expect("duplicate struct; type checker should have rejected");
         }
         env
     }
@@ -263,7 +266,9 @@ impl Program {
     /// labels and loop heads, and one `exit#i` per `return`.
     pub fn locations_of(&self, func: Symbol) -> Vec<crate::trace::Location> {
         use crate::trace::Location;
-        let Some(f) = self.func(func) else { return Vec::new() };
+        let Some(f) = self.func(func) else {
+            return Vec::new();
+        };
         let mut out = vec![Location::Entry];
         let mut returns = 0usize;
         fn walk(block: &Block, out: &mut Vec<crate::trace::Location>, returns: &mut usize) {
@@ -277,7 +282,9 @@ impl Program {
                         }
                         walk(body, out, returns);
                     }
-                    StmtKind::If { then_blk, else_blk, .. } => {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
                         walk(then_blk, out, returns);
                         if let Some(e) = else_blk {
                             walk(e, out, returns);

@@ -96,6 +96,7 @@ impl RtHeap {
     }
 
     /// Frees the cell at `loc`: it moves to the freed (zombie) view.
+    #[allow(clippy::result_unit_err)]
     pub fn free(&mut self, loc: Loc) -> Result<(), ()> {
         match self.live.remove(loc) {
             Some(cell) => {
@@ -155,7 +156,10 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> VmConfig {
-        VmConfig { max_steps: 2_000_000, max_depth: 2_000 }
+        VmConfig {
+            max_steps: 2_000_000,
+            max_depth: 2_000,
+        }
     }
 }
 
@@ -193,12 +197,18 @@ impl Frame {
 
     /// The in-scope variables as a logic-side stack model.
     fn as_stack(&self) -> Stack {
-        self.scopes.iter().flat_map(|s| s.iter().map(|(k, v)| (*k, *v))).collect()
+        self.scopes
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, v)| (*k, *v)))
+            .collect()
     }
 
     /// All pointer values held anywhere in this frame.
     fn roots(&self) -> impl Iterator<Item = Val> + '_ {
-        self.scopes.iter().flat_map(|s| s.values().copied()).filter(|v| v.is_pointer())
+        self.scopes
+            .iter()
+            .flat_map(|s| s.values().copied())
+            .filter(|v| v.is_pointer())
     }
 }
 
@@ -253,8 +263,12 @@ impl<'p> Vm<'p> {
         let mut field_index = BTreeMap::new();
         let mut struct_defaults = BTreeMap::new();
         for s in &program.structs {
-            let map: BTreeMap<Symbol, usize> =
-                s.fields.iter().enumerate().map(|(i, (n, _))| (*n, i)).collect();
+            let map: BTreeMap<Symbol, usize> = s
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _))| (*n, i))
+                .collect();
             field_index.insert(s.name, map);
             let defaults: Vec<Val> = s
                 .fields
@@ -301,7 +315,10 @@ impl<'p> Vm<'p> {
         if self.frames.is_empty() {
             self.entry_roots = args.iter().copied().filter(|v| v.is_pointer()).collect();
         }
-        let decl = self.program.func(func).ok_or(RtError::UnknownFunction(func))?;
+        let decl = self
+            .program
+            .func(func)
+            .ok_or(RtError::UnknownFunction(func))?;
         assert_eq!(decl.params.len(), args.len(), "arity checked by caller");
         if self.frames.len() >= self.config.max_depth {
             return Err(RtError::StackOverflow);
@@ -317,7 +334,11 @@ impl<'p> Vm<'p> {
             }
             _ => 0,
         };
-        self.frames.push(Frame { func, scopes: vec![scope], activation });
+        self.frames.push(Frame {
+            func,
+            scopes: vec![scope],
+            activation,
+        });
         self.snapshot(Location::Entry, None);
         let result = self.exec_block(&decl.body);
         self.frames.pop();
@@ -363,7 +384,9 @@ impl<'p> Vm<'p> {
     /// traced function. Heap roots come from *every* frame (plus the
     /// original call arguments), like a debugger walking the backtrace.
     fn snapshot(&mut self, location: Location, res: Option<Val>) {
-        let Some(tracer) = self.tracer.as_mut() else { return };
+        let Some(tracer) = self.tracer.as_mut() else {
+            return;
+        };
         let frame = self.frames.last().expect("a frame is active");
         if frame.func != tracer.target {
             return;
@@ -436,7 +459,11 @@ impl<'p> Vm<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 if self.eval_bool(cond)? {
                     self.exec_block(then_blk)
                 } else if let Some(e) = else_blk {
@@ -477,7 +504,9 @@ impl<'p> Vm<'p> {
             StmtKind::Free(e) => {
                 let val = self.eval(e)?;
                 let loc = self.expect_addr(val, e.span)?;
-                self.heap.free(loc).map_err(|_| RtError::InvalidFree(e.span))?;
+                self.heap
+                    .free(loc)
+                    .map_err(|_| RtError::InvalidFree(e.span))?;
                 Ok(Flow::Normal)
             }
             StmtKind::ExprStmt(e) => {
@@ -520,9 +549,10 @@ impl<'p> Vm<'p> {
             ExprKind::Int(k) => Ok(Val::Int(*k)),
             ExprKind::Bool(b) => Ok(Val::Int(*b as i64)),
             ExprKind::Null => Ok(Val::Nil),
-            ExprKind::Var(v) => {
-                Ok(self.cur().lookup(*v).expect("checker guarantees the variable exists"))
-            }
+            ExprKind::Var(v) => Ok(self
+                .cur()
+                .lookup(*v)
+                .expect("checker guarantees the variable exists")),
             ExprKind::Field(base, f) => {
                 let bval = self.eval(base)?;
                 let loc = self.expect_addr(bval, base.span)?;
@@ -547,9 +577,10 @@ impl<'p> Vm<'p> {
                 let v = self.eval(inner)?;
                 match op {
                     UnOp::Neg => match v {
-                        Val::Int(k) => {
-                            k.checked_neg().map(Val::Int).ok_or(RtError::Overflow(e.span))
-                        }
+                        Val::Int(k) => k
+                            .checked_neg()
+                            .map(Val::Int)
+                            .ok_or(RtError::Overflow(e.span)),
                         _ => Err(RtError::InvalidDeref(inner.span)),
                     },
                     UnOp::Not => Ok(Val::Int((v == Val::Int(0)) as i64)),
@@ -604,14 +635,20 @@ impl<'p> Vm<'p> {
                 if d == 0 {
                     return Err(RtError::DivByZero(span));
                 }
-                int(va, a.span)?.checked_div(d).map(Val::Int).ok_or(RtError::Overflow(span))
+                int(va, a.span)?
+                    .checked_div(d)
+                    .map(Val::Int)
+                    .ok_or(RtError::Overflow(span))
             }
             BinOp::Rem => {
                 let d = int(vb, b.span)?;
                 if d == 0 {
                     return Err(RtError::DivByZero(span));
                 }
-                int(va, a.span)?.checked_rem(d).map(Val::Int).ok_or(RtError::Overflow(span))
+                int(va, a.span)?
+                    .checked_rem(d)
+                    .map(Val::Int)
+                    .ok_or(RtError::Overflow(span))
             }
             BinOp::Eq => Ok(Val::Int((va == vb) as i64)),
             BinOp::Ne => Ok(Val::Int((va != vb) as i64)),
@@ -628,7 +665,9 @@ fn collect_returns(block: &Block, f: &mut impl FnMut(Span)) {
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::Return(_) => f(stmt.span),
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 collect_returns(then_blk, f);
                 if let Some(e) = else_blk {
                     collect_returns(e, f);
@@ -736,7 +775,13 @@ mod tests {
     fn infinite_loop_hits_step_limit() {
         let p = parse_program("fn f() { while (true) { } }").unwrap();
         check_program(&p).unwrap();
-        let mut vm = Vm::new(&p, VmConfig { max_steps: 10_000, max_depth: 64 });
+        let mut vm = Vm::new(
+            &p,
+            VmConfig {
+                max_steps: 10_000,
+                max_depth: 64,
+            },
+        );
         assert_eq!(vm.call(sym("f"), &[]), Err(RtError::StepLimit));
     }
 
@@ -744,8 +789,17 @@ mod tests {
     fn runaway_recursion_hits_depth_limit() {
         let p = parse_program("fn f(n: int) -> int { return f(n); }").unwrap();
         check_program(&p).unwrap();
-        let mut vm = Vm::new(&p, VmConfig { max_steps: 1_000_000, max_depth: 64 });
-        assert_eq!(vm.call(sym("f"), &[Val::Int(0)]), Err(RtError::StackOverflow));
+        let mut vm = Vm::new(
+            &p,
+            VmConfig {
+                max_steps: 1_000_000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(
+            vm.call(sym("f"), &[Val::Int(0)]),
+            Err(RtError::StackOverflow)
+        );
     }
 
     #[test]
@@ -756,8 +810,12 @@ mod tests {
 
     #[test]
     fn no_return_detected() {
-        let err = run("fn f(n: int) -> int { if (n > 0) { return 1; } }", "f", &[Val::Int(-3)])
-            .unwrap_err();
+        let err = run(
+            "fn f(n: int) -> int { if (n > 0) { return 1; } }",
+            "f",
+            &[Val::Int(-3)],
+        )
+        .unwrap_err();
         assert_eq!(err, RtError::NoReturn(sym("f")));
     }
 
@@ -833,7 +891,11 @@ mod tests {
         let l2 = tracer.at(Location::Label(sym("L2")));
         assert!(l2[0].model.stack.get(sym("tmp")).is_none());
         // The innermost L2 (activation 4) still sees the outer cells.
-        assert_eq!(l2[0].model.heap.len(), 5, "backtrace view includes outer frames");
+        assert_eq!(
+            l2[0].model.heap.len(),
+            5,
+            "backtrace view includes outer frames"
+        );
         // Activations pair entries and exits.
         assert_eq!(tracer.at(Location::Entry)[0].activation, 1);
         assert_eq!(tracer.at(Location::Exit(1))[0].activation, 3);
@@ -863,7 +925,11 @@ mod tests {
         assert_eq!(tracer.at(Location::LoopHead(sym("inv"))).len(), 3);
         // The original argument stays visible even after x walks past it.
         let heads = tracer.at(Location::LoopHead(sym("inv")));
-        assert_eq!(heads[2].model.heap.len(), 2, "entry roots keep the list visible");
+        assert_eq!(
+            heads[2].model.heap.len(),
+            2,
+            "entry roots keep the list visible"
+        );
     }
 
     #[test]
@@ -886,6 +952,10 @@ mod tests {
         let tracer = vm.take_tracer().unwrap();
         let after = tracer.at(Location::Label(sym("after")));
         assert!(after[0].tainted, "dangling x->next must taint the snapshot");
-        assert_eq!(after[0].model.heap.len(), 2, "LLDB-style view still sees the freed cell");
+        assert_eq!(
+            after[0].model.heap.len(),
+            2,
+            "LLDB-style view still sees the freed cell"
+        );
     }
 }

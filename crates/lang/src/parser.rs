@@ -48,7 +48,10 @@ impl std::error::Error for MiniParseError {}
 
 impl From<MiniLexError> for MiniParseError {
     fn from(e: MiniLexError) -> MiniParseError {
-        MiniParseError { message: e.message, span: e.span }
+        MiniParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -90,7 +93,10 @@ struct P {
 
 impl P {
     fn new(source: &str) -> Result<P, MiniParseError> {
-        Ok(P { toks: lex(source)?, pos: 0 })
+        Ok(P {
+            toks: lex(source)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Tok {
@@ -114,7 +120,10 @@ impl P {
     }
 
     fn err(&self, message: String) -> MiniParseError {
-        MiniParseError { message, span: self.span() }
+        MiniParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     fn expect(&mut self, want: Tok) -> Result<Span, MiniParseError> {
@@ -171,7 +180,11 @@ impl P {
             fields.push((fname, fty));
         }
         let hi = self.expect(Tok::RBrace)?;
-        Ok(StructDecl { name, fields, span: lo.to(hi) })
+        Ok(StructDecl {
+            name,
+            fields,
+            span: lo.to(hi),
+        })
     }
 
     fn func_decl(&mut self) -> Result<FuncDecl, MiniParseError> {
@@ -184,7 +197,10 @@ impl P {
                 let pname = self.ident()?;
                 self.expect(Tok::Colon)?;
                 let pty = self.ty()?;
-                params.push(Param { name: pname, ty: pty });
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                });
                 if self.peek() == Tok::Comma {
                     self.bump();
                 } else {
@@ -200,7 +216,13 @@ impl P {
             TyExpr::Void
         };
         let body = self.block()?;
-        Ok(FuncDecl { name, params, ret, body, span: lo.to(hi) })
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            span: lo.to(hi),
+        })
     }
 
     fn block(&mut self) -> Result<Block, MiniParseError> {
@@ -228,7 +250,10 @@ impl P {
                     None
                 };
                 let hi = self.expect(Tok::Semi)?;
-                Ok(Stmt { kind: StmtKind::VarDecl { name, ty, init }, span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::VarDecl { name, ty, init },
+                    span: lo.to(hi),
+                })
             }
             Tok::If => self.if_stmt(),
             Tok::While => {
@@ -243,13 +268,23 @@ impl P {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let body = self.block()?;
-                Ok(Stmt { kind: StmtKind::While { label, cond, body }, span: lo })
+                Ok(Stmt {
+                    kind: StmtKind::While { label, cond, body },
+                    span: lo,
+                })
             }
             Tok::Return => {
                 self.bump();
-                let value = if self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let hi = self.expect(Tok::Semi)?;
-                Ok(Stmt { kind: StmtKind::Return(value), span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: lo.to(hi),
+                })
             }
             Tok::Free => {
                 self.bump();
@@ -257,13 +292,19 @@ impl P {
                 let e = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let hi = self.expect(Tok::Semi)?;
-                Ok(Stmt { kind: StmtKind::Free(e), span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Free(e),
+                    span: lo.to(hi),
+                })
             }
             Tok::At => {
                 self.bump();
                 let name = self.ident()?;
                 let hi = self.expect(Tok::Semi)?;
-                Ok(Stmt { kind: StmtKind::Label(name), span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Label(name),
+                    span: lo.to(hi),
+                })
             }
             _ => {
                 // Assignment or expression statement.
@@ -282,10 +323,16 @@ impl P {
                             })
                         }
                     };
-                    Ok(Stmt { kind: StmtKind::Assign { lhs, rhs }, span: lo.to(hi) })
+                    Ok(Stmt {
+                        kind: StmtKind::Assign { lhs, rhs },
+                        span: lo.to(hi),
+                    })
                 } else {
                     let hi = self.expect(Tok::Semi)?;
-                    Ok(Stmt { kind: StmtKind::ExprStmt(e), span: lo.to(hi) })
+                    Ok(Stmt {
+                        kind: StmtKind::ExprStmt(e),
+                        span: lo.to(hi),
+                    })
                 }
             }
         }
@@ -302,14 +349,23 @@ impl P {
             if self.peek() == Tok::If {
                 // `else if`: wrap in a one-statement block.
                 let nested = self.if_stmt()?;
-                Some(Block { stmts: vec![nested] })
+                Some(Block {
+                    stmts: vec![nested],
+                })
             } else {
                 Some(self.block()?)
             }
         } else {
             None
         };
-        Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span: lo })
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            span: lo,
+        })
     }
 
     // Precedence climbing: || < && < comparisons < additive < multiplicative
@@ -324,7 +380,10 @@ impl P {
             self.bump();
             let rhs = self.and_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -335,7 +394,10 @@ impl P {
             self.bump();
             let rhs = self.cmp_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -354,7 +416,10 @@ impl P {
         self.bump();
         let rhs = self.add_expr()?;
         let span = lhs.span.to(rhs.span);
-        Ok(Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span })
+        Ok(Expr {
+            kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, MiniParseError> {
@@ -368,7 +433,10 @@ impl P {
             self.bump();
             let rhs = self.mul_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -385,7 +453,10 @@ impl P {
             self.bump();
             let rhs = self.unary_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -396,13 +467,19 @@ impl P {
                 let lo = self.bump().1;
                 let inner = self.unary_expr()?;
                 let span = lo.to(inner.span);
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)), span })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)),
+                    span,
+                })
             }
             Tok::Bang => {
                 let lo = self.bump().1;
                 let inner = self.unary_expr()?;
                 let span = lo.to(inner.span);
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(inner)), span })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(inner)),
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -414,7 +491,10 @@ impl P {
             self.bump();
             let field = self.ident()?;
             let span = e.span.to(self.span());
-            e = Expr { kind: ExprKind::Field(Box::new(e), field), span };
+            e = Expr {
+                kind: ExprKind::Field(Box::new(e), field),
+                span,
+            };
         }
         Ok(e)
     }
@@ -424,19 +504,31 @@ impl P {
         match self.peek() {
             Tok::Int(k) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Int(k), span })
+                Ok(Expr {
+                    kind: ExprKind::Int(k),
+                    span,
+                })
             }
             Tok::True => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(true), span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(true),
+                    span,
+                })
             }
             Tok::False => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(false), span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(false),
+                    span,
+                })
             }
             Tok::Null => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Null, span })
+                Ok(Expr {
+                    kind: ExprKind::Null,
+                    span,
+                })
             }
             Tok::New => {
                 self.bump();
@@ -459,7 +551,10 @@ impl P {
                     }
                     self.expect(Tok::RBrace)?;
                 }
-                Ok(Expr { kind: ExprKind::New(ty, inits), span })
+                Ok(Expr {
+                    kind: ExprKind::New(ty, inits),
+                    span,
+                })
             }
             Tok::Ident(name) => {
                 if self.peek2() == Tok::LParen {
@@ -477,10 +572,16 @@ impl P {
                         }
                     }
                     let hi = self.expect(Tok::RParen)?;
-                    Ok(Expr { kind: ExprKind::Call(name, args), span: span.to(hi) })
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        span: span.to(hi),
+                    })
                 } else {
                     self.bump();
-                    Ok(Expr { kind: ExprKind::Var(name), span })
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        span,
+                    })
                 }
             }
             Tok::LParen => {
@@ -573,12 +674,13 @@ mod tests {
 
     #[test]
     fn parse_field_chain_assignment() {
-        let p = parse_program(
-            "fn f(x: Node*) { x->next->next = x; } struct Node { next: Node*; }",
-        )
-        .unwrap();
+        let p = parse_program("fn f(x: Node*) { x->next->next = x; } struct Node { next: Node*; }")
+            .unwrap();
         match &p.funcs[0].body.stmts[0].kind {
-            StmtKind::Assign { lhs: LValue::Field(base, _), .. } => {
+            StmtKind::Assign {
+                lhs: LValue::Field(base, _),
+                ..
+            } => {
                 assert!(matches!(base.kind, ExprKind::Field(_, _)));
             }
             other => panic!("unexpected {other:?}"),

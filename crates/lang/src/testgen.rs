@@ -110,10 +110,10 @@ pub fn gen_list(
 ) -> Val {
     let vals = payload(rng, size, order);
     let mut locs: Vec<Loc> = Vec::with_capacity(size);
-    for i in 0..size {
+    for &v in &vals {
         let mut fields = blank(layout.nfields);
         if let Some(d) = layout.data {
-            fields[d] = Val::Int(vals[i]);
+            fields[d] = Val::Int(v);
         }
         locs.push(heap.alloc(layout.ty, fields));
     }
@@ -133,10 +133,10 @@ pub fn gen_circular_list(
 ) -> Val {
     let vals = payload(rng, size, order);
     let mut locs: Vec<Loc> = Vec::with_capacity(size);
-    for i in 0..size {
+    for &v in &vals {
         let mut fields = blank(layout.nfields);
         if let Some(d) = layout.data {
-            fields[d] = Val::Int(vals[i]);
+            fields[d] = Val::Int(v);
         }
         locs.push(heap.alloc(layout.ty, fields));
     }
@@ -206,13 +206,14 @@ pub fn gen_tree(
             let mut keys: Vec<i64> = Vec::with_capacity(size);
             let mut k = 0i64;
             for _ in 0..size {
-                k += rng.gen_range(1..10);
+                k += rng.gen_range(1i64..10);
                 keys.push(k);
             }
             let root = build_balanced(heap, layout, &keys);
             if kind == TreeKind::RedBlack {
-                let color =
-                    layout.color.expect("red-black generation needs a color field");
+                let color = layout
+                    .color
+                    .expect("red-black generation needs a color field");
                 paint_red_black(heap, layout, root, color);
             }
             root
@@ -398,7 +399,13 @@ mod tests {
     #[test]
     fn sll_is_nil_terminated() {
         let mut heap = RtHeap::new();
-        let head = gen_list(&mut heap, &list_layout(false, true), 10, DataOrder::Random, &mut rng());
+        let head = gen_list(
+            &mut heap,
+            &list_layout(false, true),
+            10,
+            DataOrder::Random,
+            &mut rng(),
+        );
         let locs = walk_list(&heap, head, 0, 20);
         assert_eq!(locs.len(), 10);
         let last = heap.live().get(*locs.last().unwrap()).unwrap();
@@ -409,7 +416,13 @@ mod tests {
     fn empty_list_is_nil() {
         let mut heap = RtHeap::new();
         assert_eq!(
-            gen_list(&mut heap, &list_layout(false, false), 0, DataOrder::Random, &mut rng()),
+            gen_list(
+                &mut heap,
+                &list_layout(false, false),
+                0,
+                DataOrder::Random,
+                &mut rng()
+            ),
             Val::Nil
         );
         assert!(heap.live().is_empty());
@@ -418,7 +431,13 @@ mod tests {
     #[test]
     fn dll_prev_pointers_consistent() {
         let mut heap = RtHeap::new();
-        let head = gen_list(&mut heap, &list_layout(true, false), 5, DataOrder::Random, &mut rng());
+        let head = gen_list(
+            &mut heap,
+            &list_layout(true, false),
+            5,
+            DataOrder::Random,
+            &mut rng(),
+        );
         let locs = walk_list(&heap, head, 0, 10);
         assert_eq!(locs.len(), 5);
         assert_eq!(heap.live().get(locs[0]).unwrap().fields[1], Val::Nil);
@@ -430,19 +449,34 @@ mod tests {
     #[test]
     fn sorted_list_is_sorted() {
         let mut heap = RtHeap::new();
-        let head = gen_list(&mut heap, &list_layout(false, true), 10, DataOrder::Sorted, &mut rng());
+        let head = gen_list(
+            &mut heap,
+            &list_layout(false, true),
+            10,
+            DataOrder::Sorted,
+            &mut rng(),
+        );
         let locs = walk_list(&heap, head, 0, 20);
-        let vals: Vec<i64> =
-            locs.iter().map(|l| heap.live().get(*l).unwrap().fields[2].as_int().unwrap()).collect();
+        let vals: Vec<i64> = locs
+            .iter()
+            .map(|l| heap.live().get(*l).unwrap().fields[2].as_int().unwrap())
+            .collect();
         assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
     }
 
     #[test]
     fn circular_list_wraps() {
         let mut heap = RtHeap::new();
-        let head =
-            gen_circular_list(&mut heap, &list_layout(true, false), 4, DataOrder::Random, &mut rng());
-        let Val::Addr(first) = head else { panic!("non-empty") };
+        let head = gen_circular_list(
+            &mut heap,
+            &list_layout(true, false),
+            4,
+            DataOrder::Random,
+            &mut rng(),
+        );
+        let Val::Addr(first) = head else {
+            panic!("non-empty")
+        };
         let locs = walk_list(&heap, head, 0, 10);
         assert_eq!(locs.len(), 4);
         let last = *locs.last().unwrap();
@@ -455,7 +489,9 @@ mod tests {
         let mut heap = RtHeap::new();
         let layout = tree_layout();
         let root = gen_tree(&mut heap, &layout, 10, TreeKind::Bst, &mut rng());
-        let Val::Addr(root) = root else { panic!("non-empty") };
+        let Val::Addr(root) = root else {
+            panic!("non-empty")
+        };
         fn check(heap: &RtHeap, layout: &TreeLayout, n: Loc, lo: i64, hi: i64, count: &mut usize) {
             *count += 1;
             let cell = heap.live().get(n).unwrap();
@@ -478,7 +514,9 @@ mod tests {
         let mut heap = RtHeap::new();
         let layout = tree_layout();
         let root = gen_tree(&mut heap, &layout, 12, TreeKind::Balanced, &mut rng());
-        let Val::Addr(root) = root else { panic!("non-empty") };
+        let Val::Addr(root) = root else {
+            panic!("non-empty")
+        };
         fn height(heap: &RtHeap, layout: &TreeLayout, n: Val) -> i64 {
             match n {
                 Val::Addr(l) => {
@@ -501,12 +539,20 @@ mod tests {
         for size in [1usize, 3, 7, 10, 12] {
             let mut heap2 = RtHeap::new();
             let root = gen_tree(&mut heap2, &layout, size, TreeKind::RedBlack, &mut rng());
-            let Val::Addr(root) = root else { panic!("non-empty") };
+            let Val::Addr(root) = root else {
+                panic!("non-empty")
+            };
             let cidx = layout.color.unwrap();
             // Root is black.
             assert_eq!(heap2.live().get(root).unwrap().fields[cidx], Val::Int(0));
             // No red-red edges; equal black height to all nil leaves.
-            fn bh(heap: &RtHeap, layout: &TreeLayout, n: Val, parent_red: bool, cidx: usize) -> i64 {
+            fn bh(
+                heap: &RtHeap,
+                layout: &TreeLayout,
+                n: Val,
+                parent_red: bool,
+                cidx: usize,
+            ) -> i64 {
                 match n {
                     Val::Addr(l) => {
                         let cell = heap.live().get(l).unwrap();
@@ -530,7 +576,9 @@ mod tests {
         let mut heap = RtHeap::new();
         let layout = tree_layout();
         let root = gen_tree(&mut heap, &layout, 8, TreeKind::Random, &mut rng());
-        let Val::Addr(root) = root else { panic!("non-empty") };
+        let Val::Addr(root) = root else {
+            panic!("non-empty")
+        };
         assert_eq!(heap.live().get(root).unwrap().fields[2], Val::Nil);
         fn check(heap: &RtHeap, layout: &TreeLayout, n: Loc) {
             let cell = heap.live().get(n).unwrap().clone();
@@ -549,7 +597,13 @@ mod tests {
         let build = || {
             let mut heap = RtHeap::new();
             let mut r = StdRng::seed_from_u64(123);
-            gen_list(&mut heap, &list_layout(true, true), 10, DataOrder::Random, &mut r);
+            gen_list(
+                &mut heap,
+                &list_layout(true, true),
+                10,
+                DataOrder::Random,
+                &mut r,
+            );
             format!("{}", heap.live())
         };
         assert_eq!(build(), build());

@@ -72,7 +72,9 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> TraceConfig {
-        TraceConfig { observe_freed: true }
+        TraceConfig {
+            observe_freed: true,
+        }
     }
 }
 
@@ -90,7 +92,11 @@ pub struct Tracer {
 impl Tracer {
     /// Creates a tracer for `target` with the given configuration.
     pub fn new(target: Symbol, config: TraceConfig) -> Tracer {
-        Tracer { target, config, snapshots: Vec::new() }
+        Tracer {
+            target,
+            config,
+            snapshots: Vec::new(),
+        }
     }
 
     /// Records a snapshot. `live` and `freed` are the interpreter's two
@@ -118,7 +124,10 @@ impl Tracer {
 
     /// Snapshots taken at `location`, in execution order.
     pub fn at(&self, location: Location) -> Vec<&Snapshot> {
-        self.snapshots.iter().filter(|s| s.location == location).collect()
+        self.snapshots
+            .iter()
+            .filter(|s| s.location == location)
+            .collect()
     }
 
     /// The distinct locations observed, in source-independent (sorted)
@@ -202,13 +211,23 @@ mod tests {
         let mut stack = Stack::new();
         stack.bind(sym("x"), Val::Addr(l(1)));
 
-        let mut t = Tracer::new(sym("f"), TraceConfig { observe_freed: true });
+        let mut t = Tracer::new(
+            sym("f"),
+            TraceConfig {
+                observe_freed: true,
+            },
+        );
         let roots: Vec<Val> = stack.iter().map(|(_, v)| v).collect();
         t.record(Location::Entry, stack.clone(), &roots, &live, &freed, 1);
         assert!(t.snapshots[0].tainted);
         assert_eq!(t.snapshots[0].model.heap.len(), 2);
 
-        let mut t = Tracer::new(sym("f"), TraceConfig { observe_freed: false });
+        let mut t = Tracer::new(
+            sym("f"),
+            TraceConfig {
+                observe_freed: false,
+            },
+        );
         t.record(Location::Entry, stack, &roots, &live, &freed, 1);
         assert!(!t.snapshots[0].tainted);
         assert_eq!(t.snapshots[0].model.heap.len(), 1);
@@ -217,9 +236,30 @@ mod tests {
     #[test]
     fn at_filters_by_location() {
         let mut t = Tracer::new(sym("f"), TraceConfig::default());
-        t.record(Location::Entry, Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
-        t.record(Location::Exit(0), Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
-        t.record(Location::Entry, Stack::new(), &[], &Heap::new(), &Heap::new(), 1);
+        t.record(
+            Location::Entry,
+            Stack::new(),
+            &[],
+            &Heap::new(),
+            &Heap::new(),
+            1,
+        );
+        t.record(
+            Location::Exit(0),
+            Stack::new(),
+            &[],
+            &Heap::new(),
+            &Heap::new(),
+            1,
+        );
+        t.record(
+            Location::Entry,
+            Stack::new(),
+            &[],
+            &Heap::new(),
+            &Heap::new(),
+            1,
+        );
         assert_eq!(t.at(Location::Entry).len(), 2);
         assert_eq!(t.at(Location::Exit(0)).len(), 1);
         assert_eq!(t.locations().len(), 2);

@@ -65,7 +65,10 @@ pub fn check_program(program: &Program) -> Result<(), TypeError> {
     let mut structs: BTreeMap<Symbol, &StructDecl> = BTreeMap::new();
     for s in &program.structs {
         if structs.insert(s.name, s).is_some() {
-            return Err(TypeError { message: format!("duplicate struct `{}`", s.name), span: s.span });
+            return Err(TypeError {
+                message: format!("duplicate struct `{}`", s.name),
+                span: s.span,
+            });
         }
         let mut names = BTreeSet::new();
         for (fname, _) in &s.fields {
@@ -108,8 +111,14 @@ pub fn check_program(program: &Program) -> Result<(), TypeError> {
     }
 
     for f in &program.funcs {
-        Checker { structs: &structs, funcs: &funcs, func: f, scopes: Vec::new(), labels: BTreeSet::new() }
-            .check_func()?;
+        Checker {
+            structs: &structs,
+            funcs: &funcs,
+            func: f,
+            scopes: Vec::new(),
+            labels: BTreeSet::new(),
+        }
+        .check_func()?;
     }
     Ok(())
 }
@@ -142,10 +151,14 @@ impl Checker<'_> {
 
     fn check_value_ty(&self, ty: TyExpr, span: Span) -> Result<(), TypeError> {
         match ty {
-            TyExpr::Ptr(t) if !self.structs.contains_key(&t) => {
-                Err(TypeError { message: format!("unknown struct `{t}`"), span })
-            }
-            TyExpr::Void => Err(TypeError { message: "void is not a value type".into(), span }),
+            TyExpr::Ptr(t) if !self.structs.contains_key(&t) => Err(TypeError {
+                message: format!("unknown struct `{t}`"),
+                span,
+            }),
+            TyExpr::Void => Err(TypeError {
+                message: "void is not a value type".into(),
+                span,
+            }),
             _ => Ok(()),
         }
     }
@@ -195,7 +208,11 @@ impl Checker<'_> {
                 let rty = self.check_expr(rhs)?;
                 self.compat(lty, rty, rhs.span)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let cty = self.check_expr(cond)?;
                 self.compat(TyExpr::Bool, cty, cond.span)?;
                 self.check_block(then_blk)?;
@@ -285,7 +302,10 @@ impl Checker<'_> {
         if ok {
             Ok(())
         } else {
-            Err(TypeError { message: format!("expected {expected}, found {actual}"), span })
+            Err(TypeError {
+                message: format!("expected {expected}, found {actual}"),
+                span,
+            })
         }
     }
 
@@ -328,8 +348,12 @@ impl Checker<'_> {
             ExprKind::Unary(op, inner) => {
                 let ity = self.check_expr(inner)?;
                 match op {
-                    UnOp::Neg => self.compat(TyExpr::Int, ity, inner.span).map(|_| TyExpr::Int),
-                    UnOp::Not => self.compat(TyExpr::Bool, ity, inner.span).map(|_| TyExpr::Bool),
+                    UnOp::Neg => self
+                        .compat(TyExpr::Int, ity, inner.span)
+                        .map(|_| TyExpr::Int),
+                    UnOp::Not => self
+                        .compat(TyExpr::Bool, ity, inner.span)
+                        .map(|_| TyExpr::Bool),
                 }
             }
             ExprKind::Binary(op, a, b) => {
@@ -435,19 +459,14 @@ mod tests {
 
     #[test]
     fn rejects_shadowing() {
-        let err = check(
-            "fn f(x: int) { if (x == 0) { var x: int = 1; } }",
-        )
-        .unwrap_err();
+        let err = check("fn f(x: int) { if (x == 0) { var x: int = 1; } }").unwrap_err();
         assert!(err.message.contains("shadows"));
     }
 
     #[test]
     fn rejects_bad_field() {
-        let err = check(
-            "struct Node { next: Node*; } fn f(x: Node*) -> Node* { return x->prev; }",
-        )
-        .unwrap_err();
+        let err = check("struct Node { next: Node*; } fn f(x: Node*) -> Node* { return x->prev; }")
+            .unwrap_err();
         assert!(err.message.contains("no field"));
     }
 
@@ -459,10 +478,8 @@ mod tests {
 
     #[test]
     fn rejects_ptr_arith() {
-        let err = check(
-            "struct Node { next: Node*; } fn f(x: Node*) -> int { return x + 1; }",
-        )
-        .unwrap_err();
+        let err = check("struct Node { next: Node*; } fn f(x: Node*) -> int { return x + 1; }")
+            .unwrap_err();
         assert!(err.message.contains("expected int"));
     }
 
@@ -499,8 +516,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_arity() {
-        let err = check("fn g(n: int) -> int { return n; } fn f() -> int { return g(); }")
-            .unwrap_err();
+        let err =
+            check("fn g(n: int) -> int { return n; } fn f() -> int { return g(); }").unwrap_err();
         assert!(err.message.contains("expects 1 arguments"));
     }
 
@@ -512,10 +529,9 @@ mod tests {
 
     #[test]
     fn new_with_bad_init_rejected() {
-        let err = check(
-            "struct Node { next: Node*; } fn f() -> Node* { return new Node { data: 3 }; }",
-        )
-        .unwrap_err();
+        let err =
+            check("struct Node { next: Node*; } fn f() -> Node* { return new Node { data: 3 }; }")
+                .unwrap_err();
         assert!(err.message.contains("no field"));
     }
 }

@@ -242,8 +242,10 @@ impl SymHeap {
             let mut fresh = crate::symbol::FreshVars::new("r");
             fresh.avoid_all(self.all_vars());
             fresh.avoid_all(other.all_vars());
-            let map: crate::subst::Subst =
-                clash.iter().map(|&v| (v, Expr::Var(fresh.next()))).collect();
+            let map: crate::subst::Subst = clash
+                .iter()
+                .map(|&v| (v, Expr::Var(fresh.next())))
+                .collect();
             other = crate::subst::subst_symheap_bound(&other, &map);
         }
         self.exists.extend(other.exists);
@@ -262,7 +264,10 @@ impl SymHeap {
 
     /// Number of inductive-predicate atoms (the paper's "Pred" statistic).
     pub fn pred_count(&self) -> usize {
-        self.spatial.iter().filter(|a| matches!(a, SpatialAtom::Pred { .. })).count()
+        self.spatial
+            .iter()
+            .filter(|a| matches!(a, SpatialAtom::Pred { .. }))
+            .count()
     }
 
     /// Number of pure atoms (the paper's "Pure" statistic).
@@ -285,7 +290,9 @@ pub struct Formula {
 impl Formula {
     /// A formula with a single disjunct.
     pub fn single(heap: SymHeap) -> Formula {
-        Formula { disjuncts: vec![heap] }
+        Formula {
+            disjuncts: vec![heap],
+        }
     }
 
     /// Free variables across all disjuncts.
@@ -356,12 +363,18 @@ mod tests {
         let u = Symbol::intern("u");
         let left = SymHeap {
             exists: vec![],
-            spatial: vec![SpatialAtom::Pred { name: Symbol::intern("p"), args: vec![Expr::Var(u)] }],
+            spatial: vec![SpatialAtom::Pred {
+                name: Symbol::intern("p"),
+                args: vec![Expr::Var(u)],
+            }],
             pure: vec![],
         };
         let right = SymHeap {
             exists: vec![u],
-            spatial: vec![SpatialAtom::Pred { name: Symbol::intern("q"), args: vec![Expr::Var(u)] }],
+            spatial: vec![SpatialAtom::Pred {
+                name: Symbol::intern("q"),
+                args: vec![Expr::Var(u)],
+            }],
             pure: vec![],
         };
         let joined = left.star(right);
@@ -380,9 +393,15 @@ mod tests {
                 SpatialAtom::PointsTo {
                     root: v("x"),
                     ty: Symbol::intern("Node"),
-                    fields: vec![FieldAssign { name: Symbol::intern("next"), value: Expr::Nil }],
+                    fields: vec![FieldAssign {
+                        name: Symbol::intern("next"),
+                        value: Expr::Nil,
+                    }],
                 },
-                SpatialAtom::Pred { name: Symbol::intern("sll"), args: vec![v("y")] },
+                SpatialAtom::Pred {
+                    name: Symbol::intern("sll"),
+                    args: vec![v("y")],
+                },
             ],
             pure: vec![PureAtom::Eq(v("x"), v("y"))],
         };

@@ -287,7 +287,10 @@ pub fn lex(source: &str) -> Result<Vec<(Token, Span)>, LexError> {
             }
         }
     }
-    out.push((Token::Eof, Span::new(bytes.len() as u32, bytes.len() as u32)));
+    out.push((
+        Token::Eof,
+        Span::new(bytes.len() as u32, bytes.len() as u32),
+    ));
     Ok(out)
 }
 
@@ -322,7 +325,15 @@ mod tests {
         let kinds: Vec<Token> = toks.into_iter().map(|(t, _)| t).collect();
         assert_eq!(
             kinds,
-            vec![Token::EqEq, Token::BangEq, Token::Le, Token::Lt, Token::Arrow, Token::ColonEq, Token::Eof]
+            vec![
+                Token::EqEq,
+                Token::BangEq,
+                Token::Le,
+                Token::Lt,
+                Token::Arrow,
+                Token::ColonEq,
+                Token::Eof
+            ]
         );
     }
 

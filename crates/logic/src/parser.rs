@@ -48,7 +48,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -95,7 +98,10 @@ struct Parser {
 
 impl Parser {
     fn new(source: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { tokens: lex(source)?, pos: 0 })
+        Ok(Parser {
+            tokens: lex(source)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Token {
@@ -103,7 +109,10 @@ impl Parser {
     }
 
     fn peek2(&self) -> Token {
-        self.tokens.get(self.pos + 1).map(|t| t.0).unwrap_or(Token::Eof)
+        self.tokens
+            .get(self.pos + 1)
+            .map(|t| t.0)
+            .unwrap_or(Token::Eof)
     }
 
     fn span(&self) -> Span {
@@ -128,7 +137,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        ParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     fn ident(&mut self) -> Result<Symbol, ParseError> {
@@ -168,7 +180,11 @@ impl Parser {
             cases.push(self.formula()?);
         }
         self.expect(Token::Semi)?;
-        Ok(PredDef { name, params, cases })
+        Ok(PredDef {
+            name,
+            params,
+            cases,
+        })
     }
 
     fn param_ty(&mut self) -> Result<FieldTy, ParseError> {
@@ -213,9 +229,10 @@ impl Parser {
                 Term::Emp => {}
                 Term::Spatial(atom) => {
                     if in_pure {
-                        return Err(
-                            self.error("spatial atom after `&`; write `Σ & Π` with all spatial atoms first".into())
-                        );
+                        return Err(self.error(
+                            "spatial atom after `&`; write `Σ & Π` with all spatial atoms first"
+                                .into(),
+                        ));
                     }
                     spatial.push(atom);
                 }
@@ -239,7 +256,11 @@ impl Parser {
             }
         }
 
-        Ok(SymHeap { exists, spatial, pure })
+        Ok(SymHeap {
+            exists,
+            spatial,
+            pure,
+        })
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
@@ -287,7 +308,11 @@ impl Parser {
                     }
                 }
                 self.expect(Token::RBrace)?;
-                Ok(Term::Spatial(SpatialAtom::PointsTo { root: lhs, ty, fields }))
+                Ok(Term::Spatial(SpatialAtom::PointsTo {
+                    root: lhs,
+                    ty,
+                    fields,
+                }))
             }
             Token::EqEq => {
                 self.bump();

@@ -54,9 +54,18 @@ impl PredDef {
     /// Panics if `args.len() != self.arity()`; the caller (the model
     /// checker) always constructs arity-correct applications.
     pub fn unfold(&self, args: &[Expr]) -> Vec<SymHeap> {
-        assert_eq!(args.len(), self.arity(), "arity mismatch unfolding `{}`", self.name);
-        let map: Subst =
-            self.params.iter().zip(args).map(|(p, a)| (p.name, a.clone())).collect();
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "arity mismatch unfolding `{}`",
+            self.name
+        );
+        let map: Subst = self
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| (p.name, a.clone()))
+            .collect();
         self.cases.iter().map(|c| subst_symheap(c, &map)).collect()
     }
 
@@ -184,8 +193,14 @@ mod tests {
         env.define(crate::types::StructDef {
             name: node,
             fields: vec![
-                crate::types::FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
-                crate::types::FieldDef { name: Symbol::intern("prev"), ty: FieldTy::Ptr(node) },
+                crate::types::FieldDef {
+                    name: Symbol::intern("next"),
+                    ty: FieldTy::Ptr(node),
+                },
+                crate::types::FieldDef {
+                    name: Symbol::intern("prev"),
+                    ty: FieldTy::Ptr(node),
+                },
             ],
         })
         .unwrap();
@@ -197,8 +212,7 @@ mod tests {
         let _ = node_env();
         let preds = parse_predicates(DLL).unwrap();
         let dll = &preds[0];
-        let args =
-            vec![Expr::var("a"), Expr::Nil, Expr::var("t"), Expr::Nil];
+        let args = vec![Expr::var("a"), Expr::Nil, Expr::var("t"), Expr::Nil];
         let cases = dll.unfold(&args);
         assert_eq!(cases.len(), 2);
         // Base case: emp & a == nil & nil == t

@@ -22,7 +22,10 @@ impl Span {
 
     /// Smallest span covering both `self` and `other`.
     pub fn to(self, other: Span) -> Span {
-        Span { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Computes the 1-based line and column of `self.lo` in `source`.

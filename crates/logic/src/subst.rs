@@ -38,7 +38,10 @@ pub fn subst_spatial(s: &SpatialAtom, map: &Subst) -> SpatialAtom {
             ty: *ty,
             fields: fields
                 .iter()
-                .map(|f| FieldAssign { name: f.name, value: subst_expr(&f.value, map) })
+                .map(|f| FieldAssign {
+                    name: f.name,
+                    value: subst_expr(&f.value, map),
+                })
                 .collect(),
         },
         SpatialAtom::Pred { name, args } => SpatialAtom::Pred {
@@ -84,17 +87,27 @@ pub fn subst_symheap(h: &SymHeap, map: &Subst) -> SymHeap {
         fresh.avoid_all(h.all_vars());
         fresh.avoid_all(range_vars.iter().copied());
         fresh.avoid_all(map.keys().copied());
-        let rename: Subst = clashing.iter().map(|&v| (v, Expr::Var(fresh.next()))).collect();
+        let rename: Subst = clashing
+            .iter()
+            .map(|&v| (v, Expr::Var(fresh.next())))
+            .collect();
         h = subst_symheap_bound(&h, &rename);
     }
 
     // Do not substitute the (now clash-free) binders.
-    let filtered: Subst =
-        map.iter().filter(|(k, _)| !h.exists.contains(k)).map(|(k, v)| (*k, v.clone())).collect();
+    let filtered: Subst = map
+        .iter()
+        .filter(|(k, _)| !h.exists.contains(k))
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
 
     SymHeap {
         exists: h.exists.clone(),
-        spatial: h.spatial.iter().map(|s| subst_spatial(s, &filtered)).collect(),
+        spatial: h
+            .spatial
+            .iter()
+            .map(|s| subst_spatial(s, &filtered))
+            .collect(),
         pure: h.pure.iter().map(|p| subst_pure(p, &filtered)).collect(),
     }
 }
@@ -171,6 +184,9 @@ mod tests {
     fn subst_arith() {
         let e = Expr::Add(Box::new(Expr::var("x")), Box::new(Expr::Int(1)));
         let out = subst_expr(&e, &sub1("x", Expr::Int(41)));
-        assert_eq!(out, Expr::Add(Box::new(Expr::Int(41)), Box::new(Expr::Int(1))));
+        assert_eq!(
+            out,
+            Expr::Add(Box::new(Expr::Int(41)), Box::new(Expr::Int(1)))
+        );
     }
 }

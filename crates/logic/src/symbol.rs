@@ -18,9 +18,7 @@
 //! ```
 
 use std::fmt;
-use std::sync::OnceLock;
-
-use parking_lot::RwLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -38,7 +36,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { strings: Vec::new(), lookup: std::collections::HashMap::new() }
+        Interner {
+            strings: Vec::new(),
+            lookup: std::collections::HashMap::new(),
+        }
     }
 
     fn intern(&mut self, s: &str) -> u32 {
@@ -70,15 +71,15 @@ impl Symbol {
     /// ```
     pub fn intern(text: &str) -> Symbol {
         // Fast path: read lock only.
-        if let Some(&id) = interner().read().lookup.get(text) {
+        if let Some(&id) = interner().read().expect("interner lock").lookup.get(text) {
             return Symbol(id);
         }
-        Symbol(interner().write().intern(text))
+        Symbol(interner().write().expect("interner lock").intern(text))
     }
 
     /// Returns the interned text.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        interner().read().expect("interner lock").strings[self.0 as usize]
     }
 }
 
@@ -142,7 +143,11 @@ pub struct FreshVars {
 impl FreshVars {
     /// Creates a generator producing `<prefix>1`, `<prefix>2`, ...
     pub fn new(prefix: &str) -> FreshVars {
-        FreshVars { prefix: prefix.to_owned(), counter: 0, avoid: Default::default() }
+        FreshVars {
+            prefix: prefix.to_owned(),
+            counter: 0,
+            avoid: Default::default(),
+        }
     }
 
     /// Adds a symbol the generator must never produce.

@@ -148,7 +148,10 @@ impl TypeEnv {
         let mut seen = std::collections::BTreeSet::new();
         for f in &def.fields {
             if !seen.insert(f.name) {
-                return Err(TypeEnvError::DuplicateField { strukt: def.name, field: f.name });
+                return Err(TypeEnvError::DuplicateField {
+                    strukt: def.name,
+                    field: f.name,
+                });
             }
         }
         if self.structs.contains_key(&def.name) {
@@ -188,8 +191,14 @@ mod tests {
         StructDef {
             name: node,
             fields: vec![
-                FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
-                FieldDef { name: Symbol::intern("data"), ty: FieldTy::Int },
+                FieldDef {
+                    name: Symbol::intern("next"),
+                    ty: FieldTy::Ptr(node),
+                },
+                FieldDef {
+                    name: Symbol::intern("data"),
+                    ty: FieldTy::Int,
+                },
             ],
         }
     }
@@ -201,14 +210,20 @@ mod tests {
         let def = env.get(Symbol::intern("Node")).unwrap();
         assert_eq!(def.fields.len(), 2);
         assert_eq!(def.field_index(Symbol::intern("data")), Some(1));
-        assert_eq!(def.field_ty(Symbol::intern("next")), Some(FieldTy::Ptr(Symbol::intern("Node"))));
+        assert_eq!(
+            def.field_ty(Symbol::intern("next")),
+            Some(FieldTy::Ptr(Symbol::intern("Node")))
+        );
     }
 
     #[test]
     fn duplicate_struct_rejected() {
         let mut env = TypeEnv::new();
         env.define(node_def()).unwrap();
-        assert_eq!(env.define(node_def()), Err(TypeEnvError::DuplicateStruct(Symbol::intern("Node"))));
+        assert_eq!(
+            env.define(node_def()),
+            Err(TypeEnvError::DuplicateStruct(Symbol::intern("Node")))
+        );
     }
 
     #[test]
@@ -219,8 +234,14 @@ mod tests {
         let def = StructDef {
             name: s,
             fields: vec![
-                FieldDef { name: f, ty: FieldTy::Int },
-                FieldDef { name: f, ty: FieldTy::Int },
+                FieldDef {
+                    name: f,
+                    ty: FieldTy::Int,
+                },
+                FieldDef {
+                    name: f,
+                    ty: FieldTy::Int,
+                },
             ],
         };
         assert!(env.define(def).is_err());

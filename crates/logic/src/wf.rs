@@ -53,8 +53,15 @@ impl fmt::Display for WfError {
                 write!(f, "field mismatch for struct `{strukt}`: {detail}")
             }
             WfError::UnknownPred(p) => write!(f, "unknown predicate `{p}`"),
-            WfError::ArityMismatch { pred, expected, actual } => {
-                write!(f, "predicate `{pred}` expects {expected} arguments, got {actual}")
+            WfError::ArityMismatch {
+                pred,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "predicate `{pred}` expects {expected} arguments, got {actual}"
+                )
             }
             WfError::NotHeapFounded(p) => write!(
                 f,
@@ -123,7 +130,10 @@ pub fn check_symheap(h: &SymHeap, types: &TypeEnv, preds: &PredEnv) -> Result<()
 pub fn check_pred_def(def: &PredDef, types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
     for case in &def.cases {
         check_symheap(case, types, preds)?;
-        let has_points_to = case.spatial.iter().any(|a| matches!(a, SpatialAtom::PointsTo { .. }));
+        let has_points_to = case
+            .spatial
+            .iter()
+            .any(|a| matches!(a, SpatialAtom::PointsTo { .. }));
         let recursive = case.spatial.iter().any(
             |a| matches!(a, SpatialAtom::Pred { name, .. } if preds.get(*name).is_some() || *name == def.name),
         );
@@ -172,8 +182,14 @@ mod tests {
             .define(StructDef {
                 name: node,
                 fields: vec![
-                    FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) },
-                    FieldDef { name: Symbol::intern("prev"), ty: FieldTy::Ptr(node) },
+                    FieldDef {
+                        name: Symbol::intern("next"),
+                        ty: FieldTy::Ptr(node),
+                    },
+                    FieldDef {
+                        name: Symbol::intern("prev"),
+                        ty: FieldTy::Ptr(node),
+                    },
                 ],
             })
             .unwrap();
@@ -193,8 +209,8 @@ mod tests {
     #[test]
     fn accepts_well_formed() {
         let (types, preds) = env();
-        let h = parse_formula("exists u. x -> Node{next: u, prev: nil} * dll(u, x, y, nil)")
-            .unwrap();
+        let h =
+            parse_formula("exists u. x -> Node{next: u, prev: nil} * dll(u, x, y, nil)").unwrap();
         assert_eq!(check_symheap(&h, &types, &preds), Ok(()));
     }
 
@@ -202,14 +218,20 @@ mod tests {
     fn rejects_unknown_struct() {
         let (types, preds) = env();
         let h = parse_formula("x -> Ghost{f: nil}").unwrap();
-        assert!(matches!(check_symheap(&h, &types, &preds), Err(WfError::UnknownStruct(_))));
+        assert!(matches!(
+            check_symheap(&h, &types, &preds),
+            Err(WfError::UnknownStruct(_))
+        ));
     }
 
     #[test]
     fn rejects_missing_field() {
         let (types, preds) = env();
         let h = parse_formula("x -> Node{next: nil}").unwrap();
-        assert!(matches!(check_symheap(&h, &types, &preds), Err(WfError::FieldMismatch { .. })));
+        assert!(matches!(
+            check_symheap(&h, &types, &preds),
+            Err(WfError::FieldMismatch { .. })
+        ));
     }
 
     #[test]
@@ -218,7 +240,11 @@ mod tests {
         let h = parse_formula("dll(x, y)").unwrap();
         assert!(matches!(
             check_symheap(&h, &types, &preds),
-            Err(WfError::ArityMismatch { expected: 4, actual: 2, .. })
+            Err(WfError::ArityMismatch {
+                expected: 4,
+                actual: 2,
+                ..
+            })
         ));
     }
 
@@ -227,7 +253,10 @@ mod tests {
         let (types, mut preds) = env();
         let bad = parse_predicates("pred spin(x: Node*) := spin(x);").unwrap();
         preds.define(bad[0].clone()).unwrap();
-        assert!(matches!(check_pred_env(&types, &preds), Err(WfError::NotHeapFounded(_))));
+        assert!(matches!(
+            check_pred_env(&types, &preds),
+            Err(WfError::NotHeapFounded(_))
+        ));
     }
 
     #[test]

@@ -135,8 +135,11 @@ impl Heap {
 
     /// True if `self` and `other` have disjoint domains (`h1 # h2`).
     pub fn disjoint(&self, other: &Heap) -> bool {
-        let (small, large) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         small.cells.keys().all(|l| !large.contains(*l))
     }
 
@@ -202,7 +205,9 @@ impl fmt::Display for Heap {
 
 impl FromIterator<(Loc, HeapCell)> for Heap {
     fn from_iter<T: IntoIterator<Item = (Loc, HeapCell)>>(iter: T) -> Heap {
-        Heap { cells: iter.into_iter().collect() }
+        Heap {
+            cells: iter.into_iter().collect(),
+        }
     }
 }
 

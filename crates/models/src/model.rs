@@ -88,7 +88,11 @@ impl ModelSeq {
     ///
     /// Panics if the sequences have different lengths.
     pub fn heap_difference(&self, other: &ModelSeq) -> ModelSeq {
-        assert_eq!(self.len(), other.len(), "\\ needs sequences of equal length");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "\\ needs sequences of equal length"
+        );
         ModelSeq {
             models: self
                 .models
@@ -102,7 +106,9 @@ impl ModelSeq {
 
 impl FromIterator<StackHeapModel> for ModelSeq {
     fn from_iter<T: IntoIterator<Item = StackHeapModel>>(iter: T) -> ModelSeq {
-        ModelSeq { models: iter.into_iter().collect() }
+        ModelSeq {
+            models: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -125,7 +131,10 @@ mod tests {
     fn model(locs: &[u64]) -> StackHeapModel {
         let mut h = Heap::new();
         for &n in locs {
-            h.insert(Loc::new(n), HeapCell::new(Symbol::intern("N"), vec![Val::Nil]));
+            h.insert(
+                Loc::new(n),
+                HeapCell::new(Symbol::intern("N"), vec![Val::Nil]),
+            );
         }
         StackHeapModel::new(Stack::new(), h)
     }

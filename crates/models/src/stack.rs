@@ -42,7 +42,10 @@ impl Stack {
 
     /// All variables whose value equals `val` (aliases).
     pub fn aliases_of(&self, val: Val) -> Vec<Symbol> {
-        self.iter().filter(|(_, v)| *v == val).map(|(s, _)| s).collect()
+        self.iter()
+            .filter(|(_, v)| *v == val)
+            .map(|(s, _)| s)
+            .collect()
     }
 
     /// Number of bound variables.
@@ -58,7 +61,9 @@ impl Stack {
 
 impl FromIterator<(Symbol, Val)> for Stack {
     fn from_iter<T: IntoIterator<Item = (Symbol, Val)>>(iter: T) -> Stack {
-        Stack { vars: iter.into_iter().collect() }
+        Stack {
+            vars: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,24 +1,40 @@
-//! Inspects one benchmark end to end: prints coverage, traces, and the
-//! inferred invariants per location.
+//! Inspects one benchmark end to end: prints coverage, traces, cache
+//! effectiveness, and the inferred invariants per location.
 //!
 //! ```sh
 //! cargo run --release -p sling-suite --example inspect -- dll/concat
 //! ```
 
 use sling_suite::{corpus, eval};
-use sling_lang::Location;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "sll/append".into());
-    let bench = corpus::all_benches().into_iter().find(|b| b.name == name).unwrap();
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sll/append".into());
+    let Some(bench) = corpus::all_benches().into_iter().find(|b| b.name == name) else {
+        eprintln!("unknown benchmark `{name}`; names look like `sll/append` or `dll/concat`");
+        std::process::exit(2);
+    };
     let run = eval::run_bench(&bench, &eval::EvalConfig::default());
-    println!("coverage: {:?}; traces {}; sling_found {:?}; baseline {:?}",
-        run.coverage, run.outcome.traces, run.sling_found, run.baseline_found);
-    for rep in &run.outcome.reports {
-        println!("== {} (models {}, tainted {})", rep.location, rep.models_used, rep.tainted);
+    println!(
+        "coverage: {:?}; traces {}; sling_found {:?}; baseline {:?}; cache {}",
+        run.coverage,
+        run.report.metrics.traces,
+        run.sling_found,
+        run.baseline_found,
+        run.report.cache,
+    );
+    for rep in &run.report.locations {
+        println!(
+            "== {} (models {}, tainted {})",
+            rep.location, rep.models_used, rep.tainted
+        );
         for inv in rep.invariants.iter().take(4) {
-            println!("   [{}] {}", if inv.spurious { "SPUR" } else { "ok" }, inv.formula);
+            println!(
+                "   [{}] {}",
+                if inv.spurious { "SPUR" } else { "ok" },
+                inv.formula
+            );
         }
     }
-    let _ = Location::Entry;
 }

@@ -33,7 +33,10 @@ pub fn all_benches() -> Vec<Bench> {
 
 /// The benchmarks of one category.
 pub fn benches_of(cat: Category) -> Vec<Bench> {
-    all_benches().into_iter().filter(|b| b.category == cat).collect()
+    all_benches()
+        .into_iter()
+        .filter(|b| b.category == cat)
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,8 +119,7 @@ mod tests {
         for b in all_benches() {
             let p = sling_lang::parse_program(b.source)
                 .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
-            sling_lang::check_program(&p)
-                .unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
+            sling_lang::check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
             assert!(
                 p.func(sling_logic::Symbol::intern(b.target)).is_some(),
                 "{}: target `{}` missing",

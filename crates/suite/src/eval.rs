@@ -1,9 +1,15 @@
 //! The evaluation harness: runs SLING (and the baseline) over the corpus
 //! and aggregates the rows of Table 1 and Table 2.
+//!
+//! Each benchmark is served by a [`sling::Engine`]; corpus runs share
+//! one checker cache per category (categories share a predicate library
+//! and data-structure shapes, so entailments memoized for one program
+//! routinely answer queries from the next).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use sling::{analyze, AnalysisOutcome, SlingConfig};
+use sling::{AnalysisRequest, CheckCache, Engine, Report, SlingConfig};
 use sling_lang::{check_program, parse_program, Location, Program};
 use sling_logic::{parse_formula, Symbol};
 
@@ -22,7 +28,10 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> EvalConfig {
-        EvalConfig { sling: SlingConfig::default(), seed: 0x51_1e6 }
+        EvalConfig {
+            sling: SlingConfig::default(),
+            seed: 0x51_1e6,
+        }
     }
 }
 
@@ -42,8 +51,8 @@ pub enum Coverage {
 pub struct BenchRun {
     /// The benchmark.
     pub bench: Bench,
-    /// SLING's analysis outcome.
-    pub outcome: AnalysisOutcome,
+    /// SLING's analysis report.
+    pub report: Report,
     /// Coverage classification.
     pub coverage: Coverage,
     /// Which documented properties SLING found (parallel to
@@ -59,21 +68,49 @@ pub struct BenchRun {
 ///
 /// Panics if a corpus source is malformed (covered by corpus tests).
 pub fn compile(bench: &Bench) -> Program {
-    let program = parse_program(bench.source)
-        .unwrap_or_else(|e| panic!("{}: parse error: {e}", bench.name));
+    let program =
+        parse_program(bench.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", bench.name));
     check_program(&program).unwrap_or_else(|e| panic!("{}: type error: {e}", bench.name));
     program
 }
 
+/// Builds the analysis engine for one benchmark, optionally sharing a
+/// checker cache with sibling engines.
+///
+/// # Panics
+///
+/// Panics if a corpus source is malformed (covered by corpus tests).
+pub fn engine_for(bench: &Bench, config: &EvalConfig, cache: Option<Arc<CheckCache>>) -> Engine {
+    let mut builder = Engine::builder()
+        .program(compile(bench))
+        .pred_env(crate::predicates::pred_env(bench.category))
+        .config(config.sling);
+    if let Some(cache) = cache {
+        builder = builder.shared_cache(cache);
+    }
+    builder
+        .build()
+        .unwrap_or_else(|e| panic!("{}: engine build error: {e}", bench.name))
+}
+
 /// Runs SLING and the baseline on one benchmark.
 pub fn run_bench(bench: &Bench, config: &EvalConfig) -> BenchRun {
-    let program = compile(bench);
-    let types = program.type_env();
-    let preds = crate::predicates::pred_env(bench.category);
-    let target = Symbol::intern(bench.target);
-    let inputs = bench.input_builders(config.seed);
+    run_bench_cached(bench, config, None)
+}
 
-    let outcome = analyze(&program, target, &inputs, &types, &preds, &config.sling);
+/// [`run_bench`] with an optional shared checker cache.
+pub fn run_bench_cached(
+    bench: &Bench,
+    config: &EvalConfig,
+    cache: Option<Arc<CheckCache>>,
+) -> BenchRun {
+    let engine = engine_for(bench, config, cache);
+    let target = Symbol::intern(bench.target);
+    let request = AnalysisRequest::new(target).inputs(bench.input_builders(config.seed));
+
+    let report = engine
+        .analyze(&request)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
 
     // The paper's ∗ programs yield no usable traces; their LLDB driver
     // died before any breakpoint. Our embedded tracer survives to the
@@ -83,7 +120,7 @@ pub fn run_bench(bench: &Bench, config: &EvalConfig) -> BenchRun {
     let coverage = if bench.bug == Some(BugKind::Segfault) {
         Coverage::None
     } else {
-        classify(&outcome)
+        classify(&report)
     };
 
     let sling_found: Vec<bool> = bench
@@ -93,29 +130,42 @@ pub fn run_bench(bench: &Bench, config: &EvalConfig) -> BenchRun {
             if coverage == Coverage::None {
                 false
             } else {
-                sling_finds(&outcome, p)
+                sling_finds(&report, p)
             }
         })
         .collect();
 
-    let baseline = sling_biabduce::infer_spec(&program, target, &preds).ok();
+    let baseline = sling_biabduce::infer_spec(engine.program(), target, engine.preds()).ok();
     let baseline_found: Vec<bool> = bench
         .properties
         .iter()
-        .map(|p| baseline.as_ref().map(|s| baseline_finds(s, p)).unwrap_or(false))
+        .map(|p| {
+            baseline
+                .as_ref()
+                .map(|s| baseline_finds(s, p))
+                .unwrap_or(false)
+        })
         .collect();
 
-    BenchRun { bench: bench.clone(), outcome, coverage, sling_found, baseline_found }
+    BenchRun {
+        bench: bench.clone(),
+        report,
+        coverage,
+        sling_found,
+        baseline_found,
+    }
 }
 
-fn classify(outcome: &AnalysisOutcome) -> Coverage {
-    let reached: Vec<Location> = outcome.reports.iter().map(|r| r.location).collect();
-    if reached.is_empty() || outcome.invariant_count() == 0 {
+fn classify(report: &Report) -> Coverage {
+    let reached: Vec<Location> = report.locations.iter().map(|r| r.location).collect();
+    if reached.is_empty() || report.invariant_count() == 0 {
         return Coverage::None;
     }
-    let all_reached =
-        outcome.declared_locations.iter().all(|l| reached.contains(l));
-    let any_spurious = outcome.spurious_count() > 0;
+    let all_reached = report
+        .declared_locations
+        .iter()
+        .all(|l| reached.contains(l));
+    let any_spurious = report.spurious_count() > 0;
     if all_reached && !any_spurious {
         Coverage::All
     } else {
@@ -123,13 +173,13 @@ fn classify(outcome: &AnalysisOutcome) -> Coverage {
     }
 }
 
-/// Does SLING's outcome contain (non-spurious) invariants subsuming the
+/// Does SLING's report contain (non-spurious) invariants subsuming the
 /// documented property?
-pub fn sling_finds(outcome: &AnalysisOutcome, prop: &Property) -> bool {
+pub fn sling_finds(report: &Report, prop: &Property) -> bool {
     match prop {
         Property::Spec { pre, posts } => {
             let pre_f = parse_formula(pre).expect("documented formulas parse");
-            let pre_ok = outcome
+            let pre_ok = report
                 .at(Location::Entry)
                 .map(|r| {
                     r.invariants
@@ -142,7 +192,7 @@ pub fn sling_finds(outcome: &AnalysisOutcome, prop: &Property) -> bool {
             }
             posts.iter().all(|(exit, post)| {
                 let post_f = parse_formula(post).expect("documented formulas parse");
-                outcome
+                report
                     .at(Location::Exit(*exit))
                     .map(|r| {
                         r.invariants
@@ -154,9 +204,13 @@ pub fn sling_finds(outcome: &AnalysisOutcome, prop: &Property) -> bool {
         }
         Property::LoopInv { label, formula } => {
             let f = parse_formula(formula).expect("documented formulas parse");
-            outcome
+            report
                 .at(Location::LoopHead(Symbol::intern(label)))
-                .map(|r| r.invariants.iter().any(|i| !i.spurious && subsumes(&i.formula, &f)))
+                .map(|r| {
+                    r.invariants
+                        .iter()
+                        .any(|i| !i.spurious && subsumes(&i.formula, &f))
+                })
                 .unwrap_or(false)
         }
     }
@@ -232,15 +286,22 @@ pub struct Table2Row {
     pub neither: usize,
 }
 
-/// Runs the whole corpus (or a filtered subset) once.
-pub fn run_corpus(
-    config: &EvalConfig,
-    filter: Option<&dyn Fn(&Bench) -> bool>,
-) -> Vec<BenchRun> {
+/// Runs the whole corpus (or a filtered subset) once. Benchmarks in the
+/// same category share one checker cache, so structure shapes proved for
+/// one program warm up the next.
+pub fn run_corpus(config: &EvalConfig, filter: Option<&dyn Fn(&Bench) -> bool>) -> Vec<BenchRun> {
+    let mut caches: BTreeMap<Category, Arc<CheckCache>> = BTreeMap::new();
     all_benches()
         .iter()
         .filter(|b| filter.map(|f| f(b)).unwrap_or(true))
-        .map(|b| run_bench(b, config))
+        .map(|b| {
+            let cache = Arc::clone(
+                caches
+                    .entry(b.category)
+                    .or_insert_with(|| Arc::new(CheckCache::new())),
+            );
+            run_bench_cached(b, config, Some(cache))
+        })
         .collect()
 }
 
@@ -275,7 +336,7 @@ pub fn table1(runs: &[BenchRun]) -> Vec<Table1Row> {
             let mut pures = 0usize;
             for r in runs {
                 row.loc += r.bench.loc();
-                row.ilocs += r.outcome.declared_locations.len();
+                row.ilocs += r.report.declared_locations.len();
                 match r.coverage {
                     Coverage::All => row.a += 1,
                     Coverage::Some => row.s += 1,
@@ -284,11 +345,11 @@ pub fn table1(runs: &[BenchRun]) -> Vec<Table1Row> {
                         continue; // the paper excludes ∗ programs' numbers
                     }
                 }
-                row.traces += r.outcome.traces;
-                row.invs += r.outcome.invariant_count();
-                row.spurious += r.outcome.spurious_count();
-                row.time += r.outcome.seconds;
-                for rep in &r.outcome.reports {
+                row.traces += r.report.metrics.traces;
+                row.invs += r.report.invariant_count();
+                row.spurious += r.report.spurious_count();
+                row.time += r.report.metrics.seconds;
+                for rep in &r.report.locations {
                     for inv in &rep.invariants {
                         singles += inv.stats.singletons;
                         preds += inv.stats.preds;
@@ -328,7 +389,10 @@ pub fn table2(runs: &[BenchRun]) -> Vec<Table2Row> {
             }
         }
     }
-    Category::all().iter().filter_map(|c| by_cat.get(c).cloned()).collect()
+    Category::all()
+        .iter()
+        .filter_map(|c| by_cat.get(c).cloned())
+        .collect()
 }
 
 #[cfg(test)]
@@ -341,17 +405,32 @@ mod tests {
 
     #[test]
     fn reverse_end_to_end() {
-        let bench = all_benches().into_iter().find(|b| b.name == "sll/reverse").unwrap();
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "sll/reverse")
+            .unwrap();
         let run = run_bench(&bench, &quick_config());
-        assert_eq!(run.coverage, Coverage::All, "outcome: {:?}", run.outcome.reports.len());
-        assert_eq!(run.sling_found, vec![true, true], "spec + loop invariant found");
+        assert_eq!(
+            run.coverage,
+            Coverage::All,
+            "report: {:?}",
+            run.report.locations.len()
+        );
+        assert_eq!(
+            run.sling_found,
+            vec![true, true],
+            "spec + loop invariant found"
+        );
         // The baseline rejects the loop.
         assert_eq!(run.baseline_found, vec![false, false]);
     }
 
     #[test]
     fn recursive_append_found_by_both() {
-        let bench = all_benches().into_iter().find(|b| b.name == "sll/append").unwrap();
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "sll/append")
+            .unwrap();
         let run = run_bench(&bench, &quick_config());
         assert!(run.sling_found[0], "SLING finds the append spec");
         assert!(run.baseline_found[0], "the baseline finds the append spec");
@@ -359,7 +438,10 @@ mod tests {
 
     #[test]
     fn buggy_program_is_x() {
-        let bench = all_benches().into_iter().find(|b| b.name == "sorted/quickSort").unwrap();
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "sorted/quickSort")
+            .unwrap();
         let run = run_bench(&bench, &quick_config());
         assert_eq!(run.coverage, Coverage::None);
         assert!(run.sling_found.iter().all(|f| !f));
@@ -367,17 +449,41 @@ mod tests {
 
     #[test]
     fn freeing_program_yields_spurious() {
-        let bench = all_benches().into_iter().find(|b| b.name == "sll/delAll").unwrap();
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "sll/delAll")
+            .unwrap();
         let run = run_bench(&bench, &quick_config());
-        assert!(run.outcome.spurious_count() > 0, "free quirk must taint invariants");
+        assert!(
+            run.report.spurious_count() > 0,
+            "free quirk must taint invariants"
+        );
         assert_eq!(run.coverage, Coverage::Some);
     }
 
     #[test]
     fn dll_concat_reproduces_paper_example() {
-        let bench = all_benches().into_iter().find(|b| b.name == "dll/concat").unwrap();
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "dll/concat")
+            .unwrap();
         let run = run_bench(&bench, &quick_config());
         assert!(run.sling_found[0], "the §2 specification is found");
-        assert!(!run.baseline_found[0], "no unary DLL predicate: baseline fails");
+        assert!(
+            !run.baseline_found[0],
+            "no unary DLL predicate: baseline fails"
+        );
+    }
+
+    #[test]
+    fn category_runs_share_the_cache() {
+        let config = quick_config();
+        let runs = run_corpus(&config, Some(&|b: &Bench| b.category == Category::Sll));
+        assert!(runs.len() > 1);
+        let warm_hits: u64 = runs[1..].iter().map(|r| r.report.cache.hits).sum();
+        assert!(
+            warm_hits > 0,
+            "later SLL benchmarks must hit entailments cached by earlier ones"
+        );
     }
 }

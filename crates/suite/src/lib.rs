@@ -24,7 +24,7 @@
 //!     .find(|b| b.name == "sll/reverse")
 //!     .unwrap();
 //! let run = eval::run_bench(&bench, &eval::EvalConfig::default());
-//! assert!(run.outcome.invariant_count() > 0);
+//! assert!(run.report.invariant_count() > 0);
 //! ```
 
 #![warn(missing_docs)]

@@ -120,7 +120,7 @@ pub fn subsumes(inferred: &SymHeap, documented: &SymHeap) -> bool {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn match_spatial(
     doc_atoms: &[SpatialAtom],
     idx: usize,
@@ -142,8 +142,16 @@ fn match_spatial(
         let saved = binding.clone();
         if unify_atom(doc, inf, classes, doc_exists, binding) {
             used[i] = true;
-            if match_spatial(doc_atoms, idx + 1, inferred, classes, doc_exists, candidates, binding, used)
-            {
+            if match_spatial(
+                doc_atoms,
+                idx + 1,
+                inferred,
+                classes,
+                doc_exists,
+                candidates,
+                binding,
+                used,
+            ) {
                 return true;
             }
             used[i] = false;
@@ -259,13 +267,28 @@ fn unify_atom(
     match (doc, inf) {
         (
             SpatialAtom::Pred { name: dn, args: da },
-            SpatialAtom::Pred { name: in_, args: ia },
-        ) => dn == in_ && da.len() == ia.len() && {
-            da.iter().zip(ia).all(|(d, i)| unify_arg(d, i, classes, doc_exists, binding))
-        },
+            SpatialAtom::Pred {
+                name: in_,
+                args: ia,
+            },
+        ) => {
+            dn == in_ && da.len() == ia.len() && {
+                da.iter()
+                    .zip(ia)
+                    .all(|(d, i)| unify_arg(d, i, classes, doc_exists, binding))
+            }
+        }
         (
-            SpatialAtom::PointsTo { root: dr, ty: dt, fields: df },
-            SpatialAtom::PointsTo { root: ir, ty: it, fields: if_ },
+            SpatialAtom::PointsTo {
+                root: dr,
+                ty: dt,
+                fields: df,
+            },
+            SpatialAtom::PointsTo {
+                root: ir,
+                ty: it,
+                fields: if_,
+            },
         ) => {
             dt == it
                 && unify_arg(dr, ir, classes, doc_exists, binding)
@@ -374,7 +397,10 @@ mod tests {
     #[test]
     fn equality_closure_bridges_vars() {
         assert!(subsumes(&f("sll(y) & res == y"), &f("sll(res)")));
-        assert!(subsumes(&f("sll(y) & res == y & x == nil"), &f("sll(res) & x == nil")));
+        assert!(subsumes(
+            &f("sll(y) & res == y & x == nil"),
+            &f("sll(res) & x == nil")
+        ));
     }
 
     #[test]
@@ -408,7 +434,10 @@ mod tests {
     #[test]
     fn points_to_fields_match_by_name() {
         let inferred = f("p -> Cell{next: q, data: 42}");
-        assert!(subsumes(&inferred, &f("exists u. p -> Cell{next: u, data: 42}")));
+        assert!(subsumes(
+            &inferred,
+            &f("exists u. p -> Cell{next: u, data: 42}")
+        ));
         assert!(!subsumes(&inferred, &f("p -> Cell{next: nil, data: 42}")));
     }
 
@@ -424,7 +453,10 @@ mod tests {
         // lseg(x, y) * sll(y) composes to sll(x).
         assert!(subsumes(&f("lseg(x, y) * sll(y) & res == x"), &f("sll(x)")));
         // ... and reaches the documented atom through equalities.
-        assert!(subsumes(&f("lseg(x, y) * sll(y) & res == x"), &f("sll(res)")));
+        assert!(subsumes(
+            &f("lseg(x, y) * sll(y) & res == x"),
+            &f("sll(res)")
+        ));
         // A segment that stops short is not a whole list.
         assert!(!subsumes(&f("lseg(x, y)"), &f("sll(x)")));
     }
@@ -437,7 +469,10 @@ mod tests {
 
     #[test]
     fn emp_documented_matches_anything_with_pure() {
-        assert!(subsumes(&f("emp & x == nil & res == nil"), &f("emp & x == nil")));
+        assert!(subsumes(
+            &f("emp & x == nil & res == nil"),
+            &f("emp & x == nil")
+        ));
         assert!(!subsumes(&f("emp & res == nil"), &f("emp & x == nil")));
     }
 }

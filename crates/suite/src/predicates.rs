@@ -298,57 +298,123 @@ fn sym(s: &str) -> Symbol {
 
 /// `SNode { next, data }` layout.
 pub fn snode_layout() -> ListLayout {
-    ListLayout { ty: sym("SNode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("SNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `DNode { next, prev, data }` layout.
 pub fn dnode_layout() -> ListLayout {
-    ListLayout { ty: sym("DNode"), nfields: 3, next: 0, prev: Some(1), data: Some(2) }
+    ListLayout {
+        ty: sym("DNode"),
+        nfields: 3,
+        next: 0,
+        prev: Some(1),
+        data: Some(2),
+    }
 }
 
 /// `CNode { next, data }` layout.
 pub fn cnode_layout() -> ListLayout {
-    ListLayout { ty: sym("CNode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("CNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `GNode { next, prev, data }` layout (glib GList).
 pub fn gnode_layout() -> ListLayout {
-    ListLayout { ty: sym("GNode"), nfields: 3, next: 0, prev: Some(1), data: Some(2) }
+    ListLayout {
+        ty: sym("GNode"),
+        nfields: 3,
+        next: 0,
+        prev: Some(1),
+        data: Some(2),
+    }
 }
 
 /// `GsNode { next, data }` layout (glib GSList).
 pub fn gsnode_layout() -> ListLayout {
-    ListLayout { ty: sym("GsNode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("GsNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `QNode { next, data }` layout.
 pub fn qnode_layout() -> ListLayout {
-    ListLayout { ty: sym("QNode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("QNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `HNode { next, data }` layout (GRASShopper SLL/sorted).
 pub fn hnode_layout() -> ListLayout {
-    ListLayout { ty: sym("HNode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("HNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `HdNode { next, prev, data }` layout (GRASShopper DLL).
 pub fn hdnode_layout() -> ListLayout {
-    ListLayout { ty: sym("HdNode"), nfields: 3, next: 0, prev: Some(1), data: Some(2) }
+    ListLayout {
+        ty: sym("HdNode"),
+        nfields: 3,
+        next: 0,
+        prev: Some(1),
+        data: Some(2),
+    }
 }
 
 /// `ANode { next, data }` layout (AFWP).
 pub fn anode_layout() -> ListLayout {
-    ListLayout { ty: sym("ANode"), nfields: 2, next: 0, prev: None, data: Some(1) }
+    ListLayout {
+        ty: sym("ANode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
 }
 
 /// `AdNode { next, prev }` layout (AFWP DLL).
 pub fn adnode_layout() -> ListLayout {
-    ListLayout { ty: sym("AdNode"), nfields: 2, next: 0, prev: Some(1), data: None }
+    ListLayout {
+        ty: sym("AdNode"),
+        nfields: 2,
+        next: 0,
+        prev: Some(1),
+        data: None,
+    }
 }
 
 /// `MRegion { next, prev, start, size }` layout.
 pub fn mregion_layout() -> ListLayout {
-    ListLayout { ty: sym("MRegion"), nfields: 4, next: 0, prev: Some(1), data: Some(2) }
+    ListLayout {
+        ty: sym("MRegion"),
+        nfields: 4,
+        next: 0,
+        prev: Some(1),
+        data: Some(2),
+    }
 }
 
 /// `TNode { left, right, data }` layout.

@@ -158,7 +158,12 @@ impl ArgCand {
     fn build(&self, heap: &mut RtHeap, rng: &mut StdRng) -> Val {
         match self {
             ArgCand::Nil => Val::Nil,
-            ArgCand::List { layout, order, size, circular } => {
+            ArgCand::List {
+                layout,
+                order,
+                size,
+                circular,
+            } => {
                 if *circular {
                     gen_circular_list(heap, layout, *size, *order, rng)
                 } else {
@@ -347,7 +352,13 @@ mod tests {
     use sling_logic::Symbol;
 
     fn layout() -> ListLayout {
-        ListLayout { ty: Symbol::intern("SNode"), nfields: 1, next: 0, prev: None, data: None }
+        ListLayout {
+            ty: Symbol::intern("SNode"),
+            nfields: 1,
+            next: 0,
+            prev: None,
+            data: None,
+        }
     }
 
     #[test]
@@ -358,7 +369,15 @@ mod tests {
             "struct SNode { next: SNode*; } fn id(x: SNode*) -> SNode* { return x; }",
             "id",
             vec![
-                vec![ArgCand::Nil, ArgCand::List { layout: layout(), order: DataOrder::Random, size: 3, circular: false }],
+                vec![
+                    ArgCand::Nil,
+                    ArgCand::List {
+                        layout: layout(),
+                        order: DataOrder::Random,
+                        size: 3,
+                        circular: false,
+                    },
+                ],
                 vec![ArgCand::Int(1), ArgCand::Int(2), ArgCand::Int(3)],
             ],
         );

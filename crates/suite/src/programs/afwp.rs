@@ -10,14 +10,22 @@ use crate::predicates::{adnode_layout, anode_layout};
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn alist(size: usize) -> ArgCand {
-    ArgCand::List { layout: anode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: anode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 /// A singly linked chain of `AdNode`s whose `prev` pointers are all nil —
 /// the broken input `dll_fix` repairs.
 fn adlist_broken(size: usize) -> ArgCand {
     ArgCand::List {
-        layout: sling_lang::ListLayout { prev: None, ..adnode_layout() },
+        layout: sling_lang::ListLayout {
+            prev: None,
+            ..adnode_layout()
+        },
         order: DataOrder::Random,
         size,
         circular: false,
@@ -246,61 +254,128 @@ pub fn sll_benches() -> Vec<Bench> {
     let one = || vec![nil_or(alist)];
     let with_key = || vec![nil_or(alist), int_keys()];
     vec![
-        Bench::new("afwp_sll/create", Category::AfwpSll, CREATE, "create",
-            vec![vec![ArgCand::Int(0), ArgCand::Int(5), ArgCand::Int(10)]])
-            .spec("emp", &[(0, "asll(res)")])
-            .loop_inv("inv", "asll(x)"),
-        Bench::new("afwp_sll/delAll", Category::AfwpSll, DEL_ALL, "delAll", one())
-            .spec("asll(x)", &[(0, "emp")])
-            .frees(),
+        Bench::new(
+            "afwp_sll/create",
+            Category::AfwpSll,
+            CREATE,
+            "create",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(5), ArgCand::Int(10)]],
+        )
+        .spec("emp", &[(0, "asll(res)")])
+        .loop_inv("inv", "asll(x)"),
+        Bench::new(
+            "afwp_sll/delAll",
+            Category::AfwpSll,
+            DEL_ALL,
+            "delAll",
+            one(),
+        )
+        .spec("asll(x)", &[(0, "emp")])
+        .frees(),
         Bench::new("afwp_sll/find", Category::AfwpSll, FIND, "find", with_key())
             .spec("asll(x)", &[(0, "asll(x) & res == x")])
             .loop_inv("scan", "asll(x)"),
         Bench::new("afwp_sll/last", Category::AfwpSll, LAST, "last", one())
-            .spec("asll(x)",
-                &[(0, "emp & x == nil & res == nil"),
-                  (1, "exists d. x -> ANode{next: nil, data: d} & res == x")])
+            .spec(
+                "asll(x)",
+                &[
+                    (0, "emp & x == nil & res == nil"),
+                    (1, "exists d. x -> ANode{next: nil, data: d} & res == x"),
+                ],
+            )
             .loop_inv("walk", "asll(x)"),
-        Bench::new("afwp_sll/reverse", Category::AfwpSll, REVERSE, "reverse", one())
-            .spec("asll(x)", &[(0, "asll(res) & x == nil")])
-            .loop_inv("inv", "asll(x) * asll(r)"),
-        Bench::new("afwp_sll/rotate", Category::AfwpSll, ROTATE, "rotate", one())
-            .spec("asll(x)", &[(2, "asll(res)")])
-            .loop_inv("walk", "asll(x)"),
+        Bench::new(
+            "afwp_sll/reverse",
+            Category::AfwpSll,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("asll(x)", &[(0, "asll(res) & x == nil")])
+        .loop_inv("inv", "asll(x) * asll(r)"),
+        Bench::new(
+            "afwp_sll/rotate",
+            Category::AfwpSll,
+            ROTATE,
+            "rotate",
+            one(),
+        )
+        .spec("asll(x)", &[(2, "asll(res)")])
+        .loop_inv("walk", "asll(x)"),
         Bench::new("afwp_sll/swap", Category::AfwpSll, SWAP, "swap", one())
             .spec("asll(x)", &[(2, "asll(res)")]),
-        Bench::new("afwp_sll/insert", Category::AfwpSll, INSERT, "insert", with_key())
-            .spec("asll(x)", &[(1, "asll(x) & res == x")])
-            .loop_inv("scan", "asll(x)"),
+        Bench::new(
+            "afwp_sll/insert",
+            Category::AfwpSll,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec("asll(x)", &[(1, "asll(x) & res == x")])
+        .loop_inv("scan", "asll(x)"),
         Bench::new("afwp_sll/del", Category::AfwpSll, DEL, "del", with_key())
             .spec("asll(x)", &[(0, "emp & x == nil & res == nil")])
             .frees()
             .hard_to_reach(),
-        Bench::new("afwp_sll/filter", Category::AfwpSll, FILTER, "filter", with_key())
-            .spec("asll(x)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("afwp_sll/merge", Category::AfwpSll, MERGE, "merge",
-            vec![nil_or(alist), nil_or(alist)])
-            .spec("asll(a) * asll(b)",
-                &[(0, "asll(b) & a == nil & res == b"), (1, "asll(a) & b == nil & res == a")]),
+        Bench::new(
+            "afwp_sll/filter",
+            Category::AfwpSll,
+            FILTER,
+            "filter",
+            with_key(),
+        )
+        .spec("asll(x)", &[(0, "emp & x == nil & res == nil")])
+        .frees(),
+        Bench::new(
+            "afwp_sll/merge",
+            Category::AfwpSll,
+            MERGE,
+            "merge",
+            vec![nil_or(alist), nil_or(alist)],
+        )
+        .spec(
+            "asll(a) * asll(b)",
+            &[
+                (0, "asll(b) & a == nil & res == b"),
+                (1, "asll(a) & b == nil & res == a"),
+            ],
+        ),
     ]
 }
 
 /// The two AFWP_DLL benchmarks.
 pub fn dll_benches() -> Vec<Bench> {
     vec![
-        Bench::new("afwp_dll/dll_fix", Category::AfwpDll, DLL_FIX_BUG, "dll_fix",
-            vec![nil_or(adlist_broken)])
-            // The *expected* invariant (with the guard restored); the
-            // buggy binary can only produce `k == nil`, so Table 2 counts
-            // this as found-by-neither.
-            .loop_inv("inv", "exists u1, u2, u3, u4. adsll(i) * adll(j, u1, k, u2) * adll(k, u3, u4, nil)")
-            .spec("adsll(h)", &[(0, "emp & h == nil")]),
-        Bench::new("afwp_dll/dll_splice", Category::AfwpDll, DLL_SPLICE, "dll_splice",
-            vec![nil_or(adlist_broken), nil_or(adlist_broken)])
-            .spec("adsll(a) * adsll(b)",
-                &[(0, "adsll(b) & a == nil & res == b"), (1, "adsll(a) & res == a")])
-            .loop_inv("walk", "adsll(a) * adsll(b)"),
+        Bench::new(
+            "afwp_dll/dll_fix",
+            Category::AfwpDll,
+            DLL_FIX_BUG,
+            "dll_fix",
+            vec![nil_or(adlist_broken)],
+        )
+        // The *expected* invariant (with the guard restored); the
+        // buggy binary can only produce `k == nil`, so Table 2 counts
+        // this as found-by-neither.
+        .loop_inv(
+            "inv",
+            "exists u1, u2, u3, u4. adsll(i) * adll(j, u1, k, u2) * adll(k, u3, u4, nil)",
+        )
+        .spec("adsll(h)", &[(0, "emp & h == nil")]),
+        Bench::new(
+            "afwp_dll/dll_splice",
+            Category::AfwpDll,
+            DLL_SPLICE,
+            "dll_splice",
+            vec![nil_or(adlist_broken), nil_or(adlist_broken)],
+        )
+        .spec(
+            "adsll(a) * adsll(b)",
+            &[
+                (0, "adsll(b) & a == nil & res == b"),
+                (1, "adsll(a) & res == a"),
+            ],
+        )
+        .loop_inv("walk", "adsll(a) * adsll(b)"),
     ]
 }
 
@@ -312,8 +387,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in sll_benches().into_iter().chain(dll_benches()) {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

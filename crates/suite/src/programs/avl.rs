@@ -8,7 +8,11 @@ use crate::predicates::tnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn avl(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: tnode_layout(), kind: TreeKind::Balanced, size }
+    ArgCand::Tree {
+        layout: tnode_layout(),
+        kind: TreeKind::Balanced,
+        size,
+    }
 }
 
 const AVL_BALANCE: &str = r#"
@@ -116,25 +120,57 @@ fn insert(t: TNode*, k: int) -> TNode* {
 /// The four AVL benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("avl/avlBalance", Category::AvlTree, AVL_BALANCE, "avlBalance",
-            vec![nil_or(avl)])
-            .spec("tree(t)", &[(2, "tree(res)")]),
-        Bench::new("avl/del", Category::AvlTree, DEL, "del", vec![nil_or(avl), int_keys()])
-            .spec("exists lo, hi. bst(t, lo, hi)", &[(1, "tree(t) & res == t")]),
-        Bench::new("avl/findSmallest", Category::AvlTree, FIND_SMALLEST, "findSmallest",
-            vec![nil_or(avl)])
-            .spec(
-                "tree(t)",
-                &[(0, "emp & t == nil & res == nil"), (1, "tree(t) & res == t")],
-            )
-            .loop_inv("down", "tree(t)"),
-        Bench::new("avl/insert", Category::AvlTree, INSERT, "insert",
-            vec![nil_or(avl), int_keys()])
-            .spec(
-                "exists lo, hi. bst(t, lo, hi)",
-                &[(0, "exists d. res -> TNode{left: nil, right: nil, data: d} & t == nil"),
-                  (1, "tree(t) & res == t")],
-            ),
+        Bench::new(
+            "avl/avlBalance",
+            Category::AvlTree,
+            AVL_BALANCE,
+            "avlBalance",
+            vec![nil_or(avl)],
+        )
+        .spec("tree(t)", &[(2, "tree(res)")]),
+        Bench::new(
+            "avl/del",
+            Category::AvlTree,
+            DEL,
+            "del",
+            vec![nil_or(avl), int_keys()],
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[(1, "tree(t) & res == t")],
+        ),
+        Bench::new(
+            "avl/findSmallest",
+            Category::AvlTree,
+            FIND_SMALLEST,
+            "findSmallest",
+            vec![nil_or(avl)],
+        )
+        .spec(
+            "tree(t)",
+            &[
+                (0, "emp & t == nil & res == nil"),
+                (1, "tree(t) & res == t"),
+            ],
+        )
+        .loop_inv("down", "tree(t)"),
+        Bench::new(
+            "avl/insert",
+            Category::AvlTree,
+            INSERT,
+            "insert",
+            vec![nil_or(avl), int_keys()],
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[
+                (
+                    0,
+                    "exists d. res -> TNode{left: nil, right: nil, data: d} & t == nil",
+                ),
+                (1, "tree(t) & res == t"),
+            ],
+        ),
     ]
 }
 
@@ -146,8 +182,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

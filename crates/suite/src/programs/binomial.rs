@@ -12,7 +12,7 @@ use crate::program::{ArgCand, Bench, Category};
 /// Builds a binomial tree of the given order rooted at `key_floor`.
 fn gen_btree(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng, order: u32, key_floor: i64) -> Val {
     let b = Symbol::intern("BNode");
-    let key = key_floor + rng.gen_range(0..5);
+    let key = key_floor + rng.gen_range(0i64..5);
     // Children of order k tree: trees of orders k-1 .. 0, sibling-linked.
     let mut child = Val::Nil;
     for o in 0..order {
@@ -22,7 +22,10 @@ fn gen_btree(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng, order: u32, key_fl
             child = c;
         }
     }
-    Val::Addr(heap.alloc(b, vec![child, Val::Nil, Val::Int(order as i64), Val::Int(key)]))
+    Val::Addr(heap.alloc(
+        b,
+        vec![child, Val::Nil, Val::Int(order as i64), Val::Int(key)],
+    ))
 }
 
 /// A root list of binomial trees of increasing order.
@@ -81,21 +84,33 @@ fn merge(a: BNode*, b: BNode*) -> BNode* {
 /// The two binomial-heap benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("binomial/findMin", Category::BinomialHeap, FIND_MIN, "findMin",
-            vec![heap_inputs()])
-            .spec(
-                "bheap(h)",
-                &[(0, "emp & h == nil & res == nil"), (1, "bheap(h)")],
-            )
-            .loop_inv("scan", "bheap(h)"),
-        Bench::new("binomial/merge", Category::BinomialHeap, MERGE, "merge",
-            vec![heap_inputs(), heap_inputs()])
-            .spec(
-                "bheap(a) * bheap(b)",
-                &[(0, "bheap(b) & a == nil & res == b"),
-                  (1, "bheap(a) & b == nil & res == a"),
-                  (2, "bheap(a) & res == a")],
-            ),
+        Bench::new(
+            "binomial/findMin",
+            Category::BinomialHeap,
+            FIND_MIN,
+            "findMin",
+            vec![heap_inputs()],
+        )
+        .spec(
+            "bheap(h)",
+            &[(0, "emp & h == nil & res == nil"), (1, "bheap(h)")],
+        )
+        .loop_inv("scan", "bheap(h)"),
+        Bench::new(
+            "binomial/merge",
+            Category::BinomialHeap,
+            MERGE,
+            "merge",
+            vec![heap_inputs(), heap_inputs()],
+        )
+        .spec(
+            "bheap(a) * bheap(b)",
+            &[
+                (0, "bheap(b) & a == nil & res == b"),
+                (1, "bheap(a) & b == nil & res == a"),
+                (2, "bheap(a) & res == a"),
+            ],
+        ),
     ]
 }
 
@@ -107,8 +122,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -7,7 +7,11 @@ use crate::predicates::tnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
 
 fn bst(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: tnode_layout(), kind: TreeKind::Bst, size }
+    ArgCand::Tree {
+        layout: tnode_layout(),
+        kind: TreeKind::Bst,
+        size,
+    }
 }
 
 const DEL: &str = r#"
@@ -110,26 +114,69 @@ fn rmRoot(t: TNode*) -> TNode* {
 pub fn benches() -> Vec<Bench> {
     let with_key = || vec![nil_or(bst), int_keys()];
     vec![
-        Bench::new("bst/del", Category::BinarySearchTree, DEL, "del", with_key())
-            .spec("exists lo, hi. bst(t, lo, hi)", &[(1, "tree(t) & res == t")]),
-        Bench::new("bst/findIter", Category::BinarySearchTree, FIND_ITER, "findIter", with_key())
-            .spec("exists lo, hi. bst(t, lo, hi)", &[(0, "tree(t) & res == t")])
-            .loop_inv("walk", "tree(t)"),
-        Bench::new("bst/find", Category::BinarySearchTree, FIND, "find", with_key())
-            .spec(
-                "exists lo, hi. bst(t, lo, hi)",
-                &[(0, "emp & t == nil & res == nil"), (1, "tree(t) & res == t")],
-            ),
-        Bench::new("bst/insert", Category::BinarySearchTree, INSERT, "insert", with_key())
-            .spec(
-                "exists lo, hi. bst(t, lo, hi)",
-                &[(0, "exists d. res -> TNode{left: nil, right: nil, data: d} & t == nil"),
-                  (1, "tree(t) & res == t")],
-            ),
-        Bench::new("bst/rmRoot", Category::BinarySearchTree, RM_ROOT_BUG, "rmRoot",
-            vec![nil_or(bst)])
-            .spec("exists lo, hi. bst(t, lo, hi)", &[(0, "tree(res)")])
-            .bug(BugKind::Segfault),
+        Bench::new(
+            "bst/del",
+            Category::BinarySearchTree,
+            DEL,
+            "del",
+            with_key(),
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[(1, "tree(t) & res == t")],
+        ),
+        Bench::new(
+            "bst/findIter",
+            Category::BinarySearchTree,
+            FIND_ITER,
+            "findIter",
+            with_key(),
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[(0, "tree(t) & res == t")],
+        )
+        .loop_inv("walk", "tree(t)"),
+        Bench::new(
+            "bst/find",
+            Category::BinarySearchTree,
+            FIND,
+            "find",
+            with_key(),
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[
+                (0, "emp & t == nil & res == nil"),
+                (1, "tree(t) & res == t"),
+            ],
+        ),
+        Bench::new(
+            "bst/insert",
+            Category::BinarySearchTree,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec(
+            "exists lo, hi. bst(t, lo, hi)",
+            &[
+                (
+                    0,
+                    "exists d. res -> TNode{left: nil, right: nil, data: d} & t == nil",
+                ),
+                (1, "tree(t) & res == t"),
+            ],
+        ),
+        Bench::new(
+            "bst/rmRoot",
+            Category::BinarySearchTree,
+            RM_ROOT_BUG,
+            "rmRoot",
+            vec![nil_or(bst)],
+        )
+        .spec("exists lo, hi. bst(t, lo, hi)", &[(0, "tree(res)")])
+        .bug(BugKind::Segfault),
     ]
 }
 
@@ -141,8 +188,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -8,7 +8,12 @@ use crate::predicates::cnode_layout;
 use crate::program::{int_keys, ArgCand, Bench, Category};
 
 fn circ(size: usize) -> ArgCand {
-    ArgCand::List { layout: cnode_layout(), order: DataOrder::Random, size, circular: true }
+    ArgCand::List {
+        layout: cnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: true,
+    }
 }
 
 fn circ_inputs() -> Vec<ArgCand> {
@@ -96,30 +101,68 @@ fn delBack(x: CNode*) -> CNode* {
 /// The four circular-list benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("circular/insertFront", Category::CircularList, INSERT_FRONT, "insertFront",
-            vec![{
-                let mut v = vec![ArgCand::Nil];
-                v.extend(circ_inputs());
-                v
-            }, int_keys()])
-            .spec("cll(x)", &[(1, "exists u, d. x -> CNode{next: u, data: d} * clseg(u, x) & res == x")]),
-        Bench::new("circular/insertBack", Category::CircularList, INSERT_BACK, "insertBack",
-            vec![{
-                let mut v = vec![ArgCand::Nil];
-                v.extend(circ_inputs());
-                v
-            }, int_keys()])
-            .spec("cll(x)", &[(1, "exists t, u, d. clseg(x, t) * t -> CNode{next: u, data: d} \
-                 * clseg(u, x) & res == x")])
-            .loop_inv("walk", "clseg(x, t) * clseg(t, x)"),
-        Bench::new("circular/delFront", Category::CircularList, DEL_FRONT, "delFront",
-            vec![circ_inputs()])
-            .spec("cll(x)", &[(2, "cll(res)")])
-            .frees(),
-        Bench::new("circular/delBack", Category::CircularList, DEL_BACK, "delBack",
-            vec![circ_inputs()])
-            .spec("cll(x)", &[(2, "cll(x) & res == x")])
-            .frees(),
+        Bench::new(
+            "circular/insertFront",
+            Category::CircularList,
+            INSERT_FRONT,
+            "insertFront",
+            vec![
+                {
+                    let mut v = vec![ArgCand::Nil];
+                    v.extend(circ_inputs());
+                    v
+                },
+                int_keys(),
+            ],
+        )
+        .spec(
+            "cll(x)",
+            &[(
+                1,
+                "exists u, d. x -> CNode{next: u, data: d} * clseg(u, x) & res == x",
+            )],
+        ),
+        Bench::new(
+            "circular/insertBack",
+            Category::CircularList,
+            INSERT_BACK,
+            "insertBack",
+            vec![
+                {
+                    let mut v = vec![ArgCand::Nil];
+                    v.extend(circ_inputs());
+                    v
+                },
+                int_keys(),
+            ],
+        )
+        .spec(
+            "cll(x)",
+            &[(
+                1,
+                "exists t, u, d. clseg(x, t) * t -> CNode{next: u, data: d} \
+                 * clseg(u, x) & res == x",
+            )],
+        )
+        .loop_inv("walk", "clseg(x, t) * clseg(t, x)"),
+        Bench::new(
+            "circular/delFront",
+            Category::CircularList,
+            DEL_FRONT,
+            "delFront",
+            vec![circ_inputs()],
+        )
+        .spec("cll(x)", &[(2, "cll(res)")])
+        .frees(),
+        Bench::new(
+            "circular/delBack",
+            Category::CircularList,
+            DEL_BACK,
+            "delBack",
+            vec![circ_inputs()],
+        )
+        .spec("cll(x)", &[(2, "cll(x) & res == x")])
+        .frees(),
     ]
 }
 
@@ -131,8 +174,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

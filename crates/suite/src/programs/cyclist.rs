@@ -13,11 +13,19 @@ use crate::program::{nil_or, ArgCand, Bench, Category};
 use rand::Rng;
 
 fn swtree(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: swnode_layout(), kind: TreeKind::Random, size }
+    ArgCand::Tree {
+        layout: swnode_layout(),
+        kind: TreeKind::Random,
+        size,
+    }
 }
 
 fn comptree(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: compnode_layout(), kind: TreeKind::Random, size }
+    ArgCand::Tree {
+        layout: compnode_layout(),
+        kind: TreeKind::Random,
+        size,
+    }
 }
 
 /// A frame stack of the given depth.
@@ -143,22 +151,44 @@ fn schorrWaite(root: SwNode*) {
 /// The four Cyclist benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("cyclist/aplas-stack", Category::Cyclist, APLAS_STACK, "aplasStack",
-            vec![vec![ArgCand::Nil, ArgCand::Custom(gen_frames)],
-                 vec![ArgCand::Int(1), ArgCand::Int(9)]])
-            .spec("frames(s)", &[(0, "frames(res)")])
-            .frees(),
-        Bench::new("cyclist/composite4", Category::Cyclist, COMPOSITE4, "composite4",
-            vec![nil_or(comptree), vec![ArgCand::Int(3)]])
-            .spec("exists p. comp(t, p)", &[(0, "exists p. comp(res, p)")]),
-        Bench::new("cyclist/iter", Category::Cyclist, ITER, "iterSum",
-            vec![vec![ArgCand::Nil, ArgCand::Custom(gen_items)]])
-            .spec("items(c)", &[(0, "items(c)")])
-            .loop_inv("inv", "items(cursor)"),
-        Bench::new("cyclist/schorr-waite", Category::Cyclist, SCHORR_WAITE, "schorrWaite",
-            vec![nil_or(swtree)])
-            .spec("swtree(root)", &[(0, "swtree(root)")])
-            .hard_to_reach(),
+        Bench::new(
+            "cyclist/aplas-stack",
+            Category::Cyclist,
+            APLAS_STACK,
+            "aplasStack",
+            vec![
+                vec![ArgCand::Nil, ArgCand::Custom(gen_frames)],
+                vec![ArgCand::Int(1), ArgCand::Int(9)],
+            ],
+        )
+        .spec("frames(s)", &[(0, "frames(res)")])
+        .frees(),
+        Bench::new(
+            "cyclist/composite4",
+            Category::Cyclist,
+            COMPOSITE4,
+            "composite4",
+            vec![nil_or(comptree), vec![ArgCand::Int(3)]],
+        )
+        .spec("exists p. comp(t, p)", &[(0, "exists p. comp(res, p)")]),
+        Bench::new(
+            "cyclist/iter",
+            Category::Cyclist,
+            ITER,
+            "iterSum",
+            vec![vec![ArgCand::Nil, ArgCand::Custom(gen_items)]],
+        )
+        .spec("items(c)", &[(0, "items(c)")])
+        .loop_inv("inv", "items(cursor)"),
+        Bench::new(
+            "cyclist/schorr-waite",
+            Category::Cyclist,
+            SCHORR_WAITE,
+            "schorrWaite",
+            vec![nil_or(swtree)],
+        )
+        .spec("swtree(root)", &[(0, "swtree(root)")])
+        .hard_to_reach(),
     ]
 }
 
@@ -170,8 +200,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }
@@ -183,14 +213,21 @@ mod tests {
 
     #[test]
     fn schorr_waite_terminates_and_marks() {
-        use sling_lang::{Vm, VmConfig};
         use rand::SeedableRng;
+        use sling_lang::{Vm, VmConfig};
         let p = parse_program(SCHORR_WAITE).unwrap();
         check_program(&p).unwrap();
         let mut vm = Vm::new(&p, VmConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let root = sling_lang::gen_tree(&mut vm.heap, &swnode_layout(), 7, TreeKind::Random, &mut rng);
-        vm.call(Symbol::intern("schorrWaite"), &[root]).expect("marks without fault");
+        let root = sling_lang::gen_tree(
+            &mut vm.heap,
+            &swnode_layout(),
+            7,
+            TreeKind::Random,
+            &mut rng,
+        );
+        vm.call(Symbol::intern("schorrWaite"), &[root])
+            .expect("marks without fault");
         // Every node fully processed (mark == 3) and structure restored.
         let Val::Addr(r) = root else { panic!() };
         fn check(heap: &sling_lang::RtHeap, l: sling_models::Loc) {

@@ -7,7 +7,12 @@ use crate::predicates::dnode_layout;
 use crate::program::{int_keys, nil_or, nonnil, ArgCand, Bench, Category};
 
 fn dll(size: usize) -> ArgCand {
-    ArgCand::List { layout: dnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: dnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 /// The paper's Figure 1 (with a data payload, as in VCDryad).
@@ -214,71 +219,153 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(dll)];
     let with_key = || vec![nil_or(dll), int_keys()];
     vec![
-        Bench::new("dll/concat", Category::Dll, CONCAT, "concat", vec![nil_or(dll), nil_or(dll)])
-            // The paper's §2 spec, with the postcondition in the
-            // three-segment form SLING itself derives (F'_L3; the paper
-            // notes it is *stronger* than the two-segment textbook post).
-            .spec(
-                "exists p, u, v. dll(x, p, u, nil) * dll(y, nil, v, nil)",
-                &[
-                    (0, "exists v. dll(y, nil, v, nil) & x == nil & res == y"),
-                    (1, "exists p, u, t, q, w, z, v. dll(x, p, u, t) * dll(t, q, w, y) \
-                         * dll(y, z, v, nil) & res == x"),
-                ],
-            ),
-        Bench::new("dll/append", Category::Dll, APPEND, "append", with_key())
-            .spec(
-                "exists p, u. dll(x, p, u, nil)",
-                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
-                  (1, "exists p, u. dll(x, p, u, nil) & res == x")],
-            ),
-        Bench::new("dll/meld", Category::Dll, MELD, "meld", vec![nil_or(dll), nil_or(dll)])
-            .spec(
-                "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)",
-                &[(0, "exists q, v. dll(y, q, v, nil) & x == nil & res == y"),
-                  (1, "exists p, u. dll(x, p, u, nil) & y == nil & res == x"),
-                  (2, "exists u, v. dll(x, nil, u, y) * dll(y, u, v, nil) & res == x")],
-            )
-            .loop_inv("tail", "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)"),
+        Bench::new(
+            "dll/concat",
+            Category::Dll,
+            CONCAT,
+            "concat",
+            vec![nil_or(dll), nil_or(dll)],
+        )
+        // The paper's §2 spec, with the postcondition in the
+        // three-segment form SLING itself derives (F'_L3; the paper
+        // notes it is *stronger* than the two-segment textbook post).
+        .spec(
+            "exists p, u, v. dll(x, p, u, nil) * dll(y, nil, v, nil)",
+            &[
+                (0, "exists v. dll(y, nil, v, nil) & x == nil & res == y"),
+                (
+                    1,
+                    "exists p, u, t, q, w, z, v. dll(x, p, u, t) * dll(t, q, w, y) \
+                         * dll(y, z, v, nil) & res == x",
+                ),
+            ],
+        ),
+        Bench::new("dll/append", Category::Dll, APPEND, "append", with_key()).spec(
+            "exists p, u. dll(x, p, u, nil)",
+            &[
+                (
+                    0,
+                    "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil",
+                ),
+                (1, "exists p, u. dll(x, p, u, nil) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "dll/meld",
+            Category::Dll,
+            MELD,
+            "meld",
+            vec![nil_or(dll), nil_or(dll)],
+        )
+        .spec(
+            "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)",
+            &[
+                (0, "exists q, v. dll(y, q, v, nil) & x == nil & res == y"),
+                (1, "exists p, u. dll(x, p, u, nil) & y == nil & res == x"),
+                (
+                    2,
+                    "exists u, v. dll(x, nil, u, y) * dll(y, u, v, nil) & res == x",
+                ),
+            ],
+        )
+        .loop_inv(
+            "tail",
+            "exists p, u, q, v. dll(x, p, u, nil) * dll(y, q, v, nil)",
+        ),
         Bench::new("dll/delAll", Category::Dll, DEL_ALL, "delAll", one())
             .spec("exists p, u. dll(x, p, u, nil)", &[(0, "emp")])
             .frees(),
-        Bench::new("dll/insertBack", Category::Dll, INSERT_BACK, "insertBack", with_key())
-            .spec(
-                "exists p, u. dll(x, p, u, nil)",
-                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
-                  (1, "exists p, u. dll(x, p, u, nil) & res == x")],
-            ),
-        Bench::new("dll/insertFront", Category::Dll, INSERT_FRONT, "insertFront", with_key())
-            .spec(
-                "exists p, u. dll(x, p, u, nil)",
-                &[(0, "exists u. dll(res, nil, u, nil)")],
-            ),
-        Bench::new("dll/midInsert", Category::Dll, MID_INSERT, "midInsert", with_key())
-            .spec(
-                "exists p, u. dll(x, p, u, nil)",
-                &[(0, "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil"),
-                  (1, "exists u. dll(x, nil, u, nil) & res == x")],
-            ),
-        Bench::new("dll/midDel", Category::Dll, MID_DEL, "midDel", vec![nonnil(dll)])
-            .spec(
-                "exists p, u. dll(x, p, u, nil)",
-                &[(1, "exists d. x -> DNode{next: nil, prev: nil, data: d} & res == x")],
-            )
-            .frees(),
-        Bench::new("dll/midDelError", Category::Dll, MID_DEL_ERROR, "midDelError", vec![nonnil(dll)])
-            .frees(),
+        Bench::new(
+            "dll/insertBack",
+            Category::Dll,
+            INSERT_BACK,
+            "insertBack",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. dll(x, p, u, nil)",
+            &[
+                (
+                    0,
+                    "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil",
+                ),
+                (1, "exists p, u. dll(x, p, u, nil) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "dll/insertFront",
+            Category::Dll,
+            INSERT_FRONT,
+            "insertFront",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. dll(x, p, u, nil)",
+            &[(0, "exists u. dll(res, nil, u, nil)")],
+        ),
+        Bench::new(
+            "dll/midInsert",
+            Category::Dll,
+            MID_INSERT,
+            "midInsert",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. dll(x, p, u, nil)",
+            &[
+                (
+                    0,
+                    "exists d. res -> DNode{next: nil, prev: nil, data: d} & x == nil",
+                ),
+                (1, "exists u. dll(x, nil, u, nil) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "dll/midDel",
+            Category::Dll,
+            MID_DEL,
+            "midDel",
+            vec![nonnil(dll)],
+        )
+        .spec(
+            "exists p, u. dll(x, p, u, nil)",
+            &[(
+                1,
+                "exists d. x -> DNode{next: nil, prev: nil, data: d} & res == x",
+            )],
+        )
+        .frees(),
+        Bench::new(
+            "dll/midDelError",
+            Category::Dll,
+            MID_DEL_ERROR,
+            "midDelError",
+            vec![nonnil(dll)],
+        )
+        .frees(),
         Bench::new("dll/midDelHd", Category::Dll, MID_DEL_HD, "midDelHd", one())
             .spec(
                 "exists p, u. dll(x, p, u, nil)",
                 &[(0, "emp & x == nil & res == nil")],
             )
             .frees(),
-        Bench::new("dll/midDelStar", Category::Dll, MID_DEL_STAR, "midDelStar", one())
-            .spec("exists p, u. dll(x, p, u, nil)", &[(1, "emp")])
-            .frees(),
-        Bench::new("dll/midDelMid", Category::Dll, MID_DEL_MID, "midDelMid", with_key())
-            .frees(),
+        Bench::new(
+            "dll/midDelStar",
+            Category::Dll,
+            MID_DEL_STAR,
+            "midDelStar",
+            one(),
+        )
+        .spec("exists p, u. dll(x, p, u, nil)", &[(1, "emp")])
+        .frees(),
+        Bench::new(
+            "dll/midDelMid",
+            Category::Dll,
+            MID_DEL_MID,
+            "midDelMid",
+            with_key(),
+        )
+        .frees(),
     ]
 }
 
@@ -290,8 +377,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

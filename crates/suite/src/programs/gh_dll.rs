@@ -8,7 +8,12 @@ use crate::predicates::hdnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn hdlist(size: usize) -> ArgCand {
-    ArgCand::List { layout: hdnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: hdnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const CONCAT: &str = r#"
@@ -159,43 +164,94 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(hdlist)];
     let with_key = || vec![nil_or(hdlist), int_keys()];
     vec![
-        Bench::new("gh_dll/concat", Category::GrasshopperDll, CONCAT, "concat",
-            vec![nil_or(hdlist), nil_or(hdlist)])
-            .spec(
-                "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)",
-                &[(0, "exists q, v. hdll(b, q, v, nil) & a == nil & res == b"),
-                  (1, "exists p, u. hdll(a, p, u, nil) & res == a")],
-            )
-            .loop_inv("walk", "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)"),
+        Bench::new(
+            "gh_dll/concat",
+            Category::GrasshopperDll,
+            CONCAT,
+            "concat",
+            vec![nil_or(hdlist), nil_or(hdlist)],
+        )
+        .spec(
+            "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)",
+            &[
+                (0, "exists q, v. hdll(b, q, v, nil) & a == nil & res == b"),
+                (1, "exists p, u. hdll(a, p, u, nil) & res == a"),
+            ],
+        )
+        .loop_inv(
+            "walk",
+            "exists p, u, q, v. hdll(a, p, u, nil) * hdll(b, q, v, nil)",
+        ),
         Bench::new("gh_dll/copy", Category::GrasshopperDll, COPY, "copy", one())
             .spec(
                 "exists p, u. hdll(x, p, u, nil)",
                 &[(0, "exists u. hdll(res, nil, u, nil) & x == nil")],
             )
             .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
-        Bench::new("gh_dll/dispose", Category::GrasshopperDll, DISPOSE, "dispose", one())
-            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp")])
-            .frees(),
-        Bench::new("gh_dll/filter", Category::GrasshopperDll, FILTER, "filter", with_key())
-            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "exists u. hdll(res, nil, u, nil)")])
-            .frees()
-            .hard_to_reach(),
-        Bench::new("gh_dll/insert", Category::GrasshopperDll, INSERT, "insert", with_key())
+        Bench::new(
+            "gh_dll/dispose",
+            Category::GrasshopperDll,
+            DISPOSE,
+            "dispose",
+            one(),
+        )
+        .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp")])
+        .frees(),
+        Bench::new(
+            "gh_dll/filter",
+            Category::GrasshopperDll,
+            FILTER,
+            "filter",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. hdll(x, p, u, nil)",
+            &[(0, "exists u. hdll(res, nil, u, nil)")],
+        )
+        .frees()
+        .hard_to_reach(),
+        Bench::new(
+            "gh_dll/insert",
+            Category::GrasshopperDll,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. hdll(x, p, u, nil)",
+            &[
+                (
+                    0,
+                    "exists d. res -> HdNode{next: nil, prev: nil, data: d} & x == nil",
+                ),
+                (1, "exists p, u. hdll(x, p, u, nil) & res == x"),
+            ],
+        )
+        .loop_inv("walk", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new("gh_dll/rm", Category::GrasshopperDll, RM, "rm", with_key())
             .spec(
                 "exists p, u. hdll(x, p, u, nil)",
-                &[(0, "exists d. res -> HdNode{next: nil, prev: nil, data: d} & x == nil"),
-                  (1, "exists p, u. hdll(x, p, u, nil) & res == x")],
+                &[(0, "exists p, u. hdll(x, p, u, nil) & res == x")],
             )
-            .loop_inv("walk", "exists p, u. hdll(x, p, u, nil)"),
-        Bench::new("gh_dll/rm", Category::GrasshopperDll, RM, "rm", with_key())
-            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "exists p, u. hdll(x, p, u, nil) & res == x")])
             .frees(),
-        Bench::new("gh_dll/reverse", Category::GrasshopperDll, REVERSE, "reverse", one())
-            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
-            .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
-        Bench::new("gh_dll/traverse", Category::GrasshopperDll, TRAVERSE, "traverse", one())
-            .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
-            .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new(
+            "gh_dll/reverse",
+            Category::GrasshopperDll,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
+        .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
+        Bench::new(
+            "gh_dll/traverse",
+            Category::GrasshopperDll,
+            TRAVERSE,
+            "traverse",
+            one(),
+        )
+        .spec("exists p, u. hdll(x, p, u, nil)", &[(0, "emp & x == nil")])
+        .loop_inv("inv", "exists p, u. hdll(x, p, u, nil)"),
     ]
 }
 
@@ -207,8 +263,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -7,7 +7,12 @@ use crate::predicates::hnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn hlist(size: usize) -> ArgCand {
-    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: hnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const CONCAT: &str = r#"
@@ -152,32 +157,90 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(hlist)];
     let with_key = || vec![nil_or(hlist), int_keys()];
     vec![
-        Bench::new("gh_sll_iter/concat", Category::GrasshopperSllIter, CONCAT, "concat",
-            vec![nil_or(hlist), nil_or(hlist)])
-            .spec("hsll(a) * hsll(b)", &[(0, "hsll(b) & a == nil & res == b"), (1, "hsll(a) & res == a")])
-            .loop_inv("walk", "hsll(a) * hsll(b)"),
-        Bench::new("gh_sll_iter/copy", Category::GrasshopperSllIter, COPY, "copy", one())
-            .spec("hsll(x)", &[(0, "hsll(x) * hsll(res) & x == nil")])
-            .loop_inv("inv", "hsll(x)"),
-        Bench::new("gh_sll_iter/dispose", Category::GrasshopperSllIter, DISPOSE, "dispose", one())
-            .spec("hsll(x)", &[(0, "emp")])
-            .frees(),
-        Bench::new("gh_sll_iter/filter", Category::GrasshopperSllIter, FILTER, "filter", with_key())
-            .spec("hsll(x)", &[(0, "hsll(res)")])
-            .frees(),
-        Bench::new("gh_sll_iter/insert", Category::GrasshopperSllIter, INSERT, "insert", with_key())
-            .spec("hsll(x)", &[(0, "exists d. res -> HNode{next: nil, data: d} & x == nil"),
-                               (1, "hsll(x) & res == x")])
-            .loop_inv("walk", "hsll(x)"),
-        Bench::new("gh_sll_iter/rm", Category::GrasshopperSllIter, RM, "rm", with_key())
-            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("gh_sll_iter/reverse", Category::GrasshopperSllIter, REVERSE, "reverse", one())
-            .spec("hsll(x)", &[(0, "hsll(res) & x == nil")])
-            .loop_inv("inv", "hsll(x) * hsll(r)"),
-        Bench::new("gh_sll_iter/traverse", Category::GrasshopperSllIter, TRAVERSE, "traverse", one())
-            .spec("hsll(x)", &[(0, "emp & x == nil")])
-            .loop_inv("inv", "hsll(x)"),
+        Bench::new(
+            "gh_sll_iter/concat",
+            Category::GrasshopperSllIter,
+            CONCAT,
+            "concat",
+            vec![nil_or(hlist), nil_or(hlist)],
+        )
+        .spec(
+            "hsll(a) * hsll(b)",
+            &[
+                (0, "hsll(b) & a == nil & res == b"),
+                (1, "hsll(a) & res == a"),
+            ],
+        )
+        .loop_inv("walk", "hsll(a) * hsll(b)"),
+        Bench::new(
+            "gh_sll_iter/copy",
+            Category::GrasshopperSllIter,
+            COPY,
+            "copy",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(x) * hsll(res) & x == nil")])
+        .loop_inv("inv", "hsll(x)"),
+        Bench::new(
+            "gh_sll_iter/dispose",
+            Category::GrasshopperSllIter,
+            DISPOSE,
+            "dispose",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "emp")])
+        .frees(),
+        Bench::new(
+            "gh_sll_iter/filter",
+            Category::GrasshopperSllIter,
+            FILTER,
+            "filter",
+            with_key(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(res)")])
+        .frees(),
+        Bench::new(
+            "gh_sll_iter/insert",
+            Category::GrasshopperSllIter,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec(
+            "hsll(x)",
+            &[
+                (0, "exists d. res -> HNode{next: nil, data: d} & x == nil"),
+                (1, "hsll(x) & res == x"),
+            ],
+        )
+        .loop_inv("walk", "hsll(x)"),
+        Bench::new(
+            "gh_sll_iter/rm",
+            Category::GrasshopperSllIter,
+            RM,
+            "rm",
+            with_key(),
+        )
+        .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
+        .frees(),
+        Bench::new(
+            "gh_sll_iter/reverse",
+            Category::GrasshopperSllIter,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(res) & x == nil")])
+        .loop_inv("inv", "hsll(x) * hsll(r)"),
+        Bench::new(
+            "gh_sll_iter/traverse",
+            Category::GrasshopperSllIter,
+            TRAVERSE,
+            "traverse",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "emp & x == nil")])
+        .loop_inv("inv", "hsll(x)"),
     ]
 }
 
@@ -189,8 +252,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

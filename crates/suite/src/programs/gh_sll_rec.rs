@@ -7,7 +7,12 @@ use crate::predicates::hnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn hlist(size: usize) -> ArgCand {
-    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: hnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const CONCAT: &str = r#"
@@ -118,26 +123,79 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(hlist)];
     let with_key = || vec![nil_or(hlist), int_keys()];
     vec![
-        Bench::new("gh_sll_rec/concat", Category::GrasshopperSllRec, CONCAT, "concat",
-            vec![nil_or(hlist), nil_or(hlist)])
-            .spec("hsll(a) * hsll(b)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
-        Bench::new("gh_sll_rec/copy", Category::GrasshopperSllRec, COPY, "copy", one())
-            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil"), (1, "hsll(x) * hsll(res)")]),
-        Bench::new("gh_sll_rec/dispose", Category::GrasshopperSllRec, DISPOSE, "dispose", one())
-            .spec("hsll(x)", &[(1, "emp")])
-            .frees(),
-        Bench::new("gh_sll_rec/filter", Category::GrasshopperSllRec, FILTER, "filter", with_key())
-            .spec("hsll(x)", &[(0, "hsll(res)")])
-            .frees(),
-        Bench::new("gh_sll_rec/insert", Category::GrasshopperSllRec, INSERT, "insert", with_key())
-            .spec("hsll(x)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
-        Bench::new("gh_sll_rec/rm", Category::GrasshopperSllRec, RM, "rm", with_key())
-            .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("gh_sll_rec/reverse", Category::GrasshopperSllRec, REVERSE, "reverse", one())
-            .spec("hsll(x)", &[(0, "hsll(res)")]),
-        Bench::new("gh_sll_rec/traverse", Category::GrasshopperSllRec, TRAVERSE, "traverse", one())
-            .spec("hsll(x)", &[(0, "emp & x == nil"), (1, "hsll(x)")]),
+        Bench::new(
+            "gh_sll_rec/concat",
+            Category::GrasshopperSllRec,
+            CONCAT,
+            "concat",
+            vec![nil_or(hlist), nil_or(hlist)],
+        )
+        .spec("hsll(a) * hsll(b)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
+        Bench::new(
+            "gh_sll_rec/copy",
+            Category::GrasshopperSllRec,
+            COPY,
+            "copy",
+            one(),
+        )
+        .spec(
+            "hsll(x)",
+            &[
+                (0, "emp & x == nil & res == nil"),
+                (1, "hsll(x) * hsll(res)"),
+            ],
+        ),
+        Bench::new(
+            "gh_sll_rec/dispose",
+            Category::GrasshopperSllRec,
+            DISPOSE,
+            "dispose",
+            one(),
+        )
+        .spec("hsll(x)", &[(1, "emp")])
+        .frees(),
+        Bench::new(
+            "gh_sll_rec/filter",
+            Category::GrasshopperSllRec,
+            FILTER,
+            "filter",
+            with_key(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(res)")])
+        .frees(),
+        Bench::new(
+            "gh_sll_rec/insert",
+            Category::GrasshopperSllRec,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(res)"), (1, "hsll(res)")]),
+        Bench::new(
+            "gh_sll_rec/rm",
+            Category::GrasshopperSllRec,
+            RM,
+            "rm",
+            with_key(),
+        )
+        .spec("hsll(x)", &[(0, "emp & x == nil & res == nil")])
+        .frees(),
+        Bench::new(
+            "gh_sll_rec/reverse",
+            Category::GrasshopperSllRec,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "hsll(res)")]),
+        Bench::new(
+            "gh_sll_rec/traverse",
+            Category::GrasshopperSllRec,
+            TRAVERSE,
+            "traverse",
+            one(),
+        )
+        .spec("hsll(x)", &[(0, "emp & x == nil"), (1, "hsll(x)")]),
     ]
 }
 
@@ -149,8 +207,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

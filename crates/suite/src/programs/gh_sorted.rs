@@ -8,11 +8,21 @@ use crate::predicates::hnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
 
 fn sorted(size: usize) -> ArgCand {
-    ArgCand::List { layout: hnode_layout(), order: DataOrder::Sorted, size, circular: false }
+    ArgCand::List {
+        layout: hnode_layout(),
+        order: DataOrder::Sorted,
+        size,
+        circular: false,
+    }
 }
 
 fn unsorted(size: usize) -> ArgCand {
-    ArgCand::List { layout: hnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: hnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const CONCAT: &str = r#"
@@ -222,52 +232,160 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(sorted)];
     let with_key = || vec![nil_or(sorted), int_keys()];
     vec![
-        Bench::new("gh_sorted/concat", Category::GrasshopperSorted, CONCAT, "concat",
-            vec![nil_or(sorted), nil_or(sorted)])
-            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
-                &[(0, "exists m. hsrtl(b, m) & a == nil & res == b"), (1, "hsll(a) & res == a")]),
-        Bench::new("gh_sorted/copy", Category::GrasshopperSorted, COPY, "copy", one())
-            .spec("exists m. hsrtl(x, m)",
-                &[(0, "emp & x == nil & res == nil"), (1, "exists m1, m2. hsrtl(x, m1) * hsrtl(res, m2)")]),
-        Bench::new("gh_sorted/dispose", Category::GrasshopperSorted, DISPOSE, "dispose", one())
-            .spec("exists m. hsrtl(x, m)", &[(1, "emp")])
-            .frees(),
-        Bench::new("gh_sorted/filter", Category::GrasshopperSorted, FILTER, "filter", with_key())
-            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("gh_sorted/insert", Category::GrasshopperSorted, INSERT, "insert", with_key())
-            .spec("exists m. hsrtl(x, m)", &[(1, "exists m. hsrtl(x, m) & res == x")]),
-        Bench::new("gh_sorted/reverse", Category::GrasshopperSorted, REVERSE, "reverse", one())
-            .spec("exists m. hsrtl(x, m)", &[(0, "hsll(res) & x == nil")])
-            .loop_inv("inv", "exists m. hsrtl(x, m) * hsll(r)"),
-        Bench::new("gh_sorted/rm", Category::GrasshopperSorted, RM, "rm", with_key())
-            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("gh_sorted/split", Category::GrasshopperSorted, SPLIT, "split", one())
-            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil & res == nil")]),
-        Bench::new("gh_sorted/traverse", Category::GrasshopperSorted, TRAVERSE, "traverse", one())
-            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
-            .loop_inv("inv", "exists m. hsrtl(x, m)"),
-        Bench::new("gh_sorted/merge", Category::GrasshopperSorted, MERGE, "merge",
-            vec![nil_or(sorted), nil_or(sorted)])
-            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
-                &[(0, "exists m. hsrtl(b, m) & a == nil & res == b"),
-                  (1, "exists m. hsrtl(a, m) & b == nil & res == a")]),
-        Bench::new("gh_sorted/doubleAll", Category::GrasshopperSorted, DOUBLE_ALL, "doubleAll", one())
-            .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
-            .loop_inv("inv", "exists m. hsrtl(x, m)"),
-        Bench::new("gh_sorted/pairwiseSum", Category::GrasshopperSorted, PAIRWISE_SUM, "pairwiseSum",
-            vec![nil_or(sorted), nil_or(sorted)])
-            .spec("exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)", &[(0, "emp & res == nil")]),
-        Bench::new("gh_sorted/insertionSort", Category::GrasshopperSorted, INSERTION_SORT,
-            "insertionSort", vec![nil_or(unsorted)])
-            .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m) & x == nil")])
-            .loop_inv("outer", "exists m. hsll(x) * hsrtl(s, m)")
-            .hard_to_reach(),
-        Bench::new("gh_sorted/mergeSort", Category::GrasshopperSorted, MERGE_SORT_BUG, "mergeSort",
-            vec![nil_or(unsorted)])
-            .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m)")])
-            .bug(BugKind::Segfault),
+        Bench::new(
+            "gh_sorted/concat",
+            Category::GrasshopperSorted,
+            CONCAT,
+            "concat",
+            vec![nil_or(sorted), nil_or(sorted)],
+        )
+        .spec(
+            "exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
+            &[
+                (0, "exists m. hsrtl(b, m) & a == nil & res == b"),
+                (1, "hsll(a) & res == a"),
+            ],
+        ),
+        Bench::new(
+            "gh_sorted/copy",
+            Category::GrasshopperSorted,
+            COPY,
+            "copy",
+            one(),
+        )
+        .spec(
+            "exists m. hsrtl(x, m)",
+            &[
+                (0, "emp & x == nil & res == nil"),
+                (1, "exists m1, m2. hsrtl(x, m1) * hsrtl(res, m2)"),
+            ],
+        ),
+        Bench::new(
+            "gh_sorted/dispose",
+            Category::GrasshopperSorted,
+            DISPOSE,
+            "dispose",
+            one(),
+        )
+        .spec("exists m. hsrtl(x, m)", &[(1, "emp")])
+        .frees(),
+        Bench::new(
+            "gh_sorted/filter",
+            Category::GrasshopperSorted,
+            FILTER,
+            "filter",
+            with_key(),
+        )
+        .spec(
+            "exists m. hsrtl(x, m)",
+            &[(0, "emp & x == nil & res == nil")],
+        )
+        .frees(),
+        Bench::new(
+            "gh_sorted/insert",
+            Category::GrasshopperSorted,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec(
+            "exists m. hsrtl(x, m)",
+            &[(1, "exists m. hsrtl(x, m) & res == x")],
+        ),
+        Bench::new(
+            "gh_sorted/reverse",
+            Category::GrasshopperSorted,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("exists m. hsrtl(x, m)", &[(0, "hsll(res) & x == nil")])
+        .loop_inv("inv", "exists m. hsrtl(x, m) * hsll(r)"),
+        Bench::new(
+            "gh_sorted/rm",
+            Category::GrasshopperSorted,
+            RM,
+            "rm",
+            with_key(),
+        )
+        .spec(
+            "exists m. hsrtl(x, m)",
+            &[(0, "emp & x == nil & res == nil")],
+        )
+        .frees(),
+        Bench::new(
+            "gh_sorted/split",
+            Category::GrasshopperSorted,
+            SPLIT,
+            "split",
+            one(),
+        )
+        .spec(
+            "exists m. hsrtl(x, m)",
+            &[(0, "emp & x == nil & res == nil")],
+        ),
+        Bench::new(
+            "gh_sorted/traverse",
+            Category::GrasshopperSorted,
+            TRAVERSE,
+            "traverse",
+            one(),
+        )
+        .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
+        .loop_inv("inv", "exists m. hsrtl(x, m)"),
+        Bench::new(
+            "gh_sorted/merge",
+            Category::GrasshopperSorted,
+            MERGE,
+            "merge",
+            vec![nil_or(sorted), nil_or(sorted)],
+        )
+        .spec(
+            "exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
+            &[
+                (0, "exists m. hsrtl(b, m) & a == nil & res == b"),
+                (1, "exists m. hsrtl(a, m) & b == nil & res == a"),
+            ],
+        ),
+        Bench::new(
+            "gh_sorted/doubleAll",
+            Category::GrasshopperSorted,
+            DOUBLE_ALL,
+            "doubleAll",
+            one(),
+        )
+        .spec("exists m. hsrtl(x, m)", &[(0, "emp & x == nil")])
+        .loop_inv("inv", "exists m. hsrtl(x, m)"),
+        Bench::new(
+            "gh_sorted/pairwiseSum",
+            Category::GrasshopperSorted,
+            PAIRWISE_SUM,
+            "pairwiseSum",
+            vec![nil_or(sorted), nil_or(sorted)],
+        )
+        .spec(
+            "exists m1, m2. hsrtl(a, m1) * hsrtl(b, m2)",
+            &[(0, "emp & res == nil")],
+        ),
+        Bench::new(
+            "gh_sorted/insertionSort",
+            Category::GrasshopperSorted,
+            INSERTION_SORT,
+            "insertionSort",
+            vec![nil_or(unsorted)],
+        )
+        .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m) & x == nil")])
+        .loop_inv("outer", "exists m. hsll(x) * hsrtl(s, m)")
+        .hard_to_reach(),
+        Bench::new(
+            "gh_sorted/mergeSort",
+            Category::GrasshopperSorted,
+            MERGE_SORT_BUG,
+            "mergeSort",
+            vec![nil_or(unsorted)],
+        )
+        .spec("hsll(x)", &[(0, "exists m. hsrtl(res, m)")])
+        .bug(BugKind::Segfault),
     ]
 }
 
@@ -279,8 +397,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

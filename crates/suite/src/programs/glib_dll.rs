@@ -9,7 +9,12 @@ use crate::predicates::gnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn glist(size: usize) -> ArgCand {
-    ArgCand::List { layout: gnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: gnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const FIND: &str = r#"
@@ -145,42 +150,109 @@ pub fn benches() -> Vec<Bench> {
     let with_key = || vec![nil_or(glist), int_keys()];
     vec![
         Bench::new("glib_dll/find", Category::GlibDll, FIND, "find", with_key())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")])
+            .spec(
+                "exists p, u. gdll(list, p, u, nil)",
+                &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")],
+            )
             .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
-        Bench::new("glib_dll/free", Category::GlibDll, FREE_ALL, "freeAll", one())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp")])
-            .frees(),
-        Bench::new("glib_dll/index", Category::GlibDll, INDEX, "index", with_key())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(1, "emp & list == nil")])
-            .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new(
+            "glib_dll/free",
+            Category::GlibDll,
+            FREE_ALL,
+            "freeAll",
+            one(),
+        )
+        .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp")])
+        .frees(),
+        Bench::new(
+            "glib_dll/index",
+            Category::GlibDll,
+            INDEX,
+            "index",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(1, "emp & list == nil")],
+        )
+        .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
         Bench::new("glib_dll/last", Category::GlibDll, LAST, "last", one())
             .spec(
                 "exists p, u. gdll(list, p, u, nil)",
-                &[(0, "emp & list == nil & res == nil"),
-                  (1, "exists p, d. list -> GNode{next: nil, prev: p, data: d} & res == list")],
+                &[
+                    (0, "emp & list == nil & res == nil"),
+                    (
+                        1,
+                        "exists p, d. list -> GNode{next: nil, prev: p, data: d} & res == list",
+                    ),
+                ],
             )
             .loop_inv("walk", "exists p, u. gdll(list, p, u, nil)"),
-        Bench::new("glib_dll/length", Category::GlibDll, LENGTH, "length", one())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
-            .loop_inv("count", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new(
+            "glib_dll/length",
+            Category::GlibDll,
+            LENGTH,
+            "length",
+            one(),
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(0, "emp & list == nil")],
+        )
+        .loop_inv("count", "exists p, u. gdll(list, p, u, nil)"),
         Bench::new("glib_dll/nth", Category::GlibDll, NTH, "nth", with_key())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")])
-            .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
-        Bench::new("glib_dll/nthData", Category::GlibDll, NTH_DATA, "nthData", with_key())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
-            .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
-        Bench::new("glib_dll/position", Category::GlibDll, POSITION, "position",
-            vec![nil_or(glist), vec![ArgCand::Nil]])
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(1, "emp & list == nil")])
-            .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
-        Bench::new("glib_dll/prepend", Category::GlibDll, PREPEND, "prepend", with_key())
             .spec(
                 "exists p, u. gdll(list, p, u, nil)",
-                &[(0, "exists u. gdll(res, nil, u, nil)")],
-            ),
-        Bench::new("glib_dll/reverse", Category::GlibDll, REVERSE, "reverse", one())
-            .spec("exists p, u. gdll(list, p, u, nil)", &[(0, "emp & list == nil")])
-            .loop_inv("inv", "exists p, u, q, v. gdll(list, p, u, nil)"),
+                &[(0, "exists p, u. gdll(list, p, u, nil) & res == list")],
+            )
+            .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new(
+            "glib_dll/nthData",
+            Category::GlibDll,
+            NTH_DATA,
+            "nthData",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(0, "emp & list == nil")],
+        )
+        .loop_inv("step", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new(
+            "glib_dll/position",
+            Category::GlibDll,
+            POSITION,
+            "position",
+            vec![nil_or(glist), vec![ArgCand::Nil]],
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(1, "emp & list == nil")],
+        )
+        .loop_inv("scan", "exists p, u. gdll(list, p, u, nil)"),
+        Bench::new(
+            "glib_dll/prepend",
+            Category::GlibDll,
+            PREPEND,
+            "prepend",
+            with_key(),
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(0, "exists u. gdll(res, nil, u, nil)")],
+        ),
+        Bench::new(
+            "glib_dll/reverse",
+            Category::GlibDll,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec(
+            "exists p, u. gdll(list, p, u, nil)",
+            &[(0, "emp & list == nil")],
+        )
+        .loop_inv("inv", "exists p, u, q, v. gdll(list, p, u, nil)"),
     ]
 }
 
@@ -192,8 +264,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

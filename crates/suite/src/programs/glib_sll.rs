@@ -10,11 +10,21 @@ use crate::predicates::gsnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn gslist(size: usize) -> ArgCand {
-    ArgCand::List { layout: gsnode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: gsnode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 fn sorted(size: usize) -> ArgCand {
-    ArgCand::List { layout: gsnode_layout(), order: DataOrder::Sorted, size, circular: false }
+    ArgCand::List {
+        layout: gsnode_layout(),
+        order: DataOrder::Sorted,
+        size,
+        circular: false,
+    }
 }
 
 const APPEND: &str = r#"
@@ -370,77 +380,213 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(gslist)];
     let with_key = || vec![nil_or(gslist), int_keys()];
     vec![
-        Bench::new("glib_sll/append", Category::GlibSll, APPEND, "append", with_key())
-            .spec("gsll(list)", &[(0, "exists d. res -> GsNode{next: nil, data: d} & list == nil"), (1, "gsll(list) & res == list")])
-            .loop_inv("walk", "gsll(list)"),
-        Bench::new("glib_sll/concat", Category::GlibSll, CONCAT, "concat",
-            vec![nil_or(gslist), nil_or(gslist)])
-            .spec("gsll(a) * gsll(b)", &[(0, "gsll(b) & a == nil & res == b"), (1, "gsll(a) & res == a")])
-            .loop_inv("walk", "gsll(a) * gsll(b)"),
-        Bench::new("glib_sll/copy", Category::GlibSll, COPY, "copy", one())
-            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (1, "gsll(list) * gsll(res)")]),
-        Bench::new("glib_sll/delLink", Category::GlibSll, DEL_LINK, "delLink",
-            vec![nil_or(gslist), vec![ArgCand::Nil]])
-            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil")])
-            .frees(),
+        Bench::new(
+            "glib_sll/append",
+            Category::GlibSll,
+            APPEND,
+            "append",
+            with_key(),
+        )
+        .spec(
+            "gsll(list)",
+            &[
+                (
+                    0,
+                    "exists d. res -> GsNode{next: nil, data: d} & list == nil",
+                ),
+                (1, "gsll(list) & res == list"),
+            ],
+        )
+        .loop_inv("walk", "gsll(list)"),
+        Bench::new(
+            "glib_sll/concat",
+            Category::GlibSll,
+            CONCAT,
+            "concat",
+            vec![nil_or(gslist), nil_or(gslist)],
+        )
+        .spec(
+            "gsll(a) * gsll(b)",
+            &[
+                (0, "gsll(b) & a == nil & res == b"),
+                (1, "gsll(a) & res == a"),
+            ],
+        )
+        .loop_inv("walk", "gsll(a) * gsll(b)"),
+        Bench::new("glib_sll/copy", Category::GlibSll, COPY, "copy", one()).spec(
+            "gsll(list)",
+            &[
+                (0, "emp & list == nil & res == nil"),
+                (1, "gsll(list) * gsll(res)"),
+            ],
+        ),
+        Bench::new(
+            "glib_sll/delLink",
+            Category::GlibSll,
+            DEL_LINK,
+            "delLink",
+            vec![nil_or(gslist), vec![ArgCand::Nil]],
+        )
+        .spec("gsll(list)", &[(0, "emp & list == nil & res == nil")])
+        .frees(),
         Bench::new("glib_sll/find", Category::GlibSll, FIND, "find", with_key())
             .spec("gsll(list)", &[(0, "gsll(list) & res == list")])
             .loop_inv("scan", "gsll(list)"),
-        Bench::new("glib_sll/free", Category::GlibSll, FREE_ALL, "freeAll", one())
-            .spec("gsll(list)", &[(0, "emp")])
-            .frees(),
-        Bench::new("glib_sll/index", Category::GlibSll, INDEX, "index", with_key())
-            .spec("gsll(list)", &[(1, "emp & list == nil")])
-            .loop_inv("scan", "gsll(list)"),
-        Bench::new("glib_sll/insertAtPos", Category::GlibSll, INSERT_AT_POS, "insertAtPos",
-            vec![nil_or(gslist), int_keys(), vec![ArgCand::Int(0), ArgCand::Int(2)]])
-            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
-            .loop_inv("step", "gsll(list)"),
-        Bench::new("glib_sll/insertBefore", Category::GlibSll, INSERT_BEFORE, "insertBefore",
-            vec![nil_or(gslist), vec![ArgCand::Nil], int_keys()])
-            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
-            .loop_inv("scan", "gsll(list)"),
-        Bench::new("glib_sll/insertSorted", Category::GlibSll, INSERT_SORTED, "insertSorted",
-            vec![nil_or(sorted), int_keys()])
-            .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
-            .loop_inv("scan", "gsll(list)"),
+        Bench::new(
+            "glib_sll/free",
+            Category::GlibSll,
+            FREE_ALL,
+            "freeAll",
+            one(),
+        )
+        .spec("gsll(list)", &[(0, "emp")])
+        .frees(),
+        Bench::new(
+            "glib_sll/index",
+            Category::GlibSll,
+            INDEX,
+            "index",
+            with_key(),
+        )
+        .spec("gsll(list)", &[(1, "emp & list == nil")])
+        .loop_inv("scan", "gsll(list)"),
+        Bench::new(
+            "glib_sll/insertAtPos",
+            Category::GlibSll,
+            INSERT_AT_POS,
+            "insertAtPos",
+            vec![
+                nil_or(gslist),
+                int_keys(),
+                vec![ArgCand::Int(0), ArgCand::Int(2)],
+            ],
+        )
+        .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+        .loop_inv("step", "gsll(list)"),
+        Bench::new(
+            "glib_sll/insertBefore",
+            Category::GlibSll,
+            INSERT_BEFORE,
+            "insertBefore",
+            vec![nil_or(gslist), vec![ArgCand::Nil], int_keys()],
+        )
+        .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+        .loop_inv("scan", "gsll(list)"),
+        Bench::new(
+            "glib_sll/insertSorted",
+            Category::GlibSll,
+            INSERT_SORTED,
+            "insertSorted",
+            vec![nil_or(sorted), int_keys()],
+        )
+        .spec("gsll(list)", &[(1, "gsll(list) & res == list")])
+        .loop_inv("scan", "gsll(list)"),
         Bench::new("glib_sll/last", Category::GlibSll, LAST, "last", one())
-            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (1, "exists d. list -> GsNode{next: nil, data: d} & res == list")])
+            .spec(
+                "gsll(list)",
+                &[
+                    (0, "emp & list == nil & res == nil"),
+                    (
+                        1,
+                        "exists d. list -> GsNode{next: nil, data: d} & res == list",
+                    ),
+                ],
+            )
             .loop_inv("walk", "gsll(list)"),
-        Bench::new("glib_sll/length", Category::GlibSll, LENGTH, "length", one())
-            .spec("gsll(list)", &[(0, "emp & list == nil")])
-            .loop_inv("count", "gsll(list)"),
+        Bench::new(
+            "glib_sll/length",
+            Category::GlibSll,
+            LENGTH,
+            "length",
+            one(),
+        )
+        .spec("gsll(list)", &[(0, "emp & list == nil")])
+        .loop_inv("count", "gsll(list)"),
         Bench::new("glib_sll/nth", Category::GlibSll, NTH, "nth", with_key())
             .spec("gsll(list)", &[(0, "gsll(list) & res == list")])
             .loop_inv("step", "gsll(list)"),
-        Bench::new("glib_sll/nthData", Category::GlibSll, NTH_DATA, "nthData", with_key())
-            .spec("gsll(list)", &[(1, "emp & list == nil")])
-            .loop_inv("step", "gsll(list)"),
-        Bench::new("glib_sll/position", Category::GlibSll, POSITION, "position",
-            vec![nil_or(gslist), vec![ArgCand::Nil]])
-            .spec("gsll(list)", &[(1, "emp & list == nil")])
-            .loop_inv("scan", "gsll(list)"),
-        Bench::new("glib_sll/prepend", Category::GlibSll, PREPEND, "prepend", with_key())
-            .spec("gsll(list)", &[(0, "gsll(res)")]),
+        Bench::new(
+            "glib_sll/nthData",
+            Category::GlibSll,
+            NTH_DATA,
+            "nthData",
+            with_key(),
+        )
+        .spec("gsll(list)", &[(1, "emp & list == nil")])
+        .loop_inv("step", "gsll(list)"),
+        Bench::new(
+            "glib_sll/position",
+            Category::GlibSll,
+            POSITION,
+            "position",
+            vec![nil_or(gslist), vec![ArgCand::Nil]],
+        )
+        .spec("gsll(list)", &[(1, "emp & list == nil")])
+        .loop_inv("scan", "gsll(list)"),
+        Bench::new(
+            "glib_sll/prepend",
+            Category::GlibSll,
+            PREPEND,
+            "prepend",
+            with_key(),
+        )
+        .spec("gsll(list)", &[(0, "gsll(res)")]),
         Bench::new("glib_sll/rm", Category::GlibSll, RM, "rm", with_key())
             .spec("gsll(list)", &[(0, "gsll(res)")])
             .frees(),
-        Bench::new("glib_sll/rmAll", Category::GlibSll, RM_ALL, "rmAll", with_key())
-            .spec("gsll(list)", &[(0, "gsll(res)")])
-            .frees(),
-        Bench::new("glib_sll/rmLink", Category::GlibSll, RM_LINK, "rmLink",
-            vec![nil_or(gslist), vec![ArgCand::Nil]])
-            .spec("gsll(list)", &[(0, "emp & list == nil & res == nil"), (2, "gsll(list) & res == list")]),
-        Bench::new("glib_sll/reverse", Category::GlibSll, REVERSE, "reverse", one())
-            .spec("gsll(list)", &[(0, "gsll(res) & list == nil")])
-            .loop_inv("inv", "gsll(list) * gsll(r)"),
-        Bench::new("glib_sll/sortMerge", Category::GlibSll, SORT_MERGE_BUG, "sortMerge",
-            vec![nil_or(sorted), nil_or(sorted)])
-            .spec("gsll(a) * gsll(b)", &[(0, "gsll(res)")])
-            .loop_inv("merge", "gsll(a) * gsll(b)"),
-        Bench::new("glib_sll/sortReal", Category::GlibSll, SORT_REAL, "sortReal", one())
-            .spec("gsll(list)", &[(1, "gsll(res) & res == list"), (2, "gsll(res)")])
-            .loop_inv("split", "gsll(list)"),
+        Bench::new(
+            "glib_sll/rmAll",
+            Category::GlibSll,
+            RM_ALL,
+            "rmAll",
+            with_key(),
+        )
+        .spec("gsll(list)", &[(0, "gsll(res)")])
+        .frees(),
+        Bench::new(
+            "glib_sll/rmLink",
+            Category::GlibSll,
+            RM_LINK,
+            "rmLink",
+            vec![nil_or(gslist), vec![ArgCand::Nil]],
+        )
+        .spec(
+            "gsll(list)",
+            &[
+                (0, "emp & list == nil & res == nil"),
+                (2, "gsll(list) & res == list"),
+            ],
+        ),
+        Bench::new(
+            "glib_sll/reverse",
+            Category::GlibSll,
+            REVERSE,
+            "reverse",
+            one(),
+        )
+        .spec("gsll(list)", &[(0, "gsll(res) & list == nil")])
+        .loop_inv("inv", "gsll(list) * gsll(r)"),
+        Bench::new(
+            "glib_sll/sortMerge",
+            Category::GlibSll,
+            SORT_MERGE_BUG,
+            "sortMerge",
+            vec![nil_or(sorted), nil_or(sorted)],
+        )
+        .spec("gsll(a) * gsll(b)", &[(0, "gsll(res)")])
+        .loop_inv("merge", "gsll(a) * gsll(b)"),
+        Bench::new(
+            "glib_sll/sortReal",
+            Category::GlibSll,
+            SORT_REAL,
+            "sortReal",
+            one(),
+        )
+        .spec(
+            "gsll(list)",
+            &[(1, "gsll(res) & res == list"), (2, "gsll(res)")],
+        )
+        .loop_inv("split", "gsll(list)"),
     ]
 }
 
@@ -452,8 +598,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

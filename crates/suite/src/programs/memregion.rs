@@ -18,9 +18,12 @@ fn gen_regions(heap: &mut RtHeap, rng: &mut rand::rngs::StdRng) -> Val {
     let mut start = 0i64;
     let mut locs = Vec::new();
     for _ in 0..n {
-        start += rng.gen_range(2..10);
+        start += rng.gen_range(2i64..10);
         let size = rng.gen_range(1..5);
-        locs.push(heap.alloc(mr, vec![Val::Nil, Val::Nil, Val::Int(start), Val::Int(size)]));
+        locs.push(heap.alloc(
+            mr,
+            vec![Val::Nil, Val::Nil, Val::Int(start), Val::Int(size)],
+        ));
         start += size;
     }
     for i in 0..n {
@@ -118,8 +121,10 @@ pub fn benches() -> Vec<Bench> {
     )
     .spec(
         "exists p, u. mrdll(head, p, u, nil)",
-        &[(0, "exists p, u. mrdll(head, p, u, nil) & res == head"),
-          (1, "exists p, u. mrdll(res, p, u, nil)")],
+        &[
+            (0, "exists p, u. mrdll(head, p, u, nil) & res == head"),
+            (1, "exists p, u. mrdll(res, p, u, nil)"),
+        ],
     )
     .frees()]
 }
@@ -132,8 +137,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -125,27 +125,58 @@ fn rmRoot(t: PNode*) -> PNode* {
 /// The four priority-tree benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("priority/del", Category::PriorityTree, DEL, "del",
-            vec![ptree_inputs(), int_keys()])
-            .spec("exists top. ptree(t, top)", &[(0, "emp & t == nil & res == nil")])
-            .frees(),
-        Bench::new("priority/find", Category::PriorityTree, FIND, "find",
-            vec![ptree_inputs(), int_keys()])
-            .spec(
-                "exists top. ptree(t, top)",
-                &[(0, "emp & t == nil & res == nil"),
-                  (1, "exists top. ptree(t, top) & res == t")],
-            ),
-        Bench::new("priority/insert", Category::PriorityTree, INSERT, "insert",
-            vec![ptree_inputs(), int_keys()])
-            .spec(
-                "exists top. ptree(t, top)",
-                &[(0, "exists d. res -> PNode{left: nil, right: nil, data: d} & t == nil")],
-            ),
-        Bench::new("priority/rmRoot", Category::PriorityTree, RM_ROOT, "rmRoot",
-            vec![ptree_inputs()])
-            .spec("exists top. ptree(t, top)", &[(0, "emp & t == nil & res == nil")])
-            .frees(),
+        Bench::new(
+            "priority/del",
+            Category::PriorityTree,
+            DEL,
+            "del",
+            vec![ptree_inputs(), int_keys()],
+        )
+        .spec(
+            "exists top. ptree(t, top)",
+            &[(0, "emp & t == nil & res == nil")],
+        )
+        .frees(),
+        Bench::new(
+            "priority/find",
+            Category::PriorityTree,
+            FIND,
+            "find",
+            vec![ptree_inputs(), int_keys()],
+        )
+        .spec(
+            "exists top. ptree(t, top)",
+            &[
+                (0, "emp & t == nil & res == nil"),
+                (1, "exists top. ptree(t, top) & res == t"),
+            ],
+        ),
+        Bench::new(
+            "priority/insert",
+            Category::PriorityTree,
+            INSERT,
+            "insert",
+            vec![ptree_inputs(), int_keys()],
+        )
+        .spec(
+            "exists top. ptree(t, top)",
+            &[(
+                0,
+                "exists d. res -> PNode{left: nil, right: nil, data: d} & t == nil",
+            )],
+        ),
+        Bench::new(
+            "priority/rmRoot",
+            Category::PriorityTree,
+            RM_ROOT,
+            "rmRoot",
+            vec![ptree_inputs()],
+        )
+        .spec(
+            "exists top. ptree(t, top)",
+            &[(0, "emp & t == nil & res == nil")],
+        )
+        .frees(),
     ]
 }
 
@@ -157,8 +188,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -151,25 +151,72 @@ pub fn benches() -> Vec<Bench> {
     vec![
         Bench::new("queue/init", Category::OpenBsdQueue, INIT, "init", vec![])
             .spec("emp", &[(0, "res -> Queue{first: nil, last: nil}")]),
-        Bench::new("queue/insertAfter", Category::OpenBsdQueue, INSERT_AFTER, "insertAfter",
-            vec![queue_inputs(), int_keys()])
-            .spec("wq(q)", &[(2, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)")]),
-        Bench::new("queue/insertHd", Category::OpenBsdQueue, INSERT_HD, "insertHd",
-            vec![queue_inputs(), int_keys()])
-            .spec("wq(q)", &[(0, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)")]),
-        Bench::new("queue/insertTl", Category::OpenBsdQueue, INSERT_TL, "insertTl",
-            vec![queue_inputs(), int_keys()])
-            .spec("wq(q)", &[
-                (0, "exists f, d. q -> Queue{first: f, last: f} * f -> QNode{next: nil, data: d}"),
-                (1, "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)"),
-            ]),
-        Bench::new("queue/rmAfter", Category::OpenBsdQueue, RM_AFTER, "rmAfter",
-            vec![queue_inputs()])
-            .spec("wq(q)", &[(2, "wq(q)")])
-            .frees(),
-        Bench::new("queue/rmHd", Category::OpenBsdQueue, RM_HD, "rmHd", vec![queue_inputs()])
-            .spec("wq(q)", &[(1, "wq(q)")])
-            .frees(),
+        Bench::new(
+            "queue/insertAfter",
+            Category::OpenBsdQueue,
+            INSERT_AFTER,
+            "insertAfter",
+            vec![queue_inputs(), int_keys()],
+        )
+        .spec(
+            "wq(q)",
+            &[(
+                2,
+                "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)",
+            )],
+        ),
+        Bench::new(
+            "queue/insertHd",
+            Category::OpenBsdQueue,
+            INSERT_HD,
+            "insertHd",
+            vec![queue_inputs(), int_keys()],
+        )
+        .spec(
+            "wq(q)",
+            &[(
+                0,
+                "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)",
+            )],
+        ),
+        Bench::new(
+            "queue/insertTl",
+            Category::OpenBsdQueue,
+            INSERT_TL,
+            "insertTl",
+            vec![queue_inputs(), int_keys()],
+        )
+        .spec(
+            "wq(q)",
+            &[
+                (
+                    0,
+                    "exists f, d. q -> Queue{first: f, last: f} * f -> QNode{next: nil, data: d}",
+                ),
+                (
+                    1,
+                    "exists f, l. q -> Queue{first: f, last: l} * queue(f, l)",
+                ),
+            ],
+        ),
+        Bench::new(
+            "queue/rmAfter",
+            Category::OpenBsdQueue,
+            RM_AFTER,
+            "rmAfter",
+            vec![queue_inputs()],
+        )
+        .spec("wq(q)", &[(2, "wq(q)")])
+        .frees(),
+        Bench::new(
+            "queue/rmHd",
+            Category::OpenBsdQueue,
+            RM_HD,
+            "rmHd",
+            vec![queue_inputs()],
+        )
+        .spec("wq(q)", &[(1, "wq(q)")])
+        .frees(),
     ]
 }
 
@@ -181,8 +228,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -9,7 +9,11 @@ use crate::predicates::rnode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
 
 fn rbt(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: rnode_layout(), kind: TreeKind::RedBlack, size }
+    ArgCand::Tree {
+        layout: rnode_layout(),
+        kind: TreeKind::RedBlack,
+        size,
+    }
 }
 
 /// Seeded bug (`∗`): rotation helpers dereference a missing grandparent.
@@ -59,13 +63,23 @@ fn insert(t: RNode*, k: int) -> RNode* {
 /// The two red-black-tree benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("rbt/del", Category::RedBlackTree, DEL_BUG, "del",
-            vec![nil_or(rbt), int_keys()])
-            .spec("exists c. rbt(t, c)", &[(1, "exists c. rbt(res, c)")])
-            .bug(BugKind::Segfault),
-        Bench::new("rbt/insert", Category::RedBlackTree, INSERT_PARTIAL, "insert",
-            vec![nil_or(rbt), int_keys()])
-            .spec("exists c. rbt(t, c)", &[(0, "exists c. rbt(res, c)")]),
+        Bench::new(
+            "rbt/del",
+            Category::RedBlackTree,
+            DEL_BUG,
+            "del",
+            vec![nil_or(rbt), int_keys()],
+        )
+        .spec("exists c. rbt(t, c)", &[(1, "exists c. rbt(res, c)")])
+        .bug(BugKind::Segfault),
+        Bench::new(
+            "rbt/insert",
+            Category::RedBlackTree,
+            INSERT_PARTIAL,
+            "insert",
+            vec![nil_or(rbt), int_keys()],
+        )
+        .spec("exists c. rbt(t, c)", &[(0, "exists c. rbt(res, c)")]),
     ]
 }
 
@@ -77,8 +91,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

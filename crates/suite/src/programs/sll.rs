@@ -6,7 +6,12 @@ use crate::predicates::snode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, Category};
 
 fn list(size: usize) -> ArgCand {
-    ArgCand::List { layout: snode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: snode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 fn one_list() -> Vec<Vec<ArgCand>> {
@@ -18,6 +23,7 @@ fn list_and_key() -> Vec<Vec<ArgCand>> {
 }
 
 /// The eight SLL benchmarks.
+#[allow(clippy::vec_init_then_push)]
 pub fn benches() -> Vec<Bench> {
     let mut out = Vec::new();
 
@@ -33,44 +39,82 @@ pub fn benches() -> Vec<Bench> {
     );
 
     out.push(
-        Bench::new("sll/delAll", Category::Sll, del_all_src(), "delAll", one_list())
-            .spec("sll(x)", &[(0, "emp")])
-            .loop_inv("inv", "sll(x)")
-            .frees(),
+        Bench::new(
+            "sll/delAll",
+            Category::Sll,
+            del_all_src(),
+            "delAll",
+            one_list(),
+        )
+        .spec("sll(x)", &[(0, "emp")])
+        .loop_inv("inv", "sll(x)")
+        .frees(),
     );
 
     out.push(
-        Bench::new("sll/find", Category::Sll, find_src(), "find", list_and_key())
-            .spec(
-                "sll(x)",
-                &[(0, "emp"), (1, "sll(res)"), (2, "sll(x)")],
-            ),
+        Bench::new(
+            "sll/find",
+            Category::Sll,
+            find_src(),
+            "find",
+            list_and_key(),
+        )
+        .spec("sll(x)", &[(0, "emp"), (1, "sll(res)"), (2, "sll(x)")]),
     );
 
     out.push(
-        Bench::new("sll/insert", Category::Sll, insert_src(), "insert", list_and_key())
-            .spec("sll(x)", &[(1, "sll(res)")]),
+        Bench::new(
+            "sll/insert",
+            Category::Sll,
+            insert_src(),
+            "insert",
+            list_and_key(),
+        )
+        .spec("sll(x)", &[(1, "sll(res)")]),
     );
 
     out.push(
-        Bench::new("sll/reverse", Category::Sll, reverse_src(), "reverse", one_list())
-            .spec("sll(x)", &[(0, "sll(res) & x == nil")])
-            .loop_inv("inv", "sll(x) * sll(r)"),
+        Bench::new(
+            "sll/reverse",
+            Category::Sll,
+            reverse_src(),
+            "reverse",
+            one_list(),
+        )
+        .spec("sll(x)", &[(0, "sll(res) & x == nil")])
+        .loop_inv("inv", "sll(x) * sll(r)"),
     );
 
     out.push(
-        Bench::new("sll/insertFront", Category::Sll, insert_front_src(), "insertFront", list_and_key())
-            .spec("sll(x)", &[(0, "exists u. res -> SNode{next: x, data: k} * sll(x)")]),
+        Bench::new(
+            "sll/insertFront",
+            Category::Sll,
+            insert_front_src(),
+            "insertFront",
+            list_and_key(),
+        )
+        .spec(
+            "sll(x)",
+            &[(0, "exists u. res -> SNode{next: x, data: k} * sll(x)")],
+        ),
     );
 
     out.push(
-        Bench::new("sll/insertBack", Category::Sll, insert_back_src(), "insertBack", list_and_key())
-            .spec("sll(x)", &[(0, "sll(res)"), (1, "sll(res)")]),
+        Bench::new(
+            "sll/insertBack",
+            Category::Sll,
+            insert_back_src(),
+            "insertBack",
+            list_and_key(),
+        )
+        .spec("sll(x)", &[(0, "sll(res)"), (1, "sll(res)")]),
     );
 
     out.push(
-        Bench::new("sll/copy", Category::Sll, copy_src(), "copy", one_list())
-            .spec("sll(x)", &[(0, "emp & x == nil & res == nil"), (1, "sll(x) * sll(res)")]),
+        Bench::new("sll/copy", Category::Sll, copy_src(), "copy", one_list()).spec(
+            "sll(x)",
+            &[(0, "emp & x == nil & res == nil"), (1, "sll(x) * sll(res)")],
+        ),
     );
 
     out
@@ -211,10 +255,14 @@ mod tests {
     #[test]
     fn all_sll_sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
-            assert!(p.func(sling_logic::Symbol::intern(b.target)).is_some(), "{}", b.name);
+            assert!(
+                p.func(sling_logic::Symbol::intern(b.target)).is_some(),
+                "{}",
+                b.name
+            );
         }
     }
 

@@ -7,11 +7,21 @@ use crate::predicates::snode_layout;
 use crate::program::{int_keys, nil_or, ArgCand, Bench, BugKind, Category};
 
 fn sorted(size: usize) -> ArgCand {
-    ArgCand::List { layout: snode_layout(), order: DataOrder::Sorted, size, circular: false }
+    ArgCand::List {
+        layout: snode_layout(),
+        order: DataOrder::Sorted,
+        size,
+        circular: false,
+    }
 }
 
 fn unsorted(size: usize) -> ArgCand {
-    ArgCand::List { layout: snode_layout(), order: DataOrder::Random, size, circular: false }
+    ArgCand::List {
+        layout: snode_layout(),
+        order: DataOrder::Random,
+        size,
+        circular: false,
+    }
 }
 
 const CONCAT: &str = r#"
@@ -215,35 +225,122 @@ pub fn benches() -> Vec<Bench> {
     let one = || vec![nil_or(sorted)];
     let with_key = || vec![nil_or(sorted), int_keys()];
     vec![
-        Bench::new("sorted/concat", Category::SortedList, CONCAT, "concat", vec![nil_or(sorted), nil_or(sorted)])
-            .spec(
-                "exists m1, m2. srtl(x, m1) * srtl(y, m2)",
-                &[(0, "exists m. srtl(res, m) & x == nil & res == y"), (1, "sll(x) & res == x")],
-            ),
-        Bench::new("sorted/find", Category::SortedList, FIND, "find", with_key())
-            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil"), (1, "exists m. srtl(x, m) & res == x")]),
-        Bench::new("sorted/findLast", Category::SortedList, FIND_LAST, "findLast", one())
-            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil"), (1, "exists u, d. x -> SNode{next: nil, data: d} & res == x")])
-            .loop_inv("inv", "exists m. srtl(x, m)"),
-        Bench::new("sorted/insert", Category::SortedList, INSERT, "insert", with_key())
-            .spec("exists m. srtl(x, m)", &[(0, "exists d. res -> SNode{next: nil, data: d} & x == nil"), (2, "exists m. srtl(x, m) & res == x")]),
-        Bench::new("sorted/insertIter", Category::SortedList, INSERT_ITER, "insertIter", with_key())
-            .spec("exists m. srtl(x, m)", &[(2, "exists m. srtl(x, m) & res == x")])
-            .loop_inv("inv", "exists m. srtl(cur, m)"),
-        Bench::new("sorted/delAll", Category::SortedList, DEL_ALL, "delAll", with_key())
-            .spec("exists m. srtl(x, m)", &[(0, "emp & x == nil & res == nil")])
-            .frees(),
-        Bench::new("sorted/reverseSort", Category::SortedList, REVERSE_SORT, "reverseSort", one())
-            .spec("exists m. srtl(x, m)", &[(0, "sll(res) & x == nil")])
-            .loop_inv("inv", "exists m1, m2. srtl(x, m1) * sll(r)"),
-        Bench::new("sorted/insertionSort", Category::SortedList, INSERTION_SORT, "insertionSort", vec![nil_or(unsorted)])
-            .spec("sll(x)", &[(0, "exists m. srtl(res, m) & x == nil")])
-            .loop_inv("inv", "exists m. sll(x) * srtl(s, m)"),
-        Bench::new("sorted/mergeSort", Category::SortedList, MERGE_SORT, "mergeSort", vec![nil_or(unsorted)])
-            .spec("sll(x)", &[(2, "exists m. srtl(res, m)")]),
-        Bench::new("sorted/quickSort", Category::SortedList, QUICK_SORT_BUG, "quickSort", vec![nil_or(unsorted)])
-            .spec("sll(x)", &[(1, "sll(res)")])
-            .bug(BugKind::Segfault),
+        Bench::new(
+            "sorted/concat",
+            Category::SortedList,
+            CONCAT,
+            "concat",
+            vec![nil_or(sorted), nil_or(sorted)],
+        )
+        .spec(
+            "exists m1, m2. srtl(x, m1) * srtl(y, m2)",
+            &[
+                (0, "exists m. srtl(res, m) & x == nil & res == y"),
+                (1, "sll(x) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "sorted/find",
+            Category::SortedList,
+            FIND,
+            "find",
+            with_key(),
+        )
+        .spec(
+            "exists m. srtl(x, m)",
+            &[
+                (0, "emp & x == nil & res == nil"),
+                (1, "exists m. srtl(x, m) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "sorted/findLast",
+            Category::SortedList,
+            FIND_LAST,
+            "findLast",
+            one(),
+        )
+        .spec(
+            "exists m. srtl(x, m)",
+            &[
+                (0, "emp & x == nil & res == nil"),
+                (1, "exists u, d. x -> SNode{next: nil, data: d} & res == x"),
+            ],
+        )
+        .loop_inv("inv", "exists m. srtl(x, m)"),
+        Bench::new(
+            "sorted/insert",
+            Category::SortedList,
+            INSERT,
+            "insert",
+            with_key(),
+        )
+        .spec(
+            "exists m. srtl(x, m)",
+            &[
+                (0, "exists d. res -> SNode{next: nil, data: d} & x == nil"),
+                (2, "exists m. srtl(x, m) & res == x"),
+            ],
+        ),
+        Bench::new(
+            "sorted/insertIter",
+            Category::SortedList,
+            INSERT_ITER,
+            "insertIter",
+            with_key(),
+        )
+        .spec(
+            "exists m. srtl(x, m)",
+            &[(2, "exists m. srtl(x, m) & res == x")],
+        )
+        .loop_inv("inv", "exists m. srtl(cur, m)"),
+        Bench::new(
+            "sorted/delAll",
+            Category::SortedList,
+            DEL_ALL,
+            "delAll",
+            with_key(),
+        )
+        .spec(
+            "exists m. srtl(x, m)",
+            &[(0, "emp & x == nil & res == nil")],
+        )
+        .frees(),
+        Bench::new(
+            "sorted/reverseSort",
+            Category::SortedList,
+            REVERSE_SORT,
+            "reverseSort",
+            one(),
+        )
+        .spec("exists m. srtl(x, m)", &[(0, "sll(res) & x == nil")])
+        .loop_inv("inv", "exists m1, m2. srtl(x, m1) * sll(r)"),
+        Bench::new(
+            "sorted/insertionSort",
+            Category::SortedList,
+            INSERTION_SORT,
+            "insertionSort",
+            vec![nil_or(unsorted)],
+        )
+        .spec("sll(x)", &[(0, "exists m. srtl(res, m) & x == nil")])
+        .loop_inv("inv", "exists m. sll(x) * srtl(s, m)"),
+        Bench::new(
+            "sorted/mergeSort",
+            Category::SortedList,
+            MERGE_SORT,
+            "mergeSort",
+            vec![nil_or(unsorted)],
+        )
+        .spec("sll(x)", &[(2, "exists m. srtl(res, m)")]),
+        Bench::new(
+            "sorted/quickSort",
+            Category::SortedList,
+            QUICK_SORT_BUG,
+            "quickSort",
+            vec![nil_or(unsorted)],
+        )
+        .spec("sll(x)", &[(1, "sll(res)")])
+        .bug(BugKind::Segfault),
     ]
 }
 
@@ -255,8 +352,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }
@@ -268,7 +365,10 @@ mod tests {
 
     #[test]
     fn quicksort_is_marked_buggy() {
-        let qs = benches().into_iter().find(|b| b.name == "sorted/quickSort").unwrap();
+        let qs = benches()
+            .into_iter()
+            .find(|b| b.name == "sorted/quickSort")
+            .unwrap();
         assert_eq!(qs.bug, Some(BugKind::Segfault));
     }
 }

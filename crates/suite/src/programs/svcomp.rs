@@ -131,31 +131,71 @@ fn init(n: int) -> Master* {
 /// The seven SV-COMP benchmarks.
 pub fn benches() -> Vec<Bench> {
     vec![
-        Bench::new("svcomp/allocSlave", Category::SvComp, ALLOC_SLAVE, "allocSlave",
-            vec![master_inputs()])
-            .spec("mlist(m)", &[(0, "emp & m == nil")])
-            .loop_inv("inv", "mlist(m)"),
-        Bench::new("svcomp/insertSlave", Category::SvComp, INSERT_SLAVE, "insertSlave",
-            vec![master_inputs()])
-            .spec("mlist(m)", &[(0, "emp & m == nil")])
-            .loop_inv("inv", "mlist(m)"),
-        Bench::new("svcomp/createSlave", Category::SvComp, CREATE_SLAVE, "createSlave",
-            vec![vec![ArgCand::Int(0), ArgCand::Int(3), ArgCand::Int(10)]])
-            .spec("emp", &[(0, "slist(res)")])
-            .loop_inv("inv", "slist(s)"),
-        Bench::new("svcomp/destroySlave", Category::SvComp, DESTROY_SLAVE, "destroySlave",
-            vec![master_inputs()])
-            .spec("mlist(m)", &[(0, "emp & m == nil")])
-            .frees(),
-        Bench::new("svcomp/add", Category::SvComp, ADD, "add", vec![master_inputs()])
-            .spec("mlist(m)", &[(0, "mlist(res)")]),
-        Bench::new("svcomp/del", Category::SvComp, DEL, "del", vec![master_inputs()])
-            .spec("mlist(m)", &[(0, "emp & m == nil & res == nil"), (1, "mlist(res)")])
-            .frees(),
-        Bench::new("svcomp/init", Category::SvComp, INIT, "init",
-            vec![vec![ArgCand::Int(0), ArgCand::Int(4), ArgCand::Int(10)]])
-            .spec("emp", &[(0, "mlist(res)")])
-            .loop_inv("inv", "mlist(m)"),
+        Bench::new(
+            "svcomp/allocSlave",
+            Category::SvComp,
+            ALLOC_SLAVE,
+            "allocSlave",
+            vec![master_inputs()],
+        )
+        .spec("mlist(m)", &[(0, "emp & m == nil")])
+        .loop_inv("inv", "mlist(m)"),
+        Bench::new(
+            "svcomp/insertSlave",
+            Category::SvComp,
+            INSERT_SLAVE,
+            "insertSlave",
+            vec![master_inputs()],
+        )
+        .spec("mlist(m)", &[(0, "emp & m == nil")])
+        .loop_inv("inv", "mlist(m)"),
+        Bench::new(
+            "svcomp/createSlave",
+            Category::SvComp,
+            CREATE_SLAVE,
+            "createSlave",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(3), ArgCand::Int(10)]],
+        )
+        .spec("emp", &[(0, "slist(res)")])
+        .loop_inv("inv", "slist(s)"),
+        Bench::new(
+            "svcomp/destroySlave",
+            Category::SvComp,
+            DESTROY_SLAVE,
+            "destroySlave",
+            vec![master_inputs()],
+        )
+        .spec("mlist(m)", &[(0, "emp & m == nil")])
+        .frees(),
+        Bench::new(
+            "svcomp/add",
+            Category::SvComp,
+            ADD,
+            "add",
+            vec![master_inputs()],
+        )
+        .spec("mlist(m)", &[(0, "mlist(res)")]),
+        Bench::new(
+            "svcomp/del",
+            Category::SvComp,
+            DEL,
+            "del",
+            vec![master_inputs()],
+        )
+        .spec(
+            "mlist(m)",
+            &[(0, "emp & m == nil & res == nil"), (1, "mlist(res)")],
+        )
+        .frees(),
+        Bench::new(
+            "svcomp/init",
+            Category::SvComp,
+            INIT,
+            "init",
+            vec![vec![ArgCand::Int(0), ArgCand::Int(4), ArgCand::Int(10)]],
+        )
+        .spec("emp", &[(0, "mlist(res)")])
+        .loop_inv("inv", "mlist(m)"),
     ]
 }
 
@@ -167,8 +207,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -7,7 +7,11 @@ use crate::predicates::tnode_layout;
 use crate::program::{nil_or, ArgCand, Bench, BugKind, Category};
 
 fn tree(size: usize) -> ArgCand {
-    ArgCand::Tree { layout: tnode_layout(), kind: TreeKind::Random, size }
+    ArgCand::Tree {
+        layout: tnode_layout(),
+        kind: TreeKind::Random,
+        size,
+    }
 }
 
 const INORDER: &str = r#"
@@ -97,31 +101,83 @@ pub fn benches() -> Vec<Bench> {
     let tree_and_acc = || {
         vec![
             nil_or(tree),
-            vec![ArgCand::Nil, ArgCand::List {
-                layout: crate::predicates::snode_layout(),
-                order: sling_lang::DataOrder::Random,
-                size: 3,
-                circular: false,
-            }],
+            vec![
+                ArgCand::Nil,
+                ArgCand::List {
+                    layout: crate::predicates::snode_layout(),
+                    order: sling_lang::DataOrder::Random,
+                    size: 3,
+                    circular: false,
+                },
+            ],
         ]
     };
     vec![
-        Bench::new("traversal/traverseInorder", Category::TreeTraversal, INORDER,
-            "traverseInorder", tree_and_acc())
-            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (2, "tree(t) * sll(res)")]),
-        Bench::new("traversal/traversePostorder", Category::TreeTraversal, POSTORDER,
-            "traversePostorder", tree_and_acc())
-            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (1, "tree(t) * sll(res)")]),
-        Bench::new("traversal/traversePreorder", Category::TreeTraversal, PREORDER,
-            "traversePreorder", tree_and_acc())
-            .spec("tree(t) * sll(acc)", &[(0, "sll(res) & t == nil & res == acc"), (1, "tree(t) * sll(res)")]),
-        Bench::new("traversal/tree2list", Category::TreeTraversal, TREE2LIST, "tree2list",
-            vec![nil_or(tree)])
-            .spec("tree(t)", &[(0, "emp & t == nil & res == nil"), (1, "rlist(res) & res == t")]),
-        Bench::new("traversal/tree2listIter", Category::TreeTraversal, TREE2LIST_ITER_BUG,
-            "tree2listIter", vec![nil_or(tree)])
-            .spec("tree(t)", &[(0, "rlist(res)")])
-            .bug(BugKind::Segfault),
+        Bench::new(
+            "traversal/traverseInorder",
+            Category::TreeTraversal,
+            INORDER,
+            "traverseInorder",
+            tree_and_acc(),
+        )
+        .spec(
+            "tree(t) * sll(acc)",
+            &[
+                (0, "sll(res) & t == nil & res == acc"),
+                (2, "tree(t) * sll(res)"),
+            ],
+        ),
+        Bench::new(
+            "traversal/traversePostorder",
+            Category::TreeTraversal,
+            POSTORDER,
+            "traversePostorder",
+            tree_and_acc(),
+        )
+        .spec(
+            "tree(t) * sll(acc)",
+            &[
+                (0, "sll(res) & t == nil & res == acc"),
+                (1, "tree(t) * sll(res)"),
+            ],
+        ),
+        Bench::new(
+            "traversal/traversePreorder",
+            Category::TreeTraversal,
+            PREORDER,
+            "traversePreorder",
+            tree_and_acc(),
+        )
+        .spec(
+            "tree(t) * sll(acc)",
+            &[
+                (0, "sll(res) & t == nil & res == acc"),
+                (1, "tree(t) * sll(res)"),
+            ],
+        ),
+        Bench::new(
+            "traversal/tree2list",
+            Category::TreeTraversal,
+            TREE2LIST,
+            "tree2list",
+            vec![nil_or(tree)],
+        )
+        .spec(
+            "tree(t)",
+            &[
+                (0, "emp & t == nil & res == nil"),
+                (1, "rlist(res) & res == t"),
+            ],
+        ),
+        Bench::new(
+            "traversal/tree2listIter",
+            Category::TreeTraversal,
+            TREE2LIST_ITER_BUG,
+            "tree2listIter",
+            vec![nil_or(tree)],
+        )
+        .spec("tree(t)", &[(0, "rlist(res)")])
+        .bug(BugKind::Segfault),
     ]
 }
 
@@ -133,8 +189,8 @@ mod tests {
     #[test]
     fn sources_compile() {
         for b in benches() {
-            let p = parse_program(b.source)
-                .unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
+            let p =
+                parse_program(b.source).unwrap_or_else(|e| panic!("{}: parse error: {e}", b.name));
             check_program(&p).unwrap_or_else(|e| panic!("{}: type error: {e}", b.name));
         }
     }

@@ -10,7 +10,17 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:<24} {:>4} {:>6} {:>6} {:>7} {:>10} {:>7} {:>9} {:>7} {:>6} {:>6}",
-        "Category", "Prog", "LoC", "iLocs", "Traces", "Invs(spur)", "A/S/X", "Time(s)", "Single", "Pred", "Pure"
+        "Category",
+        "Prog",
+        "LoC",
+        "iLocs",
+        "Traces",
+        "Invs(spur)",
+        "A/S/X",
+        "Time(s)",
+        "Single",
+        "Pred",
+        "Pure"
     );
     let _ = writeln!(out, "{}", "-".repeat(110));
     let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0.0f64);

@@ -8,10 +8,11 @@
 //! cargo run -p sling-examples --example bug_explain
 //! ```
 
-use sling::{analyze, SlingConfig};
-use sling_lang::{check_program, parse_program, Location};
+use sling::{AnalysisRequest, Engine, Report};
+use sling_lang::Location;
 use sling_logic::Symbol;
 use sling_suite::corpus::all_benches;
+use sling_suite::eval::{engine_for, EvalConfig};
 
 const FIXED: &str = r#"
 struct AdNode { next: AdNode*; prev: AdNode*; }
@@ -32,43 +33,49 @@ fn dll_fix(h: AdNode*) {
 }
 "#;
 
-fn show(loop_invs: &sling::AnalysisOutcome, label: &str) {
-    let Some(report) = loop_invs.at(Location::LoopHead(Symbol::intern("inv"))) else {
+fn show(report: &Report, label: &str) {
+    let Some(analysis) = report.at(Location::LoopHead(Symbol::intern("inv"))) else {
         println!("  loop head unreached");
         return;
     };
     println!("  {label}:");
-    for inv in report.invariants.iter().take(3) {
+    for inv in analysis.invariants.iter().take(3) {
         println!("    {}", inv.formula);
     }
 }
 
 fn main() {
-    let bench = all_benches().into_iter().find(|b| b.name == "afwp_dll/dll_fix").unwrap();
-    let config = SlingConfig::default();
+    let bench = all_benches()
+        .into_iter()
+        .find(|b| b.name == "afwp_dll/dll_fix")
+        .unwrap();
+    let config = EvalConfig::default();
 
     // Buggy version (as found in the corpus).
-    let buggy = sling_suite::eval::compile(&bench);
-    let types = buggy.type_env();
-    let preds = sling_suite::predicates::pred_env(bench.category);
-    let inputs = bench.input_builders(7);
-    let buggy_out =
-        analyze(&buggy, Symbol::intern("dll_fix"), &inputs, &types, &preds, &config);
+    let buggy = engine_for(&bench, &config, None);
+    let request = || AnalysisRequest::new("dll_fix").inputs(bench.input_builders(7));
+    let buggy_report = buggy
+        .analyze(&request())
+        .expect("dll_fix is the corpus target");
     println!("== buggy dll_fix (guard commented out) ==");
-    show(&buggy_out, "loop invariant");
+    show(&buggy_report, "loop invariant");
     println!(
         "  → `k == nil` in the invariant: k never advances. The expected\n\
          invariant says k heads a growing dll — SLING shows the opposite,\n\
          pointing straight at the commented-out bookkeeping.\n"
     );
 
-    // Fixed version.
-    let fixed = parse_program(FIXED).expect("fixed version parses");
-    check_program(&fixed).expect("fixed version checks");
-    let inputs = bench.input_builders(7);
-    let fixed_out =
-        analyze(&fixed, Symbol::intern("dll_fix"), &inputs, &types, &preds, &config);
+    // Fixed version: its own engine, sharing the buggy run's predicate
+    // library via the category environment.
+    let fixed = Engine::builder()
+        .program_source(FIXED)
+        .expect("fixed version parses")
+        .pred_env(sling_suite::predicates::pred_env(bench.category))
+        .config(config.sling)
+        .build()
+        .expect("fixed version checks");
+    let fixed_report = fixed.analyze(&request()).expect("same target name");
     println!("== fixed dll_fix (guard restored) ==");
-    show(&fixed_out, "loop invariant");
+    show(&fixed_report, "loop invariant");
     println!("  → the sll/dll mixed shape reappears, as the paper reports.");
 }

@@ -6,44 +6,51 @@
 //! cargo run -p sling-examples --example concat_dll
 //! ```
 
-use sling_suite::corpus::all_benches;
-use sling_suite::eval::{compile, EvalConfig};
+use sling::AnalysisRequest;
 use sling_lang::Location;
 use sling_logic::Symbol;
+use sling_suite::corpus::all_benches;
+use sling_suite::eval::{engine_for, EvalConfig};
 
 fn main() {
-    let bench = all_benches().into_iter().find(|b| b.name == "dll/concat").unwrap();
-    let program = compile(&bench);
-    let types = program.type_env();
-    let preds = sling_suite::predicates::pred_env(bench.category);
+    let bench = all_benches()
+        .into_iter()
+        .find(|b| b.name == "dll/concat")
+        .unwrap();
     let config = EvalConfig::default();
-    let inputs = bench.input_builders(config.seed);
+    let engine = engine_for(&bench, &config, None);
+    let request = AnalysisRequest::new("concat").inputs(bench.input_builders(config.seed));
 
     println!("== Figure 1: the program ==\n{}", bench.source.trim());
-    let outcome = sling::analyze(
-        &program,
-        Symbol::intern("concat"),
-        &inputs,
-        &types,
-        &preds,
-        &config.sling,
-    );
+    let report = engine.analyze(&request).expect("concat is a corpus target");
 
-    println!("\n== Inference ({} runs, {} traces) ==", outcome.runs, outcome.traces);
+    println!(
+        "\n== Inference ({} runs, {} traces) ==",
+        report.metrics.runs, report.metrics.traces
+    );
     let show = |title: &str, loc: Location| {
-        let Some(report) = outcome.at(loc) else {
+        let Some(analysis) = report.at(loc) else {
             println!("\n{title}: unreached");
             return;
         };
-        println!("\n{title} ({} models):", report.models_used);
-        for inv in report.invariants.iter().take(4) {
+        println!("\n{title} ({} models):", analysis.models_used);
+        for inv in analysis.invariants.iter().take(4) {
             let mark = if inv.spurious { " [spurious]" } else { "" };
             println!("    {}{mark}", inv.formula);
         }
     };
-    show("precondition (paper's F'_L1, at @L1)", Location::Label(Symbol::intern("L1")));
-    show("x == nil postcondition (F'_L2, at @L2)", Location::Label(Symbol::intern("L2")));
-    show("x != nil postcondition (F'_L3, at the return)", Location::Exit(1));
+    show(
+        "precondition (paper's F'_L1, at @L1)",
+        Location::Label(Symbol::intern("L1")),
+    );
+    show(
+        "x == nil postcondition (F'_L2, at @L2)",
+        Location::Label(Symbol::intern("L2")),
+    );
+    show(
+        "x != nil postcondition (F'_L3, at the return)",
+        Location::Exit(1),
+    );
     show("empty-list exit (return y)", Location::Exit(0));
 
     println!(

@@ -1,4 +1,5 @@
-//! Quickstart: infer separation-logic invariants for a tiny list program.
+//! Quickstart: infer separation-logic invariants for a tiny list program
+//! through the engine API.
 //!
 //! ```sh
 //! cargo run -p sling-examples --example quickstart
@@ -7,43 +8,38 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sling::{analyze, InputBuilder, SlingConfig};
-use sling_lang::{
-    check_program, gen_list, parse_program, DataOrder, ListLayout, Location, RtHeap,
-};
-use sling_logic::{parse_predicates, PredEnv, Symbol};
+use sling::{AnalysisRequest, Engine, InputBuilder};
+use sling_lang::{gen_list, DataOrder, ListLayout, Location, RtHeap};
+use sling_logic::Symbol;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A program with breakpoints: entry/exits are automatic, the loop
-    //    head is labelled @inv.
-    let program = parse_program(
-        "struct SNode { next: SNode*; data: int; }
-         fn reverse(x: SNode*) -> SNode* {
-             var r: SNode* = null;
-             while @inv (x != null) {
-                 var t: SNode* = x->next;
-                 x->next = r;
-                 r = x;
-                 x = t;
-             }
-             return r;
-         }",
-    )?;
-    check_program(&program)?;
+    // 1. Build the engine once: the program (breakpoints: entry/exits are
+    //    automatic, the loop head is labelled @inv), the predicate
+    //    vocabulary SLING searches over, and the default configuration.
+    let engine = Engine::builder()
+        .program_source(
+            "struct SNode { next: SNode*; data: int; }
+             fn reverse(x: SNode*) -> SNode* {
+                 var r: SNode* = null;
+                 while @inv (x != null) {
+                     var t: SNode* = x->next;
+                     x->next = r;
+                     r = x;
+                     x = t;
+                 }
+                 return r;
+             }",
+        )?
+        .predicates_source(
+            "pred sll(x: SNode*) := emp & x == nil
+               | exists u, d. x -> SNode{next: u, data: d} * sll(u);
+             pred lseg(x: SNode*, y: SNode*) := emp & x == y
+               | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);",
+        )?
+        .build()?;
 
-    // 2. The predicate vocabulary SLING searches over.
-    let mut preds = PredEnv::new();
-    for def in parse_predicates(
-        "pred sll(x: SNode*) := emp & x == nil
-           | exists u, d. x -> SNode{next: u, data: d} * sll(u);
-         pred lseg(x: SNode*, y: SNode*) := emp & x == y
-           | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);",
-    )? {
-        preds.define(def)?;
-    }
-    let types = program.type_env();
-
-    // 3. Test inputs: nil plus random lists (the paper uses size 10).
+    // 2. Describe the work: the target function plus test inputs — nil
+    //    and random lists (the paper uses size 10).
     let layout = ListLayout {
         ty: Symbol::intern("SNode"),
         nfields: 2,
@@ -62,26 +58,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             builder
         })
         .collect();
+    let request = AnalysisRequest::new("reverse").inputs(inputs);
 
-    // 4. Run SLING.
-    let outcome = analyze(
-        &program,
-        Symbol::intern("reverse"),
-        &inputs,
-        &types,
-        &preds,
-        &SlingConfig::default(),
+    // 3. Run SLING. The same engine can keep serving requests — further
+    //    inputs, other functions — with its entailment cache warm.
+    let report = engine.analyze(&request)?;
+
+    println!(
+        "reverse: {} runs, {} traces, {:.2}s; cache: {}\n",
+        report.metrics.runs, report.metrics.traces, report.metrics.seconds, report.cache
     );
-
-    println!("reverse: {} runs, {} traces, {:.2}s\n", outcome.runs, outcome.traces, outcome.seconds);
     for loc in [
         Location::Entry,
         Location::LoopHead(Symbol::intern("inv")),
         Location::Exit(0),
     ] {
-        let Some(report) = outcome.at(loc) else { continue };
-        println!("at {loc} ({} models):", report.models_used);
-        for inv in report.invariants.iter().take(3) {
+        let Some(analysis) = report.at(loc) else {
+            continue;
+        };
+        println!("at {loc} ({} models):", analysis.models_used);
+        for inv in analysis.invariants.iter().take(3) {
             println!("    {}", inv.formula);
         }
     }

@@ -18,10 +18,13 @@ fn main() {
 
     // The correct merge sort: the "leak" FBInfer reports is refuted by
     // the alias equalities in the inferred invariants.
-    let real = all_benches().into_iter().find(|b| b.name == "glib_sll/sortReal").unwrap();
+    let real = all_benches()
+        .into_iter()
+        .find(|b| b.name == "glib_sll/sortReal")
+        .unwrap();
     let run = run_bench(&real, &config);
     println!("== correct sortReal ==");
-    if let Some(report) = run.outcome.at(Location::Exit(1)) {
+    if let Some(report) = run.report.at(Location::Exit(1)) {
         for inv in report.invariants.iter().take(3) {
             println!("    {}", inv.formula);
         }
@@ -34,10 +37,13 @@ fn main() {
 
     // The buggy sortMerge: the unexpected `res == nil` postcondition is
     // the tell.
-    let buggy = all_benches().into_iter().find(|b| b.name == "glib_sll/sortMerge").unwrap();
+    let buggy = all_benches()
+        .into_iter()
+        .find(|b| b.name == "glib_sll/sortMerge")
+        .unwrap();
     let run = run_bench(&buggy, &config);
     println!("== buggy sortMerge (the paper's typo) ==");
-    if let Some(report) = run.outcome.at(Location::Exit(0)) {
+    if let Some(report) = run.report.at(Location::Exit(0)) {
         for inv in report.invariants.iter().take(3) {
             println!("    {}", inv.formula);
         }

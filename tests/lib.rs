@@ -11,8 +11,19 @@ use sling_logic::Symbol;
 
 /// Input builders for a one-list function: nil plus lists of the given
 /// sizes.
-pub fn list_inputs(ty: &str, nfields: usize, data: Option<usize>, sizes: &[usize]) -> Vec<InputBuilder> {
-    let layout = ListLayout { ty: Symbol::intern(ty), nfields, next: 0, prev: None, data };
+pub fn list_inputs(
+    ty: &str,
+    nfields: usize,
+    data: Option<usize>,
+    sizes: &[usize],
+) -> Vec<InputBuilder> {
+    let layout = ListLayout {
+        ty: Symbol::intern(ty),
+        nfields,
+        next: 0,
+        prev: None,
+        data,
+    };
     let mut out: Vec<InputBuilder> = vec![Box::new(|_: &mut RtHeap| vec![sling_models::Val::Nil])];
     for (i, &n) in sizes.iter().enumerate() {
         let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {

@@ -1,9 +1,10 @@
 //! End-to-end integration tests spanning every crate: MiniC parsing →
-//! tracing → model checking → inference → validation → matching.
+//! tracing → model checking → inference → validation → matching, all
+//! driven through the engine API.
 
-use sling::{analyze, SlingConfig};
-use sling_lang::{check_program, parse_program, Location};
-use sling_logic::{parse_formula, parse_predicates, PredEnv, Symbol};
+use sling::{AnalysisRequest, Engine};
+use sling_lang::Location;
+use sling_logic::{parse_formula, Symbol};
 use sling_suite::matcher::subsumes;
 use sling_tests::list_inputs;
 
@@ -11,24 +12,24 @@ fn sym(s: &str) -> Symbol {
     Symbol::intern(s)
 }
 
-fn sll_preds() -> PredEnv {
-    let mut preds = PredEnv::new();
-    for d in parse_predicates(
-        "pred sll(x: SNode*) := emp & x == nil
-           | exists u, d. x -> SNode{next: u, data: d} * sll(u);
-         pred lseg(x: SNode*, y: SNode*) := emp & x == y
-           | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);",
-    )
-    .unwrap()
-    {
-        preds.define(d).unwrap();
-    }
-    preds
+const SLL_PREDS: &str = "pred sll(x: SNode*) := emp & x == nil
+       | exists u, d. x -> SNode{next: u, data: d} * sll(u);
+     pred lseg(x: SNode*, y: SNode*) := emp & x == y
+       | exists u, d. x -> SNode{next: u, data: d} * lseg(u, y);";
+
+fn sll_engine(source: &str) -> Engine {
+    Engine::builder()
+        .program_source(source)
+        .expect("test program parses")
+        .predicates_source(SLL_PREDS)
+        .expect("test predicates parse")
+        .build()
+        .expect("test program checks")
 }
 
 #[test]
 fn reverse_full_pipeline() {
-    let program = parse_program(
+    let engine = sll_engine(
         "struct SNode { next: SNode*; data: int; }
          fn reverse(x: SNode*) -> SNode* {
              var r: SNode* = null;
@@ -40,36 +41,42 @@ fn reverse_full_pipeline() {
              }
              return r;
          }",
-    )
-    .unwrap();
-    check_program(&program).unwrap();
-    let types = program.type_env();
-    let preds = sll_preds();
-    let inputs = list_inputs("SNode", 2, Some(1), &[1, 5, 10]);
-    let outcome =
-        analyze(&program, sym("reverse"), &inputs, &types, &preds, &SlingConfig::default());
+    );
+    let request =
+        AnalysisRequest::new("reverse").inputs(list_inputs("SNode", 2, Some(1), &[1, 5, 10]));
+    let report = engine.analyze(&request).unwrap();
 
     // Precondition: sll(x).
-    let entry = outcome.at(Location::Entry).expect("entry reached");
+    let entry = report.at(Location::Entry).expect("entry reached");
     let doc = parse_formula("sll(x)").unwrap();
     assert!(entry.invariants.iter().any(|i| subsumes(&i.formula, &doc)));
 
     // Loop invariant: sll(x) * sll(r).
-    let head = outcome.at(Location::LoopHead(sym("inv"))).expect("loop reached");
+    let head = report
+        .at(Location::LoopHead(sym("inv")))
+        .expect("loop reached");
     let doc = parse_formula("sll(x) * sll(r)").unwrap();
     assert!(
         head.invariants.iter().any(|i| subsumes(&i.formula, &doc)),
         "loop invariants: {:?}",
-        head.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>()
+        head.invariants
+            .iter()
+            .map(|i| i.formula.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Postcondition: sll(res), plus the paper's bonus x == nil.
-    let exit = outcome.at(Location::Exit(0)).expect("exit reached");
+    let exit = report.at(Location::Exit(0)).expect("exit reached");
     let doc = parse_formula("sll(res) & x == nil").unwrap();
     assert!(
-        exit.invariants.iter().any(|i| !i.spurious && subsumes(&i.formula, &doc)),
+        exit.invariants
+            .iter()
+            .any(|i| !i.spurious && subsumes(&i.formula, &doc)),
         "exit invariants: {:?}",
-        exit.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>()
+        exit.invariants
+            .iter()
+            .map(|i| i.formula.to_string())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -77,7 +84,7 @@ fn reverse_full_pipeline() {
 fn frame_validation_flags_impossible_specs() {
     // A function that frees a node its caller still references: the exit
     // invariants are built from tainted traces and must be spurious.
-    let program = parse_program(
+    let engine = sll_engine(
         "struct SNode { next: SNode*; data: int; }
          fn dropHead(x: SNode*) -> SNode* {
              if (x == null) { return null; }
@@ -85,41 +92,33 @@ fn frame_validation_flags_impossible_specs() {
              free(x);
              return rest;
          }",
-    )
-    .unwrap();
-    check_program(&program).unwrap();
-    let types = program.type_env();
-    let preds = sll_preds();
-    let inputs = list_inputs("SNode", 2, Some(1), &[3, 6]);
-    let outcome =
-        analyze(&program, sym("dropHead"), &inputs, &types, &preds, &SlingConfig::default());
-    let exit = outcome.at(Location::Exit(1)).expect("non-nil exit reached");
+    );
+    let request =
+        AnalysisRequest::new("dropHead").inputs(list_inputs("SNode", 2, Some(1), &[3, 6]));
+    let report = engine.analyze(&request).unwrap();
+    let exit = report.at(Location::Exit(1)).expect("non-nil exit reached");
     assert!(exit.tainted, "freed cells must taint the exit");
     assert!(exit.invariants.iter().all(|i| i.spurious));
 }
 
 #[test]
 fn baseline_and_sling_agree_on_recursive_list_code() {
-    let src = "struct SNode { next: SNode*; data: int; }
+    let engine = sll_engine(
+        "struct SNode { next: SNode*; data: int; }
          fn insertBack(x: SNode*, k: int) -> SNode* {
              if (x == null) { return new SNode { data: k }; }
              x->next = insertBack(x->next, k);
              return x;
-         }";
-    let program = parse_program(src).unwrap();
-    check_program(&program).unwrap();
-    let types = program.type_env();
-    let preds = sll_preds();
+         }",
+    );
 
-    // Baseline.
-    let spec = sling_biabduce::infer_spec(&program, sym("insertBack"), &preds)
+    // Baseline, sharing the engine's program and predicate environment.
+    let spec = sling_biabduce::infer_spec(engine.program(), sym("insertBack"), engine.preds())
         .expect("in the supported fragment");
     assert_eq!(spec.pre.to_string(), "sll(x)");
 
-    // SLING.
-    let mut inputs = list_inputs("SNode", 2, Some(1), &[4]);
-    // insertBack takes a key too: adapt the builders.
-    inputs = inputs
+    // SLING. insertBack takes a key too: adapt the builders.
+    let inputs: Vec<sling::InputBuilder> = list_inputs("SNode", 2, Some(1), &[4])
         .into_iter()
         .map(|b| {
             let f: sling::InputBuilder = Box::new(move |heap: &mut sling_lang::RtHeap| {
@@ -130,15 +129,23 @@ fn baseline_and_sling_agree_on_recursive_list_code() {
             f
         })
         .collect();
-    let outcome =
-        analyze(&program, sym("insertBack"), &inputs, &types, &preds, &SlingConfig::default());
+    let report = engine
+        .analyze(&AnalysisRequest::new("insertBack").inputs(inputs))
+        .unwrap();
     let doc = parse_formula("sll(res)").unwrap();
     for (exit, _) in &spec.posts {
-        let report = outcome.at(Location::Exit(*exit)).expect("exit reached");
+        let analysis = report.at(Location::Exit(*exit)).expect("exit reached");
         assert!(
-            report.invariants.iter().any(|i| !i.spurious && subsumes(&i.formula, &doc)),
+            analysis
+                .invariants
+                .iter()
+                .any(|i| !i.spurious && subsumes(&i.formula, &doc)),
             "exit {exit}: {:?}",
-            report.invariants.iter().map(|i| i.formula.to_string()).collect::<Vec<_>>()
+            analysis
+                .invariants
+                .iter()
+                .map(|i| i.formula.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -147,23 +154,20 @@ fn baseline_and_sling_agree_on_recursive_list_code() {
 fn partial_traces_from_crashing_programs() {
     // §5.4 red-black insert: the program crashes after the first
     // iteration but SLING still infers from the prefix.
-    let program = parse_program(
+    let engine = sll_engine(
         "struct SNode { next: SNode*; data: int; }
          fn crashy(x: SNode*) -> SNode* {
              @seen;
              var y: SNode* = x->next;
              return y->next;
          }",
-    )
-    .unwrap();
-    check_program(&program).unwrap();
-    let types = program.type_env();
-    let preds = sll_preds();
-    let inputs = list_inputs("SNode", 2, Some(1), &[2]);
-    let outcome =
-        analyze(&program, sym("crashy"), &inputs, &types, &preds, &SlingConfig::default());
-    assert!(outcome.faulted_runs > 0, "the program crashes");
-    let seen = outcome.at(Location::Label(sym("seen"))).expect("prefix traced");
+    );
+    let request = AnalysisRequest::new("crashy").inputs(list_inputs("SNode", 2, Some(1), &[2]));
+    let report = engine.analyze(&request).unwrap();
+    assert!(report.metrics.faulted_runs > 0, "the program crashes");
+    let seen = report
+        .at(Location::Label(sym("seen")))
+        .expect("prefix traced");
     assert!(!seen.invariants.is_empty(), "partial invariants inferred");
 }
 
@@ -174,32 +178,31 @@ fn checker_agrees_with_inferred_invariants() {
     use sling_checker::CheckCtx;
     use sling_lang::{TraceConfig, Tracer, Vm, VmConfig};
 
-    let program = parse_program(
+    let engine = sll_engine(
         "struct SNode { next: SNode*; data: int; }
          fn skipOne(x: SNode*) -> SNode* {
              if (x == null) { return null; }
              return x->next;
          }",
-    )
-    .unwrap();
-    check_program(&program).unwrap();
-    let types = program.type_env();
-    let preds = sll_preds();
+    );
     let inputs = list_inputs("SNode", 2, Some(1), &[3]);
-    let outcome =
-        analyze(&program, sym("skipOne"), &inputs, &types, &preds, &SlingConfig::default());
+    let report = engine
+        .analyze(&AnalysisRequest::new("skipOne").inputs(list_inputs("SNode", 2, Some(1), &[3])))
+        .unwrap();
 
     // Re-collect models and check each invariant formula.
-    let ctx = CheckCtx::new(&types, &preds);
+    let ctx = CheckCtx::new(engine.types(), engine.preds());
     for builder in &inputs {
-        let mut vm = Vm::new(&program, VmConfig::default());
+        let mut vm = Vm::new(engine.program(), VmConfig::default());
         let args = builder(&mut vm.heap);
         vm.set_tracer(Tracer::new(sym("skipOne"), TraceConfig::default()));
         let _ = vm.call(sym("skipOne"), &args);
         let tracer = vm.take_tracer().unwrap();
         for snap in &tracer.snapshots {
-            let Some(report) = outcome.at(snap.location) else { continue };
-            for inv in &report.invariants {
+            let Some(analysis) = report.at(snap.location) else {
+                continue;
+            };
+            for inv in &analysis.invariants {
                 if !inv.spurious {
                     assert!(
                         ctx.check(&snap.model, &inv.formula).is_some(),

@@ -21,8 +21,14 @@ fn node_env() -> (TypeEnv, PredEnv) {
         .define(StructDef {
             name: node,
             fields: vec![
-                FieldDef { name: sym("next"), ty: FieldTy::Ptr(node) },
-                FieldDef { name: sym("data"), ty: FieldTy::Int },
+                FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                },
+                FieldDef {
+                    name: sym("data"),
+                    ty: FieldTy::Int,
+                },
             ],
         })
         .unwrap();
