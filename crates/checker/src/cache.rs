@@ -29,8 +29,18 @@
 //! Cached entries store the residual domain and existential
 //! instantiation in canonical space; a hit rehydrates them through the
 //! querying model's own renaming.
+//!
+//! # Concurrency
+//!
+//! The cache is sharded: entries are distributed over [`SHARD_COUNT`]
+//! independent `Mutex<HashMap>` shards selected by the key's precomputed
+//! fingerprint, so concurrent checker threads (a parallel engine batch)
+//! contend only when they touch the same shard. Hit/miss counters are
+//! per-shard atomics; [`CheckCache::stats`] sums them, so totals stay
+//! exact under any interleaving.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -90,17 +100,111 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
-/// A shared, thread-safe memo table for checker reductions.
+/// Number of independent shards a [`CheckCache`] distributes its entries
+/// over. Concurrent checker threads contend only when two lookups land on
+/// the same shard.
+pub const SHARD_COUNT: usize = 16;
+
+/// Everything outside the `(model, formula)` pair that a verdict depends
+/// on: the environment fingerprint and the search limits (a
+/// budget-truncated "no" must not answer a full-budget query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct QueryScope {
+    /// Fingerprint of the `(TypeEnv, PredEnv)` pair.
+    pub(crate) env_tag: u64,
+    /// Search-node budget of the querying context.
+    pub(crate) node_budget: u64,
+    /// Unfolding slack of the querying context.
+    pub(crate) fuel_slack: u32,
+}
+
+/// The cache key: the query scope plus the canonical form of the
+/// `(model, formula)` pair, with a FNV-1a fingerprint over both
+/// precomputed once at canonicalization. The fingerprint picks the shard
+/// and feeds the hash table directly (via a pass-through hasher), so the
+/// canonical text is never re-hashed on probes; equality still compares
+/// the full text, so fingerprint collisions cannot alias entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CacheKey {
+    scope: QueryScope,
+    fingerprint: u64,
+    text: String,
+}
+
+impl CacheKey {
+    fn new(scope: QueryScope, text: String) -> CacheKey {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut step = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        step(&scope.env_tag.to_le_bytes());
+        step(&scope.node_budget.to_le_bytes());
+        step(&scope.fuel_slack.to_le_bytes());
+        step(text.as_bytes());
+        CacheKey {
+            scope,
+            fingerprint: h,
+            text,
+        }
+    }
+
+    /// The shard this key belongs to. Uses high fingerprint bits, leaving
+    /// the low bits (used by the hash table's bucket index) independent.
+    fn shard(&self) -> usize {
+        (self.fingerprint >> 48) as usize % SHARD_COUNT
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// Hasher that passes the precomputed key fingerprint straight through.
+#[derive(Debug, Default, Clone)]
+struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-fingerprint keys (unused in practice).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type FingerprintBuild = BuildHasherDefault<FingerprintHasher>;
+
+/// One independent slice of the cache: its own map and counters.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: Mutex<HashMap<CacheKey, Option<CachedReduction>, FingerprintBuild>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shared, thread-safe memo table for checker reductions, sharded for
+/// concurrent use.
 ///
 /// Create one per [`crate::CheckCtx`] scope (an engine, a batch run) and
 /// pass it via [`crate::CheckCtx::with_cache`]. Both satisfiable and
 /// unsatisfiable verdicts are cached.
 #[derive(Debug)]
 pub struct CheckCache {
-    entries: Mutex<HashMap<String, Option<CachedReduction>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    capacity: usize,
+    shards: Vec<Shard>,
+    shard_capacity: usize,
 }
 
 impl Default for CheckCache {
@@ -119,42 +223,52 @@ impl CheckCache {
         CheckCache::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// An empty cache retaining at most `capacity` entries.
+    /// An empty cache retaining roughly `capacity` entries. The bound is
+    /// enforced per shard ([`SHARD_COUNT`] shards of
+    /// `capacity / SHARD_COUNT` entries each, rounded up so small
+    /// capacities still cache), so the retained total can overshoot a
+    /// capacity that is not a multiple of the shard count by at most
+    /// `SHARD_COUNT - 1` entries.
     pub fn with_capacity(capacity: usize) -> CheckCache {
         CheckCache {
-            entries: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            capacity,
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            shard_capacity: capacity.div_ceil(SHARD_COUNT),
         }
     }
 
-    /// Current counters.
+    /// Current counters, summed over every shard. Hit/miss totals are
+    /// exact under concurrent use; `entries` is a point-in-time sum.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock").len() as u64,
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.entries += shard.entries.lock().expect("cache lock").len() as u64;
         }
+        stats
     }
 
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
+        for shard in &self.shards {
+            shard.entries.lock().expect("cache lock").clear();
+        }
     }
 
-    pub(crate) fn lookup(&self, key: &str) -> Option<Option<CachedReduction>> {
-        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Option<CachedReduction>> {
+        let shard = &self.shards[key.shard()];
+        let found = shard.entries.lock().expect("cache lock").get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
+            None => shard.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
     }
 
-    pub(crate) fn store(&self, key: String, value: Option<CachedReduction>) {
-        let mut entries = self.entries.lock().expect("cache lock");
-        if entries.len() < self.capacity {
+    pub(crate) fn store(&self, key: CacheKey, value: Option<CachedReduction>) {
+        let shard = &self.shards[key.shard()];
+        let mut entries = shard.entries.lock().expect("cache lock");
+        if entries.len() < self.shard_capacity {
             entries.insert(key, value);
         }
     }
@@ -194,7 +308,7 @@ pub(crate) struct CachedReduction {
 /// the model's concrete address space.
 pub(crate) struct CanonicalQuery {
     /// The cache key.
-    pub(crate) key: String,
+    pub(crate) key: CacheKey,
     binders: Vec<Symbol>,
     loc_ids: BTreeMap<Loc, u32>,
     id_locs: Vec<Loc>,
@@ -203,9 +317,12 @@ pub(crate) struct CanonicalQuery {
 }
 
 /// A stable fingerprint of the checking environments, mixed into cache
-/// keys. Both environments are `BTreeMap`-backed, so their `Debug`
-/// output is deterministic for equal contents.
-pub(crate) fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> u64 {
+/// keys so a [`CheckCache`] shared between contexts with *different*
+/// environments can never exchange verdicts. Both environments are
+/// `BTreeMap`-backed, so their `Debug` output is deterministic for equal
+/// contents. Long-lived engines compute this once at build time and pass
+/// it via [`crate::CheckCtx`]'s `env_tag` field.
+pub fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> u64 {
     let text = format!("{types:?}\u{1}{preds:?}");
     // FNV-1a.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -217,10 +334,10 @@ pub(crate) fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic:
 }
 
 impl CanonicalQuery {
-    /// Canonicalizes a query. `scope` is prepended verbatim to the key;
-    /// callers use it to carry everything outside the `(model, formula)`
-    /// pair that the verdict depends on (environment tag, search limits).
-    pub(crate) fn new(model: &StackHeapModel, f: &SymHeap, scope: &str) -> CanonicalQuery {
+    /// Canonicalizes a query. `scope` carries everything outside the
+    /// `(model, formula)` pair that the verdict depends on (environment
+    /// tag, search limits) and becomes part of the key.
+    pub(crate) fn new(model: &StackHeapModel, f: &SymHeap, scope: QueryScope) -> CanonicalQuery {
         let binders: Vec<Symbol> = f.exists.clone();
 
         // Canonical formula text: binders renamed positionally. `$`
@@ -237,7 +354,7 @@ impl CanonicalQuery {
         };
 
         let mut q = CanonicalQuery {
-            key: String::new(),
+            key: CacheKey::new(scope, String::new()),
             binders,
             loc_ids: BTreeMap::new(),
             id_locs: Vec::new(),
@@ -273,12 +390,12 @@ impl CanonicalQuery {
             q.assign_in_heap(loc);
         }
 
-        // Write the key: formula, free-variable values, heap cells. The
-        // write order is exactly the canonical order, so dangling ids
-        // are assigned deterministically as they are first printed.
+        // Write the canonical text: formula, free-variable values, heap
+        // cells. The write order is exactly the canonical order, so
+        // dangling ids are assigned deterministically as they are first
+        // printed.
         use std::fmt::Write as _;
-        let mut key = String::with_capacity(scope.len() + 64 + 16 * q.id_locs.len());
-        key.push_str(scope);
+        let mut key = String::with_capacity(64 + 16 * q.id_locs.len());
         let _ = write!(key, "{canon_formula}\n;");
         for v in &free {
             match model.stack.get(*v) {
@@ -302,7 +419,7 @@ impl CanonicalQuery {
             }
             key.push_str("};");
         }
-        q.key = key;
+        q.key = CacheKey::new(scope, key);
         q
     }
 
@@ -457,22 +574,49 @@ mod tests {
     #[test]
     fn isomorphic_models_share_a_key() {
         let f = parse_formula("clist(x)").unwrap();
-        let a = CanonicalQuery::new(&list_model(3, 1), &f, "");
-        let b = CanonicalQuery::new(&list_model(3, 100), &f, "");
+        let scope = QueryScope::default();
+        let a = CanonicalQuery::new(&list_model(3, 1), &f, scope);
+        let b = CanonicalQuery::new(&list_model(3, 100), &f, scope);
         assert_eq!(a.key, b.key);
-        let c = CanonicalQuery::new(&list_model(4, 1), &f, "");
+        let c = CanonicalQuery::new(&list_model(4, 1), &f, scope);
         assert_ne!(a.key, c.key, "different shapes must differ");
     }
 
     #[test]
     fn binder_names_do_not_matter() {
         let m = list_model(2, 1);
+        let scope = QueryScope::default();
         let f1 = parse_formula("exists u3. x -> CNode{next: u3} * clist(u3)").unwrap();
         let f2 = parse_formula("exists w9. x -> CNode{next: w9} * clist(w9)").unwrap();
         assert_eq!(
-            CanonicalQuery::new(&m, &f1, "").key,
-            CanonicalQuery::new(&m, &f2, "").key
+            CanonicalQuery::new(&m, &f1, scope).key,
+            CanonicalQuery::new(&m, &f2, scope).key
         );
+    }
+
+    #[test]
+    fn scope_is_part_of_the_key() {
+        let m = list_model(2, 1);
+        let f = parse_formula("clist(x)").unwrap();
+        let a = CanonicalQuery::new(
+            &m,
+            &f,
+            QueryScope {
+                env_tag: 1,
+                node_budget: 100,
+                fuel_slack: 4,
+            },
+        );
+        let b = CanonicalQuery::new(
+            &m,
+            &f,
+            QueryScope {
+                env_tag: 2,
+                node_budget: 100,
+                fuel_slack: 4,
+            },
+        );
+        assert_ne!(a.key, b.key, "different env tags must not share entries");
     }
 
     #[test]
@@ -621,12 +765,86 @@ mod tests {
     #[test]
     fn capacity_bounds_entries() {
         let (types, preds) = envs();
+        // Capacity is enforced per shard: one entry per shard here.
+        let cache = CheckCache::with_capacity(SHARD_COUNT);
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+        for n in 0..(4 * SHARD_COUNT as u64) {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        assert!(cache.stats().entries <= SHARD_COUNT as u64);
+    }
+
+    #[test]
+    fn tiny_capacities_still_cache() {
+        // A sub-shard-count capacity rounds up to one entry per shard
+        // instead of silently disabling retention.
+        let (types, preds) = envs();
         let cache = CheckCache::with_capacity(2);
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
         let f = parse_formula("clist(x)").unwrap();
-        for n in 0..6u64 {
-            let _ = ctx.check(&list_model(n, 1), &f);
-        }
-        assert!(cache.stats().entries <= 2);
+        let _ = ctx.check(&list_model(3, 1), &f);
+        let _ = ctx.check(&list_model(3, 50), &f);
+        let stats = cache.stats();
+        assert!(stats.entries >= 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "isomorphic re-query must hit: {stats:?}");
+    }
+
+    #[test]
+    fn stats_sum_exactly_under_concurrent_use() {
+        // Several threads hammer one shared cache with overlapping shape
+        // sets; per-shard counters must sum to exactly the number of
+        // lookups issued, and every shape must end up cached once.
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let f = parse_formula("clist(x)").unwrap();
+        const THREADS: u64 = 8;
+        const SHAPES: u64 = 24;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (cache, types, preds, f) = (&cache, &types, &preds, &f);
+                s.spawn(move || {
+                    let ctx = CheckCtx::with_cache(types, preds, Default::default(), cache);
+                    for n in 0..SHAPES {
+                        // Offset the start so threads collide on shapes
+                        // mid-flight rather than in lockstep.
+                        let shape = (n + t * 3) % SHAPES;
+                        let _ = ctx.check(&list_model(shape, 1), f);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.lookups(),
+            THREADS * SHAPES,
+            "every lookup must be counted exactly once: {stats:?}"
+        );
+        assert_eq!(
+            stats.entries, SHAPES,
+            "each distinct shape is cached exactly once: {stats:?}"
+        );
+        // At most one miss per (shape, racing thread) pair; in practice
+        // nearly every shape misses once. Hits account for the rest.
+        assert!(stats.misses >= SHAPES, "{stats:?}");
+        assert_eq!(stats.hits, stats.lookups() - stats.misses);
+    }
+
+    #[test]
+    fn fingerprints_spread_over_shards() {
+        let f = parse_formula("clist(x)").unwrap();
+        let scope = QueryScope::default();
+        let shards: std::collections::BTreeSet<usize> = (0..64)
+            .map(|n| {
+                CanonicalQuery::new(&list_model(n, 1), &f, scope)
+                    .key
+                    .shard()
+            })
+            .collect();
+        assert!(
+            shards.len() > SHARD_COUNT / 2,
+            "64 distinct shapes should touch most of the {SHARD_COUNT} shards, got {}",
+            shards.len()
+        );
     }
 }

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use sling_logic::{Expr, PredEnv, PureAtom, SpatialAtom, Subst, SymHeap, Symbol, TypeEnv};
 use sling_models::{Heap, Loc, StackHeapModel, Val};
 
-use crate::cache::{CanonicalQuery, CheckCache};
+use crate::cache::{CanonicalQuery, CheckCache, QueryScope};
 use crate::inst::Instantiation;
 
 /// Tuning knobs for the search.
@@ -155,11 +155,12 @@ impl<'a> CheckCtx<'a> {
         // The key must cover everything the verdict depends on: the
         // environments (tag) and the search limits (a budget-truncated
         // "no" must not answer a full-budget query).
-        let scope = format!(
-            "env{:x};bud{};slack{};",
-            self.env_tag, self.config.node_budget, self.config.fuel_slack
-        );
-        let query = CanonicalQuery::new(model, f, &scope);
+        let scope = QueryScope {
+            env_tag: self.env_tag,
+            node_budget: self.config.node_budget,
+            fuel_slack: self.config.fuel_slack,
+        };
+        let query = CanonicalQuery::new(model, f, scope);
         if let Some(entry) = cache.lookup(&query.key) {
             return entry.map(|cached| query.decode(model, &cached));
         }

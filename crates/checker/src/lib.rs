@@ -6,7 +6,7 @@
 //! variables. The residue and instantiation are exactly the information
 //! SLING propagates between inference iterations (Algorithm 1).
 //!
-//! See the crate-level docs of [`check`] for the search strategy and
+//! See the module docs of the `check` module source for the search strategy and
 //! DESIGN.md for why a direct search replaces the paper's Z3 encoding.
 //!
 //! # Example
@@ -63,6 +63,6 @@ mod cache;
 mod check;
 mod inst;
 
-pub use cache::{CacheStats, CheckCache};
+pub use cache::{env_fingerprint, CacheStats, CheckCache, SHARD_COUNT};
 pub use check::{CheckConfig, CheckCtx, Reduction};
 pub use inst::Instantiation;

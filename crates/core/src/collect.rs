@@ -8,13 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use sling_lang::{Location, Program, RtError, RtHeap, Snapshot, TraceConfig, Tracer, Vm, VmConfig};
+use sling_lang::{Location, Program, RtError, Snapshot, TraceConfig, Tracer, Vm, VmConfig};
 use sling_logic::Symbol;
-use sling_models::Val;
 
-/// Builds the argument vector for one run, allocating input structures
-/// directly in the VM heap.
-pub type InputBuilder = Box<dyn Fn(&mut RtHeap) -> Vec<Val>>;
+use crate::request::InputSource;
 
 /// One traced run of the target function.
 #[derive(Debug, Clone)]
@@ -56,11 +53,11 @@ impl Collected {
     }
 }
 
-/// Runs `target` once per input builder and collects the traces.
+/// Runs `target` once per input source and collects the traces.
 pub fn collect_models(
     program: &Program,
     target: Symbol,
-    inputs: &[InputBuilder],
+    inputs: &[InputSource],
     vm_config: VmConfig,
     trace_config: TraceConfig,
 ) -> Collected {
@@ -69,9 +66,9 @@ pub fn collect_models(
     // ids are unique across the whole collection (the frame-rule
     // validation pairs entry/exit snapshots by activation id).
     let mut base: u64 = 0;
-    for build in inputs {
+    for input in inputs {
         let mut vm = Vm::new(program, vm_config);
-        let args = build(&mut vm.heap);
+        let args = input.build(&mut vm.heap);
         vm.set_tracer(Tracer::new(target, trace_config));
         let result = vm.call(target, &args);
         let tracer = vm.take_tracer().expect("tracer was installed");
@@ -93,7 +90,8 @@ pub fn collect_models(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sling_lang::{check_program, parse_program};
+    use sling_lang::{check_program, parse_program, RtHeap};
+    use sling_models::Val;
 
     fn sym(s: &str) -> Symbol {
         Symbol::intern(s)
@@ -107,8 +105,8 @@ mod tests {
             return total;
         }";
 
-    fn list_builder(vals: &'static [i64]) -> InputBuilder {
-        Box::new(move |heap: &mut RtHeap| {
+    fn list_builder(vals: &'static [i64]) -> InputSource {
+        InputSource::custom(move |heap: &mut RtHeap| {
             let mut next = Val::Nil;
             for v in vals.iter().rev() {
                 let loc = heap.alloc(sym("Cell"), vec![next, Val::Int(*v)]);
@@ -122,7 +120,7 @@ mod tests {
     fn collects_across_runs() {
         let p = parse_program(SUM).unwrap();
         check_program(&p).unwrap();
-        let inputs: Vec<InputBuilder> = vec![
+        let inputs = vec![
             list_builder(&[]),
             list_builder(&[1]),
             list_builder(&[1, 2, 3]),
@@ -155,7 +153,7 @@ mod tests {
         )
         .unwrap();
         check_program(&p).unwrap();
-        let inputs: Vec<InputBuilder> = vec![Box::new(|_| vec![Val::Nil])];
+        let inputs = vec![InputSource::custom(|_| vec![Val::Nil])];
         let c = collect_models(
             &p,
             sym("bad"),

@@ -13,11 +13,26 @@
 //! keyed on canonical sub-heap shapes, entailments established while
 //! analyzing one function are reused by the next — the second request
 //! for a list-shaped argument typically starts warm.
+//!
+//! # Parallel batches
+//!
+//! Requests are `Send + Sync` (built from declarative
+//! [`InputSpec`](crate::InputSpec)s or `Send + Sync` closures), so
+//! [`Engine::analyze_all`] fans a batch out over a scoped thread pool —
+//! [`EngineBuilder::parallelism`] workers, defaulting to the available
+//! cores (overridable with the `SLING_PARALLELISM` environment
+//! variable). Reports are always assembled in *request order*,
+//! formula-for-formula identical to a sequential run; callers that want
+//! results as they complete pass a streaming [`ReportSink`] to
+//! [`Engine::analyze_all_with`]. The engine's entailment cache is
+//! sharded, so worker threads memoize concurrently without serializing
+//! on one lock.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use sling_checker::{CacheStats, CheckCache, CheckCtx};
+use sling_checker::{env_fingerprint, CacheStats, CheckCache, CheckCtx};
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
 use sling_logic::{parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
 
@@ -86,6 +101,7 @@ pub struct EngineBuilder {
     preds: PredEnv,
     config: SlingConfig,
     cache: Option<Arc<CheckCache>>,
+    parallelism: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -142,19 +158,70 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the number of worker threads [`Engine::analyze_all`] may use
+    /// (clamped to at least 1; `1` means strictly sequential). Defaults
+    /// to the `SLING_PARALLELISM` environment variable when set, else
+    /// the available CPU cores.
+    pub fn parallelism(mut self, workers: usize) -> EngineBuilder {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
     /// Type-checks the program and finalizes the engine.
     pub fn build(self) -> Result<Engine, BuildError> {
         let program = self.program.ok_or(BuildError::MissingProgram)?;
         check_program(&program).map_err(|e| BuildError::Type(e.to_string()))?;
         let types = program.type_env();
+        let env_tag = env_fingerprint(&types, &self.preds);
         Ok(Engine {
             program,
             types,
             preds: self.preds,
             config: self.config,
             cache: self.cache.unwrap_or_default(),
+            env_tag,
+            parallelism: self.parallelism.unwrap_or_else(default_parallelism),
         })
     }
+}
+
+/// The default worker count: `SLING_PARALLELISM` when set to a positive
+/// integer, else the available CPU cores.
+fn default_parallelism() -> usize {
+    if let Ok(var) = std::env::var("SLING_PARALLELISM") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Observer for streaming batch analysis ([`Engine::analyze_all_with`]):
+/// receives each [`Report`] as it completes, before the batch finishes.
+///
+/// `index` is the report's position in the request list. Under parallel
+/// execution reports arrive in *completion* order (not request order)
+/// and from worker threads, hence `Sync`. Any `Fn(usize, &Report) + Sync`
+/// closure is a sink.
+pub trait ReportSink: Sync {
+    /// Called exactly once per request, as its report completes.
+    fn report(&self, index: usize, report: &Report);
+}
+
+impl<F: Fn(usize, &Report) + Sync> ReportSink for F {
+    fn report(&self, index: usize, report: &Report) {
+        self(index, report)
+    }
+}
+
+/// The no-op sink behind [`Engine::analyze_all`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardReports;
+
+impl ReportSink for DiscardReports {
+    fn report(&self, _index: usize, _report: &Report) {}
 }
 
 /// A reusable SLING analysis session over one program and predicate
@@ -168,6 +235,10 @@ pub struct Engine {
     preds: PredEnv,
     config: SlingConfig,
     cache: Arc<CheckCache>,
+    /// Environment fingerprint, computed once at build so per-request
+    /// checker contexts don't re-hash the environments.
+    env_tag: u64,
+    parallelism: usize,
 }
 
 impl Engine {
@@ -196,6 +267,11 @@ impl Engine {
         &self.config
     }
 
+    /// The number of worker threads [`Engine::analyze_all`] may use.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
     /// Cumulative checker-cache counters for this engine's cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -208,6 +284,25 @@ impl Engine {
         self.cache.clear();
     }
 
+    /// The checker context every request of this engine runs under.
+    fn check_ctx<'e>(&'e self, config: &SlingConfig) -> CheckCtx<'e> {
+        CheckCtx {
+            types: &self.types,
+            preds: &self.preds,
+            config: config.check,
+            cache: Some(&self.cache),
+            env_tag: self.env_tag,
+        }
+    }
+
+    /// Runs one (pre-validated) request; the report's cache delta is
+    /// left zeroed for the caller to fill in.
+    fn run_request(&self, request: &AnalysisRequest) -> Report {
+        let config = request.config.as_ref().unwrap_or(&self.config);
+        let ctx = self.check_ctx(config);
+        run_target(&ctx, &self.program, request.target, &request.inputs, config)
+    }
+
     /// Serves one request: collect traces for the target on the
     /// request's inputs, infer invariants at every reached location,
     /// validate entry/exit pairs with the frame rule.
@@ -215,20 +310,44 @@ impl Engine {
         if self.program.func(request.target).is_none() {
             return Err(AnalyzeError::UnknownTarget(request.target));
         }
-        let config = request.config.as_ref().unwrap_or(&self.config);
         let before = self.cache.stats();
-        let ctx = CheckCtx::with_cache(&self.types, &self.preds, config.check, &self.cache);
-        let mut report = run_target(&ctx, &self.program, request.target, &request.inputs, config);
+        let mut report = self.run_request(request);
         report.cache = self.cache.stats().since(&before);
         Ok(report)
     }
 
     /// Serves a batch of requests against the shared predicate
-    /// environment and checker cache. Targets are validated up front, so
-    /// either every request runs or none does.
+    /// environment and checker cache, fanning out over up to
+    /// [`Engine::parallelism`] worker threads. Targets are validated up
+    /// front, so either every request runs or none does.
+    ///
+    /// Reports come back in *request order* and are formula-for-formula
+    /// identical to a sequential run regardless of the worker count
+    /// (inference is deterministic per request, and cache hits return
+    /// the same reductions a cold search would). Per-report cache deltas
+    /// are exact when run sequentially (`parallelism(1)`); under
+    /// parallel execution concurrent requests interleave on the shared
+    /// cache, so per-report deltas are left zeroed and the batch-level
+    /// [`BatchReport::cache`] delta is the authoritative accounting.
     pub fn analyze_all<'r, I>(&self, requests: I) -> Result<BatchReport, AnalyzeError>
     where
         I: IntoIterator<Item = &'r AnalysisRequest>,
+    {
+        self.analyze_all_with(requests, &DiscardReports)
+    }
+
+    /// [`Engine::analyze_all`] with a streaming observer: `sink`
+    /// receives each report as it completes (in completion order), so
+    /// long batches can surface progressive results instead of blocking
+    /// on the slowest request.
+    pub fn analyze_all_with<'r, I, S>(
+        &self,
+        requests: I,
+        sink: &S,
+    ) -> Result<BatchReport, AnalyzeError>
+    where
+        I: IntoIterator<Item = &'r AnalysisRequest>,
+        S: ReportSink + ?Sized,
     {
         let requests: Vec<&AnalysisRequest> = requests.into_iter().collect();
         for request in &requests {
@@ -237,10 +356,46 @@ impl Engine {
             }
         }
         let before = self.cache.stats();
-        let mut reports = Vec::with_capacity(requests.len());
-        for request in requests {
-            reports.push(self.analyze(request)?);
-        }
+        let workers = self.parallelism.min(requests.len());
+        let reports = if workers <= 1 {
+            let mut reports = Vec::with_capacity(requests.len());
+            for (index, request) in requests.iter().enumerate() {
+                let at_start = self.cache.stats();
+                let mut report = self.run_request(request);
+                report.cache = self.cache.stats().since(&at_start);
+                sink.report(index, &report);
+                reports.push(report);
+            }
+            reports
+        } else {
+            // Work-stealing over an atomic cursor; each finished report
+            // lands in its request-index slot, so assembly is
+            // deterministic no matter which worker ran what.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Report>>> =
+                requests.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(index) else {
+                            break;
+                        };
+                        let report = self.run_request(request);
+                        sink.report(index, &report);
+                        *slots[index].lock().expect("report slot") = Some(report);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("report slot")
+                        .expect("every request index was claimed and served")
+                })
+                .collect()
+        };
         Ok(BatchReport {
             reports,
             cache: self.cache.stats().since(&before),
@@ -261,7 +416,7 @@ impl Engine {
             return Err(AnalyzeError::UnknownTarget(target));
         };
         let param_order: Vec<Symbol> = func.params.iter().map(|p| p.name).collect();
-        let ctx = CheckCtx::with_cache(&self.types, &self.preds, self.config.check, &self.cache);
+        let ctx = self.check_ctx(&self.config);
         Ok(infer_location(
             &ctx,
             location,
@@ -347,13 +502,13 @@ mod tests {
         let a = mk();
         let b = mk();
         let request = || {
-            AnalysisRequest::new("id").input(Box::new(|heap: &mut sling_lang::RtHeap| {
+            AnalysisRequest::new("id").custom(|heap: &mut sling_lang::RtHeap| {
                 let n = heap.alloc(
                     Symbol::intern("TNode"),
                     vec![sling_models::Val::Nil, sling_models::Val::Int(1)],
                 );
                 vec![sling_models::Val::Addr(n)]
-            }))
+            })
         };
         let first = a.analyze(&request()).unwrap();
         let second = b.analyze(&request()).unwrap();
@@ -362,6 +517,64 @@ mod tests {
             second.cache.hits > 0,
             "second engine must reuse the shared cache: {:?}",
             second.cache
+        );
+    }
+
+    #[test]
+    fn engines_are_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Engine>();
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_to_one() {
+        let engine = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .parallelism(0)
+            .build()
+            .unwrap();
+        assert_eq!(engine.parallelism(), 1);
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_report() {
+        let engine = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .predicates_source(PREDS)
+            .unwrap()
+            .parallelism(2)
+            .build()
+            .unwrap();
+        let requests: Vec<AnalysisRequest> = (0..4)
+            .map(|n| {
+                AnalysisRequest::new("id").input(crate::InputSpec::seeded(n).arg(
+                    crate::ValueSpec::sll(
+                        sling_lang::ListLayout {
+                            ty: Symbol::intern("TNode"),
+                            nfields: 2,
+                            next: 0,
+                            prev: None,
+                            data: Some(1),
+                        },
+                        n as usize,
+                    ),
+                ))
+            })
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let sink = |index: usize, report: &Report| {
+            seen.lock().unwrap().push((index, report.target));
+        };
+        let batch = engine.analyze_all_with(&requests, &sink).unwrap();
+        assert_eq!(batch.reports.len(), 4);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "sink must see each report exactly once"
         );
     }
 }

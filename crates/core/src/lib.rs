@@ -26,30 +26,33 @@
 //! The public surface is a long-lived [`Engine`], built once per program
 //! and predicate library and reused across many analyses. The engine
 //! owns the checked program, its type environment, and the predicate
-//! environment, and memoizes model-checker verdicts in a shared
-//! entailment cache ([`CacheStats`] reports its effectiveness per
-//! request), so analyzing several functions — or the same structure
+//! environment, and memoizes model-checker verdicts in a shared,
+//! sharded entailment cache ([`CacheStats`] reports its effectiveness
+//! per request), so analyzing several functions — or the same structure
 //! shape at several locations — does not repeat work.
 //!
 //! * [`Engine::builder`] → [`EngineBuilder`]: supply the program
 //!   (`program` / `program_source`), the predicates (`predicates` /
-//!   `predicates_source` / `pred_env`), optionally a [`SlingConfig`] and
-//!   a shared cache, then `build()`.
-//! * [`AnalysisRequest`]: a target function, its test inputs, and an
-//!   optional per-request config override.
+//!   `predicates_source` / `pred_env`), optionally a [`SlingConfig`], a
+//!   shared cache, and a `parallelism` worker count, then `build()`.
+//! * [`AnalysisRequest`]: a target function, its test inputs
+//!   (declarative [`InputSpec`]s, or custom closures as an escape
+//!   hatch), and an optional per-request config override. Requests are
+//!   `Send + Sync + Clone + Debug`.
 //! * [`Engine::analyze`] serves one request as a [`Report`];
-//!   [`Engine::analyze_all`] serves a batch as a [`BatchReport`] sharing
-//!   one predicate environment and cache.
+//!   [`Engine::analyze_all`] serves a batch as a [`BatchReport`] —
+//!   fanned out over a scoped thread pool, assembled in request order —
+//!   and [`Engine::analyze_all_with`] additionally streams each report
+//!   to a [`ReportSink`] as it completes.
 //!
 //! # Example
 //!
 //! Infer the paper's `concat` specification (§2):
 //!
 //! ```
-//! use sling::{AnalysisRequest, Engine, InputBuilder};
-//! use sling_lang::{Location, RtHeap};
+//! use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, ValueSpec};
+//! use sling_lang::Location;
 //! use sling_logic::Symbol;
-//! use sling_models::Val;
 //!
 //! let engine = Engine::builder()
 //!     .program_source(
@@ -69,15 +72,17 @@
 //!     )?
 //!     .build()?;
 //!
-//! // One input: x = 2-node dll, y = 1-node dll.
-//! let input: InputBuilder = Box::new(|heap: &mut RtHeap| {
-//!     let node = Symbol::intern("Node");
-//!     let b = heap.alloc(node, vec![Val::Nil, Val::Nil]);
-//!     let a = heap.alloc(node, vec![Val::Addr(b), Val::Nil]);
-//!     heap.live_mut(b).unwrap().fields[1] = Val::Addr(a);
-//!     let y = heap.alloc(node, vec![Val::Nil, Val::Nil]);
-//!     vec![Val::Addr(a), Val::Addr(y)]
-//! });
+//! // One input: x = 2-node dll, y = 1-node dll — declaratively.
+//! let layout = ListLayout {
+//!     ty: Symbol::intern("Node"),
+//!     nfields: 2,
+//!     next: 0,
+//!     prev: Some(1),
+//!     data: None,
+//! };
+//! let input = InputSpec::seeded(7)
+//!     .arg(ValueSpec::dll(layout, 2))
+//!     .arg(ValueSpec::dll(layout, 1));
 //!
 //! let report = engine.analyze(&AnalysisRequest::new("concat").input(input))?;
 //! let entry = report.at(Location::Entry).expect("entry reached");
@@ -88,7 +93,8 @@
 //!
 //! The same engine serves further requests — other inputs, other target
 //! functions of the program — with the entailment cache already warm;
-//! see [`Engine::analyze_all`].
+//! see [`Engine::analyze_all`] for batches (parallel by default) and
+//! [`Engine::analyze_all_with`] for streaming consumption.
 
 #![warn(missing_docs)]
 
@@ -99,24 +105,21 @@ mod pipeline;
 mod pure;
 mod report;
 mod request;
+mod spec;
 mod split;
 mod validate;
 
-pub use collect::{collect_models, Collected, InputBuilder, RunTrace};
-pub use engine::{AnalyzeError, BuildError, Engine, EngineBuilder};
+pub use collect::{collect_models, Collected, RunTrace};
+pub use engine::{AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder, ReportSink};
 pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
+pub use pipeline::SlingConfig;
+pub use pure::infer_pure;
 pub use report::{BatchReport, Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
-pub use request::AnalysisRequest;
-pub use sling_checker::{CacheStats, CheckCache};
+pub use request::{AnalysisRequest, InputBuilder, InputSource};
+pub use spec::{InputSpec, ValueSpec};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;
 
-pub use pipeline::SlingConfig;
-#[allow(deprecated)]
-pub use pipeline::{analyze, infer_at_location, AnalysisOutcome};
-
-/// Former name of [`LocationAnalysis`].
-#[deprecated(since = "0.2.0", note = "renamed to `LocationAnalysis`")]
-pub type LocationReport = LocationAnalysis;
-
-pub use pure::infer_pure;
+// Re-exported so spec construction needs no direct `sling_lang` import.
+pub use sling_checker::{CacheStats, CheckCache};
+pub use sling_lang::{DataOrder, ListLayout, TreeKind, TreeLayout};

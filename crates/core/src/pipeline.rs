@@ -7,19 +7,17 @@
 //! ([`run_target`]) runs trace collection first and frame-rule validation
 //! (§4.4) last.
 //!
-//! The public entry point is [`crate::Engine`]; the free functions here
-//! ([`analyze`], [`infer_at_location`]) are deprecated shims kept for one
-//! release.
+//! The public entry point is [`crate::Engine`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
 
 use sling_checker::{CheckConfig, CheckCtx, Instantiation};
 use sling_lang::{Location, Program, Snapshot, TraceConfig, VmConfig};
-use sling_logic::{FreshVars, PredEnv, SymHeap, Symbol, TypeEnv};
+use sling_logic::{FreshVars, SymHeap, Symbol};
 use sling_models::{Heap, StackHeapModel};
 
-use crate::collect::{collect_models, InputBuilder};
+use crate::collect::collect_models;
 use crate::infer::{infer_atom, var_types, InferConfig, VarTy};
 use crate::pure::infer_pure;
 use crate::report::{Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
@@ -63,50 +61,6 @@ impl Default for SlingConfig {
     }
 }
 
-/// Result of a full analysis of one target function.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Engine::analyze`, which returns the structured `Report`"
-)]
-#[derive(Debug, Clone)]
-pub struct AnalysisOutcome {
-    /// Reports per location with at least one model, in location order.
-    pub reports: Vec<LocationAnalysis>,
-    /// All breakpoint locations the program declares for the target
-    /// (reached or not — the paper's iLocs).
-    pub declared_locations: Vec<Location>,
-    /// Total snapshots collected (paper's Traces column).
-    pub traces: usize,
-    /// Number of test runs.
-    pub runs: usize,
-    /// Runs that ended in a runtime fault.
-    pub faulted_runs: usize,
-    /// Wall-clock seconds for collection + inference + validation.
-    pub seconds: f64,
-}
-
-#[allow(deprecated)]
-impl AnalysisOutcome {
-    /// Total invariants across locations.
-    pub fn invariant_count(&self) -> usize {
-        self.reports.iter().map(|r| r.invariants.len()).sum()
-    }
-
-    /// Total spurious invariants.
-    pub fn spurious_count(&self) -> usize {
-        self.reports
-            .iter()
-            .flat_map(|r| &r.invariants)
-            .filter(|i| i.spurious)
-            .count()
-    }
-
-    /// The report at `loc`, if any model reached it.
-    pub fn at(&self, loc: Location) -> Option<&LocationAnalysis> {
-        self.reports.iter().find(|r| r.location == loc)
-    }
-}
-
 /// One in-flight element of the result set `R` (Algorithm 1).
 #[derive(Debug, Clone)]
 struct Partial {
@@ -129,7 +83,7 @@ pub(crate) fn run_target(
     ctx: &CheckCtx<'_>,
     program: &Program,
     target: Symbol,
-    inputs: &[InputBuilder],
+    inputs: &[crate::request::InputSource],
     config: &SlingConfig,
 ) -> Report {
     let start = Instant::now();
@@ -175,52 +129,6 @@ pub(crate) fn run_target(
     }
 }
 
-/// Runs SLING end to end on one target function.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `Engine` (`Engine::builder()`) and call `analyze` with an `AnalysisRequest`"
-)]
-#[allow(deprecated)]
-pub fn analyze(
-    program: &Program,
-    target: Symbol,
-    inputs: &[InputBuilder],
-    types: &TypeEnv,
-    preds: &PredEnv,
-    config: &SlingConfig,
-) -> AnalysisOutcome {
-    let ctx = CheckCtx {
-        types,
-        preds,
-        config: config.check,
-        cache: None,
-        env_tag: 0,
-    };
-    let report = run_target(&ctx, program, target, inputs, config);
-    AnalysisOutcome {
-        reports: report.locations,
-        declared_locations: report.declared_locations,
-        traces: report.metrics.traces,
-        runs: report.metrics.runs,
-        faulted_runs: report.metrics.faulted_runs,
-        seconds: report.metrics.seconds,
-    }
-}
-
-/// Infers invariants at a single location (Algorithm 1, lines 2–11, plus
-/// pure inference and scope quantification).
-#[deprecated(since = "0.2.0", note = "use `Engine::infer_at`")]
-pub fn infer_at_location(
-    ctx: &CheckCtx<'_>,
-    location: Location,
-    snaps: &[&Snapshot],
-    param_order: &[Symbol],
-    _func: &sling_lang::FuncDecl,
-    config: &SlingConfig,
-) -> LocationAnalysis {
-    infer_location(ctx, location, snaps, param_order, config)
-}
-
 /// Infers invariants at a single location (Algorithm 1, lines 2–11, plus
 /// pure inference and scope quantification).
 pub(crate) fn infer_location(
@@ -233,16 +141,15 @@ pub(crate) fn infer_location(
     let snapshots_seen = snaps.len();
     let tainted = snaps.iter().any(|s| s.tainted);
 
-    // Select models: dedupe identical ones, apply the cap.
+    // Select models: dedupe identical ones (by hash + structural
+    // equality, no string rendering on this per-location hot path),
+    // apply the cap.
     let mut models: Vec<StackHeapModel> = Vec::new();
     let mut activations: Vec<u64> = Vec::new();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut seen: HashSet<&StackHeapModel> = HashSet::new();
     for s in snaps {
-        if config.dedupe_models {
-            let key = format!("{}", s.model);
-            if !seen.insert(key) {
-                continue;
-            }
+        if config.dedupe_models && !seen.insert(&s.model) {
+            continue;
         }
         models.push(s.model.clone());
         activations.push(s.activation);
@@ -348,13 +255,11 @@ pub(crate) fn infer_location(
                 kept.push(p.clone());
             }
         }
-        for (parent, p) in next {
+        for (_, p) in next {
             if kept.len() >= cap {
                 break;
             }
-            let already = kept.iter().any(|q| q.formula == p.formula);
-            let _ = parent;
-            if !already {
+            if !kept.iter().any(|q| q.formula == p.formula) {
                 kept.push(p);
             }
         }
@@ -541,11 +446,10 @@ fn finalize_formula(formula: &mut SymHeap, free: &BTreeSet<Symbol>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::collect::InputBuilder;
     use crate::engine::Engine;
-    use crate::request::AnalysisRequest;
-    use sling_lang::{check_program, parse_program, RtHeap};
-    use sling_models::Val;
+    use crate::request::{AnalysisRequest, InputSource};
+    use crate::spec::{InputSpec, ValueSpec};
+    use sling_lang::{check_program, parse_program, ListLayout};
 
     fn sym(s: &str) -> Symbol {
         Symbol::intern(s)
@@ -570,28 +474,22 @@ mod tests {
             emp & hd == nx & pr == tl
           | exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx);";
 
-    fn dll_builder(n: usize, m: usize) -> InputBuilder {
-        Box::new(move |heap: &mut RtHeap| {
-            let node = sym("Node");
-            let mk_list = |heap: &mut RtHeap, len: usize| -> Val {
-                let mut locs = Vec::new();
-                for _ in 0..len {
-                    locs.push(heap.alloc(node, vec![Val::Nil, Val::Nil]));
-                }
-                for i in 0..len {
-                    if i + 1 < len {
-                        heap.live_mut(locs[i]).unwrap().fields[0] = Val::Addr(locs[i + 1]);
-                    }
-                    if i > 0 {
-                        heap.live_mut(locs[i]).unwrap().fields[1] = Val::Addr(locs[i - 1]);
-                    }
-                }
-                locs.first().map(|l| Val::Addr(*l)).unwrap_or(Val::Nil)
-            };
-            let x = mk_list(heap, n);
-            let y = mk_list(heap, m);
-            vec![x, y]
-        })
+    fn node_layout() -> ListLayout {
+        ListLayout {
+            ty: sym("Node"),
+            nfields: 2,
+            next: 0,
+            prev: Some(1),
+            data: None,
+        }
+    }
+
+    /// `(x, y)`: two disjoint doubly linked lists, declaratively.
+    fn dll_builder(n: usize, m: usize) -> InputSource {
+        InputSpec::seeded((n * 31 + m) as u64)
+            .arg(ValueSpec::dll(node_layout(), n))
+            .arg(ValueSpec::dll(node_layout(), m))
+            .into()
     }
 
     fn run_concat() -> Report {
@@ -682,30 +580,21 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_works() {
-        // The positional free function must keep producing the same
-        // shape of result for one release.
-        #[allow(deprecated)]
-        {
-            let program = parse_program(CONCAT).unwrap();
-            check_program(&program).unwrap();
-            let types = program.type_env();
-            let mut preds = PredEnv::new();
-            for d in sling_logic::parse_predicates(DLL_PRED).unwrap() {
-                preds.define(d).unwrap();
-            }
-            let inputs: Vec<InputBuilder> = vec![dll_builder(2, 1)];
-            let outcome = analyze(
-                &program,
-                sym("concat"),
-                &inputs,
-                &types,
-                &preds,
-                &SlingConfig::default(),
-            );
-            assert_eq!(outcome.runs, 1);
-            assert!(outcome.at(Location::Entry).is_some());
-        }
+    fn single_input_engine_run() {
+        // Migrated from the removed positional-shim test: one input, one
+        // run, an entry report — through the engine API.
+        let engine = Engine::builder()
+            .program_source(CONCAT)
+            .unwrap()
+            .predicates_source(DLL_PRED)
+            .unwrap()
+            .build()
+            .unwrap();
+        let report = engine
+            .analyze(&AnalysisRequest::new("concat").input(dll_builder(2, 1)))
+            .unwrap();
+        assert_eq!(report.metrics.runs, 1);
+        assert!(report.at(Location::Entry).is_some());
     }
 
     #[test]
@@ -714,7 +603,7 @@ mod tests {
         // the order must be x, tmp, y, res (§2.3).
         let program = parse_program(CONCAT).unwrap();
         check_program(&program).unwrap();
-        let inputs: Vec<InputBuilder> = vec![dll_builder(3, 2)];
+        let inputs = vec![dll_builder(3, 2)];
         let collected = collect_models(
             &program,
             sym("concat"),

@@ -83,6 +83,11 @@ pub struct Report {
     pub metrics: RunMetrics,
     /// Checker-cache movement attributable to this request (hit/miss
     /// deltas; `entries` is the cache's absolute size afterwards).
+    /// Exact for [`crate::Engine::analyze`] and for sequential batches
+    /// (`parallelism(1)`); under parallel [`crate::Engine::analyze_all`]
+    /// concurrent requests interleave on the shared cache, so this is
+    /// left zeroed and [`BatchReport::cache`] is the authoritative
+    /// accounting.
     pub cache: CacheStats,
 }
 

@@ -1,9 +1,78 @@
 //! Analysis requests: what to analyze and on which inputs.
+//!
+//! A request pairs a target function with its test inputs, each an
+//! [`InputSource`] — either a declarative [`InputSpec`] (the normal
+//! case: plain data, loggable and replayable) or a [`custom
+//! closure`](InputSource::custom) for inputs a spec cannot express.
+//! Requests are `Send + Sync + Clone + Debug`, so one batch can be
+//! cloned, logged, and fanned out across the worker threads of
+//! [`Engine::analyze_all`](crate::Engine::analyze_all).
 
+use std::sync::Arc;
+
+use sling_lang::RtHeap;
 use sling_logic::Symbol;
+use sling_models::Val;
 
-use crate::collect::InputBuilder;
 use crate::pipeline::SlingConfig;
+use crate::spec::InputSpec;
+
+/// Builds the argument vector for one run, allocating input structures
+/// directly in the VM heap. This is the type behind
+/// [`InputSource::Custom`] — shared, thread-safe, and cheap to clone.
+pub type InputBuilder = Arc<dyn Fn(&mut RtHeap) -> Vec<Val> + Send + Sync>;
+
+/// One test input: how to materialize the argument vector for one traced
+/// run of the target.
+#[derive(Clone)]
+pub enum InputSource {
+    /// A declarative, seeded [`InputSpec`] (preferred: describable and
+    /// replayable).
+    Spec(InputSpec),
+    /// An arbitrary builder closure — the escape hatch for inputs a spec
+    /// cannot express (nested structures, aliased arguments,
+    /// deliberately corrupted shapes).
+    Custom(InputBuilder),
+}
+
+impl InputSource {
+    /// Wraps a builder closure as a custom input source.
+    pub fn custom<F>(f: F) -> InputSource
+    where
+        F: Fn(&mut RtHeap) -> Vec<Val> + Send + Sync + 'static,
+    {
+        InputSource::Custom(Arc::new(f))
+    }
+
+    /// Materializes the argument vector in `heap`.
+    pub fn build(&self, heap: &mut RtHeap) -> Vec<Val> {
+        match self {
+            InputSource::Spec(spec) => spec.build(heap),
+            InputSource::Custom(f) => f(heap),
+        }
+    }
+}
+
+impl std::fmt::Debug for InputSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputSource::Spec(spec) => f.debug_tuple("Spec").field(spec).finish(),
+            InputSource::Custom(_) => f.write_str("Custom(<closure>)"),
+        }
+    }
+}
+
+impl From<InputSpec> for InputSource {
+    fn from(spec: InputSpec) -> InputSource {
+        InputSource::Spec(spec)
+    }
+}
+
+impl From<InputBuilder> for InputSource {
+    fn from(builder: InputBuilder) -> InputSource {
+        InputSource::Custom(builder)
+    }
+}
 
 /// One unit of work for an [`crate::Engine`]: a target function of the
 /// engine's program, the test inputs to trace it on, and an optional
@@ -13,15 +82,16 @@ use crate::pipeline::SlingConfig;
 ///
 /// ```ignore
 /// let request = AnalysisRequest::new("concat")
-///     .input(Box::new(|heap| { /* allocate arguments */ vec![] }))
+///     .input(InputSpec::seeded(7).arg(ValueSpec::dll(layout, 3)))
 ///     .config(SlingConfig { max_models_per_location: 16, ..engine.config().clone() });
 /// ```
+#[derive(Debug, Clone)]
 pub struct AnalysisRequest {
     /// The function to analyze.
     pub target: Symbol,
-    /// Input builders; each produces the argument vector for one traced
-    /// run, allocating directly in the VM heap.
-    pub inputs: Vec<InputBuilder>,
+    /// Input sources; each produces the argument vector for one traced
+    /// run.
+    pub inputs: Vec<InputSource>,
     /// Overrides the engine's configuration for this request only.
     pub config: Option<SlingConfig>,
 }
@@ -36,15 +106,28 @@ impl AnalysisRequest {
         }
     }
 
-    /// Adds one input builder.
-    pub fn input(mut self, builder: InputBuilder) -> AnalysisRequest {
-        self.inputs.push(builder);
+    /// Adds one input (an [`InputSpec`] or a pre-built [`InputSource`]).
+    pub fn input(mut self, source: impl Into<InputSource>) -> AnalysisRequest {
+        self.inputs.push(source.into());
         self
     }
 
-    /// Adds a batch of input builders.
-    pub fn inputs<I: IntoIterator<Item = InputBuilder>>(mut self, builders: I) -> AnalysisRequest {
-        self.inputs.extend(builders);
+    /// Adds one custom builder closure — the escape hatch for inputs an
+    /// [`InputSpec`] cannot express.
+    pub fn custom<F>(self, f: F) -> AnalysisRequest
+    where
+        F: Fn(&mut RtHeap) -> Vec<Val> + Send + Sync + 'static,
+    {
+        self.input(InputSource::custom(f))
+    }
+
+    /// Adds a batch of inputs.
+    pub fn inputs<I>(mut self, sources: I) -> AnalysisRequest
+    where
+        I: IntoIterator,
+        I::Item: Into<InputSource>,
+    {
+        self.inputs.extend(sources.into_iter().map(Into::into));
         self
     }
 
@@ -55,12 +138,34 @@ impl AnalysisRequest {
     }
 }
 
-impl std::fmt::Debug for AnalysisRequest {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AnalysisRequest")
-            .field("target", &self.target)
-            .field("inputs", &self.inputs.len())
-            .field("config", &self.config)
-            .finish()
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ValueSpec;
+
+    #[test]
+    fn requests_are_send_sync_clone_debug() {
+        fn assert_traits<T: Send + Sync + Clone + std::fmt::Debug>() {}
+        assert_traits::<AnalysisRequest>();
+        assert_traits::<InputSource>();
+        assert_traits::<InputSpec>();
+    }
+
+    #[test]
+    fn spec_and_custom_inputs_mix() {
+        let request = AnalysisRequest::new("f")
+            .input(InputSpec::seeded(1).arg(ValueSpec::int(3)))
+            .custom(|_heap| vec![Val::Nil])
+            .inputs([InputSpec::new(), InputSpec::seeded(2)]);
+        assert_eq!(request.inputs.len(), 4);
+        let text = format!("{request:?}");
+        assert!(text.contains("Custom(<closure>)"), "{text}");
+        assert!(text.contains("Spec"), "{text}");
+
+        // Cloning shares custom closures instead of losing them.
+        let copy = request.clone();
+        let mut heap = sling_lang::RtHeap::new();
+        assert_eq!(copy.inputs[1].build(&mut heap), vec![Val::Nil]);
+        assert_eq!(copy.inputs[0].build(&mut heap), vec![Val::Int(3)]);
     }
 }

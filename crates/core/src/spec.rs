@@ -1,0 +1,337 @@
+//! Declarative input specifications — describable, replayable test
+//! inputs.
+//!
+//! An [`InputSpec`] describes the argument vector for one traced run of
+//! a target function: a seed plus one [`ValueSpec`] per parameter. Specs
+//! are plain data — `Clone + Debug + Send + Sync` — so
+//! [`AnalysisRequest`](crate::AnalysisRequest)s built from them can be
+//! logged, replayed, and fanned out across the threads of a parallel
+//! [`Engine::analyze_all`](crate::Engine::analyze_all) batch. All
+//! randomness flows through a deterministic PRNG seeded from the spec,
+//! so the same spec always materializes the same structure.
+//!
+//! Structure generation reuses the corpus generators of
+//! [`sling_lang`]: [`ListLayout`] / [`TreeLayout`] say which field index
+//! plays which structural role, and the shape constructors
+//! ([`ValueSpec::sll`], [`ValueSpec::dll`], [`ValueSpec::cyclic`],
+//! [`ValueSpec::tree`], ...) say what to build on top of them.
+//!
+//! Inputs that a spec cannot express — nested structures, aliased
+//! arguments, deliberately corrupted shapes — use the
+//! [`InputSource::custom`](crate::InputSource::custom) escape hatch,
+//! which wraps an arbitrary `Fn(&mut RtHeap) -> Vec<Val> + Send + Sync`
+//! closure.
+//!
+//! # Examples
+//!
+//! ```
+//! use sling::{InputSpec, ValueSpec, ListLayout};
+//! use sling_lang::RtHeap;
+//! use sling_logic::Symbol;
+//!
+//! let layout = ListLayout {
+//!     ty: Symbol::intern("SNode"),
+//!     nfields: 2,
+//!     next: 0,
+//!     prev: None,
+//!     data: Some(1),
+//! };
+//! // reverse(x) on a random 10-cell list, plus an integer key.
+//! let spec = InputSpec::seeded(7)
+//!     .arg(ValueSpec::sll(layout, 10))
+//!     .arg(ValueSpec::int(42));
+//!
+//! let mut heap = RtHeap::new();
+//! let args = spec.build(&mut heap);
+//! assert_eq!(args.len(), 2);
+//! assert_eq!(heap.live().len(), 10);
+//!
+//! // Deterministic: the same spec materializes the same structure.
+//! let mut heap2 = RtHeap::new();
+//! assert_eq!(spec.build(&mut heap2), args);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sling_lang::{
+    gen_circular_list, gen_list, gen_tree, DataOrder, ListLayout, RtHeap, TreeKind, TreeLayout,
+};
+use sling_models::Val;
+
+/// A declarative description of one function-argument value.
+///
+/// Built via the shape constructors ([`ValueSpec::nil`],
+/// [`ValueSpec::int`], [`ValueSpec::sll`], [`ValueSpec::dll`],
+/// [`ValueSpec::cyclic`], [`ValueSpec::tree`], ...); materialized by
+/// [`InputSpec::build`] with the spec's seeded PRNG.
+#[derive(Debug, Clone)]
+pub enum ValueSpec {
+    /// The null pointer.
+    Nil,
+    /// A fixed integer.
+    Int(i64),
+    /// A uniformly random integer in `[lo, hi]` (one PRNG draw).
+    IntIn(i64, i64),
+    /// A linked list (singly or doubly, per the layout; optionally
+    /// circular or with ordered payloads).
+    List {
+        /// Node layout.
+        layout: ListLayout,
+        /// Node count (`0` materializes as nil).
+        len: usize,
+        /// Payload ordering.
+        order: DataOrder,
+        /// Close the cycle (last node's `next` back to the head).
+        circular: bool,
+    },
+    /// A binary tree.
+    Tree {
+        /// Node layout.
+        layout: TreeLayout,
+        /// Node count (`0` materializes as nil).
+        size: usize,
+        /// Shape discipline (random, BST, balanced, red-black).
+        kind: TreeKind,
+    },
+}
+
+impl ValueSpec {
+    /// The null pointer.
+    pub fn nil() -> ValueSpec {
+        ValueSpec::Nil
+    }
+
+    /// The fixed integer `k`.
+    pub fn int(k: i64) -> ValueSpec {
+        ValueSpec::Int(k)
+    }
+
+    /// A random integer in `[lo, hi]`, drawn from the spec's PRNG.
+    pub fn int_in(lo: i64, hi: i64) -> ValueSpec {
+        ValueSpec::IntIn(lo, hi)
+    }
+
+    /// A nil-terminated list of `len` nodes with random payloads
+    /// (singly *or* doubly linked — whatever the layout describes; the
+    /// conventional name stuck).
+    pub fn sll(layout: ListLayout, len: usize) -> ValueSpec {
+        ValueSpec::List {
+            layout,
+            len,
+            order: DataOrder::Random,
+            circular: false,
+        }
+    }
+
+    /// A nil-terminated doubly linked list of `len` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no `prev` field.
+    pub fn dll(layout: ListLayout, len: usize) -> ValueSpec {
+        assert!(
+            layout.prev.is_some(),
+            "ValueSpec::dll needs a layout with a `prev` field"
+        );
+        ValueSpec::sll(layout, len)
+    }
+
+    /// A circular list of `len` nodes (the last `next` — and the head's
+    /// `prev`, for doubly linked layouts — wraps around).
+    pub fn cyclic(layout: ListLayout, len: usize) -> ValueSpec {
+        ValueSpec::List {
+            layout,
+            len,
+            order: DataOrder::Random,
+            circular: true,
+        }
+    }
+
+    /// A binary tree of `size` nodes with the given shape discipline.
+    pub fn tree(layout: TreeLayout, size: usize, kind: TreeKind) -> ValueSpec {
+        ValueSpec::Tree { layout, size, kind }
+    }
+
+    /// Replaces the payload ordering of a list spec (e.g.
+    /// [`DataOrder::Sorted`] for sorted-list benchmarks); other specs
+    /// are returned unchanged.
+    pub fn with_order(mut self, new_order: DataOrder) -> ValueSpec {
+        if let ValueSpec::List { ref mut order, .. } = self {
+            *order = new_order;
+        }
+        self
+    }
+
+    /// Materializes this value in `heap`, drawing randomness from `rng`.
+    pub fn build(&self, heap: &mut RtHeap, rng: &mut StdRng) -> Val {
+        match self {
+            ValueSpec::Nil => Val::Nil,
+            ValueSpec::Int(k) => Val::Int(*k),
+            ValueSpec::IntIn(lo, hi) => Val::Int(rng.gen_range(*lo..=*hi)),
+            ValueSpec::List {
+                layout,
+                len,
+                order,
+                circular,
+            } => {
+                if *circular {
+                    gen_circular_list(heap, layout, *len, *order, rng)
+                } else {
+                    gen_list(heap, layout, *len, *order, rng)
+                }
+            }
+            ValueSpec::Tree { layout, size, kind } => gen_tree(heap, layout, *size, *kind, rng),
+        }
+    }
+}
+
+/// A declarative description of one traced run's argument vector: a PRNG
+/// seed plus one [`ValueSpec`] per parameter.
+///
+/// Plain data (`Clone + Debug + Send + Sync`), so requests built from
+/// specs can cross threads, be logged, and be replayed bit-identically.
+#[derive(Debug, Clone, Default)]
+pub struct InputSpec {
+    seed: u64,
+    args: Vec<ValueSpec>,
+}
+
+impl InputSpec {
+    /// An empty spec with seed 0.
+    pub fn new() -> InputSpec {
+        InputSpec::default()
+    }
+
+    /// An empty spec with the given PRNG seed.
+    pub fn seeded(seed: u64) -> InputSpec {
+        InputSpec {
+            seed,
+            args: Vec::new(),
+        }
+    }
+
+    /// Replaces the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> InputSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends one argument.
+    pub fn arg(mut self, spec: ValueSpec) -> InputSpec {
+        self.args.push(spec);
+        self
+    }
+
+    /// Appends a batch of arguments.
+    pub fn args<I: IntoIterator<Item = ValueSpec>>(mut self, specs: I) -> InputSpec {
+        self.args.extend(specs);
+        self
+    }
+
+    /// Materializes the argument vector in `heap`. Arguments are built
+    /// left to right from one PRNG seeded with this spec's seed, so the
+    /// result is a pure function of the spec.
+    pub fn build(&self, heap: &mut RtHeap) -> Vec<Val> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.args.iter().map(|a| a.build(heap, &mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_logic::Symbol;
+
+    fn layout() -> ListLayout {
+        ListLayout {
+            ty: Symbol::intern("SpecNode"),
+            nfields: 2,
+            next: 0,
+            prev: None,
+            data: Some(1),
+        }
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let spec = InputSpec::seeded(99)
+            .arg(ValueSpec::sll(layout(), 6))
+            .arg(ValueSpec::int_in(0, 1000));
+        let run = || {
+            let mut heap = RtHeap::new();
+            let args = spec.build(&mut heap);
+            format!("{args:?} {}", heap.live())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seeds_change_the_structure() {
+        let mk = |seed| {
+            let mut heap = RtHeap::new();
+            InputSpec::seeded(seed)
+                .arg(ValueSpec::sll(layout(), 5))
+                .build(&mut heap);
+            format!("{}", heap.live())
+        };
+        assert_ne!(mk(1), mk(2), "different seeds give different payloads");
+    }
+
+    #[test]
+    fn nil_int_and_empty_list() {
+        let mut heap = RtHeap::new();
+        let args = InputSpec::new()
+            .args([
+                ValueSpec::nil(),
+                ValueSpec::int(7),
+                ValueSpec::sll(layout(), 0),
+            ])
+            .build(&mut heap);
+        assert_eq!(args, vec![Val::Nil, Val::Int(7), Val::Nil]);
+        assert!(heap.live().is_empty());
+    }
+
+    #[test]
+    fn cyclic_list_wraps() {
+        let mut heap = RtHeap::new();
+        let args = InputSpec::seeded(3)
+            .arg(ValueSpec::cyclic(layout(), 4))
+            .build(&mut heap);
+        let Val::Addr(head) = args[0] else {
+            panic!("non-empty cycle has a head");
+        };
+        // Walk next pointers: after 4 hops we must be back at the head.
+        let mut cur = head;
+        for _ in 0..4 {
+            let Val::Addr(next) = heap.live().get(cur).unwrap().fields[0] else {
+                panic!("cycle must not hit nil");
+            };
+            cur = next;
+        }
+        assert_eq!(cur, head);
+    }
+
+    #[test]
+    #[should_panic(expected = "prev")]
+    fn dll_requires_prev_field() {
+        let _ = ValueSpec::dll(layout(), 3);
+    }
+
+    #[test]
+    fn with_order_sorts_payloads() {
+        let mut heap = RtHeap::new();
+        let args = InputSpec::seeded(11)
+            .arg(ValueSpec::sll(layout(), 8).with_order(DataOrder::Sorted))
+            .build(&mut heap);
+        let mut cur = args[0];
+        let mut vals = Vec::new();
+        while let Val::Addr(l) = cur {
+            let cell = heap.live().get(l).unwrap();
+            vals.push(cell.fields[1].as_int().unwrap());
+            cur = cell.fields[0];
+        }
+        assert_eq!(vals.len(), 8);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+    }
+}

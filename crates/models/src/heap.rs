@@ -77,7 +77,7 @@ impl std::error::Error for OverlapError {}
 /// assert_eq!(h.len(), 1);
 /// assert!(h.get(a).is_some());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Heap {
     cells: BTreeMap<Loc, HeapCell>,
 }

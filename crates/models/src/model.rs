@@ -11,7 +11,7 @@ use crate::heap::{Heap, OverlapError};
 use crate::stack::Stack;
 
 /// One concrete trace: a stack model paired with a heap model.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct StackHeapModel {
     /// The stack `s`.
     pub stack: Stack,

@@ -9,7 +9,7 @@ use crate::value::Val;
 
 /// A stack model `s : Var → Val` — the values of the in-scope variables at
 /// one program point, plus the ghost variable `res` at function exits.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Stack {
     vars: BTreeMap<Symbol, Val>,
 }

@@ -106,7 +106,7 @@ pub fn run_bench_cached(
 ) -> BenchRun {
     let engine = engine_for(bench, config, cache);
     let target = Symbol::intern(bench.target);
-    let request = AnalysisRequest::new(target).inputs(bench.input_builders(config.seed));
+    let request = AnalysisRequest::new(target).inputs(bench.inputs(config.seed));
 
     let report = engine
         .analyze(&request)

@@ -1,6 +1,6 @@
 //! The predicate library: inductive heap predicates per benchmark
 //! category (the paper's §5.2 — "we adopt the predicate definitions given
-//! for that data [structure] from the benchmark programs").
+//! for that data \[structure\] from the benchmark programs").
 //!
 //! Each category has its own record vocabulary (mirroring the different C
 //! struct layouts of VCDryad / GRASShopper / glib / the Linux kernel) and

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sling::InputBuilder;
+use sling::{InputSource, InputSpec, ValueSpec};
 use sling_lang::{
     gen_circular_list, gen_list, gen_tree, DataOrder, ListLayout, RtHeap, TreeKind, TreeLayout,
 };
@@ -175,6 +175,34 @@ impl ArgCand {
             ArgCand::Custom(f) => f(heap, rng),
         }
     }
+
+    /// The equivalent declarative [`ValueSpec`], when one exists.
+    /// [`ArgCand::Custom`] generators have no declarative form. The
+    /// mapping draws from the PRNG exactly as [`ArgCand::build`] does,
+    /// so spec-built inputs are bit-identical to closure-built ones.
+    fn spec(&self) -> Option<ValueSpec> {
+        match self {
+            ArgCand::Nil => Some(ValueSpec::Nil),
+            ArgCand::Int(k) => Some(ValueSpec::Int(*k)),
+            ArgCand::List {
+                layout,
+                order,
+                size,
+                circular,
+            } => Some(ValueSpec::List {
+                layout: *layout,
+                len: *size,
+                order: *order,
+                circular: *circular,
+            }),
+            ArgCand::Tree { layout, kind, size } => Some(ValueSpec::Tree {
+                layout: *layout,
+                size: *size,
+                kind: *kind,
+            }),
+            ArgCand::Custom(_) => None,
+        }
+    }
 }
 
 /// Candidate sets per parameter; inputs are the cartesian product.
@@ -316,10 +344,14 @@ impl Bench {
             .count()
     }
 
-    /// Materializes the input builders: the cartesian product of the
+    /// Materializes the test inputs: the cartesian product of the
     /// argument candidates, each built with a deterministic RNG derived
-    /// from `seed`.
-    pub fn input_builders(&self, seed: u64) -> Vec<InputBuilder> {
+    /// from `seed`. Combinations whose candidates all have a declarative
+    /// form become [`InputSpec`]s (describable, replayable, `Send`);
+    /// combinations involving [`ArgCand::Custom`] fall back to an
+    /// equivalent custom closure. Both paths draw from the same seeded
+    /// PRNG stream, so the generated structures are identical.
+    pub fn inputs(&self, seed: u64) -> Vec<InputSource> {
         let mut combos: Vec<Vec<ArgCand>> = vec![Vec::new()];
         for cands in &self.args {
             let mut next = Vec::with_capacity(combos.len() * cands.len());
@@ -336,11 +368,14 @@ impl Bench {
             .into_iter()
             .enumerate()
             .map(|(i, combo)| {
-                let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 7919));
-                    combo.iter().map(|c| c.build(heap, &mut rng)).collect()
-                });
-                builder
+                let combo_seed = seed.wrapping_add(i as u64 * 7919);
+                match combo.iter().map(ArgCand::spec).collect::<Option<Vec<_>>>() {
+                    Some(args) => InputSpec::seeded(combo_seed).args(args).into(),
+                    None => InputSource::custom(move |heap: &mut RtHeap| {
+                        let mut rng = StdRng::seed_from_u64(combo_seed);
+                        combo.iter().map(|c| c.build(heap, &mut rng)).collect()
+                    }),
+                }
             })
             .collect()
     }
@@ -381,10 +416,14 @@ mod tests {
                 vec![ArgCand::Int(1), ArgCand::Int(2), ArgCand::Int(3)],
             ],
         );
-        let builders = b.input_builders(42);
-        assert_eq!(builders.len(), 6);
+        let inputs = b.inputs(42);
+        assert_eq!(inputs.len(), 6);
+        assert!(
+            inputs.iter().all(|i| matches!(i, InputSource::Spec(_))),
+            "declarative candidates become specs"
+        );
         let mut heap = RtHeap::new();
-        let args = builders[1](&mut heap);
+        let args = inputs[1].build(&mut heap);
         assert_eq!(args.len(), 2);
     }
 
@@ -416,9 +455,24 @@ mod tests {
         );
         let mk = || {
             let mut heap = RtHeap::new();
-            let v = b.input_builders(7)[0](&mut heap);
+            let v = b.inputs(7)[0].build(&mut heap);
             format!("{:?} {}", v, heap.live())
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn custom_candidates_fall_back_to_closures() {
+        let b = Bench::new(
+            "t/x",
+            Category::Sll,
+            "struct SNode { next: SNode*; }",
+            "id",
+            vec![vec![ArgCand::Custom(|_, _| Val::Int(9))]],
+        );
+        let inputs = b.inputs(0);
+        assert!(matches!(inputs[0], InputSource::Custom(_)));
+        let mut heap = RtHeap::new();
+        assert_eq!(inputs[0].build(&mut heap), vec![Val::Int(9)]);
     }
 }

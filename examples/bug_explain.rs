@@ -53,7 +53,7 @@ fn main() {
 
     // Buggy version (as found in the corpus).
     let buggy = engine_for(&bench, &config, None);
-    let request = || AnalysisRequest::new("dll_fix").inputs(bench.input_builders(7));
+    let request = || AnalysisRequest::new("dll_fix").inputs(bench.inputs(7));
     let buggy_report = buggy
         .analyze(&request())
         .expect("dll_fix is the corpus target");

@@ -19,7 +19,7 @@ fn main() {
         .unwrap();
     let config = EvalConfig::default();
     let engine = engine_for(&bench, &config, None);
-    let request = AnalysisRequest::new("concat").inputs(bench.input_builders(config.seed));
+    let request = AnalysisRequest::new("concat").inputs(bench.inputs(config.seed));
 
     println!("== Figure 1: the program ==\n{}", bench.source.trim());
     let report = engine.analyze(&request).expect("concat is a corpus target");

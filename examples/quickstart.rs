@@ -1,15 +1,12 @@
 //! Quickstart: infer separation-logic invariants for a tiny list program
-//! through the engine API.
+//! through the engine API, with declarative `InputSpec` test inputs.
 //!
 //! ```sh
 //! cargo run -p sling-examples --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use sling::{AnalysisRequest, Engine, InputBuilder};
-use sling_lang::{gen_list, DataOrder, ListLayout, Location, RtHeap};
+use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, ValueSpec};
+use sling_lang::Location;
 use sling_logic::Symbol;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,8 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?
         .build()?;
 
-    // 2. Describe the work: the target function plus test inputs — nil
-    //    and random lists (the paper uses size 10).
+    // 2. Describe the work declaratively: the target function plus test
+    //    inputs — nil and seeded random lists (the paper uses size 10).
+    //    Specs are plain data: Send + Sync + Clone + Debug, so the same
+    //    request can be logged, replayed, or fanned out across threads.
     let layout = ListLayout {
         ty: Symbol::intern("SNode"),
         nfields: 2,
@@ -47,21 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prev: None,
         data: Some(1),
     };
-    let inputs: Vec<InputBuilder> = [0usize, 1, 10]
-        .into_iter()
-        .enumerate()
-        .map(|(i, n)| {
-            let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {
-                let mut rng = StdRng::seed_from_u64(i as u64);
-                vec![gen_list(heap, &layout, n, DataOrder::Random, &mut rng)]
-            });
-            builder
-        })
-        .collect();
-    let request = AnalysisRequest::new("reverse").inputs(inputs);
+    let request = AnalysisRequest::new("reverse").inputs(
+        [0usize, 1, 10]
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| InputSpec::seeded(i as u64).arg(ValueSpec::sll(layout, n))),
+    );
 
     // 3. Run SLING. The same engine can keep serving requests — further
-    //    inputs, other functions — with its entailment cache warm.
+    //    inputs, other functions — with its entailment cache warm, and
+    //    `analyze_all` fans whole batches out across worker threads.
     let report = engine.analyze(&request)?;
 
     println!(

@@ -2,21 +2,17 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use sling::InputBuilder;
-use sling_lang::{gen_list, DataOrder, ListLayout, RtHeap};
+use sling::{InputSource, InputSpec, ListLayout, ValueSpec};
 use sling_logic::Symbol;
 
-/// Input builders for a one-list function: nil plus lists of the given
-/// sizes.
+/// Test inputs for a one-list function: nil plus seeded random lists of
+/// the given sizes, as declarative specs.
 pub fn list_inputs(
     ty: &str,
     nfields: usize,
     data: Option<usize>,
     sizes: &[usize],
-) -> Vec<InputBuilder> {
+) -> Vec<InputSource> {
     let layout = ListLayout {
         ty: Symbol::intern(ty),
         nfields,
@@ -24,13 +20,13 @@ pub fn list_inputs(
         prev: None,
         data,
     };
-    let mut out: Vec<InputBuilder> = vec![Box::new(|_: &mut RtHeap| vec![sling_models::Val::Nil])];
+    let mut out: Vec<InputSource> = vec![InputSpec::new().arg(ValueSpec::nil()).into()];
     for (i, &n) in sizes.iter().enumerate() {
-        let builder: InputBuilder = Box::new(move |heap: &mut RtHeap| {
-            let mut rng = StdRng::seed_from_u64(i as u64 + 1);
-            vec![gen_list(heap, &layout, n, DataOrder::Random, &mut rng)]
-        });
-        out.push(builder);
+        out.push(
+            InputSpec::seeded(i as u64 + 1)
+                .arg(ValueSpec::sll(layout, n))
+                .into(),
+        );
     }
     out
 }

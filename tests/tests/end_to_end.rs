@@ -117,16 +117,15 @@ fn baseline_and_sling_agree_on_recursive_list_code() {
         .expect("in the supported fragment");
     assert_eq!(spec.pre.to_string(), "sll(x)");
 
-    // SLING. insertBack takes a key too: adapt the builders.
-    let inputs: Vec<sling::InputBuilder> = list_inputs("SNode", 2, Some(1), &[4])
+    // SLING. insertBack takes a key too: adapt the sources.
+    let inputs: Vec<sling::InputSource> = list_inputs("SNode", 2, Some(1), &[4])
         .into_iter()
         .map(|b| {
-            let f: sling::InputBuilder = Box::new(move |heap: &mut sling_lang::RtHeap| {
-                let mut args = b(heap);
+            sling::InputSource::custom(move |heap: &mut sling_lang::RtHeap| {
+                let mut args = b.build(heap);
                 args.push(sling_models::Val::Int(7));
                 args
-            });
-            f
+            })
         })
         .collect();
     let report = engine
@@ -192,9 +191,9 @@ fn checker_agrees_with_inferred_invariants() {
 
     // Re-collect models and check each invariant formula.
     let ctx = CheckCtx::new(engine.types(), engine.preds());
-    for builder in &inputs {
+    for source in &inputs {
         let mut vm = Vm::new(engine.program(), VmConfig::default());
-        let args = builder(&mut vm.heap);
+        let args = source.build(&mut vm.heap);
         vm.set_tracer(Tracer::new(sym("skipOne"), TraceConfig::default()));
         let _ = vm.call(sym("skipOne"), &args);
         let tracer = vm.take_tracer().unwrap();

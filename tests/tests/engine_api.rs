@@ -1,7 +1,7 @@
 //! Engine/batch API integration: one engine, one predicate environment,
 //! several target functions, a shared entailment cache.
 
-use sling::{AnalysisRequest, Engine, InputBuilder};
+use sling::{AnalysisRequest, Engine, InputSource};
 use sling_lang::{Location, RtHeap};
 use sling_logic::Symbol;
 use sling_models::Val;
@@ -51,24 +51,27 @@ fn mk_dll(heap: &mut RtHeap, n: usize) -> Val {
     locs.first().map(|l| Val::Addr(*l)).unwrap_or(Val::Nil)
 }
 
-fn concat_input(n: usize, m: usize) -> InputBuilder {
-    Box::new(move |heap: &mut RtHeap| {
+fn concat_input(n: usize, m: usize) -> InputSource {
+    InputSource::custom(move |heap: &mut RtHeap| {
         let x = mk_dll(heap, n);
         let y = mk_dll(heap, m);
         vec![x, y]
     })
 }
 
-fn traverse_input(n: usize) -> InputBuilder {
-    Box::new(move |heap: &mut RtHeap| vec![mk_dll(heap, n)])
+fn traverse_input(n: usize) -> InputSource {
+    InputSource::custom(move |heap: &mut RtHeap| vec![mk_dll(heap, n)])
 }
 
+/// A strictly sequential engine, so per-request cache deltas are exact
+/// (parallel batches only guarantee the batch-level delta).
 fn engine() -> Engine {
     Engine::builder()
         .program_source(PROGRAM)
         .expect("program parses")
         .predicates_source(DLL_PRED)
         .expect("predicates parse")
+        .parallelism(1)
         .build()
         .expect("program checks")
 }

@@ -1,0 +1,209 @@
+//! Parallel batch execution: `analyze_all` with several worker threads
+//! must produce reports formula-for-formula identical to a sequential
+//! run, in request order, while streaming each report to the sink as it
+//! completes.
+
+use std::sync::Mutex;
+
+use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, Report, SlingConfig, ValueSpec};
+use sling_logic::Symbol;
+
+/// Four list functions over one node type: a multi-target batch program.
+const PROGRAM: &str = "
+    struct BNode { next: BNode*; data: int; }
+    fn reverse(x: BNode*) -> BNode* {
+        var r: BNode* = null;
+        while @rev (x != null) {
+            var t: BNode* = x->next;
+            x->next = r;
+            r = x;
+            x = t;
+        }
+        return r;
+    }
+    fn traverse(x: BNode*) -> BNode* {
+        var c: BNode* = x;
+        while @walk (c != null) {
+            c = c->next;
+        }
+        return x;
+    }
+    fn append(x: BNode*, y: BNode*) -> BNode* {
+        if (x == null) { return y; }
+        var t: BNode* = append(x->next, y);
+        x->next = t;
+        return x;
+    }
+    fn last(x: BNode*) -> BNode* {
+        if (x == null) { return null; }
+        if (x->next == null) { return x; }
+        return last(x->next);
+    }";
+
+const PREDS: &str = "
+    pred sll(x: BNode*) := emp & x == nil
+       | exists u, d. x -> BNode{next: u, data: d} * sll(u);
+    pred lseg(x: BNode*, y: BNode*) := emp & x == y
+       | exists u, d. x -> BNode{next: u, data: d} * lseg(u, y);";
+
+fn layout() -> ListLayout {
+    ListLayout {
+        ty: Symbol::intern("BNode"),
+        nfields: 2,
+        next: 0,
+        prev: None,
+        data: Some(1),
+    }
+}
+
+fn engine(parallelism: usize) -> Engine {
+    Engine::builder()
+        .program_source(PROGRAM)
+        .expect("program parses")
+        .predicates_source(PREDS)
+        .expect("predicates parse")
+        .parallelism(parallelism)
+        .build()
+        .expect("program checks")
+}
+
+/// Eight requests across the four targets, all spec-built.
+fn batch() -> Vec<AnalysisRequest> {
+    let one_list = |seed: u64, n: usize| InputSpec::seeded(seed).arg(ValueSpec::sll(layout(), n));
+    let two_lists = |seed: u64, n: usize, m: usize| {
+        InputSpec::seeded(seed)
+            .arg(ValueSpec::sll(layout(), n))
+            .arg(ValueSpec::sll(layout(), m))
+    };
+    vec![
+        AnalysisRequest::new("reverse").inputs([one_list(1, 0), one_list(2, 3), one_list(3, 6)]),
+        AnalysisRequest::new("traverse").inputs([one_list(4, 0), one_list(5, 4)]),
+        AnalysisRequest::new("append").inputs([
+            two_lists(6, 0, 0),
+            two_lists(7, 0, 2),
+            two_lists(8, 3, 0),
+            two_lists(9, 3, 2),
+        ]),
+        AnalysisRequest::new("last").inputs([one_list(10, 0), one_list(11, 1), one_list(12, 5)]),
+        AnalysisRequest::new("reverse").inputs([one_list(13, 0), one_list(14, 8)]),
+        AnalysisRequest::new("traverse").inputs([one_list(15, 0), one_list(16, 7)]),
+        AnalysisRequest::new("append").inputs([two_lists(17, 2, 2)]),
+        AnalysisRequest::new("last").inputs([one_list(18, 4)]),
+    ]
+}
+
+/// Everything observable about a report except timing and cache deltas
+/// (which legitimately differ between sequential and parallel runs).
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{} runs={} traces={} faults={}\n",
+        report.target, report.metrics.runs, report.metrics.traces, report.metrics.faulted_runs
+    );
+    for loc in &report.locations {
+        let _ = writeln!(
+            out,
+            "  {} models={} snaps={} tainted={}",
+            loc.location, loc.models_used, loc.snapshots_seen, loc.tainted
+        );
+        for inv in &loc.invariants {
+            let _ = writeln!(out, "    [{}] {}", inv.spurious, inv.formula);
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_reports_match_sequential_byte_for_byte() {
+    let requests = batch();
+
+    let sequential = engine(1).analyze_all(&requests).expect("targets exist");
+    let parallel = engine(4).analyze_all(&requests).expect("targets exist");
+
+    assert_eq!(sequential.reports.len(), requests.len());
+    assert_eq!(parallel.reports.len(), requests.len());
+
+    // Request-order assembly: report i answers request i.
+    for (request, report) in requests.iter().zip(&parallel.reports) {
+        assert_eq!(request.target, report.target);
+    }
+
+    // Formula-for-formula identical, location for location.
+    for (i, (seq, par)) in sequential.reports.iter().zip(&parallel.reports).enumerate() {
+        assert_eq!(
+            fingerprint(seq),
+            fingerprint(par),
+            "request {i} diverged between sequential and parallel runs"
+        );
+    }
+
+    // Both runs did real work and the sharded cache accounted for it:
+    // hit/miss deltas sum to the lookups the batch actually issued.
+    assert!(parallel.cache.lookups() > 0);
+    assert_eq!(
+        parallel.cache.lookups(),
+        parallel.cache.hits + parallel.cache.misses
+    );
+    assert!(
+        parallel.cache.hits > 0,
+        "repeated list shapes must hit across the batch: {:?}",
+        parallel.cache
+    );
+}
+
+#[test]
+fn streaming_sink_runs_while_the_batch_is_in_flight() {
+    let requests = batch();
+    let engine = engine(4);
+    let seen: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let sink = |index: usize, report: &Report| {
+        seen.lock()
+            .unwrap()
+            .push((index, report.target.to_string()));
+    };
+    let batch_report = engine
+        .analyze_all_with(&requests, &sink)
+        .expect("targets exist");
+
+    let mut seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), requests.len(), "one sink call per request");
+    seen.sort();
+    for (i, (index, target)) in seen.iter().enumerate() {
+        assert_eq!(*index, i, "every request index reported exactly once");
+        assert_eq!(target, requests[i].target.as_str());
+    }
+    // The assembled batch still has them in request order.
+    for (request, report) in requests.iter().zip(&batch_report.reports) {
+        assert_eq!(request.target, report.target);
+    }
+}
+
+#[test]
+fn per_request_config_overrides_hold_under_parallelism() {
+    let engine = engine(3);
+    let mut tight = *engine.config();
+    tight.max_results_per_location = 1;
+    let requests: Vec<AnalysisRequest> = (0..6)
+        .map(|i| {
+            let req = AnalysisRequest::new("traverse")
+                .input(InputSpec::seeded(i).arg(ValueSpec::sll(layout(), 3)));
+            if i % 2 == 0 {
+                req.config(SlingConfig { ..tight })
+            } else {
+                req
+            }
+        })
+        .collect();
+    let batch = engine.analyze_all(&requests).expect("targets exist");
+    for (i, report) in batch.reports.iter().enumerate() {
+        if i % 2 == 0 {
+            for loc in &report.locations {
+                assert!(
+                    loc.invariants.len() <= 1,
+                    "override ignored for request {i} at {}",
+                    loc.location
+                );
+            }
+        }
+    }
+}
