@@ -9,96 +9,28 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, ValueSpec};
-use sling_logic::Symbol;
+use sling::Engine;
+use sling_suite::fixtures::ListCorpus;
 
-const PROGRAM: &str = "
-    struct QNode { next: QNode*; data: int; }
-    fn reverse(x: QNode*) -> QNode* {
-        var r: QNode* = null;
-        while @rev (x != null) {
-            var t: QNode* = x->next;
-            x->next = r;
-            r = x;
-            x = t;
-        }
-        return r;
-    }
-    fn traverse(x: QNode*) -> QNode* {
-        var c: QNode* = x;
-        while @walk (c != null) {
-            c = c->next;
-        }
-        return x;
-    }
-    fn append(x: QNode*, y: QNode*) -> QNode* {
-        if (x == null) { return y; }
-        var t: QNode* = append(x->next, y);
-        x->next = t;
-        return x;
-    }
-    fn last(x: QNode*) -> QNode* {
-        if (x == null) { return null; }
-        if (x->next == null) { return x; }
-        return last(x->next);
-    }";
-
-const PREDS: &str = "
-    pred sll(x: QNode*) := emp & x == nil
-       | exists u, d. x -> QNode{next: u, data: d} * sll(u);
-    pred lseg(x: QNode*, y: QNode*) := emp & x == y
-       | exists u, d. x -> QNode{next: u, data: d} * lseg(u, y);";
-
-fn layout() -> ListLayout {
-    ListLayout {
-        ty: Symbol::intern("QNode"),
-        nfields: 2,
-        next: 0,
-        prev: None,
-        data: Some(1),
-    }
+fn corpus() -> ListCorpus {
+    ListCorpus::new("BatchBenchNode")
 }
 
 fn engine(parallelism: usize) -> Engine {
+    let corpus = corpus();
     Engine::builder()
-        .program_source(PROGRAM)
+        .program_source(&corpus.program())
         .expect("program parses")
-        .predicates_source(PREDS)
+        .predicates_source(&corpus.predicates())
         .expect("predicates parse")
         .parallelism(parallelism)
         .build()
         .expect("program checks")
 }
 
-/// Eight independent requests across four targets.
-fn batch() -> Vec<AnalysisRequest> {
-    let one = |seed: u64, n: usize| InputSpec::seeded(seed).arg(ValueSpec::sll(layout(), n));
-    let two = |seed: u64, n: usize, m: usize| {
-        InputSpec::seeded(seed)
-            .arg(ValueSpec::sll(layout(), n))
-            .arg(ValueSpec::sll(layout(), m))
-    };
-    let mut out = Vec::new();
-    for round in 0..2u64 {
-        let s = round * 100;
-        out.push(AnalysisRequest::new("reverse").inputs([
-            one(s + 1, 0),
-            one(s + 2, 4),
-            one(s + 3, 8),
-        ]));
-        out.push(AnalysisRequest::new("traverse").inputs([one(s + 4, 0), one(s + 5, 6)]));
-        out.push(AnalysisRequest::new("append").inputs([
-            two(s + 6, 0, 2),
-            two(s + 7, 3, 0),
-            two(s + 8, 3, 3),
-        ]));
-        out.push(AnalysisRequest::new("last").inputs([one(s + 9, 1), one(s + 10, 5)]));
-    }
-    out
-}
-
 fn batch_throughput(c: &mut Criterion) {
-    let requests = batch();
+    // Eight independent requests across four targets.
+    let requests = corpus().batch(2);
     // At least 4 workers so the parallel path is exercised even on
     // small containers; on real multi-core hardware this is the core
     // count and the wall-clock gap over sequential tracks it.

@@ -1,0 +1,72 @@
+//! Warm vs. cold start: the batch corpus analyzed by a fresh engine,
+//! with and without a persisted entailment-cache snapshot.
+//!
+//! Each iteration builds a new engine — the cold variant starts with an
+//! empty cache, the warm variant restores the snapshot saved by a
+//! set-up run — and then serves the full eight-request batch. The gap
+//! between the two is exactly what cross-run persistence buys a
+//! corpus-scale workload: every entailment established by the previous
+//! process is answered from disk instead of re-searched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sling::Engine;
+use sling_suite::fixtures::ListCorpus;
+
+fn corpus() -> ListCorpus {
+    ListCorpus::new("PersistBenchNode")
+}
+
+fn engine(cache_path: Option<&std::path::Path>) -> Engine {
+    let corpus = corpus();
+    let mut builder = Engine::builder()
+        .program_source(&corpus.program())
+        .expect("program parses")
+        .predicates_source(&corpus.predicates())
+        .expect("predicates parse")
+        .parallelism(1); // measure the cache, not the thread pool
+    if let Some(path) = cache_path {
+        builder = builder.cache_path(path);
+    }
+    builder.build().expect("program checks")
+}
+
+fn warm_vs_cold(c: &mut Criterion) {
+    let requests = corpus().batch(2);
+    let path = std::env::temp_dir().join(format!("sling-persist-bench-{}.bin", std::process::id()));
+
+    // Set-up run: populate and snapshot the cache once.
+    let seed_engine = engine(Some(&path));
+    seed_engine.analyze_all(&requests).expect("targets exist");
+    let written = seed_engine.save_cache().expect("snapshot writes");
+    assert!(written > 0, "set-up run must populate the cache");
+    drop(seed_engine);
+
+    c.bench_function("corpus_cold_start", |b| {
+        b.iter(|| {
+            let cold = engine(None);
+            let batch = cold.analyze_all(&requests).expect("targets exist");
+            assert!(batch.invariant_count() > 0);
+            assert_eq!(batch.cache.warm_hits, 0);
+        });
+    });
+
+    c.bench_function("corpus_warm_start", |b| {
+        b.iter(|| {
+            let warm = engine(Some(&path));
+            assert_eq!(warm.warm_entries(), written);
+            let batch = warm.analyze_all(&requests).expect("targets exist");
+            assert!(batch.invariant_count() > 0);
+            assert!(batch.cache.warm_hits > 0, "snapshot must carry the load");
+        });
+    });
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = warm_vs_cold
+}
+criterion_main!(benches);

@@ -38,6 +38,55 @@
 //! contend only when they touch the same shard. Hit/miss counters are
 //! per-shard atomics; [`CheckCache::stats`] sums them, so totals stay
 //! exact under any interleaving.
+//!
+//! # Persistence
+//!
+//! Because canonical keys are stable across processes, a cache can be
+//! snapshotted to disk and reloaded by a later run — see
+//! [`crate::persist`]. Entries restored that way are *warm*; hits on
+//! them are reported separately in [`CacheStats::warm_hits`].
+//!
+//! # Examples
+//!
+//! Two isomorphic models share one cache entry — the second query is
+//! answered without re-running the search:
+//!
+//! ```
+//! use sling_checker::{CheckCache, CheckCtx};
+//! use sling_logic::{parse_formula, parse_predicates, FieldDef, FieldTy, PredEnv,
+//!                   StructDef, Symbol, TypeEnv};
+//! use sling_models::{Heap, HeapCell, Loc, Stack, StackHeapModel, Val};
+//!
+//! let node = Symbol::intern("MNode");
+//! let mut types = TypeEnv::new();
+//! types.define(StructDef {
+//!     name: node,
+//!     fields: vec![FieldDef { name: Symbol::intern("next"), ty: FieldTy::Ptr(node) }],
+//! })?;
+//! let mut preds = PredEnv::new();
+//! for d in parse_predicates(
+//!     "pred mlist(x: MNode*) := emp & x == nil | exists u. x -> MNode{next: u} * mlist(u);",
+//! )? {
+//!     preds.define(d)?;
+//! }
+//!
+//! // A one-cell list headed by `x`, at a caller-chosen address.
+//! let model = |base: u64| {
+//!     let mut heap = Heap::new();
+//!     heap.insert(Loc::new(base), HeapCell::new(node, vec![Val::Nil]));
+//!     let mut stack = Stack::new();
+//!     stack.bind(Symbol::intern("x"), Val::Addr(Loc::new(base)));
+//!     StackHeapModel::new(stack, heap)
+//! };
+//!
+//! let cache = CheckCache::new();
+//! let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+//! let f = parse_formula("mlist(x)")?;
+//! assert!(ctx.check(&model(1), &f).is_some()); // cold: runs the search
+//! assert!(ctx.check(&model(9), &f).is_some()); // isomorphic: cache hit
+//! assert_eq!(cache.stats().hits, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -55,6 +104,9 @@ use crate::inst::Instantiation;
 pub struct CacheStats {
     /// Queries answered from the cache.
     pub hits: u64,
+    /// Queries answered by entries loaded from a persisted cache file
+    /// (see [`crate::persist`]) — the warm-start subset of `hits`.
+    pub warm_hits: u64,
     /// Queries that ran the full search (and seeded the cache).
     pub misses: u64,
     /// Entries currently stored.
@@ -81,6 +133,7 @@ impl CacheStats {
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
+            warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
             misses: self.misses.saturating_sub(earlier.misses),
             entries: self.entries,
         }
@@ -96,7 +149,11 @@ impl std::fmt::Display for CacheStats {
             self.lookups(),
             100.0 * self.hit_rate(),
             self.entries
-        )
+        )?;
+        if self.warm_hits > 0 {
+            write!(f, ", {} warm", self.warm_hits)?;
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +161,22 @@ impl std::fmt::Display for CacheStats {
 /// over. Concurrent checker threads contend only when two lookups land on
 /// the same shard.
 pub const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over a byte slice — the one hash used for every fingerprint
+/// in this crate (cache keys, environment fingerprints, snapshot
+/// checksums), so the constants live in exactly one place.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a fold from an intermediate state.
+pub(crate) fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Everything outside the `(model, formula)` pair that a verdict depends
 /// on: the environment fingerprint and the search limits (a
@@ -126,24 +199,17 @@ pub(crate) struct QueryScope {
 /// the full text, so fingerprint collisions cannot alias entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CacheKey {
-    scope: QueryScope,
+    pub(crate) scope: QueryScope,
     fingerprint: u64,
-    text: String,
+    pub(crate) text: String,
 }
 
 impl CacheKey {
-    fn new(scope: QueryScope, text: String) -> CacheKey {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut step = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        step(&scope.env_tag.to_le_bytes());
-        step(&scope.node_budget.to_le_bytes());
-        step(&scope.fuel_slack.to_le_bytes());
-        step(text.as_bytes());
+    pub(crate) fn new(scope: QueryScope, text: String) -> CacheKey {
+        let mut h = fnv1a(&scope.env_tag.to_le_bytes());
+        h = fnv1a_extend(h, &scope.node_budget.to_le_bytes());
+        h = fnv1a_extend(h, &scope.fuel_slack.to_le_bytes());
+        h = fnv1a_extend(h, text.as_bytes());
         CacheKey {
             scope,
             fingerprint: h,
@@ -175,9 +241,7 @@ impl Hasher for FingerprintHasher {
 
     fn write(&mut self, bytes: &[u8]) {
         // Fallback for non-fingerprint keys (unused in practice).
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-        }
+        self.0 = fnv1a_extend(self.0, bytes);
     }
 
     fn write_u64(&mut self, n: u64) {
@@ -187,11 +251,20 @@ impl Hasher for FingerprintHasher {
 
 type FingerprintBuild = BuildHasherDefault<FingerprintHasher>;
 
+/// One stored verdict plus its provenance: entries loaded from a
+/// persisted cache file are *warm* and counted separately on hits.
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Option<CachedReduction>,
+    warm: bool,
+}
+
 /// One independent slice of the cache: its own map and counters.
 #[derive(Debug, Default)]
 struct Shard {
-    entries: Mutex<HashMap<CacheKey, Option<CachedReduction>, FingerprintBuild>>,
+    entries: Mutex<HashMap<CacheKey, Entry, FingerprintBuild>>,
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -242,6 +315,7 @@ impl CheckCache {
         let mut stats = CacheStats::default();
         for shard in &self.shards {
             stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.warm_hits += shard.warm_hits.load(Ordering::Relaxed);
             stats.misses += shard.misses.load(Ordering::Relaxed);
             stats.entries += shard.entries.lock().expect("cache lock").len() as u64;
         }
@@ -259,18 +333,57 @@ impl CheckCache {
         let shard = &self.shards[key.shard()];
         let found = shard.entries.lock().expect("cache lock").get(key).cloned();
         match &found {
-            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
-            None => shard.misses.fetch_add(1, Ordering::Relaxed),
+            Some(entry) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                if entry.warm {
+                    shard.warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
-        found
+        found.map(|entry| entry.value)
     }
 
     pub(crate) fn store(&self, key: CacheKey, value: Option<CachedReduction>) {
         let shard = &self.shards[key.shard()];
         let mut entries = shard.entries.lock().expect("cache lock");
         if entries.len() < self.shard_capacity {
-            entries.insert(key, value);
+            entries.insert(key, Entry { value, warm: false });
         }
+    }
+
+    /// Inserts an entry loaded from a persisted snapshot; hits on it
+    /// are counted as warm starts ([`CacheStats::warm_hits`]). Returns
+    /// whether the entry was actually retained — `false` when its shard
+    /// is at capacity — so loaders can report the restored count
+    /// honestly.
+    pub(crate) fn store_warm(&self, key: CacheKey, value: Option<CachedReduction>) -> bool {
+        let shard = &self.shards[key.shard()];
+        let mut entries = shard.entries.lock().expect("cache lock");
+        if entries.len() < self.shard_capacity {
+            entries.insert(key, Entry { value, warm: true });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshots every stored entry whose scope carries `env_tag`, for
+    /// persistence. Shards are locked one at a time, so the snapshot is
+    /// per-shard consistent (exact when no checker runs concurrently).
+    pub(crate) fn entries_for(&self, env_tag: u64) -> Vec<(CacheKey, Option<CachedReduction>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.entries.lock().expect("cache lock");
+            for (key, entry) in entries.iter() {
+                if key.scope.env_tag == env_tag {
+                    out.push((key.clone(), entry.value.clone()));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -299,8 +412,8 @@ pub(crate) enum CanonName {
 /// One memoized reduction, expressed in canonical space.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedReduction {
-    residual: Vec<u32>,
-    inst: Vec<(CanonName, CanonVal)>,
+    pub(crate) residual: Vec<u32>,
+    pub(crate) inst: Vec<(CanonName, CanonVal)>,
 }
 
 /// The canonical form of one `(model, formula)` query: the cache key
@@ -324,13 +437,7 @@ pub(crate) struct CanonicalQuery {
 /// it via [`crate::CheckCtx`]'s `env_tag` field.
 pub fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> u64 {
     let text = format!("{types:?}\u{1}{preds:?}");
-    // FNV-1a.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    fnv1a(text.as_bytes())
 }
 
 impl CanonicalQuery {
@@ -749,16 +856,18 @@ mod tests {
     fn stats_since_subtracts() {
         let a = CacheStats {
             hits: 10,
+            warm_hits: 2,
             misses: 4,
             entries: 9,
         };
         let b = CacheStats {
             hits: 13,
+            warm_hits: 6,
             misses: 5,
             entries: 11,
         };
         let d = b.since(&a);
-        assert_eq!((d.hits, d.misses, d.entries), (3, 1, 11));
+        assert_eq!((d.hits, d.warm_hits, d.misses, d.entries), (3, 4, 1, 11));
         assert_eq!(d.lookups(), 4);
     }
 

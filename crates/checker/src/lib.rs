@@ -59,10 +59,12 @@
 
 #![warn(missing_docs)]
 
-mod cache;
+pub mod cache;
 mod check;
 mod inst;
+pub mod persist;
 
 pub use cache::{env_fingerprint, CacheStats, CheckCache, SHARD_COUNT};
 pub use check::{CheckConfig, CheckCtx, Reduction};
 pub use inst::Instantiation;
+pub use persist::PersistError;

@@ -1,0 +1,624 @@
+//! Cross-run persistence for the entailment cache.
+//!
+//! The canonical keys of a [`CheckCache`] are stable across processes —
+//! they contain no raw addresses, interner ids, or hash seeds — so a
+//! cache populated by one run can warm the next. This module snapshots a
+//! cache to a versioned binary file ([`save`]) and restores it
+//! ([`load`]), turning corpus-scale workloads into incremental ones: the
+//! second process over the same predicate library starts with every
+//! previously established entailment already answered.
+//!
+//! # File format (version 1)
+//!
+//! A fixed header — magic `SLNGCACH`, format version, FNV-1a checksum of
+//! the body — followed by the body: the environment fingerprint of the
+//! saving engine ([`crate::env_fingerprint`]) and the length-prefixed
+//! entries. Everything is little-endian. Three safety properties:
+//!
+//! * **Versioned**: a file written by an incompatible format version is
+//!   rejected with [`PersistError::UnsupportedVersion`], never
+//!   misparsed.
+//! * **Checksummed**: torn writes and bit rot fail the body checksum and
+//!   are rejected with [`PersistError::Corrupted`] (every read is also
+//!   bounds-checked, so truncation cannot panic).
+//! * **Environment-keyed**: the header records the fingerprint of the
+//!   `(TypeEnv, PredEnv)` pair the entries were computed under; loading
+//!   into an engine with a different fingerprint — a stale predicate
+//!   library, a changed struct layout — is rejected with
+//!   [`PersistError::FingerprintMismatch`] instead of serving wrong
+//!   verdicts.
+//!
+//! Entries restored by [`load`] are marked *warm*: hits on them are
+//! reported in [`CacheStats::warm_hits`](crate::CacheStats::warm_hits)
+//! so callers can observe how much a warm start actually saved.
+//!
+//! Saves are atomic (write to a sibling temp file, then rename), so a
+//! crash mid-save leaves any previous snapshot intact and concurrent
+//! readers never observe a half-written file.
+//!
+//! # Examples
+//!
+//! Round-trip an (empty) cache and observe the fingerprint guard:
+//!
+//! ```
+//! use sling_checker::{persist, CheckCache};
+//!
+//! let path = std::env::temp_dir().join(format!("sling-doc-cache-{}.bin", std::process::id()));
+//! let cache = CheckCache::new();
+//! persist::save(&cache, 42, &path)?;
+//!
+//! let restored = CheckCache::new();
+//! assert_eq!(persist::load(&restored, 42, &path)?, 0);
+//! assert!(matches!(
+//!     persist::load(&restored, 7, &path), // different predicate library
+//!     Err(persist::PersistError::FingerprintMismatch { .. })
+//! ));
+//! std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Engines wire this through
+//! `EngineBuilder::cache_path(..)` / `Engine::save_cache()` in the
+//! `sling` crate; this module is the format layer underneath.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sling_logic::Symbol;
+
+use crate::cache::{fnv1a, CacheKey, CachedReduction, CanonName, CanonVal, CheckCache, QueryScope};
+
+/// Leading bytes of every snapshot file.
+const MAGIC: &[u8; 8] = b"SLNGCACH";
+
+/// Current format version; bump on any layout change.
+const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot file could not be loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The bytes are not a well-formed snapshot (bad magic, failed
+    /// checksum, truncated or over-long body, invalid UTF-8, ...).
+    Corrupted(String),
+    /// The file is a snapshot, but written by an incompatible format
+    /// version.
+    UnsupportedVersion(u32),
+    /// The snapshot was computed under a different `(TypeEnv, PredEnv)`
+    /// pair — e.g. a stale predicate library — and its verdicts must not
+    /// be reused.
+    FingerprintMismatch {
+        /// The fingerprint the loading engine runs under.
+        expected: u64,
+        /// The fingerprint recorded in the file.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "cache snapshot I/O error: {e}"),
+            PersistError::Corrupted(why) => write!(f, "cache snapshot corrupted: {why}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "cache snapshot format version {v} unsupported (this build reads {FORMAT_VERSION})"
+                )
+            }
+            PersistError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "cache snapshot was computed under a different environment \
+                 (expected fingerprint {expected:#018x}, file has {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+/// Snapshots every entry of `cache` computed under `env_tag` to `path`,
+/// returning how many entries were written. The write is atomic: a
+/// sibling temp file is renamed over `path` only once fully written.
+pub fn save(cache: &CheckCache, env_tag: u64, path: &Path) -> io::Result<u64> {
+    let entries = cache.entries_for(env_tag);
+
+    let mut body = Vec::with_capacity(64 + 128 * entries.len());
+    write_u64(&mut body, env_tag);
+    write_u64(&mut body, entries.len() as u64);
+    for (key, value) in &entries {
+        write_u64(&mut body, key.scope.node_budget);
+        write_u32(&mut body, key.scope.fuel_slack);
+        write_bytes(&mut body, key.text.as_bytes());
+        match value {
+            None => body.push(0),
+            Some(red) => {
+                body.push(1);
+                write_u32(&mut body, red.residual.len() as u32);
+                for id in &red.residual {
+                    write_u32(&mut body, *id);
+                }
+                write_u32(&mut body, red.inst.len() as u32);
+                for (name, val) in &red.inst {
+                    match name {
+                        CanonName::Binder(i) => {
+                            body.push(0);
+                            write_u32(&mut body, *i);
+                        }
+                        CanonName::Free(sym) => {
+                            body.push(1);
+                            write_bytes(&mut body, sym.as_str().as_bytes());
+                        }
+                    }
+                    match val {
+                        CanonVal::Nil => body.push(0),
+                        CanonVal::Int(k) => {
+                            body.push(1);
+                            write_u64(&mut body, *k as u64);
+                        }
+                        CanonVal::InHeap(id) => {
+                            body.push(2);
+                            write_u32(&mut body, *id);
+                        }
+                        CanonVal::Dangling(id) => {
+                            body.push(3);
+                            write_u32(&mut body, *id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut file = Vec::with_capacity(MAGIC.len() + 12 + body.len());
+    file.extend_from_slice(MAGIC);
+    write_u32(&mut file, FORMAT_VERSION);
+    write_u64(&mut file, fnv1a(&body));
+    file.extend_from_slice(&body);
+
+    // Atomic replace: a crash mid-write leaves the previous snapshot
+    // intact, and concurrent loaders never see a torn file. The temp
+    // name is unique per save (pid + counter), so concurrent saves to
+    // the same path from one process cannot interleave on one temp
+    // file — last rename wins with a complete snapshot.
+    static SAVE_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SAVE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, &file)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(entries.len() as u64),
+        Err(e) => {
+            fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// Loads the snapshot at `path` into `cache`, marking every restored
+/// entry warm, and returns how many entries were actually retained
+/// (less than the file's entry count when the target cache is near its
+/// capacity). `env_tag` must match the fingerprint recorded in the
+/// file; see [`PersistError`] for the rejection cases. The target cache
+/// is only modified after the whole file has validated, so a rejected
+/// load leaves it untouched.
+pub fn load(cache: &CheckCache, env_tag: u64, path: &Path) -> Result<u64, PersistError> {
+    let bytes = fs::read(path)?;
+    let mut r = Reader::new(&bytes);
+
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(PersistError::Corrupted("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let checksum = r.u64()?;
+    let body = &bytes[r.pos..];
+    if fnv1a(body) != checksum {
+        return Err(PersistError::Corrupted("checksum mismatch".into()));
+    }
+
+    let found = r.u64()?;
+    if found != env_tag {
+        return Err(PersistError::FingerprintMismatch {
+            expected: env_tag,
+            found,
+        });
+    }
+
+    let count = r.u64()?;
+    // Parse fully before touching the cache, so a corrupted tail cannot
+    // leave a half-loaded (but checksum-passing prefix) state behind.
+    let mut parsed: Vec<(CacheKey, Option<CachedReduction>)> = Vec::new();
+    for _ in 0..count {
+        let node_budget = r.u64()?;
+        let fuel_slack = r.u32()?;
+        let text = r.string()?;
+        let scope = QueryScope {
+            env_tag,
+            node_budget,
+            fuel_slack,
+        };
+        let value = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut residual = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    residual.push(r.u32()?);
+                }
+                let n = r.u32()? as usize;
+                let mut inst = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let name = match r.u8()? {
+                        0 => CanonName::Binder(r.u32()?),
+                        1 => CanonName::Free(Symbol::intern(&r.string()?)),
+                        t => {
+                            return Err(PersistError::Corrupted(format!("bad name tag {t}")));
+                        }
+                    };
+                    let val = match r.u8()? {
+                        0 => CanonVal::Nil,
+                        1 => CanonVal::Int(r.u64()? as i64),
+                        2 => CanonVal::InHeap(r.u32()?),
+                        3 => CanonVal::Dangling(r.u32()?),
+                        t => {
+                            return Err(PersistError::Corrupted(format!("bad value tag {t}")));
+                        }
+                    };
+                    inst.push((name, val));
+                }
+                Some(CachedReduction { residual, inst })
+            }
+            t => return Err(PersistError::Corrupted(format!("bad verdict tag {t}"))),
+        };
+        parsed.push((CacheKey::new(scope, text), value));
+    }
+    if r.pos != bytes.len() {
+        return Err(PersistError::Corrupted(
+            "trailing bytes after entries".into(),
+        ));
+    }
+
+    let mut loaded = 0;
+    for (key, value) in parsed {
+        if cache.store_warm(key, value) {
+            loaded += 1;
+        }
+    }
+    Ok(loaded)
+}
+
+fn write_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn write_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked little-endian reader over the snapshot bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or_else(|| PersistError::Corrupted("unexpected end of file".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupted("invalid UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckCtx;
+    use sling_logic::{
+        parse_formula, parse_predicates, FieldDef, FieldTy, PredEnv, StructDef, TypeEnv,
+    };
+    use sling_models::{Heap, HeapCell, Loc, Stack, StackHeapModel, Val};
+    use std::path::PathBuf;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn envs() -> (TypeEnv, PredEnv) {
+        let node = sym("PersistNode");
+        let mut types = TypeEnv::new();
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                }],
+            })
+            .unwrap();
+        let mut preds = PredEnv::new();
+        for d in parse_predicates(
+            "pred plist(x: PersistNode*) := emp & x == nil
+               | exists u. x -> PersistNode{next: u} * plist(u);",
+        )
+        .unwrap()
+        {
+            preds.define(d).unwrap();
+        }
+        (types, preds)
+    }
+
+    fn list_model(n: u64, base: u64) -> StackHeapModel {
+        let mut heap = Heap::new();
+        for i in 0..n {
+            let next = if i + 1 < n {
+                Val::Addr(Loc::new(base + i + 1))
+            } else {
+                Val::Nil
+            };
+            heap.insert(
+                Loc::new(base + i),
+                HeapCell::new(sym("PersistNode"), vec![next]),
+            );
+        }
+        let mut stack = Stack::new();
+        let head = if n == 0 {
+            Val::Nil
+        } else {
+            Val::Addr(Loc::new(base))
+        };
+        stack.bind(sym("x"), head);
+        StackHeapModel::new(stack, heap)
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sling-persist-test-{}-{name}.bin",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn round_trip_restores_verdicts_and_counts_warm_hits() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let env_tag = ctx.env_tag;
+        let f = parse_formula("plist(x)").unwrap();
+        // Populate: positive verdicts of several shapes, one negative.
+        for n in 0..4 {
+            assert!(ctx.check(&list_model(n, 1), &f).is_some());
+        }
+        let mut cyc = list_model(2, 1);
+        let c1 = Loc::new(1);
+        cyc.heap.insert(
+            Loc::new(2),
+            HeapCell::new(sym("PersistNode"), vec![Val::Addr(c1)]),
+        );
+        assert!(ctx.check(&cyc, &f).is_none());
+        let saved_stats = cache.stats();
+
+        let path = temp_path("round-trip");
+        let written = save(&cache, env_tag, &path).unwrap();
+        assert_eq!(written, saved_stats.entries);
+
+        // A fresh cache in a "new process": every verdict is answered
+        // warm, bit-identically to an uncached search.
+        let warm = CheckCache::new();
+        let loaded = load(&warm, env_tag, &path).unwrap();
+        assert_eq!(loaded, written);
+        assert_eq!(warm.stats().entries, saved_stats.entries);
+
+        let warm_ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &warm);
+        let plain = CheckCtx::new(&types, &preds);
+        for n in 0..4 {
+            // Different base addresses: isomorphic shapes still hit.
+            let m = list_model(n, 400 + 10 * n);
+            assert_eq!(warm_ctx.check(&m, &f), plain.check(&m, &f));
+        }
+        assert!(warm_ctx.check(&cyc, &f).is_none());
+        let stats = warm.stats();
+        assert_eq!(stats.misses, 0, "every query must be warm: {stats:?}");
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.warm_hits, 5, "hits on loaded entries are warm");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_entries_are_not_counted_warm() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        let _ = ctx.check(&list_model(2, 1), &f);
+        let _ = ctx.check(&list_model(2, 70), &f);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.warm_hits), (1, 0));
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected_and_cache_untouched() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        let _ = ctx.check(&list_model(3, 1), &f);
+
+        let path = temp_path("fingerprint");
+        save(&cache, ctx.env_tag, &path).unwrap();
+
+        let other = CheckCache::new();
+        let err = load(&other, ctx.env_tag ^ 1, &path).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        match err {
+            PersistError::FingerprintMismatch { expected, found } => {
+                assert_eq!(expected, ctx.env_tag ^ 1);
+                assert_eq!(found, ctx.env_tag);
+            }
+            unexpected => panic!("expected FingerprintMismatch, got {unexpected:?}"),
+        }
+        assert_eq!(other.stats().entries, 0, "rejected load must not insert");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_rejected_cleanly() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        for n in 0..3 {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        let path = temp_path("corrupt");
+        save(&cache, ctx.env_tag, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one body byte: checksum must catch it.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        std::fs::write(&path, &flipped).unwrap();
+        let fresh = CheckCache::new();
+        assert!(matches!(
+            load(&fresh, ctx.env_tag, &path),
+            Err(PersistError::Corrupted(_))
+        ));
+        assert_eq!(fresh.stats().entries, 0, "rejected load must not insert");
+
+        // Truncations anywhere must error, never panic.
+        for cut in [0, 3, 9, 13, 19, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                load(&CheckCache::new(), ctx.env_tag, &path).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        // Not a snapshot at all.
+        std::fs::write(&path, b"definitely not a cache").unwrap();
+        assert!(matches!(
+            load(&CheckCache::new(), ctx.env_tag, &path),
+            Err(PersistError::Corrupted(_))
+        ));
+
+        // A future format version is refused, not misparsed.
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            load(&CheckCache::new(), ctx.env_tag, &path),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+
+        // A missing file surfaces as Io.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            load(&CheckCache::new(), ctx.env_tag, &path),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_reports_only_retained_entries() {
+        // Loading into a near-capacity cache keeps what fits; the
+        // returned count must reflect what was retained, not the file.
+        use crate::SHARD_COUNT;
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        for n in 0..(4 * SHARD_COUNT as u64) {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        let path = temp_path("capacity");
+        let written = save(&cache, ctx.env_tag, &path).unwrap();
+
+        let tiny = CheckCache::with_capacity(SHARD_COUNT); // one entry per shard
+        let loaded = load(&tiny, ctx.env_tag, &path).unwrap();
+        assert_eq!(loaded, tiny.stats().entries);
+        assert!(
+            loaded < written,
+            "a tiny cache cannot retain the whole snapshot ({loaded} vs {written})"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_filters_by_environment() {
+        // One shared cache, two environments: a snapshot for one env
+        // contains only that env's entries.
+        let (types, preds_real) = envs();
+        let mut preds_other = PredEnv::new();
+        for d in parse_predicates("pred plist(x: PersistNode*) := emp & x == nil;").unwrap() {
+            preds_other.define(d).unwrap();
+        }
+        let cache = CheckCache::new();
+        let a = CheckCtx::with_cache(&types, &preds_real, Default::default(), &cache);
+        let b = CheckCtx::with_cache(&types, &preds_other, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        let _ = a.check(&list_model(2, 1), &f);
+        let _ = b.check(&list_model(2, 1), &f);
+        assert_eq!(cache.stats().entries, 2);
+
+        let path = temp_path("filter");
+        assert_eq!(save(&cache, a.env_tag, &path).unwrap(), 1);
+        let only_a = CheckCache::new();
+        assert_eq!(load(&only_a, a.env_tag, &path).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

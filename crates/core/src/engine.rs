@@ -14,25 +14,92 @@
 //! analyzing one function are reused by the next — the second request
 //! for a list-shaped argument typically starts warm.
 //!
-//! # Parallel batches
+//! # Two levels of parallelism
 //!
-//! Requests are `Send + Sync` (built from declarative
-//! [`InputSpec`](crate::InputSpec)s or `Send + Sync` closures), so
-//! [`Engine::analyze_all`] fans a batch out over a scoped thread pool —
-//! [`EngineBuilder::parallelism`] workers, defaulting to the available
-//! cores (overridable with the `SLING_PARALLELISM` environment
-//! variable). Reports are always assembled in *request order*,
-//! formula-for-formula identical to a sequential run; callers that want
-//! results as they complete pass a streaming [`ReportSink`] to
-//! [`Engine::analyze_all_with`]. The engine's entailment cache is
+//! The worker budget ([`EngineBuilder::parallelism`], defaulting to the
+//! available cores, overridable with the `SLING_PARALLELISM` environment
+//! variable) is spent at whichever level has the work:
+//!
+//! * **Across requests** — requests are `Send + Sync` (built from
+//!   declarative [`InputSpec`](crate::InputSpec)s or `Send + Sync`
+//!   closures), so [`Engine::analyze_all`] fans a batch out over a
+//!   scoped thread pool. Reports are always assembled in *request
+//!   order*, formula-for-formula identical to a sequential run; callers
+//!   that want results as they complete pass a streaming [`ReportSink`]
+//!   to [`Engine::analyze_all_with`].
+//! * **Across locations** — a single [`Engine::analyze`] (or a
+//!   one-request batch) fans its per-location inference out over the
+//!   same pool instead, so single-target workloads that cannot batch
+//!   still scale. [`RunMetrics::workers`](crate::RunMetrics) reports
+//!   the count actually used.
+//!
+//! The budget divides, never multiplies: with `r` requests in flight
+//! each request fans its locations out over `parallelism / r` workers
+//! (a saturated batch runs locations sequentially, a one-request batch
+//! gets the whole budget inside the request), so total thread count
+//! stays bounded by the budget. The engine's entailment cache is
 //! sharded, so worker threads memoize concurrently without serializing
 //! on one lock.
+//!
+//! # Persistent cache
+//!
+//! With [`EngineBuilder::cache_path`] the entailment cache outlives the
+//! process: `build()` warm-starts from the snapshot at that path when
+//! one exists (rejecting stale or corrupt files — see
+//! [`sling_checker::persist`]), and [`Engine::save_cache`] writes the
+//! cache back. [`CacheStats::warm_hits`] reports how many queries the
+//! restored entries answered.
+//!
+//! # Examples
+//!
+//! ```
+//! use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, ValueSpec};
+//! use sling_logic::Symbol;
+//!
+//! fn build(path: &std::path::Path) -> Result<Engine, sling::BuildError> {
+//!     Engine::builder()
+//!         .program_source(
+//!             "struct ENode { next: ENode*; }
+//!              fn walk(x: ENode*) -> ENode* {
+//!                  var c: ENode* = x;
+//!                  while @w (c != null) { c = c->next; }
+//!                  return x;
+//!              }",
+//!         )?
+//!         .predicates_source(
+//!             "pred elist(x: ENode*) := emp & x == nil
+//!                | exists u. x -> ENode{next: u} * elist(u);",
+//!         )?
+//!         .cache_path(path) // persistent entailment cache
+//!         .build()
+//! }
+//!
+//! let path = std::env::temp_dir().join(format!("sling-engine-doc-{}.bin", std::process::id()));
+//! let layout = ListLayout {
+//!     ty: Symbol::intern("ENode"), nfields: 1, next: 0, prev: None, data: None,
+//! };
+//! let request = AnalysisRequest::new("walk")
+//!     .input(InputSpec::seeded(3).arg(ValueSpec::sll(layout, 4)));
+//!
+//! let cold = build(&path)?;
+//! assert_eq!(cold.warm_entries(), 0);
+//! let report = cold.analyze(&request)?;
+//! assert!(report.invariant_count() > 0);
+//! cold.save_cache()?; // snapshot for the next process
+//!
+//! let warm = build(&path)?;
+//! assert!(warm.warm_entries() > 0);
+//! let rerun = warm.analyze(&request)?;
+//! assert!(rerun.cache.warm_hits > 0, "restored entries answered queries");
+//! std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::Arc;
 
-use sling_checker::{env_fingerprint, CacheStats, CheckCache, CheckCtx};
+use sling_checker::{env_fingerprint, persist, CacheStats, CheckCache, CheckCtx};
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
 use sling_logic::{parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
 
@@ -101,6 +168,7 @@ pub struct EngineBuilder {
     preds: PredEnv,
     config: SlingConfig,
     cache: Option<Arc<CheckCache>>,
+    cache_path: Option<PathBuf>,
     parallelism: Option<usize>,
 }
 
@@ -158,10 +226,27 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the number of worker threads [`Engine::analyze_all`] may use
-    /// (clamped to at least 1; `1` means strictly sequential). Defaults
-    /// to the `SLING_PARALLELISM` environment variable when set, else
-    /// the available CPU cores.
+    /// Makes the entailment cache persistent: at `build()` the engine
+    /// warm-starts from the snapshot at `path` (if one exists and was
+    /// written under the same program types and predicate library), and
+    /// [`Engine::save_cache`] writes the cache back to the same path.
+    ///
+    /// A missing file, a corrupted file, or a snapshot from a different
+    /// environment never fails the build — the cache is an optimization,
+    /// so the engine simply starts cold. [`Engine::warm_entries`]
+    /// reports how many entries were actually restored; callers that
+    /// need the typed rejection reason use
+    /// [`sling_checker::persist::load`] directly.
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> EngineBuilder {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Sets the number of worker threads the engine may use — across
+    /// requests in [`Engine::analyze_all`], and across locations inside
+    /// a single [`Engine::analyze`] (clamped to at least 1; `1` means
+    /// strictly sequential). Defaults to the `SLING_PARALLELISM`
+    /// environment variable when set, else the available CPU cores.
     pub fn parallelism(mut self, workers: usize) -> EngineBuilder {
         self.parallelism = Some(workers.max(1));
         self
@@ -173,12 +258,19 @@ impl EngineBuilder {
         check_program(&program).map_err(|e| BuildError::Type(e.to_string()))?;
         let types = program.type_env();
         let env_tag = env_fingerprint(&types, &self.preds);
+        let cache = self.cache.unwrap_or_default();
+        let warm_entries = match &self.cache_path {
+            Some(path) if path.exists() => persist::load(&cache, env_tag, path).unwrap_or(0),
+            _ => 0,
+        };
         Ok(Engine {
             program,
             types,
             preds: self.preds,
             config: self.config,
-            cache: self.cache.unwrap_or_default(),
+            cache,
+            cache_path: self.cache_path,
+            warm_entries,
             env_tag,
             parallelism: self.parallelism.unwrap_or_else(default_parallelism),
         })
@@ -235,6 +327,11 @@ pub struct Engine {
     preds: PredEnv,
     config: SlingConfig,
     cache: Arc<CheckCache>,
+    /// Where [`Engine::save_cache`] persists the cache (and where the
+    /// build warm-started from), if configured.
+    cache_path: Option<PathBuf>,
+    /// Entries restored from `cache_path` at build time.
+    warm_entries: u64,
     /// Environment fingerprint, computed once at build so per-request
     /// checker contexts don't re-hash the environments.
     env_tag: u64,
@@ -277,6 +374,33 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Entries restored from the [`EngineBuilder::cache_path`] snapshot
+    /// when this engine was built (`0` for a cold start).
+    pub fn warm_entries(&self) -> u64 {
+        self.warm_entries
+    }
+
+    /// Snapshots the entailment cache to the configured
+    /// [`EngineBuilder::cache_path`], so the next process over the same
+    /// program and predicate library starts warm. Returns the number of
+    /// entries written. Fails with [`std::io::ErrorKind::InvalidInput`]
+    /// when no cache path was configured.
+    pub fn save_cache(&self) -> std::io::Result<u64> {
+        let Some(path) = &self.cache_path else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no cache path configured: call EngineBuilder::cache_path(..)",
+            ));
+        };
+        persist::save(&self.cache, self.env_tag, path)
+    }
+
+    /// [`Engine::save_cache`] to an explicit path (the configured
+    /// [`EngineBuilder::cache_path`], if any, is ignored).
+    pub fn save_cache_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<u64> {
+        persist::save(&self.cache, self.env_tag, path.as_ref())
+    }
+
     /// Drops every memoized entailment (counters are kept). Long-lived
     /// services call this to bound memory between unrelated workloads;
     /// benchmarks call it to measure the cold path.
@@ -295,23 +419,38 @@ impl Engine {
         }
     }
 
-    /// Runs one (pre-validated) request; the report's cache delta is
-    /// left zeroed for the caller to fill in.
-    fn run_request(&self, request: &AnalysisRequest) -> Report {
+    /// Runs one (pre-validated) request with `workers` threads available
+    /// for its per-location inference fan-out; the report's cache delta
+    /// is left zeroed for the caller to fill in.
+    fn run_request(&self, request: &AnalysisRequest, workers: usize) -> Report {
         let config = request.config.as_ref().unwrap_or(&self.config);
         let ctx = self.check_ctx(config);
-        run_target(&ctx, &self.program, request.target, &request.inputs, config)
+        run_target(
+            &ctx,
+            &self.program,
+            request.target,
+            &request.inputs,
+            config,
+            workers,
+        )
     }
 
     /// Serves one request: collect traces for the target on the
     /// request's inputs, infer invariants at every reached location,
     /// validate entry/exit pairs with the frame rule.
+    ///
+    /// With [`Engine::parallelism`] `> 1` the per-location inference
+    /// loop fans out over a scoped thread pool (the whole worker budget
+    /// goes to this one request), so a single-target workload with many
+    /// locations scales like a batch does; output is identical to a
+    /// sequential run, and [`RunMetrics::workers`](crate::RunMetrics)
+    /// reports the worker count actually used.
     pub fn analyze(&self, request: &AnalysisRequest) -> Result<Report, AnalyzeError> {
         if self.program.func(request.target).is_none() {
             return Err(AnalyzeError::UnknownTarget(request.target));
         }
         let before = self.cache.stats();
-        let mut report = self.run_request(request);
+        let mut report = self.run_request(request, self.parallelism);
         report.cache = self.cache.stats().since(&before);
         Ok(report)
     }
@@ -357,44 +496,33 @@ impl Engine {
         }
         let before = self.cache.stats();
         let workers = self.parallelism.min(requests.len());
+        // Divide the worker budget between the two levels: `workers`
+        // requests in flight, each fanning its locations out over an
+        // equal share of what remains. A one-request "batch" on an
+        // 8-way engine gets all 8 workers inside the request; a
+        // 2-request batch gets 4 each; a saturated batch runs each
+        // request's locations sequentially. Total thread count never
+        // exceeds the budget.
+        let inner = (self.parallelism / workers.max(1)).max(1);
         let reports = if workers <= 1 {
             let mut reports = Vec::with_capacity(requests.len());
             for (index, request) in requests.iter().enumerate() {
                 let at_start = self.cache.stats();
-                let mut report = self.run_request(request);
+                let mut report = self.run_request(request, inner);
                 report.cache = self.cache.stats().since(&at_start);
                 sink.report(index, &report);
                 reports.push(report);
             }
             reports
         } else {
-            // Work-stealing over an atomic cursor; each finished report
+            // The shared work-stealing scaffold: each finished report
             // lands in its request-index slot, so assembly is
             // deterministic no matter which worker ran what.
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<Report>>> =
-                requests.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(request) = requests.get(index) else {
-                            break;
-                        };
-                        let report = self.run_request(request);
-                        sink.report(index, &report);
-                        *slots[index].lock().expect("report slot") = Some(report);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("report slot")
-                        .expect("every request index was claimed and served")
-                })
-                .collect()
+            crate::fanout::fan_out(workers, requests.len(), |index| {
+                let report = self.run_request(requests[index], inner);
+                sink.report(index, &report);
+                report
+            })
         };
         Ok(BatchReport {
             reports,
@@ -430,6 +558,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     const SRC: &str = "
         struct TNode { next: TNode*; data: int; }

@@ -1,0 +1,68 @@
+//! The work-stealing scaffold shared by both parallelism levels.
+//!
+//! [`Engine::analyze_all`](crate::Engine::analyze_all) (across
+//! requests) and `run_target` (across the locations of one request) run
+//! the same scheme: worker threads claim job indices from an atomic
+//! cursor and park each result in its index slot, so assembly is in job
+//! order — deterministic no matter which worker ran what.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `count` independent jobs over `workers` workers and returns the
+/// results in job order. The calling thread is one of the workers
+/// (`workers - 1` threads are spawned), so a `workers`-way fan-out
+/// occupies exactly `workers` threads — nested fan-outs stay within the
+/// budget their worker counts sum to. With `workers <= 1` (or a single
+/// job) the jobs run inline — no spawn, identical results.
+pub(crate) fn fan_out<T, F>(workers: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= count {
+            break;
+        }
+        let result = job(index);
+        *slots[index].lock().expect("result slot") = Some(result);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers.min(count) {
+            scope.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every job index was claimed and ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 7] {
+            let out = fan_out(workers, 20, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        assert!(fan_out::<usize, _>(4, 0, |i| i).is_empty());
+    }
+}

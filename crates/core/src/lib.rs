@@ -39,11 +39,19 @@
 //!   (declarative [`InputSpec`]s, or custom closures as an escape
 //!   hatch), and an optional per-request config override. Requests are
 //!   `Send + Sync + Clone + Debug`.
-//! * [`Engine::analyze`] serves one request as a [`Report`];
+//! * [`Engine::analyze`] serves one request as a [`Report`] — with its
+//!   per-location inference fanned out over the engine's worker pool,
+//!   so even a single-target request uses every core;
 //!   [`Engine::analyze_all`] serves a batch as a [`BatchReport`] —
 //!   fanned out over a scoped thread pool, assembled in request order —
 //!   and [`Engine::analyze_all_with`] additionally streams each report
 //!   to a [`ReportSink`] as it completes.
+//! * [`EngineBuilder::cache_path`] makes the entailment cache
+//!   persistent: the engine warm-starts from a snapshot saved by an
+//!   earlier process ([`Engine::save_cache`]), and
+//!   [`CacheStats::warm_hits`] reports what the warm start paid for.
+//!   See [`sling_checker::persist`] for the format and its safety
+//!   guarantees.
 //!
 //! # Example
 //!
@@ -99,13 +107,14 @@
 #![warn(missing_docs)]
 
 mod collect;
-mod engine;
+pub mod engine;
+mod fanout;
 mod infer;
 mod pipeline;
 mod pure;
-mod report;
-mod request;
-mod spec;
+pub mod report;
+pub mod request;
+pub mod spec;
 mod split;
 mod validate;
 
@@ -120,6 +129,7 @@ pub use spec::{InputSpec, ValueSpec};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;
 
-// Re-exported so spec construction needs no direct `sling_lang` import.
-pub use sling_checker::{CacheStats, CheckCache};
+// Re-exported so spec construction and cache persistence need no direct
+// `sling_lang` / `sling_checker` import.
+pub use sling_checker::{persist, CacheStats, CheckCache, PersistError};
 pub use sling_lang::{DataOrder, ListLayout, TreeKind, TreeLayout};

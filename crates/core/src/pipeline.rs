@@ -75,6 +75,12 @@ struct Partial {
 /// rule. The cache delta of the report is left zeroed; [`crate::Engine`]
 /// fills it in.
 ///
+/// Per-location inference is independent (each location has its own
+/// models, fresh-variable counter, and result set), so with `workers >
+/// 1` the locations fan out over a scoped thread pool sharing the
+/// engine's sharded entailment cache; reports are always assembled in
+/// *location order*, formula-for-formula identical to a sequential run.
+///
 /// # Panics
 ///
 /// Panics if `target` is not a function of `program` (the engine
@@ -85,17 +91,23 @@ pub(crate) fn run_target(
     target: Symbol,
     inputs: &[crate::request::InputSource],
     config: &SlingConfig,
+    workers: usize,
 ) -> Report {
     let start = Instant::now();
     let collected = collect_models(program, target, inputs, config.vm, config.trace);
     let func = program.func(target).expect("target exists");
     let param_order: Vec<Symbol> = func.params.iter().map(|p| p.name).collect();
 
-    let by_loc = collected.by_location();
-    let mut locations = Vec::new();
-    for (loc, snaps) in &by_loc {
-        locations.push(infer_location(ctx, *loc, snaps, &param_order, config));
-    }
+    // Intra-request fan-out: locations are independent (each has its
+    // own models, fresh-variable counter, and result set), so they run
+    // over the shared work-stealing scaffold with location-order slot
+    // assembly — the same scheme as the engine's request-level pool.
+    let by_loc: Vec<(Location, Vec<&Snapshot>)> = collected.by_location().into_iter().collect();
+    let workers = workers.max(1).min(by_loc.len().max(1));
+    let mut locations: Vec<LocationAnalysis> = crate::fanout::fan_out(workers, by_loc.len(), |i| {
+        let (loc, snaps) = &by_loc[i];
+        infer_location(ctx, *loc, snaps, &param_order, config)
+    });
 
     // Frame-rule validation: every exit invariant must preserve some
     // entry invariant's frame (per activation).
@@ -123,6 +135,7 @@ pub(crate) fn run_target(
             traces: collected.total_snapshots(),
             runs: collected.runs.len(),
             faulted_runs: collected.faulted_runs(),
+            workers,
             seconds: start.elapsed().as_secs_f64(),
         },
         cache: Default::default(),

@@ -65,6 +65,10 @@ pub struct RunMetrics {
     pub runs: usize,
     /// Runs that ended in a runtime fault.
     pub faulted_runs: usize,
+    /// Worker threads used for the intra-request per-location inference
+    /// fan-out (`1` = strictly sequential; capped by the number of
+    /// reached locations).
+    pub workers: usize,
     /// Wall-clock seconds for collection + inference + validation.
     pub seconds: f64,
 }

@@ -80,10 +80,18 @@ impl From<InputBuilder> for InputSource {
 ///
 /// Built fluently:
 ///
-/// ```ignore
+/// ```
+/// use sling::{AnalysisRequest, InputSpec, ListLayout, SlingConfig, ValueSpec};
+/// use sling_logic::Symbol;
+///
+/// let layout = ListLayout {
+///     ty: Symbol::intern("RNode"), nfields: 2, next: 0, prev: Some(1), data: None,
+/// };
 /// let request = AnalysisRequest::new("concat")
 ///     .input(InputSpec::seeded(7).arg(ValueSpec::dll(layout, 3)))
-///     .config(SlingConfig { max_models_per_location: 16, ..engine.config().clone() });
+///     .config(SlingConfig { max_models_per_location: 16, ..SlingConfig::default() });
+/// assert_eq!(request.inputs.len(), 1);
+/// assert_eq!(request.config.unwrap().max_models_per_location, 16);
 /// ```
 #[derive(Debug, Clone)]
 pub struct AnalysisRequest {

@@ -31,6 +31,7 @@
 
 pub mod corpus;
 pub mod eval;
+pub mod fixtures;
 pub mod matcher;
 pub mod predicates;
 pub mod program;

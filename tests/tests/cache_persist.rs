@@ -1,0 +1,163 @@
+//! Cross-run cache persistence through the engine API: an engine built
+//! from a saved snapshot answers the batch corpus warm
+//! (`CacheStats::warm_hits > 0`) with output identical to a cold run,
+//! and stale or corrupt snapshot files degrade to a cold start instead
+//! of failing the build.
+
+use std::path::PathBuf;
+
+use sling::{AnalysisRequest, Engine, Report};
+use sling_suite::fixtures::ListCorpus;
+
+fn corpus() -> ListCorpus {
+    ListCorpus::new("PersistTestNode")
+}
+
+fn engine_at(path: Option<&PathBuf>) -> Engine {
+    let corpus = corpus();
+    let mut builder = Engine::builder()
+        .program_source(&corpus.program())
+        .expect("program parses")
+        .predicates_source(&corpus.predicates())
+        .expect("predicates parse")
+        .parallelism(2);
+    if let Some(path) = path {
+        builder = builder.cache_path(path);
+    }
+    builder.build().expect("program checks")
+}
+
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{}\n", report.target);
+    for loc in &report.locations {
+        let _ = writeln!(out, "  {}", loc.location);
+        for inv in &loc.invariants {
+            let _ = writeln!(out, "    [{}] {}", inv.spurious, inv.formula);
+        }
+    }
+    out
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sling-engine-persist-{}-{name}.bin",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn warm_started_engine_reports_warm_hits_and_identical_output() {
+    let path = temp_path("warm");
+    std::fs::remove_file(&path).ok();
+    let requests = corpus().batch(1);
+
+    // Cold process: run the corpus, snapshot the cache.
+    let cold = engine_at(Some(&path));
+    assert_eq!(cold.warm_entries(), 0, "no snapshot yet: cold start");
+    let cold_batch = cold.analyze_all(&requests).expect("targets exist");
+    assert_eq!(
+        cold_batch.cache.warm_hits, 0,
+        "nothing was loaded from disk"
+    );
+    let written = cold.save_cache().expect("snapshot writes");
+    assert!(written > 0, "the corpus run must have populated the cache");
+
+    // Second process: same program and predicates, warm start.
+    let warm = engine_at(Some(&path));
+    assert_eq!(
+        warm.warm_entries(),
+        written,
+        "every saved entry must be restored"
+    );
+    let warm_batch = warm.analyze_all(&requests).expect("targets exist");
+    assert!(
+        warm_batch.cache.warm_hits > 0,
+        "restored entries must answer corpus queries: {:?}",
+        warm_batch.cache
+    );
+    assert!(
+        warm_batch.cache.warm_hits <= warm_batch.cache.hits,
+        "warm hits are a subset of hits: {:?}",
+        warm_batch.cache
+    );
+    assert!(
+        warm_batch.cache.misses < cold_batch.cache.misses,
+        "a warm start must re-run strictly fewer searches \
+         (cold {:?} vs warm {:?})",
+        cold_batch.cache,
+        warm_batch.cache
+    );
+
+    // Warm verdicts are the same verdicts: identical reports.
+    for (cold_report, warm_report) in cold_batch.reports.iter().zip(&warm_batch.reports) {
+        assert_eq!(fingerprint(cold_report), fingerprint(warm_report));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_or_corrupt_snapshots_degrade_to_a_cold_start() {
+    let corpus = corpus();
+
+    // Corrupt bytes at the path: the build succeeds, cold.
+    let path = temp_path("corrupt");
+    std::fs::write(&path, b"not a snapshot at all").unwrap();
+    let engine = engine_at(Some(&path));
+    assert_eq!(engine.warm_entries(), 0);
+    let report = engine
+        .analyze(&AnalysisRequest::new("traverse").input(corpus.one(1, 3)))
+        .expect("engine is fully functional despite the bad snapshot");
+    assert!(report.invariant_count() > 0);
+    std::fs::remove_file(&path).ok();
+
+    // A snapshot from a *different predicate library* (same node type,
+    // degenerate sll) is rejected on fingerprint, not silently reused.
+    let path = temp_path("stale");
+    std::fs::remove_file(&path).ok();
+    let other = Engine::builder()
+        .program_source(&corpus.program())
+        .expect("program parses")
+        .predicates_source(&format!(
+            "pred sll(x: {n}*) := emp & x == nil
+               | exists u. x -> {n}{{next: u, data: 7}} * sll(u);",
+            n = corpus.node()
+        ))
+        .expect("predicates parse")
+        .cache_path(&path)
+        .build()
+        .expect("program checks");
+    let _ = other.analyze(&AnalysisRequest::new("last").input(corpus.one(2, 2)));
+    assert!(other.save_cache().expect("snapshot writes") > 0);
+
+    let mismatched = engine_at(Some(&path));
+    assert_eq!(
+        mismatched.warm_entries(),
+        0,
+        "entries computed under different predicates must not warm this engine"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // A missing path is simply a cold start too.
+    let path = temp_path("missing");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(engine_at(Some(&path)).warm_entries(), 0);
+}
+
+#[test]
+fn save_cache_needs_a_configured_path() {
+    let engine = engine_at(None);
+    let err = engine.save_cache().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // save_cache_to works without a configured path and feeds a later
+    // cache_path build.
+    let path = temp_path("explicit");
+    std::fs::remove_file(&path).ok();
+    let _ = engine.analyze(&AnalysisRequest::new("traverse").input(corpus().one(3, 4)));
+    let written = engine.save_cache_to(&path).expect("snapshot writes");
+    assert!(written > 0);
+    let warm = engine_at(Some(&path));
+    assert_eq!(warm.warm_entries(), written);
+    std::fs::remove_file(&path).ok();
+}

@@ -5,62 +5,20 @@
 
 use std::sync::Mutex;
 
-use sling::{AnalysisRequest, Engine, InputSpec, ListLayout, Report, SlingConfig, ValueSpec};
-use sling_logic::Symbol;
+use sling::{AnalysisRequest, Engine, Report, SlingConfig};
+use sling_suite::fixtures::ListCorpus;
 
 /// Four list functions over one node type: a multi-target batch program.
-const PROGRAM: &str = "
-    struct BNode { next: BNode*; data: int; }
-    fn reverse(x: BNode*) -> BNode* {
-        var r: BNode* = null;
-        while @rev (x != null) {
-            var t: BNode* = x->next;
-            x->next = r;
-            r = x;
-            x = t;
-        }
-        return r;
-    }
-    fn traverse(x: BNode*) -> BNode* {
-        var c: BNode* = x;
-        while @walk (c != null) {
-            c = c->next;
-        }
-        return x;
-    }
-    fn append(x: BNode*, y: BNode*) -> BNode* {
-        if (x == null) { return y; }
-        var t: BNode* = append(x->next, y);
-        x->next = t;
-        return x;
-    }
-    fn last(x: BNode*) -> BNode* {
-        if (x == null) { return null; }
-        if (x->next == null) { return x; }
-        return last(x->next);
-    }";
-
-const PREDS: &str = "
-    pred sll(x: BNode*) := emp & x == nil
-       | exists u, d. x -> BNode{next: u, data: d} * sll(u);
-    pred lseg(x: BNode*, y: BNode*) := emp & x == y
-       | exists u, d. x -> BNode{next: u, data: d} * lseg(u, y);";
-
-fn layout() -> ListLayout {
-    ListLayout {
-        ty: Symbol::intern("BNode"),
-        nfields: 2,
-        next: 0,
-        prev: None,
-        data: Some(1),
-    }
+fn corpus() -> ListCorpus {
+    ListCorpus::new("ParBatchNode")
 }
 
 fn engine(parallelism: usize) -> Engine {
+    let corpus = corpus();
     Engine::builder()
-        .program_source(PROGRAM)
+        .program_source(&corpus.program())
         .expect("program parses")
-        .predicates_source(PREDS)
+        .predicates_source(&corpus.predicates())
         .expect("predicates parse")
         .parallelism(parallelism)
         .build()
@@ -69,26 +27,21 @@ fn engine(parallelism: usize) -> Engine {
 
 /// Eight requests across the four targets, all spec-built.
 fn batch() -> Vec<AnalysisRequest> {
-    let one_list = |seed: u64, n: usize| InputSpec::seeded(seed).arg(ValueSpec::sll(layout(), n));
-    let two_lists = |seed: u64, n: usize, m: usize| {
-        InputSpec::seeded(seed)
-            .arg(ValueSpec::sll(layout(), n))
-            .arg(ValueSpec::sll(layout(), m))
-    };
+    let c = corpus();
     vec![
-        AnalysisRequest::new("reverse").inputs([one_list(1, 0), one_list(2, 3), one_list(3, 6)]),
-        AnalysisRequest::new("traverse").inputs([one_list(4, 0), one_list(5, 4)]),
+        AnalysisRequest::new("reverse").inputs([c.one(1, 0), c.one(2, 3), c.one(3, 6)]),
+        AnalysisRequest::new("traverse").inputs([c.one(4, 0), c.one(5, 4)]),
         AnalysisRequest::new("append").inputs([
-            two_lists(6, 0, 0),
-            two_lists(7, 0, 2),
-            two_lists(8, 3, 0),
-            two_lists(9, 3, 2),
+            c.two(6, 0, 0),
+            c.two(7, 0, 2),
+            c.two(8, 3, 0),
+            c.two(9, 3, 2),
         ]),
-        AnalysisRequest::new("last").inputs([one_list(10, 0), one_list(11, 1), one_list(12, 5)]),
-        AnalysisRequest::new("reverse").inputs([one_list(13, 0), one_list(14, 8)]),
-        AnalysisRequest::new("traverse").inputs([one_list(15, 0), one_list(16, 7)]),
-        AnalysisRequest::new("append").inputs([two_lists(17, 2, 2)]),
-        AnalysisRequest::new("last").inputs([one_list(18, 4)]),
+        AnalysisRequest::new("last").inputs([c.one(10, 0), c.one(11, 1), c.one(12, 5)]),
+        AnalysisRequest::new("reverse").inputs([c.one(13, 0), c.one(14, 8)]),
+        AnalysisRequest::new("traverse").inputs([c.one(15, 0), c.one(16, 7)]),
+        AnalysisRequest::new("append").inputs([c.two(17, 2, 2)]),
+        AnalysisRequest::new("last").inputs([c.one(18, 4)]),
     ]
 }
 
@@ -185,8 +138,7 @@ fn per_request_config_overrides_hold_under_parallelism() {
     tight.max_results_per_location = 1;
     let requests: Vec<AnalysisRequest> = (0..6)
         .map(|i| {
-            let req = AnalysisRequest::new("traverse")
-                .input(InputSpec::seeded(i).arg(ValueSpec::sll(layout(), 3)));
+            let req = AnalysisRequest::new("traverse").input(corpus().one(i, 3));
             if i % 2 == 0 {
                 req.config(SlingConfig { ..tight })
             } else {
