@@ -34,7 +34,11 @@
 //!
 //! Saves are atomic (write to a sibling temp file, then rename), so a
 //! crash mid-save leaves any previous snapshot intact and concurrent
-//! readers never observe a half-written file.
+//! readers never observe a half-written file. Temp files stranded by a
+//! crashed save are swept away by the next successful [`save`] or
+//! [`load`] over the same path (only temps from other processes that
+//! have sat untouched for at least a minute; in-flight saves — which
+//! hold their temp for milliseconds — are never affected).
 //!
 //! # Examples
 //!
@@ -205,10 +209,63 @@ pub fn save(cache: &CheckCache, env_tag: u64, path: &Path) -> io::Result<u64> {
     ));
     fs::write(&tmp, &file)?;
     match fs::rename(&tmp, path) {
-        Ok(()) => Ok(entries.len() as u64),
+        Ok(()) => {
+            sweep_stale_temps(path);
+            Ok(entries.len() as u64)
+        }
         Err(e) => {
             fs::remove_file(&tmp).ok();
             Err(e)
+        }
+    }
+}
+
+/// How old a sibling temp file must be before the sweep treats it as
+/// stranded by a crash. A live save holds its temp for milliseconds
+/// (one `fs::write` + `fs::rename`), so a minute of age means its
+/// writer is gone.
+const STALE_TEMP_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Removes temp files stranded next to `path` by *crashed* saves: a
+/// crash between `fs::write` and `fs::rename` leaves `<stem>.tmp.<pid>.<n>`
+/// behind forever, so every successful [`save`] and every [`load`]
+/// sweeps the siblings. Two guards keep in-flight saves safe: temps of
+/// the current process are never touched (a concurrent [`save`] on
+/// another thread may be mid-write), and temps of other processes are
+/// only removed once older than [`STALE_TEMP_AGE`] — a live sibling's
+/// temp exists for milliseconds, a crashed one forever. Best-effort:
+/// I/O errors here are ignored (the sweep is hygiene, not correctness).
+fn sweep_stale_temps(path: &Path) {
+    let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+        return;
+    };
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let prefix = format!("{stem}.tmp.");
+    let own_pid = std::process::id().to_string();
+    let Ok(entries) = fs::read_dir(parent) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        // rest is "<pid>.<counter>"; skip temps owned by this process.
+        if rest.split('.').next() == Some(own_pid.as_str()) {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= STALE_TEMP_AGE);
+        if old_enough {
+            fs::remove_file(entry.path()).ok();
         }
     }
 }
@@ -221,6 +278,7 @@ pub fn save(cache: &CheckCache, env_tag: u64, path: &Path) -> io::Result<u64> {
 /// is only modified after the whole file has validated, so a rejected
 /// load leaves it untouched.
 pub fn load(cache: &CheckCache, env_tag: u64, path: &Path) -> Result<u64, PersistError> {
+    sweep_stale_temps(path);
     let bytes = fs::read(path)?;
     let mut r = Reader::new(&bytes);
 
@@ -571,6 +629,59 @@ mod tests {
             load(&CheckCache::new(), ctx.env_tag, &path),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_on_save_and_load() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        let _ = ctx.check(&list_model(2, 1), &f);
+
+        let path = temp_path("sweep");
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let parent = path.parent().unwrap().to_path_buf();
+        // A temp stranded by a "crashed" save of a dead process (a pid
+        // this test does not have, aged past the staleness window),
+        // plus a *fresh* other-pid temp (a live sibling mid-save) and
+        // one belonging to this process (a concurrent save mid-write) —
+        // both of which must survive.
+        let stale = parent.join(format!("{stem}.tmp.999999999.0"));
+        let fresh = parent.join(format!("{stem}.tmp.999999998.0"));
+        let own = parent.join(format!("{stem}.tmp.{}.7", std::process::id()));
+        let plant_stale = || {
+            std::fs::write(&stale, b"half-written snapshot").unwrap();
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&stale)
+                .unwrap();
+            let crashed_at = std::time::SystemTime::now() - 2 * super::STALE_TEMP_AGE;
+            file.set_times(std::fs::FileTimes::new().set_modified(crashed_at))
+                .unwrap();
+        };
+        plant_stale();
+        std::fs::write(&fresh, b"in-flight sibling snapshot").unwrap();
+        std::fs::write(&own, b"in-flight snapshot").unwrap();
+
+        save(&cache, ctx.env_tag, &path).unwrap();
+        assert!(
+            !stale.exists(),
+            "a successful save must sweep aged dead-process temps"
+        );
+        assert!(fresh.exists(), "fresh other-pid temps may be mid-save");
+        assert!(own.exists(), "own-pid temps are in flight, not stale");
+
+        plant_stale();
+        let restored = CheckCache::new();
+        assert!(load(&restored, ctx.env_tag, &path).unwrap() > 0);
+        assert!(!stale.exists(), "load must sweep aged temps too");
+        assert!(fresh.exists());
+        assert!(own.exists());
+
+        std::fs::remove_file(&fresh).ok();
+        std::fs::remove_file(&own).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

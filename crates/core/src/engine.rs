@@ -34,10 +34,12 @@
 //!   the count actually used.
 //!
 //! The budget divides, never multiplies: with `r` requests in flight
-//! each request fans its locations out over `parallelism / r` workers
-//! (a saturated batch runs locations sequentially, a one-request batch
-//! gets the whole budget inside the request), so total thread count
-//! stays bounded by the budget. The engine's entailment cache is
+//! each request fans its locations out over its share of the budget —
+//! `parallelism / r`, with the remainder distributed one extra worker
+//! each to the first `parallelism % r` requests, so the whole budget is
+//! spent (a saturated batch runs locations sequentially, a one-request
+//! batch gets the whole budget inside the request) and total thread
+//! count stays bounded by the budget. The engine's entailment cache is
 //! sharded, so worker threads memoize concurrently without serializing
 //! on one lock.
 //!
@@ -278,16 +280,35 @@ impl EngineBuilder {
 }
 
 /// The default worker count: `SLING_PARALLELISM` when set to a positive
-/// integer, else the available CPU cores.
+/// integer, else the available CPU cores. An unparsable value falls back
+/// to the core count, but loudly: silently ignoring `SLING_PARALLELISM=abc`
+/// hides misconfiguration, so the first rejection per process warns on
+/// stderr naming the bad value.
 fn default_parallelism() -> usize {
     if let Ok(var) = std::env::var("SLING_PARALLELISM") {
-        if let Ok(n) = var.trim().parse::<usize>() {
-            return n.max(1);
+        match parse_parallelism(&var) {
+            Some(n) => return n,
+            None => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "sling: ignoring unparsable SLING_PARALLELISM={var:?} \
+                         (want a positive integer); using the available CPU cores"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Parses a `SLING_PARALLELISM` value: a non-negative integer (with
+/// surrounding whitespace tolerated), clamped to at least 1. `None` for
+/// anything else — negative numbers, non-numeric text, empty strings.
+fn parse_parallelism(var: &str) -> Option<usize> {
+    var.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
 /// Observer for streaming batch analysis ([`Engine::analyze_all_with`]):
@@ -378,6 +399,14 @@ impl Engine {
     /// when this engine was built (`0` for a cold start).
     pub fn warm_entries(&self) -> u64 {
         self.warm_entries
+    }
+
+    /// The persistent-cache snapshot path configured via
+    /// [`EngineBuilder::cache_path`], if any. Long-lived services use
+    /// this to decide whether periodic [`Engine::save_cache`] calls can
+    /// succeed at all.
+    pub fn cache_path(&self) -> Option<&std::path::Path> {
+        self.cache_path.as_deref()
     }
 
     /// Snapshots the entailment cache to the configured
@@ -497,18 +526,24 @@ impl Engine {
         let before = self.cache.stats();
         let workers = self.parallelism.min(requests.len());
         // Divide the worker budget between the two levels: `workers`
-        // requests in flight, each fanning its locations out over an
-        // equal share of what remains. A one-request "batch" on an
-        // 8-way engine gets all 8 workers inside the request; a
-        // 2-request batch gets 4 each; a saturated batch runs each
-        // request's locations sequentially. Total thread count never
+        // requests in flight, each fanning its locations out over a
+        // share of what remains. A one-request "batch" on an 8-way
+        // engine gets all 8 workers inside the request; a 2-request
+        // batch gets 4 each. The division is exact, not truncating:
+        // the first `parallelism % workers` requests get one extra
+        // inner worker, so an 8-way engine spends all 8 threads on a
+        // 3-request batch (3 + 3 + 2) instead of stranding two. At most
+        // `workers` requests run concurrently and fewer than `workers`
+        // of them carry the +1, so concurrent thread count never
         // exceeds the budget.
-        let inner = (self.parallelism / workers.max(1)).max(1);
+        let base = self.parallelism / workers.max(1);
+        let extra = self.parallelism % workers.max(1);
+        let inner = |index: usize| if index < extra { base + 1 } else { base };
         let reports = if workers <= 1 {
             let mut reports = Vec::with_capacity(requests.len());
             for (index, request) in requests.iter().enumerate() {
                 let at_start = self.cache.stats();
-                let mut report = self.run_request(request, inner);
+                let mut report = self.run_request(request, inner(index));
                 report.cache = self.cache.stats().since(&at_start);
                 sink.report(index, &report);
                 reports.push(report);
@@ -519,7 +554,7 @@ impl Engine {
             // lands in its request-index slot, so assembly is
             // deterministic no matter which worker ran what.
             crate::fanout::fan_out(workers, requests.len(), |index| {
-                let report = self.run_request(requests[index], inner);
+                let report = self.run_request(requests[index], inner(index));
                 sink.report(index, &report);
                 report
             })
@@ -653,6 +688,21 @@ mod tests {
     fn engines_are_shareable_across_threads() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<Engine>();
+    }
+
+    #[test]
+    fn parallelism_env_parse_paths() {
+        // Valid values: plain, whitespace-padded, clamped zero.
+        assert_eq!(parse_parallelism("8"), Some(8));
+        assert_eq!(parse_parallelism(" 3\t"), Some(3));
+        assert_eq!(parse_parallelism("1"), Some(1));
+        assert_eq!(parse_parallelism("0"), Some(1), "zero clamps to one");
+        // Invalid values fall back (and warn once at the env layer).
+        assert_eq!(parse_parallelism("abc"), None);
+        assert_eq!(parse_parallelism("-2"), None);
+        assert_eq!(parse_parallelism(""), None);
+        assert_eq!(parse_parallelism("3.5"), None);
+        assert_eq!(parse_parallelism("8 cores"), None);
     }
 
     #[test]

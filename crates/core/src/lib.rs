@@ -117,6 +117,7 @@ pub mod request;
 pub mod spec;
 mod split;
 mod validate;
+pub mod wire;
 
 pub use collect::{collect_models, Collected, RunTrace};
 pub use engine::{AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder, ReportSink};
@@ -128,6 +129,7 @@ pub use request::{AnalysisRequest, InputBuilder, InputSource};
 pub use spec::{InputSpec, ValueSpec};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;
+pub use wire::WireError;
 
 // Re-exported so spec construction and cache persistence need no direct
 // `sling_lang` / `sling_checker` import.

@@ -229,6 +229,16 @@ impl InputSpec {
         self
     }
 
+    /// The PRNG seed this spec materializes under.
+    pub fn prng_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-parameter value specs, in argument order.
+    pub fn arg_specs(&self) -> &[ValueSpec] {
+        &self.args
+    }
+
     /// Materializes the argument vector in `heap`. Arguments are built
     /// left to right from one PRNG seeded with this spec's seed, so the
     /// result is a pure function of the spec.

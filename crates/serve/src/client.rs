@@ -1,0 +1,257 @@
+//! A blocking client for the serve protocol.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use sling::wire::WireError;
+use sling::{AnalysisRequest, BatchReport, Report};
+
+use crate::proto::{ClientFrame, FrameBuffer, ServerFrame};
+
+/// Why a served analysis failed on the client side.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The connection failed or dropped.
+    Io(io::Error),
+    /// A frame could not be encoded or decoded.
+    Wire(WireError),
+    /// The server answered out of protocol (wrong id, missing reports,
+    /// unexpected frame).
+    Protocol(String),
+    /// The server reported a failure (`error` frame).
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve connection error: {e}"),
+            ServeError::Wire(e) => write!(f, "serve frame error: {e}"),
+            ServeError::Protocol(why) => write!(f, "serve protocol violation: {why}"),
+            ServeError::Remote(why) => write!(f, "server rejected the batch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`Service`](crate::Service) (or a
+/// standalone `sling-serve` process).
+///
+/// One client holds one connection; batches are correlated by id, so a
+/// client can be reused for any number of sequential
+/// [`Client::analyze_all`] calls. The server's boot banner is read at
+/// connect time — [`Client::warm_entries`] reports how warm the serving
+/// engine started.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    warm_entries: u64,
+    parallelism: u64,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and reads the server's `hello` banner.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            frames: FrameBuffer::new(),
+            warm_entries: 0,
+            parallelism: 0,
+            next_id: 1,
+        };
+        match client.read_frame()? {
+            ServerFrame::Hello {
+                warm_entries,
+                parallelism,
+            } => {
+                client.warm_entries = warm_entries;
+                client.parallelism = parallelism;
+                Ok(client)
+            }
+            other => Err(ServeError::Protocol(format!(
+                "expected a hello banner, got {other:?}"
+            ))),
+        }
+    }
+
+    /// [`Client::connect`] with retries until `deadline` elapses —
+    /// for drivers racing a just-booted server process.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        deadline: Duration,
+    ) -> Result<Client, ServeError> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Entries the serving engine restored from its cache snapshot at
+    /// boot (from the `hello` banner).
+    pub fn warm_entries(&self) -> u64 {
+        self.warm_entries
+    }
+
+    /// The serving engine's worker budget (from the `hello` banner).
+    pub fn parallelism(&self) -> u64 {
+        self.parallelism
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.send(&ClientFrame::Ping)?;
+        match self.read_frame()? {
+            ServerFrame::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serves a batch remotely: sends one `analyze` frame and collects
+    /// the streamed reports into a [`BatchReport`] in request order —
+    /// the wire mirror of [`sling::Engine::analyze_all`].
+    pub fn analyze_all(&mut self, requests: &[AnalysisRequest]) -> Result<BatchReport, ServeError> {
+        self.analyze_all_with(requests, |_, _| {})
+    }
+
+    /// [`Client::analyze_all`] with a streaming observer: `sink` sees
+    /// each report as its frame arrives (completion order), before the
+    /// batch finishes — the wire mirror of
+    /// [`sling::Engine::analyze_all_with`].
+    pub fn analyze_all_with(
+        &mut self,
+        requests: &[AnalysisRequest],
+        mut sink: impl FnMut(usize, &Report),
+    ) -> Result<BatchReport, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(crate::proto::encode_analyze_frame(id, requests)?)?;
+
+        let mut slots: Vec<Option<Report>> = (0..requests.len()).map(|_| None).collect();
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Report {
+                    id: got,
+                    index,
+                    report,
+                } => {
+                    if got != id {
+                        return Err(ServeError::Protocol(format!(
+                            "report for batch {got} while awaiting batch {id}"
+                        )));
+                    }
+                    let batch_len = slots.len();
+                    let slot = slots.get_mut(index as usize).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "report index {index} out of range for a {batch_len}-request batch"
+                        ))
+                    })?;
+                    if slot.is_some() {
+                        return Err(ServeError::Protocol(format!(
+                            "duplicate report for request {index}"
+                        )));
+                    }
+                    sink(index as usize, &report);
+                    *slot = Some(report);
+                }
+                ServerFrame::Done {
+                    id: got,
+                    count,
+                    cache,
+                } => {
+                    if got != id {
+                        return Err(ServeError::Protocol(format!(
+                            "done for batch {got} while awaiting batch {id}"
+                        )));
+                    }
+                    let reports: Vec<Report> = slots
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, slot)| {
+                            slot.ok_or_else(|| {
+                                ServeError::Protocol(format!(
+                                    "batch finished without a report for request {index}"
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if count != reports.len() as u64 {
+                        return Err(ServeError::Protocol(format!(
+                            "done claims {count} reports, {} streamed",
+                            reports.len()
+                        )));
+                    }
+                    return Ok(BatchReport { reports, cache });
+                }
+                ServerFrame::Error { id: got, message } if got == id || got == 0 => {
+                    return Err(ServeError::Remote(message));
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected frame mid-batch: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, frame: &ClientFrame) -> Result<(), ServeError> {
+        let line = frame.encode()?;
+        self.send_line(line)
+    }
+
+    fn send_line(&mut self, mut line: String) -> Result<(), ServeError> {
+        use std::io::Write as _;
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<ServerFrame, ServeError> {
+        loop {
+            if let Some(line) = self.frames.pop_line() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return Ok(ServerFrame::decode(&line)?);
+            }
+            if !self.frames.fill(&mut self.stream)? {
+                return Err(ServeError::Protocol(
+                    "server closed the connection mid-conversation".into(),
+                ));
+            }
+        }
+    }
+}

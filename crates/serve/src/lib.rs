@@ -1,0 +1,77 @@
+//! # sling-serve — the SLING analysis service
+//!
+//! Scale-out beyond one process: a multi-threaded TCP service that
+//! holds one long-lived [`Engine`](sling::Engine) — the parsed program,
+//! the predicate library, and the entailment cache warm-loaded from its
+//! snapshot at boot — and serves analysis batches over a
+//! newline-delimited wire protocol. Every connection shares the one
+//! engine, so setup cost (and every memoized entailment) is amortized
+//! across all clients, and the cache is snapshotted back to disk on an
+//! interval and at graceful shutdown.
+//!
+//! Three layers:
+//!
+//! * [`proto`] — the frame grammar: `analyze` requests in, streamed
+//!   `report` frames plus a `done` epilogue out, all built on the
+//!   hand-rolled [`sling::wire`] codec (no serde; the build is
+//!   offline).
+//! * [`Service`] — the server: binds a listener, fans connections out
+//!   over handler threads, answers each batch through
+//!   [`Engine::analyze_all_with`](sling::Engine::analyze_all_with) so
+//!   reports stream in completion order, drains gracefully.
+//! * [`Client`] — the blocking helper: connect, read the warm-boot
+//!   banner, [`Client::analyze_all`] as the wire mirror of the
+//!   in-process batch API.
+//!
+//! The `sling-serve` binary wraps [`Service`] for standalone use; the
+//! `serve_corpus` example in `examples/` replays the list-corpus
+//! fixture through a live socket and diffs the result against the
+//! in-process engine.
+//!
+//! # Example
+//!
+//! ```
+//! use sling::{Engine, AnalysisRequest, InputSpec, ListLayout, ValueSpec};
+//! use sling_serve::{Client, Service};
+//! use sling_logic::Symbol;
+//!
+//! let engine = Engine::builder()
+//!     .program_source(
+//!         "struct SrvNode { next: SrvNode*; }
+//!          fn walk(x: SrvNode*) -> SrvNode* {
+//!              var c: SrvNode* = x;
+//!              while @w (c != null) { c = c->next; }
+//!              return x;
+//!          }",
+//!     )?
+//!     .predicates_source(
+//!         "pred srvlist(x: SrvNode*) := emp & x == nil
+//!            | exists u. x -> SrvNode{next: u} * srvlist(u);",
+//!     )?
+//!     .build()?;
+//!
+//! // Port 0: the OS picks a free loopback port.
+//! let service = Service::bind(engine, "127.0.0.1:0")?;
+//! let mut client = Client::connect(service.local_addr())?;
+//!
+//! let layout = ListLayout {
+//!     ty: Symbol::intern("SrvNode"), nfields: 1, next: 0, prev: None, data: None,
+//! };
+//! let request = AnalysisRequest::new("walk")
+//!     .input(InputSpec::seeded(5).arg(ValueSpec::sll(layout, 3)));
+//! let batch = client.analyze_all(std::slice::from_ref(&request))?;
+//! assert!(batch.reports[0].invariant_count() > 0);
+//!
+//! let engine = service.shutdown()?; // graceful drain; engine returned
+//! assert!(engine.cache_stats().lookups() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod proto;
+mod service;
+
+pub use client::{Client, ServeError};
+pub use service::{ServeOptions, Service};

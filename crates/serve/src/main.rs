@@ -1,0 +1,162 @@
+//! The standalone `sling-serve` daemon.
+//!
+//! Boots one long-lived engine (program + predicate library +
+//! warm-loaded entailment-cache snapshot) and serves analysis batches
+//! over the newline-delimited wire protocol until killed.
+//!
+//! ```sh
+//! sling-serve --program prog.minic --predicates lib.preds \
+//!             --addr 127.0.0.1:7341 --cache /var/cache/sling.bin --snapshot-secs 30
+//! # or, for smoke tests and demos, the built-in list corpus:
+//! sling-serve --corpus DemoNode --addr 127.0.0.1:7341
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sling::Engine;
+use sling_serve::{ServeOptions, Service};
+use sling_suite::fixtures::ListCorpus;
+
+const USAGE: &str = "\
+usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
+                   [--addr HOST:PORT] [--cache FILE] [--snapshot-secs N]
+                   [--parallelism N]
+
+  --program FILE      MiniC source of the program to serve
+  --predicates FILE   predicate library source
+  --corpus NODE       serve the built-in four-function list corpus over
+                      struct NODE instead of reading files
+  --addr HOST:PORT    listen address (default 127.0.0.1:7341; port 0
+                      picks an ephemeral port, printed at boot)
+  --cache FILE        persistent entailment-cache snapshot: warm-loaded
+                      at boot, saved on the snapshot interval and at exit
+  --snapshot-secs N   background snapshot period (default 60; needs --cache)
+  --parallelism N     worker budget (default: SLING_PARALLELISM or cores)";
+
+struct Args {
+    program: Option<String>,
+    predicates: Option<String>,
+    corpus: Option<String>,
+    addr: String,
+    cache: Option<String>,
+    snapshot_secs: u64,
+    parallelism: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        program: None,
+        predicates: None,
+        corpus: None,
+        addr: "127.0.0.1:7341".to_string(),
+        cache: None,
+        snapshot_secs: 60,
+        parallelism: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--program" => args.program = Some(value("--program")?),
+            "--predicates" => args.predicates = Some(value("--predicates")?),
+            "--corpus" => args.corpus = Some(value("--corpus")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--cache" => args.cache = Some(value("--cache")?),
+            "--snapshot-secs" => {
+                args.snapshot_secs = value("--snapshot-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --snapshot-secs: {e}"))?;
+            }
+            "--parallelism" => {
+                args.parallelism = Some(
+                    value("--parallelism")?
+                        .parse()
+                        .map_err(|e| format!("bad --parallelism: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    match (&args.corpus, &args.program, &args.predicates) {
+        (Some(_), None, None) | (None, Some(_), Some(_)) => Ok(args),
+        _ => Err(format!(
+            "need either --corpus NODE or both --program and --predicates\n\n{USAGE}"
+        )),
+    }
+}
+
+fn build_engine(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
+    let (program, predicates) = match &args.corpus {
+        Some(node) => {
+            let corpus = ListCorpus::new(node.clone());
+            (corpus.program(), corpus.predicates())
+        }
+        None => (
+            std::fs::read_to_string(args.program.as_ref().expect("validated"))?,
+            std::fs::read_to_string(args.predicates.as_ref().expect("validated"))?,
+        ),
+    };
+    let mut builder = Engine::builder()
+        .program_source(&program)?
+        .predicates_source(&predicates)?;
+    if let Some(path) = &args.cache {
+        builder = builder.cache_path(path);
+    }
+    if let Some(workers) = args.parallelism {
+        builder = builder.parallelism(workers);
+    }
+    Ok(builder.build()?)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match build_engine(&args) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("sling-serve: failed to build the engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm = engine.warm_entries();
+    let options = ServeOptions {
+        snapshot_interval: args
+            .cache
+            .is_some()
+            .then(|| Duration::from_secs(args.snapshot_secs.max(1))),
+    };
+    let service = match Service::bind_with(engine, &args.addr, options) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("sling-serve: failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The boot line is the readiness signal scripts wait for.
+    println!(
+        "sling-serve: listening on {} ({} warm cache entries, {} workers)",
+        service.local_addr(),
+        warm,
+        service.engine().parallelism()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    // Serve until killed. The daemon has no in-band shutdown frame (a
+    // client must not be able to stop a shared service); deployments
+    // stop it with a signal, and the periodic snapshotter bounds what a
+    // hard kill can lose to one interval.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,277 @@
+//! The frame layer of the serve protocol.
+//!
+//! Both ends exchange newline-delimited frames built from the
+//! [`sling::wire`] codec. Client-to-server frames carry work; server-to-
+//! client frames stream results:
+//!
+//! ```text
+//! client → server   sling1 analyze <id:u64> <n:u64> request*
+//! client → server   sling1 ping
+//! server → client   sling1 hello <warm_entries:u64> <parallelism:u64>   ; on connect
+//! server → client   sling1 pong
+//! server → client   sling1 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling1 done <id:u64> <nreports:u64> cachestats      ; batch epilogue
+//! server → client   sling1 error <id:u64> <message:string>              ; id 0 = unattributable
+//! ```
+//!
+//! `id` is a client-chosen correlation number echoed on every frame of
+//! the batch's response, so one connection can distinguish interleaved
+//! responses. Reports stream in *completion* order; the `index` token is
+//! the request's position in the batch, which is how the client
+//! reassembles request order.
+
+use std::io::{self, Read};
+
+use sling::wire::{self, WireError, WireReader, WireWriter};
+use sling::{AnalysisRequest, CacheStats, Report};
+
+/// A frame the client sends.
+#[derive(Debug)]
+pub enum ClientFrame {
+    /// Run a batch of requests; stream a `report` frame per request and
+    /// a final `done` frame, all echoing `id`.
+    Analyze {
+        /// Client-chosen correlation id echoed on every response frame.
+        id: u64,
+        /// The batch, in request order.
+        requests: Vec<AnalysisRequest>,
+    },
+    /// Liveness probe; answered with `pong`.
+    Ping,
+}
+
+impl ClientFrame {
+    /// Encodes the frame as one line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unsupported`] when a request carries a custom input
+    /// closure or per-request config override.
+    pub fn encode(&self) -> Result<String, WireError> {
+        match self {
+            ClientFrame::Analyze { id, requests } => encode_analyze_frame(*id, requests),
+            ClientFrame::Ping => Ok(WireWriter::frame("ping").finish()),
+        }
+    }
+
+    /// Decodes one client line.
+    pub fn decode(line: &str) -> Result<ClientFrame, WireError> {
+        let (kind, mut r) = WireReader::frame(line)?;
+        match kind {
+            "analyze" => {
+                let id = r.u64()?;
+                let count = r.usize()?;
+                let mut requests = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    requests.push(wire::read_request(&mut r)?);
+                }
+                r.finish()?;
+                Ok(ClientFrame::Analyze { id, requests })
+            }
+            "ping" => {
+                r.finish()?;
+                Ok(ClientFrame::Ping)
+            }
+            other => Err(WireError::Syntax(format!(
+                "unknown client frame kind `{other}`"
+            ))),
+        }
+    }
+
+    /// Best-effort correlation id of a line that failed to decode, so
+    /// the server can attribute its `error` frame (0 when the id itself
+    /// is unreadable).
+    pub fn salvage_id(line: &str) -> u64 {
+        WireReader::frame(line)
+            .ok()
+            .and_then(|(kind, mut r)| (kind == "analyze").then(|| r.u64().ok()).flatten())
+            .unwrap_or(0)
+    }
+}
+
+/// A frame the server sends.
+#[derive(Debug)]
+pub enum ServerFrame {
+    /// Connection banner: the engine's warm-restored entry count and
+    /// worker budget.
+    Hello {
+        /// Entries the serving engine restored from its cache snapshot.
+        warm_entries: u64,
+        /// The serving engine's worker budget.
+        parallelism: u64,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// One completed report of batch `id` (streamed, completion order).
+    Report {
+        /// Correlation id of the batch.
+        id: u64,
+        /// The request's position in the batch.
+        index: u64,
+        /// The completed report.
+        report: Report,
+    },
+    /// Batch `id` finished; `count` reports were streamed.
+    Done {
+        /// Correlation id of the batch.
+        id: u64,
+        /// Number of `report` frames that preceded this.
+        count: u64,
+        /// Checker-cache movement across the whole batch.
+        cache: CacheStats,
+    },
+    /// Batch `id` (0 = unattributable) failed.
+    Error {
+        /// Correlation id, when it could be read.
+        id: u64,
+        /// Human-readable failure reason.
+        message: String,
+    },
+}
+
+impl ServerFrame {
+    /// Encodes the frame as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ServerFrame::Hello {
+                warm_entries,
+                parallelism,
+            } => {
+                let mut w = WireWriter::frame("hello");
+                w.u64(*warm_entries);
+                w.u64(*parallelism);
+                w.finish()
+            }
+            ServerFrame::Pong => WireWriter::frame("pong").finish(),
+            ServerFrame::Report { id, index, report } => encode_report_frame(*id, *index, report),
+            ServerFrame::Done { id, count, cache } => {
+                let mut w = WireWriter::frame("done");
+                w.u64(*id);
+                w.u64(*count);
+                wire::write_cache_stats(&mut w, cache);
+                w.finish()
+            }
+            ServerFrame::Error { id, message } => {
+                let mut w = WireWriter::frame("error");
+                w.u64(*id);
+                w.text(message);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes one server line.
+    pub fn decode(line: &str) -> Result<ServerFrame, WireError> {
+        let (kind, mut r) = WireReader::frame(line)?;
+        let frame = match kind {
+            "hello" => ServerFrame::Hello {
+                warm_entries: r.u64()?,
+                parallelism: r.u64()?,
+            },
+            "pong" => ServerFrame::Pong,
+            "report" => ServerFrame::Report {
+                id: r.u64()?,
+                index: r.u64()?,
+                report: wire::read_report(&mut r)?,
+            },
+            "done" => ServerFrame::Done {
+                id: r.u64()?,
+                count: r.u64()?,
+                cache: wire::read_cache_stats(&mut r)?,
+            },
+            "error" => ServerFrame::Error {
+                id: r.u64()?,
+                message: r.text()?,
+            },
+            other => {
+                return Err(WireError::Syntax(format!(
+                    "unknown server frame kind `{other}`"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Borrow-encoding twins of the owning [`ServerFrame`] / [`ClientFrame`]
+/// constructors, for the hot paths that already hold a reference: the
+/// server's streaming sink encodes each completed report without
+/// cloning its residue heaps, and the client encodes a batch without
+/// copying the request list.
+pub fn encode_report_frame(id: u64, index: u64, report: &Report) -> String {
+    let mut w = WireWriter::frame("report");
+    w.u64(id);
+    w.u64(index);
+    wire::write_report(&mut w, report);
+    w.finish()
+}
+
+/// See [`encode_report_frame`]; the borrow-encoding twin of
+/// [`ClientFrame::Analyze`].
+pub fn encode_analyze_frame(id: u64, requests: &[AnalysisRequest]) -> Result<String, WireError> {
+    let mut w = WireWriter::frame("analyze");
+    w.u64(id);
+    w.u64(requests.len() as u64);
+    for request in requests {
+        wire::write_request(&mut w, request)?;
+    }
+    Ok(w.finish())
+}
+
+/// Hard cap on one frame's length. A peer that streams bytes without
+/// ever sending a newline would otherwise grow the buffer until the
+/// process OOMs — this bounds what one connection can pin. Far above
+/// any legitimate frame (a full corpus report line is a few hundred
+/// KiB).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Incremental newline-delimited framing over a byte stream: buffers
+/// partial reads (a frame may arrive in many TCP segments, or several
+/// frames in one) and yields complete lines.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Pops the next complete line, if one is buffered.
+    pub fn pop_line(&mut self) -> Option<String> {
+        let newline = self.buf.iter().position(|b| *b == b'\n')?;
+        let rest = self.buf.split_off(newline + 1);
+        let mut line = std::mem::replace(&mut self.buf, rest);
+        line.pop(); // the newline
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Reads more bytes from `source` into the buffer. `Ok(true)` means
+    /// bytes arrived; `Ok(false)` means clean end of stream. A partial
+    /// frame exceeding [`MAX_FRAME_BYTES`] is an
+    /// [`InvalidData`](io::ErrorKind::InvalidData) error — the peer is
+    /// either broken or hostile, and the connection should drop.
+    pub fn fill(&mut self, source: &mut impl Read) -> io::Result<bool> {
+        if self.buf.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes without a newline"),
+            ));
+        }
+        let mut chunk = [0u8; 8192];
+        let n = source.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(true)
+    }
+
+    /// Whether a partial (incomplete) frame is buffered.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}

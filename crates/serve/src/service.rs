@@ -1,0 +1,329 @@
+//! The long-lived analysis service.
+
+use std::io::{self, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sling::{Engine, Report};
+
+use crate::proto::{ClientFrame, FrameBuffer, ServerFrame};
+
+/// How often blocked reads wake up to notice a drain in progress.
+const DRAIN_POLL: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Service::bind_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Snapshot the entailment cache to the engine's configured
+    /// [`cache_path`](sling::EngineBuilder::cache_path) on this period,
+    /// so a crash loses at most one interval of memoized entailments.
+    /// `None` (the default) snapshots only at graceful shutdown.
+    pub snapshot_interval: Option<Duration>,
+}
+
+/// Shared state between the acceptor, connection handlers, and the
+/// snapshotter.
+#[derive(Debug)]
+struct Shared {
+    engine: Engine,
+    draining: AtomicBool,
+    /// Periodic + shutdown snapshots taken so far (observable in tests
+    /// and ops logs).
+    snapshots: AtomicU64,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Persists the cache if the engine has a snapshot path; counts
+    /// successes.
+    fn snapshot(&self) -> io::Result<u64> {
+        if self.engine.cache_path().is_none() {
+            return Ok(0);
+        }
+        let written = self.engine.save_cache()?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(written)
+    }
+}
+
+/// A multi-threaded TCP analysis service over one long-lived [`Engine`].
+///
+/// Bound with [`Service::bind`], the service accepts connections on a
+/// local address and speaks the newline-delimited frame protocol of
+/// [`crate::proto`]: each `analyze` frame fans out over the engine
+/// ([`Engine::analyze_all_with`]), streaming every [`Report`] back the
+/// moment it completes and closing the batch with a `done` frame that
+/// carries the batch's cache delta. The engine — and with it the warm
+/// entailment cache loaded at boot — is shared by every connection, so
+/// entailments established for one client answer the next client's
+/// queries.
+///
+/// Shutdown is graceful: [`Service::shutdown`] stops accepting, lets
+/// in-flight batches finish, disconnects idle clients, snapshots the
+/// cache one last time, and returns the engine.
+#[derive(Debug)]
+pub struct Service {
+    /// `Some` until [`Service::shutdown`] consumes it (`Option` so the
+    /// engine can be moved out past the `Drop` impl).
+    shared: Option<Arc<Shared>>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds the service to `addr` (port 0 picks an ephemeral port —
+    /// see [`Service::local_addr`]) with default options.
+    pub fn bind(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Service> {
+        Service::bind_with(engine, addr, ServeOptions::default())
+    }
+
+    /// [`Service::bind`] with explicit [`ServeOptions`].
+    pub fn bind_with(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> io::Result<Service> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            draining: AtomicBool::new(false),
+            snapshots: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let snapshotter = options.snapshot_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || snapshot_loop(&shared, interval))
+        });
+
+        Ok(Service {
+            shared: Some(shared),
+            local_addr,
+            acceptor: Some(acceptor),
+            snapshotter,
+        })
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        self.shared.as_ref().expect("service not yet shut down")
+    }
+
+    /// The address the service is accepting on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine serving every connection.
+    pub fn engine(&self) -> &Engine {
+        &self.shared().engine
+    }
+
+    /// Cache snapshots taken so far (periodic plus shutdown).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.shared().snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully drains the service: stop accepting, let in-flight
+    /// batches finish streaming, disconnect idle clients, snapshot the
+    /// cache one last time (when the engine has a
+    /// [`cache_path`](sling::EngineBuilder::cache_path)), and return
+    /// the engine for further in-process use.
+    ///
+    /// # Errors
+    ///
+    /// The final snapshot's I/O error, if it fails; the drain itself
+    /// always completes.
+    pub fn shutdown(mut self) -> io::Result<Engine> {
+        self.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread");
+        }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            snapshotter.join().expect("snapshotter thread");
+        }
+        let shared = self.shared.take().expect("service not yet shut down");
+        loop {
+            let Some(handler) = shared.handlers.lock().expect("handler list").pop() else {
+                break;
+            };
+            handler.join().expect("connection handler");
+        }
+        let final_save = shared.snapshot();
+        let shared = Arc::try_unwrap(shared).expect("all service threads joined");
+        final_save?;
+        Ok(shared.engine)
+    }
+
+    /// Flags the drain and wakes the blocked acceptor.
+    fn begin_drain(&self) {
+        if let Some(shared) = &self.shared {
+            shared.draining.store(true, Ordering::SeqCst);
+            // The acceptor blocks in `accept`; a throwaway connection
+            // wakes it so it can observe the flag.
+            TcpStream::connect(self.local_addr).ok();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Best-effort stop for a dropped (not shut down) service: flag
+        // the drain so threads wind down; joining is `shutdown`'s job.
+        if self.acceptor.is_some() {
+            self.begin_drain();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion, EMFILE) come
+                // back instantly; without a pause this loop would pin a
+                // core and starve the handlers that could free fds.
+                std::thread::sleep(DRAIN_POLL);
+                continue;
+            }
+        };
+        let handler_shared = Arc::clone(shared);
+        let handler = std::thread::spawn(move || {
+            handle_connection(stream, &handler_shared);
+        });
+        let mut handlers = shared.handlers.lock().expect("handler list");
+        // Reap finished connections so a long-lived service does not
+        // accumulate one JoinHandle per connection it ever served.
+        handlers.retain(|h| !h.is_finished());
+        handlers.push(handler);
+    }
+}
+
+fn snapshot_loop(shared: &Shared, interval: Duration) {
+    let mut since_last = Duration::ZERO;
+    loop {
+        std::thread::sleep(DRAIN_POLL.min(interval));
+        if shared.draining.load(Ordering::SeqCst) {
+            break; // shutdown takes the final snapshot
+        }
+        since_last += DRAIN_POLL.min(interval);
+        if since_last >= interval {
+            since_last = Duration::ZERO;
+            if let Err(e) = shared.snapshot() {
+                eprintln!("sling-serve: periodic cache snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+/// The per-connection server loop: banner, then frame-by-frame service
+/// until the client hangs up or the drain begins.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    stream.set_nodelay(true).ok();
+    // Reads wake periodically so an idle connection notices the drain.
+    stream.set_read_timeout(Some(DRAIN_POLL)).ok();
+    let writer = Mutex::new(match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    });
+    let hello = ServerFrame::Hello {
+        warm_entries: shared.engine.warm_entries(),
+        parallelism: shared.engine.parallelism() as u64,
+    };
+    if send(&writer, &hello).is_err() {
+        return;
+    }
+
+    let mut reader = stream;
+    let mut frames = FrameBuffer::new();
+    loop {
+        while let Some(line) = frames.pop_line() {
+            if !serve_frame(&line, shared, &writer) {
+                return;
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return; // between frames: in-flight work already finished
+        }
+        match frames.fill(&mut reader) {
+            Ok(true) => {}
+            Ok(false) => return, // clean EOF
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one decoded frame; `false` ends the connection.
+fn serve_frame(line: &str, shared: &Shared, writer: &Mutex<TcpStream>) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    match ClientFrame::decode(line) {
+        Ok(ClientFrame::Ping) => send(writer, &ServerFrame::Pong).is_ok(),
+        Ok(ClientFrame::Analyze { id, requests }) => {
+            // Stream each report the moment its request completes; the
+            // sink runs on the engine's worker threads, so the write
+            // end is mutex-shared and failures flip a flag instead of
+            // unwinding across the pool.
+            let broken = AtomicBool::new(false);
+            let sink = |index: usize, report: &Report| {
+                // Encoded straight from the borrow: cloning a Report
+                // (residue heaps and all) per streamed frame would be
+                // pure overhead on the worker threads.
+                let line = crate::proto::encode_report_frame(id, index as u64, report);
+                if send_line(writer, line).is_err() {
+                    broken.store(true, Ordering::Relaxed);
+                }
+            };
+            match shared.engine.analyze_all_with(&requests, &sink) {
+                Ok(batch) => {
+                    let done = ServerFrame::Done {
+                        id,
+                        count: batch.reports.len() as u64,
+                        cache: batch.cache,
+                    };
+                    !broken.load(Ordering::Relaxed) && send(writer, &done).is_ok()
+                }
+                Err(e) => send_error(writer, id, &e.to_string()),
+            }
+        }
+        Err(e) => send_error(writer, ClientFrame::salvage_id(line), &e.to_string()),
+    }
+}
+
+fn send(writer: &Mutex<TcpStream>, frame: &ServerFrame) -> io::Result<()> {
+    send_line(writer, frame.encode())
+}
+
+fn send_line(writer: &Mutex<TcpStream>, mut line: String) -> io::Result<()> {
+    line.push('\n');
+    let mut guard = writer.lock().expect("connection writer");
+    guard.write_all(line.as_bytes())
+}
+
+/// Reports a failure to the client; the connection stays usable (a bad
+/// frame must not take down a long-lived client session).
+fn send_error(writer: &Mutex<TcpStream>, id: u64, message: &str) -> bool {
+    send(
+        writer,
+        &ServerFrame::Error {
+            id,
+            message: message.to_string(),
+        },
+    )
+    .is_ok()
+}

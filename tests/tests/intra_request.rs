@@ -171,3 +171,45 @@ fn the_worker_budget_divides_between_batch_and_request_levels() {
         );
     }
 }
+
+#[test]
+fn uneven_splits_spend_the_whole_budget() {
+    // 8 workers over 3 requests used to truncate to 2 inner workers
+    // each (6 of 8 threads); the remainder must be distributed instead:
+    // the first 8 % 3 = 2 requests get one extra inner worker, so the
+    // per-request counts are exactly [3, 3, 2] and the total equals the
+    // budget. The span program reaches 6 locations, so no request's
+    // count is clamped below its share.
+    let requests = vec![request(), request(), request()];
+    let batch = engine(8).analyze_all(&requests).expect("targets exist");
+    let workers: Vec<usize> = batch
+        .reports
+        .iter()
+        .map(|report| report.metrics.workers)
+        .collect();
+    assert_eq!(
+        workers,
+        vec![3, 3, 2],
+        "remainder goes to the first parallelism % requests requests"
+    );
+    assert_eq!(
+        workers.iter().sum::<usize>(),
+        8,
+        "total thread usage must equal the budget"
+    );
+
+    // The uneven split must not change the analysis itself.
+    let sequential = engine(1).analyze_all(&requests).expect("targets exist");
+    for (s, p) in sequential.reports.iter().zip(&batch.reports) {
+        assert_eq!(fingerprint(s), fingerprint(p));
+    }
+
+    // An indivisible budget with more requests than workers: 5 workers
+    // over 7 requests run one request per worker with no headroom for
+    // nesting — every request must stay sequential inside.
+    let seven: Vec<_> = (0..7).map(|_| request()).collect();
+    let batch = engine(5).analyze_all(&seven).expect("targets exist");
+    for report in &batch.reports {
+        assert_eq!(report.metrics.workers, 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end tests of the analysis service: a warm-booted server on a
+//! loopback socket must produce reports formula-for-formula identical
+//! to in-process `analyze_all`, stream them as they complete, reject
+//! malformed frames with typed errors without dropping the connection,
+//! and snapshot its cache in the background.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sling::{wire, AnalysisRequest, Engine, InputSpec, Report, ValueSpec};
+use sling_serve::{Client, ServeError, ServeOptions, Service};
+use sling_suite::fixtures::ListCorpus;
+
+fn corpus_engine(corpus: &ListCorpus) -> sling::EngineBuilder {
+    Engine::builder()
+        .program_source(&corpus.program())
+        .expect("corpus program parses")
+        .predicates_source(&corpus.predicates())
+        .expect("corpus predicates parse")
+}
+
+/// Everything formula-relevant about a report (timing and cache deltas
+/// legitimately differ between a served and an in-process run).
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{} runs={} traces={} declared={:?}\n",
+        report.target, report.metrics.runs, report.metrics.traces, report.declared_locations
+    );
+    for loc in &report.locations {
+        let _ = writeln!(
+            out,
+            "  {} models={} snaps={} tainted={}",
+            loc.location, loc.models_used, loc.snapshots_seen, loc.tainted
+        );
+        for inv in &loc.invariants {
+            let _ = writeln!(
+                out,
+                "    [{}|{:?}] {} :: residues={:?} activations={:?}",
+                inv.spurious, inv.stats, inv.formula, inv.residues, inv.activations
+            );
+        }
+    }
+    out
+}
+
+fn temp_snapshot(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "sling-serve-test-{}-{name}.bin",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn served_reports_equal_in_process_reports_and_warm_boot_pays() {
+    let corpus = ListCorpus::new("ServeE2eNode");
+    let batch = corpus.batch(1);
+    let path = temp_snapshot("e2e");
+    std::fs::remove_file(&path).ok();
+
+    // In-process reference run; its cache seeds the snapshot the server
+    // warm-boots from.
+    let reference_engine = corpus_engine(&corpus)
+        .cache_path(&path)
+        .build()
+        .expect("engine builds");
+    let reference = reference_engine
+        .analyze_all(&batch)
+        .expect("in-process batch runs");
+    assert!(reference_engine.save_cache().expect("snapshot saves") > 0);
+
+    // Warm-booted service on an ephemeral loopback port.
+    let served_engine = corpus_engine(&corpus)
+        .cache_path(&path)
+        .build()
+        .expect("engine builds");
+    assert!(served_engine.warm_entries() > 0, "snapshot must restore");
+    let service = Service::bind(served_engine, "127.0.0.1:0").expect("service binds");
+
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+    assert!(
+        client.warm_entries() > 0,
+        "hello banner must advertise the warm boot"
+    );
+
+    // First batch over the wire: identical formulas, answered warm.
+    let served = client.analyze_all(&batch).expect("served batch runs");
+    assert_eq!(served.reports.len(), reference.reports.len());
+    for (mine, theirs) in reference.reports.iter().zip(&served.reports) {
+        assert_eq!(
+            fingerprint(mine),
+            fingerprint(theirs),
+            "served report for `{}` must equal the in-process report",
+            mine.target
+        );
+    }
+    assert!(
+        served.cache.warm_hits > 0,
+        "a warm-booted server must answer its first batch from restored \
+         entries: {:?}",
+        served.cache
+    );
+
+    let engine = service.shutdown().expect("graceful drain");
+    assert!(engine.cache_stats().lookups() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reports_stream_as_they_complete() {
+    let corpus = ListCorpus::new("ServeStreamNode");
+    let batch = corpus.batch(1);
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let service = Service::bind(engine, "127.0.0.1:0").expect("service binds");
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+
+    let mut streamed: Vec<(usize, sling_logic::Symbol)> = Vec::new();
+    let served = client
+        .analyze_all_with(&batch, |index, report| {
+            streamed.push((index, report.target));
+        })
+        .expect("served batch runs");
+
+    // The sink saw every report exactly once, before the batch
+    // returned, with indexes matching request order.
+    let mut indexes: Vec<usize> = streamed.iter().map(|(i, _)| *i).collect();
+    indexes.sort_unstable();
+    assert_eq!(indexes, (0..batch.len()).collect::<Vec<_>>());
+    for (index, target) in &streamed {
+        assert_eq!(*target, batch[*index].target);
+        assert_eq!(served.reports[*index].target, batch[*index].target);
+    }
+    service.shutdown().expect("graceful drain");
+}
+
+#[test]
+fn one_connection_serves_many_batches_and_shares_the_cache() {
+    let corpus = ListCorpus::new("ServeReuseNode");
+    let batch = corpus.batch(1);
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let service = Service::bind(engine, "127.0.0.1:0").expect("service binds");
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+
+    client.ping().expect("ping answers");
+    let cold = client.analyze_all(&batch).expect("first batch");
+    client.ping().expect("connection still usable");
+    let warm = client.analyze_all(&batch).expect("second batch");
+    assert!(
+        warm.cache.hits > cold.cache.hits || warm.cache.misses == 0,
+        "the second identical batch must ride the first one's cache: \
+         cold {:?}, warm {:?}",
+        cold.cache,
+        warm.cache
+    );
+    for (a, b) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(fingerprint(a), fingerprint(b), "cache hits change nothing");
+    }
+
+    // A second client shares the same engine and cache.
+    let mut second = Client::connect(service.local_addr()).expect("second client");
+    let third = second.analyze_all(&batch).expect("third batch");
+    assert_eq!(
+        third.cache.misses, 0,
+        "fully warm by now: {:?}",
+        third.cache
+    );
+    service.shutdown().expect("graceful drain");
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_not_dropped_connections() {
+    let corpus = ListCorpus::new("ServeRejectNode");
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let service = Service::bind(engine, "127.0.0.1:0").expect("service binds");
+
+    // A raw socket speaking garbage: every bad frame gets an `error`
+    // response and the connection survives to serve good frames after.
+    let stream = TcpStream::connect(service.local_addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("hello banner");
+    assert!(line.starts_with("sling1 hello "), "{line:?}");
+
+    let bad_frames = [
+        "complete nonsense\n",
+        "sling9 analyze 1 0\n",                    // wrong protocol version
+        "sling1 frobnicate 1\n",                   // unknown frame kind
+        "sling1 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
+        "sling1 analyze 8 2 \"reverse\" 0\n",      // truncated batch
+        "sling1 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
+    ];
+    for frame in bad_frames {
+        writer.write_all(frame.as_bytes()).expect("write");
+        line.clear();
+        reader.read_line(&mut line).expect("error response");
+        assert!(
+            line.starts_with("sling1 error "),
+            "bad frame {frame:?} must be answered with an error frame, \
+             got {line:?}"
+        );
+    }
+    // Correlation ids are salvaged when readable.
+    writer
+        .write_all(b"sling1 analyze 42 1 \"reverse\" oops\n")
+        .expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("error response");
+    assert!(line.starts_with("sling1 error 42 "), "{line:?}");
+
+    // The connection still serves real work.
+    writer.write_all(b"sling1 ping\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("pong");
+    assert_eq!(line.trim_end(), "sling1 pong");
+    drop(writer);
+    drop(reader);
+
+    // The typed client surfaces the server's rejection as Remote.
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+    let missing =
+        AnalysisRequest::new("no_such_fn").input(InputSpec::seeded(1).arg(ValueSpec::int(3)));
+    match client.analyze_all(std::slice::from_ref(&missing)) {
+        Err(ServeError::Remote(message)) => {
+            assert!(message.contains("no_such_fn"), "{message}");
+        }
+        other => panic!("expected a Remote error, got {other:?}"),
+    }
+    // And custom closures are rejected client-side before hitting the
+    // wire.
+    let custom = AnalysisRequest::new("reverse").custom(|_| vec![sling_models::Val::Nil]);
+    assert!(matches!(
+        client.analyze_all(std::slice::from_ref(&custom)),
+        Err(ServeError::Wire(wire::WireError::Unsupported(_)))
+    ));
+    service.shutdown().expect("graceful drain");
+}
+
+#[test]
+fn background_snapshotting_persists_the_cache_while_serving() {
+    let corpus = ListCorpus::new("ServeSnapNode");
+    let batch = corpus.batch(1);
+    let path = temp_snapshot("periodic");
+    std::fs::remove_file(&path).ok();
+
+    let engine = corpus_engine(&corpus)
+        .cache_path(&path)
+        .build()
+        .expect("engine builds");
+    let service = Service::bind_with(
+        engine,
+        "127.0.0.1:0",
+        ServeOptions {
+            snapshot_interval: Some(Duration::from_millis(50)),
+        },
+    )
+    .expect("service binds");
+
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+    client.analyze_all(&batch).expect("batch runs");
+    // The periodic snapshotter must persist without any shutdown.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.snapshots_taken() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        service.snapshots_taken() > 0,
+        "a 50ms interval must have snapshotted within 10s"
+    );
+    assert!(path.exists(), "periodic snapshot must hit the disk");
+
+    // And the snapshot is genuinely loadable: a fresh engine warm-boots
+    // from it while the service is still running.
+    let sibling = corpus_engine(&corpus)
+        .cache_path(&path)
+        .build()
+        .expect("engine builds");
+    assert!(sibling.warm_entries() > 0, "periodic snapshot restores");
+
+    let engine = service.shutdown().expect("graceful drain");
+    assert!(engine.cache_path().is_some());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wire_codec_round_trips_served_corpus_reports() {
+    // Property-style: every report the corpus produces must survive the
+    // wire codec Debug-identically (formulas, residues, activations,
+    // metrics bits and all).
+    let corpus = ListCorpus::new("ServeCodecNode");
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let batch = engine
+        .analyze_all(&corpus.batch(1))
+        .expect("in-process batch runs");
+    for report in &batch.reports {
+        let line = wire::encode_report(report);
+        let back = wire::decode_report(&line).expect("round trip decodes");
+        assert_eq!(format!("{back:?}"), format!("{report:?}"));
+    }
+    // Requests round-trip too (the corpus batch is spec-only).
+    for request in corpus.batch(2) {
+        let line = wire::encode_request(&request).expect("specs encode");
+        let back = wire::decode_request(&line).expect("round trip decodes");
+        assert_eq!(format!("{back:?}"), format!("{request:?}"));
+    }
+}
