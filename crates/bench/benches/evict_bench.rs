@@ -1,0 +1,70 @@
+//! Cache-capacity sweep: the corpus batch through an unbounded cache
+//! vs. LRU-bounded caches of shrinking capacity.
+//!
+//! This measures the cost of the retention policy itself — the bounded
+//! variants pay for evictions and for the cold re-searches of entries
+//! the bound forgot, which is exactly the trade a memory-capped
+//! deployment makes. The unbounded run is the floor; `cap=64` churns
+//! hard (one corpus round creates a few hundred entries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sling::Engine;
+use sling_checker::SHARD_COUNT;
+use sling_suite::fixtures::ListCorpus;
+
+fn corpus() -> ListCorpus {
+    ListCorpus::new("EvictBenchNode")
+}
+
+fn engine(capacity: Option<usize>) -> Engine {
+    let corpus = corpus();
+    let mut builder = Engine::builder()
+        .program_source(&corpus.program())
+        .expect("program parses")
+        .predicates_source(&corpus.predicates())
+        .expect("predicates parse")
+        .parallelism(1); // measure the cache, not the thread pool
+    if let Some(capacity) = capacity {
+        builder = builder.cache_capacity(capacity);
+    }
+    builder.build().expect("program checks")
+}
+
+fn capacity_sweep(c: &mut Criterion) {
+    let requests = corpus().batch(2);
+    let mut group = c.benchmark_group("cache_capacity");
+    group.sample_size(10);
+
+    group.bench_function("unbounded", |b| {
+        b.iter(|| {
+            let engine = engine(None);
+            let batch = engine.analyze_all(&requests).expect("targets exist");
+            assert!(batch.invariant_count() > 0);
+            assert_eq!(batch.cache.evictions, 0);
+        });
+    });
+
+    for cap in [512usize, 128, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let engine = engine(Some(cap));
+                let batch = engine.analyze_all(&requests).expect("targets exist");
+                assert!(batch.invariant_count() > 0);
+                assert!(
+                    engine.cache_stats().entries
+                        <= (cap.div_ceil(SHARD_COUNT) * SHARD_COUNT) as u64,
+                    "the bound must hold under churn"
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = capacity_sweep
+}
+criterion_main!(benches);

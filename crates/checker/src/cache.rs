@@ -111,6 +111,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: u64,
+    /// Entries evicted to stay inside the configured capacity.
+    pub evictions: u64,
+    /// Approximate bytes currently held by stored entries (key text,
+    /// cached reductions, and per-entry bookkeeping).
+    pub resident_bytes: u64,
 }
 
 impl CacheStats {
@@ -129,13 +134,16 @@ impl CacheStats {
     }
 
     /// The counter movement since an `earlier` snapshot of the same
-    /// cache (entry counts are absolute, not differenced).
+    /// cache (entry counts and resident bytes are absolute, not
+    /// differenced).
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
             misses: self.misses.saturating_sub(earlier.misses),
             entries: self.entries,
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            resident_bytes: self.resident_bytes,
         }
     }
 }
@@ -152,6 +160,9 @@ impl std::fmt::Display for CacheStats {
         )?;
         if self.warm_hits > 0 {
             write!(f, ", {} warm", self.warm_hits)?;
+        }
+        if self.evictions > 0 {
+            write!(f, ", {} evicted", self.evictions)?;
         }
         Ok(())
     }
@@ -196,12 +207,14 @@ pub(crate) struct QueryScope {
 /// precomputed once at canonicalization. The fingerprint picks the shard
 /// and feeds the hash table directly (via a pass-through hasher), so the
 /// canonical text is never re-hashed on probes; equality still compares
-/// the full text, so fingerprint collisions cannot alias entries.
+/// the full text, so fingerprint collisions cannot alias entries. The
+/// text is refcounted (`Arc<str>`), so cloning a key — the LRU stamp
+/// index holds one clone per entry — costs a pointer bump, not a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CacheKey {
     pub(crate) scope: QueryScope,
     fingerprint: u64,
-    pub(crate) text: String,
+    pub(crate) text: std::sync::Arc<str>,
 }
 
 impl CacheKey {
@@ -213,7 +226,7 @@ impl CacheKey {
         CacheKey {
             scope,
             fingerprint: h,
-            text,
+            text: text.into(),
         }
     }
 
@@ -251,21 +264,124 @@ impl Hasher for FingerprintHasher {
 
 type FingerprintBuild = BuildHasherDefault<FingerprintHasher>;
 
+/// Snapshot-generation stamp of entries computed live in this process.
+/// Live entries always beat snapshot entries in newest-generation-wins
+/// collision resolution ([`CheckCache::merge_warm`]).
+pub(crate) const GEN_LIVE: u64 = u64::MAX;
+
 /// One stored verdict plus its provenance: entries loaded from a
 /// persisted cache file are *warm* and counted separately on hits.
 #[derive(Debug, Clone)]
 struct Entry {
     value: Option<CachedReduction>,
     warm: bool,
+    /// Last-access stamp from the shard clock; the LRU victim is the
+    /// entry with the smallest stamp.
+    stamp: u64,
+    /// Snapshot generation this entry was restored from ([`GEN_LIVE`]
+    /// for entries computed in this process), for newest-wins merging.
+    gen: u64,
+    /// Predicates the entry's formula mentions directly — persistence
+    /// metadata, so a snapshot can invalidate per predicate.
+    preds: Box<[Symbol]>,
+    /// Approximate resident size, so removal accounting is exact.
+    bytes: u64,
+}
+
+/// Fixed per-entry bookkeeping cost added to the measured payload when
+/// accounting [`CacheStats::resident_bytes`].
+const ENTRY_OVERHEAD: u64 = (std::mem::size_of::<CacheKey>() + std::mem::size_of::<Entry>()) as u64;
+
+fn entry_bytes(key: &CacheKey, value: &Option<CachedReduction>, preds: &[Symbol]) -> u64 {
+    let payload = match value {
+        None => 0,
+        Some(red) => {
+            red.residual.len() * std::mem::size_of::<u32>()
+                + red.inst.len() * std::mem::size_of::<(CanonName, CanonVal)>()
+        }
+    };
+    ENTRY_OVERHEAD + key.text.len() as u64 + payload as u64 + std::mem::size_of_val(preds) as u64
+}
+
+/// The mutable interior of one shard: the map, its access clock, the
+/// stamp-ordered LRU index, and the resident-byte ledger — everything
+/// that moves together under the shard lock.
+#[derive(Debug, Default)]
+struct ShardMap {
+    entries: HashMap<CacheKey, Entry, FingerprintBuild>,
+    /// Access order: stamp → key. Stamps are unique (the clock only
+    /// goes up), so the first entry is exactly the least recently used
+    /// — eviction is O(log n) and unbiased at every shard size. Key
+    /// clones here are pointer bumps (`CacheKey.text` is `Arc<str>`).
+    by_stamp: BTreeMap<u64, CacheKey>,
+    /// Monotonic per-shard access clock; every hit and insert stamps
+    /// the touched entry, so LRU selection needs no global ordering.
+    clock: u64,
+    resident_bytes: u64,
+}
+
+impl ShardMap {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn remove(&mut self, key: &CacheKey) -> Option<Entry> {
+        let entry = self.entries.remove(key)?;
+        self.by_stamp.remove(&entry.stamp);
+        self.resident_bytes -= entry.bytes;
+        Some(entry)
+    }
+
+    fn insert(&mut self, key: CacheKey, mut entry: Entry) {
+        let stamp = self.tick();
+        entry.stamp = stamp;
+        entry.bytes = entry_bytes(&key, &entry.value, &entry.preds);
+        self.resident_bytes += entry.bytes;
+        self.by_stamp.insert(stamp, key.clone());
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.by_stamp.remove(&old.stamp);
+            self.resident_bytes -= old.bytes;
+        }
+    }
+
+    /// Refreshes an entry's access stamp and returns its verdict and
+    /// warmth, if present.
+    fn touch(&mut self, key: &CacheKey) -> Option<(Option<CachedReduction>, bool)> {
+        let stamp = self.tick();
+        let entry = self.entries.get_mut(key)?;
+        let old = std::mem::replace(&mut entry.stamp, stamp);
+        let result = (entry.value.clone(), entry.warm);
+        self.by_stamp.remove(&old);
+        self.by_stamp.insert(stamp, key.clone());
+        Some(result)
+    }
+
+    /// Evicts the least-recently-used entry — the stamp index makes the
+    /// choice exact at any shard size, not a sampled approximation.
+    fn evict_lru(&mut self) -> bool {
+        let victim = self.by_stamp.first_key_value().map(|(_, key)| key.clone());
+        match victim {
+            Some(key) => self.remove(&key).is_some(),
+            None => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.by_stamp.clear();
+        self.resident_bytes = 0;
+    }
 }
 
 /// One independent slice of the cache: its own map and counters.
 #[derive(Debug, Default)]
 struct Shard {
-    entries: Mutex<HashMap<CacheKey, Entry, FingerprintBuild>>,
+    map: Mutex<ShardMap>,
     hits: AtomicU64,
     warm_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A shared, thread-safe memo table for checker reductions, sharded for
@@ -278,6 +394,11 @@ struct Shard {
 pub struct CheckCache {
     shards: Vec<Shard>,
     shard_capacity: usize,
+    /// Highest snapshot generation ever absorbed (via load or merge).
+    /// Saves stamp strictly above it, so a cache that folded in a
+    /// future-stamped sibling (clock skew) still writes snapshots that
+    /// win newest-generation collisions with it.
+    max_generation: AtomicU64,
 }
 
 impl Default for CheckCache {
@@ -306,18 +427,41 @@ impl CheckCache {
         CheckCache {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             shard_capacity: capacity.div_ceil(SHARD_COUNT),
+            max_generation: AtomicU64::new(0),
         }
     }
 
+    /// Highest snapshot generation this cache has absorbed (0 when it
+    /// never loaded or merged a snapshot). [`crate::persist::save`]
+    /// stamps new snapshots strictly above it.
+    pub(crate) fn max_generation(&self) -> u64 {
+        self.max_generation.load(Ordering::Relaxed)
+    }
+
+    fn note_generation(&self, gen: u64) {
+        if gen != GEN_LIVE {
+            self.max_generation.fetch_max(gen, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured entry bound (total across shards).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARD_COUNT
+    }
+
     /// Current counters, summed over every shard. Hit/miss totals are
-    /// exact under concurrent use; `entries` is a point-in-time sum.
+    /// exact under concurrent use; `entries` and `resident_bytes` are
+    /// point-in-time sums.
     pub fn stats(&self) -> CacheStats {
         let mut stats = CacheStats::default();
         for shard in &self.shards {
             stats.hits += shard.hits.load(Ordering::Relaxed);
             stats.warm_hits += shard.warm_hits.load(Ordering::Relaxed);
             stats.misses += shard.misses.load(Ordering::Relaxed);
-            stats.entries += shard.entries.lock().expect("cache lock").len() as u64;
+            stats.evictions += shard.evictions.load(Ordering::Relaxed);
+            let map = shard.map.lock().expect("cache lock");
+            stats.entries += map.entries.len() as u64;
+            stats.resident_bytes += map.resident_bytes;
         }
         stats
     }
@@ -325,17 +469,17 @@ impl CheckCache {
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.entries.lock().expect("cache lock").clear();
+            shard.map.lock().expect("cache lock").clear();
         }
     }
 
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Option<CachedReduction>> {
         let shard = &self.shards[key.shard()];
-        let found = shard.entries.lock().expect("cache lock").get(key).cloned();
+        let found = shard.map.lock().expect("cache lock").touch(key);
         match &found {
-            Some(entry) => {
+            Some((_, warm)) => {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
-                if entry.warm {
+                if *warm {
                     shard.warm_hits.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -343,48 +487,130 @@ impl CheckCache {
                 shard.misses.fetch_add(1, Ordering::Relaxed);
             }
         };
-        found.map(|entry| entry.value)
+        found.map(|(value, _)| value)
     }
 
-    pub(crate) fn store(&self, key: CacheKey, value: Option<CachedReduction>) {
+    /// Stores a freshly computed verdict, evicting the shard's
+    /// least-recently-used entry first when the shard is full. `preds`
+    /// is the formula's direct predicate-mention set, kept so the entry
+    /// can be persisted with per-predicate invalidation metadata.
+    pub(crate) fn store(&self, key: CacheKey, value: Option<CachedReduction>, preds: &[Symbol]) {
         let shard = &self.shards[key.shard()];
-        let mut entries = shard.entries.lock().expect("cache lock");
-        if entries.len() < self.shard_capacity {
-            entries.insert(key, Entry { value, warm: false });
+        let mut map = shard.map.lock().expect("cache lock");
+        if map.entries.len() >= self.shard_capacity && !map.entries.contains_key(&key) {
+            if !map.evict_lru() {
+                return; // zero-capacity shard: nothing to evict into
+            }
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        map.insert(
+            key,
+            Entry {
+                value,
+                warm: false,
+                stamp: 0,
+                gen: GEN_LIVE,
+                preds: preds.into(),
+                bytes: 0,
+            },
+        );
     }
 
     /// Inserts an entry loaded from a persisted snapshot; hits on it
-    /// are counted as warm starts ([`CacheStats::warm_hits`]). Returns
-    /// whether the entry was actually retained — `false` when its shard
-    /// is at capacity — so loaders can report the restored count
-    /// honestly.
-    pub(crate) fn store_warm(&self, key: CacheKey, value: Option<CachedReduction>) -> bool {
+    /// are counted as warm starts ([`CacheStats::warm_hits`]). Warm
+    /// inserts never evict live entries: the entry is dropped when its
+    /// shard is at capacity. Returns whether the entry was actually
+    /// retained, so loaders can report the restored count honestly.
+    pub(crate) fn store_warm(
+        &self,
+        key: CacheKey,
+        value: Option<CachedReduction>,
+        preds: &[Symbol],
+        gen: u64,
+    ) -> bool {
+        self.note_generation(gen);
         let shard = &self.shards[key.shard()];
-        let mut entries = shard.entries.lock().expect("cache lock");
-        if entries.len() < self.shard_capacity {
-            entries.insert(key, Entry { value, warm: true });
-            true
-        } else {
-            false
+        let mut map = shard.map.lock().expect("cache lock");
+        if map.entries.len() >= self.shard_capacity && !map.entries.contains_key(&key) {
+            return false;
         }
+        map.insert(
+            key,
+            Entry {
+                value,
+                warm: true,
+                stamp: 0,
+                gen,
+                preds: preds.into(),
+                bytes: 0,
+            },
+        );
+        true
+    }
+
+    /// [`CheckCache::store_warm`] with newest-generation-wins collision
+    /// resolution, for folding sibling snapshots into a live cache: an
+    /// existing entry with a generation at least `gen` (including any
+    /// live-computed entry) is kept, an older one is replaced. Returns
+    /// whether the incoming entry was retained.
+    pub(crate) fn merge_warm(
+        &self,
+        key: CacheKey,
+        value: Option<CachedReduction>,
+        preds: &[Symbol],
+        gen: u64,
+    ) -> bool {
+        self.note_generation(gen);
+        let shard = &self.shards[key.shard()];
+        let mut map = shard.map.lock().expect("cache lock");
+        match map.entries.get(&key) {
+            Some(existing) if existing.gen >= gen => return false,
+            Some(_) => {}
+            None if map.entries.len() >= self.shard_capacity => return false,
+            None => {}
+        }
+        map.insert(
+            key,
+            Entry {
+                value,
+                warm: true,
+                stamp: 0,
+                gen,
+                preds: preds.into(),
+                bytes: 0,
+            },
+        );
+        true
     }
 
     /// Snapshots every stored entry whose scope carries `env_tag`, for
     /// persistence. Shards are locked one at a time, so the snapshot is
     /// per-shard consistent (exact when no checker runs concurrently).
-    pub(crate) fn entries_for(&self, env_tag: u64) -> Vec<(CacheKey, Option<CachedReduction>)> {
+    pub(crate) fn entries_for(&self, env_tag: u64) -> Vec<ExportedEntry> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let entries = shard.entries.lock().expect("cache lock");
-            for (key, entry) in entries.iter() {
+            let map = shard.map.lock().expect("cache lock");
+            for (key, entry) in map.entries.iter() {
                 if key.scope.env_tag == env_tag {
-                    out.push((key.clone(), entry.value.clone()));
+                    out.push(ExportedEntry {
+                        key: key.clone(),
+                        value: entry.value.clone(),
+                        preds: entry.preds.to_vec(),
+                    });
                 }
             }
         }
         out
     }
+}
+
+/// One cache entry lifted out for persistence: the key, the verdict,
+/// and the predicate-mention metadata the snapshot needs for partial
+/// invalidation.
+pub(crate) struct ExportedEntry {
+    pub(crate) key: CacheKey,
+    pub(crate) value: Option<CachedReduction>,
+    pub(crate) preds: Vec<Symbol>,
 }
 
 /// A value in canonical space.
@@ -422,6 +648,10 @@ pub(crate) struct CachedReduction {
 pub(crate) struct CanonicalQuery {
     /// The cache key.
     pub(crate) key: CacheKey,
+    /// Predicates the formula mentions directly (sorted, unique) —
+    /// stored with the entry so persistence can invalidate per
+    /// predicate.
+    pub(crate) preds: Vec<Symbol>,
     binders: Vec<Symbol>,
     loc_ids: BTreeMap<Loc, u32>,
     id_locs: Vec<Loc>,
@@ -438,6 +668,123 @@ pub(crate) struct CanonicalQuery {
 pub fn env_fingerprint(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> u64 {
     let text = format!("{types:?}\u{1}{preds:?}");
     fnv1a(text.as_bytes())
+}
+
+/// Predicates a formula mentions directly (sorted, unique).
+pub(crate) fn formula_pred_mentions(f: &SymHeap) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = f
+        .spatial
+        .iter()
+        .filter_map(|atom| match atom {
+            sling_logic::SpatialAtom::Pred { name, .. } => Some(*name),
+            sling_logic::SpatialAtom::PointsTo { .. } => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A structured fingerprint of the checking environments: the overall
+/// tag ([`env_fingerprint`], mixed into every cache key), a tag of the
+/// type environment alone, and one fingerprint *per predicate
+/// definition* together with the predicates that definition references.
+///
+/// The per-predicate table is what lets snapshot loading invalidate
+/// partially: an entry's verdict depends only on the type environment
+/// and the definitions of the predicates its formula (transitively)
+/// mentions, so an entry survives a predicate-library edit whenever
+/// none of those definitions changed — see
+/// [`crate::persist::load`]. Long-lived engines build one profile at
+/// construction and pass it to every [`crate::persist`] call.
+#[derive(Debug, Clone)]
+pub struct EnvProfile {
+    env_tag: u64,
+    types_tag: u64,
+    preds: BTreeMap<Symbol, PredInfo>,
+}
+
+#[derive(Debug, Clone)]
+struct PredInfo {
+    /// FNV-1a over the definition's `Debug` form (name, params, cases).
+    fingerprint: u64,
+    /// Other predicates the definition's cases mention (its direct
+    /// dependencies; self-recursion is implied and omitted).
+    deps: Vec<Symbol>,
+}
+
+impl EnvProfile {
+    /// Profiles a `(TypeEnv, PredEnv)` pair.
+    pub fn new(types: &sling_logic::TypeEnv, preds: &sling_logic::PredEnv) -> EnvProfile {
+        let mut table = BTreeMap::new();
+        for def in preds.iter() {
+            let fingerprint = fnv1a(format!("{def:?}").as_bytes());
+            let mut deps: Vec<Symbol> = def
+                .cases
+                .iter()
+                .flat_map(formula_pred_mentions)
+                .filter(|name| *name != def.name)
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            table.insert(def.name, PredInfo { fingerprint, deps });
+        }
+        EnvProfile {
+            env_tag: env_fingerprint(types, preds),
+            types_tag: fnv1a(format!("{types:?}").as_bytes()),
+            preds: table,
+        }
+    }
+
+    /// The overall environment tag ([`env_fingerprint`]) — the value
+    /// mixed into every cache key computed under this environment.
+    pub fn env_tag(&self) -> u64 {
+        self.env_tag
+    }
+
+    /// Fingerprint of the type environment alone. Snapshots whose type
+    /// environments differ are rejected wholesale: struct layouts feed
+    /// every verdict.
+    pub fn types_tag(&self) -> u64 {
+        self.types_tag
+    }
+
+    /// The per-predicate fingerprint table in name order.
+    pub(crate) fn pred_table(&self) -> impl Iterator<Item = (Symbol, u64)> + '_ {
+        self.preds
+            .iter()
+            .map(|(name, info)| (*name, info.fingerprint))
+    }
+
+    /// Whether an entry that directly mentions `mentions` is still
+    /// valid when the saving environment recorded `old` fingerprints:
+    /// every predicate in the transitive dependency closure must exist
+    /// in *both* environments with the same fingerprint. (An unchanged
+    /// predicate has unchanged dependencies, so walking this profile's
+    /// dependency graph visits exactly the closure the entry was
+    /// computed under — or hits a changed predicate first and bails.)
+    pub(crate) fn closure_unchanged(
+        &self,
+        old: &BTreeMap<Symbol, u64>,
+        mentions: &[Symbol],
+    ) -> bool {
+        let mut stack: Vec<Symbol> = mentions.to_vec();
+        let mut seen: std::collections::BTreeSet<Symbol> = stack.iter().copied().collect();
+        while let Some(name) = stack.pop() {
+            let Some(info) = self.preds.get(&name) else {
+                return false; // predicate removed or renamed
+            };
+            if old.get(&name) != Some(&info.fingerprint) {
+                return false; // definition changed (or absent at save)
+            }
+            for dep in &info.deps {
+                if seen.insert(*dep) {
+                    stack.push(*dep);
+                }
+            }
+        }
+        true
+    }
 }
 
 impl CanonicalQuery {
@@ -462,6 +809,7 @@ impl CanonicalQuery {
 
         let mut q = CanonicalQuery {
             key: CacheKey::new(scope, String::new()),
+            preds: formula_pred_mentions(f),
             binders,
             loc_ids: BTreeMap::new(),
             id_locs: Vec::new(),
@@ -859,15 +1207,20 @@ mod tests {
             warm_hits: 2,
             misses: 4,
             entries: 9,
+            evictions: 1,
+            resident_bytes: 900,
         };
         let b = CacheStats {
             hits: 13,
             warm_hits: 6,
             misses: 5,
             entries: 11,
+            evictions: 4,
+            resident_bytes: 1100,
         };
         let d = b.since(&a);
         assert_eq!((d.hits, d.warm_hits, d.misses, d.entries), (3, 4, 1, 11));
+        assert_eq!((d.evictions, d.resident_bytes), (3, 1100));
         assert_eq!(d.lookups(), 4);
     }
 
@@ -937,6 +1290,176 @@ mod tests {
         // nearly every shape misses once. Hits account for the rest.
         assert!(stats.misses >= SHAPES, "{stats:?}");
         assert_eq!(stats.hits, stats.lookups() - stats.misses);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_first() {
+        // One shard in play (capacity 1 per shard, but shapes spread):
+        // use a generous per-shard view instead — fill one cache to its
+        // bound, touch an early shape to refresh it, overflow, and the
+        // refreshed shape must survive while an untouched one dies.
+        let (types, preds) = envs();
+        let cache = CheckCache::with_capacity(SHARD_COUNT); // 1 entry/shard
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+
+        // Find two shapes landing on the same shard.
+        let scope = QueryScope {
+            env_tag: ctx.env_tag,
+            node_budget: ctx.config.node_budget,
+            fuel_slack: ctx.config.fuel_slack,
+        };
+        let shard_of = |n: u64| {
+            CanonicalQuery::new(&list_model(n, 1), &f, scope)
+                .key
+                .shard()
+        };
+        let a = 1u64;
+        let b = (2..64)
+            .find(|n| shard_of(*n) == shard_of(a))
+            .expect("some shape shares shard with a");
+
+        let _ = ctx.check(&list_model(a, 1), &f); // miss, cached
+        let _ = ctx.check(&list_model(a, 99), &f); // hit, refreshes stamp
+        let _ = ctx.check(&list_model(b, 1), &f); // same shard: evicts, caches b
+        assert_eq!(cache.stats().evictions, 1);
+
+        // `a` was the evictee; re-querying is a miss with the correct
+        // verdict, never a stale or aliased answer.
+        let before = cache.stats();
+        let red = ctx.check(&list_model(a, 7), &f).expect("still satisfiable");
+        assert!(red.residual.is_empty());
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses + 1, "evicted key must miss");
+    }
+
+    #[test]
+    fn resident_bytes_track_entries() {
+        let (types, preds) = envs();
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("clist(x)").unwrap();
+        assert_eq!(cache.stats().resident_bytes, 0);
+        for n in 0..6 {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        let stats = cache.stats();
+        assert!(stats.resident_bytes > 0);
+        assert!(
+            stats.resident_bytes >= stats.entries * ENTRY_OVERHEAD,
+            "{stats:?}"
+        );
+        cache.clear();
+        assert_eq!(cache.stats().resident_bytes, 0, "clear resets the ledger");
+    }
+
+    #[test]
+    fn eviction_stress_keeps_accounting_exact_under_contention() {
+        // Eight threads push a capacity-bounded cache far past its
+        // limit with overlapping shape sets. Invariants: every lookup
+        // is counted exactly once (hits + misses == issued), residency
+        // never exceeds the capacity, evictions are observed, and every
+        // answer equals a cold-search verdict.
+        let (types, preds) = envs();
+        const CAPACITY: usize = 2 * SHARD_COUNT; // 2 entries per shard
+        const THREADS: u64 = 8;
+        const SHAPES: u64 = 48;
+        const PER_THREAD: u64 = 64;
+        let cache = CheckCache::with_capacity(CAPACITY);
+        let f = parse_formula("clist(x)").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (cache, types, preds, f) = (&cache, &types, &preds, &f);
+                s.spawn(move || {
+                    let ctx = CheckCtx::with_cache(types, preds, Default::default(), cache);
+                    let plain = CheckCtx::new(types, preds);
+                    for i in 0..PER_THREAD {
+                        let shape = (i * (t + 3)) % SHAPES;
+                        let m = list_model(shape, 1);
+                        let got = ctx.check(&m, f);
+                        // A cached answer must never differ from a cold
+                        // search — eviction may forget, not corrupt.
+                        assert_eq!(got, plain.check(&m, f), "shape {shape}");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.lookups(),
+            THREADS * PER_THREAD,
+            "hits + misses must stay exact: {stats:?}"
+        );
+        assert!(
+            stats.entries <= CAPACITY as u64,
+            "resident entries exceed the configured capacity: {stats:?}"
+        );
+        assert!(
+            stats.evictions > 0,
+            "48 shapes through a 32-entry cache must evict: {stats:?}"
+        );
+        assert!(stats.resident_bytes > 0);
+
+        // Re-querying a just-evicted shape is a miss, answered freshly
+        // and correctly.
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let plain = CheckCtx::new(&types, &preds);
+        let before = cache.stats();
+        let mut saw_miss = false;
+        for shape in 0..SHAPES {
+            let m = list_model(shape, 5);
+            assert_eq!(ctx.check(&m, &f), plain.check(&m, &f));
+        }
+        let after = cache.stats();
+        saw_miss |= after.misses > before.misses;
+        assert!(
+            saw_miss,
+            "with 48 shapes and 32 slots some re-query must miss: {after:?}"
+        );
+        assert!(after.entries <= CAPACITY as u64);
+    }
+
+    #[test]
+    fn env_profile_tracks_per_predicate_change() {
+        let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
+        assert_eq!(profile.env_tag(), env_fingerprint(&types, &preds));
+
+        let old: BTreeMap<Symbol, u64> = profile.pred_table().collect();
+        assert!(profile.closure_unchanged(&old, &[sym("clist")]));
+        assert!(
+            profile.closure_unchanged(&old, &[]),
+            "pure formulas depend on no predicate"
+        );
+        assert!(
+            !profile.closure_unchanged(&old, &[sym("not_a_pred")]),
+            "unknown mentions are conservatively stale"
+        );
+
+        // Change the definition: same name, different fingerprint.
+        let mut changed = PredEnv::new();
+        for d in parse_predicates("pred clist(x: CNode*) := emp & x == nil;").unwrap() {
+            changed.define(d).unwrap();
+        }
+        let changed_profile = EnvProfile::new(&types, &changed);
+        assert_ne!(changed_profile.env_tag(), profile.env_tag());
+        assert!(
+            !changed_profile.closure_unchanged(&old, &[sym("clist")]),
+            "a changed definition must invalidate"
+        );
+    }
+
+    #[test]
+    fn formula_mentions_are_sorted_unique_pred_names() {
+        let f = parse_formula("clist(x) * clist(y) * pseg2(y, x)").unwrap();
+        assert_eq!(
+            formula_pred_mentions(&f),
+            vec![sym("clist"), sym("pseg2")]
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+        let pure_only = parse_formula("emp & x == nil").unwrap();
+        assert!(formula_pred_mentions(&pure_only).is_empty());
     }
 
     #[test]

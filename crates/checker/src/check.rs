@@ -171,10 +171,10 @@ impl<'a> CheckCtx<'a> {
                 // canonical frame; in that case skip storing rather than
                 // memoize something untranslatable.
                 if let Some(encoded) = query.encode(r) {
-                    cache.store(query.key, Some(encoded));
+                    cache.store(query.key, Some(encoded), &query.preds);
                 }
             }
-            None => cache.store(query.key, None),
+            None => cache.store(query.key, None, &query.preds),
         }
         result
     }

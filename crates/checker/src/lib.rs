@@ -64,7 +64,7 @@ mod check;
 mod inst;
 pub mod persist;
 
-pub use cache::{env_fingerprint, CacheStats, CheckCache, SHARD_COUNT};
+pub use cache::{env_fingerprint, CacheStats, CheckCache, EnvProfile, SHARD_COUNT};
 pub use check::{CheckConfig, CheckCtx, Reduction};
 pub use inst::Instantiation;
-pub use persist::PersistError;
+pub use persist::{MergeStats, PersistError};

@@ -3,17 +3,28 @@
 //! The canonical keys of a [`CheckCache`] are stable across processes —
 //! they contain no raw addresses, interner ids, or hash seeds — so a
 //! cache populated by one run can warm the next. This module snapshots a
-//! cache to a versioned binary file ([`save`]) and restores it
-//! ([`load`]), turning corpus-scale workloads into incremental ones: the
-//! second process over the same predicate library starts with every
-//! previously established entailment already answered.
+//! cache to a versioned binary file ([`save`]), restores it ([`load`]),
+//! and folds sibling snapshots into an already-live cache ([`merge`]),
+//! turning corpus-scale workloads into incremental ones: the second
+//! process over the same predicate library starts with every previously
+//! established entailment already answered.
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! A fixed header — magic `SLNGCACH`, format version, FNV-1a checksum of
-//! the body — followed by the body: the environment fingerprint of the
-//! saving engine ([`crate::env_fingerprint`]) and the length-prefixed
-//! entries. Everything is little-endian. Three safety properties:
+//! the body — followed by the body:
+//!
+//! ```text
+//! env_tag: u64            ; overall environment fingerprint
+//! types_tag: u64          ; fingerprint of the TypeEnv alone
+//! generation: u64         ; save time (ms since epoch), newest-wins merge order
+//! npreds: u64             ; per-predicate fingerprint table
+//!   (name: string, fingerprint: u64)*
+//! nentries: u64
+//!   entry*                ; scope, canonical text, pred-mention indices, verdict
+//! ```
+//!
+//! Everything is little-endian. Safety properties:
 //!
 //! * **Versioned**: a file written by an incompatible format version is
 //!   rejected with [`PersistError::UnsupportedVersion`], never
@@ -21,15 +32,17 @@
 //! * **Checksummed**: torn writes and bit rot fail the body checksum and
 //!   are rejected with [`PersistError::Corrupted`] (every read is also
 //!   bounds-checked, so truncation cannot panic).
-//! * **Environment-keyed**: the header records the fingerprint of the
-//!   `(TypeEnv, PredEnv)` pair the entries were computed under; loading
-//!   into an engine with a different fingerprint — a stale predicate
-//!   library, a changed struct layout — is rejected with
-//!   [`PersistError::FingerprintMismatch`] instead of serving wrong
-//!   verdicts.
+//! * **Environment-keyed, per predicate**: the header records one
+//!   fingerprint per predicate definition (plus a whole-`TypeEnv` tag).
+//!   A changed type environment rejects the file wholesale
+//!   ([`PersistError::FingerprintMismatch`]); a *partial*
+//!   predicate-library change drops only the entries whose formulas
+//!   (transitively) touch a changed, removed, or renamed predicate —
+//!   the survivors are loaded and the drop is reported as
+//!   [`PersistError::PartialStale`].
 //!
-//! Entries restored by [`load`] are marked *warm*: hits on them are
-//! reported in [`CacheStats::warm_hits`](crate::CacheStats::warm_hits)
+//! Entries restored by [`load`] or [`merge`] are marked *warm*: hits on
+//! them are reported in [`CacheStats::warm_hits`](crate::CacheStats::warm_hits)
 //! so callers can observe how much a warm start actually saved.
 //!
 //! Saves are atomic (write to a sibling temp file, then rename), so a
@@ -40,21 +53,43 @@
 //! have sat untouched for at least a minute; in-flight saves — which
 //! hold their temp for milliseconds — are never affected).
 //!
+//! # Load vs merge
+//!
+//! [`load`] is the boot path: it assumes an empty (or expendable)
+//! cache, replaces colliding entries unconditionally, and surfaces
+//! partial staleness as a typed error so the caller can decide to
+//! rewrite the snapshot. [`merge`] is the fold path for long-lived
+//! processes absorbing sibling snapshots: collisions resolve
+//! newest-generation-wins (live-computed entries always win), capacity
+//! is enforced without evicting live entries, and the outcome is
+//! returned as counts ([`MergeStats`]) because a partially stale
+//! sibling is routine, not exceptional.
+//!
 //! # Examples
 //!
 //! Round-trip an (empty) cache and observe the fingerprint guard:
 //!
 //! ```
-//! use sling_checker::{persist, CheckCache};
+//! use sling_checker::{persist, CheckCache, EnvProfile};
+//! use sling_logic::{FieldDef, FieldTy, PredEnv, StructDef, Symbol, TypeEnv};
 //!
+//! let profile = EnvProfile::new(&TypeEnv::new(), &PredEnv::new());
 //! let path = std::env::temp_dir().join(format!("sling-doc-cache-{}.bin", std::process::id()));
 //! let cache = CheckCache::new();
-//! persist::save(&cache, 42, &path)?;
+//! persist::save(&cache, &profile, &path)?;
 //!
 //! let restored = CheckCache::new();
-//! assert_eq!(persist::load(&restored, 42, &path)?, 0);
+//! assert_eq!(persist::load(&restored, &profile, &path)?, 0);
+//!
+//! // A different *type* environment rejects the file wholesale.
+//! let mut other_types = TypeEnv::new();
+//! other_types.define(StructDef {
+//!     name: Symbol::intern("DocNode"),
+//!     fields: vec![FieldDef { name: Symbol::intern("next"), ty: FieldTy::Int }],
+//! })?;
+//! let other = EnvProfile::new(&other_types, &PredEnv::new());
 //! assert!(matches!(
-//!     persist::load(&restored, 7, &path), // different predicate library
+//!     persist::load(&restored, &other, &path),
 //!     Err(persist::PersistError::FingerprintMismatch { .. })
 //! ));
 //! std::fs::remove_file(&path).ok();
@@ -62,9 +97,11 @@
 //! ```
 //!
 //! Engines wire this through
-//! `EngineBuilder::cache_path(..)` / `Engine::save_cache()` in the
-//! `sling` crate; this module is the format layer underneath.
+//! `EngineBuilder::cache_path(..)` / `Engine::save_cache()` /
+//! `Engine::absorb_snapshot(..)` in the `sling` crate; this module is
+//! the format layer underneath.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -72,15 +109,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sling_logic::Symbol;
 
-use crate::cache::{fnv1a, CacheKey, CachedReduction, CanonName, CanonVal, CheckCache, QueryScope};
+use crate::cache::{
+    fnv1a, CacheKey, CachedReduction, CanonName, CanonVal, CheckCache, EnvProfile, QueryScope,
+};
 
 /// Leading bytes of every snapshot file.
 const MAGIC: &[u8; 8] = b"SLNGCACH";
 
 /// Current format version; bump on any layout change.
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 
-/// Why a snapshot file could not be loaded.
+/// Why a snapshot file could not be loaded (or was loaded only
+/// partially).
 #[derive(Debug)]
 pub enum PersistError {
     /// The file could not be read at all.
@@ -91,14 +131,29 @@ pub enum PersistError {
     /// The file is a snapshot, but written by an incompatible format
     /// version.
     UnsupportedVersion(u32),
-    /// The snapshot was computed under a different `(TypeEnv, PredEnv)`
-    /// pair — e.g. a stale predicate library — and its verdicts must not
-    /// be reused.
+    /// The snapshot's *type environment* differs from the loading
+    /// engine's — struct layouts feed every verdict, so nothing in the
+    /// file can be reused.
     FingerprintMismatch {
-        /// The fingerprint the loading engine runs under.
+        /// The type-environment fingerprint the loading engine runs
+        /// under.
         expected: u64,
         /// The fingerprint recorded in the file.
         found: u64,
+    },
+    /// The predicate library changed *partially* since the snapshot was
+    /// saved. The `kept` entries — those touching only unchanged
+    /// predicates — **were loaded** into the cache before this error
+    /// was returned; only the `dropped` entries, whose formulas touch a
+    /// changed, removed, or renamed predicate, were discarded. Callers
+    /// that treat the cache as an optimization count `kept` as the warm
+    /// size and may want to re-save to shed the stale portion.
+    PartialStale {
+        /// Entries restored (valid under the current environment).
+        kept: u64,
+        /// Entries discarded because a predicate they depend on
+        /// changed.
+        dropped: u64,
     },
 }
 
@@ -115,8 +170,13 @@ impl std::fmt::Display for PersistError {
             }
             PersistError::FingerprintMismatch { expected, found } => write!(
                 f,
-                "cache snapshot was computed under a different environment \
+                "cache snapshot was computed under a different type environment \
                  (expected fingerprint {expected:#018x}, file has {found:#018x})"
+            ),
+            PersistError::PartialStale { kept, dropped } => write!(
+                f,
+                "cache snapshot partially stale: {kept} entries restored, \
+                 {dropped} dropped for touching changed predicates"
             ),
         }
     }
@@ -137,58 +197,147 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// Snapshots every entry of `cache` computed under `env_tag` to `path`,
-/// returning how many entries were written. The write is atomic: a
-/// sibling temp file is renamed over `path` only once fully written.
-pub fn save(cache: &CheckCache, env_tag: u64, path: &Path) -> io::Result<u64> {
-    let entries = cache.entries_for(env_tag);
+/// Outcome of folding one snapshot into a live cache with [`merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Entries inserted (or replacing an older-generation entry).
+    pub merged: u64,
+    /// Entries skipped on collision (the resident entry was newer or
+    /// equal in generation) or because their shard was at capacity.
+    pub skipped: u64,
+    /// Entries dropped for touching a predicate whose definition
+    /// changed since the snapshot was saved.
+    pub stale: u64,
+}
+
+impl std::fmt::Display for MergeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} merged, {} skipped, {} stale",
+            self.merged, self.skipped, self.stale
+        )
+    }
+}
+
+/// Milliseconds since the Unix epoch — the snapshot generation stamp
+/// ordering newest-wins merges.
+fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Snapshots every entry of `cache` computed under `profile`'s
+/// environment to `path`, returning how many entries were written. The
+/// write is atomic: a sibling temp file is renamed over `path` only
+/// once fully written.
+///
+/// The snapshot's generation stamp is the current wall-clock time, but
+/// never at or below the highest generation this cache has absorbed —
+/// so a process that merged a future-stamped sibling (cross-host clock
+/// skew) still writes snapshots that win newest-generation [`merge`]
+/// collisions against it. Wall clocks remain the cross-host ordering,
+/// so skew between hosts that never exchange snapshots can still
+/// mis-order; a shared directory self-corrects after one merge-save
+/// cycle.
+pub fn save(cache: &CheckCache, profile: &EnvProfile, path: &Path) -> io::Result<u64> {
+    let generation = now_millis().max(cache.max_generation().saturating_add(1));
+    save_at(cache, profile, path, generation)
+}
+
+/// [`save`] with an explicit generation stamp (tests pin generations to
+/// make newest-wins merging deterministic).
+pub(crate) fn save_at(
+    cache: &CheckCache,
+    profile: &EnvProfile,
+    path: &Path,
+    generation: u64,
+) -> io::Result<u64> {
+    let entries = cache.entries_for(profile.env_tag());
+    let table: Vec<(Symbol, u64)> = profile.pred_table().collect();
+    let index_of: BTreeMap<Symbol, u32> = table
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (*name, i as u32))
+        .collect();
 
     let mut body = Vec::with_capacity(64 + 128 * entries.len());
-    write_u64(&mut body, env_tag);
-    write_u64(&mut body, entries.len() as u64);
-    for (key, value) in &entries {
-        write_u64(&mut body, key.scope.node_budget);
-        write_u32(&mut body, key.scope.fuel_slack);
-        write_bytes(&mut body, key.text.as_bytes());
-        match value {
-            None => body.push(0),
+    write_u64(&mut body, profile.env_tag());
+    write_u64(&mut body, profile.types_tag());
+    write_u64(&mut body, generation);
+    write_u64(&mut body, table.len() as u64);
+    for (name, fingerprint) in &table {
+        write_bytes(&mut body, name.as_str().as_bytes());
+        write_u64(&mut body, *fingerprint);
+    }
+    // Entries serialize into their own buffer first, so the count
+    // written is exactly the count serialized. An entry whose mention
+    // set escapes the profile's table cannot be expressed (and could
+    // not be validated on load); it is skipped — mentions always come
+    // from formulas checked under this environment, so in practice
+    // nothing is.
+    let mut written = 0u64;
+    let mut entry_bytes = Vec::with_capacity(128 * entries.len());
+    for entry in &entries {
+        let Some(indices) = entry
+            .preds
+            .iter()
+            .map(|name| index_of.get(name).copied())
+            .collect::<Option<Vec<u32>>>()
+        else {
+            continue;
+        };
+        write_u64(&mut entry_bytes, entry.key.scope.node_budget);
+        write_u32(&mut entry_bytes, entry.key.scope.fuel_slack);
+        write_bytes(&mut entry_bytes, entry.key.text.as_bytes());
+        write_u32(&mut entry_bytes, indices.len() as u32);
+        for index in &indices {
+            write_u32(&mut entry_bytes, *index);
+        }
+        match &entry.value {
+            None => entry_bytes.push(0),
             Some(red) => {
-                body.push(1);
-                write_u32(&mut body, red.residual.len() as u32);
+                entry_bytes.push(1);
+                write_u32(&mut entry_bytes, red.residual.len() as u32);
                 for id in &red.residual {
-                    write_u32(&mut body, *id);
+                    write_u32(&mut entry_bytes, *id);
                 }
-                write_u32(&mut body, red.inst.len() as u32);
+                write_u32(&mut entry_bytes, red.inst.len() as u32);
                 for (name, val) in &red.inst {
                     match name {
                         CanonName::Binder(i) => {
-                            body.push(0);
-                            write_u32(&mut body, *i);
+                            entry_bytes.push(0);
+                            write_u32(&mut entry_bytes, *i);
                         }
                         CanonName::Free(sym) => {
-                            body.push(1);
-                            write_bytes(&mut body, sym.as_str().as_bytes());
+                            entry_bytes.push(1);
+                            write_bytes(&mut entry_bytes, sym.as_str().as_bytes());
                         }
                     }
                     match val {
-                        CanonVal::Nil => body.push(0),
+                        CanonVal::Nil => entry_bytes.push(0),
                         CanonVal::Int(k) => {
-                            body.push(1);
-                            write_u64(&mut body, *k as u64);
+                            entry_bytes.push(1);
+                            write_u64(&mut entry_bytes, *k as u64);
                         }
                         CanonVal::InHeap(id) => {
-                            body.push(2);
-                            write_u32(&mut body, *id);
+                            entry_bytes.push(2);
+                            write_u32(&mut entry_bytes, *id);
                         }
                         CanonVal::Dangling(id) => {
-                            body.push(3);
-                            write_u32(&mut body, *id);
+                            entry_bytes.push(3);
+                            write_u32(&mut entry_bytes, *id);
                         }
                     }
                 }
             }
         }
+        written += 1;
     }
+    write_u64(&mut body, written);
+    body.extend_from_slice(&entry_bytes);
 
     let mut file = Vec::with_capacity(MAGIC.len() + 12 + body.len());
     file.extend_from_slice(MAGIC);
@@ -211,7 +360,7 @@ pub fn save(cache: &CheckCache, env_tag: u64, path: &Path) -> io::Result<u64> {
     match fs::rename(&tmp, path) {
         Ok(()) => {
             sweep_stale_temps(path);
-            Ok(entries.len() as u64)
+            Ok(written)
         }
         Err(e) => {
             fs::remove_file(&tmp).ok();
@@ -270,17 +419,30 @@ fn sweep_stale_temps(path: &Path) {
     }
 }
 
-/// Loads the snapshot at `path` into `cache`, marking every restored
-/// entry warm, and returns how many entries were actually retained
-/// (less than the file's entry count when the target cache is near its
-/// capacity). `env_tag` must match the fingerprint recorded in the
-/// file; see [`PersistError`] for the rejection cases. The target cache
-/// is only modified after the whole file has validated, so a rejected
-/// load leaves it untouched.
-pub fn load(cache: &CheckCache, env_tag: u64, path: &Path) -> Result<u64, PersistError> {
-    sweep_stale_temps(path);
-    let bytes = fs::read(path)?;
-    let mut r = Reader::new(&bytes);
+/// One entry parsed out of a snapshot, already validated against the
+/// loading environment (stale entries are dropped during parsing).
+struct ParsedEntry {
+    key: CacheKey,
+    value: Option<CachedReduction>,
+    preds: Vec<Symbol>,
+}
+
+/// A fully parsed, environment-validated snapshot.
+struct ParsedSnapshot {
+    generation: u64,
+    entries: Vec<ParsedEntry>,
+    /// Entries discarded for touching changed predicates.
+    dropped: u64,
+}
+
+/// Parses and validates a snapshot against `profile`. Structural
+/// problems (corruption, truncation, version skew) and a changed type
+/// environment are errors; a partially changed predicate library drops
+/// the affected entries and reports them in
+/// [`ParsedSnapshot::dropped`]. The cache is untouched — callers insert
+/// the surviving entries with their own collision policy.
+fn parse_snapshot(bytes: &[u8], profile: &EnvProfile) -> Result<ParsedSnapshot, PersistError> {
+    let mut r = Reader::new(bytes);
 
     let magic = r.take(MAGIC.len())?;
     if magic != MAGIC {
@@ -296,27 +458,47 @@ pub fn load(cache: &CheckCache, env_tag: u64, path: &Path) -> Result<u64, Persis
         return Err(PersistError::Corrupted("checksum mismatch".into()));
     }
 
-    let found = r.u64()?;
-    if found != env_tag {
+    let file_env_tag = r.u64()?;
+    let file_types_tag = r.u64()?;
+    if file_types_tag != profile.types_tag() {
         return Err(PersistError::FingerprintMismatch {
-            expected: env_tag,
-            found,
+            expected: profile.types_tag(),
+            found: file_types_tag,
         });
     }
+    let generation = r.u64()?;
+
+    let npreds = r.u64()? as usize;
+    let mut table_names: Vec<Symbol> = Vec::with_capacity(npreds.min(1 << 16));
+    let mut old_table: BTreeMap<Symbol, u64> = BTreeMap::new();
+    for _ in 0..npreds {
+        let name = Symbol::intern(&r.string()?);
+        let fingerprint = r.u64()?;
+        table_names.push(name);
+        old_table.insert(name, fingerprint);
+    }
+    // Same overall tag: the whole environment (types and every
+    // predicate) is unchanged, so per-entry validation is a no-op.
+    let env_unchanged = file_env_tag == profile.env_tag();
 
     let count = r.u64()?;
     // Parse fully before touching the cache, so a corrupted tail cannot
     // leave a half-loaded (but checksum-passing prefix) state behind.
-    let mut parsed: Vec<(CacheKey, Option<CachedReduction>)> = Vec::new();
+    let mut entries: Vec<ParsedEntry> = Vec::new();
+    let mut dropped = 0u64;
     for _ in 0..count {
         let node_budget = r.u64()?;
         let fuel_slack = r.u32()?;
         let text = r.string()?;
-        let scope = QueryScope {
-            env_tag,
-            node_budget,
-            fuel_slack,
-        };
+        let nmentions = r.u32()? as usize;
+        let mut preds = Vec::with_capacity(nmentions.min(1 << 16));
+        for _ in 0..nmentions {
+            let index = r.u32()? as usize;
+            let name = table_names.get(index).copied().ok_or_else(|| {
+                PersistError::Corrupted(format!("pred index {index} out of range"))
+            })?;
+            preds.push(name);
+        }
         let value = match r.u8()? {
             0 => None,
             1 => {
@@ -350,21 +532,93 @@ pub fn load(cache: &CheckCache, env_tag: u64, path: &Path) -> Result<u64, Persis
             }
             t => return Err(PersistError::Corrupted(format!("bad verdict tag {t}"))),
         };
-        parsed.push((CacheKey::new(scope, text), value));
+        if !env_unchanged && !profile.closure_unchanged(&old_table, &preds) {
+            dropped += 1;
+            continue;
+        }
+        // Entries are re-keyed under the *loading* environment's tag:
+        // their validated predicate closure is unchanged, so verdicts
+        // transfer, and re-keying is what lets them answer this
+        // process's queries.
+        let scope = QueryScope {
+            env_tag: profile.env_tag(),
+            node_budget,
+            fuel_slack,
+        };
+        entries.push(ParsedEntry {
+            key: CacheKey::new(scope, text),
+            value,
+            preds,
+        });
     }
     if r.pos != bytes.len() {
         return Err(PersistError::Corrupted(
             "trailing bytes after entries".into(),
         ));
     }
+    Ok(ParsedSnapshot {
+        generation,
+        entries,
+        dropped,
+    })
+}
 
+/// Loads the snapshot at `path` into `cache`, marking every restored
+/// entry warm, and returns how many entries were actually retained
+/// (less than the file's entry count when the target cache is near its
+/// capacity). The snapshot must have been saved under the same type
+/// environment; see [`PersistError`] for the rejection cases.
+///
+/// A *partial* predicate-library change is not a rejection: entries
+/// touching only unchanged predicates are loaded, the rest are dropped,
+/// and the split is reported as [`PersistError::PartialStale`] — the
+/// cache **does** hold the `kept` entries when that error is returned.
+/// Structurally invalid files leave the cache untouched.
+pub fn load(cache: &CheckCache, profile: &EnvProfile, path: &Path) -> Result<u64, PersistError> {
+    sweep_stale_temps(path);
+    let bytes = fs::read(path)?;
+    let parsed = parse_snapshot(&bytes, profile)?;
     let mut loaded = 0;
-    for (key, value) in parsed {
-        if cache.store_warm(key, value) {
+    for entry in parsed.entries {
+        if cache.store_warm(entry.key, entry.value, &entry.preds, parsed.generation) {
             loaded += 1;
         }
     }
+    if parsed.dropped > 0 {
+        return Err(PersistError::PartialStale {
+            kept: loaded,
+            dropped: parsed.dropped,
+        });
+    }
     Ok(loaded)
+}
+
+/// Folds the snapshot at `path` into an already-live `cache`:
+/// collisions resolve newest-generation-wins (entries computed live in
+/// this process always beat snapshot entries; between snapshots the
+/// later save wins), capacity is enforced without evicting live
+/// entries, and entries touching changed predicates are dropped. The
+/// counts come back as [`MergeStats`]; only structural problems and a
+/// changed type environment are errors.
+pub fn merge(
+    cache: &CheckCache,
+    profile: &EnvProfile,
+    path: &Path,
+) -> Result<MergeStats, PersistError> {
+    let bytes = fs::read(path)?;
+    let parsed = parse_snapshot(&bytes, profile)?;
+    let mut stats = MergeStats {
+        stale: parsed.dropped,
+        ..MergeStats::default()
+    };
+    for entry in parsed.entries {
+        if cache.merge_warm(entry.key, entry.value, &entry.preds, parsed.generation) {
+            stats.merged += 1;
+        } else {
+            stats.skipped += 1;
+        }
+    }
+    Ok(stats)
 }
 
 fn write_u32(out: &mut Vec<u8>, n: u32) {
@@ -493,9 +747,10 @@ mod tests {
     #[test]
     fn round_trip_restores_verdicts_and_counts_warm_hits() {
         let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
         let cache = CheckCache::new();
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
-        let env_tag = ctx.env_tag;
+        assert_eq!(ctx.env_tag, profile.env_tag());
         let f = parse_formula("plist(x)").unwrap();
         // Populate: positive verdicts of several shapes, one negative.
         for n in 0..4 {
@@ -511,13 +766,13 @@ mod tests {
         let saved_stats = cache.stats();
 
         let path = temp_path("round-trip");
-        let written = save(&cache, env_tag, &path).unwrap();
+        let written = save(&cache, &profile, &path).unwrap();
         assert_eq!(written, saved_stats.entries);
 
         // A fresh cache in a "new process": every verdict is answered
         // warm, bit-identically to an uncached search.
         let warm = CheckCache::new();
-        let loaded = load(&warm, env_tag, &path).unwrap();
+        let loaded = load(&warm, &profile, &path).unwrap();
         assert_eq!(loaded, written);
         assert_eq!(warm.stats().entries, saved_stats.entries);
 
@@ -549,23 +804,42 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_fingerprint_is_rejected_and_cache_untouched() {
+    fn mismatched_types_are_rejected_and_cache_untouched() {
         let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
         let cache = CheckCache::new();
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
         let f = parse_formula("plist(x)").unwrap();
         let _ = ctx.check(&list_model(3, 1), &f);
 
         let path = temp_path("fingerprint");
-        save(&cache, ctx.env_tag, &path).unwrap();
+        save(&cache, &profile, &path).unwrap();
 
+        // A different struct layout: the file is rejected wholesale.
+        let mut other_types = TypeEnv::new();
+        other_types
+            .define(StructDef {
+                name: sym("PersistNode"),
+                fields: vec![
+                    FieldDef {
+                        name: sym("next"),
+                        ty: FieldTy::Ptr(sym("PersistNode")),
+                    },
+                    FieldDef {
+                        name: sym("extra"),
+                        ty: FieldTy::Int,
+                    },
+                ],
+            })
+            .unwrap();
+        let other_profile = EnvProfile::new(&other_types, &preds);
         let other = CheckCache::new();
-        let err = load(&other, ctx.env_tag ^ 1, &path).unwrap_err();
+        let err = load(&other, &other_profile, &path).unwrap_err();
         assert!(!err.to_string().is_empty());
         match err {
             PersistError::FingerprintMismatch { expected, found } => {
-                assert_eq!(expected, ctx.env_tag ^ 1);
-                assert_eq!(found, ctx.env_tag);
+                assert_eq!(expected, other_profile.types_tag());
+                assert_eq!(found, profile.types_tag());
             }
             unexpected => panic!("expected FingerprintMismatch, got {unexpected:?}"),
         }
@@ -574,8 +848,299 @@ mod tests {
     }
 
     #[test]
+    fn partial_predicate_change_drops_only_touching_entries() {
+        // Two independent predicates in one library; entries for each.
+        // Changing one drops exactly its entries and keeps the other's.
+        let node = sym("PartialNode");
+        let mut types = TypeEnv::new();
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                }],
+            })
+            .unwrap();
+        let preds_src = |qlist_base: &str| {
+            format!(
+                "pred qlist(x: PartialNode*) := {qlist_base}
+                   | exists u. x -> PartialNode{{next: u}} * qlist(u);
+                 pred rcell(x: PartialNode*) := exists u. x -> PartialNode{{next: u}};"
+            )
+        };
+        let mk_preds = |src: &str| {
+            let mut env = PredEnv::new();
+            for d in parse_predicates(src).unwrap() {
+                env.define(d).unwrap();
+            }
+            env
+        };
+        let preds_v1 = mk_preds(&preds_src("emp & x == nil"));
+        let profile_v1 = EnvProfile::new(&types, &preds_v1);
+
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds_v1, Default::default(), &cache);
+        assert!(ctx
+            .check(
+                &list_model_of(node, 2, 1),
+                &parse_formula("qlist(x)").unwrap()
+            )
+            .is_some());
+        assert!(ctx
+            .check(
+                &list_model_of(node, 1, 9),
+                &parse_formula("rcell(x)").unwrap()
+            )
+            .is_some());
+        assert_eq!(cache.stats().entries, 2);
+
+        let path = temp_path("partial");
+        assert_eq!(save(&cache, &profile_v1, &path).unwrap(), 2);
+
+        // v2: qlist's base case changed; rcell is untouched.
+        let preds_v2 = mk_preds(&preds_src("emp & x == x"));
+        let profile_v2 = EnvProfile::new(&types, &preds_v2);
+        assert_ne!(profile_v1.env_tag(), profile_v2.env_tag());
+
+        let warm = CheckCache::new();
+        match load(&warm, &profile_v2, &path) {
+            Err(PersistError::PartialStale { kept, dropped }) => {
+                assert_eq!((kept, dropped), (1, 1));
+            }
+            other => panic!("expected PartialStale, got {other:?}"),
+        }
+        assert_eq!(warm.stats().entries, 1, "the rcell entry survives");
+
+        // The survivor answers rcell queries warm under the new env.
+        let warm_ctx = CheckCtx::with_cache(&types, &preds_v2, Default::default(), &warm);
+        assert!(warm_ctx
+            .check(
+                &list_model_of(node, 1, 40),
+                &parse_formula("rcell(x)").unwrap()
+            )
+            .is_some());
+        let stats = warm.stats();
+        assert_eq!(
+            (stats.hits, stats.warm_hits, stats.misses),
+            (1, 1, 0),
+            "{stats:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_invalidation_follows_predicate_dependencies() {
+        // wrap calls through to inner; changing *inner* must drop
+        // entries whose formulas only mention wrap.
+        let node = sym("DepNode");
+        let mut types = TypeEnv::new();
+        types
+            .define(StructDef {
+                name: node,
+                fields: vec![FieldDef {
+                    name: sym("next"),
+                    ty: FieldTy::Ptr(node),
+                }],
+            })
+            .unwrap();
+        let src = |inner_base: &str| {
+            format!(
+                "pred inner(x: DepNode*) := {inner_base}
+                   | exists u. x -> DepNode{{next: u}} * inner(u);
+                 pred wrap(x: DepNode*) := inner(x);"
+            )
+        };
+        let mk = |s: &str| {
+            let mut env = PredEnv::new();
+            for d in parse_predicates(s).unwrap() {
+                env.define(d).unwrap();
+            }
+            env
+        };
+        let v1 = mk(&src("emp & x == nil"));
+        let p1 = EnvProfile::new(&types, &v1);
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &v1, Default::default(), &cache);
+        assert!(ctx
+            .check(
+                &list_model_of(node, 2, 1),
+                &parse_formula("wrap(x)").unwrap()
+            )
+            .is_some());
+
+        let path = temp_path("deps");
+        assert!(save(&cache, &p1, &path).unwrap() > 0);
+
+        let v2 = mk(&src("emp & x == x"));
+        let p2 = EnvProfile::new(&types, &v2);
+        let warm = CheckCache::new();
+        match load(&warm, &p2, &path) {
+            Err(PersistError::PartialStale { kept, dropped }) => {
+                assert_eq!(kept, 0, "wrap depends on the changed inner");
+                assert!(dropped > 0);
+            }
+            other => panic!("expected PartialStale, got {other:?}"),
+        }
+        assert_eq!(warm.stats().entries, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `list_model` over an arbitrary node type.
+    fn list_model_of(node: Symbol, n: u64, base: u64) -> StackHeapModel {
+        let mut heap = Heap::new();
+        for i in 0..n {
+            let next = if i + 1 < n {
+                Val::Addr(Loc::new(base + i + 1))
+            } else {
+                Val::Nil
+            };
+            heap.insert(Loc::new(base + i), HeapCell::new(node, vec![next]));
+        }
+        let mut stack = Stack::new();
+        let head = if n == 0 {
+            Val::Nil
+        } else {
+            Val::Addr(Loc::new(base))
+        };
+        stack.bind(sym("x"), head);
+        StackHeapModel::new(stack, heap)
+    }
+
+    #[test]
+    fn merge_overlapping_snapshots_is_newest_wins_union() {
+        // Two caches with one shared key holding *different* synthetic
+        // values (impossible via checking, handcrafted here) and one
+        // private key each: merging both must produce the three-key
+        // union with the newer generation winning the collision.
+        let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
+        let scope = QueryScope {
+            env_tag: profile.env_tag(),
+            node_budget: 7,
+            fuel_slack: 3,
+        };
+        let key = |text: &str| CacheKey::new(scope, text.to_string());
+        let red = |ids: &[u32]| {
+            Some(CachedReduction {
+                residual: ids.to_vec(),
+                inst: Vec::new(),
+            })
+        };
+
+        let older = CheckCache::new();
+        older.store(key("shared"), red(&[1]), &[]);
+        older.store(key("only-old"), red(&[2]), &[]);
+        let newer = CheckCache::new();
+        newer.store(key("shared"), red(&[9]), &[]);
+        newer.store(key("only-new"), red(&[3]), &[]);
+
+        let dir = std::env::temp_dir();
+        let old_path = dir.join(format!("sling-merge-old-{}.snap", std::process::id()));
+        let new_path = dir.join(format!("sling-merge-new-{}.snap", std::process::id()));
+        save_at(&older, &profile, &old_path, 100).unwrap();
+        save_at(&newer, &profile, &new_path, 200).unwrap();
+
+        // Merge in both orders: the result must be identical.
+        for order in [[&old_path, &new_path], [&new_path, &old_path]] {
+            let live = CheckCache::new();
+            let mut totals = MergeStats::default();
+            for p in order {
+                let stats = merge(&live, &profile, p).unwrap();
+                totals.merged += stats.merged;
+                totals.skipped += stats.skipped;
+            }
+            assert_eq!(live.stats().entries, 3, "union of both key sets");
+            // 4 entries offered; every offer is accounted either way.
+            // Old-then-new replaces the shared key (counted merged);
+            // new-then-old skips the older shared offer.
+            assert_eq!(totals.merged + totals.skipped, 4);
+            assert!(totals.merged >= 3, "{totals:?}");
+            let winner = live.lookup(&key("shared")).expect("shared key present");
+            assert_eq!(
+                winner.expect("positive verdict").residual,
+                vec![9],
+                "the newer generation must win the collision"
+            );
+        }
+        std::fs::remove_file(&old_path).ok();
+        std::fs::remove_file(&new_path).ok();
+    }
+
+    #[test]
+    fn merge_never_replaces_live_entries() {
+        let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
+        let scope = QueryScope {
+            env_tag: profile.env_tag(),
+            node_budget: 1,
+            fuel_slack: 1,
+        };
+        let key = CacheKey::new(scope, "live-vs-snapshot".to_string());
+        let snapshot_cache = CheckCache::new();
+        snapshot_cache.store(
+            key.clone(),
+            Some(CachedReduction {
+                residual: vec![5],
+                inst: Vec::new(),
+            }),
+            &[],
+        );
+        let path = temp_path("live-wins");
+        save_at(&snapshot_cache, &profile, &path, u64::MAX - 1).unwrap();
+
+        // The live cache computed its own verdict for the same key.
+        let live = CheckCache::new();
+        live.store(
+            key.clone(),
+            Some(CachedReduction {
+                residual: vec![8],
+                inst: Vec::new(),
+            }),
+            &[],
+        );
+        let stats = merge(&live, &profile, &path).unwrap();
+        assert_eq!((stats.merged, stats.skipped), (0, 1));
+        let kept = live.lookup(&key).expect("still present");
+        assert_eq!(
+            kept.expect("positive").residual,
+            vec![8],
+            "a live-computed entry beats any snapshot generation"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_respects_capacity_without_evicting() {
+        use crate::SHARD_COUNT;
+        let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
+        let cache = CheckCache::new();
+        let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
+        let f = parse_formula("plist(x)").unwrap();
+        for n in 0..(4 * SHARD_COUNT as u64) {
+            let _ = ctx.check(&list_model(n, 1), &f);
+        }
+        let path = temp_path("merge-capacity");
+        let written = save(&cache, &profile, &path).unwrap();
+
+        let tiny = CheckCache::with_capacity(SHARD_COUNT); // one entry per shard
+        let stats = merge(&tiny, &profile, &path).unwrap();
+        assert_eq!(stats.merged, tiny.stats().entries);
+        assert!(stats.merged < written);
+        assert_eq!(stats.merged + stats.skipped, written);
+        assert_eq!(
+            tiny.stats().evictions,
+            0,
+            "merging must never evict to make room"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corruption_is_rejected_cleanly() {
         let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
         let cache = CheckCache::new();
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
         let f = parse_formula("plist(x)").unwrap();
@@ -583,7 +1148,7 @@ mod tests {
             let _ = ctx.check(&list_model(n, 1), &f);
         }
         let path = temp_path("corrupt");
-        save(&cache, ctx.env_tag, &path).unwrap();
+        save(&cache, &profile, &path).unwrap();
         let good = std::fs::read(&path).unwrap();
 
         // Flip one body byte: checksum must catch it.
@@ -593,40 +1158,51 @@ mod tests {
         std::fs::write(&path, &flipped).unwrap();
         let fresh = CheckCache::new();
         assert!(matches!(
-            load(&fresh, ctx.env_tag, &path),
+            load(&fresh, &profile, &path),
             Err(PersistError::Corrupted(_))
         ));
         assert_eq!(fresh.stats().entries, 0, "rejected load must not insert");
+        assert!(matches!(
+            merge(&fresh, &profile, &path),
+            Err(PersistError::Corrupted(_))
+        ));
 
-        // Truncations anywhere must error, never panic.
-        for cut in [0, 3, 9, 13, 19, good.len() / 2, good.len() - 1] {
+        // Truncations anywhere must error, never panic — through both
+        // entry points.
+        for cut in [0, 3, 9, 13, 19, 27, 35, good.len() / 2, good.len() - 1] {
             std::fs::write(&path, &good[..cut]).unwrap();
             assert!(
-                load(&CheckCache::new(), ctx.env_tag, &path).is_err(),
+                load(&CheckCache::new(), &profile, &path).is_err(),
                 "truncation at {cut} must be rejected"
+            );
+            assert!(
+                merge(&CheckCache::new(), &profile, &path).is_err(),
+                "merge truncation at {cut} must be rejected"
             );
         }
 
         // Not a snapshot at all.
         std::fs::write(&path, b"definitely not a cache").unwrap();
         assert!(matches!(
-            load(&CheckCache::new(), ctx.env_tag, &path),
+            load(&CheckCache::new(), &profile, &path),
             Err(PersistError::Corrupted(_))
         ));
 
-        // A future format version is refused, not misparsed.
-        let mut future = good.clone();
-        future[8..12].copy_from_slice(&99u32.to_le_bytes());
-        std::fs::write(&path, &future).unwrap();
-        assert!(matches!(
-            load(&CheckCache::new(), ctx.env_tag, &path),
-            Err(PersistError::UnsupportedVersion(99))
-        ));
+        // A past or future format version is refused, not misparsed.
+        for v in [1u32, 99] {
+            let mut versioned = good.clone();
+            versioned[8..12].copy_from_slice(&v.to_le_bytes());
+            std::fs::write(&path, &versioned).unwrap();
+            assert!(matches!(
+                load(&CheckCache::new(), &profile, &path),
+                Err(PersistError::UnsupportedVersion(got)) if got == v
+            ));
+        }
 
         // A missing file surfaces as Io.
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(
-            load(&CheckCache::new(), ctx.env_tag, &path),
+            load(&CheckCache::new(), &profile, &path),
             Err(PersistError::Io(_))
         ));
     }
@@ -634,6 +1210,7 @@ mod tests {
     #[test]
     fn stale_temp_files_are_swept_on_save_and_load() {
         let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
         let cache = CheckCache::new();
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
         let f = parse_formula("plist(x)").unwrap();
@@ -664,7 +1241,7 @@ mod tests {
         std::fs::write(&fresh, b"in-flight sibling snapshot").unwrap();
         std::fs::write(&own, b"in-flight snapshot").unwrap();
 
-        save(&cache, ctx.env_tag, &path).unwrap();
+        save(&cache, &profile, &path).unwrap();
         assert!(
             !stale.exists(),
             "a successful save must sweep aged dead-process temps"
@@ -674,7 +1251,7 @@ mod tests {
 
         plant_stale();
         let restored = CheckCache::new();
-        assert!(load(&restored, ctx.env_tag, &path).unwrap() > 0);
+        assert!(load(&restored, &profile, &path).unwrap() > 0);
         assert!(!stale.exists(), "load must sweep aged temps too");
         assert!(fresh.exists());
         assert!(own.exists());
@@ -690,6 +1267,7 @@ mod tests {
         // returned count must reflect what was retained, not the file.
         use crate::SHARD_COUNT;
         let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
         let cache = CheckCache::new();
         let ctx = CheckCtx::with_cache(&types, &preds, Default::default(), &cache);
         let f = parse_formula("plist(x)").unwrap();
@@ -697,10 +1275,10 @@ mod tests {
             let _ = ctx.check(&list_model(n, 1), &f);
         }
         let path = temp_path("capacity");
-        let written = save(&cache, ctx.env_tag, &path).unwrap();
+        let written = save(&cache, &profile, &path).unwrap();
 
         let tiny = CheckCache::with_capacity(SHARD_COUNT); // one entry per shard
-        let loaded = load(&tiny, ctx.env_tag, &path).unwrap();
+        let loaded = load(&tiny, &profile, &path).unwrap();
         assert_eq!(loaded, tiny.stats().entries);
         assert!(
             loaded < written,
@@ -726,10 +1304,11 @@ mod tests {
         let _ = b.check(&list_model(2, 1), &f);
         assert_eq!(cache.stats().entries, 2);
 
+        let profile_a = EnvProfile::new(&types, &preds_real);
         let path = temp_path("filter");
-        assert_eq!(save(&cache, a.env_tag, &path).unwrap(), 1);
+        assert_eq!(save(&cache, &profile_a, &path).unwrap(), 1);
         let only_a = CheckCache::new();
-        assert_eq!(load(&only_a, a.env_tag, &path).unwrap(), 1);
+        assert_eq!(load(&only_a, &profile_a, &path).unwrap(), 1);
         std::fs::remove_file(&path).ok();
     }
 }

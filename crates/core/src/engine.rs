@@ -43,14 +43,23 @@
 //! sharded, so worker threads memoize concurrently without serializing
 //! on one lock.
 //!
-//! # Persistent cache
+//! # Cache lifecycle
 //!
 //! With [`EngineBuilder::cache_path`] the entailment cache outlives the
 //! process: `build()` warm-starts from the snapshot at that path when
-//! one exists (rejecting stale or corrupt files — see
+//! one exists (rejecting corrupt files, and — because snapshots carry
+//! one fingerprint *per predicate* — dropping only the entries that
+//! touch changed predicates when the library changed partially; see
 //! [`sling_checker::persist`]), and [`Engine::save_cache`] writes the
 //! cache back. [`CacheStats::warm_hits`] reports how many queries the
 //! restored entries answered.
+//!
+//! [`EngineBuilder::cache_capacity`] bounds the cache: past the bound,
+//! the least-recently-used entry of the landing shard is evicted
+//! ([`CacheStats::evictions`], [`CacheStats::resident_bytes`]).
+//! [`Engine::absorb_snapshot`] folds sibling processes' snapshots into
+//! the live cache, newest-generation-wins on collisions — the scale-out
+//! story for fleets sharing a snapshot directory.
 //!
 //! # Examples
 //!
@@ -99,9 +108,10 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sling_checker::{env_fingerprint, persist, CacheStats, CheckCache, CheckCtx};
+use sling_checker::{persist, CacheStats, CheckCache, CheckCtx, EnvProfile, PersistError};
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
 use sling_logic::{parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
 
@@ -171,6 +181,7 @@ pub struct EngineBuilder {
     config: SlingConfig,
     cache: Option<Arc<CheckCache>>,
     cache_path: Option<PathBuf>,
+    cache_capacity: Option<usize>,
     parallelism: Option<usize>,
 }
 
@@ -244,6 +255,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Bounds the entailment cache to roughly `capacity` entries: past
+    /// the bound the least-recently-used entry of the landing shard is
+    /// evicted to make room ([`CacheStats::evictions`] counts them, and
+    /// [`CacheStats::resident_bytes`] reports what is held). The bound
+    /// is enforced per shard, so the retained total can overshoot a
+    /// capacity that is not a multiple of the shard count by at most
+    /// `SHARD_COUNT - 1` entries.
+    ///
+    /// Ignored when [`EngineBuilder::shared_cache`] supplies the cache —
+    /// the shared cache's own capacity governs.
+    pub fn cache_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// Sets the number of worker threads the engine may use — across
     /// requests in [`Engine::analyze_all`], and across locations inside
     /// a single [`Engine::analyze`] (clamped to at least 1; `1` means
@@ -259,10 +285,20 @@ impl EngineBuilder {
         let program = self.program.ok_or(BuildError::MissingProgram)?;
         check_program(&program).map_err(|e| BuildError::Type(e.to_string()))?;
         let types = program.type_env();
-        let env_tag = env_fingerprint(&types, &self.preds);
-        let cache = self.cache.unwrap_or_default();
+        let profile = EnvProfile::new(&types, &self.preds);
+        let cache = match (self.cache, self.cache_capacity) {
+            (Some(shared), _) => shared,
+            (None, Some(capacity)) => Arc::new(CheckCache::with_capacity(capacity)),
+            (None, None) => Arc::default(),
+        };
+        // A partially stale snapshot still warms the engine with its
+        // surviving entries; only the stale subset re-runs cold.
         let warm_entries = match &self.cache_path {
-            Some(path) if path.exists() => persist::load(&cache, env_tag, path).unwrap_or(0),
+            Some(path) if path.exists() => match persist::load(&cache, &profile, path) {
+                Ok(n) => n,
+                Err(PersistError::PartialStale { kept, .. }) => kept,
+                Err(_) => 0,
+            },
             _ => 0,
         };
         Ok(Engine {
@@ -272,8 +308,8 @@ impl EngineBuilder {
             config: self.config,
             cache,
             cache_path: self.cache_path,
-            warm_entries,
-            env_tag,
+            warm_entries: AtomicU64::new(warm_entries),
+            profile,
             parallelism: self.parallelism.unwrap_or_else(default_parallelism),
         })
     }
@@ -351,11 +387,15 @@ pub struct Engine {
     /// Where [`Engine::save_cache`] persists the cache (and where the
     /// build warm-started from), if configured.
     cache_path: Option<PathBuf>,
-    /// Entries restored from `cache_path` at build time.
-    warm_entries: u64,
-    /// Environment fingerprint, computed once at build so per-request
-    /// checker contexts don't re-hash the environments.
-    env_tag: u64,
+    /// Entries restored from `cache_path` at build time plus any
+    /// absorbed later ([`Engine::absorb_snapshot`] adds to it, hence
+    /// atomic).
+    warm_entries: AtomicU64,
+    /// Environment fingerprints (overall tag, per-predicate table),
+    /// computed once at build so per-request checker contexts don't
+    /// re-hash the environments and persistence can invalidate per
+    /// predicate.
+    profile: EnvProfile,
     parallelism: usize,
 }
 
@@ -396,9 +436,10 @@ impl Engine {
     }
 
     /// Entries restored from the [`EngineBuilder::cache_path`] snapshot
-    /// when this engine was built (`0` for a cold start).
+    /// when this engine was built, plus entries folded in later by
+    /// [`Engine::absorb_snapshot`] (`0` for a cold start).
     pub fn warm_entries(&self) -> u64 {
-        self.warm_entries
+        self.warm_entries.load(Ordering::Relaxed)
     }
 
     /// The persistent-cache snapshot path configured via
@@ -421,13 +462,34 @@ impl Engine {
                 "no cache path configured: call EngineBuilder::cache_path(..)",
             ));
         };
-        persist::save(&self.cache, self.env_tag, path)
+        persist::save(&self.cache, &self.profile, path)
     }
 
     /// [`Engine::save_cache`] to an explicit path (the configured
     /// [`EngineBuilder::cache_path`], if any, is ignored).
     pub fn save_cache_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<u64> {
-        persist::save(&self.cache, self.env_tag, path.as_ref())
+        persist::save(&self.cache, &self.profile, path.as_ref())
+    }
+
+    /// Folds a sibling process's snapshot into this engine's *live*
+    /// cache ([`sling_checker::persist::merge`]): key collisions
+    /// resolve newest-generation-wins (entries this engine computed
+    /// itself always win), capacity is respected without evicting live
+    /// entries, and entries touching predicates whose definitions
+    /// changed since the sibling saved are dropped. Merged entries are
+    /// warm — hits on them count in [`CacheStats::warm_hits`] — and
+    /// [`Engine::warm_entries`] grows by the merged count.
+    ///
+    /// Long-lived services use this at boot to fold every snapshot in a
+    /// cache directory instead of loading exactly one; see
+    /// `sling-serve`'s directory mode.
+    pub fn absorb_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<persist::MergeStats, PersistError> {
+        let stats = persist::merge(&self.cache, &self.profile, path.as_ref())?;
+        self.warm_entries.fetch_add(stats.merged, Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// Drops every memoized entailment (counters are kept). Long-lived
@@ -444,7 +506,7 @@ impl Engine {
             preds: &self.preds,
             config: config.check,
             cache: Some(&self.cache),
-            env_tag: self.env_tag,
+            env_tag: self.profile.env_tag(),
         }
     }
 

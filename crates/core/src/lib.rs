@@ -133,5 +133,5 @@ pub use wire::WireError;
 
 // Re-exported so spec construction and cache persistence need no direct
 // `sling_lang` / `sling_checker` import.
-pub use sling_checker::{persist, CacheStats, CheckCache, PersistError};
+pub use sling_checker::{persist, CacheStats, CheckCache, EnvProfile, MergeStats, PersistError};
 pub use sling_lang::{DataOrder, ListLayout, TreeKind, TreeLayout};

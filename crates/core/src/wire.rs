@@ -7,10 +7,10 @@
 //! space-separated tokens, opened by the protocol tag [`WIRE_VERSION`]
 //! and a frame kind, followed by the typed payload.
 //!
-//! # Grammar (version `sling1`)
+//! # Grammar (version `sling2`)
 //!
 //! ```text
-//! frame      := "sling1" SP kind SP payload          ; one line, LF-terminated on the wire
+//! frame      := "sling2" SP kind SP payload          ; one line, LF-terminated on the wire
 //! token      := atom | string | integer
 //! atom       := [^ "\n]+                             ; bare word (tags, numbers)
 //! string     := '"' escaped* '"'                     ; \\ \" \n \r \t escapes
@@ -36,7 +36,7 @@
 //!               nresidues:u64 heap* nactivations:u64 u64*
 //! locreport  := location models:u64 snaps:u64 tainted:bool ninv:u64 invariant*
 //! metrics    := traces:u64 runs:u64 faulted:u64 workers:u64 seconds:f64bits
-//! cache      := hits:u64 warm:u64 misses:u64 entries:u64
+//! cache      := hits:u64 warm:u64 misses:u64 entries:u64 evictions:u64 resident:u64
 //! report     := target:string metrics cache ndecl:u64 location* nlocs:u64 locreport*
 //! ```
 //!
@@ -75,7 +75,10 @@ use crate::spec::{InputSpec, ValueSpec};
 use crate::CacheStats;
 
 /// Protocol tag opening every frame; bump on any grammar change.
-pub const WIRE_VERSION: &str = "sling1";
+/// (`sling2` extended `cachestats` with eviction and residency
+/// counters; `sling1` peers are rejected with [`WireError::Version`]
+/// rather than misparsed.)
+pub const WIRE_VERSION: &str = "sling2";
 
 /// Why a wire frame could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -746,6 +749,8 @@ pub fn write_cache_stats(w: &mut WireWriter, s: &CacheStats) {
     w.u64(s.warm_hits);
     w.u64(s.misses);
     w.u64(s.entries);
+    w.u64(s.evictions);
+    w.u64(s.resident_bytes);
 }
 
 /// Reads [`CacheStats`] from an open frame.
@@ -755,6 +760,8 @@ pub fn read_cache_stats(r: &mut WireReader<'_>) -> Result<CacheStats, WireError>
         warm_hits: r.u64()?,
         misses: r.u64()?,
         entries: r.u64()?,
+        evictions: r.u64()?,
+        resident_bytes: r.u64()?,
     })
 }
 

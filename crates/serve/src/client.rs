@@ -22,6 +22,16 @@ pub enum ServeError {
     Protocol(String),
     /// The server reported a failure (`error` frame).
     Remote(String),
+    /// The server is at its connection bound (`busy` frame) and closed
+    /// the connection; retrying later — [`Client::connect_retry`] does —
+    /// is the expected recovery.
+    Busy {
+        /// Connections the server was handling when it turned this one
+        /// away.
+        active: u64,
+        /// The server's configured connection bound.
+        max: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +41,10 @@ impl fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "serve frame error: {e}"),
             ServeError::Protocol(why) => write!(f, "serve protocol violation: {why}"),
             ServeError::Remote(why) => write!(f, "server rejected the batch: {why}"),
+            ServeError::Busy { active, max } => write!(
+                f,
+                "server is at its connection bound ({active}/{max}); retry later"
+            ),
         }
     }
 }
@@ -95,6 +109,7 @@ impl Client {
                 client.parallelism = parallelism;
                 Ok(client)
             }
+            ServerFrame::Busy { active, max } => Err(ServeError::Busy { active, max }),
             other => Err(ServeError::Protocol(format!(
                 "expected a hello banner, got {other:?}"
             ))),
@@ -102,7 +117,9 @@ impl Client {
     }
 
     /// [`Client::connect`] with retries until `deadline` elapses —
-    /// for drivers racing a just-booted server process.
+    /// for drivers racing a just-booted server process, and the
+    /// expected recovery from a [`ServeError::Busy`] turn-away (a slot
+    /// usually frees within the deadline).
     pub fn connect_retry(
         addr: impl ToSocketAddrs + Clone,
         deadline: Duration,

@@ -74,4 +74,4 @@ pub mod proto;
 mod service;
 
 pub use client::{Client, ServeError};
-pub use service::{ServeOptions, Service};
+pub use service::{absorb_snapshot_dir, DirMerge, ServeOptions, Service};

@@ -20,8 +20,8 @@ use sling_suite::fixtures::ListCorpus;
 
 const USAGE: &str = "\
 usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
-                   [--addr HOST:PORT] [--cache FILE] [--snapshot-secs N]
-                   [--parallelism N]
+                   [--addr HOST:PORT] [--cache FILE|DIR] [--snapshot-secs N]
+                   [--cache-cap N] [--max-conns N] [--parallelism N]
 
   --program FILE      MiniC source of the program to serve
   --predicates FILE   predicate library source
@@ -29,9 +29,18 @@ usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
                       struct NODE instead of reading files
   --addr HOST:PORT    listen address (default 127.0.0.1:7341; port 0
                       picks an ephemeral port, printed at boot)
-  --cache FILE        persistent entailment-cache snapshot: warm-loaded
-                      at boot, saved on the snapshot interval and at exit
+  --cache FILE|DIR    persistent entailment-cache snapshot: warm-loaded
+                      at boot, saved on the snapshot interval and at exit.
+                      A directory merges every *.snap inside at boot
+                      (corrupt siblings are skipped with a warning) and
+                      saves to <DIR>/serve-<pid>.snap; a missing,
+                      extension-less path is created as a directory
   --snapshot-secs N   background snapshot period (default 60; needs --cache)
+  --cache-cap N       bound the entailment cache to ~N entries with LRU
+                      eviction (default: unbounded within memory)
+  --max-conns N       serve at most N concurrent connections; excess
+                      connections get a typed `busy` frame and should
+                      retry (default: unbounded)
   --parallelism N     worker budget (default: SLING_PARALLELISM or cores)";
 
 struct Args {
@@ -41,6 +50,8 @@ struct Args {
     addr: String,
     cache: Option<String>,
     snapshot_secs: u64,
+    cache_cap: Option<usize>,
+    max_conns: Option<usize>,
     parallelism: Option<usize>,
 }
 
@@ -52,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7341".to_string(),
         cache: None,
         snapshot_secs: 60,
+        cache_cap: None,
+        max_conns: None,
         parallelism: None,
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +83,20 @@ fn parse_args() -> Result<Args, String> {
                 args.snapshot_secs = value("--snapshot-secs")?
                     .parse()
                     .map_err(|e| format!("bad --snapshot-secs: {e}"))?;
+            }
+            "--cache-cap" => {
+                args.cache_cap = Some(
+                    value("--cache-cap")?
+                        .parse()
+                        .map_err(|e| format!("bad --cache-cap: {e}"))?,
+                );
+            }
+            "--max-conns" => {
+                args.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-conns: {e}"))?,
+                );
             }
             "--parallelism" => {
                 args.parallelism = Some(
@@ -90,7 +117,45 @@ fn parse_args() -> Result<Args, String> {
     }
 }
 
-fn build_engine(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
+/// Resolves `--cache`: a file is the snapshot path itself; a directory
+/// means "merge every `*.snap` inside at boot" with this process
+/// writing its own `serve-<pid>.snap` sibling. A path that does not
+/// exist yet and has no extension is created as a directory — a fresh
+/// host pointing at `/var/lib/sling/snaps` must get fleet sharing, not
+/// a snapshot file silently squatting on the directory's name.
+fn cache_layout(
+    cache: &Option<String>,
+) -> (Option<std::path::PathBuf>, Option<std::path::PathBuf>) {
+    let Some(cache) = cache else {
+        return (None, None);
+    };
+    let path = std::path::PathBuf::from(cache);
+    let dir_intended = path.is_dir()
+        || (!path.exists() && path.extension().is_none() && {
+            match std::fs::create_dir_all(&path) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!(
+                        "sling-serve: cannot create snapshot directory {}: {e}; \
+                         treating --cache as a snapshot file",
+                        path.display()
+                    );
+                    false
+                }
+            }
+        });
+    if dir_intended {
+        let own = path.join(format!("serve-{}.snap", std::process::id()));
+        (Some(own), Some(path))
+    } else {
+        (Some(path), None)
+    }
+}
+
+fn build_engine(
+    args: &Args,
+    cache_path: &Option<std::path::PathBuf>,
+) -> Result<Engine, Box<dyn std::error::Error>> {
     let (program, predicates) = match &args.corpus {
         Some(node) => {
             let corpus = ListCorpus::new(node.clone());
@@ -104,13 +169,59 @@ fn build_engine(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
     let mut builder = Engine::builder()
         .program_source(&program)?
         .predicates_source(&predicates)?;
-    if let Some(path) = &args.cache {
+    if let Some(path) = cache_path {
         builder = builder.cache_path(path);
+    }
+    if let Some(capacity) = args.cache_cap {
+        builder = builder.cache_capacity(capacity);
     }
     if let Some(workers) = args.parallelism {
         builder = builder.parallelism(workers);
     }
     Ok(builder.build()?)
+}
+
+/// Removes `serve-<pid>.snap` siblings whose daemon no longer runs.
+/// Only files matching this daemon's own naming scheme are candidates —
+/// operator-managed snapshots (`a.snap`, nightly exports, ...) are
+/// never touched — and a file that failed to merge is kept for
+/// inspection. Liveness comes from `/proc/<pid>`; on platforms without
+/// procfs nothing is reaped (accumulation there is bounded by how
+/// often daemons restart, and the operator can prune by hand).
+fn reap_dead_daemon_snapshots(
+    dir: &std::path::Path,
+    skipped: &[(std::path::PathBuf, sling::PersistError)],
+) -> u64 {
+    if !std::path::Path::new("/proc/self").exists() {
+        return 0; // no procfs: cannot tell dead from alive
+    }
+    let own_pid = std::process::id();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reaped = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(pid) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("serve-"))
+            .and_then(|n| n.strip_suffix(".snap"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if pid == own_pid
+            || std::path::Path::new(&format!("/proc/{pid}")).exists()
+            || skipped.iter().any(|(p, _)| *p == path)
+        {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
 }
 
 fn main() -> ExitCode {
@@ -121,19 +232,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let engine = match build_engine(&args) {
+    let (cache_path, cache_dir) = cache_layout(&args.cache);
+    let engine = match build_engine(&args, &cache_path) {
         Ok(engine) => engine,
         Err(e) => {
             eprintln!("sling-serve: failed to build the engine: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Directory mode: fold every sibling snapshot into the live cache.
+    // A corrupt or foreign sibling is a warning, never a boot failure.
+    if let Some(dir) = &cache_dir {
+        match sling_serve::absorb_snapshot_dir(&engine, dir, cache_path.as_deref()) {
+            Ok(outcome) => {
+                for (path, why) in &outcome.skipped {
+                    eprintln!("sling-serve: skipping snapshot {}: {why}", path.display());
+                }
+                println!(
+                    "sling-serve: merged {} entries from {} snapshot(s) in {} ({} skipped)",
+                    outcome.merged,
+                    outcome.files - outcome.skipped.len() as u64,
+                    dir.display(),
+                    outcome.skipped.len()
+                );
+                // The merged entries now live in this cache (and will be
+                // in this daemon's own snapshots), so snapshots of
+                // *dead* daemons are redundant — reap them, or restarts
+                // accumulate one serve-<pid>.snap per boot forever.
+                let reaped = reap_dead_daemon_snapshots(dir, &outcome.skipped);
+                if reaped > 0 {
+                    println!("sling-serve: reaped {reaped} snapshot(s) of exited daemons");
+                }
+            }
+            Err(e) => eprintln!(
+                "sling-serve: could not scan snapshot directory {}: {e}",
+                dir.display()
+            ),
+        }
+    }
     let warm = engine.warm_entries();
     let options = ServeOptions {
         snapshot_interval: args
             .cache
             .is_some()
             .then(|| Duration::from_secs(args.snapshot_secs.max(1))),
+        max_connections: args.max_conns,
     };
     let service = match Service::bind_with(engine, &args.addr, options) {
         Ok(service) => service,

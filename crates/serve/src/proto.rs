@@ -5,13 +5,14 @@
 //! client frames stream results:
 //!
 //! ```text
-//! client → server   sling1 analyze <id:u64> <n:u64> request*
-//! client → server   sling1 ping
-//! server → client   sling1 hello <warm_entries:u64> <parallelism:u64>   ; on connect
-//! server → client   sling1 pong
-//! server → client   sling1 report <id:u64> <index:u64> report           ; completion order
-//! server → client   sling1 done <id:u64> <nreports:u64> cachestats      ; batch epilogue
-//! server → client   sling1 error <id:u64> <message:string>              ; id 0 = unattributable
+//! client → server   sling2 analyze <id:u64> <n:u64> request*
+//! client → server   sling2 ping
+//! server → client   sling2 hello <warm_entries:u64> <parallelism:u64>   ; on connect
+//! server → client   sling2 busy <active:u64> <max:u64>                  ; on connect, saturated
+//! server → client   sling2 pong
+//! server → client   sling2 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling2 done <id:u64> <nreports:u64> cachestats      ; batch epilogue
+//! server → client   sling2 error <id:u64> <message:string>              ; id 0 = unattributable
 //! ```
 //!
 //! `id` is a client-chosen correlation number echoed on every frame of
@@ -100,6 +101,17 @@ pub enum ServerFrame {
         /// The serving engine's worker budget.
         parallelism: u64,
     },
+    /// Sent instead of `hello` when the service is at its
+    /// [`max_connections`](crate::ServeOptions::max_connections) bound;
+    /// the connection closes right after. Clients retry
+    /// ([`Client::connect_retry`](crate::Client::connect_retry)) or
+    /// surface [`ServeError::Busy`](crate::ServeError::Busy).
+    Busy {
+        /// Connections the service is currently handling.
+        active: u64,
+        /// The configured connection bound.
+        max: u64,
+    },
     /// Answer to `ping`.
     Pong,
     /// One completed report of batch `id` (streamed, completion order).
@@ -142,6 +154,12 @@ impl ServerFrame {
                 w.u64(*parallelism);
                 w.finish()
             }
+            ServerFrame::Busy { active, max } => {
+                let mut w = WireWriter::frame("busy");
+                w.u64(*active);
+                w.u64(*max);
+                w.finish()
+            }
             ServerFrame::Pong => WireWriter::frame("pong").finish(),
             ServerFrame::Report { id, index, report } => encode_report_frame(*id, *index, report),
             ServerFrame::Done { id, count, cache } => {
@@ -167,6 +185,10 @@ impl ServerFrame {
             "hello" => ServerFrame::Hello {
                 warm_entries: r.u64()?,
                 parallelism: r.u64()?,
+            },
+            "busy" => ServerFrame::Busy {
+                active: r.u64()?,
+                max: r.u64()?,
             },
             "pong" => ServerFrame::Pong,
             "report" => ServerFrame::Report {

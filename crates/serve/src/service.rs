@@ -2,7 +2,7 @@
 
 use std::io::{self, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -22,6 +22,12 @@ pub struct ServeOptions {
     /// so a crash loses at most one interval of memoized entailments.
     /// `None` (the default) snapshots only at graceful shutdown.
     pub snapshot_interval: Option<Duration>,
+    /// Bound on concurrently served connections. A connection arriving
+    /// past the bound is answered with one `busy` frame (carrying the
+    /// active count and the bound) and closed instead of spawning a
+    /// handler thread, so a connection flood cannot exhaust threads or
+    /// file descriptors. `None` (the default) accepts without bound.
+    pub max_connections: Option<usize>,
 }
 
 /// Shared state between the acceptor, connection handlers, and the
@@ -33,7 +39,21 @@ struct Shared {
     /// Periodic + shutdown snapshots taken so far (observable in tests
     /// and ops logs).
     snapshots: AtomicU64,
+    /// Connections currently being served (admission control against
+    /// `max_connections`).
+    active: AtomicUsize,
+    max_connections: Option<usize>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the active-connection count when a handler exits, however
+/// it exits.
+struct ConnectionGuard(Arc<Shared>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
@@ -93,6 +113,8 @@ impl Service {
             engine,
             draining: AtomicBool::new(false),
             snapshots: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            max_connections: options.max_connections,
             handlers: Mutex::new(Vec::new()),
         });
 
@@ -130,6 +152,11 @@ impl Service {
     /// Cache snapshots taken so far (periodic plus shutdown).
     pub fn snapshots_taken(&self) -> u64 {
         self.shared().snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared().active.load(Ordering::SeqCst)
     }
 
     /// Gracefully drains the service: stop accepting, let in-flight
@@ -199,8 +226,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 continue;
             }
         };
+        // Admission control: claim a slot before spawning, so the
+        // active count can never race past the bound. A connection
+        // over the bound is told so (one typed `busy` frame) and
+        // closed — it never costs a handler thread.
+        let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(max) = shared.max_connections {
+            if active > max {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                send_busy(stream, (active - 1) as u64, max as u64);
+                continue;
+            }
+        }
+        let guard = ConnectionGuard(Arc::clone(shared));
         let handler_shared = Arc::clone(shared);
         let handler = std::thread::spawn(move || {
+            let _guard = guard;
             handle_connection(stream, &handler_shared);
         });
         let mut handlers = shared.handlers.lock().expect("handler list");
@@ -209,6 +250,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         handlers.retain(|h| !h.is_finished());
         handlers.push(handler);
     }
+}
+
+/// Best-effort `busy` notice to a connection turned away at the bound.
+fn send_busy(mut stream: TcpStream, active: u64, max: u64) {
+    let mut line = ServerFrame::Busy { active, max }.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).ok();
 }
 
 fn snapshot_loop(shared: &Shared, interval: Duration) {
@@ -326,4 +374,51 @@ fn send_error(writer: &Mutex<TcpStream>, id: u64, message: &str) -> bool {
         },
     )
     .is_ok()
+}
+
+/// Outcome of folding a snapshot directory into an engine with
+/// [`absorb_snapshot_dir`].
+#[derive(Debug, Default)]
+pub struct DirMerge {
+    /// Entries merged into the live cache across every readable
+    /// snapshot.
+    pub merged: u64,
+    /// Snapshot files visited (readable or not).
+    pub files: u64,
+    /// Snapshots that could not be folded (corrupt, wrong version,
+    /// different type environment), with the reason. A skipped sibling
+    /// is a warning, never a boot failure.
+    pub skipped: Vec<(std::path::PathBuf, sling::PersistError)>,
+}
+
+/// Folds every `*.snap` file under `dir` into `engine`'s live cache
+/// via [`sling::Engine::absorb_snapshot`], skipping `own` (the
+/// engine's configured snapshot path, already loaded at build) and
+/// collecting — not propagating — per-file failures: a corrupt sibling
+/// must not take down a boot that has a perfectly good engine.
+///
+/// This is what `sling-serve --cache DIR` runs at boot, so a fleet of
+/// daemons writing `<name>.snap` files into one directory warm each
+/// other up; it is exposed for in-process services that want the same.
+pub fn absorb_snapshot_dir(
+    engine: &Engine,
+    dir: &std::path::Path,
+    own: Option<&std::path::Path>,
+) -> io::Result<DirMerge> {
+    let mut outcome = DirMerge::default();
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "snap"))
+        .filter(|path| own.is_none_or(|own| path != own))
+        .collect();
+    paths.sort(); // deterministic fold order for reproducible boots
+    for path in paths {
+        outcome.files += 1;
+        match engine.absorb_snapshot(&path) {
+            Ok(stats) => outcome.merged += stats.merged,
+            Err(e) => outcome.skipped.push((path, e)),
+        }
+    }
+    Ok(outcome)
 }

@@ -1,0 +1,63 @@
+//! Saves an entailment-cache snapshot from a subset of the list
+//! corpus — the seed tool for snapshot-directory demos and the CI
+//! merge check.
+//!
+//! ```sh
+//! # Two siblings cover disjoint corpus halves into one directory:
+//! cargo run -p sling-examples --example save_corpus_snapshot -- \
+//!     /tmp/snaps/a.snap MergeNode reverse traverse
+//! cargo run -p sling-examples --example save_corpus_snapshot -- \
+//!     /tmp/snaps/b.snap MergeNode append last
+//! # A daemon booted on the directory merges both at boot:
+//! sling-serve --corpus MergeNode --cache /tmp/snaps --addr 127.0.0.1:0
+//! ```
+//!
+//! With no target arguments the whole corpus runs. The process exits
+//! nonzero when nothing was written (an empty snapshot would make the
+//! merge checks vacuous).
+
+use sling::Engine;
+use sling_suite::fixtures::ListCorpus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), Some(node)) = (args.next(), args.next()) else {
+        eprintln!(
+            "usage: save_corpus_snapshot <path> <node-type> [target...]\n\
+             targets default to the whole corpus (reverse traverse append last)"
+        );
+        std::process::exit(2);
+    };
+    let targets: Vec<String> = args.collect();
+
+    let corpus = ListCorpus::new(node);
+    let engine = Engine::builder()
+        .program_source(&corpus.program())?
+        .predicates_source(&corpus.predicates())?
+        .build()?;
+
+    let requests: Vec<_> = corpus
+        .batch(1)
+        .into_iter()
+        .filter(|request| {
+            targets.is_empty() || targets.iter().any(|t| *t == request.target.to_string())
+        })
+        .collect();
+    if requests.is_empty() {
+        eprintln!("no corpus target matches {targets:?}");
+        std::process::exit(2);
+    }
+    let batch = engine.analyze_all(&requests)?;
+    let written = engine.save_cache_to(&path)?;
+    println!(
+        "{written} entries -> {path} ({} invariants across {} target(s); cache: {})",
+        batch.invariant_count(),
+        batch.reports.len(),
+        batch.cache
+    );
+    if written == 0 {
+        eprintln!("snapshot is empty; refusing to pretend this seeded anything");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -145,6 +145,70 @@ fn stale_or_corrupt_snapshots_degrade_to_a_cold_start() {
 }
 
 #[test]
+fn partial_predicate_change_keeps_untouched_entries_warm() {
+    // Mutate *one* predicate of the library: entries touching only the
+    // unchanged predicate must survive the reload (and answer queries
+    // warm), while entries touching the changed one are dropped.
+    let corpus = corpus();
+    let path = temp_path("partial");
+    std::fs::remove_file(&path).ok();
+    let requests = corpus.batch(1);
+
+    // Seed under the standard sll + lseg library.
+    let seeder = engine_at(Some(&path));
+    seeder.analyze_all(&requests).expect("corpus runs");
+    let written = seeder.save_cache().expect("snapshot writes");
+    assert!(written > 0);
+
+    // Same program, same sll — but lseg's definition changed.
+    let mutated = Engine::builder()
+        .program_source(&corpus.program())
+        .expect("program parses")
+        .predicates_source(&format!(
+            "pred sll(x: {n}*) := emp & x == nil
+               | exists u, d. x -> {n}{{next: u, data: d}} * sll(u);
+             pred lseg(x: {n}*, y: {n}*) := emp & x == y & x == y
+               | exists u, d. x -> {n}{{next: u, data: d}} * lseg(u, y);",
+            n = corpus.node()
+        ))
+        .expect("predicates parse")
+        .cache_path(&path)
+        .build()
+        .expect("program checks");
+
+    let restored = mutated.warm_entries();
+    assert!(
+        restored > 0,
+        "entries touching only sll must survive an lseg change"
+    );
+    assert!(
+        restored < written,
+        "entries touching lseg must be dropped ({restored} of {written} kept)"
+    );
+
+    // The survivors genuinely answer queries.
+    let batch = mutated.analyze_all(&requests).expect("corpus runs");
+    assert!(
+        batch.cache.warm_hits > 0,
+        "surviving sll entries must answer warm: {:?}",
+        batch.cache
+    );
+
+    // The typed split is observable at the persist layer too.
+    let probe = sling::CheckCache::new();
+    let profile = sling::EnvProfile::new(mutated.types(), mutated.preds());
+    match sling::persist::load(&probe, &profile, &path) {
+        Err(sling::PersistError::PartialStale { kept, dropped }) => {
+            assert_eq!(kept, restored);
+            assert_eq!(kept + dropped, written);
+            assert!(dropped > 0);
+        }
+        other => panic!("expected PartialStale, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn save_cache_needs_a_configured_path() {
     let engine = engine_at(None);
     let err = engine.save_cache().unwrap_err();

@@ -181,39 +181,40 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling1 hello "), "{line:?}");
+    assert!(line.starts_with("sling2 hello "), "{line:?}");
 
     let bad_frames = [
         "complete nonsense\n",
         "sling9 analyze 1 0\n",                    // wrong protocol version
-        "sling1 frobnicate 1\n",                   // unknown frame kind
-        "sling1 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
-        "sling1 analyze 8 2 \"reverse\" 0\n",      // truncated batch
-        "sling1 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
+        "sling1 ping\n",                           // previous protocol version
+        "sling2 frobnicate 1\n",                   // unknown frame kind
+        "sling2 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
+        "sling2 analyze 8 2 \"reverse\" 0\n",      // truncated batch
+        "sling2 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
     ];
     for frame in bad_frames {
         writer.write_all(frame.as_bytes()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("error response");
         assert!(
-            line.starts_with("sling1 error "),
+            line.starts_with("sling2 error "),
             "bad frame {frame:?} must be answered with an error frame, \
              got {line:?}"
         );
     }
     // Correlation ids are salvaged when readable.
     writer
-        .write_all(b"sling1 analyze 42 1 \"reverse\" oops\n")
+        .write_all(b"sling2 analyze 42 1 \"reverse\" oops\n")
         .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("error response");
-    assert!(line.starts_with("sling1 error 42 "), "{line:?}");
+    assert!(line.starts_with("sling2 error 42 "), "{line:?}");
 
     // The connection still serves real work.
-    writer.write_all(b"sling1 ping\n").expect("write");
+    writer.write_all(b"sling2 ping\n").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("pong");
-    assert_eq!(line.trim_end(), "sling1 pong");
+    assert_eq!(line.trim_end(), "sling2 pong");
     drop(writer);
     drop(reader);
 
@@ -253,6 +254,7 @@ fn background_snapshotting_persists_the_cache_while_serving() {
         "127.0.0.1:0",
         ServeOptions {
             snapshot_interval: Some(Duration::from_millis(50)),
+            ..ServeOptions::default()
         },
     )
     .expect("service binds");
@@ -281,6 +283,120 @@ fn background_snapshotting_persists_the_cache_while_serving() {
     let engine = service.shutdown().expect("graceful drain");
     assert!(engine.cache_path().is_some());
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn daemon_booted_from_a_snapshot_directory_is_warm_for_every_sibling() {
+    // Two sibling processes snapshot disjoint corpus halves into one
+    // directory (plus one corrupt file); a service booted on that
+    // directory advertises the combined warm count and answers both
+    // halves warm.
+    let corpus = ListCorpus::new("ServeDirNode");
+    let dir = std::env::temp_dir().join(format!("sling-serve-dir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("snapshot dir");
+    let batch = corpus.batch(1);
+    let (half_a, half_b) = batch.split_at(2);
+
+    let sibling_a = corpus_engine(&corpus).build().expect("engine builds");
+    sibling_a.analyze_all(half_a).expect("half A runs");
+    let a_written = sibling_a
+        .save_cache_to(dir.join("a.snap"))
+        .expect("A snapshots");
+    let sibling_b = corpus_engine(&corpus).build().expect("engine builds");
+    sibling_b.analyze_all(half_b).expect("half B runs");
+    let b_written = sibling_b
+        .save_cache_to(dir.join("b.snap"))
+        .expect("B snapshots");
+    std::fs::write(dir.join("corrupt.snap"), b"not a snapshot").unwrap();
+    std::fs::write(dir.join("unrelated.txt"), b"ignored: wrong extension").unwrap();
+
+    // What sling-serve --cache DIR runs at boot.
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let outcome = sling_serve::absorb_snapshot_dir(&engine, &dir, None).expect("directory scans");
+    assert_eq!(outcome.files, 3, "both snapshots plus the corrupt one");
+    assert_eq!(
+        outcome.skipped.len(),
+        1,
+        "the corrupt sibling is skipped with a reason, not fatal: {:?}",
+        outcome.skipped
+    );
+    assert_eq!(
+        outcome.merged,
+        a_written + b_written,
+        "disjoint halves merge without loss"
+    );
+    assert_eq!(engine.warm_entries(), outcome.merged);
+
+    let service = Service::bind(engine, "127.0.0.1:0").expect("service binds");
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+    assert_eq!(
+        client.warm_entries(),
+        a_written + b_written,
+        "the hello banner advertises the combined warm count"
+    );
+
+    // Both halves are answered from their respective snapshots.
+    let served_a = client.analyze_all(half_a).expect("half A serves");
+    assert!(
+        served_a.cache.warm_hits > 0,
+        "half A must hit snapshot A's entries: {:?}",
+        served_a.cache
+    );
+    let served_b = client.analyze_all(half_b).expect("half B serves");
+    assert!(
+        served_b.cache.warm_hits > 0,
+        "half B must hit snapshot B's entries: {:?}",
+        served_b.cache
+    );
+
+    service.shutdown().expect("graceful drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturated_service_turns_connections_away_with_busy_and_recovers() {
+    let corpus = ListCorpus::new("ServeBusyNode");
+    let batch = corpus.batch(1);
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let service = Service::bind_with(
+        engine,
+        "127.0.0.1:0",
+        ServeOptions {
+            max_connections: Some(1),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("service binds");
+    let addr = service.local_addr();
+
+    // The one admitted connection works normally.
+    let mut first = Client::connect(addr).expect("first client connects");
+    first.ping().expect("admitted connection serves");
+
+    // The second is turned away with the typed busy frame, not a
+    // silent close or a hung accept.
+    match Client::connect(addr) {
+        Err(ServeError::Busy { active, max }) => {
+            assert_eq!((active, max), (1, 1));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // The turned-away connection cost nothing: the admitted one still
+    // serves.
+    first
+        .ping()
+        .expect("admitted connection survives the flood");
+    let served = first.analyze_all(&batch).expect("batch still serves");
+    assert_eq!(served.reports.len(), batch.len());
+
+    // Dropping the admitted client frees the slot; the standard retry
+    // path rides it out.
+    drop(first);
+    let mut retried = Client::connect_retry(addr, Duration::from_secs(10))
+        .expect("retry lands once the slot frees");
+    retried.ping().expect("recovered connection serves");
+
+    service.shutdown().expect("graceful drain");
 }
 
 #[test]
