@@ -7,10 +7,12 @@
 //!
 //! The paper encodes this judgment into Z3 following Brotherston et al.
 //! (POPL'16). Checking against a *concrete finite* model is decidable by
-//! bounded unfolding — every recursive predicate case consumes at least one
-//! cell (enforced by `sling_logic::check_pred_env`) — so this crate performs
-//! a direct backtracking search instead (see DESIGN.md §1 for why this
-//! substitution is behaviour-preserving):
+//! bounded unfolding — every cycle of predicate unfoldings consumes at
+//! least one cell (productivity, enforced by `sling_logic::check_pred_env`
+//! at engine build time; bounded unguarded wrapper hops are absorbed by
+//! `fuel_slack`) — so this crate performs a direct backtracking search
+//! instead (see DESIGN.md §1 for why this substitution is
+//! behaviour-preserving):
 //!
 //! * points-to atoms consume one available cell and *bind* unbound
 //!   existentials occurring as their root or field values;
@@ -109,6 +111,17 @@ impl<'a> CheckCtx<'a> {
             cache: Some(cache),
             env_tag: crate::cache::env_fingerprint(types, preds),
         }
+    }
+
+    /// Returns a copy of this context with different search limits.
+    ///
+    /// Used by the verification pass to run prover-initiated checks under
+    /// a tighter budget than trace checking; the budget is part of the
+    /// cache key, so re-limited contexts never exchange verdicts with the
+    /// full-budget ones.
+    pub fn with_config(mut self, config: CheckConfig) -> CheckCtx<'a> {
+        self.config = config;
+        self
     }
 
     /// Checks `f` against one model, returning the minimal-residue

@@ -113,9 +113,9 @@ use std::sync::Arc;
 
 use sling_checker::{persist, CacheStats, CheckCache, CheckCtx, EnvProfile, PersistError};
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
-use sling_logic::{parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
+use sling_logic::{check_pred_env, parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
 
-use crate::pipeline::{infer_location, run_target, SlingConfig};
+use crate::pipeline::{infer_location, run_target, SlingConfig, VerifySettings};
 use crate::report::{BatchReport, LocationAnalysis, Report};
 use crate::request::AnalysisRequest;
 
@@ -231,6 +231,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the static-verification post-pass: every reported
+    /// invariant is graded against its siblings by bounded unfolding
+    /// (see [`sling_checker::verify`]), and refutation witnesses drive
+    /// up to [`VerifySettings::cegir_rounds`] counterexample-guided
+    /// re-collection rounds. Off by default; setting the `SLING_VERIFY`
+    /// environment variable to `off`/`0`/`false` force-disables the
+    /// pass at run time without rebuilding the engine.
+    pub fn verification(mut self, settings: VerifySettings) -> EngineBuilder {
+        self.config.verify = Some(settings);
+        self
+    }
+
     /// Shares an existing checker cache with this engine, so entailments
     /// memoized by sibling engines (e.g. a corpus run over one predicate
     /// library) carry over. By default each engine gets a private cache.
@@ -280,11 +292,18 @@ impl EngineBuilder {
         self
     }
 
-    /// Type-checks the program and finalizes the engine.
+    /// Type-checks the program, lints the predicate environment, and
+    /// finalizes the engine.
     pub fn build(self) -> Result<Engine, BuildError> {
         let program = self.program.ok_or(BuildError::MissingProgram)?;
         check_program(&program).map_err(|e| BuildError::Type(e.to_string()))?;
         let types = program.type_env();
+        // Per-definition checks ran at `define`; the env-level pass
+        // additionally rejects unguarded call *cycles* across
+        // definitions (mutual recursion that never consumes a cell),
+        // which bounded unfolding — both the checker's and the
+        // verifier's — could not terminate on.
+        check_pred_env(&self.preds).map_err(|e| BuildError::Predicate(e.to_string()))?;
         let profile = EnvProfile::new(&types, &self.preds);
         let cache = match (self.cache, self.cache_capacity) {
             (Some(shared), _) => shared,
@@ -296,7 +315,16 @@ impl EngineBuilder {
         let warm_entries = match &self.cache_path {
             Some(path) if path.exists() => match persist::load(&cache, &profile, path) {
                 Ok(n) => n,
-                Err(PersistError::PartialStale { kept, .. }) => kept,
+                Err(PersistError::PartialStale { kept, .. }) => {
+                    // Re-save the surviving subset under the current
+                    // profile right away: the next boot then loads
+                    // clean instead of re-dropping the same stale
+                    // entries. Best-effort — the snapshot is an
+                    // optimization, so an unwritable path never fails
+                    // the build.
+                    let _ = persist::save(&cache, &profile, path);
+                    kept
+                }
                 Err(_) => 0,
             },
             _ => 0,
@@ -685,6 +713,106 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, BuildError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_unguarded_predicate_cycles() {
+        // Each definition passes the per-def check (neither calls
+        // itself), so only the env-level cycle pass at build catches
+        // the divergence.
+        let err = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .predicates_source(
+                "pred eping(x: TNode*) := epong(x);
+                 pred epong(x: TNode*) := eping(x);",
+            )
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, BuildError::Predicate(ref e) if e.contains("not productive")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn partially_stale_snapshot_is_resaved_clean_at_build() {
+        use sling_logic::parse_formula;
+        use sling_models::{Heap, HeapCell, Loc, Stack, StackHeapModel, Val};
+
+        let src = "struct PSNode { next: PSNode*; }
+                   fn psid(x: PSNode*) -> PSNode* { return x; }";
+        let preds = |base: &str| {
+            format!(
+                "pred pslist(x: PSNode*) := {base}
+                   | exists u. x -> PSNode{{next: u}} * pslist(u);
+                 pred pscell(x: PSNode*) := exists u. x -> PSNode{{next: u}};"
+            )
+        };
+        let list_model = |n: u64, lo: u64| {
+            let mut heap = Heap::new();
+            for i in 0..n {
+                let next = if i + 1 < n {
+                    Val::Addr(Loc::new(lo + i + 1))
+                } else {
+                    Val::Nil
+                };
+                heap.insert(
+                    Loc::new(lo + i),
+                    HeapCell::new(Symbol::intern("PSNode"), vec![next]),
+                );
+            }
+            let mut stack = Stack::new();
+            stack.bind(Symbol::intern("x"), Val::Addr(Loc::new(lo)));
+            StackHeapModel::new(stack, heap)
+        };
+        let path =
+            std::env::temp_dir().join(format!("sling-engine-partial-{}.bin", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        // v1: seed the cache with one entry per predicate, snapshot it.
+        let cache = Arc::new(CheckCache::new());
+        let v1 = Engine::builder()
+            .program_source(src)
+            .unwrap()
+            .predicates_source(&preds("emp & x == nil"))
+            .unwrap()
+            .shared_cache(Arc::clone(&cache))
+            .cache_path(&path)
+            .build()
+            .unwrap();
+        let ctx = CheckCtx::with_cache(v1.types(), v1.preds(), Default::default(), &cache);
+        assert!(ctx
+            .check(&list_model(2, 1), &parse_formula("pslist(x)").unwrap())
+            .is_some());
+        assert!(ctx
+            .check(&list_model(1, 9), &parse_formula("pscell(x)").unwrap())
+            .is_some());
+        assert_eq!(v1.save_cache().unwrap(), 2);
+
+        // v2: pslist's base case changed, pscell untouched. The load is
+        // partially stale: the pscell entry survives, and the build must
+        // immediately re-save the survivor under the v2 profile.
+        let v2 = Engine::builder()
+            .program_source(src)
+            .unwrap()
+            .predicates_source(&preds("emp & x == x"))
+            .unwrap()
+            .cache_path(&path)
+            .build()
+            .unwrap();
+        assert_eq!(v2.warm_entries(), 1, "the pscell entry survives the load");
+
+        // A third boot over the v2 environment now loads clean — the
+        // stale entry is gone from the snapshot, not just from memory.
+        let fresh = CheckCache::new();
+        let profile = EnvProfile::new(v2.types(), v2.preds());
+        assert!(
+            matches!(persist::load(&fresh, &profile, &path), Ok(1)),
+            "re-saved snapshot must load without PartialStale"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

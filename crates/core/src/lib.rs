@@ -19,7 +19,12 @@
 //!    equalities** over stack variables, existentials, `nil` and `res`
 //!    ([`infer_pure`], §4.3);
 //! 5. **validates** entry/exit pairs with the frame rule
-//!    ([`validate_frame`], §4.4).
+//!    ([`validate_frame`], §4.4);
+//! 6. optionally **grades** every reported invariant with a static
+//!    verification post-pass — bounded-unfolding entailment checking
+//!    against the sibling invariants, with refutation witnesses driving
+//!    counterexample-guided re-collection rounds
+//!    ([`EngineBuilder::verification`], [`InvariantGrade`]).
 //!
 //! # The engine API
 //!
@@ -122,16 +127,19 @@ pub mod wire;
 pub use collect::{collect_models, Collected, RunTrace};
 pub use engine::{AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder, ReportSink};
 pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
-pub use pipeline::SlingConfig;
+pub use pipeline::{SlingConfig, VerifySettings};
 pub use pure::infer_pure;
-pub use report::{BatchReport, Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
+pub use report::{
+    BatchReport, Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
+};
 pub use request::{AnalysisRequest, InputBuilder, InputSource};
-pub use spec::{InputSpec, ValueSpec};
+pub use spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;
 pub use wire::WireError;
 
-// Re-exported so spec construction and cache persistence need no direct
-// `sling_lang` / `sling_checker` import.
+// Re-exported so spec construction, cache persistence, and verification
+// need no direct `sling_lang` / `sling_checker` import.
 pub use sling_checker::{persist, CacheStats, CheckCache, EnvProfile, MergeStats, PersistError};
+pub use sling_checker::{Obligation, Prover, UnfoldProver, Verdict, VerifyConfig};
 pub use sling_lang::{DataOrder, ListLayout, TreeKind, TreeLayout};

@@ -12,7 +12,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
 
-use sling_checker::{CheckConfig, CheckCtx, Instantiation};
+use sling_checker::{
+    CheckConfig, CheckCtx, Instantiation, Obligation, Prover, UnfoldProver, Verdict, VerifyConfig,
+};
 use sling_lang::{Location, Program, Snapshot, TraceConfig, VmConfig};
 use sling_logic::{FreshVars, SymHeap, Symbol};
 use sling_models::{Heap, StackHeapModel};
@@ -20,7 +22,11 @@ use sling_models::{Heap, StackHeapModel};
 use crate::collect::collect_models;
 use crate::infer::{infer_atom, var_types, InferConfig, VarTy};
 use crate::pure::infer_pure;
-use crate::report::{Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
+use crate::report::{
+    Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
+};
+use crate::request::InputSource;
+use crate::spec::InputSpec;
 use crate::split::split_heap;
 use crate::validate::validate_frame;
 
@@ -45,6 +51,10 @@ pub struct SlingConfig {
     pub vm: VmConfig,
     /// Tracer behaviour (freed-cell visibility).
     pub trace: TraceConfig,
+    /// Static verification + CEGIR refinement; `None` leaves every
+    /// invariant [`InvariantGrade::Ungraded`]. The `SLING_VERIFY=off`
+    /// environment override disables a configured pass at run time.
+    pub verify: Option<VerifySettings>,
 }
 
 impl Default for SlingConfig {
@@ -57,7 +67,49 @@ impl Default for SlingConfig {
             max_models_per_location: 48,
             vm: VmConfig::default(),
             trace: TraceConfig::default(),
+            verify: None,
         }
+    }
+}
+
+/// Settings for the verification post-pass and its counterexample-guided
+/// refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifySettings {
+    /// Budgets of the bounded-unfolding prover.
+    pub prover: VerifyConfig,
+    /// Maximum refinement rounds: each round turns refutation witnesses
+    /// into new inputs and re-runs collection + inference. `0` grades
+    /// once and never refines.
+    pub cegir_rounds: usize,
+}
+
+impl Default for VerifySettings {
+    fn default() -> VerifySettings {
+        VerifySettings {
+            prover: VerifyConfig::default(),
+            cegir_rounds: 3,
+        }
+    }
+}
+
+/// True when the `SLING_VERIFY` environment variable turns the configured
+/// verification pass off (`off` / `0` / `false`; unset or `on` leaves it
+/// enabled). Unrecognized values warn once and are ignored.
+pub(crate) fn verify_disabled_by_env() -> bool {
+    match std::env::var("SLING_VERIFY") {
+        Ok(v) if v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false") => {
+            true
+        }
+        Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("on") || v == "1" => false,
+        Ok(v) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("sling: ignoring unrecognized SLING_VERIFY value `{v}` (want on|off)");
+            });
+            false
+        }
+        Err(_) => false,
     }
 }
 
@@ -89,7 +141,121 @@ pub(crate) fn run_target(
     ctx: &CheckCtx<'_>,
     program: &Program,
     target: Symbol,
-    inputs: &[crate::request::InputSource],
+    inputs: &[InputSource],
+    config: &SlingConfig,
+    workers: usize,
+) -> Report {
+    let settings = match config.verify {
+        Some(s) if !verify_disabled_by_env() => s,
+        _ => return run_target_once(ctx, program, target, inputs, config, workers),
+    };
+    let start = Instant::now();
+    let prover = UnfoldProver::new(settings.prover);
+    let func = program.func(target).expect("target exists");
+    let params = func.params.clone();
+
+    let mut inputs: Vec<InputSource> = inputs.to_vec();
+    let mut report = run_target_once(ctx, program, target, &inputs, config, workers);
+    let verify_start = Instant::now();
+    let mut rounds = 0usize;
+    let mut refuted_initial = 0usize;
+    loop {
+        let witnesses: Vec<StackHeapModel> = report
+            .locations
+            .iter_mut()
+            .flat_map(|analysis| grade_location(ctx, &prover, analysis))
+            .collect();
+        if rounds == 0 {
+            refuted_initial = report.graded_count(InvariantGrade::Refuted);
+        }
+        if witnesses.is_empty() || rounds >= settings.cegir_rounds {
+            break;
+        }
+        // Counterexample-guided refinement: each witness becomes a
+        // targeted input. Witnesses whose input is already in the set
+        // bring no new evidence — if *none* is new, the refuted
+        // invariants survived runs on the very states the prover
+        // proposed, so they are re-graded Confirmed instead of looping.
+        let mut fresh: Vec<InputSpec> = Vec::new();
+        for witness in &witnesses {
+            let spec = InputSpec::from_witness(witness, &params);
+            let dup = fresh.contains(&spec)
+                || inputs
+                    .iter()
+                    .any(|i| matches!(i, InputSource::Spec(s) if *s == spec));
+            if !dup {
+                fresh.push(spec);
+            }
+        }
+        if fresh.is_empty() {
+            for analysis in &mut report.locations {
+                for inv in &mut analysis.invariants {
+                    if inv.grade == InvariantGrade::Refuted {
+                        inv.grade = InvariantGrade::Confirmed;
+                    }
+                }
+            }
+            break;
+        }
+        inputs.extend(fresh.into_iter().map(InputSource::from));
+        report = run_target_once(ctx, program, target, &inputs, config, workers);
+        rounds += 1;
+    }
+
+    report.metrics.verified = report.graded_count(InvariantGrade::Verified);
+    report.metrics.refuted = report.graded_count(InvariantGrade::Refuted);
+    report.metrics.confirmed = report.graded_count(InvariantGrade::Confirmed);
+    report.metrics.unknown = report.graded_count(InvariantGrade::Unknown);
+    report.metrics.refuted_initial = refuted_initial;
+    report.metrics.cegir_rounds = rounds;
+    report.metrics.verify_seconds = verify_start.elapsed().as_secs_f64();
+    report.metrics.seconds = start.elapsed().as_secs_f64();
+    report
+}
+
+/// Grades every invariant at one location against its siblings; returns
+/// the refutation witnesses of non-spurious invariants (spurious ones are
+/// graded but neither feed the refinement loop nor serve as references).
+fn grade_location(
+    ctx: &CheckCtx<'_>,
+    prover: &UnfoldProver,
+    analysis: &mut LocationAnalysis,
+) -> Vec<StackHeapModel> {
+    let references: Vec<SymHeap> = analysis
+        .invariants
+        .iter()
+        .filter(|i| !i.spurious)
+        .map(|i| i.formula.clone())
+        .collect();
+    let mut witnesses = Vec::new();
+    for inv in &mut analysis.invariants {
+        let verdict = prover.prove(
+            ctx,
+            &Obligation {
+                candidate: &inv.formula,
+                references: &references,
+            },
+        );
+        inv.grade = match verdict {
+            Verdict::Verified => InvariantGrade::Verified,
+            Verdict::Refuted { witness } => {
+                if !inv.spurious {
+                    witnesses.push(witness);
+                }
+                InvariantGrade::Refuted
+            }
+            Verdict::Unknown { .. } => InvariantGrade::Unknown,
+        };
+    }
+    witnesses
+}
+
+/// The dynamic-only pipeline: collection, inference, frame validation.
+fn run_target_once(
+    ctx: &CheckCtx<'_>,
+    program: &Program,
+    target: Symbol,
+    inputs: &[InputSource],
     config: &SlingConfig,
     workers: usize,
 ) -> Report {
@@ -137,6 +303,7 @@ pub(crate) fn run_target(
             faulted_runs: collected.faulted_runs(),
             workers,
             seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
         },
         cache: Default::default(),
     }
@@ -302,6 +469,7 @@ pub(crate) fn infer_location(
             activations: activations.clone(),
             stats,
             spurious: tainted,
+            grade: InvariantGrade::Ungraded,
         });
     }
 

@@ -23,6 +23,41 @@ pub struct InvariantStats {
     pub pures: usize,
 }
 
+/// The static-verification grade attached to every reported invariant by
+/// the post-pass (see `sling_checker::verify`). With verification off,
+/// every invariant is [`InvariantGrade::Ungraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvariantGrade {
+    /// Verification did not run.
+    #[default]
+    Ungraded,
+    /// Consistent with every bounded countermodel the prover derived from
+    /// the sibling invariants at the same location.
+    Verified,
+    /// The prover found a countermodel and the CEGIR refinement loop ran
+    /// out of rounds before resolving it.
+    Refuted,
+    /// The prover found a countermodel, but the refinement loop turned it
+    /// into a concrete input and the invariant survived re-inference: it
+    /// holds on the very state the prover proposed as a counterexample
+    /// (the §5.4 "genuinely true of the bug" situation).
+    Confirmed,
+    /// The prover could not reach a verdict within budget.
+    Unknown,
+}
+
+impl std::fmt::Display for InvariantGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InvariantGrade::Ungraded => "ungraded",
+            InvariantGrade::Verified => "verified",
+            InvariantGrade::Refuted => "refuted",
+            InvariantGrade::Confirmed => "confirmed",
+            InvariantGrade::Unknown => "unknown",
+        })
+    }
+}
+
 /// An inferred invariant at a location.
 #[derive(Debug, Clone)]
 pub struct Invariant {
@@ -39,6 +74,8 @@ pub struct Invariant {
     /// True if the invariant rests on invalid traces (freed cells) or
     /// failed frame validation.
     pub spurious: bool,
+    /// Static-verification verdict for this invariant.
+    pub grade: InvariantGrade,
 }
 
 /// Everything inferred at one location of one target.
@@ -71,6 +108,23 @@ pub struct RunMetrics {
     pub workers: usize,
     /// Wall-clock seconds for collection + inference + validation.
     pub seconds: f64,
+    /// Invariants graded [`InvariantGrade::Verified`].
+    pub verified: usize,
+    /// Invariants graded [`InvariantGrade::Refuted`] after the final
+    /// refinement round.
+    pub refuted: usize,
+    /// Invariants graded [`InvariantGrade::Confirmed`].
+    pub confirmed: usize,
+    /// Invariants graded [`InvariantGrade::Unknown`].
+    pub unknown: usize,
+    /// Invariants the prover refuted *before* any refinement ran (the
+    /// CEGIR loop's starting debt; `refuted` is what is left of it).
+    pub refuted_initial: usize,
+    /// Refinement rounds executed (re-collection + re-inference cycles).
+    pub cegir_rounds: usize,
+    /// Wall-clock seconds spent in verification + refinement (included in
+    /// `seconds`).
+    pub verify_seconds: f64,
 }
 
 /// The full analysis result for one target function.
@@ -104,6 +158,15 @@ impl Report {
     /// Total invariants across locations.
     pub fn invariant_count(&self) -> usize {
         self.locations.iter().map(|r| r.invariants.len()).sum()
+    }
+
+    /// Total invariants carrying `grade`.
+    pub fn graded_count(&self, grade: InvariantGrade) -> usize {
+        self.locations
+            .iter()
+            .flat_map(|r| &r.invariants)
+            .filter(|i| i.grade == grade)
+            .count()
     }
 
     /// Total spurious invariants.

@@ -55,9 +55,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sling_lang::{
-    gen_circular_list, gen_list, gen_tree, DataOrder, ListLayout, RtHeap, TreeKind, TreeLayout,
+    gen_circular_list, gen_list, gen_tree, DataOrder, ListLayout, Param, RtHeap, TreeKind,
+    TreeLayout, TyExpr,
 };
-use sling_models::Val;
+use sling_models::{Loc, StackHeapModel, Val};
 
 /// A declarative description of one function-argument value.
 ///
@@ -65,7 +66,7 @@ use sling_models::Val;
 /// [`ValueSpec::int`], [`ValueSpec::sll`], [`ValueSpec::dll`],
 /// [`ValueSpec::cyclic`], [`ValueSpec::tree`], ...); materialized by
 /// [`InputSpec::build`] with the spec's seeded PRNG.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValueSpec {
     /// The null pointer.
     Nil,
@@ -94,6 +95,33 @@ pub enum ValueSpec {
         /// Shape discipline (random, BST, balanced, red-black).
         kind: TreeKind,
     },
+    /// An exact heap shape, cell by cell — no randomness. Produced by the
+    /// CEGIR loop from refutation witnesses ([`InputSpec::from_witness`]);
+    /// `cells[0]` is the root, and an empty cell list materializes as nil.
+    Exact {
+        /// The cells, root first, internal pointers by index.
+        cells: Vec<ExactCell>,
+    },
+}
+
+/// One cell of a [`ValueSpec::Exact`] shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactCell {
+    /// Structure type of the cell.
+    pub ty: sling_logic::Symbol,
+    /// Field values in declaration order.
+    pub fields: Vec<ExactVal>,
+}
+
+/// A field value of an [`ExactCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactVal {
+    /// The null pointer.
+    Nil,
+    /// A fixed integer.
+    Int(i64),
+    /// A pointer to the cell at this index of the shape's cell list.
+    Cell(usize),
 }
 
 impl ValueSpec {
@@ -153,6 +181,11 @@ impl ValueSpec {
         ValueSpec::Tree { layout, size, kind }
     }
 
+    /// An exact cell-by-cell shape (root first; empty is nil).
+    pub fn exact(cells: Vec<ExactCell>) -> ValueSpec {
+        ValueSpec::Exact { cells }
+    }
+
     /// Replaces the payload ordering of a list spec (e.g.
     /// [`DataOrder::Sorted`] for sorted-list benchmarks); other specs
     /// are returned unchanged.
@@ -182,6 +215,37 @@ impl ValueSpec {
                 }
             }
             ValueSpec::Tree { layout, size, kind } => gen_tree(heap, layout, *size, *kind, rng),
+            ValueSpec::Exact { cells } => {
+                if cells.is_empty() {
+                    return Val::Nil;
+                }
+                // Two passes: allocate every cell with pointer slots
+                // nil'd, then patch the internal references.
+                let locs: Vec<Loc> = cells
+                    .iter()
+                    .map(|c| {
+                        let fields = c
+                            .fields
+                            .iter()
+                            .map(|f| match f {
+                                ExactVal::Nil | ExactVal::Cell(_) => Val::Nil,
+                                ExactVal::Int(k) => Val::Int(*k),
+                            })
+                            .collect();
+                        heap.alloc(c.ty, fields)
+                    })
+                    .collect();
+                for (cell, loc) in cells.iter().zip(&locs) {
+                    for (i, f) in cell.fields.iter().enumerate() {
+                        if let ExactVal::Cell(target) = f {
+                            if let (Some(rt), Some(t)) = (heap.live_mut(*loc), locs.get(*target)) {
+                                rt.fields[i] = Val::Addr(*t);
+                            }
+                        }
+                    }
+                }
+                Val::Addr(locs[0])
+            }
         }
     }
 }
@@ -191,7 +255,7 @@ impl ValueSpec {
 ///
 /// Plain data (`Clone + Debug + Send + Sync`), so requests built from
 /// specs can cross threads, be logged, and be replayed bit-identically.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InputSpec {
     seed: u64,
     args: Vec<ValueSpec>,
@@ -246,6 +310,84 @@ impl InputSpec {
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.args.iter().map(|a| a.build(heap, &mut rng)).collect()
     }
+
+    /// Translates a verification countermodel into a targeted input: one
+    /// argument per `params` entry, read off the witness stack. Pointer
+    /// parameters become [`ValueSpec::Exact`] shapes — the witness cells
+    /// reachable from the parameter, breadth-first, so construction order
+    /// is deterministic — and integer parameters become their concrete
+    /// values. Parameters the witness leaves unbound default to nil / 0.
+    ///
+    /// Aliasing between two parameters is *not* reproduced (each argument
+    /// builds its own copy of the reachable cells): the spec language
+    /// builds arguments independently, and a disjoint copy still drives
+    /// execution through the same code path the witness describes.
+    pub fn from_witness(witness: &StackHeapModel, params: &[Param]) -> InputSpec {
+        let args = params.iter().map(|p| {
+            let val = witness.stack.get(p.name);
+            match (p.ty, val) {
+                (TyExpr::Ptr(_), Some(Val::Addr(root))) => exact_from(witness, root),
+                (TyExpr::Ptr(_), _) => ValueSpec::nil(),
+                (TyExpr::Int, Some(Val::Int(k))) => ValueSpec::int(k),
+                (TyExpr::Int, _) | (TyExpr::Bool, _) => ValueSpec::int(0),
+                (TyExpr::Void, _) => ValueSpec::nil(),
+            }
+        });
+        InputSpec::seeded(WITNESS_SEED).args(args)
+    }
+}
+
+/// Fixed seed for witness-derived specs: the shapes are exact, so the
+/// PRNG is never drawn from, and a constant keeps equal witnesses equal
+/// (the CEGIR loop dedupes refinement inputs by spec equality).
+const WITNESS_SEED: u64 = 0xCE61;
+
+/// The cells of `witness` reachable from `root`, BFS over field order.
+fn exact_from(witness: &StackHeapModel, root: Loc) -> ValueSpec {
+    let mut order: Vec<Loc> = Vec::new();
+    let mut index: std::collections::BTreeMap<Loc, usize> = std::collections::BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(loc) = queue.pop_front() {
+        if index.contains_key(&loc) || witness.heap.get(loc).is_none() {
+            continue;
+        }
+        index.insert(loc, order.len());
+        order.push(loc);
+        if let Some(cell) = witness.heap.get(loc) {
+            for f in &cell.fields {
+                if let Val::Addr(next) = f {
+                    queue.push_back(*next);
+                }
+            }
+        }
+    }
+    if order.is_empty() {
+        return ValueSpec::nil();
+    }
+    let cells = order
+        .iter()
+        .map(|loc| {
+            let cell = witness.heap.get(*loc).expect("loc from BFS over the heap");
+            ExactCell {
+                ty: cell.ty,
+                fields: cell
+                    .fields
+                    .iter()
+                    .map(|f| match f {
+                        Val::Nil => ExactVal::Nil,
+                        Val::Int(k) => ExactVal::Int(*k),
+                        Val::Addr(l) => match index.get(l) {
+                            Some(i) => ExactVal::Cell(*i),
+                            // Dangling edge (points outside the witness
+                            // footprint): ground it out.
+                            None => ExactVal::Nil,
+                        },
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    ValueSpec::exact(cells)
 }
 
 #[cfg(test)]
@@ -326,6 +468,102 @@ mod tests {
     #[should_panic(expected = "prev")]
     fn dll_requires_prev_field() {
         let _ = ValueSpec::dll(layout(), 3);
+    }
+
+    #[test]
+    fn exact_shape_builds_cell_for_cell() {
+        let node = Symbol::intern("SpecNode");
+        // Two-cell list with a cycle check: 0 -> 1 -> nil, payloads 5, 7.
+        let spec = InputSpec::new().arg(ValueSpec::exact(vec![
+            ExactCell {
+                ty: node,
+                fields: vec![ExactVal::Cell(1), ExactVal::Int(5)],
+            },
+            ExactCell {
+                ty: node,
+                fields: vec![ExactVal::Nil, ExactVal::Int(7)],
+            },
+        ]));
+        let mut heap = RtHeap::new();
+        let args = spec.build(&mut heap);
+        let Val::Addr(head) = args[0] else {
+            panic!("exact shape with cells has an address root");
+        };
+        let first = heap.live().get(head).unwrap();
+        assert_eq!(first.fields[1], Val::Int(5));
+        let Val::Addr(second) = first.fields[0] else {
+            panic!("first cell links to the second");
+        };
+        let second = heap.live().get(second).unwrap();
+        assert_eq!(second.fields, vec![Val::Nil, Val::Int(7)]);
+        // Determinism: exact shapes never consult the PRNG.
+        let mut heap2 = RtHeap::new();
+        assert_eq!(spec.seed(99).build(&mut heap2).len(), 1);
+        assert_eq!(heap.live().len(), heap2.live().len());
+    }
+
+    #[test]
+    fn empty_exact_shape_is_nil() {
+        let mut heap = RtHeap::new();
+        let args = InputSpec::new()
+            .arg(ValueSpec::exact(Vec::new()))
+            .build(&mut heap);
+        assert_eq!(args, vec![Val::Nil]);
+    }
+
+    #[test]
+    fn witness_translation_reproduces_the_heap_shape() {
+        use sling_models::{Heap, HeapCell, Loc, Stack, StackHeapModel};
+        let node = Symbol::intern("SpecNode");
+        // Witness: x -> 0x08 -> 0x03 -> nil, y unbound, k = 42.
+        let mut heap = Heap::new();
+        heap.insert(
+            Loc::new(8),
+            HeapCell::new(node, vec![Val::Addr(Loc::new(3)), Val::Int(1)]),
+        );
+        heap.insert(
+            Loc::new(3),
+            HeapCell::new(node, vec![Val::Nil, Val::Int(2)]),
+        );
+        let mut stack = Stack::new();
+        stack.bind(Symbol::intern("x"), Val::Addr(Loc::new(8)));
+        stack.bind(Symbol::intern("k"), Val::Int(42));
+        let witness = StackHeapModel::new(stack, heap);
+
+        let params = [
+            Param {
+                name: Symbol::intern("x"),
+                ty: TyExpr::Ptr(node),
+            },
+            Param {
+                name: Symbol::intern("y"),
+                ty: TyExpr::Ptr(node),
+            },
+            Param {
+                name: Symbol::intern("k"),
+                ty: TyExpr::Int,
+            },
+        ];
+        let spec = InputSpec::from_witness(&witness, &params);
+        assert_eq!(spec.arg_specs().len(), 3);
+        assert_eq!(spec.arg_specs()[1], ValueSpec::Nil);
+        assert_eq!(spec.arg_specs()[2], ValueSpec::Int(42));
+
+        let mut rt = RtHeap::new();
+        let args = spec.build(&mut rt);
+        let Val::Addr(head) = args[0] else {
+            panic!("x rebuilt as a two-cell list");
+        };
+        let first = rt.live().get(head).unwrap();
+        assert_eq!(first.fields[1], Val::Int(1));
+        let Val::Addr(next) = first.fields[0] else {
+            panic!("first links to second");
+        };
+        assert_eq!(rt.live().get(next).unwrap().fields[0], Val::Nil);
+        assert_eq!(rt.live().len(), 2);
+
+        // Equal witnesses translate to equal specs (CEGIR dedup key).
+        assert_eq!(spec, InputSpec::from_witness(&witness, &params));
     }
 
     #[test]

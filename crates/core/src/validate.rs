@@ -67,6 +67,7 @@ mod tests {
             activations: pairs.iter().map(|(a, _)| *a).collect(),
             stats: InvariantStats::default(),
             spurious: false,
+            grade: crate::report::InvariantGrade::Ungraded,
         }
     }
 

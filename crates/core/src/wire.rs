@@ -7,10 +7,10 @@
 //! space-separated tokens, opened by the protocol tag [`WIRE_VERSION`]
 //! and a frame kind, followed by the typed payload.
 //!
-//! # Grammar (version `sling2`)
+//! # Grammar (version `sling3`)
 //!
 //! ```text
-//! frame      := "sling2" SP kind SP payload          ; one line, LF-terminated on the wire
+//! frame      := "sling3" SP kind SP payload          ; one line, LF-terminated on the wire
 //! token      := atom | string | integer
 //! atom       := [^ "\n]+                             ; bare word (tags, numbers)
 //! string     := '"' escaped* '"'                     ; \\ \" \n \r \t escapes
@@ -18,8 +18,11 @@
 //! valuespec  := "nil" | "int" i64 | "intin" i64 i64
 //!             | "list" listlayout len:u64 order circular:bool
 //!             | "tree" treelayout size:u64 treekind
+//!             | "exact" ncells:u64 exactcell*
 //! listlayout := ty:string nfields:u64 next:u64 opt opt       ; prev, data
 //! treelayout := ty:string nfields:u64 left:u64 right:u64 opt opt opt ; parent, data, color
+//! exactcell  := ty:string nfields:u64 exactval*
+//! exactval   := "nil" | "i" i64 | "c" idx:u64               ; c = intra-shape cell index
 //! opt        := "-" | u64
 //! order      := "rand" | "sorted" | "rev"
 //! treekind   := "rand" | "bst" | "bal" | "rb"
@@ -32,10 +35,13 @@
 //! val        := "nil" | "i" i64 | "a" u64
 //! heap       := ncells:u64 (loc:u64 ty:string nfields:u64 val*)*
 //! stats      := singletons:u64 preds:u64 pures:u64
-//! invariant  := location formula:string stats spurious:bool
+//! grade      := "ungraded" | "verified" | "refuted" | "confirmed" | "unknown"
+//! invariant  := location formula:string stats spurious:bool grade
 //!               nresidues:u64 heap* nactivations:u64 u64*
 //! locreport  := location models:u64 snaps:u64 tainted:bool ninv:u64 invariant*
 //! metrics    := traces:u64 runs:u64 faulted:u64 workers:u64 seconds:f64bits
+//!               verified:u64 refuted:u64 confirmed:u64 unknown:u64
+//!               refuted0:u64 cegir:u64 vseconds:f64bits
 //! cache      := hits:u64 warm:u64 misses:u64 entries:u64 evictions:u64 resident:u64
 //! report     := target:string metrics cache ndecl:u64 location* nlocs:u64 locreport*
 //! ```
@@ -69,16 +75,20 @@ use sling_lang::{DataOrder, ListLayout, Location, TreeKind, TreeLayout};
 use sling_logic::{parse_formula, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
 
-use crate::report::{Invariant, InvariantStats, LocationAnalysis, Report, RunMetrics};
+use crate::report::{
+    Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
+};
 use crate::request::{AnalysisRequest, InputSource};
-use crate::spec::{InputSpec, ValueSpec};
+use crate::spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 use crate::CacheStats;
 
 /// Protocol tag opening every frame; bump on any grammar change.
-/// (`sling2` extended `cachestats` with eviction and residency
-/// counters; `sling1` peers are rejected with [`WireError::Version`]
+/// (`sling3` added the `exact` value spec, the per-invariant
+/// verification grade, and the verification counters in `metrics`;
+/// `sling2` extended `cachestats` with eviction and residency
+/// counters. Older peers are rejected with [`WireError::Version`]
 /// rather than misparsed.)
-pub const WIRE_VERSION: &str = "sling2";
+pub const WIRE_VERSION: &str = "sling3";
 
 /// Why a wire frame could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -441,6 +451,27 @@ pub fn write_value_spec(w: &mut WireWriter, spec: &ValueSpec) {
                 TreeKind::RedBlack => "rb",
             });
         }
+        ValueSpec::Exact { cells } => {
+            w.atom("exact");
+            w.u64(cells.len() as u64);
+            for cell in cells {
+                w.text(&cell.ty.to_string());
+                w.u64(cell.fields.len() as u64);
+                for field in &cell.fields {
+                    match field {
+                        ExactVal::Nil => w.atom("nil"),
+                        ExactVal::Int(k) => {
+                            w.atom("i");
+                            w.i64(*k);
+                        }
+                        ExactVal::Cell(idx) => {
+                            w.atom("c");
+                            w.u64(*idx as u64);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -472,6 +503,33 @@ pub fn read_value_spec(r: &mut WireReader<'_>) -> Result<ValueSpec, WireError> {
                 other => return Err(syntax(format!("bad tree kind `{other}`"))),
             },
         }),
+        "exact" => {
+            let ncells = r.usize()?;
+            let mut cells = Vec::with_capacity(ncells.min(1 << 16));
+            for _ in 0..ncells {
+                let ty = Symbol::intern(&r.text()?);
+                let nfields = r.usize()?;
+                let mut fields = Vec::with_capacity(nfields.min(1 << 16));
+                for _ in 0..nfields {
+                    fields.push(match r.atom()? {
+                        "nil" => ExactVal::Nil,
+                        "i" => ExactVal::Int(r.i64()?),
+                        "c" => {
+                            let idx = r.usize()?;
+                            if idx >= ncells {
+                                return Err(syntax(format!(
+                                    "exact cell index {idx} out of range (shape has {ncells} cells)"
+                                )));
+                            }
+                            ExactVal::Cell(idx)
+                        }
+                        other => return Err(syntax(format!("bad exact value tag `{other}`"))),
+                    });
+                }
+                cells.push(ExactCell { ty, fields });
+            }
+            Ok(ValueSpec::Exact { cells })
+        }
         other => Err(syntax(format!("bad value spec tag `{other}`"))),
     }
 }
@@ -646,6 +704,27 @@ fn read_heap(r: &mut WireReader<'_>) -> Result<Heap, WireError> {
     Ok(heap)
 }
 
+fn write_grade(w: &mut WireWriter, grade: InvariantGrade) {
+    w.atom(match grade {
+        InvariantGrade::Ungraded => "ungraded",
+        InvariantGrade::Verified => "verified",
+        InvariantGrade::Refuted => "refuted",
+        InvariantGrade::Confirmed => "confirmed",
+        InvariantGrade::Unknown => "unknown",
+    });
+}
+
+fn read_grade(r: &mut WireReader<'_>) -> Result<InvariantGrade, WireError> {
+    match r.atom()? {
+        "ungraded" => Ok(InvariantGrade::Ungraded),
+        "verified" => Ok(InvariantGrade::Verified),
+        "refuted" => Ok(InvariantGrade::Refuted),
+        "confirmed" => Ok(InvariantGrade::Confirmed),
+        "unknown" => Ok(InvariantGrade::Unknown),
+        other => Err(syntax(format!("bad invariant grade `{other}`"))),
+    }
+}
+
 fn write_invariant(w: &mut WireWriter, inv: &Invariant) {
     write_location(w, inv.location);
     w.text(&inv.formula.to_string());
@@ -653,6 +732,7 @@ fn write_invariant(w: &mut WireWriter, inv: &Invariant) {
     w.u64(inv.stats.preds as u64);
     w.u64(inv.stats.pures as u64);
     w.bool(inv.spurious);
+    write_grade(w, inv.grade);
     w.u64(inv.residues.len() as u64);
     for heap in &inv.residues {
         write_heap(w, heap);
@@ -673,6 +753,7 @@ fn read_invariant(r: &mut WireReader<'_>) -> Result<Invariant, WireError> {
         pures: r.usize()?,
     };
     let spurious = r.bool()?;
+    let grade = read_grade(r)?;
     let nresidues = r.usize()?;
     let mut residues = Vec::with_capacity(nresidues.min(1 << 16));
     for _ in 0..nresidues {
@@ -690,6 +771,7 @@ fn read_invariant(r: &mut WireReader<'_>) -> Result<Invariant, WireError> {
         activations,
         stats,
         spurious,
+        grade,
     })
 }
 
@@ -730,6 +812,13 @@ pub fn write_metrics(w: &mut WireWriter, m: &RunMetrics) {
     w.u64(m.faulted_runs as u64);
     w.u64(m.workers as u64);
     w.f64(m.seconds);
+    w.u64(m.verified as u64);
+    w.u64(m.refuted as u64);
+    w.u64(m.confirmed as u64);
+    w.u64(m.unknown as u64);
+    w.u64(m.refuted_initial as u64);
+    w.u64(m.cegir_rounds as u64);
+    w.f64(m.verify_seconds);
 }
 
 /// Reads [`RunMetrics`] from an open frame.
@@ -740,6 +829,13 @@ pub fn read_metrics(r: &mut WireReader<'_>) -> Result<RunMetrics, WireError> {
         faulted_runs: r.usize()?,
         workers: r.usize()?,
         seconds: r.f64()?,
+        verified: r.usize()?,
+        refuted: r.usize()?,
+        confirmed: r.usize()?,
+        unknown: r.usize()?,
+        refuted_initial: r.usize()?,
+        cegir_rounds: r.usize()?,
+        verify_seconds: r.f64()?,
     })
 }
 
@@ -877,6 +973,17 @@ mod tests {
             ValueSpec::tree(tree_layout("WTree"), 0, TreeKind::Bst),
             ValueSpec::tree(tree_layout("WTree"), 31, TreeKind::Balanced),
             ValueSpec::tree(tree_layout("WTree"), 15, TreeKind::RedBlack),
+            ValueSpec::exact(vec![]),
+            ValueSpec::exact(vec![
+                ExactCell {
+                    ty: Symbol::intern("WNode"),
+                    fields: vec![ExactVal::Cell(1), ExactVal::Int(i64::MIN)],
+                },
+                ExactCell {
+                    ty: Symbol::intern("WNode"),
+                    fields: vec![ExactVal::Nil, ExactVal::Int(7)],
+                },
+            ]),
         ]
     }
 
@@ -1005,6 +1112,13 @@ mod tests {
             faulted_runs: 1,
             workers: 4,
             seconds: 0.1 + 0.2, // not representable in decimal text
+            verified: 5,
+            refuted: 1,
+            confirmed: 2,
+            unknown: 3,
+            refuted_initial: 4,
+            cegir_rounds: 2,
+            verify_seconds: 0.1 + 0.7,
         };
         let mut w = WireWriter::new();
         write_metrics(&mut w, &metrics);
@@ -1045,6 +1159,20 @@ mod tests {
         ));
         // Corrupt numeric token.
         assert!(decode_report(&good.replacen(" 0 ", " zero ", 1)).is_err());
+        // An exact-shape cell index past the shape is rejected.
+        let mut w = WireWriter::new();
+        write_value_spec(
+            &mut w,
+            &ValueSpec::exact(vec![ExactCell {
+                ty: Symbol::intern("WNode"),
+                fields: vec![ExactVal::Cell(1)],
+            }]),
+        );
+        let dangling = w.finish();
+        assert!(matches!(
+            read_value_spec(&mut WireReader::new(&dangling)),
+            Err(WireError::Syntax(_))
+        ));
         // A formula that does not re-parse is a typed Formula error.
         let mut w = WireWriter::frame("report");
         w.text("walk");

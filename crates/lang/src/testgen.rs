@@ -21,7 +21,7 @@ use sling_models::{Loc, Val};
 use crate::interp::RtHeap;
 
 /// Field layout of a list node.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ListLayout {
     /// Structure name.
     pub ty: Symbol,
@@ -36,7 +36,7 @@ pub struct ListLayout {
 }
 
 /// Field layout of a binary tree node.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeLayout {
     /// Structure name.
     pub ty: Symbol,

@@ -6,11 +6,14 @@
 //!   (any order in the source; callers can normalize with
 //!   [`normalize_points_to`]);
 //! * predicate applications name a known predicate with matching arity;
-//! * predicate definitions are *heap-founded*: every recursive case contains
-//!   at least one points-to atom, so unfolding against a finite heap
-//!   terminates (this is the condition the model checker relies on).
+//! * predicate definitions are *productive*: every cycle in the call graph
+//!   passes through at least one case that allocates (contains a points-to
+//!   atom), so unfolding against a finite heap terminates (the condition
+//!   the model checker and the verification prover rely on). Acyclic
+//!   unguarded calls — a wrapper case like `wrap(x) := inner(x)` — are
+//!   fine: they can only be taken a bounded number of times.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::ast::{SpatialAtom, SymHeap};
@@ -41,8 +44,15 @@ pub enum WfError {
         /// Actual argument count.
         actual: usize,
     },
-    /// A recursive case with no points-to atom: unfolding may diverge.
-    NotHeapFounded(Symbol),
+    /// Unguarded recursion: a cycle of predicate calls in which no case
+    /// along the way consumes a heap cell, so bounded unfolding would spin
+    /// without ever shrinking the heap.
+    NotProductive {
+        /// The predicate the cycle was detected at.
+        pred: Symbol,
+        /// The call cycle, starting and ending at `pred`.
+        cycle: Vec<Symbol>,
+    },
 }
 
 impl fmt::Display for WfError {
@@ -63,11 +73,15 @@ impl fmt::Display for WfError {
                     "predicate `{pred}` expects {expected} arguments, got {actual}"
                 )
             }
-            WfError::NotHeapFounded(p) => write!(
-                f,
-                "predicate `{p}` has a recursive case without a points-to atom; \
-                 model checking could diverge"
-            ),
+            WfError::NotProductive { pred, cycle } => {
+                let path: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+                write!(
+                    f,
+                    "predicate `{pred}` is not productive: the unguarded call cycle \
+                     {} never consumes a heap cell; bounded unfolding would diverge",
+                    path.join(" -> ")
+                )
+            }
         }
     }
 }
@@ -122,7 +136,10 @@ pub fn check_symheap(h: &SymHeap, types: &TypeEnv, preds: &PredEnv) -> Result<()
     Ok(())
 }
 
-/// Checks a predicate definition (all cases well-formed and heap-founded).
+/// Checks a predicate definition: all cases well-formed, and no case is an
+/// unguarded *self*-call (`p(..) := .. p(..)` with no points-to), which is
+/// a productivity cycle of length one. Cross-predicate cycles need the
+/// whole environment and are detected by [`check_pred_env`].
 ///
 /// # Errors
 ///
@@ -130,31 +147,117 @@ pub fn check_symheap(h: &SymHeap, types: &TypeEnv, preds: &PredEnv) -> Result<()
 pub fn check_pred_def(def: &PredDef, types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
     for case in &def.cases {
         check_symheap(case, types, preds)?;
-        let has_points_to = case
-            .spatial
-            .iter()
-            .any(|a| matches!(a, SpatialAtom::PointsTo { .. }));
-        let recursive = case.spatial.iter().any(
-            |a| matches!(a, SpatialAtom::Pred { name, .. } if preds.get(*name).is_some() || *name == def.name),
-        );
-        if recursive && !has_points_to {
-            return Err(WfError::NotHeapFounded(def.name));
+        if !case_is_guarded(case) && case_calls(case).contains(&def.name) {
+            return Err(WfError::NotProductive {
+                pred: def.name,
+                cycle: vec![def.name, def.name],
+            });
         }
     }
     Ok(())
 }
 
-/// Checks every predicate of `preds` (definitions may be mutually
-/// recursive; each must already be registered).
+/// True if the case consumes at least one heap cell when taken.
+fn case_is_guarded(case: &SymHeap) -> bool {
+    case.spatial
+        .iter()
+        .any(|a| matches!(a, SpatialAtom::PointsTo { .. }))
+}
+
+/// The predicates a case applies.
+fn case_calls(case: &SymHeap) -> BTreeSet<Symbol> {
+    case.spatial
+        .iter()
+        .filter_map(|a| match a {
+            SpatialAtom::Pred { name, .. } => Some(*name),
+            SpatialAtom::PointsTo { .. } => None,
+        })
+        .collect()
+}
+
+/// The environment-level productivity lint over a whole predicate set
+/// (definitions may be mutually recursive): in the *unguarded* call
+/// graph — an edge `p -> q` for every case of `p` that applies `q`
+/// without containing a points-to atom — any cycle means a chain of
+/// unfoldings that never consumes a heap cell, so bounded unfolding
+/// would spin. Guarded recursion (the normal inductive case)
+/// contributes no edge.
+///
+/// Deliberately call-graph-only: per-case structure and arity checks
+/// belong to [`check_symheap`] / [`check_pred_def`] against a concrete
+/// [`TypeEnv`], and a shared predicate library may span struct types a
+/// given program does not declare.
 ///
 /// # Errors
 ///
-/// Returns the first [`WfError`] found.
-pub fn check_pred_env(types: &TypeEnv, preds: &PredEnv) -> Result<(), WfError> {
+/// An unguarded cycle is reported as [`WfError::NotProductive`] with
+/// the offending call path.
+pub fn check_pred_env(preds: &PredEnv) -> Result<(), WfError> {
+    let mut unguarded: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
     for def in preds.iter() {
-        check_pred_def(def, types, preds)?;
+        for case in &def.cases {
+            if !case_is_guarded(case) {
+                unguarded
+                    .entry(def.name)
+                    .or_default()
+                    .extend(case_calls(case));
+            }
+        }
+    }
+    // DFS over the unguarded graph; a back edge closes a non-productive
+    // cycle. Graph order is BTreeMap order, so the reported cycle is
+    // deterministic.
+    let mut state: BTreeMap<Symbol, Color> = BTreeMap::new();
+    for &start in unguarded.keys() {
+        if state.contains_key(&start) {
+            continue;
+        }
+        let mut path: Vec<Symbol> = Vec::new();
+        if let Some(cycle) = dfs_cycle(start, &unguarded, &mut state, &mut path) {
+            return Err(WfError::NotProductive {
+                pred: cycle[0],
+                cycle,
+            });
+        }
     }
     Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    OnPath,
+    Done,
+}
+
+/// Depth-first search for a cycle reachable from `node`; on success the
+/// returned path starts and ends at the same predicate.
+fn dfs_cycle(
+    node: Symbol,
+    graph: &BTreeMap<Symbol, BTreeSet<Symbol>>,
+    state: &mut BTreeMap<Symbol, Color>,
+    path: &mut Vec<Symbol>,
+) -> Option<Vec<Symbol>> {
+    state.insert(node, Color::OnPath);
+    path.push(node);
+    for &next in graph.get(&node).into_iter().flatten() {
+        match state.get(&next) {
+            Some(Color::OnPath) => {
+                let from = path.iter().position(|&p| p == next).unwrap_or(0);
+                let mut cycle: Vec<Symbol> = path[from..].to_vec();
+                cycle.push(next);
+                return Some(cycle);
+            }
+            Some(Color::Done) => {}
+            None => {
+                if let Some(cycle) = dfs_cycle(next, graph, state, path) {
+                    return Some(cycle);
+                }
+            }
+        }
+    }
+    path.pop();
+    state.insert(node, Color::Done);
+    None
 }
 
 /// Reorders the named fields of every points-to atom into the structure's
@@ -249,20 +352,76 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_heap_founded() {
+    fn rejects_unguarded_self_recursion() {
         let (types, mut preds) = env();
         let bad = parse_predicates("pred spin(x: Node*) := spin(x);").unwrap();
         preds.define(bad[0].clone()).unwrap();
+        let spin = Symbol::intern("spin");
+        assert_eq!(
+            check_pred_env(&preds),
+            Err(WfError::NotProductive {
+                pred: spin,
+                cycle: vec![spin, spin],
+            })
+        );
+        // The single-definition check catches the self-loop too.
         assert!(matches!(
-            check_pred_env(&types, &preds),
-            Err(WfError::NotHeapFounded(_))
+            check_pred_def(&bad[0], &types, &preds),
+            Err(WfError::NotProductive { .. })
         ));
     }
 
     #[test]
+    fn rejects_unguarded_mutual_recursion() {
+        let (_types, mut preds) = env();
+        for def in parse_predicates(
+            "pred ping(x: Node*) := emp & x == nil | pong(x);
+             pred pong(x: Node*) := emp & x == nil | ping(x);",
+        )
+        .unwrap()
+        {
+            preds.define(def).unwrap();
+        }
+        match check_pred_env(&preds) {
+            Err(WfError::NotProductive { cycle, .. }) => {
+                assert_eq!(cycle.len(), 3, "ping -> pong -> ping");
+                assert_eq!(cycle.first(), cycle.last());
+            }
+            other => panic!("expected NotProductive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_acyclic_wrapper() {
+        // An unguarded but non-recursive alias case is fine: it can only
+        // be taken once per unfolding chain.
+        let (_types, mut preds) = env();
+        let wrap = parse_predicates("pred closed(hd: Node*) := dll(hd, nil, nil, nil);").unwrap();
+        preds.define(wrap[0].clone()).unwrap();
+        assert_eq!(check_pred_env(&preds), Ok(()));
+    }
+
+    #[test]
+    fn accepts_guarded_mutual_recursion() {
+        // even/odd-length lists: the cycle exists in the call graph but
+        // every step consumes a cell, so it is productive.
+        let (_types, mut preds) = env();
+        for def in parse_predicates(
+            "pred evenl(x: Node*) := emp & x == nil
+               | exists u. x -> Node{next: u, prev: nil} * oddl(u);
+             pred oddl(x: Node*) := exists u. x -> Node{next: u, prev: nil} * evenl(u);",
+        )
+        .unwrap()
+        {
+            preds.define(def).unwrap();
+        }
+        assert_eq!(check_pred_env(&preds), Ok(()));
+    }
+
+    #[test]
     fn accepts_whole_env() {
-        let (types, preds) = env();
-        assert_eq!(check_pred_env(&types, &preds), Ok(()));
+        let (_types, preds) = env();
+        assert_eq!(check_pred_env(&preds), Ok(()));
     }
 
     #[test]

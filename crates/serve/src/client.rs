@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use sling::wire::WireError;
 use sling::{AnalysisRequest, BatchReport, Report};
 
-use crate::proto::{ClientFrame, FrameBuffer, ServerFrame};
+use crate::proto::{ClientFrame, FrameBuffer, ServerFrame, VerifyTotals};
 
 /// Why a served analysis failed on the client side.
 #[derive(Debug)]
@@ -86,6 +86,7 @@ pub struct Client {
     warm_entries: u64,
     parallelism: u64,
     next_id: u64,
+    verify_totals: VerifyTotals,
 }
 
 impl Client {
@@ -99,6 +100,7 @@ impl Client {
             warm_entries: 0,
             parallelism: 0,
             next_id: 1,
+            verify_totals: VerifyTotals::default(),
         };
         match client.read_frame()? {
             ServerFrame::Hello {
@@ -143,6 +145,13 @@ impl Client {
     /// The serving engine's worker budget (from the `hello` banner).
     pub fn parallelism(&self) -> u64 {
         self.parallelism
+    }
+
+    /// Verification-grade totals from the last completed batch's `done`
+    /// epilogue — all zero before the first batch, and when the serving
+    /// engine runs without the verification post-pass.
+    pub fn verify_totals(&self) -> VerifyTotals {
+        self.verify_totals
     }
 
     /// Round-trips a liveness probe.
@@ -207,6 +216,7 @@ impl Client {
                     id: got,
                     count,
                     cache,
+                    verify,
                 } => {
                     if got != id {
                         return Err(ServeError::Protocol(format!(
@@ -230,6 +240,7 @@ impl Client {
                             reports.len()
                         )));
                     }
+                    self.verify_totals = verify;
                     return Ok(BatchReport { reports, cache });
                 }
                 ServerFrame::Error { id: got, message } if got == id || got == 0 => {

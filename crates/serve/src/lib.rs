@@ -74,4 +74,5 @@ pub mod proto;
 mod service;
 
 pub use client::{Client, ServeError};
+pub use proto::VerifyTotals;
 pub use service::{absorb_snapshot_dir, DirMerge, ServeOptions, Service};

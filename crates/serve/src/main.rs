@@ -14,14 +14,14 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use sling::Engine;
+use sling::{Engine, VerifySettings};
 use sling_serve::{ServeOptions, Service};
 use sling_suite::fixtures::ListCorpus;
 
 const USAGE: &str = "\
 usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
                    [--addr HOST:PORT] [--cache FILE|DIR] [--snapshot-secs N]
-                   [--cache-cap N] [--max-conns N] [--parallelism N]
+                   [--cache-cap N] [--max-conns N] [--parallelism N] [--verify]
 
   --program FILE      MiniC source of the program to serve
   --predicates FILE   predicate library source
@@ -41,7 +41,12 @@ usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
   --max-conns N       serve at most N concurrent connections; excess
                       connections get a typed `busy` frame and should
                       retry (default: unbounded)
-  --parallelism N     worker budget (default: SLING_PARALLELISM or cores)";
+  --parallelism N     worker budget (default: SLING_PARALLELISM or cores)
+  --verify            grade every inferred invariant with the static
+                      verification post-pass (counterexample-guided
+                      refinement on refutation); the summed grade totals
+                      ride each batch's `done` epilogue. `SLING_VERIFY=off`
+                      in the daemon's environment overrides this flag";
 
 struct Args {
     program: Option<String>,
@@ -53,6 +58,7 @@ struct Args {
     cache_cap: Option<usize>,
     max_conns: Option<usize>,
     parallelism: Option<usize>,
+    verify: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         cache_cap: None,
         max_conns: None,
         parallelism: None,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --parallelism: {e}"))?,
                 );
             }
+            "--verify" => args.verify = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -177,6 +185,9 @@ fn build_engine(
     }
     if let Some(workers) = args.parallelism {
         builder = builder.parallelism(workers);
+    }
+    if args.verify {
+        builder = builder.verification(VerifySettings::default());
     }
     Ok(builder.build()?)
 }
@@ -287,10 +298,15 @@ fn main() -> ExitCode {
     };
     // The boot line is the readiness signal scripts wait for.
     println!(
-        "sling-serve: listening on {} ({} warm cache entries, {} workers)",
+        "sling-serve: listening on {} ({} warm cache entries, {} workers{})",
         service.local_addr(),
         warm,
-        service.engine().parallelism()
+        service.engine().parallelism(),
+        if args.verify {
+            ", verification post-pass on"
+        } else {
+            ""
+        }
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

@@ -5,14 +5,17 @@
 //! client frames stream results:
 //!
 //! ```text
-//! client → server   sling2 analyze <id:u64> <n:u64> request*
-//! client → server   sling2 ping
-//! server → client   sling2 hello <warm_entries:u64> <parallelism:u64>   ; on connect
-//! server → client   sling2 busy <active:u64> <max:u64>                  ; on connect, saturated
-//! server → client   sling2 pong
-//! server → client   sling2 report <id:u64> <index:u64> report           ; completion order
-//! server → client   sling2 done <id:u64> <nreports:u64> cachestats      ; batch epilogue
-//! server → client   sling2 error <id:u64> <message:string>              ; id 0 = unattributable
+//! client → server   sling3 analyze <id:u64> <n:u64> request*
+//! client → server   sling3 ping
+//! server → client   sling3 hello <warm_entries:u64> <parallelism:u64>   ; on connect
+//! server → client   sling3 busy <active:u64> <max:u64>                  ; on connect, saturated
+//! server → client   sling3 pong
+//! server → client   sling3 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling3 done <id:u64> <nreports:u64> cachestats verifytotals
+//! server → client   sling3 error <id:u64> <message:string>              ; id 0 = unattributable
+//!
+//! verifytotals := verified:u64 refuted:u64 confirmed:u64 unknown:u64
+//!                 refuted0:u64 cegir:u64 vseconds:f64
 //! ```
 //!
 //! `id` is a client-chosen correlation number echoed on every frame of
@@ -25,6 +28,72 @@ use std::io::{self, Read};
 
 use sling::wire::{self, WireError, WireReader, WireWriter};
 use sling::{AnalysisRequest, CacheStats, Report};
+
+/// Verification-grade totals for a whole batch, summed over every
+/// report's [`RunMetrics`](sling::RunMetrics) and carried on the `done`
+/// epilogue so a client sees the grading outcome — and what the
+/// counterexample-guided refinement loop did — without walking the
+/// individual reports. All-zero when the serving engine runs without
+/// the verification post-pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VerifyTotals {
+    /// Invariants graded `Verified` across the batch.
+    pub verified: u64,
+    /// Invariants still graded `Refuted` after the final refinement
+    /// round.
+    pub refuted: u64,
+    /// Invariants re-graded `Confirmed` (a refutation witness survived
+    /// re-inference) across the batch.
+    pub confirmed: u64,
+    /// Invariants the prover could not decide within its budget.
+    pub unknown: u64,
+    /// Refutations before any refinement ran.
+    pub refuted_initial: u64,
+    /// Counterexample-guided refinement rounds, summed over the batch.
+    pub cegir_rounds: u64,
+    /// Wall-clock seconds spent grading, summed over the batch.
+    pub verify_seconds: f64,
+}
+
+impl VerifyTotals {
+    /// Sums the verification metrics of every report in a batch.
+    pub fn from_reports(reports: &[Report]) -> VerifyTotals {
+        let mut totals = VerifyTotals::default();
+        for report in reports {
+            let m = &report.metrics;
+            totals.verified += m.verified as u64;
+            totals.refuted += m.refuted as u64;
+            totals.confirmed += m.confirmed as u64;
+            totals.unknown += m.unknown as u64;
+            totals.refuted_initial += m.refuted_initial as u64;
+            totals.cegir_rounds += m.cegir_rounds as u64;
+            totals.verify_seconds += m.verify_seconds;
+        }
+        totals
+    }
+
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(self.verified);
+        w.u64(self.refuted);
+        w.u64(self.confirmed);
+        w.u64(self.unknown);
+        w.u64(self.refuted_initial);
+        w.u64(self.cegir_rounds);
+        w.f64(self.verify_seconds);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<VerifyTotals, WireError> {
+        Ok(VerifyTotals {
+            verified: r.u64()?,
+            refuted: r.u64()?,
+            confirmed: r.u64()?,
+            unknown: r.u64()?,
+            refuted_initial: r.u64()?,
+            cegir_rounds: r.u64()?,
+            verify_seconds: r.f64()?,
+        })
+    }
+}
 
 /// A frame the client sends.
 #[derive(Debug)]
@@ -131,6 +200,9 @@ pub enum ServerFrame {
         count: u64,
         /// Checker-cache movement across the whole batch.
         cache: CacheStats,
+        /// Verification-grade totals across the whole batch (all zero
+        /// when the serving engine runs without the post-pass).
+        verify: VerifyTotals,
     },
     /// Batch `id` (0 = unattributable) failed.
     Error {
@@ -162,11 +234,17 @@ impl ServerFrame {
             }
             ServerFrame::Pong => WireWriter::frame("pong").finish(),
             ServerFrame::Report { id, index, report } => encode_report_frame(*id, *index, report),
-            ServerFrame::Done { id, count, cache } => {
+            ServerFrame::Done {
+                id,
+                count,
+                cache,
+                verify,
+            } => {
                 let mut w = WireWriter::frame("done");
                 w.u64(*id);
                 w.u64(*count);
                 wire::write_cache_stats(&mut w, cache);
+                verify.write(&mut w);
                 w.finish()
             }
             ServerFrame::Error { id, message } => {
@@ -200,6 +278,7 @@ impl ServerFrame {
                 id: r.u64()?,
                 count: r.u64()?,
                 cache: wire::read_cache_stats(&mut r)?,
+                verify: VerifyTotals::read(&mut r)?,
             },
             "error" => ServerFrame::Error {
                 id: r.u64()?,

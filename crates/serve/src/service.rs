@@ -76,7 +76,10 @@ impl Shared {
 /// [`crate::proto`]: each `analyze` frame fans out over the engine
 /// ([`Engine::analyze_all_with`]), streaming every [`Report`] back the
 /// moment it completes and closing the batch with a `done` frame that
-/// carries the batch's cache delta. The engine — and with it the warm
+/// carries the batch's cache delta and — when the engine was built
+/// with the verification post-pass — the batch's summed grade totals
+/// ([`VerifyTotals`](crate::proto::VerifyTotals)). The engine — and
+/// with it the warm
 /// entailment cache loaded at boot — is shared by every connection, so
 /// entailments established for one client answer the next client's
 /// queries.
@@ -342,6 +345,7 @@ fn serve_frame(line: &str, shared: &Shared, writer: &Mutex<TcpStream>) -> bool {
                     let done = ServerFrame::Done {
                         id,
                         count: batch.reports.len() as u64,
+                        verify: crate::proto::VerifyTotals::from_reports(&batch.reports),
                         cache: batch.cache,
                     };
                     !broken.load(Ordering::Relaxed) && send(writer, &done).is_ok()

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use sling::{AnalysisRequest, CheckCache, Engine, Report, SlingConfig};
+use sling::{AnalysisRequest, CheckCache, Engine, InvariantGrade, Report, SlingConfig};
 use sling_lang::{check_program, parse_program, Location, Program};
 use sling_logic::{parse_formula, Symbol};
 
@@ -234,6 +234,53 @@ pub fn baseline_finds(spec: &sling_biabduce::Spec, prop: &Property) -> bool {
         // The baseline does not produce loop invariants.
         Property::LoopInv { .. } => false,
     }
+}
+
+/// Grade histogram across a set of runs — the static-verification
+/// extension of Table 1. `ungraded` counts invariants the post-pass
+/// never touched (verification not configured, or the `SLING_VERIFY`
+/// kill-switch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GradeSummary {
+    /// Invariants graded `Verified`.
+    pub verified: usize,
+    /// Invariants still `Refuted` after the final refinement round.
+    pub refuted: usize,
+    /// Invariants graded `Confirmed` (refuted statically, survived
+    /// re-inference on the witness input).
+    pub confirmed: usize,
+    /// Invariants the prover could not decide within budget.
+    pub unknown: usize,
+    /// Invariants never graded.
+    pub ungraded: usize,
+    /// Refutations before any refinement ran, summed over runs.
+    pub refuted_initial: usize,
+    /// Refinement rounds executed, summed over runs.
+    pub cegir_rounds: usize,
+}
+
+impl GradeSummary {
+    /// Fraction of graded invariants the prover endorsed (`Verified` or
+    /// `Confirmed`); `None` when nothing was graded.
+    pub fn precision(&self) -> Option<f64> {
+        let graded = self.verified + self.refuted + self.confirmed + self.unknown;
+        (graded > 0).then(|| (self.verified + self.confirmed) as f64 / graded as f64)
+    }
+}
+
+/// Aggregates the verification-grade histogram over runs.
+pub fn grade_summary(runs: &[BenchRun]) -> GradeSummary {
+    let mut sum = GradeSummary::default();
+    for r in runs {
+        sum.verified += r.report.graded_count(InvariantGrade::Verified);
+        sum.refuted += r.report.graded_count(InvariantGrade::Refuted);
+        sum.confirmed += r.report.graded_count(InvariantGrade::Confirmed);
+        sum.unknown += r.report.graded_count(InvariantGrade::Unknown);
+        sum.ungraded += r.report.graded_count(InvariantGrade::Ungraded);
+        sum.refuted_initial += r.report.metrics.refuted_initial;
+        sum.cegir_rounds += r.report.metrics.cegir_rounds;
+    }
+    sum
 }
 
 /// One Table 1 row.
@@ -473,6 +520,38 @@ mod tests {
             !run.baseline_found[0],
             "no unary DLL predicate: baseline fails"
         );
+    }
+
+    #[test]
+    fn grade_summary_reports_graded_precision() {
+        let mut config = quick_config();
+        config.sling.verify = Some(sling::VerifySettings::default());
+        let bench = all_benches()
+            .into_iter()
+            .find(|b| b.name == "sll/reverse")
+            .unwrap();
+        let runs = vec![run_bench(&bench, &config)];
+        let summary = grade_summary(&runs);
+        let total = summary.verified
+            + summary.refuted
+            + summary.confirmed
+            + summary.unknown
+            + summary.ungraded;
+        assert_eq!(total, runs[0].report.invariant_count());
+        let env_off = matches!(std::env::var("SLING_VERIFY"), Ok(v)
+            if v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"));
+        if env_off {
+            assert_eq!(
+                summary.precision(),
+                None,
+                "nothing graded under the kill-switch"
+            );
+        } else {
+            assert_eq!(summary.ungraded, 0, "every invariant graded: {summary:?}");
+            assert_eq!(summary.refuted, 0, "{summary:?}");
+            let precision = summary.precision().expect("graded invariants exist");
+            assert!(precision > 0.0, "{summary:?}");
+        }
     }
 
     #[test]

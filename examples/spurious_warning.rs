@@ -9,12 +9,17 @@
 //! cargo run -p sling-examples --example spurious_warning
 //! ```
 
+use sling::VerifySettings;
 use sling_lang::Location;
 use sling_suite::corpus::all_benches;
 use sling_suite::eval::{run_bench, EvalConfig};
 
 fn main() {
-    let config = EvalConfig::default();
+    // Grade every invariant with the static verification post-pass:
+    // `res == nil` surviving as *Verified* is what separates a real bug
+    // from an inference artifact.
+    let mut config = EvalConfig::default();
+    config.sling.verify = Some(VerifySettings::default());
 
     // The correct merge sort: the "leak" FBInfer reports is refuted by
     // the alias equalities in the inferred invariants.
@@ -26,7 +31,7 @@ fn main() {
     println!("== correct sortReal ==");
     if let Some(report) = run.report.at(Location::Exit(1)) {
         for inv in report.invariants.iter().take(3) {
-            println!("    {}", inv.formula);
+            println!("    [{}] {}", inv.grade, inv.formula);
         }
         println!(
             "  → the result is a well-formed list reachable from `res`;\n\
@@ -45,11 +50,13 @@ fn main() {
     println!("== buggy sortMerge (the paper's typo) ==");
     if let Some(report) = run.report.at(Location::Exit(0)) {
         for inv in report.invariants.iter().take(3) {
-            println!("    {}", inv.formula);
+            println!("    [{}] {}", inv.grade, inv.formula);
         }
     }
     println!(
-        "  → SLING reports the result is always nil: the function returns\n\
-         the scratch variable instead of the merged list (§5.4)."
+        "  → SLING reports the result is always nil — and the verifier\n\
+         endorses it: the function returns the scratch variable instead\n\
+         of the merged list (§5.4). The bug is real, not an inference\n\
+         artifact."
     );
 }

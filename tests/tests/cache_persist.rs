@@ -161,29 +161,46 @@ fn partial_predicate_change_keeps_untouched_entries_warm() {
     assert!(written > 0);
 
     // Same program, same sll — but lseg's definition changed.
-    let mutated = Engine::builder()
-        .program_source(&corpus.program())
-        .expect("program parses")
-        .predicates_source(&format!(
-            "pred sll(x: {n}*) := emp & x == nil
-               | exists u, d. x -> {n}{{next: u, data: d}} * sll(u);
-             pred lseg(x: {n}*, y: {n}*) := emp & x == y & x == y
-               | exists u, d. x -> {n}{{next: u, data: d}} * lseg(u, y);",
-            n = corpus.node()
-        ))
-        .expect("predicates parse")
-        .cache_path(&path)
-        .build()
-        .expect("program checks");
-
-    let restored = mutated.warm_entries();
-    assert!(
-        restored > 0,
-        "entries touching only sll must survive an lseg change"
+    let mutated_library = format!(
+        "pred sll(x: {n}*) := emp & x == nil
+           | exists u, d. x -> {n}{{next: u, data: d}} * sll(u);
+         pred lseg(x: {n}*, y: {n}*) := emp & x == y & x == y
+           | exists u, d. x -> {n}{{next: u, data: d}} * lseg(u, y);",
+        n = corpus.node()
     );
-    assert!(
-        restored < written,
-        "entries touching lseg must be dropped ({restored} of {written} kept)"
+    let mutated_engine = |cache: Option<&PathBuf>| {
+        let mut builder = Engine::builder()
+            .program_source(&corpus.program())
+            .expect("program parses")
+            .predicates_source(&mutated_library)
+            .expect("predicates parse");
+        if let Some(path) = cache {
+            builder = builder.cache_path(path);
+        }
+        builder.build().expect("program checks")
+    };
+
+    // The typed split is observable at the persist layer: probe the
+    // still-untouched snapshot under the mutated profile (a snapshotless
+    // engine build derives the profile without loading or rewriting the
+    // file).
+    let probed = mutated_engine(None);
+    let profile = sling::EnvProfile::new(probed.types(), probed.preds());
+    let survivors = match sling::persist::load(&sling::CheckCache::new(), &profile, &path) {
+        Err(sling::PersistError::PartialStale { kept, dropped }) => {
+            assert!(kept > 0, "entries touching only sll must survive");
+            assert_eq!(kept + dropped, written);
+            assert!(dropped > 0, "entries touching lseg must be dropped");
+            kept
+        }
+        other => panic!("expected PartialStale, got {other:?}"),
+    };
+
+    let mutated = mutated_engine(Some(&path));
+    let restored = mutated.warm_entries();
+    assert_eq!(
+        restored, survivors,
+        "the build warm-loads exactly the surviving entries"
     );
 
     // The survivors genuinely answer queries.
@@ -194,16 +211,12 @@ fn partial_predicate_change_keeps_untouched_entries_warm() {
         batch.cache
     );
 
-    // The typed split is observable at the persist layer too.
-    let probe = sling::CheckCache::new();
-    let profile = sling::EnvProfile::new(mutated.types(), mutated.preds());
-    match sling::persist::load(&probe, &profile, &path) {
-        Err(sling::PersistError::PartialStale { kept, dropped }) => {
-            assert_eq!(kept, restored);
-            assert_eq!(kept + dropped, written);
-            assert!(dropped > 0);
-        }
-        other => panic!("expected PartialStale, got {other:?}"),
+    // The partially-stale load re-saved the pruned snapshot in place,
+    // so the next load under this library is clean — no stale entries
+    // left to re-drop on every boot.
+    match sling::persist::load(&sling::CheckCache::new(), &profile, &path) {
+        Ok(loaded) => assert_eq!(loaded, survivors),
+        other => panic!("expected a clean reload after the re-save, got {other:?}"),
     }
     std::fs::remove_file(&path).ok();
 }

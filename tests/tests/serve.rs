@@ -37,8 +37,8 @@ fn fingerprint(report: &Report) -> String {
         for inv in &loc.invariants {
             let _ = writeln!(
                 out,
-                "    [{}|{:?}] {} :: residues={:?} activations={:?}",
-                inv.spurious, inv.stats, inv.formula, inv.residues, inv.activations
+                "    [{}|{}|{:?}] {} :: residues={:?} activations={:?}",
+                inv.spurious, inv.grade, inv.stats, inv.formula, inv.residues, inv.activations
             );
         }
     }
@@ -181,40 +181,40 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling2 hello "), "{line:?}");
+    assert!(line.starts_with("sling3 hello "), "{line:?}");
 
     let bad_frames = [
         "complete nonsense\n",
         "sling9 analyze 1 0\n",                    // wrong protocol version
-        "sling1 ping\n",                           // previous protocol version
-        "sling2 frobnicate 1\n",                   // unknown frame kind
-        "sling2 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
-        "sling2 analyze 8 2 \"reverse\" 0\n",      // truncated batch
-        "sling2 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
+        "sling2 ping\n",                           // previous protocol version
+        "sling3 frobnicate 1\n",                   // unknown frame kind
+        "sling3 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
+        "sling3 analyze 8 2 \"reverse\" 0\n",      // truncated batch
+        "sling3 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
     ];
     for frame in bad_frames {
         writer.write_all(frame.as_bytes()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("error response");
         assert!(
-            line.starts_with("sling2 error "),
+            line.starts_with("sling3 error "),
             "bad frame {frame:?} must be answered with an error frame, \
              got {line:?}"
         );
     }
     // Correlation ids are salvaged when readable.
     writer
-        .write_all(b"sling2 analyze 42 1 \"reverse\" oops\n")
+        .write_all(b"sling3 analyze 42 1 \"reverse\" oops\n")
         .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("error response");
-    assert!(line.starts_with("sling2 error 42 "), "{line:?}");
+    assert!(line.starts_with("sling3 error 42 "), "{line:?}");
 
     // The connection still serves real work.
-    writer.write_all(b"sling2 ping\n").expect("write");
+    writer.write_all(b"sling3 ping\n").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("pong");
-    assert_eq!(line.trim_end(), "sling2 pong");
+    assert_eq!(line.trim_end(), "sling3 pong");
     drop(writer);
     drop(reader);
 
@@ -396,6 +396,52 @@ fn saturated_service_turns_connections_away_with_busy_and_recovers() {
         .expect("retry lands once the slot frees");
     retried.ping().expect("recovered connection serves");
 
+    service.shutdown().expect("graceful drain");
+}
+
+#[test]
+fn verification_totals_ride_the_done_epilogue() {
+    // A server built with the verification post-pass (`sling-serve
+    // --verify`) grades every invariant it streams and sums the grades
+    // into the batch's `done` frame.
+    let corpus = ListCorpus::new("ServeVfyNode");
+    let engine = corpus_engine(&corpus)
+        .verification(sling::VerifySettings::default())
+        .build()
+        .expect("engine builds");
+    let service = Service::bind(engine, "127.0.0.1:0").expect("service binds");
+    let mut client = Client::connect(service.local_addr()).expect("client connects");
+    assert_eq!(
+        client.verify_totals(),
+        sling_serve::VerifyTotals::default(),
+        "no batch served yet"
+    );
+
+    let batch = corpus.batch(1);
+    let served = client.analyze_all(&batch).expect("served batch runs");
+    let totals = client.verify_totals();
+
+    // The epilogue is exactly the sum of the streamed reports' metrics.
+    let expect = |f: fn(&sling::RunMetrics) -> usize| -> u64 {
+        served.reports.iter().map(|r| f(&r.metrics) as u64).sum()
+    };
+    assert_eq!(totals.verified, expect(|m| m.verified));
+    assert_eq!(totals.refuted, expect(|m| m.refuted));
+    assert_eq!(totals.confirmed, expect(|m| m.confirmed));
+    assert_eq!(totals.unknown, expect(|m| m.unknown));
+    assert_eq!(totals.refuted_initial, expect(|m| m.refuted_initial));
+    assert_eq!(totals.cegir_rounds, expect(|m| m.cegir_rounds));
+
+    let verify_off = matches!(std::env::var("SLING_VERIFY"), Ok(v)
+        if v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"));
+    let graded = totals.verified + totals.refuted + totals.confirmed + totals.unknown;
+    if verify_off {
+        assert_eq!(graded, 0, "SLING_VERIFY=off leaves the epilogue inert");
+    } else {
+        assert!(graded > 0, "a --verify server must grade: {totals:?}");
+        assert!(totals.verify_seconds > 0.0);
+        assert_eq!(totals.refuted, 0, "refinement resolves refutations");
+    }
     service.shutdown().expect("graceful drain");
 }
 

@@ -11,8 +11,8 @@ use proptest::TestRng;
 
 use sling::wire::{self, WireReader, WireWriter};
 use sling::{
-    AnalysisRequest, CacheStats, DataOrder, InputSpec, Invariant, InvariantStats, LocationAnalysis,
-    Report, RunMetrics, TreeKind, ValueSpec,
+    AnalysisRequest, CacheStats, DataOrder, ExactCell, ExactVal, InputSpec, Invariant,
+    InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics, TreeKind, ValueSpec,
 };
 use sling_lang::{ListLayout, Location, TreeLayout};
 use sling_logic::{parse_formula, SymHeap, Symbol};
@@ -66,9 +66,27 @@ fn arb_tree_layout(rng: &mut TestRng) -> TreeLayout {
     }
 }
 
+fn arb_exact_spec(rng: &mut TestRng) -> ValueSpec {
+    let ncells = (rng.next_u64() % 4) as usize;
+    let cells = (0..ncells)
+        .map(|_| ExactCell {
+            ty: Symbol::intern(&format!("WpNode{}", rng.next_u64() % 4)),
+            fields: (0..1 + rng.next_u64() % 3)
+                .map(|_| match rng.next_u64() % 3 {
+                    0 => ExactVal::Nil,
+                    1 => ExactVal::Int(pick_i64(rng)),
+                    _ => ExactVal::Cell((rng.next_u64() % ncells as u64) as usize),
+                })
+                .collect(),
+        })
+        .collect();
+    ValueSpec::exact(cells)
+}
+
 fn arb_value_spec(rng: &mut TestRng) -> ValueSpec {
-    match rng.next_u64() % 5 {
+    match rng.next_u64() % 6 {
         0 => ValueSpec::nil(),
+        5 => arb_exact_spec(rng),
         1 => ValueSpec::int(pick_i64(rng)),
         2 => {
             let (a, b) = (pick_i64(rng), pick_i64(rng));
@@ -148,6 +166,13 @@ fn arb_metrics(rng: &mut TestRng) -> RunMetrics {
         // Arbitrary bit patterns, including NaNs and infinities: the
         // codec ships IEEE bits, so all must survive exactly.
         seconds: f64::from_bits(pick_u64(rng)),
+        verified: (rng.next_u64() % (1 << 20)) as usize,
+        refuted: (rng.next_u64() % (1 << 20)) as usize,
+        confirmed: (rng.next_u64() % (1 << 20)) as usize,
+        unknown: (rng.next_u64() % (1 << 20)) as usize,
+        refuted_initial: (rng.next_u64() % (1 << 20)) as usize,
+        cegir_rounds: (rng.next_u64() % 16) as usize,
+        verify_seconds: f64::from_bits(pick_u64(rng)),
     }
 }
 
@@ -213,6 +238,13 @@ fn arb_invariant(rng: &mut TestRng, pool: &[SymHeap]) -> Invariant {
             pures: (rng.next_u64() % 16) as usize,
         },
         spurious: rng.next_u64().is_multiple_of(2),
+        grade: match rng.next_u64() % 5 {
+            0 => InvariantGrade::Ungraded,
+            1 => InvariantGrade::Verified,
+            2 => InvariantGrade::Refuted,
+            3 => InvariantGrade::Confirmed,
+            _ => InvariantGrade::Unknown,
+        },
     }
 }
 
@@ -282,9 +314,18 @@ proptest! {
         let back = wire::read_metrics(&mut r).expect("round trip decodes");
         r.finish().expect("no trailing tokens");
         prop_assert_eq!(back.seconds.to_bits(), metrics.seconds.to_bits());
+        prop_assert_eq!(back.verify_seconds.to_bits(), metrics.verify_seconds.to_bits());
         prop_assert_eq!(
             (back.traces, back.runs, back.faulted_runs, back.workers),
             (metrics.traces, metrics.runs, metrics.faulted_runs, metrics.workers)
+        );
+        prop_assert_eq!(
+            (back.verified, back.refuted, back.confirmed, back.unknown),
+            (metrics.verified, metrics.refuted, metrics.confirmed, metrics.unknown)
+        );
+        prop_assert_eq!(
+            (back.refuted_initial, back.cegir_rounds),
+            (metrics.refuted_initial, metrics.cegir_rounds)
         );
     }
 
