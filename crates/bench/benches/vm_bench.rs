@@ -1,0 +1,168 @@
+//! Execution-tier cost: the compiled bytecode VM vs the tree-walk
+//! interpreter on the same workloads.
+//!
+//! Three regimes:
+//! - traced collection on the `ListCorpus` fixtures, per-run
+//!   (`reverse` alone) and per-batch (all four targets) — the shape
+//!   `Engine::analyze` pays during trace collection;
+//! - a long-loop stress program (execution-dominated, two snapshots);
+//! - a deep-recursion stress program (call/return dominated).
+//!
+//! The stress pair is the headline number: the bytecode tier's whole
+//! reason to exist is that tick-counted stepping through a `while`
+//! loop or a recursive descent is much cheaper as a dispatch loop over
+//! flat instructions than as a tree walk.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sling::{collect_models, CompiledProgram, Compiler, Executor};
+use sling_lang::{check_program, parse_program, Program, TraceConfig, VmConfig};
+use sling_logic::Symbol;
+use sling_models::Val;
+use sling_suite::fixtures::ListCorpus;
+
+const EXECUTORS: [Executor; 2] = [Executor::Bytecode, Executor::Treewalk];
+
+fn compiled(source: &str) -> (Program, CompiledProgram) {
+    let program = parse_program(source).unwrap();
+    check_program(&program).unwrap();
+    let chunks = Compiler::compile(&program);
+    (program, chunks)
+}
+
+/// Traced collection on the list corpus: one target per iteration
+/// (per-run) and all four targets (per-batch).
+fn corpus_collection(c: &mut Criterion) {
+    let corpus = ListCorpus::new("VmBenchNode");
+    let (program, chunks) = compiled(&corpus.program());
+    let targets: Vec<(&str, Vec<sling::InputSource>)> = vec![
+        (
+            "reverse",
+            vec![
+                corpus.one(1, 0).into(),
+                corpus.one(2, 8).into(),
+                corpus.one(3, 16).into(),
+            ],
+        ),
+        (
+            "traverse",
+            vec![corpus.one(4, 0).into(), corpus.one(5, 12).into()],
+        ),
+        (
+            "append",
+            vec![corpus.two(6, 4, 4).into(), corpus.two(7, 8, 0).into()],
+        ),
+        (
+            "last",
+            vec![corpus.one(8, 1).into(), corpus.one(9, 10).into()],
+        ),
+    ];
+    let collect = |target: &str, inputs: &[sling::InputSource], executor| {
+        collect_models(
+            &program,
+            &chunks,
+            Symbol::intern(target),
+            inputs,
+            VmConfig::default(),
+            TraceConfig::default(),
+            executor,
+        )
+    };
+    for executor in EXECUTORS {
+        c.bench_function(&format!("vm_collect_run_reverse_{executor}"), |b| {
+            b.iter(|| {
+                let out = collect("reverse", &targets[0].1, executor);
+                assert_eq!(out.runs.len(), 3);
+                black_box(out)
+            });
+        });
+        c.bench_function(&format!("vm_collect_batch_{executor}"), |b| {
+            b.iter(|| {
+                for (target, inputs) in &targets {
+                    black_box(collect(target, inputs, executor));
+                }
+            });
+        });
+    }
+}
+
+/// Long unlabelled loop: execution cost dominates (only the entry and
+/// exit snapshots are recorded).
+fn stress_loop(c: &mut Criterion) {
+    let (program, chunks) = compiled(
+        "fn spin(n: int) -> int {
+             var i: int = 0;
+             var acc: int = 0;
+             while (i < n) {
+                 acc = acc + i % 7 - i % 3;
+                 i = i + 1;
+             }
+             return acc;
+         }",
+    );
+    let input = || vec![sling::InputSource::custom(|_| vec![Val::Int(60_000)])];
+    for executor in EXECUTORS {
+        c.bench_function(&format!("vm_stress_loop_{executor}"), |b| {
+            b.iter(|| {
+                let out = collect_models(
+                    &program,
+                    &chunks,
+                    Symbol::intern("spin"),
+                    &input(),
+                    VmConfig::default(),
+                    TraceConfig::default(),
+                    executor,
+                );
+                assert_eq!(out.faulted_runs(), 0);
+                black_box(out)
+            });
+        });
+    }
+}
+
+/// Deep linear recursion: call/return and frame cost dominate. The
+/// tracer targets the `run` wrapper (two snapshots total), so the
+/// descent itself runs untraced at full speed in both tiers — repeated
+/// enough times per call that per-activation cost is what's measured.
+fn stress_recursion(c: &mut Criterion) {
+    let (program, chunks) = compiled(
+        "fn depth(n: int) -> int {
+             if (n < 1) { return 0; }
+             return 1 + depth(n - 1);
+         }
+         fn run(n: int) -> int {
+             var reps: int = 0;
+             var sum: int = 0;
+             while (reps < 40) {
+                 sum = sum + depth(n);
+                 reps = reps + 1;
+             }
+             return sum;
+         }",
+    );
+    let input = || vec![sling::InputSource::custom(|_| vec![Val::Int(1_200)])];
+    for executor in EXECUTORS {
+        c.bench_function(&format!("vm_stress_recursion_{executor}"), |b| {
+            b.iter(|| {
+                let out = collect_models(
+                    &program,
+                    &chunks,
+                    Symbol::intern("run"),
+                    &input(),
+                    VmConfig::default(),
+                    TraceConfig::default(),
+                    executor,
+                );
+                assert_eq!(out.faulted_runs(), 0);
+                black_box(out)
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = corpus_collection, stress_loop, stress_recursion
+}
+criterion_main!(benches);

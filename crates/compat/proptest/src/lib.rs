@@ -3,7 +3,9 @@
 //! Supports the subset used by this workspace's property tests: the
 //! [`proptest!`] macro over `name(arg in strategy, ...)` functions,
 //! `prop_assert!` / `prop_assert_eq!`, integer-range strategies,
-//! [`any`] for primitives, and `collection::{vec, btree_set}`.
+//! [`any`] for primitives, `collection::{vec, btree_set}`, [`Just`],
+//! tuple strategies, [`Strategy::prop_map`], [`Strategy::boxed`], and
+//! the (optionally weighted) [`prop_oneof!`] union.
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded by the
 //! test name), so failures are reproducible; there is no shrinking — a
@@ -65,6 +67,148 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`; no
+    /// shrinking here, so it is a plain post-transform).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies producing
+    /// the same value type can share one name (and be stored together,
+    /// e.g. inside [`prop_oneof!`] arms). The result is cheaply
+    /// cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy ([`Strategy::boxed`]). Clones share the
+/// underlying generator.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A weighted union of strategies over one value type (built by
+/// [`prop_oneof!`]): each draw picks an arm with probability
+/// proportional to its weight, then samples it.
+#[derive(Clone, Debug)]
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; panics on an empty arm list or all-zero
+    /// weights (both make a draw impossible).
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Picks one of several strategies per draw, optionally weighted
+/// (`weight => strategy`). All arms must produce the same value type;
+/// each arm is boxed, so heterogeneous strategy types compose.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
 }
 
 macro_rules! impl_range_strategy {
@@ -216,7 +360,10 @@ macro_rules! proptest {
 
 /// The common imports property tests expect.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]

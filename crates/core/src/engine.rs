@@ -115,6 +115,7 @@ use sling_checker::{persist, CacheStats, CheckCache, CheckCtx, EnvProfile, Persi
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
 use sling_logic::{check_pred_env, parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
 
+use crate::collect::Executor;
 use crate::pipeline::{infer_location, run_target, SlingConfig, VerifySettings};
 use crate::report::{BatchReport, LocationAnalysis, Report};
 use crate::request::AnalysisRequest;
@@ -183,6 +184,7 @@ pub struct EngineBuilder {
     cache_path: Option<PathBuf>,
     cache_capacity: Option<usize>,
     parallelism: Option<usize>,
+    executor: Option<Executor>,
 }
 
 impl EngineBuilder {
@@ -292,6 +294,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the execution tier trace collection runs on: the compiled
+    /// bytecode VM (default, the hot path) or the tree-walk interpreter
+    /// (the differential-testing oracle — both produce identical traces,
+    /// so this is a performance knob, not a semantics one). An explicit
+    /// call wins over the `SLING_EXECUTOR` environment variable, which
+    /// in turn wins over the [`SlingConfig::executor`] field; requests
+    /// may still override per call via their own config.
+    pub fn executor(mut self, executor: Executor) -> EngineBuilder {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Type-checks the program, lints the predicate environment, and
     /// finalizes the engine.
     pub fn build(self) -> Result<Engine, BuildError> {
@@ -305,6 +319,16 @@ impl EngineBuilder {
         // verifier's — could not terminate on.
         check_pred_env(&self.preds).map_err(|e| BuildError::Predicate(e.to_string()))?;
         let profile = EnvProfile::new(&types, &self.preds);
+        let mut config = self.config;
+        if let Some(executor) = self.executor.or_else(executor_from_env) {
+            config.executor = executor;
+        }
+        // Compile to bytecode once per engine, whatever the executor:
+        // compilation is a single cheap pass, and pre-compiling keeps
+        // per-request `executor` overrides zero-cost either way.
+        let compile_start = std::time::Instant::now();
+        let compiled = sling_vm::Compiler::compile(&program);
+        let compile_seconds = compile_start.elapsed().as_secs_f64();
         let cache = match (self.cache, self.cache_capacity) {
             (Some(shared), _) => shared,
             (None, Some(capacity)) => Arc::new(CheckCache::with_capacity(capacity)),
@@ -331,9 +355,11 @@ impl EngineBuilder {
         };
         Ok(Engine {
             program,
+            compiled,
+            compile_seconds,
             types,
             preds: self.preds,
-            config: self.config,
+            config,
             cache,
             cache_path: self.cache_path,
             warm_entries: AtomicU64::new(warm_entries),
@@ -375,6 +401,32 @@ fn parse_parallelism(var: &str) -> Option<usize> {
     var.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
+/// The environment override for the execution tier: `SLING_EXECUTOR`
+/// set to `bytecode` or `treewalk` (whitespace tolerated). Unset or
+/// empty means no override. An unrecognized value is ignored, but
+/// loudly — same first-rejection-per-process warning policy as
+/// `SLING_PARALLELISM`.
+fn executor_from_env() -> Option<Executor> {
+    let var = std::env::var("SLING_EXECUTOR").ok()?;
+    let trimmed = var.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match Executor::parse(trimmed) {
+        Some(executor) => Some(executor),
+        None => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "sling: ignoring unparsable SLING_EXECUTOR={var:?} \
+                     (want \"bytecode\" or \"treewalk\"); using the configured executor"
+                );
+            });
+            None
+        }
+    }
+}
+
 /// Observer for streaming batch analysis ([`Engine::analyze_all_with`]):
 /// receives each [`Report`] as it completes, before the batch finishes.
 ///
@@ -408,6 +460,13 @@ impl ReportSink for DiscardReports {
 #[derive(Debug)]
 pub struct Engine {
     program: Program,
+    /// The program's bytecode form, compiled once at build so every
+    /// request (and every CEGIR re-collection round) reuses the same
+    /// chunks.
+    compiled: sling_vm::CompiledProgram,
+    /// How long that compilation took, stamped into every report's
+    /// [`RunMetrics::compile_seconds`](crate::RunMetrics).
+    compile_seconds: f64,
     types: TypeEnv,
     preds: PredEnv,
     config: SlingConfig,
@@ -456,6 +515,13 @@ impl Engine {
     /// The number of worker threads [`Engine::analyze_all`] may use.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// The program's compiled bytecode form (one chunk per function),
+    /// produced once at build time. Useful for inspecting listings via
+    /// [`sling_vm::CompiledProgram::disassemble`].
+    pub fn compiled(&self) -> &sling_vm::CompiledProgram {
+        &self.compiled
     }
 
     /// Cumulative checker-cache counters for this engine's cache.
@@ -544,14 +610,17 @@ impl Engine {
     fn run_request(&self, request: &AnalysisRequest, workers: usize) -> Report {
         let config = request.config.as_ref().unwrap_or(&self.config);
         let ctx = self.check_ctx(config);
-        run_target(
+        let mut report = run_target(
             &ctx,
             &self.program,
+            &self.compiled,
             request.target,
             &request.inputs,
             config,
             workers,
-        )
+        );
+        report.metrics.compile_seconds = self.compile_seconds;
+        report
     }
 
     /// Serves one request: collect traces for the target on the
@@ -904,6 +973,77 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(engine.parallelism(), 1);
+    }
+
+    #[test]
+    fn executor_defaults_to_bytecode_and_builder_overrides() {
+        // The suite itself may run under `SLING_EXECUTOR` (CI's
+        // tree-walk oracle pass does exactly that), so the expected
+        // builder-less resolution is env-then-config, not a constant.
+        let expected = executor_from_env().unwrap_or_default();
+        assert_eq!(Executor::default(), Executor::Bytecode);
+        let engine = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().executor, expected);
+        // The engine compiles regardless of the executor, so listings
+        // are always inspectable.
+        assert!(engine.compiled().disassemble().contains("fn id"));
+
+        // An explicit builder call wins over the environment.
+        for wanted in [Executor::Treewalk, Executor::Bytecode] {
+            let engine = Engine::builder()
+                .program_source(SRC)
+                .unwrap()
+                .executor(wanted)
+                .build()
+                .unwrap();
+            assert_eq!(engine.config().executor, wanted);
+        }
+    }
+
+    #[test]
+    fn executor_env_parse_paths() {
+        // `executor_from_env` reads the process environment, which is
+        // unsafe to mutate under the parallel test harness; the parse
+        // layer it defers to is covered directly.
+        assert_eq!(Executor::parse("bytecode"), Some(Executor::Bytecode));
+        assert_eq!(Executor::parse("treewalk"), Some(Executor::Treewalk));
+        assert_eq!(Executor::parse("Bytecode"), None, "names are exact");
+        assert_eq!(Executor::parse("interp"), None);
+    }
+
+    #[test]
+    fn reports_carry_collection_and_compile_timings() {
+        // Pin the executor so the test is deterministic even when the
+        // suite runs under `SLING_EXECUTOR` (CI's tree-walk pass does).
+        let engine = Engine::builder()
+            .program_source(SRC)
+            .unwrap()
+            .predicates_source(PREDS)
+            .unwrap()
+            .executor(Executor::Bytecode)
+            .build()
+            .unwrap();
+        let request = AnalysisRequest::new("id").input(crate::InputSpec::seeded(1).arg(
+            crate::ValueSpec::sll(
+                sling_lang::ListLayout {
+                    ty: Symbol::intern("TNode"),
+                    nfields: 2,
+                    next: 0,
+                    prev: None,
+                    data: Some(1),
+                },
+                3,
+            ),
+        ));
+        let report = engine.analyze(&request).unwrap();
+        assert_eq!(report.metrics.executor, Executor::Bytecode);
+        assert!(report.metrics.collect_seconds >= 0.0);
+        assert!(report.metrics.compile_seconds > 0.0, "compile was timed");
+        assert!(report.metrics.collect_seconds <= report.metrics.seconds);
     }
 
     #[test]

@@ -124,7 +124,7 @@ mod split;
 mod validate;
 pub mod wire;
 
-pub use collect::{collect_models, Collected, RunTrace};
+pub use collect::{collect_models, Collected, Executor, RunTrace};
 pub use engine::{AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder, ReportSink};
 pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
 pub use pipeline::{SlingConfig, VerifySettings};
@@ -143,3 +143,4 @@ pub use wire::WireError;
 pub use sling_checker::{persist, CacheStats, CheckCache, EnvProfile, MergeStats, PersistError};
 pub use sling_checker::{Obligation, Prover, UnfoldProver, Verdict, VerifyConfig};
 pub use sling_lang::{DataOrder, ListLayout, TreeKind, TreeLayout};
+pub use sling_vm::{BytecodeVm, CompiledProgram, Compiler};

@@ -19,7 +19,7 @@ use sling_lang::{Location, Program, Snapshot, TraceConfig, VmConfig};
 use sling_logic::{FreshVars, SymHeap, Symbol};
 use sling_models::{Heap, StackHeapModel};
 
-use crate::collect::collect_models;
+use crate::collect::{collect_models, Executor};
 use crate::infer::{infer_atom, var_types, InferConfig, VarTy};
 use crate::pure::infer_pure;
 use crate::report::{
@@ -51,6 +51,10 @@ pub struct SlingConfig {
     pub vm: VmConfig,
     /// Tracer behaviour (freed-cell visibility).
     pub trace: TraceConfig,
+    /// Which execution tier collects traces (bytecode by default; the
+    /// tree-walk oracle via `SLING_EXECUTOR=treewalk` or a per-request
+    /// override).
+    pub executor: Executor,
     /// Static verification + CEGIR refinement; `None` leaves every
     /// invariant [`InvariantGrade::Ungraded`]. The `SLING_VERIFY=off`
     /// environment override disables a configured pass at run time.
@@ -67,6 +71,7 @@ impl Default for SlingConfig {
             max_models_per_location: 48,
             vm: VmConfig::default(),
             trace: TraceConfig::default(),
+            executor: Executor::default(),
             verify: None,
         }
     }
@@ -140,6 +145,7 @@ struct Partial {
 pub(crate) fn run_target(
     ctx: &CheckCtx<'_>,
     program: &Program,
+    compiled: &sling_vm::CompiledProgram,
     target: Symbol,
     inputs: &[InputSource],
     config: &SlingConfig,
@@ -147,7 +153,7 @@ pub(crate) fn run_target(
 ) -> Report {
     let settings = match config.verify {
         Some(s) if !verify_disabled_by_env() => s,
-        _ => return run_target_once(ctx, program, target, inputs, config, workers),
+        _ => return run_target_once(ctx, program, compiled, target, inputs, config, workers),
     };
     let start = Instant::now();
     let prover = UnfoldProver::new(settings.prover);
@@ -155,7 +161,18 @@ pub(crate) fn run_target(
     let params = func.params.clone();
 
     let mut inputs: Vec<InputSource> = inputs.to_vec();
-    let mut report = run_target_once(ctx, program, target, &inputs, config, workers);
+    let mut report = run_target_once(
+        ctx,
+        program,
+        compiled,
+        target,
+        inputs.as_slice(),
+        config,
+        workers,
+    );
+    // Collection time accumulates across refinement rounds so the
+    // client-visible number covers every re-run, not just the last.
+    let mut collect_total = report.metrics.collect_seconds;
     let verify_start = Instant::now();
     let mut rounds = 0usize;
     let mut refuted_initial = 0usize;
@@ -198,10 +215,12 @@ pub(crate) fn run_target(
             break;
         }
         inputs.extend(fresh.into_iter().map(InputSource::from));
-        report = run_target_once(ctx, program, target, &inputs, config, workers);
+        report = run_target_once(ctx, program, compiled, target, &inputs, config, workers);
+        collect_total += report.metrics.collect_seconds;
         rounds += 1;
     }
 
+    report.metrics.collect_seconds = collect_total;
     report.metrics.verified = report.graded_count(InvariantGrade::Verified);
     report.metrics.refuted = report.graded_count(InvariantGrade::Refuted);
     report.metrics.confirmed = report.graded_count(InvariantGrade::Confirmed);
@@ -254,13 +273,23 @@ fn grade_location(
 fn run_target_once(
     ctx: &CheckCtx<'_>,
     program: &Program,
+    compiled: &sling_vm::CompiledProgram,
     target: Symbol,
     inputs: &[InputSource],
     config: &SlingConfig,
     workers: usize,
 ) -> Report {
     let start = Instant::now();
-    let collected = collect_models(program, target, inputs, config.vm, config.trace);
+    let collected = collect_models(
+        program,
+        compiled,
+        target,
+        inputs,
+        config.vm,
+        config.trace,
+        config.executor,
+    );
+    let collect_seconds = start.elapsed().as_secs_f64();
     let func = program.func(target).expect("target exists");
     let param_order: Vec<Symbol> = func.params.iter().map(|p| p.name).collect();
 
@@ -303,6 +332,8 @@ fn run_target_once(
             faulted_runs: collected.faulted_runs(),
             workers,
             seconds: start.elapsed().as_secs_f64(),
+            collect_seconds,
+            executor: config.executor,
             ..Default::default()
         },
         cache: Default::default(),
@@ -784,13 +815,16 @@ mod tests {
         // the order must be x, tmp, y, res (§2.3).
         let program = parse_program(CONCAT).unwrap();
         check_program(&program).unwrap();
+        let compiled = sling_vm::Compiler::compile(&program);
         let inputs = vec![dll_builder(3, 2)];
         let collected = collect_models(
             &program,
+            &compiled,
             sym("concat"),
             &inputs,
             VmConfig::default(),
             TraceConfig::default(),
+            Executor::default(),
         );
         let by_loc = collected.by_location();
         let snaps = &by_loc[&Location::Exit(1)];

@@ -6,6 +6,7 @@
 //! accounting lives in [`RunMetrics`] and checker-cache effectiveness in
 //! the re-exported [`CacheStats`].
 
+use crate::collect::Executor;
 use sling_checker::CacheStats;
 use sling_lang::Location;
 use sling_logic::{SymHeap, Symbol};
@@ -125,6 +126,16 @@ pub struct RunMetrics {
     /// Wall-clock seconds spent in verification + refinement (included in
     /// `seconds`).
     pub verify_seconds: f64,
+    /// Wall-clock seconds spent collecting traces (included in
+    /// `seconds`), accumulated across every CEGIR re-collection round.
+    pub collect_seconds: f64,
+    /// Wall-clock seconds the engine spent compiling the program to
+    /// bytecode at build time — amortized once per engine, *not*
+    /// included in `seconds`. Zero for reports produced outside an
+    /// engine.
+    pub compile_seconds: f64,
+    /// The execution tier that collected this report's traces.
+    pub executor: Executor,
 }
 
 /// The full analysis result for one target function.

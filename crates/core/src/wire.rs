@@ -41,7 +41,8 @@
 //! locreport  := location models:u64 snaps:u64 tainted:bool ninv:u64 invariant*
 //! metrics    := traces:u64 runs:u64 faulted:u64 workers:u64 seconds:f64bits
 //!               verified:u64 refuted:u64 confirmed:u64 unknown:u64
-//!               refuted0:u64 cegir:u64 vseconds:f64bits
+//!               refuted0:u64 cegir:u64 vseconds:f64bits cseconds:f64bits
+//!               bseconds:f64bits executor:("bytecode"|"treewalk")
 //! cache      := hits:u64 warm:u64 misses:u64 entries:u64 evictions:u64 resident:u64
 //! report     := target:string metrics cache ndecl:u64 location* nlocs:u64 locreport*
 //! ```
@@ -75,6 +76,7 @@ use sling_lang::{DataOrder, ListLayout, Location, TreeKind, TreeLayout};
 use sling_logic::{parse_formula, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
 
+use crate::collect::Executor;
 use crate::report::{
     Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
 };
@@ -83,12 +85,13 @@ use crate::spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 use crate::CacheStats;
 
 /// Protocol tag opening every frame; bump on any grammar change.
-/// (`sling3` added the `exact` value spec, the per-invariant
-/// verification grade, and the verification counters in `metrics`;
-/// `sling2` extended `cachestats` with eviction and residency
-/// counters. Older peers are rejected with [`WireError::Version`]
-/// rather than misparsed.)
-pub const WIRE_VERSION: &str = "sling3";
+/// (`sling4` extended `metrics` with the collection/compile timings
+/// and the executor tag; `sling3` added the `exact` value spec, the
+/// per-invariant verification grade, and the verification counters in
+/// `metrics`; `sling2` extended `cachestats` with eviction and
+/// residency counters. Older peers are rejected with
+/// [`WireError::Version`] rather than misparsed.)
+pub const WIRE_VERSION: &str = "sling4";
 
 /// Why a wire frame could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -819,6 +822,9 @@ pub fn write_metrics(w: &mut WireWriter, m: &RunMetrics) {
     w.u64(m.refuted_initial as u64);
     w.u64(m.cegir_rounds as u64);
     w.f64(m.verify_seconds);
+    w.f64(m.collect_seconds);
+    w.f64(m.compile_seconds);
+    w.atom(&m.executor.to_string());
 }
 
 /// Reads [`RunMetrics`] from an open frame.
@@ -836,6 +842,13 @@ pub fn read_metrics(r: &mut WireReader<'_>) -> Result<RunMetrics, WireError> {
         refuted_initial: r.usize()?,
         cegir_rounds: r.usize()?,
         verify_seconds: r.f64()?,
+        collect_seconds: r.f64()?,
+        compile_seconds: r.f64()?,
+        executor: {
+            let name = r.atom()?;
+            Executor::parse(name)
+                .ok_or_else(|| WireError::Syntax(format!("unknown executor {name:?}")))?
+        },
     })
 }
 
@@ -1119,6 +1132,9 @@ mod tests {
             refuted_initial: 4,
             cegir_rounds: 2,
             verify_seconds: 0.1 + 0.7,
+            collect_seconds: 0.1 + 0.4,
+            compile_seconds: 1e-7 + 3e-8,
+            executor: Executor::Treewalk,
         };
         let mut w = WireWriter::new();
         write_metrics(&mut w, &metrics);
@@ -1172,6 +1188,14 @@ mod tests {
         assert!(matches!(
             read_value_spec(&mut WireReader::new(&dangling)),
             Err(WireError::Syntax(_))
+        ));
+        // An unknown executor atom in metrics is rejected, not defaulted.
+        let mut w = WireWriter::new();
+        write_metrics(&mut w, &RunMetrics::default());
+        let jit = w.finish().replace("bytecode", "jit");
+        assert!(matches!(
+            read_metrics(&mut WireReader::new(&jit)),
+            Err(WireError::Syntax(e)) if e.contains("jit")
         ));
         // A formula that does not re-parse is a typed Formula error.
         let mut w = WireWriter::frame("report");

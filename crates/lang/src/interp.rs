@@ -123,7 +123,10 @@ impl RtHeap {
         self.live.get_mut(loc)
     }
 
-    fn read(&self, loc: Loc, span: Span) -> Result<&HeapCell, RtError> {
+    /// Reads the live cell at `loc`, reporting the access `span` in the
+    /// typed fault for freed ([`RtError::UseAfterFree`]) or
+    /// never-allocated ([`RtError::InvalidDeref`]) locations.
+    pub fn read(&self, loc: Loc, span: Span) -> Result<&HeapCell, RtError> {
         if let Some(c) = self.live.get(loc) {
             Ok(c)
         } else if self.freed.contains(loc) {
@@ -133,7 +136,14 @@ impl RtHeap {
         }
     }
 
-    fn write(&mut self, loc: Loc, idx: usize, val: Val, span: Span) -> Result<(), RtError> {
+    /// Writes field `idx` of the live cell at `loc`, with the same typed
+    /// faults as [`RtHeap::read`] for freed or invalid locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the cell (the type checker
+    /// guarantees field indices in checked programs).
+    pub fn write(&mut self, loc: Loc, idx: usize, val: Val, span: Span) -> Result<(), RtError> {
         if let Some(c) = self.live.get_mut(loc) {
             c.fields[idx] = val;
             Ok(())
@@ -303,6 +313,17 @@ impl<'p> Vm<'p> {
     /// Removes and returns the tracer (with its snapshots).
     pub fn take_tracer(&mut self) -> Option<Tracer> {
         self.tracer.take()
+    }
+
+    /// The number of traced-function activations so far — the value of
+    /// the counter handing out activation ids, which is an upper bound
+    /// on (and usually equal to) the largest id in any recorded
+    /// snapshot. Callers that renumber activations across runs must
+    /// offset by this counter, not by the largest *recorded* id: an
+    /// activation that faults before its first snapshot still consumed
+    /// an id.
+    pub fn activations(&self) -> u64 {
+        self.activations
     }
 
     /// Calls `func` with `args`; returns its value (`None` for void).

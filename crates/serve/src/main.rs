@@ -21,7 +21,8 @@ use sling_suite::fixtures::ListCorpus;
 const USAGE: &str = "\
 usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
                    [--addr HOST:PORT] [--cache FILE|DIR] [--snapshot-secs N]
-                   [--cache-cap N] [--max-conns N] [--parallelism N] [--verify]
+                   [--cache-cap N] [--max-conns N] [--parallelism N]
+                   [--executor bytecode|treewalk] [--verify]
 
   --program FILE      MiniC source of the program to serve
   --predicates FILE   predicate library source
@@ -42,6 +43,10 @@ usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
                       connections get a typed `busy` frame and should
                       retry (default: unbounded)
   --parallelism N     worker budget (default: SLING_PARALLELISM or cores)
+  --executor TIER     execution tier for trace collection: `bytecode`
+                      (compiled stack VM, the default) or `treewalk`
+                      (the reference interpreter — identical traces,
+                      slower). This flag wins over SLING_EXECUTOR
   --verify            grade every inferred invariant with the static
                       verification post-pass (counterexample-guided
                       refinement on refutation); the summed grade totals
@@ -58,6 +63,7 @@ struct Args {
     cache_cap: Option<usize>,
     max_conns: Option<usize>,
     parallelism: Option<usize>,
+    executor: Option<sling::Executor>,
     verify: bool,
 }
 
@@ -72,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         cache_cap: None,
         max_conns: None,
         parallelism: None,
+        executor: None,
         verify: false,
     };
     let mut it = std::env::args().skip(1);
@@ -111,6 +118,12 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --parallelism: {e}"))?,
                 );
+            }
+            "--executor" => {
+                let name = value("--executor")?;
+                args.executor = Some(sling::Executor::parse(&name).ok_or_else(|| {
+                    format!("bad --executor {name:?}: want `bytecode` or `treewalk`")
+                })?);
             }
             "--verify" => args.verify = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -185,6 +198,9 @@ fn build_engine(
     }
     if let Some(workers) = args.parallelism {
         builder = builder.parallelism(workers);
+    }
+    if let Some(executor) = args.executor {
+        builder = builder.executor(executor);
     }
     if args.verify {
         builder = builder.verification(VerifySettings::default());
@@ -298,10 +314,11 @@ fn main() -> ExitCode {
     };
     // The boot line is the readiness signal scripts wait for.
     println!(
-        "sling-serve: listening on {} ({} warm cache entries, {} workers{})",
+        "sling-serve: listening on {} ({} warm cache entries, {} workers, {} executor{})",
         service.local_addr(),
         warm,
         service.engine().parallelism(),
+        service.engine().config().executor,
         if args.verify {
             ", verification post-pass on"
         } else {

@@ -5,14 +5,14 @@
 //! client frames stream results:
 //!
 //! ```text
-//! client → server   sling3 analyze <id:u64> <n:u64> request*
-//! client → server   sling3 ping
-//! server → client   sling3 hello <warm_entries:u64> <parallelism:u64>   ; on connect
-//! server → client   sling3 busy <active:u64> <max:u64>                  ; on connect, saturated
-//! server → client   sling3 pong
-//! server → client   sling3 report <id:u64> <index:u64> report           ; completion order
-//! server → client   sling3 done <id:u64> <nreports:u64> cachestats verifytotals
-//! server → client   sling3 error <id:u64> <message:string>              ; id 0 = unattributable
+//! client → server   sling4 analyze <id:u64> <n:u64> request*
+//! client → server   sling4 ping
+//! server → client   sling4 hello <warm_entries:u64> <parallelism:u64>   ; on connect
+//! server → client   sling4 busy <active:u64> <max:u64>                  ; on connect, saturated
+//! server → client   sling4 pong
+//! server → client   sling4 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling4 done <id:u64> <nreports:u64> cachestats verifytotals
+//! server → client   sling4 error <id:u64> <message:string>              ; id 0 = unattributable
 //!
 //! verifytotals := verified:u64 refuted:u64 confirmed:u64 unknown:u64
 //!                 refuted0:u64 cegir:u64 vseconds:f64

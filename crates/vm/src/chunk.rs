@@ -1,0 +1,350 @@
+//! The compiled form of a MiniC program: per-function [`Chunk`]s of
+//! stack-based [`Instruction`]s with constant, span, and
+//! allocation-template side tables.
+//!
+//! Instructions are 8 bytes and carry *indices* into the side tables
+//! instead of inline payloads, so the dispatch loop streams through a
+//! compact `Vec<Instruction>` — the representation the ROADMAP calls
+//! "the single biggest raw-speed lever" over re-walking the AST.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sling_logic::{Span, Symbol};
+use sling_models::Val;
+
+/// One stack-machine operation.
+///
+/// Conventions:
+///
+/// * the operand stack holds [`Val`]s; binary operators pop `b` then `a`
+///   (operands are pushed left to right);
+/// * `%n` slots index the current frame's locals, `#n` indexes a side
+///   table of the chunk (constants, spans, templates, exit indices);
+/// * *tick* means "count one interpreter step against
+///   [`VmConfig::max_steps`](sling_lang::VmConfig)" — tick placement
+///   mirrors the tree-walk interpreter exactly (one step per statement
+///   and per expression node, parents before children), which is what
+///   makes step-limited runs fault at the same observable point under
+///   both executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Count `n` interpreter steps (adjacent ticks are merged by the
+    /// compiler; no observable action separates them).
+    Tick(u32),
+    /// Push constant `#n` (no tick: used for synthesized values such as
+    /// variable-declaration defaults and short-circuit results, which
+    /// the tree-walk interpreter does not step-count).
+    Const(u16),
+    /// Tick, then push constant `#n` (a literal expression node).
+    ConstT(u16),
+    /// Tick, then push local `%n` (a variable expression node).
+    LoadT(u16),
+    /// Pop into local `%n`.
+    Store(u16),
+    /// Pop and append as a new named local (a `var` declaration).
+    Bind(Symbol),
+    /// Truncate the frame's locals to `n` (lexical-scope exit).
+    Trunc(u16),
+    /// Pop and discard (an expression statement).
+    Pop,
+    /// Jump to code offset `n`.
+    Jump(u32),
+    /// Pop; jump to `n` when the value is `0` (null and addresses are
+    /// truthy, exactly like the tree-walk condition test).
+    JumpIfFalse(u32),
+    /// Pop; jump to `n` when the value is not `0`.
+    JumpIfTrue(u32),
+    /// Pop `v`; push `Int(1)` if `v != 0` else `Int(0)`.
+    ToBool,
+    /// Pop `v`; push `Int(1)` if `v == 0` else `Int(0)` (`!`).
+    Not,
+    /// Pop `v`; push checked `-v`. Span `#inner` reports a non-integer
+    /// operand, `#at` an overflow.
+    Neg {
+        /// Span index of the operand expression.
+        inner: u16,
+        /// Span index of the whole negation expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push checked `a + b`. Spans `#a`/`#b` report
+    /// non-integer operands (checked in that order), `#at` an overflow.
+    Add {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+        /// Span index of the whole expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push checked `a - b` (spans as in [`Instruction::Add`]).
+    Sub {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+        /// Span index of the whole expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push checked `a * b` (spans as in [`Instruction::Add`]).
+    Mul {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+        /// Span index of the whole expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push checked `a / b`. The divisor is checked
+    /// first (non-integer at `#b`, zero at `#at`), then the dividend —
+    /// the tree-walk interpreter's exact fault order.
+    Div {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+        /// Span index of the whole expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push checked `a % b` (fault order as in
+    /// [`Instruction::Div`]).
+    Rem {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+        /// Span index of the whole expression.
+        at: u16,
+    },
+    /// Pop `b`, pop `a`; push `Int(a == b)` (raw value equality — null,
+    /// addresses, and integers all compare).
+    Eq,
+    /// Pop `b`, pop `a`; push `Int(a != b)`.
+    Ne,
+    /// Pop `b`, pop `a`; push `Int(a < b)` over integers (non-integer
+    /// operands fault at their span).
+    Lt {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+    },
+    /// Pop `b`, pop `a`; push `Int(a <= b)` (as [`Instruction::Lt`]).
+    Le {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+    },
+    /// Pop `b`, pop `a`; push `Int(a > b)` (as [`Instruction::Lt`]).
+    Gt {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+    },
+    /// Pop `b`, pop `a`; push `Int(a >= b)` (as [`Instruction::Lt`]).
+    Ge {
+        /// Span index of the left operand.
+        a: u16,
+        /// Span index of the right operand.
+        b: u16,
+    },
+    /// Pop a base pointer; push the named field of the cell it points
+    /// to, resolved against the cell's *dynamic* type. Faults at span
+    /// `#at` (the base expression) on null, freed, or invalid bases.
+    GetField {
+        /// The field name.
+        field: Symbol,
+        /// Span index of the base expression.
+        at: u16,
+    },
+    /// Pop a base pointer, pop a value; write the named field. Base
+    /// faults report span `#base`, write faults span `#at` (the whole
+    /// assignment statement).
+    SetField {
+        /// The field name.
+        field: Symbol,
+        /// Span index of the base expression.
+        base: u16,
+        /// Span index of the assignment statement.
+        at: u16,
+    },
+    /// Allocate a cell from template `#n`: pop one value per listed
+    /// initializer (see [`NewTemplate`]), push the fresh address.
+    New(u16),
+    /// Pop a pointer and free its cell; faults at span `#at`.
+    Free {
+        /// Span index of the freed expression.
+        at: u16,
+    },
+    /// Call function `#func` with the top `args` operands as arguments
+    /// (popped into the callee's parameter locals). Checks the call
+    /// depth, assigns an activation id when the callee is traced, and
+    /// records the callee's entry snapshot.
+    Call {
+        /// Callee chunk index in the [`CompiledProgram`].
+        func: u16,
+        /// Argument count (equals the callee's parameter count).
+        args: u16,
+    },
+    /// Pop the return value, record the `exit#n` snapshot with the
+    /// ghost `res` bound, and return to the caller.
+    Ret(u16),
+    /// Record the `exit#n` snapshot with no `res` (a bare `return;`)
+    /// and return to the caller.
+    RetNull(u16),
+    /// Fall off the end of a `void` function: return with *no* exit
+    /// snapshot (no `return` statement executed).
+    RetVoid,
+    /// Fall off the end of a non-`void` function: fault with
+    /// [`RtError::NoReturn`](sling_lang::RtError).
+    NoRet,
+    /// Record a `@label` snapshot.
+    Snap(Symbol),
+    /// Record a `loop@label` (loop-head) snapshot.
+    SnapLoop(Symbol),
+}
+
+/// The allocation recipe behind one `new T { ... }` expression: the
+/// struct's default field values plus the field slot each popped
+/// initializer lands in (in source order, so later duplicates win like
+/// the tree-walk interpreter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewTemplate {
+    /// The struct type allocated.
+    pub ty: Symbol,
+    /// Default field values (`null` for pointers, `0` otherwise).
+    pub defaults: Vec<Val>,
+    /// Field index of each initializer expression, in source order.
+    pub slots: Vec<usize>,
+}
+
+/// The bytecode of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The function's name.
+    pub name: Symbol,
+    /// Parameter names, in order (the callee's first locals).
+    pub param_names: Vec<Symbol>,
+    /// True when the function returns `void`.
+    pub ret_void: bool,
+    /// The instruction stream. Always ends in a synthesized
+    /// [`Instruction::RetVoid`] or [`Instruction::NoRet`], so execution
+    /// cannot run off the end.
+    pub code: Vec<Instruction>,
+    /// Constant pool (`#n` of [`Instruction::Const`]/[`Instruction::ConstT`]),
+    /// deduplicated.
+    pub consts: Vec<Val>,
+    /// Span table (`#n` of fault-carrying instructions), deduplicated.
+    pub spans: Vec<Span>,
+    /// Allocation templates (`#n` of [`Instruction::New`]).
+    pub templates: Vec<NewTemplate>,
+}
+
+impl Chunk {
+    /// Pretty-prints the chunk for debugging: one instruction per line
+    /// with resolved constants and spans.
+    ///
+    /// ```
+    /// use sling_lang::{check_program, parse_program};
+    /// use sling_vm::Compiler;
+    ///
+    /// let program = parse_program("fn add(a: int, b: int) -> int { return a + b; }")?;
+    /// check_program(&program)?;
+    /// let compiled = Compiler::compile(&program);
+    /// let listing = compiled.chunk(sling_logic::Symbol::intern("add")).unwrap().disassemble();
+    /// assert!(listing.contains("load.t %0"), "{listing}");
+    /// assert!(listing.contains("ret #0"), "{listing}");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let params: Vec<String> = self.param_names.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(out, "fn {}({}):", self.name, params.join(", "));
+        for (pc, ins) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:4}  {}", self.render(ins));
+        }
+        out
+    }
+
+    fn render(&self, ins: &Instruction) -> String {
+        use Instruction as I;
+        let sp = |i: u16| self.spans[i as usize];
+        match *ins {
+            I::Tick(n) => format!("tick {n}"),
+            I::Const(i) => format!("push {}", self.consts[i as usize]),
+            I::ConstT(i) => format!("push.t {}", self.consts[i as usize]),
+            I::LoadT(s) => format!("load.t %{s}"),
+            I::Store(s) => format!("store %{s}"),
+            I::Bind(name) => format!("bind {name}"),
+            I::Trunc(n) => format!("trunc {n}"),
+            I::Pop => "pop".into(),
+            I::Jump(t) => format!("jump {t}"),
+            I::JumpIfFalse(t) => format!("jz {t}"),
+            I::JumpIfTrue(t) => format!("jnz {t}"),
+            I::ToBool => "tobool".into(),
+            I::Not => "not".into(),
+            I::Neg { at, .. } => format!("neg            ; {}", sp(at)),
+            I::Add { at, .. } => format!("add            ; {}", sp(at)),
+            I::Sub { at, .. } => format!("sub            ; {}", sp(at)),
+            I::Mul { at, .. } => format!("mul            ; {}", sp(at)),
+            I::Div { at, .. } => format!("div            ; {}", sp(at)),
+            I::Rem { at, .. } => format!("rem            ; {}", sp(at)),
+            I::Eq => "eq".into(),
+            I::Ne => "ne".into(),
+            I::Lt { .. } => "lt".into(),
+            I::Le { .. } => "le".into(),
+            I::Gt { .. } => "gt".into(),
+            I::Ge { .. } => "ge".into(),
+            I::GetField { field, at } => format!("getf {field}        ; {}", sp(at)),
+            I::SetField { field, at, .. } => format!("setf {field}        ; {}", sp(at)),
+            I::New(t) => {
+                let tmpl = &self.templates[t as usize];
+                format!("new {} ({} inits)", tmpl.ty, tmpl.slots.len())
+            }
+            I::Free { at } => format!("free           ; {}", sp(at)),
+            I::Call { func, args } => format!("call fn#{func} ({args} args)"),
+            I::Ret(e) => format!("ret #{e}"),
+            I::RetNull(e) => format!("ret.null #{e}"),
+            I::RetVoid => "ret.void".into(),
+            I::NoRet => "no.ret".into(),
+            I::Snap(l) => format!("snap @{l}"),
+            I::SnapLoop(l) => format!("snap.loop @{l}"),
+        }
+    }
+}
+
+/// A whole compiled program: one [`Chunk`] per function plus the
+/// interned function and struct-field tables shared by every chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProgram {
+    /// Per-function chunks; [`Instruction::Call`] indexes this.
+    pub chunks: Vec<Chunk>,
+    pub(crate) func_ids: BTreeMap<Symbol, u16>,
+    /// Struct name → (field name → index), for dynamic field
+    /// resolution (the checker guarantees static agreement, but faults
+    /// resolve against the cell's runtime type like the tree-walk).
+    pub(crate) field_index: BTreeMap<Symbol, BTreeMap<Symbol, usize>>,
+}
+
+impl CompiledProgram {
+    /// The chunk id of `func`, if the program defines it.
+    pub fn func_id(&self, func: Symbol) -> Option<u16> {
+        self.func_ids.get(&func).copied()
+    }
+
+    /// The chunk compiled from `func`, if the program defines it.
+    pub fn chunk(&self, func: Symbol) -> Option<&Chunk> {
+        self.func_id(func).map(|id| &self.chunks[id as usize])
+    }
+
+    /// Disassembles every chunk (see [`Chunk::disassemble`]).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for chunk in &self.chunks {
+            out.push_str(&chunk.disassemble());
+        }
+        out
+    }
+}

@@ -1,0 +1,422 @@
+//! Lowering a type-checked [`Program`] to bytecode.
+//!
+//! The compiler is a single source-order walk per function. Fidelity to
+//! the tree-walk interpreter drives every choice:
+//!
+//! * **Ticks** are emitted pre-order (statement before its expressions,
+//!   expression before its children), exactly where the tree-walk calls
+//!   `tick()`. Adjacent ticks are merged into one [`Instruction::Tick`]
+//!   — safe because nothing observable separates them — but *never*
+//!   across a jump target: a merge past a loop head would let the back
+//!   edge skip a tick and shift every later step count. The `barrier`
+//!   field marks the last jump target; merging only reaches back to it.
+//! * **Exit indices** are assigned in the same source-order walk the
+//!   interpreter uses (statements in order; `if` visits then before
+//!   else; `while` visits its body), so `exit#i` names agree.
+//! * **Spans** for faults are interned per chunk and referenced by the
+//!   instruction that can fault, preserving the interpreter's exact
+//!   fault spans (operand checked before operator, left before right,
+//!   divisor before dividend).
+
+use std::collections::BTreeMap;
+
+use sling_lang::{BinOp, Block, Expr, ExprKind, LValue, Program, Stmt, StmtKind, TyExpr, UnOp};
+use sling_logic::{Span, Symbol};
+use sling_models::Val;
+
+use crate::chunk::{Chunk, CompiledProgram, Instruction, NewTemplate};
+
+/// Lowers a type-checked [`Program`] into a [`CompiledProgram`].
+///
+/// The input must have passed [`sling_lang::check_program`]: the
+/// compiler resolves variables, fields, and callees statically and
+/// panics on names the checker would have rejected.
+pub struct Compiler;
+
+impl Compiler {
+    /// Compiles every function of `program` into a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unchecked programs (unknown variables, fields, structs,
+    /// or callees; more functions/constants/spans than the 16-bit
+    /// operand encodings hold).
+    pub fn compile(program: &Program) -> CompiledProgram {
+        let mut func_ids = BTreeMap::new();
+        for (i, f) in program.funcs.iter().enumerate() {
+            let id = u16::try_from(i).expect("more than 65535 functions");
+            func_ids.insert(f.name, id);
+        }
+        let mut field_index = BTreeMap::new();
+        let mut struct_defaults = BTreeMap::new();
+        for s in &program.structs {
+            let map: BTreeMap<Symbol, usize> = s
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _))| (*n, i))
+                .collect();
+            field_index.insert(s.name, map);
+            let defaults: Vec<Val> = s.fields.iter().map(|(_, ty)| default_of(*ty)).collect();
+            struct_defaults.insert(s.name, defaults);
+        }
+        let chunks = program
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut fc = FnCompiler {
+                    func_ids: &func_ids,
+                    field_index: &field_index,
+                    struct_defaults: &struct_defaults,
+                    code: Vec::new(),
+                    consts: Vec::new(),
+                    const_ids: BTreeMap::new(),
+                    spans: Vec::new(),
+                    span_ids: BTreeMap::new(),
+                    templates: Vec::new(),
+                    locals: f.params.iter().map(|p| p.name).collect(),
+                    exits: 0,
+                    barrier: 0,
+                };
+                fc.block(&f.body);
+                // Falling off the end: void functions return silently
+                // (no exit snapshot), non-void ones fault.
+                fc.code.push(if f.ret == TyExpr::Void {
+                    Instruction::RetVoid
+                } else {
+                    Instruction::NoRet
+                });
+                Chunk {
+                    name: f.name,
+                    param_names: f.params.iter().map(|p| p.name).collect(),
+                    ret_void: f.ret == TyExpr::Void,
+                    code: fc.code,
+                    consts: fc.consts,
+                    spans: fc.spans,
+                    templates: fc.templates,
+                }
+            })
+            .collect();
+        CompiledProgram {
+            chunks,
+            func_ids,
+            field_index,
+        }
+    }
+}
+
+fn default_of(ty: TyExpr) -> Val {
+    match ty {
+        TyExpr::Ptr(_) => Val::Nil,
+        _ => Val::Int(0),
+    }
+}
+
+struct FnCompiler<'p> {
+    func_ids: &'p BTreeMap<Symbol, u16>,
+    field_index: &'p BTreeMap<Symbol, BTreeMap<Symbol, usize>>,
+    struct_defaults: &'p BTreeMap<Symbol, Vec<Val>>,
+    code: Vec<Instruction>,
+    consts: Vec<Val>,
+    const_ids: BTreeMap<Val, u16>,
+    spans: Vec<Span>,
+    span_ids: BTreeMap<Span, u16>,
+    templates: Vec<NewTemplate>,
+    /// Compile-time local names; the checker rejects shadowing, so a
+    /// reverse scan resolves each variable to a unique frame slot.
+    locals: Vec<Symbol>,
+    /// Exit indices handed out so far (source-order return statements).
+    exits: usize,
+    /// Code offset of the most recent jump target: tick merging never
+    /// reaches back past it.
+    barrier: usize,
+}
+
+impl FnCompiler<'_> {
+    fn emit(&mut self, ins: Instruction) {
+        self.code.push(ins);
+    }
+
+    /// Counts one interpreter step, merging into a trailing
+    /// [`Instruction::Tick`] unless a jump target intervenes.
+    fn tick(&mut self) {
+        if self.code.len() > self.barrier {
+            if let Some(Instruction::Tick(n)) = self.code.last_mut() {
+                *n += 1;
+                return;
+            }
+        }
+        self.emit(Instruction::Tick(1));
+    }
+
+    fn konst(&mut self, v: Val) -> u16 {
+        if let Some(&id) = self.const_ids.get(&v) {
+            return id;
+        }
+        let id = u16::try_from(self.consts.len()).expect("constant pool overflow");
+        self.consts.push(v);
+        self.const_ids.insert(v, id);
+        id
+    }
+
+    fn span(&mut self, sp: Span) -> u16 {
+        if let Some(&id) = self.span_ids.get(&sp) {
+            return id;
+        }
+        let id = u16::try_from(self.spans.len()).expect("span table overflow");
+        self.spans.push(sp);
+        self.span_ids.insert(sp, id);
+        id
+    }
+
+    fn slot(&self, name: Symbol) -> u16 {
+        let i = self
+            .locals
+            .iter()
+            .rposition(|n| *n == name)
+            .expect("checker guarantees the variable exists");
+        u16::try_from(i).expect("frame slot overflow")
+    }
+
+    /// Emits a forward jump with a placeholder target; patch later.
+    fn jump(&mut self, make: fn(u32) -> Instruction) -> usize {
+        self.emit(make(u32::MAX));
+        self.code.len() - 1
+    }
+
+    /// Points the placeholder jump at `idx` here, and marks a barrier.
+    fn patch_here(&mut self, idx: usize) {
+        let target = u32::try_from(self.code.len()).expect("code overflow");
+        match &mut self.code[idx] {
+            Instruction::Jump(t) | Instruction::JumpIfFalse(t) | Instruction::JumpIfTrue(t) => {
+                *t = target
+            }
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+        self.barrier = self.code.len();
+    }
+
+    /// The current offset as a (backward) jump target, marked as a barrier.
+    fn here(&mut self) -> u32 {
+        self.barrier = self.code.len();
+        u32::try_from(self.code.len()).expect("code overflow")
+    }
+
+    fn block(&mut self, b: &Block) {
+        let depth = self.locals.len();
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        if self.locals.len() > depth {
+            self.emit(Instruction::Trunc(
+                u16::try_from(depth).expect("frame slot overflow"),
+            ));
+            self.locals.truncate(depth);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.tick();
+        match &s.kind {
+            StmtKind::VarDecl { name, ty, init } => {
+                match init {
+                    Some(e) => self.expr(e),
+                    None => {
+                        // Synthesized default: the tree-walk does not
+                        // step-count it, so plain (tickless) Const.
+                        let c = self.konst(default_of(*ty));
+                        self.emit(Instruction::Const(c));
+                    }
+                }
+                self.emit(Instruction::Bind(*name));
+                self.locals.push(*name);
+            }
+            StmtKind::Assign { lhs, rhs } => match lhs {
+                LValue::Var(v) => {
+                    self.expr(rhs);
+                    let slot = self.slot(*v);
+                    self.emit(Instruction::Store(slot));
+                }
+                LValue::Field(base, field) => {
+                    // Interpreter order: rhs first, then the base.
+                    self.expr(rhs);
+                    self.expr(base);
+                    let bsp = self.span(base.span);
+                    let at = self.span(s.span);
+                    self.emit(Instruction::SetField {
+                        field: *field,
+                        base: bsp,
+                        at,
+                    });
+                }
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond);
+                let jf = self.jump(Instruction::JumpIfFalse);
+                self.block(then_blk);
+                match else_blk {
+                    Some(eb) => {
+                        let je = self.jump(Instruction::Jump);
+                        self.patch_here(jf);
+                        self.block(eb);
+                        self.patch_here(je);
+                    }
+                    None => self.patch_here(jf),
+                }
+            }
+            StmtKind::While { label, cond, body } => {
+                let head = self.here();
+                if let Some(l) = label {
+                    self.emit(Instruction::SnapLoop(*l));
+                }
+                self.expr(cond);
+                let jf = self.jump(Instruction::JumpIfFalse);
+                self.block(body);
+                // The interpreter ticks once per completed iteration.
+                self.tick();
+                self.emit(Instruction::Jump(head));
+                self.patch_here(jf);
+            }
+            StmtKind::Return(value) => {
+                let idx = u16::try_from(self.exits).expect("exit index overflow");
+                self.exits += 1;
+                match value {
+                    Some(e) => {
+                        self.expr(e);
+                        self.emit(Instruction::Ret(idx));
+                    }
+                    None => self.emit(Instruction::RetNull(idx)),
+                }
+            }
+            StmtKind::Free(e) => {
+                self.expr(e);
+                let at = self.span(e.span);
+                self.emit(Instruction::Free { at });
+            }
+            StmtKind::ExprStmt(e) => {
+                self.expr(e);
+                self.emit(Instruction::Pop);
+            }
+            StmtKind::Label(l) => self.emit(Instruction::Snap(*l)),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(k) => {
+                let c = self.konst(Val::Int(*k));
+                self.emit(Instruction::ConstT(c));
+            }
+            ExprKind::Bool(b) => {
+                let c = self.konst(Val::Int(*b as i64));
+                self.emit(Instruction::ConstT(c));
+            }
+            ExprKind::Null => {
+                let c = self.konst(Val::Nil);
+                self.emit(Instruction::ConstT(c));
+            }
+            ExprKind::Var(v) => {
+                let slot = self.slot(*v);
+                self.emit(Instruction::LoadT(slot));
+            }
+            ExprKind::Field(base, f) => {
+                self.tick();
+                self.expr(base);
+                let at = self.span(base.span);
+                self.emit(Instruction::GetField { field: *f, at });
+            }
+            ExprKind::New(ty, inits) => {
+                self.tick();
+                for (_, fe) in inits {
+                    self.expr(fe);
+                }
+                let fields = self.field_index.get(ty).expect("checker: struct exists");
+                let slots: Vec<usize> = inits.iter().map(|(f, _)| fields[f]).collect();
+                let defaults = self.struct_defaults[ty].clone();
+                let t = u16::try_from(self.templates.len()).expect("template overflow");
+                self.templates.push(NewTemplate {
+                    ty: *ty,
+                    defaults,
+                    slots,
+                });
+                self.emit(Instruction::New(t));
+            }
+            ExprKind::Unary(UnOp::Neg, inner) => {
+                self.tick();
+                self.expr(inner);
+                let isp = self.span(inner.span);
+                let at = self.span(e.span);
+                self.emit(Instruction::Neg { inner: isp, at });
+            }
+            ExprKind::Unary(UnOp::Not, inner) => {
+                self.tick();
+                self.expr(inner);
+                self.emit(Instruction::Not);
+            }
+            ExprKind::Binary(BinOp::And, a, b) => {
+                self.tick();
+                self.expr(a);
+                let jf = self.jump(Instruction::JumpIfFalse);
+                self.expr(b);
+                self.emit(Instruction::ToBool);
+                let je = self.jump(Instruction::Jump);
+                self.patch_here(jf);
+                // Short-circuit result: synthesized, hence tickless.
+                let c = self.konst(Val::Int(0));
+                self.emit(Instruction::Const(c));
+                self.patch_here(je);
+            }
+            ExprKind::Binary(BinOp::Or, a, b) => {
+                self.tick();
+                self.expr(a);
+                let jt = self.jump(Instruction::JumpIfTrue);
+                self.expr(b);
+                self.emit(Instruction::ToBool);
+                let je = self.jump(Instruction::Jump);
+                self.patch_here(jt);
+                let c = self.konst(Val::Int(1));
+                self.emit(Instruction::Const(c));
+                self.patch_here(je);
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.tick();
+                self.expr(a);
+                self.expr(b);
+                let asp = self.span(a.span);
+                let bsp = self.span(b.span);
+                let at = self.span(e.span);
+                let ins = match op {
+                    BinOp::Add => Instruction::Add { a: asp, b: bsp, at },
+                    BinOp::Sub => Instruction::Sub { a: asp, b: bsp, at },
+                    BinOp::Mul => Instruction::Mul { a: asp, b: bsp, at },
+                    BinOp::Div => Instruction::Div { a: asp, b: bsp, at },
+                    BinOp::Rem => Instruction::Rem { a: asp, b: bsp, at },
+                    BinOp::Eq => Instruction::Eq,
+                    BinOp::Ne => Instruction::Ne,
+                    BinOp::Lt => Instruction::Lt { a: asp, b: bsp },
+                    BinOp::Le => Instruction::Le { a: asp, b: bsp },
+                    BinOp::Gt => Instruction::Gt { a: asp, b: bsp },
+                    BinOp::Ge => Instruction::Ge { a: asp, b: bsp },
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.emit(ins);
+            }
+            ExprKind::Call(fname, args) => {
+                self.tick();
+                for a in args {
+                    self.expr(a);
+                }
+                let func = *self
+                    .func_ids
+                    .get(fname)
+                    .expect("checker guarantees the callee exists");
+                let nargs = u16::try_from(args.len()).expect("argument count overflow");
+                self.emit(Instruction::Call { func, args: nargs });
+            }
+        }
+    }
+}

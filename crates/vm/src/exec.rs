@@ -1,0 +1,539 @@
+//! The bytecode executor.
+//!
+//! [`BytecodeVm`] runs a [`CompiledProgram`] against the same runtime
+//! pieces the tree-walk interpreter uses — [`RtHeap`], [`Tracer`],
+//! [`VmConfig`] limits — and is observationally identical to it: the
+//! same snapshots in the same order with the same activation ids, and
+//! the same typed [`RtError`] at the same step for faulting programs
+//! (so a step-limited or segfaulting run leaves a byte-identical
+//! partial trace under either executor).
+//!
+//! The differences are purely representational: one flat `Vec<Val>` of
+//! locals for all frames (a `base` offset per frame) instead of nested
+//! scope maps, an explicit operand stack instead of the Rust call
+//! stack, and a compact instruction stream instead of the AST.
+
+use sling_lang::{Location, RtError, RtHeap, Tracer, VmConfig};
+use sling_logic::Symbol;
+use sling_models::{Loc, Val};
+
+use crate::chunk::{CompiledProgram, Instruction};
+
+/// One call frame: which chunk is running and where its locals start.
+struct BcFrame {
+    /// Chunk id of the running function.
+    chunk: u16,
+    /// First slot of this frame in the shared locals vector.
+    base: usize,
+    /// Caller program counter to resume at (unused in the outermost frame).
+    ret_pc: usize,
+    /// Caller chunk id to resume in (unused in the outermost frame).
+    ret_chunk: u16,
+    /// Dynamic activation id of the traced function (0 if untraced).
+    activation: u64,
+}
+
+/// The bytecode virtual machine.
+///
+/// Drop-in equivalent of [`sling_lang::Vm`] for compiled programs: the
+/// constructor takes a [`CompiledProgram`] instead of the AST, and
+/// `call`/`set_tracer`/`take_tracer`/`activations`/`alloc` mirror the
+/// tree-walk API exactly.
+///
+/// # Examples
+///
+/// ```
+/// use sling_lang::{check_program, parse_program, VmConfig};
+/// use sling_models::Val;
+/// use sling_vm::{BytecodeVm, Compiler};
+///
+/// let program = parse_program(
+///     "fn add(a: int, b: int) -> int { return a + b; }",
+/// )?;
+/// check_program(&program)?;
+/// let compiled = Compiler::compile(&program);
+/// let mut vm = BytecodeVm::new(&compiled, VmConfig::default());
+/// let out = vm.call(sling_logic::Symbol::intern("add"), &[Val::Int(2), Val::Int(40)])?;
+/// assert_eq!(out, Some(Val::Int(42)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BytecodeVm<'p> {
+    prog: &'p CompiledProgram,
+    /// The runtime heap (exposed so input generators can build structures).
+    pub heap: RtHeap,
+    config: VmConfig,
+    steps: u64,
+    tracer: Option<Tracer>,
+    /// Chunk id of the tracer's target, when the program defines it.
+    target_chunk: Option<u16>,
+    /// Counter handing out activation ids for the traced function.
+    activations: u64,
+    /// Values passed as arguments to the outermost call: debugger roots
+    /// that stay visible even when a callee frame does not mention them.
+    entry_roots: Vec<Val>,
+    /// The operand stack (expression intermediates — not debugger roots,
+    /// matching the tree-walk where they live on the Rust stack).
+    operands: Vec<Val>,
+    /// All frames' locals, concatenated; each frame owns `[base..]` of
+    /// its suffix.
+    locals: Vec<Val>,
+    /// Names of `locals` slots, kept in lockstep (snapshots need them).
+    names: Vec<Symbol>,
+    frames: Vec<BcFrame>,
+}
+
+impl<'p> BytecodeVm<'p> {
+    /// Creates a VM for a compiled (hence type-checked) program.
+    pub fn new(prog: &'p CompiledProgram, config: VmConfig) -> BytecodeVm<'p> {
+        BytecodeVm {
+            prog,
+            heap: RtHeap::new(),
+            config,
+            steps: 0,
+            tracer: None,
+            target_chunk: None,
+            activations: 0,
+            entry_roots: Vec::new(),
+            operands: Vec::new(),
+            locals: Vec::new(),
+            names: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Installs a tracer that snapshots the target function's breakpoints.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.target_chunk = self.prog.func_id(tracer.target);
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the tracer (with its snapshots).
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.target_chunk = None;
+        self.tracer.take()
+    }
+
+    /// The number of traced-function activations so far (see
+    /// [`sling_lang::Vm::activations`]): the counter handing out ids,
+    /// which also counts activations that faulted before snapshotting.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Allocates a structure instance directly (for input generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is unknown or `fields` has the wrong length.
+    pub fn alloc(&mut self, ty: Symbol, fields: Vec<Val>) -> Loc {
+        let n = self
+            .prog
+            .field_index
+            .get(&ty)
+            .unwrap_or_else(|| panic!("unknown struct `{ty}`"))
+            .len();
+        assert_eq!(fields.len(), n, "field count for `{ty}`");
+        self.heap.alloc(ty, fields)
+    }
+
+    /// Calls `func` with `args`; returns its value (`None` for void).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] on any runtime fault; the tracer keeps the
+    /// snapshots recorded before the fault.
+    pub fn call(&mut self, func: Symbol, args: &[Val]) -> Result<Option<Val>, RtError> {
+        debug_assert!(self.frames.is_empty(), "re-entrant call");
+        self.entry_roots = args.iter().copied().filter(|v| v.is_pointer()).collect();
+        let func_id = self
+            .prog
+            .func_id(func)
+            .ok_or(RtError::UnknownFunction(func))?;
+        let chunk = &self.prog.chunks[func_id as usize];
+        assert_eq!(
+            chunk.param_names.len(),
+            args.len(),
+            "arity checked by caller"
+        );
+        if self.frames.len() >= self.config.max_depth {
+            return Err(RtError::StackOverflow);
+        }
+        self.locals.extend_from_slice(args);
+        self.names.extend_from_slice(&chunk.param_names);
+        let activation = self.next_activation(func_id);
+        self.frames.push(BcFrame {
+            chunk: func_id,
+            base: 0,
+            ret_pc: usize::MAX,
+            ret_chunk: u16::MAX,
+            activation,
+        });
+        self.snapshot(Location::Entry, None);
+        let out = self.run();
+        if out.is_err() {
+            self.operands.clear();
+            self.locals.clear();
+            self.names.clear();
+            self.frames.clear();
+        }
+        out
+    }
+
+    fn next_activation(&mut self, func_id: u16) -> u64 {
+        if self.tracer.is_some() && self.target_chunk == Some(func_id) {
+            self.activations += 1;
+            self.activations
+        } else {
+            0
+        }
+    }
+
+    fn tick(&mut self, n: u32) -> Result<(), RtError> {
+        self.steps += u64::from(n);
+        if self.steps > self.config.max_steps {
+            return Err(RtError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Val {
+        self.operands.pop().expect("operand stack underflow")
+    }
+
+    /// Takes a snapshot at `location` if the running frame belongs to
+    /// the traced function — semantics identical to the tree-walk
+    /// `Vm::snapshot`: the stack is the frame's named locals (plus the
+    /// ghost `res`), the roots are the outermost call's pointer
+    /// arguments plus every frame's pointer locals (the whole
+    /// backtrace), and operand-stack intermediates are *not* roots.
+    fn snapshot(&mut self, location: Location, res: Option<Val>) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let frame = self.frames.last().expect("a frame is active");
+        if Some(frame.chunk) != self.target_chunk {
+            return;
+        }
+        let mut stack: sling_models::Stack = self.names[frame.base..]
+            .iter()
+            .copied()
+            .zip(self.locals[frame.base..].iter().copied())
+            .collect();
+        if let Some(v) = res {
+            stack.bind(Symbol::intern("res"), v);
+        }
+        let mut roots: Vec<Val> = self.entry_roots.clone();
+        roots.extend(self.locals.iter().copied().filter(|v| v.is_pointer()));
+        if let Some(v) = res {
+            roots.push(v);
+        }
+        let activation = frame.activation;
+        let tracer = self.tracer.as_mut().expect("checked above");
+        tracer.record(
+            location,
+            stack,
+            &roots,
+            self.heap.live(),
+            self.heap.freed(),
+            activation,
+        );
+    }
+
+    fn run(&mut self) -> Result<Option<Val>, RtError> {
+        let prog = self.prog;
+        let mut chunk_id = self.frames.last().expect("entry frame").chunk;
+        let mut chunk = &prog.chunks[chunk_id as usize];
+        let mut base = self.frames.last().expect("entry frame").base;
+        let mut pc = 0usize;
+        loop {
+            let ins = chunk.code[pc];
+            pc += 1;
+            match ins {
+                Instruction::Tick(n) => self.tick(n)?,
+                Instruction::Const(i) => self.operands.push(chunk.consts[i as usize]),
+                Instruction::ConstT(i) => {
+                    self.tick(1)?;
+                    self.operands.push(chunk.consts[i as usize]);
+                }
+                Instruction::LoadT(s) => {
+                    self.tick(1)?;
+                    self.operands.push(self.locals[base + s as usize]);
+                }
+                Instruction::Store(s) => {
+                    let v = self.pop();
+                    self.locals[base + s as usize] = v;
+                }
+                Instruction::Bind(name) => {
+                    let v = self.pop();
+                    self.locals.push(v);
+                    self.names.push(name);
+                }
+                Instruction::Trunc(n) => {
+                    self.locals.truncate(base + n as usize);
+                    self.names.truncate(base + n as usize);
+                }
+                Instruction::Pop => {
+                    self.pop();
+                }
+                Instruction::Jump(t) => pc = t as usize,
+                Instruction::JumpIfFalse(t) => {
+                    if self.pop() == Val::Int(0) {
+                        pc = t as usize;
+                    }
+                }
+                Instruction::JumpIfTrue(t) => {
+                    if self.pop() != Val::Int(0) {
+                        pc = t as usize;
+                    }
+                }
+                Instruction::ToBool => {
+                    let v = self.pop();
+                    self.operands.push(Val::Int((v != Val::Int(0)) as i64));
+                }
+                Instruction::Not => {
+                    let v = self.pop();
+                    self.operands.push(Val::Int((v == Val::Int(0)) as i64));
+                }
+                Instruction::Neg { inner, at } => {
+                    let v = self.pop();
+                    let out = match v {
+                        Val::Int(k) => k
+                            .checked_neg()
+                            .map(Val::Int)
+                            .ok_or(RtError::Overflow(chunk.spans[at as usize]))?,
+                        _ => return Err(RtError::InvalidDeref(chunk.spans[inner as usize])),
+                    };
+                    self.operands.push(out);
+                }
+                Instruction::Add { a, b, at } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    let out = ka
+                        .checked_add(kb)
+                        .ok_or(RtError::Overflow(chunk.spans[at as usize]))?;
+                    self.operands.push(Val::Int(out));
+                }
+                Instruction::Sub { a, b, at } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    let out = ka
+                        .checked_sub(kb)
+                        .ok_or(RtError::Overflow(chunk.spans[at as usize]))?;
+                    self.operands.push(Val::Int(out));
+                }
+                Instruction::Mul { a, b, at } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    let out = ka
+                        .checked_mul(kb)
+                        .ok_or(RtError::Overflow(chunk.spans[at as usize]))?;
+                    self.operands.push(Val::Int(out));
+                }
+                Instruction::Div { a, b, at } => {
+                    let (va, vb) = self.pop_pair();
+                    // The interpreter checks the divisor first.
+                    let kb = int(vb, chunk, b)?;
+                    if kb == 0 {
+                        return Err(RtError::DivByZero(chunk.spans[at as usize]));
+                    }
+                    let ka = int(va, chunk, a)?;
+                    let out = ka
+                        .checked_div(kb)
+                        .ok_or(RtError::Overflow(chunk.spans[at as usize]))?;
+                    self.operands.push(Val::Int(out));
+                }
+                Instruction::Rem { a, b, at } => {
+                    let (va, vb) = self.pop_pair();
+                    let kb = int(vb, chunk, b)?;
+                    if kb == 0 {
+                        return Err(RtError::DivByZero(chunk.spans[at as usize]));
+                    }
+                    let ka = int(va, chunk, a)?;
+                    let out = ka
+                        .checked_rem(kb)
+                        .ok_or(RtError::Overflow(chunk.spans[at as usize]))?;
+                    self.operands.push(Val::Int(out));
+                }
+                Instruction::Eq => {
+                    let (va, vb) = self.pop_pair();
+                    self.operands.push(Val::Int((va == vb) as i64));
+                }
+                Instruction::Ne => {
+                    let (va, vb) = self.pop_pair();
+                    self.operands.push(Val::Int((va != vb) as i64));
+                }
+                Instruction::Lt { a, b } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    self.operands.push(Val::Int((ka < kb) as i64));
+                }
+                Instruction::Le { a, b } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    self.operands.push(Val::Int((ka <= kb) as i64));
+                }
+                Instruction::Gt { a, b } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    self.operands.push(Val::Int((ka > kb) as i64));
+                }
+                Instruction::Ge { a, b } => {
+                    let (ka, kb) = self.int_pair(chunk, a, b)?;
+                    self.operands.push(Val::Int((ka >= kb) as i64));
+                }
+                Instruction::GetField { field, at } => {
+                    let span = chunk.spans[at as usize];
+                    let bval = self.pop();
+                    let loc = expect_addr(bval, span)?;
+                    let cell = self.heap.read(loc, span)?;
+                    let idx = prog
+                        .field_index
+                        .get(&cell.ty)
+                        .and_then(|m| m.get(&field))
+                        .copied()
+                        .ok_or(RtError::InvalidDeref(span))?;
+                    self.operands.push(cell.fields[idx]);
+                }
+                Instruction::SetField {
+                    field,
+                    base: bsp,
+                    at,
+                } => {
+                    let bspan = chunk.spans[bsp as usize];
+                    let bval = self.pop();
+                    let v = self.pop();
+                    let loc = expect_addr(bval, bspan)?;
+                    // Field resolution faults at the base span, the
+                    // write itself at the statement span (interpreter
+                    // fault order).
+                    let cell = self.heap.read(loc, bspan)?;
+                    let idx = prog
+                        .field_index
+                        .get(&cell.ty)
+                        .and_then(|m| m.get(&field))
+                        .copied()
+                        .ok_or(RtError::InvalidDeref(bspan))?;
+                    self.heap.write(loc, idx, v, chunk.spans[at as usize])?;
+                }
+                Instruction::New(t) => {
+                    let tmpl = &chunk.templates[t as usize];
+                    let mut fields = tmpl.defaults.clone();
+                    let vals = self
+                        .operands
+                        .split_off(self.operands.len() - tmpl.slots.len());
+                    for (slot, v) in tmpl.slots.iter().zip(vals) {
+                        fields[*slot] = v;
+                    }
+                    let loc = self.heap.alloc(tmpl.ty, fields);
+                    self.operands.push(Val::Addr(loc));
+                }
+                Instruction::Free { at } => {
+                    let span = chunk.spans[at as usize];
+                    let v = self.pop();
+                    let loc = expect_addr(v, span)?;
+                    self.heap
+                        .free(loc)
+                        .map_err(|_| RtError::InvalidFree(span))?;
+                }
+                Instruction::Call { func, args } => {
+                    if self.frames.len() >= self.config.max_depth {
+                        return Err(RtError::StackOverflow);
+                    }
+                    let callee = &prog.chunks[func as usize];
+                    let lbase = self.locals.len();
+                    let split = self.operands.len() - args as usize;
+                    self.locals.extend(self.operands.drain(split..));
+                    self.names.extend_from_slice(&callee.param_names);
+                    let activation = self.next_activation(func);
+                    self.frames.push(BcFrame {
+                        chunk: func,
+                        base: lbase,
+                        ret_pc: pc,
+                        ret_chunk: chunk_id,
+                        activation,
+                    });
+                    chunk_id = func;
+                    chunk = callee;
+                    base = lbase;
+                    pc = 0;
+                    self.snapshot(Location::Entry, None);
+                }
+                Instruction::Ret(idx) => {
+                    let v = self.pop();
+                    self.snapshot(Location::Exit(idx as usize), Some(v));
+                    let fr = self.frames.pop().expect("a frame is active");
+                    self.locals.truncate(fr.base);
+                    self.names.truncate(fr.base);
+                    if self.frames.is_empty() {
+                        return Ok(Some(v));
+                    }
+                    chunk_id = fr.ret_chunk;
+                    chunk = &prog.chunks[chunk_id as usize];
+                    pc = fr.ret_pc;
+                    base = self.frames.last().expect("caller frame").base;
+                    self.operands.push(v);
+                }
+                Instruction::RetNull(idx) => {
+                    self.snapshot(Location::Exit(idx as usize), None);
+                    let fr = self.frames.pop().expect("a frame is active");
+                    self.locals.truncate(fr.base);
+                    self.names.truncate(fr.base);
+                    if self.frames.is_empty() {
+                        return Ok(None);
+                    }
+                    chunk_id = fr.ret_chunk;
+                    chunk = &prog.chunks[chunk_id as usize];
+                    pc = fr.ret_pc;
+                    base = self.frames.last().expect("caller frame").base;
+                    // Void results only appear in expression statements
+                    // (checker-verified); represent as 0.
+                    self.operands.push(Val::Int(0));
+                }
+                Instruction::RetVoid => {
+                    // Falling off a void end records no exit snapshot.
+                    let fr = self.frames.pop().expect("a frame is active");
+                    self.locals.truncate(fr.base);
+                    self.names.truncate(fr.base);
+                    if self.frames.is_empty() {
+                        return Ok(None);
+                    }
+                    chunk_id = fr.ret_chunk;
+                    chunk = &prog.chunks[chunk_id as usize];
+                    pc = fr.ret_pc;
+                    base = self.frames.last().expect("caller frame").base;
+                    self.operands.push(Val::Int(0));
+                }
+                Instruction::NoRet => return Err(RtError::NoReturn(chunk.name)),
+                Instruction::Snap(l) => self.snapshot(Location::Label(l), None),
+                Instruction::SnapLoop(l) => self.snapshot(Location::LoopHead(l), None),
+            }
+        }
+    }
+
+    fn pop_pair(&mut self) -> (Val, Val) {
+        let vb = self.pop();
+        let va = self.pop();
+        (va, vb)
+    }
+
+    /// Pops both operands and checks them as integers, left before
+    /// right — the interpreter's operand-check order.
+    fn int_pair(
+        &mut self,
+        chunk: &crate::chunk::Chunk,
+        a: u16,
+        b: u16,
+    ) -> Result<(i64, i64), RtError> {
+        let (va, vb) = self.pop_pair();
+        Ok((int(va, chunk, a)?, int(vb, chunk, b)?))
+    }
+}
+
+fn int(v: Val, chunk: &crate::chunk::Chunk, sp: u16) -> Result<i64, RtError> {
+    match v {
+        Val::Int(k) => Ok(k),
+        _ => Err(RtError::InvalidDeref(chunk.spans[sp as usize])),
+    }
+}
+
+fn expect_addr(v: Val, span: sling_logic::Span) -> Result<Loc, RtError> {
+    match v {
+        Val::Addr(l) => Ok(l),
+        Val::Nil => Err(RtError::NullDeref(span)),
+        Val::Int(_) => Err(RtError::InvalidDeref(span)),
+    }
+}

@@ -1,0 +1,510 @@
+//! Bytecode execution tier for MiniC trace collection.
+//!
+//! SLING's cost is dominated by re-running target programs over many
+//! test inputs to collect stack-heap models (Algorithm 1 line 1,
+//! `CollectModels`). The tree-walk interpreter in `sling_lang` re-walks
+//! the AST and dispatches per node on every run; this crate compiles a
+//! type-checked [`Program`](sling_lang::Program) once into per-function
+//! [`Chunk`]s of compact stack-machine [`Instruction`]s ([`Compiler`])
+//! and executes them with [`BytecodeVm`] — same `RtHeap`, same
+//! [`Tracer`](sling_lang::Tracer) snapshot stream, same typed
+//! [`RtError`](sling_lang::RtError) faults at the same step, so the
+//! tree-walk `Vm` remains a differential-testing oracle while the
+//! bytecode tier carries the hot path.
+//!
+//! # Example
+//!
+//! Compile, inspect, and run:
+//!
+//! ```
+//! use sling_lang::{check_program, parse_program, VmConfig};
+//! use sling_logic::Symbol;
+//! use sling_models::Val;
+//! use sling_vm::{BytecodeVm, Compiler};
+//!
+//! let program = parse_program(
+//!     "fn sum(n: int) -> int {
+//!          var s: int = 0;
+//!          while (n > 0) { s = s + n; n = n - 1; }
+//!          return s;
+//!      }",
+//! )?;
+//! check_program(&program)?;
+//!
+//! let compiled = Compiler::compile(&program);
+//! let listing = compiled.chunk(Symbol::intern("sum")).unwrap().disassemble();
+//! assert!(listing.contains("jz"), "{listing}");
+//!
+//! let mut vm = BytecodeVm::new(&compiled, VmConfig::default());
+//! let out = vm.call(Symbol::intern("sum"), &[Val::Int(10)])?;
+//! assert_eq!(out, Some(Val::Int(55)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod chunk;
+mod compile;
+mod exec;
+
+pub use chunk::{Chunk, CompiledProgram, Instruction, NewTemplate};
+pub use compile::Compiler;
+pub use exec::BytecodeVm;
+
+#[cfg(test)]
+mod tests {
+    use sling_lang::{
+        check_program, parse_program, Location, Program, RtError, TraceConfig, Tracer, Vm, VmConfig,
+    };
+    use sling_logic::{Span, Symbol};
+    use sling_models::Val;
+
+    use crate::{BytecodeVm, Compiler};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn compile(src: &str) -> (Program, crate::CompiledProgram) {
+        let p = parse_program(src).unwrap();
+        check_program(&p).unwrap();
+        let c = Compiler::compile(&p);
+        (p, c)
+    }
+
+    fn run(src: &str, func: &str, args: &[Val]) -> Result<Option<Val>, RtError> {
+        let (_, c) = compile(src);
+        let mut vm = BytecodeVm::new(&c, VmConfig::default());
+        vm.call(sym(func), args)
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let out = run(
+            "fn fib(n: int) -> int {
+                 if (n < 2) { return n; }
+                 return fib(n - 1) + fib(n - 2);
+             }",
+            "fib",
+            &[Val::Int(10)],
+        )
+        .unwrap();
+        assert_eq!(out, Some(Val::Int(55)));
+    }
+
+    #[test]
+    fn heap_alloc_and_fields() {
+        let out = run(
+            "struct Node { next: Node*; data: int; }
+             fn build() -> int {
+                 var a: Node* = new Node { data: 1 };
+                 var b: Node* = new Node { data: 2, next: a };
+                 return b->next->data + b->data;
+             }",
+            "build",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out, Some(Val::Int(3)));
+    }
+
+    #[test]
+    fn null_deref_reported() {
+        let err = run(
+            "struct Node { next: Node*; }
+             fn f(x: Node*) -> Node* { return x->next; }",
+            "f",
+            &[Val::Nil],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtError::NullDeref(_)));
+    }
+
+    #[test]
+    fn use_after_free_reported() {
+        let err = run(
+            "struct Node { next: Node*; }
+             fn f() -> Node* {
+                 var x: Node* = new Node;
+                 free(x);
+                 return x->next;
+             }",
+            "f",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtError::UseAfterFree(_)));
+    }
+
+    #[test]
+    fn double_free_reported() {
+        let err = run(
+            "struct Node { next: Node*; }
+             fn f() {
+                 var x: Node* = new Node;
+                 free(x);
+                 free(x);
+             }",
+            "f",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtError::InvalidFree(_)));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let (_, c) = compile("fn f() { while (true) { } }");
+        let mut vm = BytecodeVm::new(
+            &c,
+            VmConfig {
+                max_steps: 10_000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(vm.call(sym("f"), &[]), Err(RtError::StepLimit));
+    }
+
+    #[test]
+    fn runaway_recursion_hits_depth_limit() {
+        let (_, c) = compile("fn f(n: int) -> int { return f(n); }");
+        let mut vm = BytecodeVm::new(
+            &c,
+            VmConfig {
+                max_steps: 1_000_000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(
+            vm.call(sym("f"), &[Val::Int(0)]),
+            Err(RtError::StackOverflow)
+        );
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let err = run("fn f(n: int) -> int { return 1 / n; }", "f", &[Val::Int(0)]).unwrap_err();
+        assert!(matches!(err, RtError::DivByZero(_)));
+    }
+
+    #[test]
+    fn no_return_detected() {
+        let err = run(
+            "fn f(n: int) -> int { if (n > 0) { return 1; } }",
+            "f",
+            &[Val::Int(-3)],
+        )
+        .unwrap_err();
+        assert_eq!(err, RtError::NoReturn(sym("f")));
+    }
+
+    #[test]
+    fn short_circuit_avoids_null_deref() {
+        let out = run(
+            "struct Node { next: Node*; data: int; }
+             fn f(x: Node*) -> bool { return x != null && x->data > 0; }",
+            "f",
+            &[Val::Nil],
+        )
+        .unwrap();
+        assert_eq!(out, Some(Val::Int(0)));
+    }
+
+    const CONCAT: &str = "
+        struct Node { next: Node*; prev: Node*; }
+        fn concat(x: Node*, y: Node*) -> Node* {
+            @L1;
+            if (x == null) { @L2; return y; }
+            else {
+                var tmp: Node* = concat(x->next, y);
+                x->next = tmp;
+                if (tmp != null) { tmp->prev = x; }
+                @L3;
+                return x;
+            }
+        }";
+
+    /// Builds Figure 2's x = [1 <-> 2 <-> 3], y = [4 <-> 5] in `vm`.
+    fn build_fig2(vm: &mut BytecodeVm<'_>) -> (Val, Val) {
+        let node = sym("Node");
+        let c1 = vm.alloc(node, vec![Val::Nil, Val::Nil]);
+        let c2 = vm.alloc(node, vec![Val::Nil, Val::Addr(c1)]);
+        let c3 = vm.alloc(node, vec![Val::Nil, Val::Addr(c2)]);
+        vm.heap.write(c1, 0, Val::Addr(c2), Span::DUMMY).unwrap();
+        vm.heap.write(c2, 0, Val::Addr(c3), Span::DUMMY).unwrap();
+        let c4 = vm.alloc(node, vec![Val::Nil, Val::Nil]);
+        let c5 = vm.alloc(node, vec![Val::Nil, Val::Addr(c4)]);
+        vm.heap.write(c4, 0, Val::Addr(c5), Span::DUMMY).unwrap();
+        (Val::Addr(c1), Val::Addr(c4))
+    }
+
+    #[test]
+    fn tracer_collects_concat_snapshots() {
+        let (_, c) = compile(CONCAT);
+        let mut vm = BytecodeVm::new(&c, VmConfig::default());
+        let (x, y) = build_fig2(&mut vm);
+        vm.set_tracer(Tracer::new(sym("concat"), TraceConfig::default()));
+        let out = vm.call(sym("concat"), &[x, y]).unwrap();
+        assert_eq!(out, Some(x));
+        let tracer = vm.take_tracer().unwrap();
+        assert_eq!(tracer.at(Location::Label(sym("L1"))).len(), 4);
+        assert_eq!(tracer.at(Location::Label(sym("L2"))).len(), 1);
+        assert_eq!(tracer.at(Location::Label(sym("L3"))).len(), 3);
+        assert_eq!(tracer.at(Location::Entry).len(), 4);
+        let exits = tracer.at(Location::Exit(1));
+        assert_eq!(exits.len(), 3);
+        for snap in &exits {
+            assert!(snap.model.stack.get(sym("res")).is_some());
+        }
+        // Whole-backtrace heap visibility (Figure 2b: h1 = h2 = h3).
+        for snap in tracer.at(Location::Label(sym("L3"))) {
+            assert_eq!(snap.model.heap.len(), 5, "all-frames view at L3");
+        }
+        let l3 = tracer.at(Location::Label(sym("L3")));
+        assert!(l3[0].model.stack.get(sym("tmp")).is_some());
+        let l2 = tracer.at(Location::Label(sym("L2")));
+        assert!(l2[0].model.stack.get(sym("tmp")).is_none());
+        assert_eq!(l2[0].model.heap.len(), 5, "backtrace view at L2");
+        assert_eq!(tracer.at(Location::Entry)[0].activation, 1);
+        assert_eq!(tracer.at(Location::Exit(1))[0].activation, 3);
+        assert_eq!(tracer.at(Location::Exit(0))[0].activation, 4);
+    }
+
+    #[test]
+    fn loop_head_snapshots() {
+        let src = "
+            struct Node { next: Node*; }
+            fn len(x: Node*) -> int {
+                var n: int = 0;
+                while @inv (x != null) { n = n + 1; x = x->next; }
+                return n;
+            }";
+        let (_, c) = compile(src);
+        let mut vm = BytecodeVm::new(&c, VmConfig::default());
+        let node = sym("Node");
+        let c2 = vm.alloc(node, vec![Val::Nil]);
+        let c1 = vm.alloc(node, vec![Val::Addr(c2)]);
+        vm.set_tracer(Tracer::new(sym("len"), TraceConfig::default()));
+        let out = vm.call(sym("len"), &[Val::Addr(c1)]).unwrap();
+        assert_eq!(out, Some(Val::Int(2)));
+        let tracer = vm.take_tracer().unwrap();
+        assert_eq!(tracer.at(Location::LoopHead(sym("inv"))).len(), 3);
+        let heads = tracer.at(Location::LoopHead(sym("inv")));
+        assert_eq!(heads[2].model.heap.len(), 2, "entry roots keep the list");
+    }
+
+    #[test]
+    fn freed_cells_taint_snapshots() {
+        let src = "
+            struct Node { next: Node*; }
+            fn f(x: Node*) -> Node* {
+                free(x->next);
+                @after;
+                return x;
+            }";
+        let (_, c) = compile(src);
+        let mut vm = BytecodeVm::new(&c, VmConfig::default());
+        let node = sym("Node");
+        let c2 = vm.alloc(node, vec![Val::Nil]);
+        let c1 = vm.alloc(node, vec![Val::Addr(c2)]);
+        vm.set_tracer(Tracer::new(sym("f"), TraceConfig::default()));
+        vm.call(sym("f"), &[Val::Addr(c1)]).unwrap();
+        let tracer = vm.take_tracer().unwrap();
+        let after = tracer.at(Location::Label(sym("after")));
+        assert!(after[0].tainted, "dangling x->next must taint the snapshot");
+        assert_eq!(after[0].model.heap.len(), 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Differential checks against the tree-walk oracle: identical
+    // snapshot streams (values, activations, taint) and identical typed
+    // faults, including mid-run step-limit faults whose partial traces
+    // must match snapshot for snapshot.
+    // ------------------------------------------------------------------
+
+    /// Runs `func` on list inputs of every length in `0..=max_len`
+    /// under both executors and asserts trace-for-trace equality.
+    fn assert_differential(src: &str, func: &str, config: VmConfig, max_len: usize) {
+        let p = parse_program(src).unwrap();
+        check_program(&p).unwrap();
+        let c = Compiler::compile(&p);
+        let node = sym("Node");
+        for len in 0..=max_len {
+            let mut tw = Vm::new(&p, config);
+            let mut bc = BytecodeVm::new(&c, config);
+            let mut heads = Vec::new();
+            for vm_heap in [&mut tw.heap, &mut bc.heap] {
+                let mut head = Val::Nil;
+                for i in (0..len).rev() {
+                    let loc = vm_heap.alloc(node, vec![head, Val::Int(i as i64)]);
+                    head = Val::Addr(loc);
+                }
+                heads.push(head);
+            }
+            tw.set_tracer(Tracer::new(sym(func), TraceConfig::default()));
+            bc.set_tracer(Tracer::new(sym(func), TraceConfig::default()));
+            let out_tw = tw.call(sym(func), &[heads[0]]);
+            let out_bc = bc.call(sym(func), &[heads[1]]);
+            assert_eq!(out_tw, out_bc, "{func} len={len}: result/fault");
+            assert_eq!(tw.activations(), bc.activations(), "{func} len={len}");
+            let t_tw = tw.take_tracer().unwrap();
+            let t_bc = bc.take_tracer().unwrap();
+            assert_eq!(
+                t_tw.snapshots, t_bc.snapshots,
+                "{func} len={len}: snapshot streams diverge"
+            );
+        }
+    }
+
+    const LIST_SUM: &str = "
+        struct Node { next: Node*; data: int; }
+        fn sum(x: Node*) -> int {
+            var s: int = 0;
+            while @inv (x != null) { s = s + x->data; x = x->next; }
+            return s;
+        }";
+
+    const LIST_REV: &str = "
+        struct Node { next: Node*; data: int; }
+        fn rev(x: Node*) -> Node* {
+            var out: Node* = null;
+            while @inv (x != null) {
+                var nxt: Node* = x->next;
+                x->next = out;
+                out = x;
+                x = nxt;
+            }
+            return out;
+        }";
+
+    const LIST_LEN_REC: &str = "
+        struct Node { next: Node*; data: int; }
+        fn len(x: Node*) -> int {
+            @here;
+            if (x == null) { return 0; }
+            return 1 + len(x->next);
+        }";
+
+    const LIST_FREE_ALL: &str = "
+        struct Node { next: Node*; data: int; }
+        fn drop(x: Node*) {
+            while @inv (x != null) {
+                var nxt: Node* = x->next;
+                free(x);
+                x = nxt;
+            }
+            return;
+        }";
+
+    // Seeded bug: walks one past the end (null deref on the last node).
+    const LIST_BUGGY: &str = "
+        struct Node { next: Node*; data: int; }
+        fn last(x: Node*) -> int {
+            while @inv (x->next != null) { x = x->next; }
+            return x->data;
+        }";
+
+    #[test]
+    fn differential_loops_and_recursion() {
+        let cfg = VmConfig::default();
+        assert_differential(LIST_SUM, "sum", cfg, 6);
+        assert_differential(LIST_REV, "rev", cfg, 6);
+        assert_differential(LIST_LEN_REC, "len", cfg, 6);
+        assert_differential(LIST_FREE_ALL, "drop", cfg, 6);
+    }
+
+    #[test]
+    fn differential_faulting_partial_traces() {
+        // Null deref on the empty list; identical partial traces.
+        assert_differential(LIST_BUGGY, "last", VmConfig::default(), 6);
+    }
+
+    #[test]
+    fn differential_step_limit_mid_loop() {
+        // A tight budget faults mid-loop: both executors must cut the
+        // trace at the same snapshot and report the same error.
+        for max_steps in [1, 7, 23, 60, 61, 62, 63, 64, 100] {
+            let cfg = VmConfig {
+                max_steps,
+                max_depth: 2_000,
+            };
+            assert_differential(LIST_SUM, "sum", cfg, 4);
+            assert_differential(LIST_LEN_REC, "len", cfg, 4);
+        }
+    }
+
+    #[test]
+    fn differential_depth_limit() {
+        for max_depth in [1, 2, 3, 5] {
+            let cfg = VmConfig {
+                max_steps: 2_000_000,
+                max_depth,
+            };
+            assert_differential(LIST_LEN_REC, "len", cfg, 6);
+        }
+    }
+
+    #[test]
+    fn differential_concat_full_trace() {
+        let p = parse_program(CONCAT).unwrap();
+        check_program(&p).unwrap();
+        let c = Compiler::compile(&p);
+        let mut bc = BytecodeVm::new(&c, VmConfig::default());
+        let (bx, by) = build_fig2(&mut bc);
+        let mut tw = Vm::new(&p, VmConfig::default());
+        // Same allocation order => same locations in the oracle.
+        let node = sym("Node");
+        let c1 = tw.alloc(node, vec![Val::Nil, Val::Nil]);
+        let c2 = tw.alloc(node, vec![Val::Nil, Val::Addr(c1)]);
+        let c3 = tw.alloc(node, vec![Val::Nil, Val::Addr(c2)]);
+        tw.heap.write(c1, 0, Val::Addr(c2), Span::DUMMY).unwrap();
+        tw.heap.write(c2, 0, Val::Addr(c3), Span::DUMMY).unwrap();
+        let c4 = tw.alloc(node, vec![Val::Nil, Val::Nil]);
+        let c5 = tw.alloc(node, vec![Val::Nil, Val::Addr(c4)]);
+        tw.heap.write(c4, 0, Val::Addr(c5), Span::DUMMY).unwrap();
+
+        tw.set_tracer(Tracer::new(sym("concat"), TraceConfig::default()));
+        bc.set_tracer(Tracer::new(sym("concat"), TraceConfig::default()));
+        let out_tw = tw.call(sym("concat"), &[Val::Addr(c1), Val::Addr(c4)]);
+        let out_bc = bc.call(sym("concat"), &[bx, by]);
+        assert_eq!(out_tw, out_bc);
+        assert_eq!(
+            tw.take_tracer().unwrap().snapshots,
+            bc.take_tracer().unwrap().snapshots
+        );
+    }
+
+    #[test]
+    fn disassemble_lists_every_function() {
+        let (_, c) = compile(CONCAT);
+        let listing = c.disassemble();
+        assert!(listing.contains("fn concat(x, y):"), "{listing}");
+        assert!(listing.contains("snap @L1"), "{listing}");
+        assert!(listing.contains("call fn#0"), "{listing}");
+        assert!(listing.contains("ret #"), "{listing}");
+    }
+
+    #[test]
+    fn activation_counter_counts_snapshotless_faults() {
+        // Each activation of `f` faults (or overflows the stack) before
+        // any label; only entry snapshots are recorded, but the counter
+        // must still count every activation.
+        let (_, c) = compile("fn f(n: int) -> int { return f(n); }");
+        let mut vm = BytecodeVm::new(
+            &c,
+            VmConfig {
+                max_steps: 1_000_000,
+                max_depth: 8,
+            },
+        );
+        vm.set_tracer(Tracer::new(sym("f"), TraceConfig::default()));
+        assert_eq!(
+            vm.call(sym("f"), &[Val::Int(0)]),
+            Err(RtError::StackOverflow)
+        );
+        // 8 frames entered; the 9th call faulted before pushing one.
+        assert_eq!(vm.activations(), 8);
+        let tracer = vm.take_tracer().unwrap();
+        assert_eq!(tracer.at(Location::Entry).len(), 8);
+    }
+}

@@ -1,0 +1,134 @@
+//! The executor differential gate: every corpus benchmark runs under
+//! both execution tiers — the compiled bytecode VM (the default hot
+//! path) and the tree-walk interpreter (the reference oracle) — and
+//! the two must agree trace-for-trace *and* report-for-report. Any
+//! divergence (a snapshot that differs, a fault at a different point,
+//! an invariant that changes) fails the gate.
+//!
+//! ```sh
+//! cargo run --release -p sling-examples --example diff_executors
+//! # optional bench-name substring filters:
+//! cargo run --release -p sling-examples --example diff_executors -- rbt bst
+//! ```
+//!
+//! Exit status: 0 when every benchmark agrees, 1 on any divergence,
+//! 2 on misuse.
+
+use sling_lang::{check_program, parse_program, TraceConfig, VmConfig};
+use sling_logic::Symbol;
+use sling_suite::corpus::all_benches;
+use sling_suite::eval::EvalConfig;
+
+use sling::{collect_models, AnalysisRequest, Compiler, Executor};
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<_> = all_benches()
+        .into_iter()
+        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.name.contains(f.as_str())))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("no benchmark matches {filters:?}");
+        std::process::exit(2);
+    }
+
+    let config = EvalConfig::default();
+    let mut divergent = 0usize;
+    let mut faulting = 0usize;
+    for bench in &benches {
+        let program = parse_program(bench.source).expect("corpus parses");
+        check_program(&program).expect("corpus type-checks");
+        let compiled = Compiler::compile(&program);
+        let target = Symbol::intern(bench.target);
+
+        // Trace level: snapshot-for-snapshot, fault-for-fault.
+        let collect = |executor| {
+            collect_models(
+                &program,
+                &compiled,
+                target,
+                &bench.inputs(config.seed),
+                VmConfig::default(),
+                TraceConfig::default(),
+                executor,
+            )
+        };
+        let bc = collect(Executor::Bytecode);
+        let tw = collect(Executor::Treewalk);
+        let mut diverged = false;
+        if bc.runs.len() != tw.runs.len() {
+            eprintln!(
+                "DIVERGENCE {}: {} vs {} runs",
+                bench.name,
+                bc.runs.len(),
+                tw.runs.len()
+            );
+            diverged = true;
+        }
+        for (i, (b, t)) in bc.runs.iter().zip(&tw.runs).enumerate() {
+            if b.error != t.error {
+                eprintln!(
+                    "DIVERGENCE {}: run {i} faults {:?} (bytecode) vs {:?} (treewalk)",
+                    bench.name, b.error, t.error
+                );
+                diverged = true;
+            }
+            if b.snapshots != t.snapshots {
+                eprintln!("DIVERGENCE {}: run {i} snapshots differ", bench.name);
+                diverged = true;
+            }
+        }
+        if bc.faulted_runs() > 0 {
+            faulting += 1;
+        }
+
+        // Report level: formula-identical analysis output. The
+        // executor is pinned at the builder level so the gate stays a
+        // real bytecode-vs-treewalk comparison even when the process
+        // runs under `SLING_EXECUTOR`.
+        let analyze = |executor| {
+            let engine = sling::Engine::builder()
+                .program(sling_suite::eval::compile(bench))
+                .pred_env(sling_suite::predicates::pred_env(bench.category))
+                .config(config.sling)
+                .executor(executor)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: engine build error: {e}", bench.name));
+            let request = AnalysisRequest::new(target).inputs(bench.inputs(config.seed));
+            engine.analyze(&request).expect("corpus analyzes")
+        };
+        let rb = analyze(Executor::Bytecode);
+        let rt = analyze(Executor::Treewalk);
+        if format!("{:?}", rb.locations) != format!("{:?}", rt.locations) {
+            eprintln!("DIVERGENCE {}: inferred invariants differ", bench.name);
+            diverged = true;
+        }
+
+        if diverged {
+            divergent += 1;
+        } else {
+            println!(
+                "{:<24} ok: {} run(s), {} snapshot(s), {} invariant(s){}",
+                bench.name,
+                bc.runs.len(),
+                bc.total_snapshots(),
+                rb.invariant_count(),
+                if bench.bug.is_some() {
+                    " [seeded bug, partial traces identical]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    println!(
+        "{} benchmark(s): {} divergent, {} with faulting runs",
+        benches.len(),
+        divergent,
+        faulting
+    );
+    if divergent > 0 {
+        std::process::exit(1);
+    }
+}

@@ -181,40 +181,40 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling3 hello "), "{line:?}");
+    assert!(line.starts_with("sling4 hello "), "{line:?}");
 
     let bad_frames = [
         "complete nonsense\n",
         "sling9 analyze 1 0\n",                    // wrong protocol version
         "sling2 ping\n",                           // previous protocol version
-        "sling3 frobnicate 1\n",                   // unknown frame kind
-        "sling3 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
-        "sling3 analyze 8 2 \"reverse\" 0\n",      // truncated batch
-        "sling3 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
+        "sling4 frobnicate 1\n",                   // unknown frame kind
+        "sling4 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
+        "sling4 analyze 8 2 \"reverse\" 0\n",      // truncated batch
+        "sling4 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
     ];
     for frame in bad_frames {
         writer.write_all(frame.as_bytes()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("error response");
         assert!(
-            line.starts_with("sling3 error "),
+            line.starts_with("sling4 error "),
             "bad frame {frame:?} must be answered with an error frame, \
              got {line:?}"
         );
     }
     // Correlation ids are salvaged when readable.
     writer
-        .write_all(b"sling3 analyze 42 1 \"reverse\" oops\n")
+        .write_all(b"sling4 analyze 42 1 \"reverse\" oops\n")
         .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("error response");
-    assert!(line.starts_with("sling3 error 42 "), "{line:?}");
+    assert!(line.starts_with("sling4 error 42 "), "{line:?}");
 
     // The connection still serves real work.
-    writer.write_all(b"sling3 ping\n").expect("write");
+    writer.write_all(b"sling4 ping\n").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("pong");
-    assert_eq!(line.trim_end(), "sling3 pong");
+    assert_eq!(line.trim_end(), "sling4 pong");
     drop(writer);
     drop(reader);
 

@@ -173,6 +173,13 @@ fn arb_metrics(rng: &mut TestRng) -> RunMetrics {
         refuted_initial: (rng.next_u64() % (1 << 20)) as usize,
         cegir_rounds: (rng.next_u64() % 16) as usize,
         verify_seconds: f64::from_bits(pick_u64(rng)),
+        collect_seconds: f64::from_bits(pick_u64(rng)),
+        compile_seconds: f64::from_bits(pick_u64(rng)),
+        executor: if rng.next_u64().is_multiple_of(2) {
+            sling::Executor::Bytecode
+        } else {
+            sling::Executor::Treewalk
+        },
     }
 }
 
