@@ -374,7 +374,7 @@ impl EngineBuilder {
 /// to the core count, but loudly: silently ignoring `SLING_PARALLELISM=abc`
 /// hides misconfiguration, so the first rejection per process warns on
 /// stderr naming the bad value.
-fn default_parallelism() -> usize {
+pub fn default_parallelism() -> usize {
     if let Ok(var) = std::env::var("SLING_PARALLELISM") {
         match parse_parallelism(&var) {
             Some(n) => return n,

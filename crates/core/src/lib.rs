@@ -125,7 +125,10 @@ mod validate;
 pub mod wire;
 
 pub use collect::{collect_models, Collected, Executor, RunTrace};
-pub use engine::{AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder, ReportSink};
+pub use engine::{
+    default_parallelism, AnalyzeError, BuildError, DiscardReports, Engine, EngineBuilder,
+    ReportSink,
+};
 pub use infer::{infer_atom, var_types, AtomResult, InferConfig, VarTy};
 pub use pipeline::{SlingConfig, VerifySettings};
 pub use pure::infer_pure;

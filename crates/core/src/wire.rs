@@ -7,10 +7,10 @@
 //! space-separated tokens, opened by the protocol tag [`WIRE_VERSION`]
 //! and a frame kind, followed by the typed payload.
 //!
-//! # Grammar (version `sling3`)
+//! # Grammar (version `sling5`)
 //!
 //! ```text
-//! frame      := "sling3" SP kind SP payload          ; one line, LF-terminated on the wire
+//! frame      := "sling5" SP kind SP payload          ; one line, LF-terminated on the wire
 //! token      := atom | string | integer
 //! atom       := [^ "\n]+                             ; bare word (tags, numbers)
 //! string     := '"' escaped* '"'                     ; \\ \" \n \r \t escapes
@@ -28,8 +28,16 @@
 //! treekind   := "rand" | "bst" | "bal" | "rb"
 //! bool       := "t" | "f"
 //!
+//! config     := node_budget:u64 fuel_slack:u64               ; checker limits
+//!               results_per_var:u64 cands_per_pred:u64 nonvacuous:bool
+//!               results_per_loc:u64 dedupe:bool models_per_loc:u64
+//!               vm_steps:u64 vm_depth:u64 observe_freed:bool
+//!               executor:("bytecode"|"treewalk") verify
+//! verify     := "-" | "v" fuel:u64 depth:u64 models:u64 refs:u64 cegir:u64
+//!
 //! inputspec  := seed:u64 nargs:u64 valuespec*
-//! request    := target:string ninputs:u64 inputspec*
+//! override   := "-" | "cfg" config                   ; per-request SlingConfig
+//! request    := target:string override ninputs:u64 inputspec*
 //!
 //! location   := "entry" | "exit" u64 | "label" string | "loop" string
 //! val        := "nil" | "i" i64 | "a" u64
@@ -77,6 +85,7 @@ use sling_logic::{parse_formula, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
 
 use crate::collect::Executor;
+use crate::pipeline::{SlingConfig, VerifySettings};
 use crate::report::{
     Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
 };
@@ -85,13 +94,16 @@ use crate::spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 use crate::CacheStats;
 
 /// Protocol tag opening every frame; bump on any grammar change.
-/// (`sling4` extended `metrics` with the collection/compile timings
-/// and the executor tag; `sling3` added the `exact` value spec, the
-/// per-invariant verification grade, and the verification counters in
-/// `metrics`; `sling2` extended `cachestats` with eviction and
-/// residency counters. Older peers are rejected with
-/// [`WireError::Version`] rather than misparsed.)
-pub const WIRE_VERSION: &str = "sling4";
+/// (`sling5` added the per-request config-override slot to `request`
+/// frames — and, in the serve layer, program-upload slots on `analyze`
+/// frames plus pool statistics on `hello`/`done`; `sling4` extended
+/// `metrics` with the collection/compile timings and the executor tag;
+/// `sling3` added the `exact` value spec, the per-invariant
+/// verification grade, and the verification counters in `metrics`;
+/// `sling2` extended `cachestats` with eviction and residency
+/// counters. Older peers are rejected with [`WireError::Version`]
+/// rather than misparsed.)
+pub const WIRE_VERSION: &str = "sling5";
 
 /// Why a wire frame could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,7 +114,7 @@ pub enum WireError {
     /// The frame opens with a protocol tag other than [`WIRE_VERSION`].
     Version(String),
     /// The value cannot travel over the wire at all (custom input
-    /// closures, per-request config overrides).
+    /// closures).
     Unsupported(String),
     /// A formula payload failed to re-parse on decode.
     Formula(String),
@@ -557,20 +569,91 @@ pub fn read_input_spec(r: &mut WireReader<'_>) -> Result<InputSpec, WireError> {
     Ok(spec)
 }
 
-/// Writes one [`AnalysisRequest`] into an open frame.
+/// Writes a full [`SlingConfig`] into an open frame (the `config`
+/// production): every numeric budget, the executor tag, and the
+/// optional verification settings.
+pub fn write_config(w: &mut WireWriter, config: &SlingConfig) {
+    w.u64(config.check.node_budget);
+    w.u64(u64::from(config.check.fuel_slack));
+    w.u64(config.infer.max_results_per_var as u64);
+    w.u64(config.infer.max_candidates_per_pred as u64);
+    w.bool(config.infer.require_nonvacuous);
+    w.u64(config.max_results_per_location as u64);
+    w.bool(config.dedupe_models);
+    w.u64(config.max_models_per_location as u64);
+    w.u64(config.vm.max_steps);
+    w.u64(config.vm.max_depth as u64);
+    w.bool(config.trace.observe_freed);
+    w.atom(&config.executor.to_string());
+    match &config.verify {
+        None => w.atom("-"),
+        Some(v) => {
+            w.atom("v");
+            w.u64(u64::from(v.prover.fuel));
+            w.u64(u64::from(v.prover.max_depth));
+            w.u64(v.prover.max_models as u64);
+            w.u64(v.prover.max_references as u64);
+            w.u64(v.cegir_rounds as u64);
+        }
+    }
+}
+
+fn read_u32(r: &mut WireReader<'_>) -> Result<u32, WireError> {
+    let n = r.u64()?;
+    u32::try_from(n).map_err(|_| syntax(format!("{n} does not fit in u32")))
+}
+
+/// Reads a full [`SlingConfig`] from an open frame.
+pub fn read_config(r: &mut WireReader<'_>) -> Result<SlingConfig, WireError> {
+    let mut config = SlingConfig::default();
+    config.check.node_budget = r.u64()?;
+    config.check.fuel_slack = read_u32(r)?;
+    config.infer.max_results_per_var = r.usize()?;
+    config.infer.max_candidates_per_pred = r.usize()?;
+    config.infer.require_nonvacuous = r.bool()?;
+    config.max_results_per_location = r.usize()?;
+    config.dedupe_models = r.bool()?;
+    config.max_models_per_location = r.usize()?;
+    config.vm.max_steps = r.u64()?;
+    config.vm.max_depth = r.usize()?;
+    config.trace.observe_freed = r.bool()?;
+    config.executor = {
+        let name = r.atom()?;
+        Executor::parse(name)
+            .ok_or_else(|| WireError::Syntax(format!("unknown executor {name:?}")))?
+    };
+    config.verify = match r.atom()? {
+        "-" => None,
+        "v" => {
+            let mut v = VerifySettings::default();
+            v.prover.fuel = read_u32(r)?;
+            v.prover.max_depth = read_u32(r)?;
+            v.prover.max_models = r.usize()?;
+            v.prover.max_references = r.usize()?;
+            v.cegir_rounds = r.usize()?;
+            Some(v)
+        }
+        other => return Err(syntax(format!("bad verify tag `{other}`"))),
+    };
+    Ok(config)
+}
+
+/// Writes one [`AnalysisRequest`] into an open frame, including its
+/// per-request config override when present.
 ///
 /// # Errors
 ///
 /// [`WireError::Unsupported`] when the request carries anything only
-/// meaningful in-process: a custom input closure or a per-request
-/// config override.
+/// meaningful in-process: a custom input closure.
 pub fn write_request(w: &mut WireWriter, request: &AnalysisRequest) -> Result<(), WireError> {
-    if request.config.is_some() {
-        return Err(WireError::Unsupported(
-            "per-request config overrides (the serving engine's config applies)".into(),
-        ));
-    }
     w.text(&request.target.to_string());
+    match &request.config {
+        None => w.atom("-"),
+        Some(config) => {
+            w.atom("cfg");
+            write_config(w, config);
+        }
+    }
     w.u64(request.inputs.len() as u64);
     for input in &request.inputs {
         match input {
@@ -588,8 +671,16 @@ pub fn write_request(w: &mut WireWriter, request: &AnalysisRequest) -> Result<()
 /// Reads one [`AnalysisRequest`] from an open frame.
 pub fn read_request(r: &mut WireReader<'_>) -> Result<AnalysisRequest, WireError> {
     let target = r.text()?;
+    let config = match r.atom()? {
+        "-" => None,
+        "cfg" => Some(read_config(r)?),
+        other => return Err(syntax(format!("bad config-override tag `{other}`"))),
+    };
     let count = r.usize()?;
     let mut request = AnalysisRequest::new(target.as_str());
+    if let Some(config) = config {
+        request = request.config(config);
+    }
     for _ in 0..count {
         request = request.input(read_input_spec(r)?);
     }
@@ -1061,17 +1152,58 @@ mod tests {
     }
 
     #[test]
-    fn custom_closures_and_config_overrides_are_rejected_typed() {
+    fn custom_closures_are_rejected_typed() {
         let custom = AnalysisRequest::new("f").custom(|_| vec![Val::Nil]);
         assert!(matches!(
             encode_request(&custom),
             Err(WireError::Unsupported(_))
         ));
-        let configured = AnalysisRequest::new("f").config(SlingConfig::default());
-        assert!(matches!(
-            encode_request(&configured),
-            Err(WireError::Unsupported(_))
-        ));
+    }
+
+    #[test]
+    fn config_overrides_round_trip() {
+        let mut config = SlingConfig::default();
+        config.check.node_budget = 12_345;
+        config.check.fuel_slack = 9;
+        config.infer.max_results_per_var = 3;
+        config.infer.max_candidates_per_pred = 77;
+        config.infer.require_nonvacuous = false;
+        config.max_results_per_location = 2;
+        config.dedupe_models = false;
+        config.max_models_per_location = 101;
+        config.vm.max_steps = u64::MAX;
+        config.vm.max_depth = 17;
+        config.trace.observe_freed = false;
+        config.executor = Executor::Treewalk;
+        let mut verify = crate::VerifySettings::default();
+        verify.prover.fuel = u32::MAX;
+        verify.prover.max_depth = 5;
+        verify.prover.max_models = 33;
+        verify.prover.max_references = 1;
+        verify.cegir_rounds = 0;
+        for verify in [None, Some(verify)] {
+            config.verify = verify;
+            let request = AnalysisRequest::new("f")
+                .config(config)
+                .input(InputSpec::seeded(1).arg(ValueSpec::nil()));
+            let back = decode_request(&encode_request(&request).unwrap()).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{request:?}"));
+        }
+        // The no-override case stays `None` on the far side.
+        let bare = AnalysisRequest::new("f");
+        let back = decode_request(&encode_request(&bare).unwrap()).unwrap();
+        assert!(back.config.is_none());
+    }
+
+    #[test]
+    fn config_override_bad_tags_are_rejected() {
+        let good = encode_request(&AnalysisRequest::new("f")).unwrap();
+        // `-` → some unknown override tag.
+        let bad = good.replacen(" - ", " cfgx ", 1);
+        assert!(matches!(decode_request(&bad), Err(WireError::Syntax(_))));
+        // Truncated config payload.
+        let bad = good.replacen(" - ", " cfg 1 2 ", 1);
+        assert!(matches!(decode_request(&bad), Err(WireError::Syntax(_))));
     }
 
     fn sample_report() -> Report {

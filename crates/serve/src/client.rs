@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use sling::wire::WireError;
 use sling::{AnalysisRequest, BatchReport, Report};
 
-use crate::proto::{ClientFrame, FrameBuffer, ServerFrame, VerifyTotals};
+use crate::proto::{ClientFrame, FrameBuffer, PoolStats, ProgramUpload, ServerFrame, VerifyTotals};
 
 /// Why a served analysis failed on the client side.
 #[derive(Debug)]
@@ -87,6 +87,43 @@ pub struct Client {
     parallelism: u64,
     next_id: u64,
     verify_totals: VerifyTotals,
+    pool_stats: PoolStats,
+}
+
+/// First retry delay of [`Client::connect_retry`]'s backoff schedule.
+const RETRY_BASE: Duration = Duration::from_millis(10);
+/// Ceiling on any single retry delay.
+const RETRY_CAP: Duration = Duration::from_secs(1);
+
+/// The backoff schedule: attempt `k` (0-based) sleeps a jittered delay
+/// in `[cap/2, cap]`, where `cap = min(RETRY_BASE << k, RETRY_CAP)` —
+/// exponential growth, bounded, with enough jitter (seeded per call)
+/// that a stampede of clients racing one just-booted server spreads
+/// out instead of reconnecting in lockstep. Pure deadline math, so the
+/// schedule is unit-testable without sockets.
+fn retry_delay(attempt: u32, seed: u64) -> Duration {
+    let cap = RETRY_BASE
+        .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+        .min(RETRY_CAP);
+    let cap_ns = cap.as_nanos() as u64;
+    let half = cap_ns / 2;
+    // xorshift over (seed, attempt): cheap, deterministic per input,
+    // and well-spread across clients with distinct seeds.
+    let mut x = seed ^ u64::from(attempt + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_nanos(half + x % (cap_ns - half).max(1))
+}
+
+/// A per-call jitter seed. `RandomState` is the standard library's
+/// per-process randomly seeded hasher — no extra dependency, and two
+/// clients (or two calls) get different schedules.
+fn jitter_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
 }
 
 impl Client {
@@ -101,14 +138,17 @@ impl Client {
             parallelism: 0,
             next_id: 1,
             verify_totals: VerifyTotals::default(),
+            pool_stats: PoolStats::default(),
         };
         match client.read_frame()? {
             ServerFrame::Hello {
                 warm_entries,
                 parallelism,
+                pool,
             } => {
                 client.warm_entries = warm_entries;
                 client.parallelism = parallelism;
+                client.pool_stats = pool;
                 Ok(client)
             }
             ServerFrame::Busy { active, max } => Err(ServeError::Busy { active, max }),
@@ -121,17 +161,28 @@ impl Client {
     /// [`Client::connect`] with retries until `deadline` elapses —
     /// for drivers racing a just-booted server process, and the
     /// expected recovery from a [`ServeError::Busy`] turn-away (a slot
-    /// usually frees within the deadline).
+    /// usually frees within the deadline). Retries back off
+    /// exponentially with deterministic jitter — 10ms base doubling to
+    /// a 1s cap, each sleep drawn from the cap's upper half — clamped
+    /// to the remaining deadline so the last sleep never overshoots it.
     pub fn connect_retry(
         addr: impl ToSocketAddrs + Clone,
         deadline: Duration,
     ) -> Result<Client, ServeError> {
         let start = Instant::now();
+        let seed = jitter_seed();
+        let mut attempt = 0u32;
         loop {
             match Client::connect(addr.clone()) {
                 Ok(client) => return Ok(client),
-                Err(e) if start.elapsed() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(retry_delay(attempt, seed).min(deadline - elapsed));
+                    attempt = attempt.saturating_add(1);
+                }
             }
         }
     }
@@ -154,6 +205,13 @@ impl Client {
         self.verify_totals
     }
 
+    /// Engine-pool counters from the most recent `hello` banner or
+    /// `done` epilogue — how many batches hit a resident engine, built
+    /// one, and how many engines were evicted to stay under the cap.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
+    }
+
     /// Round-trips a liveness probe.
     pub fn ping(&mut self) -> Result<(), ServeError> {
         self.send(&ClientFrame::Ping)?;
@@ -167,9 +225,33 @@ impl Client {
 
     /// Serves a batch remotely: sends one `analyze` frame and collects
     /// the streamed reports into a [`BatchReport`] in request order —
-    /// the wire mirror of [`sling::Engine::analyze_all`].
+    /// the wire mirror of [`sling::Engine::analyze_all`]. The batch
+    /// runs against the daemon's default tenant.
     pub fn analyze_all(&mut self, requests: &[AnalysisRequest]) -> Result<BatchReport, ServeError> {
         self.analyze_all_with(requests, |_, _| {})
+    }
+
+    /// [`Client::analyze_all`] against an uploaded program: the server
+    /// resolves `upload` in its engine pool (building on first sight,
+    /// reusing after), then serves the batch against that engine. A
+    /// build failure — parse, typecheck, productivity lint — comes back
+    /// as [`ServeError::Remote`]; the connection stays usable.
+    pub fn analyze_all_uploaded(
+        &mut self,
+        upload: &ProgramUpload,
+        requests: &[AnalysisRequest],
+    ) -> Result<BatchReport, ServeError> {
+        self.analyze_all_uploaded_with(upload, requests, |_, _| {})
+    }
+
+    /// [`Client::analyze_all_uploaded`] with a streaming observer.
+    pub fn analyze_all_uploaded_with(
+        &mut self,
+        upload: &ProgramUpload,
+        requests: &[AnalysisRequest],
+        sink: impl FnMut(usize, &Report),
+    ) -> Result<BatchReport, ServeError> {
+        self.run_batch(Some(upload), requests, sink)
     }
 
     /// [`Client::analyze_all`] with a streaming observer: `sink` sees
@@ -179,11 +261,20 @@ impl Client {
     pub fn analyze_all_with(
         &mut self,
         requests: &[AnalysisRequest],
+        sink: impl FnMut(usize, &Report),
+    ) -> Result<BatchReport, ServeError> {
+        self.run_batch(None, requests, sink)
+    }
+
+    fn run_batch(
+        &mut self,
+        upload: Option<&ProgramUpload>,
+        requests: &[AnalysisRequest],
         mut sink: impl FnMut(usize, &Report),
     ) -> Result<BatchReport, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.send_line(crate::proto::encode_analyze_frame(id, requests)?)?;
+        self.send_line(crate::proto::encode_analyze_frame(id, upload, requests)?)?;
 
         let mut slots: Vec<Option<Report>> = (0..requests.len()).map(|_| None).collect();
         loop {
@@ -217,6 +308,7 @@ impl Client {
                     count,
                     cache,
                     verify,
+                    pool,
                 } => {
                     if got != id {
                         return Err(ServeError::Protocol(format!(
@@ -241,6 +333,7 @@ impl Client {
                         )));
                     }
                     self.verify_totals = verify;
+                    self.pool_stats = pool;
                     return Ok(BatchReport { reports, cache });
                 }
                 ServerFrame::Error { id: got, message } if got == id || got == 0 => {
@@ -280,6 +373,71 @@ impl Client {
                     "server closed the connection mid-conversation".into(),
                 ));
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_grow_exponentially_to_the_cap() {
+        let seed = 0xdead_beef;
+        for attempt in 0..40 {
+            let cap = RETRY_BASE
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(RETRY_CAP);
+            let delay = retry_delay(attempt, seed);
+            assert!(
+                delay >= cap / 2 && delay <= cap,
+                "attempt {attempt}: {delay:?} outside [{:?}, {cap:?}]",
+                cap / 2
+            );
+        }
+        // The cap binds: far-out attempts never exceed RETRY_CAP.
+        assert!(retry_delay(63, seed) <= RETRY_CAP);
+        assert!(retry_delay(63, seed) >= RETRY_CAP / 2);
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_per_seed_and_jittered_across_seeds() {
+        assert_eq!(retry_delay(5, 42), retry_delay(5, 42));
+        // With the cap at 320ms for attempt 5, distinct seeds landing on
+        // the exact same nanosecond would be a broken jitter.
+        let distinct: std::collections::HashSet<Duration> = (0..64u64)
+            .map(|seed| retry_delay(5, seed * 7 + 1))
+            .collect();
+        assert!(distinct.len() > 32, "jitter collapsed: {}", distinct.len());
+    }
+
+    #[test]
+    fn retry_schedule_stays_within_a_deadline_by_clamping() {
+        // connect_retry clamps each sleep to the remaining deadline;
+        // simulate the same arithmetic: total sleep time never passes
+        // the deadline no matter how many attempts fail.
+        let deadline = Duration::from_millis(200);
+        let mut elapsed = Duration::ZERO;
+        let seed = 7;
+        for attempt in 0..32 {
+            if elapsed >= deadline {
+                break;
+            }
+            let sleep = retry_delay(attempt, seed).min(deadline - elapsed);
+            elapsed += sleep;
+        }
+        assert!(elapsed <= deadline);
+        // And the schedule actually reaches the deadline (it does not
+        // stall short of it with zero-length sleeps).
+        assert!(elapsed >= deadline - Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn first_retry_is_prompt() {
+        // A driver racing a just-booted server should not wait long on
+        // its first retry: attempt 0 sleeps at most RETRY_BASE.
+        for seed in 0..32 {
+            assert!(retry_delay(0, seed) <= RETRY_BASE);
         }
     }
 }

@@ -1,32 +1,43 @@
 //! # sling-serve — the SLING analysis service
 //!
-//! Scale-out beyond one process: a multi-threaded TCP service that
-//! holds one long-lived [`Engine`](sling::Engine) — the parsed program,
-//! the predicate library, and the entailment cache warm-loaded from its
-//! snapshot at boot — and serves analysis batches over a
-//! newline-delimited wire protocol. Every connection shares the one
-//! engine, so setup cost (and every memoized entailment) is amortized
-//! across all clients, and the cache is snapshotted back to disk on an
-//! interval and at graceful shutdown.
+//! Scale-out beyond one process: a multi-threaded TCP service over a
+//! capacity-bounded pool of long-lived [`Engine`](sling::Engine)s —
+//! analysis as a service. A batch either targets the pre-warmed
+//! *default tenant* (the program the daemon booted with, its entailment
+//! cache warm-loaded from a snapshot) or *uploads* its own program and
+//! predicate library on the wire; the pool builds uploaded tenants on
+//! first sight, reuses them on every identical upload after, and
+//! evicts least-recently-used past its cap. Every connection shares
+//! the pool, so setup cost (and every memoized entailment) is
+//! amortized across all clients of the same tenant, and the default
+//! tenant's cache is snapshotted back to disk on an interval and at
+//! graceful shutdown.
 //!
-//! Three layers:
+//! Four layers:
 //!
-//! * [`proto`] — the frame grammar: `analyze` requests in, streamed
-//!   `report` frames plus a `done` epilogue out, all built on the
+//! * [`proto`] — the frame grammar: `analyze` requests (optionally
+//!   carrying a [`ProgramUpload`]) in, streamed `report` frames plus a
+//!   `done` epilogue (with [`PoolStats`]) out, all built on the
 //!   hand-rolled [`sling::wire`] codec (no serde; the build is
 //!   offline).
+//! * [`EnginePool`] — the tenancy layer: fingerprint-keyed LRU of
+//!   built engines, one build per distinct upload, typed build
+//!   failures that never poison a slot.
 //! * [`Service`] — the server: binds a listener, fans connections out
-//!   over handler threads, answers each batch through
+//!   over handler threads, resolves each batch's tenant, answers it
+//!   through
 //!   [`Engine::analyze_all_with`](sling::Engine::analyze_all_with) so
 //!   reports stream in completion order, drains gracefully.
 //! * [`Client`] — the blocking helper: connect, read the warm-boot
-//!   banner, [`Client::analyze_all`] as the wire mirror of the
+//!   banner, [`Client::analyze_all`] /
+//!   [`Client::analyze_all_uploaded`] as the wire mirrors of the
 //!   in-process batch API.
 //!
 //! The `sling-serve` binary wraps [`Service`] for standalone use; the
 //! `serve_corpus` example in `examples/` replays the list-corpus
 //! fixture through a live socket and diffs the result against the
-//! in-process engine.
+//! in-process engine, and `multi_tenant` drives two uploaded tenants
+//! through one daemon concurrently.
 //!
 //! # Example
 //!
@@ -62,7 +73,8 @@
 //! let batch = client.analyze_all(std::slice::from_ref(&request))?;
 //! assert!(batch.reports[0].invariant_count() > 0);
 //!
-//! let engine = service.shutdown()?; // graceful drain; engine returned
+//! // Graceful drain; the pool comes back, and with it the engine.
+//! let engine = service.shutdown()?.into_default().expect("no handler holds it");
 //! assert!(engine.cache_stats().lookups() > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -70,9 +82,11 @@
 #![warn(missing_docs)]
 
 mod client;
+mod pool;
 pub mod proto;
 mod service;
 
 pub use client::{Client, ServeError};
-pub use proto::VerifyTotals;
-pub use service::{absorb_snapshot_dir, DirMerge, ServeOptions, Service};
+pub use pool::{fingerprint, EnginePool, PoolError, PoolSettings};
+pub use proto::{PoolStats, ProgramUpload, VerifyTotals};
+pub use service::{absorb_snapshot_dir, DirMerge, ServeOptions, Service, DEFAULT_POOL_CAPACITY};

@@ -1,48 +1,60 @@
 //! The standalone `sling-serve` daemon.
 //!
-//! Boots one long-lived engine (program + predicate library +
-//! warm-loaded entailment-cache snapshot) and serves analysis batches
-//! over the newline-delimited wire protocol until killed.
+//! Boots an engine pool — optionally pre-warmed with a default tenant
+//! (program + predicate library + warm-loaded entailment-cache
+//! snapshot) — and serves analysis batches over the newline-delimited
+//! wire protocol until killed. Batches may upload their own program
+//! and predicates; the pool builds each distinct upload once, reuses
+//! it while resident, and evicts least-recently-used past `--pool-cap`.
 //!
 //! ```sh
 //! sling-serve --program prog.minic --predicates lib.preds \
 //!             --addr 127.0.0.1:7341 --cache /var/cache/sling.bin --snapshot-secs 30
 //! # or, for smoke tests and demos, the built-in list corpus:
 //! sling-serve --corpus DemoNode --addr 127.0.0.1:7341
+//! # or fully multi-tenant, nothing baked in — clients upload programs:
+//! sling-serve --addr 127.0.0.1:7341 --pool-cap 4
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use sling::{Engine, VerifySettings};
-use sling_serve::{ServeOptions, Service};
+use sling::{Engine, SlingConfig, VerifySettings};
+use sling_serve::{EnginePool, PoolSettings, ServeOptions, Service, DEFAULT_POOL_CAPACITY};
 use sling_suite::fixtures::ListCorpus;
 
 const USAGE: &str = "\
-usage: sling-serve (--program FILE --predicates FILE | --corpus NODE)
+usage: sling-serve [--program FILE --predicates FILE | --corpus NODE]
                    [--addr HOST:PORT] [--cache FILE|DIR] [--snapshot-secs N]
                    [--cache-cap N] [--max-conns N] [--parallelism N]
-                   [--executor bytecode|treewalk] [--verify]
+                   [--pool-cap N] [--executor bytecode|treewalk] [--verify]
 
-  --program FILE      MiniC source of the program to serve
+  --program FILE      MiniC source of the default program to serve; with
+                      neither --program nor --corpus the daemon boots
+                      empty and every batch must upload its program
   --predicates FILE   predicate library source
   --corpus NODE       serve the built-in four-function list corpus over
                       struct NODE instead of reading files
   --addr HOST:PORT    listen address (default 127.0.0.1:7341; port 0
                       picks an ephemeral port, printed at boot)
-  --cache FILE|DIR    persistent entailment-cache snapshot: warm-loaded
-                      at boot, saved on the snapshot interval and at exit.
-                      A directory merges every *.snap inside at boot
-                      (corrupt siblings are skipped with a warning) and
-                      saves to <DIR>/serve-<pid>.snap; a missing,
-                      extension-less path is created as a directory
+  --cache FILE|DIR    persistent entailment-cache snapshot for the
+                      default tenant: warm-loaded at boot, saved on the
+                      snapshot interval and at exit. A directory merges
+                      every *.snap inside at boot (corrupt siblings are
+                      skipped with a warning) and saves to
+                      <DIR>/serve-<pid>.snap; a missing, extension-less
+                      path is created as a directory. Needs a default
+                      tenant (uploaded tenants are ephemeral)
   --snapshot-secs N   background snapshot period (default 60; needs --cache)
-  --cache-cap N       bound the entailment cache to ~N entries with LRU
-                      eviction (default: unbounded within memory)
+  --cache-cap N       bound each engine's entailment cache to ~N entries
+                      with LRU eviction (default: unbounded within memory)
   --max-conns N       serve at most N concurrent connections; excess
                       connections get a typed `busy` frame and should
                       retry (default: unbounded)
   --parallelism N     worker budget (default: SLING_PARALLELISM or cores)
+  --pool-cap N        hold at most N uploaded-tenant engines resident,
+                      evicting least-recently-used (default 8; the
+                      default tenant is pinned and not counted)
   --executor TIER     execution tier for trace collection: `bytecode`
                       (compiled stack VM, the default) or `treewalk`
                       (the reference interpreter — identical traces,
@@ -63,8 +75,16 @@ struct Args {
     cache_cap: Option<usize>,
     max_conns: Option<usize>,
     parallelism: Option<usize>,
+    pool_cap: Option<usize>,
     executor: Option<sling::Executor>,
     verify: bool,
+}
+
+impl Args {
+    /// Whether the daemon boots with a default tenant at all.
+    fn has_default_tenant(&self) -> bool {
+        self.corpus.is_some() || self.program.is_some()
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         cache_cap: None,
         max_conns: None,
         parallelism: None,
+        pool_cap: None,
         executor: None,
         verify: false,
     };
@@ -119,6 +140,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --parallelism: {e}"))?,
                 );
             }
+            "--pool-cap" => {
+                args.pool_cap = Some(
+                    value("--pool-cap")?
+                        .parse()
+                        .map_err(|e| format!("bad --pool-cap: {e}"))?,
+                );
+            }
             "--executor" => {
                 let name = value("--executor")?;
                 args.executor = Some(sling::Executor::parse(&name).ok_or_else(|| {
@@ -131,11 +159,21 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     match (&args.corpus, &args.program, &args.predicates) {
-        (Some(_), None, None) | (None, Some(_), Some(_)) => Ok(args),
-        _ => Err(format!(
-            "need either --corpus NODE or both --program and --predicates\n\n{USAGE}"
-        )),
+        (Some(_), None, None) | (None, Some(_), Some(_)) | (None, None, None) => {}
+        _ => {
+            return Err(format!(
+                "need --corpus NODE, both --program and --predicates, or neither \
+                 (multi-tenant: clients upload programs)\n\n{USAGE}"
+            ))
+        }
     }
+    if args.cache.is_some() && !args.has_default_tenant() {
+        return Err(format!(
+            "--cache needs a default tenant (--program/--corpus): uploaded \
+             tenants are ephemeral and never snapshotted\n\n{USAGE}"
+        ));
+    }
+    Ok(args)
 }
 
 /// Resolves `--cache`: a file is the snapshot path itself; a directory
@@ -260,17 +298,21 @@ fn main() -> ExitCode {
         }
     };
     let (cache_path, cache_dir) = cache_layout(&args.cache);
-    let engine = match build_engine(&args, &cache_path) {
-        Ok(engine) => engine,
-        Err(e) => {
-            eprintln!("sling-serve: failed to build the engine: {e}");
-            return ExitCode::FAILURE;
+    let engine = if args.has_default_tenant() {
+        match build_engine(&args, &cache_path) {
+            Ok(engine) => Some(engine),
+            Err(e) => {
+                eprintln!("sling-serve: failed to build the engine: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+    } else {
+        None
     };
     // Directory mode: fold every sibling snapshot into the live cache.
     // A corrupt or foreign sibling is a warning, never a boot failure.
-    if let Some(dir) = &cache_dir {
-        match sling_serve::absorb_snapshot_dir(&engine, dir, cache_path.as_deref()) {
+    if let (Some(dir), Some(engine)) = (&cache_dir, &engine) {
+        match sling_serve::absorb_snapshot_dir(engine, dir, cache_path.as_deref()) {
             Ok(outcome) => {
                 for (path, why) in &outcome.skipped {
                     eprintln!("sling-serve: skipping snapshot {}: {why}", path.display());
@@ -297,15 +339,33 @@ fn main() -> ExitCode {
             ),
         }
     }
-    let warm = engine.warm_entries();
+    let warm = engine.as_ref().map_or(0, Engine::warm_entries);
+    // Uploaded tenants inherit the daemon's run settings; the default
+    // tenant keeps its own (identical) build.
+    let mut config = SlingConfig::default();
+    if let Some(executor) = args.executor {
+        config.executor = executor;
+    }
+    if args.verify {
+        config.verify = Some(VerifySettings::default());
+    }
+    let settings = PoolSettings {
+        config,
+        parallelism: args.parallelism,
+        cache_capacity: args.cache_cap,
+    };
+    let pool_cap = args.pool_cap.unwrap_or(DEFAULT_POOL_CAPACITY);
+    let pool = EnginePool::new(engine, pool_cap, settings);
     let options = ServeOptions {
         snapshot_interval: args
             .cache
             .is_some()
             .then(|| Duration::from_secs(args.snapshot_secs.max(1))),
         max_connections: args.max_conns,
+        pool_capacity: None, // the pool above carries the capacity
+        max_frame_bytes: None,
     };
-    let service = match Service::bind_with(engine, &args.addr, options) {
+    let service = match Service::bind_pool(pool, &args.addr, options) {
         Ok(service) => service,
         Err(e) => {
             eprintln!("sling-serve: failed to bind {}: {e}", args.addr);
@@ -313,12 +373,15 @@ fn main() -> ExitCode {
         }
     };
     // The boot line is the readiness signal scripts wait for.
+    let tenant = match service.engine() {
+        Some(engine) => format!("{} executor", engine.config().executor),
+        None => "no default tenant — uploads only".to_string(),
+    };
     println!(
-        "sling-serve: listening on {} ({} warm cache entries, {} workers, {} executor{})",
+        "sling-serve: listening on {} ({} warm cache entries, {} workers, {tenant}, pool cap {pool_cap}{})",
         service.local_addr(),
         warm,
-        service.engine().parallelism(),
-        service.engine().config().executor,
+        service.pool().parallelism(),
         if args.verify {
             ", verification post-pass on"
         } else {

@@ -5,15 +5,18 @@
 //! client frames stream results:
 //!
 //! ```text
-//! client → server   sling4 analyze <id:u64> <n:u64> request*
-//! client → server   sling4 ping
-//! server → client   sling4 hello <warm_entries:u64> <parallelism:u64>   ; on connect
-//! server → client   sling4 busy <active:u64> <max:u64>                  ; on connect, saturated
-//! server → client   sling4 pong
-//! server → client   sling4 report <id:u64> <index:u64> report           ; completion order
-//! server → client   sling4 done <id:u64> <nreports:u64> cachestats verifytotals
-//! server → client   sling4 error <id:u64> <message:string>              ; id 0 = unattributable
+//! client → server   sling5 analyze <id:u64> tenant <n:u64> request*
+//! client → server   sling5 ping
+//! server → client   sling5 hello <warm_entries:u64> <parallelism:u64> poolstats ; on connect
+//! server → client   sling5 busy <active:u64> <max:u64>                  ; on connect, saturated
+//! server → client   sling5 pong
+//! server → client   sling5 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling5 done <id:u64> <nreports:u64> cachestats verifytotals poolstats
+//! server → client   sling5 error <id:u64> <message:string>              ; id 0 = unattributable
 //!
+//! tenant       := "-"                                  ; the daemon's default engine
+//!               | "upload" program:string predicates:string
+//! poolstats    := hits:u64 misses:u64 evictions:u64 resident:u64 cap:u64
 //! verifytotals := verified:u64 refuted:u64 confirmed:u64 unknown:u64
 //!                 refuted0:u64 cegir:u64 vseconds:f64
 //! ```
@@ -23,6 +26,15 @@
 //! responses. Reports stream in *completion* order; the `index` token is
 //! the request's position in the batch, which is how the client
 //! reassembles request order.
+//!
+//! The `tenant` slot is what makes the daemon multi-tenant: an `upload`
+//! carries MiniC program and predicate-library source, and the server
+//! resolves it against its engine pool — building on miss, reusing on
+//! hit — before running the batch. A batch whose upload fails to build
+//! (parse, typecheck, productivity lint) gets a typed `error` frame and
+//! the connection stays healthy. `poolstats` on `hello` and `done` make
+//! the pool's behaviour (hits, misses, LRU evictions, residency against
+//! the cap) observable on the wire.
 
 use std::io::{self, Read};
 
@@ -95,6 +107,71 @@ impl VerifyTotals {
     }
 }
 
+/// Program + predicate-library source a batch uploads, selecting (or
+/// building) the pool engine that serves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramUpload {
+    /// MiniC program source.
+    pub program: String,
+    /// Inductive predicate definitions.
+    pub predicates: String,
+}
+
+impl ProgramUpload {
+    fn write(&self, w: &mut WireWriter) {
+        w.atom("upload");
+        w.text(&self.program);
+        w.text(&self.predicates);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Option<ProgramUpload>, WireError> {
+        match r.atom()? {
+            "-" => Ok(None),
+            "upload" => Ok(Some(ProgramUpload {
+                program: r.text()?,
+                predicates: r.text()?,
+            })),
+            other => Err(WireError::Syntax(format!("bad tenant tag `{other}`"))),
+        }
+    }
+}
+
+/// Engine-pool movement counters, carried on `hello` (lifetime so far)
+/// and `done` (lifetime through this batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batches served by an already-built engine.
+    pub hits: u64,
+    /// Batches that had to build their engine first.
+    pub misses: u64,
+    /// Engines evicted least-recently-used to stay under the cap.
+    pub evictions: u64,
+    /// Engines currently resident (excluding the default tenant).
+    pub resident: u64,
+    /// The pool's capacity bound.
+    pub capacity: u64,
+}
+
+impl PoolStats {
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.evictions);
+        w.u64(self.resident);
+        w.u64(self.capacity);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<PoolStats, WireError> {
+        Ok(PoolStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            resident: r.u64()?,
+            capacity: r.u64()?,
+        })
+    }
+}
+
 /// A frame the client sends.
 #[derive(Debug)]
 pub enum ClientFrame {
@@ -103,6 +180,9 @@ pub enum ClientFrame {
     Analyze {
         /// Client-chosen correlation id echoed on every response frame.
         id: u64,
+        /// Uploaded program + predicates this batch runs against, or
+        /// `None` for the daemon's default engine.
+        upload: Option<ProgramUpload>,
         /// The batch, in request order.
         requests: Vec<AnalysisRequest>,
     },
@@ -116,10 +196,14 @@ impl ClientFrame {
     /// # Errors
     ///
     /// [`WireError::Unsupported`] when a request carries a custom input
-    /// closure or per-request config override.
+    /// closure.
     pub fn encode(&self) -> Result<String, WireError> {
         match self {
-            ClientFrame::Analyze { id, requests } => encode_analyze_frame(*id, requests),
+            ClientFrame::Analyze {
+                id,
+                upload,
+                requests,
+            } => encode_analyze_frame(*id, upload.as_ref(), requests),
             ClientFrame::Ping => Ok(WireWriter::frame("ping").finish()),
         }
     }
@@ -130,13 +214,18 @@ impl ClientFrame {
         match kind {
             "analyze" => {
                 let id = r.u64()?;
+                let upload = ProgramUpload::read(&mut r)?;
                 let count = r.usize()?;
                 let mut requests = Vec::with_capacity(count.min(1 << 16));
                 for _ in 0..count {
                     requests.push(wire::read_request(&mut r)?);
                 }
                 r.finish()?;
-                Ok(ClientFrame::Analyze { id, requests })
+                Ok(ClientFrame::Analyze {
+                    id,
+                    upload,
+                    requests,
+                })
             }
             "ping" => {
                 r.finish()?;
@@ -162,13 +251,16 @@ impl ClientFrame {
 /// A frame the server sends.
 #[derive(Debug)]
 pub enum ServerFrame {
-    /// Connection banner: the engine's warm-restored entry count and
-    /// worker budget.
+    /// Connection banner: the engine's warm-restored entry count,
+    /// worker budget, and the engine pool's lifetime counters.
     Hello {
-        /// Entries the serving engine restored from its cache snapshot.
+        /// Entries the serving engine restored from its cache snapshot
+        /// (0 when the daemon boots without a default tenant).
         warm_entries: u64,
         /// The serving engine's worker budget.
         parallelism: u64,
+        /// Engine-pool counters at connect time.
+        pool: PoolStats,
     },
     /// Sent instead of `hello` when the service is at its
     /// [`max_connections`](crate::ServeOptions::max_connections) bound;
@@ -203,6 +295,8 @@ pub enum ServerFrame {
         /// Verification-grade totals across the whole batch (all zero
         /// when the serving engine runs without the post-pass).
         verify: VerifyTotals,
+        /// Engine-pool counters through this batch.
+        pool: PoolStats,
     },
     /// Batch `id` (0 = unattributable) failed.
     Error {
@@ -220,10 +314,12 @@ impl ServerFrame {
             ServerFrame::Hello {
                 warm_entries,
                 parallelism,
+                pool,
             } => {
                 let mut w = WireWriter::frame("hello");
                 w.u64(*warm_entries);
                 w.u64(*parallelism);
+                pool.write(&mut w);
                 w.finish()
             }
             ServerFrame::Busy { active, max } => {
@@ -239,12 +335,14 @@ impl ServerFrame {
                 count,
                 cache,
                 verify,
+                pool,
             } => {
                 let mut w = WireWriter::frame("done");
                 w.u64(*id);
                 w.u64(*count);
                 wire::write_cache_stats(&mut w, cache);
                 verify.write(&mut w);
+                pool.write(&mut w);
                 w.finish()
             }
             ServerFrame::Error { id, message } => {
@@ -263,6 +361,7 @@ impl ServerFrame {
             "hello" => ServerFrame::Hello {
                 warm_entries: r.u64()?,
                 parallelism: r.u64()?,
+                pool: PoolStats::read(&mut r)?,
             },
             "busy" => ServerFrame::Busy {
                 active: r.u64()?,
@@ -279,6 +378,7 @@ impl ServerFrame {
                 count: r.u64()?,
                 cache: wire::read_cache_stats(&mut r)?,
                 verify: VerifyTotals::read(&mut r)?,
+                pool: PoolStats::read(&mut r)?,
             },
             "error" => ServerFrame::Error {
                 id: r.u64()?,
@@ -310,9 +410,17 @@ pub fn encode_report_frame(id: u64, index: u64, report: &Report) -> String {
 
 /// See [`encode_report_frame`]; the borrow-encoding twin of
 /// [`ClientFrame::Analyze`].
-pub fn encode_analyze_frame(id: u64, requests: &[AnalysisRequest]) -> Result<String, WireError> {
+pub fn encode_analyze_frame(
+    id: u64,
+    upload: Option<&ProgramUpload>,
+    requests: &[AnalysisRequest],
+) -> Result<String, WireError> {
     let mut w = WireWriter::frame("analyze");
     w.u64(id);
+    match upload {
+        None => w.atom("-"),
+        Some(upload) => upload.write(&mut w),
+    }
     w.u64(requests.len() as u64);
     for request in requests {
         wire::write_request(&mut w, request)?;
@@ -320,25 +428,65 @@ pub fn encode_analyze_frame(id: u64, requests: &[AnalysisRequest]) -> Result<Str
     Ok(w.finish())
 }
 
-/// Hard cap on one frame's length. A peer that streams bytes without
+/// Default cap on one frame's length. A peer that streams bytes without
 /// ever sending a newline would otherwise grow the buffer until the
 /// process OOMs — this bounds what one connection can pin. Far above
 /// any legitimate frame (a full corpus report line is a few hundred
-/// KiB).
+/// KiB; even a generous program upload is single-digit MiB).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A peer exceeded the frame-length cap without sending a newline.
+/// Travels as the payload of an [`InvalidData`](io::ErrorKind::InvalidData)
+/// [`io::Error`], so callers can distinguish it from genuinely malformed
+/// bytes via [`io::Error::get_ref`] + `downcast_ref::<FrameTooLarge>()`
+/// and answer with a typed `error` frame before dropping the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// Bytes buffered when the limit tripped.
+    pub buffered: usize,
+    /// The configured cap.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame too large: {} bytes buffered without a newline (limit {})",
+            self.buffered, self.limit
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
 
 /// Incremental newline-delimited framing over a byte stream: buffers
 /// partial reads (a frame may arrive in many TCP segments, or several
 /// frames in one) and yields complete lines.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
+    limit: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> FrameBuffer {
+        FrameBuffer::with_limit(MAX_FRAME_BYTES)
+    }
 }
 
 impl FrameBuffer {
-    /// An empty buffer.
+    /// An empty buffer capped at [`MAX_FRAME_BYTES`].
     pub fn new() -> FrameBuffer {
         FrameBuffer::default()
+    }
+
+    /// An empty buffer with a custom frame-length cap.
+    pub fn with_limit(limit: usize) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            limit,
+        }
     }
 
     /// Pops the next complete line, if one is buffered.
@@ -352,27 +500,173 @@ impl FrameBuffer {
 
     /// Reads more bytes from `source` into the buffer. `Ok(true)` means
     /// bytes arrived; `Ok(false)` means clean end of stream. A partial
-    /// frame exceeding [`MAX_FRAME_BYTES`] is an
-    /// [`InvalidData`](io::ErrorKind::InvalidData) error — the peer is
-    /// either broken or hostile, and the connection should drop.
+    /// frame exceeding the cap is an
+    /// [`InvalidData`](io::ErrorKind::InvalidData) error carrying a
+    /// [`FrameTooLarge`] payload — the peer is either broken or hostile,
+    /// and the connection should drop (after a best-effort typed `error`
+    /// frame, on the server side).
     pub fn fill(&mut self, source: &mut impl Read) -> io::Result<bool> {
-        if self.buf.len() > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame exceeds {MAX_FRAME_BYTES} bytes without a newline"),
-            ));
-        }
         let mut chunk = [0u8; 8192];
         let n = source.read(&mut chunk)?;
         if n == 0 {
             return Ok(false);
         }
         self.buf.extend_from_slice(&chunk[..n]);
+        if self.buf.len() > self.limit && !self.buf.contains(&b'\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                FrameTooLarge {
+                    buffered: self.buf.len(),
+                    limit: self.limit,
+                },
+            ));
+        }
         Ok(true)
     }
 
     /// Whether a partial (incomplete) frame is buffered.
     pub fn has_partial(&self) -> bool {
         !self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling::{InputSpec, ValueSpec};
+
+    fn upload() -> ProgramUpload {
+        ProgramUpload {
+            program: "struct N { next: N*; }\nfn id(x: N*) -> N* { return x; }".into(),
+            predicates: "pred p(x: N*) := emp & x == nil\n  | exists u. x -> N{next: u} * p(u);"
+                .into(),
+        }
+    }
+
+    #[test]
+    fn analyze_frame_with_upload_round_trips() {
+        let frame = ClientFrame::Analyze {
+            id: 42,
+            upload: Some(upload()),
+            requests: vec![
+                sling::AnalysisRequest::new("id").input(InputSpec::seeded(7).arg(ValueSpec::nil()))
+            ],
+        };
+        let line = frame.encode().unwrap();
+        match ClientFrame::decode(&line).unwrap() {
+            ClientFrame::Analyze {
+                id,
+                upload: Some(u),
+                requests,
+            } => {
+                assert_eq!(id, 42);
+                assert_eq!(u, upload());
+                assert_eq!(requests.len(), 1);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        assert_eq!(ClientFrame::salvage_id(&line), 42);
+    }
+
+    #[test]
+    fn analyze_frame_without_upload_round_trips() {
+        let frame = ClientFrame::Analyze {
+            id: 1,
+            upload: None,
+            requests: vec![],
+        };
+        let line = frame.encode().unwrap();
+        assert!(matches!(
+            ClientFrame::decode(&line).unwrap(),
+            ClientFrame::Analyze { upload: None, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_tenant_tag_is_a_syntax_error() {
+        let line = ClientFrame::Analyze {
+            id: 3,
+            upload: None,
+            requests: vec![],
+        }
+        .encode()
+        .unwrap();
+        let bad = line.replacen(" - ", " steal ", 1);
+        assert!(matches!(
+            ClientFrame::decode(&bad),
+            Err(WireError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn hello_and_done_carry_pool_stats() {
+        let pool = PoolStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            resident: 2,
+            capacity: 4,
+        };
+        let hello = ServerFrame::Hello {
+            warm_entries: 9,
+            parallelism: 3,
+            pool,
+        }
+        .encode();
+        match ServerFrame::decode(&hello).unwrap() {
+            ServerFrame::Hello { pool: back, .. } => assert_eq!(back, pool),
+            other => panic!("decoded {other:?}"),
+        }
+        let done = ServerFrame::Done {
+            id: 7,
+            count: 1,
+            cache: CacheStats::default(),
+            verify: VerifyTotals::default(),
+            pool,
+        }
+        .encode();
+        match ServerFrame::decode(&done).unwrap() {
+            ServerFrame::Done { pool: back, .. } => assert_eq!(back, pool),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_buffer_pops_lines_and_caps_partials() {
+        let mut fb = FrameBuffer::with_limit(16);
+        let mut src = io::Cursor::new(b"one\ntwo\n".to_vec());
+        assert!(fb.fill(&mut src).unwrap());
+        assert_eq!(fb.pop_line().as_deref(), Some("one"));
+        assert_eq!(fb.pop_line().as_deref(), Some("two"));
+        assert!(fb.pop_line().is_none());
+        assert!(!fb.has_partial());
+
+        // A newline-free stream past the limit trips the typed error.
+        let mut src = io::Cursor::new(vec![b'x'; 64]);
+        let err = loop {
+            match fb.fill(&mut src) {
+                Ok(true) => continue,
+                Ok(false) => panic!("stream ended before the cap tripped"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let too_large = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+            .expect("typed FrameTooLarge payload");
+        assert_eq!(too_large.limit, 16);
+        assert!(too_large.buffered > 16);
+    }
+
+    #[test]
+    fn frame_buffer_allows_complete_lines_longer_than_a_read() {
+        // The cap binds *partial* frames; complete lines under the cap
+        // pass even when they span several fills.
+        let mut fb = FrameBuffer::with_limit(1 << 20);
+        let line = format!("{}\n", "y".repeat(20_000));
+        let mut src = io::Cursor::new(line.clone().into_bytes());
+        while fb.fill(&mut src).unwrap() {}
+        assert_eq!(fb.pop_line().as_deref(), Some(&line[..line.len() - 1]));
     }
 }

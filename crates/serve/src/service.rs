@@ -9,15 +9,19 @@ use std::time::Duration;
 
 use sling::{Engine, Report};
 
-use crate::proto::{ClientFrame, FrameBuffer, ServerFrame};
+use crate::pool::{EnginePool, PoolSettings};
+use crate::proto::{ClientFrame, FrameBuffer, FrameTooLarge, ServerFrame, MAX_FRAME_BYTES};
 
 /// How often blocked reads wake up to notice a drain in progress.
 const DRAIN_POLL: Duration = Duration::from_millis(100);
 
+/// Engine-pool capacity when [`ServeOptions::pool_capacity`] is unset.
+pub const DEFAULT_POOL_CAPACITY: usize = 8;
+
 /// Tuning knobs for [`Service::bind_with`].
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
-    /// Snapshot the entailment cache to the engine's configured
+    /// Snapshot the entailment cache to the default engine's configured
     /// [`cache_path`](sling::EngineBuilder::cache_path) on this period,
     /// so a crash loses at most one interval of memoized entailments.
     /// `None` (the default) snapshots only at graceful shutdown.
@@ -28,13 +32,22 @@ pub struct ServeOptions {
     /// handler thread, so a connection flood cannot exhaust threads or
     /// file descriptors. `None` (the default) accepts without bound.
     pub max_connections: Option<usize>,
+    /// Bound on uploaded-tenant engines held resident at once
+    /// ([`DEFAULT_POOL_CAPACITY`] when `None`); past it the
+    /// least-recently-used engine is evicted.
+    pub pool_capacity: Option<usize>,
+    /// Bound on one frame's length on the wire
+    /// ([`MAX_FRAME_BYTES`](crate::proto::MAX_FRAME_BYTES) when
+    /// `None`); a peer exceeding it gets a typed `error` frame and is
+    /// disconnected.
+    pub max_frame_bytes: Option<usize>,
 }
 
 /// Shared state between the acceptor, connection handlers, and the
 /// snapshotter.
 #[derive(Debug)]
 struct Shared {
-    engine: Engine,
+    pool: EnginePool,
     draining: AtomicBool,
     /// Periodic + shutdown snapshots taken so far (observable in tests
     /// and ops logs).
@@ -43,6 +56,7 @@ struct Shared {
     /// `max_connections`).
     active: AtomicUsize,
     max_connections: Option<usize>,
+    max_frame_bytes: usize,
     handlers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -57,36 +71,42 @@ impl Drop for ConnectionGuard {
 }
 
 impl Shared {
-    /// Persists the cache if the engine has a snapshot path; counts
-    /// successes.
+    /// Persists the default engine's cache if it has a snapshot path;
+    /// counts successes. (Pool-built tenants are ephemeral by design —
+    /// their caches live and die with their residency.)
     fn snapshot(&self) -> io::Result<u64> {
-        if self.engine.cache_path().is_none() {
+        let Some(engine) = self.pool.default_engine() else {
+            return Ok(0);
+        };
+        if engine.cache_path().is_none() {
             return Ok(0);
         }
-        let written = self.engine.save_cache()?;
+        let written = engine.save_cache()?;
         self.snapshots.fetch_add(1, Ordering::Relaxed);
         Ok(written)
     }
 }
 
-/// A multi-threaded TCP analysis service over one long-lived [`Engine`].
+/// A multi-threaded TCP analysis service over an [`EnginePool`].
 ///
-/// Bound with [`Service::bind`], the service accepts connections on a
-/// local address and speaks the newline-delimited frame protocol of
-/// [`crate::proto`]: each `analyze` frame fans out over the engine
-/// ([`Engine::analyze_all_with`]), streaming every [`Report`] back the
-/// moment it completes and closing the batch with a `done` frame that
-/// carries the batch's cache delta and — when the engine was built
-/// with the verification post-pass — the batch's summed grade totals
-/// ([`VerifyTotals`](crate::proto::VerifyTotals)). The engine — and
-/// with it the warm
-/// entailment cache loaded at boot — is shared by every connection, so
-/// entailments established for one client answer the next client's
-/// queries.
+/// Bound with [`Service::bind`] (one pre-warmed default engine) or
+/// [`Service::bind_pool`] (a full pool, possibly with no default), the
+/// service accepts connections on a local address and speaks the
+/// newline-delimited frame protocol of [`crate::proto`]: each `analyze`
+/// frame first resolves its tenant slot against the pool — the default
+/// engine, or an uploaded program built on miss and reused on hit —
+/// then fans out over that engine ([`Engine::analyze_all_with`]),
+/// streaming every [`Report`] back the moment it completes and closing
+/// the batch with a `done` frame that carries the batch's cache delta,
+/// the batch's summed grade totals
+/// ([`VerifyTotals`](crate::proto::VerifyTotals)), and the pool's
+/// movement counters. Engines — and with them warm entailment caches —
+/// are shared by every connection, so entailments established for one
+/// client answer the next client's queries against the same tenant.
 ///
 /// Shutdown is graceful: [`Service::shutdown`] stops accepting, lets
 /// in-flight batches finish, disconnects idle clients, snapshots the
-/// cache one last time, and returns the engine.
+/// default engine's cache one last time, and returns the pool.
 #[derive(Debug)]
 pub struct Service {
     /// `Some` until [`Service::shutdown`] consumes it (`Option` so the
@@ -99,25 +119,52 @@ pub struct Service {
 
 impl Service {
     /// Binds the service to `addr` (port 0 picks an ephemeral port —
-    /// see [`Service::local_addr`]) with default options.
+    /// see [`Service::local_addr`]) with default options, serving
+    /// `engine` as the default tenant.
     pub fn bind(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Service> {
         Service::bind_with(engine, addr, ServeOptions::default())
     }
 
-    /// [`Service::bind`] with explicit [`ServeOptions`].
+    /// [`Service::bind`] with explicit [`ServeOptions`]. Uploaded
+    /// tenants are built with the default-tenant engine's config and
+    /// parallelism.
     pub fn bind_with(
         engine: Engine,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> io::Result<Service> {
+        let settings = PoolSettings {
+            config: *engine.config(),
+            parallelism: Some(engine.parallelism()),
+            cache_capacity: None,
+        };
+        let capacity = options.pool_capacity.unwrap_or(DEFAULT_POOL_CAPACITY);
+        Service::bind_pool(
+            EnginePool::new(Some(engine), capacity, settings),
+            addr,
+            options,
+        )
+    }
+
+    /// Binds the service over an explicit [`EnginePool`] — the fully
+    /// multi-tenant entry point, which needs no default engine at all
+    /// (a batch without an upload is then answered with a typed
+    /// `error`). `options.pool_capacity` is ignored here: the pool was
+    /// built with its own capacity.
+    pub fn bind_pool(
+        pool: EnginePool,
         addr: impl ToSocketAddrs,
         options: ServeOptions,
     ) -> io::Result<Service> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine,
+            pool,
             draining: AtomicBool::new(false),
             snapshots: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             max_connections: options.max_connections,
+            max_frame_bytes: options.max_frame_bytes.unwrap_or(MAX_FRAME_BYTES),
             handlers: Mutex::new(Vec::new()),
         });
 
@@ -147,9 +194,14 @@ impl Service {
         self.local_addr
     }
 
-    /// The engine serving every connection.
-    pub fn engine(&self) -> &Engine {
-        &self.shared().engine
+    /// The default-tenant engine, when the service has one.
+    pub fn engine(&self) -> Option<&Engine> {
+        self.shared().pool.default_engine()
+    }
+
+    /// The engine pool serving every connection.
+    pub fn pool(&self) -> &EnginePool {
+        &self.shared().pool
     }
 
     /// Cache snapshots taken so far (periodic plus shutdown).
@@ -164,15 +216,16 @@ impl Service {
 
     /// Gracefully drains the service: stop accepting, let in-flight
     /// batches finish streaming, disconnect idle clients, snapshot the
-    /// cache one last time (when the engine has a
+    /// default engine's cache one last time (when it has a
     /// [`cache_path`](sling::EngineBuilder::cache_path)), and return
-    /// the engine for further in-process use.
+    /// the engine pool — [`EnginePool::into_default`] recovers the
+    /// default tenant for further in-process use.
     ///
     /// # Errors
     ///
     /// The final snapshot's I/O error, if it fails; the drain itself
     /// always completes.
-    pub fn shutdown(mut self) -> io::Result<Engine> {
+    pub fn shutdown(mut self) -> io::Result<EnginePool> {
         self.begin_drain();
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor thread");
@@ -190,7 +243,7 @@ impl Service {
         let final_save = shared.snapshot();
         let shared = Arc::try_unwrap(shared).expect("all service threads joined");
         final_save?;
-        Ok(shared.engine)
+        Ok(shared.pool)
     }
 
     /// Flags the drain and wakes the blocked acceptor.
@@ -290,15 +343,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     });
     let hello = ServerFrame::Hello {
-        warm_entries: shared.engine.warm_entries(),
-        parallelism: shared.engine.parallelism() as u64,
+        warm_entries: shared
+            .pool
+            .default_engine()
+            .map_or(0, |engine| engine.warm_entries()),
+        parallelism: shared.pool.parallelism() as u64,
+        pool: shared.pool.stats(),
     };
     if send(&writer, &hello).is_err() {
         return;
     }
 
     let mut reader = stream;
-    let mut frames = FrameBuffer::new();
+    let mut frames = FrameBuffer::with_limit(shared.max_frame_bytes);
     loop {
         while let Some(line) = frames.pop_line() {
             if !serve_frame(&line, shared, &writer) {
@@ -313,6 +370,40 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(false) => return, // clean EOF
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                // A peer past the frame cap learns why before the drop;
+                // anything else (reset, broken pipe) just disconnects.
+                if let Some(too_large) = e
+                    .get_ref()
+                    .and_then(|inner| inner.downcast_ref::<FrameTooLarge>())
+                {
+                    send_error(&writer, 0, &too_large.to_string());
+                    drain_peer(&mut reader);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes what a rejected peer already sent before the socket drops,
+/// so the close delivers FIN rather than RST — a reset can destroy the
+/// in-flight error frame before the peer reads it. Bounded in both
+/// bytes and idle time: a peer that streams past the grace window is
+/// dropped mid-stream anyway.
+fn drain_peer(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    let mut budget = 1usize << 20;
+    let mut idle = 0u32;
+    while budget > 0 && idle < 5 {
+        match io::Read::read(stream, &mut scratch) {
+            Ok(0) => return,
+            Ok(n) => budget = budget.saturating_sub(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
@@ -325,7 +416,19 @@ fn serve_frame(line: &str, shared: &Shared, writer: &Mutex<TcpStream>) -> bool {
     }
     match ClientFrame::decode(line) {
         Ok(ClientFrame::Ping) => send(writer, &ServerFrame::Pong).is_ok(),
-        Ok(ClientFrame::Analyze { id, requests }) => {
+        Ok(ClientFrame::Analyze {
+            id,
+            upload,
+            requests,
+        }) => {
+            // Resolve the tenant first: a missing default or a build
+            // failure (parse, typecheck, productivity lint) fails this
+            // batch with a typed error and leaves the connection — and
+            // the pool — healthy for the next frame.
+            let engine = match shared.pool.resolve(upload.as_ref()) {
+                Ok(engine) => engine,
+                Err(e) => return send_error(writer, id, &e.to_string()),
+            };
             // Stream each report the moment its request completes; the
             // sink runs on the engine's worker threads, so the write
             // end is mutex-shared and failures flip a flag instead of
@@ -340,13 +443,14 @@ fn serve_frame(line: &str, shared: &Shared, writer: &Mutex<TcpStream>) -> bool {
                     broken.store(true, Ordering::Relaxed);
                 }
             };
-            match shared.engine.analyze_all_with(&requests, &sink) {
+            match engine.analyze_all_with(&requests, &sink) {
                 Ok(batch) => {
                     let done = ServerFrame::Done {
                         id,
                         count: batch.reports.len() as u64,
                         verify: crate::proto::VerifyTotals::from_reports(&batch.reports),
                         cache: batch.cache,
+                        pool: shared.pool.stats(),
                     };
                     !broken.load(Ordering::Relaxed) && send(writer, &done).is_ok()
                 }

@@ -1,0 +1,146 @@
+//! Two tenants, one daemon: analysis as a service over `sling5`.
+//!
+//! Connects to a `sling-serve` daemon (an external one when an address
+//! is given, else an in-process service booted with *no* default
+//! program), uploads two distinct list corpora from two concurrent
+//! client threads, and diffs every served formula against an
+//! in-process `Engine::analyze_all` over the same sources. The daemon
+//! never saw either program before the upload — the pool builds each
+//! tenant on first sight and reuses it after — so this example doubles
+//! as an end-to-end check of multi-tenant isolation:
+//!
+//! ```sh
+//! cargo run -p sling-examples --example multi_tenant
+//! # or against an already-running uploads-only daemon:
+//! sling-serve --pool-cap 4 --addr 127.0.0.1:7343 &
+//! cargo run -p sling-examples --example multi_tenant -- 127.0.0.1:7343
+//! # custom node-type names for the two tenants:
+//! cargo run -p sling-examples --example multi_tenant -- 127.0.0.1:7343 CiNodeA CiNodeB
+//! ```
+//!
+//! Exits nonzero when any served formula differs from its in-process
+//! counterpart, and prints the pool's hit/miss/eviction counters as
+//! seen on the wire.
+
+use std::time::Duration;
+
+use sling::{Engine, Report};
+use sling_serve::{Client, EnginePool, PoolSettings, ProgramUpload, ServeOptions, Service};
+use sling_suite::fixtures::ListCorpus;
+
+/// Everything formula-relevant about a report, for the served-equals-
+/// in-process diff (timing and cache deltas legitimately differ).
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{}\n", report.target);
+    for loc in &report.locations {
+        let _ = writeln!(out, "  {}", loc.location);
+        for inv in &loc.invariants {
+            let _ = writeln!(out, "    [spurious={}] {}", inv.spurious, inv.formula);
+        }
+    }
+    out
+}
+
+/// One tenant's round trip: upload its sources, run its batch, return
+/// the served reports for the main thread to diff.
+fn run_tenant(
+    target: &str,
+    corpus: &ListCorpus,
+) -> Result<Vec<Report>, Box<dyn std::error::Error + Send + Sync>> {
+    let mut client = Client::connect_retry(target, Duration::from_secs(10))?;
+    let upload = ProgramUpload {
+        program: corpus.program(),
+        predicates: corpus.predicates(),
+    };
+    let served = client.analyze_all_uploaded(&upload, &corpus.batch(1))?;
+    let pool = client.pool_stats();
+    println!(
+        "  tenant {}: {} reports served (pool: {} hits, {} misses, {} evictions, {}/{} resident)",
+        corpus.node(),
+        served.reports.len(),
+        pool.hits,
+        pool.misses,
+        pool.evictions,
+        pool.resident,
+        pool.capacity,
+    );
+    Ok(served.reports)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let addr = std::env::args().nth(1);
+    let node_a = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "MtExampleA".into());
+    let node_b = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "MtExampleB".into());
+    let tenants = [ListCorpus::new(&node_a), ListCorpus::new(&node_b)];
+
+    // The served run: an external daemon when an address was given,
+    // else an in-process service with an empty pool — either way the
+    // server has no baked-in program and learns both tenants from the
+    // uploads alone.
+    let local = match addr {
+        Some(_) => None,
+        None => {
+            let pool = EnginePool::new(None, 4, PoolSettings::default());
+            Some(Service::bind_pool(
+                pool,
+                "127.0.0.1:0",
+                ServeOptions::default(),
+            )?)
+        }
+    };
+    let target = match (&addr, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(service)) => service.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    println!("driving two tenants through {target} concurrently");
+
+    let [corpus_a, corpus_b] = &tenants;
+    let (served_a, served_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| run_tenant(&target, corpus_a));
+        let b = scope.spawn(|| run_tenant(&target, corpus_b));
+        (
+            a.join().expect("tenant thread"),
+            b.join().expect("tenant thread"),
+        )
+    });
+    let served = [served_a?, served_b?];
+
+    // The in-process references: same sources, same engine defaults.
+    let mut mismatches = 0;
+    for (corpus, served) in tenants.iter().zip(&served) {
+        let reference = Engine::builder()
+            .program_source(&corpus.program())?
+            .predicates_source(&corpus.predicates())?
+            .build()?
+            .analyze_all(&corpus.batch(1))?;
+        for (mine, theirs) in reference.reports.iter().zip(served) {
+            if fingerprint(mine) != fingerprint(theirs) {
+                eprintln!(
+                    "MISMATCH for tenant {} `{}`:\n--- in-process ---\n{}--- served ---\n{}",
+                    corpus.node(),
+                    mine.target,
+                    fingerprint(mine),
+                    fingerprint(theirs)
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    if let Some(service) = local {
+        service.shutdown()?;
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} served reports diverged").into());
+    }
+    println!(
+        "both tenants identical to in-process analyze_all: {} targets total",
+        served.iter().map(Vec::len).sum::<usize>()
+    );
+    Ok(())
+}

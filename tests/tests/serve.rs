@@ -102,7 +102,11 @@ fn served_reports_equal_in_process_reports_and_warm_boot_pays() {
         served.cache
     );
 
-    let engine = service.shutdown().expect("graceful drain");
+    let engine = service
+        .shutdown()
+        .expect("graceful drain")
+        .into_default()
+        .expect("default tenant comes back");
     assert!(engine.cache_stats().lookups() > 0);
     std::fs::remove_file(&path).ok();
 }
@@ -181,40 +185,42 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling4 hello "), "{line:?}");
+    assert!(line.starts_with("sling5 hello "), "{line:?}");
 
     let bad_frames = [
         "complete nonsense\n",
-        "sling9 analyze 1 0\n",                    // wrong protocol version
-        "sling2 ping\n",                           // previous protocol version
-        "sling4 frobnicate 1\n",                   // unknown frame kind
-        "sling4 analyze 7 1 \"no_such_fn\" 0\n",   // decodes, but unknown target
-        "sling4 analyze 8 2 \"reverse\" 0\n",      // truncated batch
-        "sling4 analyze 9 1 \"reverse\" 1 zz 0\n", // bad integer token
+        "sling9 analyze 1 - 0\n",             // wrong protocol version
+        "sling2 ping\n",                      // previous protocol version
+        "sling4 analyze 1 1 \"reverse\" 0\n", // pre-upload protocol version
+        "sling5 frobnicate 1\n",              // unknown frame kind
+        "sling5 analyze 6 steal 0\n",         // unknown tenant tag
+        "sling5 analyze 7 - 1 \"no_such_fn\" - 0\n", // decodes, but unknown target
+        "sling5 analyze 8 - 2 \"reverse\" - 0\n", // truncated batch
+        "sling5 analyze 9 - 1 \"reverse\" - 1 zz 0\n", // bad integer token
     ];
     for frame in bad_frames {
         writer.write_all(frame.as_bytes()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("error response");
         assert!(
-            line.starts_with("sling4 error "),
+            line.starts_with("sling5 error "),
             "bad frame {frame:?} must be answered with an error frame, \
              got {line:?}"
         );
     }
     // Correlation ids are salvaged when readable.
     writer
-        .write_all(b"sling4 analyze 42 1 \"reverse\" oops\n")
+        .write_all(b"sling5 analyze 42 - 1 \"reverse\" oops\n")
         .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("error response");
-    assert!(line.starts_with("sling4 error 42 "), "{line:?}");
+    assert!(line.starts_with("sling5 error 42 "), "{line:?}");
 
     // The connection still serves real work.
-    writer.write_all(b"sling4 ping\n").expect("write");
+    writer.write_all(b"sling5 ping\n").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("pong");
-    assert_eq!(line.trim_end(), "sling4 pong");
+    assert_eq!(line.trim_end(), "sling5 pong");
     drop(writer);
     drop(reader);
 
@@ -235,6 +241,55 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
         client.analyze_all(std::slice::from_ref(&custom)),
         Err(ServeError::Wire(wire::WireError::Unsupported(_)))
     ));
+    service.shutdown().expect("graceful drain");
+}
+
+#[test]
+fn oversized_frames_get_a_typed_error_and_a_disconnect() {
+    // A peer streaming bytes with no newline must not grow the server's
+    // frame buffer without bound: past the configured cap it gets one
+    // typed `error` frame naming the limit, then the disconnect. A small
+    // cap keeps the test cheap; the default is 64 MiB.
+    let corpus = ListCorpus::new("ServeHugeNode");
+    let engine = corpus_engine(&corpus).build().expect("engine builds");
+    let service = Service::bind_with(
+        engine,
+        "127.0.0.1:0",
+        ServeOptions {
+            max_frame_bytes: Some(4096),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("service binds");
+
+    let stream = TcpStream::connect(service.local_addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("hello banner");
+    assert!(line.starts_with("sling5 hello "), "{line:?}");
+
+    // Far past the cap, never a newline. The server may close mid-write
+    // once the cap trips, so write errors are expected, not failures.
+    let chunk = [b'x'; 1024];
+    for _ in 0..64 {
+        if writer.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    line.clear();
+    reader
+        .read_line(&mut line)
+        .expect("typed error before close");
+    assert!(line.starts_with("sling5 error 0 "), "{line:?}");
+    assert!(line.contains("frame too large"), "{line:?}");
+    // Then EOF: the connection is gone, not wedged.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0, "{line:?}");
+
+    // The daemon itself survives to serve fresh connections.
+    let mut client = Client::connect(service.local_addr()).expect("daemon alive");
+    client.ping().expect("healthy after the hostile peer");
     service.shutdown().expect("graceful drain");
 }
 
@@ -280,7 +335,11 @@ fn background_snapshotting_persists_the_cache_while_serving() {
         .expect("engine builds");
     assert!(sibling.warm_entries() > 0, "periodic snapshot restores");
 
-    let engine = service.shutdown().expect("graceful drain");
+    let engine = service
+        .shutdown()
+        .expect("graceful drain")
+        .into_default()
+        .expect("default tenant comes back");
     assert!(engine.cache_path().is_some());
     std::fs::remove_file(&path).ok();
 }

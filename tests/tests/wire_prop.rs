@@ -1,7 +1,12 @@
-//! Property tests for the `sling::wire` codec: arbitrary
-//! `InputSpec`/`Report`/`CacheStats` values round-trip bit-identically,
-//! and arbitrary byte mutations of a valid frame never panic — every
-//! malformed input is rejected with a typed [`WireError`].
+//! Property tests for the `sling::wire` codec and the `sling5` frame
+//! layer on top of it: arbitrary `InputSpec`/`Report`/`CacheStats`
+//! values round-trip bit-identically, requests round-trip with and
+//! without per-request [`SlingConfig`] overrides, `analyze` frames
+//! round-trip with and without a [`ProgramUpload`], frames tagged with
+//! the previous protocol (`sling4`) are rejected as
+//! [`WireError::Version`], and arbitrary byte mutations of a valid
+//! frame never panic — every malformed input is rejected with a typed
+//! error.
 //!
 //! Values are generated from the deterministic `proptest` stub RNG
 //! (seeded per case), so failures reproduce.
@@ -9,14 +14,17 @@
 use proptest::prelude::*;
 use proptest::TestRng;
 
-use sling::wire::{self, WireReader, WireWriter};
+use sling::wire::{self, WireError, WireReader, WireWriter};
 use sling::{
     AnalysisRequest, CacheStats, DataOrder, ExactCell, ExactVal, InputSpec, Invariant,
-    InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics, TreeKind, ValueSpec,
+    InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics, SlingConfig, TreeKind,
+    ValueSpec, VerifyConfig, VerifySettings,
 };
 use sling_lang::{ListLayout, Location, TreeLayout};
 use sling_logic::{parse_formula, SymHeap, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
+use sling_serve::proto::{encode_analyze_frame, ClientFrame};
+use sling_serve::ProgramUpload;
 
 fn rng_for(name: &str, case: u64) -> TestRng {
     TestRng::deterministic(&format!("{name}-{case}"))
@@ -129,6 +137,36 @@ fn arb_input_spec(rng: &mut TestRng) -> InputSpec {
     spec
 }
 
+fn arb_config(rng: &mut TestRng) -> SlingConfig {
+    let mut config = SlingConfig::default();
+    config.check.node_budget = pick_u64(rng);
+    config.check.fuel_slack = rng.next_u64() as u32;
+    config.infer.max_results_per_var = (rng.next_u64() % (1 << 20)) as usize;
+    config.infer.max_candidates_per_pred = (rng.next_u64() % (1 << 20)) as usize;
+    config.infer.require_nonvacuous = rng.next_u64().is_multiple_of(2);
+    config.max_results_per_location = (rng.next_u64() % (1 << 20)) as usize;
+    config.dedupe_models = rng.next_u64().is_multiple_of(2);
+    config.max_models_per_location = (rng.next_u64() % (1 << 20)) as usize;
+    config.vm.max_steps = pick_u64(rng);
+    config.vm.max_depth = (rng.next_u64() % (1 << 20)) as usize;
+    config.trace.observe_freed = rng.next_u64().is_multiple_of(2);
+    config.executor = if rng.next_u64().is_multiple_of(2) {
+        sling::Executor::Bytecode
+    } else {
+        sling::Executor::Treewalk
+    };
+    config.verify = rng.next_u64().is_multiple_of(2).then(|| VerifySettings {
+        prover: VerifyConfig {
+            fuel: rng.next_u64() as u32,
+            max_depth: rng.next_u64() as u32,
+            max_models: (rng.next_u64() % (1 << 20)) as usize,
+            max_references: (rng.next_u64() % (1 << 20)) as usize,
+        },
+        cegir_rounds: (rng.next_u64() % 16) as usize,
+    });
+    config
+}
+
 fn arb_request(rng: &mut TestRng) -> AnalysisRequest {
     let hostile_names = [
         "plain",
@@ -143,7 +181,28 @@ fn arb_request(rng: &mut TestRng) -> AnalysisRequest {
     for _ in 0..(rng.next_u64() % 3) {
         request = request.input(arb_input_spec(rng));
     }
+    // Half the requests carry a per-request config override (sling5's
+    // `cfg` slot), half ride the engine default (`-`).
+    if rng.next_u64().is_multiple_of(2) {
+        request = request.config(arb_config(rng));
+    }
     request
+}
+
+/// Hostile-but-encodable program/predicate sources: quoting, escapes,
+/// newlines, emptiness — the text codec must carry them unharmed.
+fn arb_upload(rng: &mut TestRng) -> ProgramUpload {
+    let sources = [
+        "",
+        "fn broken( {",
+        "struct N { next: N*; }\nfn id(x: N*) -> N* { return x; }",
+        "quo\"te \\esc\\ape\ttabs",
+        "line one\nline two\r\nline three",
+    ];
+    ProgramUpload {
+        program: sources[(rng.next_u64() % sources.len() as u64) as usize].to_string(),
+        predicates: sources[(rng.next_u64() % sources.len() as u64) as usize].to_string(),
+    }
 }
 
 fn arb_cache_stats(rng: &mut TestRng) -> CacheStats {
@@ -348,6 +407,54 @@ proptest! {
         prop_assert_eq!(format!("{back:?}"), format!("{report:?}"));
     }
 
+    /// `analyze` frames round-trip Debug-identically with and without
+    /// an uploaded tenant — hostile sources, per-request config
+    /// overrides, extreme batch ids included.
+    #[test]
+    fn analyze_frames_round_trip(case in 0u64..1_000_000) {
+        let mut rng = rng_for("wire-analyze", case);
+        let id = pick_u64(&mut rng);
+        let upload = rng.next_u64().is_multiple_of(2).then(|| arb_upload(&mut rng));
+        let requests: Vec<AnalysisRequest> =
+            (0..rng.next_u64() % 3).map(|_| arb_request(&mut rng)).collect();
+        let line = encode_analyze_frame(id, upload.as_ref(), &requests)
+            .expect("spec-built requests always encode");
+        let back = ClientFrame::decode(&line).expect("valid frames decode");
+        let expected = ClientFrame::Analyze { id, upload, requests };
+        prop_assert_eq!(format!("{back:?}"), format!("{expected:?}"));
+        prop_assert_eq!(ClientFrame::salvage_id(&line), id);
+    }
+
+    /// Every frame shape tagged with the previous protocol version is
+    /// rejected as `WireError::Version` carrying the found tag — old
+    /// clients get a typed refusal, not a misparse of the new grammar.
+    #[test]
+    fn previous_protocol_versions_are_rejected_typed(case in 0u64..1_000_000) {
+        let mut rng = rng_for("wire-downlevel", case);
+        let pool = formula_pool();
+        let request_line =
+            wire::encode_request(&arb_request(&mut rng)).expect("specs always encode");
+        let report_line = wire::encode_report(&arb_report(&mut rng, &pool));
+        let upload = arb_upload(&mut rng);
+        let analyze_line = encode_analyze_frame(pick_u64(&mut rng), Some(&upload), &[])
+            .expect("upload-only frames encode");
+        for old in ["sling4", "sling3", "sling2", "sling1"] {
+            let downlevel = |line: &str| line.replacen(wire::WIRE_VERSION, old, 1);
+            prop_assert!(matches!(
+                wire::decode_request(&downlevel(&request_line)),
+                Err(WireError::Version(v)) if v == old
+            ));
+            prop_assert!(matches!(
+                wire::decode_report(&downlevel(&report_line)),
+                Err(WireError::Version(v)) if v == old
+            ));
+            prop_assert!(matches!(
+                ClientFrame::decode(&downlevel(&analyze_line)),
+                Err(WireError::Version(v)) if v == old
+            ));
+        }
+    }
+
     /// Byte-level mutations of valid frames never panic the decoder:
     /// every outcome is a clean `Ok` (the mutation landed somewhere
     /// harmless) or a typed `WireError`.
@@ -358,7 +465,14 @@ proptest! {
         let report_line = wire::encode_report(&arb_report(&mut rng, &pool));
         let request_line =
             wire::encode_request(&arb_request(&mut rng)).expect("specs always encode");
-        for line in [report_line, request_line] {
+        let upload = arb_upload(&mut rng);
+        let analyze_line = encode_analyze_frame(
+            pick_u64(&mut rng),
+            Some(&upload),
+            &[arb_request(&mut rng)],
+        )
+        .expect("specs always encode");
+        for line in [report_line, request_line, analyze_line] {
             let mut bytes = line.clone().into_bytes();
             for _ in 0..8 {
                 match rng.next_u64() % 3 {
@@ -384,6 +498,8 @@ proptest! {
                 // signature — the assertion is that we get here at all).
                 let _ = wire::decode_report(&mutated);
                 let _ = wire::decode_request(&mutated);
+                let _ = ClientFrame::decode(&mutated);
+                let _ = ClientFrame::salvage_id(&mutated);
             }
         }
     }
