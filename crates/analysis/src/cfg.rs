@@ -1,0 +1,293 @@
+//! AST-level control-flow graphs for MiniC functions.
+//!
+//! One node per statement (plus explicit entry and exit nodes), spans
+//! preserved by borrowing the statements themselves. `if` and `while`
+//! statements contribute a single *condition* node; their branch edges
+//! are labelled [`EdgeKind::True`] / [`EdgeKind::False`] so flow
+//! functions can refine facts from the branch condition (the nullness
+//! lint leans on this).
+//!
+//! Trivially-constant conditions (`if (true)`, `while (false)`, ...)
+//! drop the never-taken edge at construction time, so graph
+//! reachability — and every dataflow analysis over the graph — agrees
+//! that, say, the body of `while (false)` or the code after a
+//! `while (true)` loop (MiniC has no `break`) is unreachable.
+
+use sling_lang::{Block, ExprKind, FuncDecl, Location, Stmt, StmtKind};
+
+/// Index of a node in its [`Cfg`].
+pub type NodeId = usize;
+
+/// What a CFG node stands for.
+#[derive(Debug, Clone, Copy)]
+pub enum NodeKind<'a> {
+    /// The unique function entry (also the `Location::Entry` snapshot
+    /// point).
+    Entry,
+    /// The unique function exit; every `return` (and the implicit
+    /// fall-off-the-end return) flows here.
+    Exit,
+    /// One source statement. `if`/`while` statements appear as their
+    /// condition evaluation only; their bodies are separate nodes.
+    Stmt(&'a Stmt),
+}
+
+/// Edge labels: how control reaches the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Unconditional fall-through.
+    Seq,
+    /// The branch taken when the source node's condition is true.
+    True,
+    /// The branch taken when the source node's condition is false.
+    False,
+}
+
+/// A control-flow graph over one function body.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// The function the graph was built from.
+    pub func: &'a FuncDecl,
+    nodes: Vec<NodeKind<'a>>,
+    succ: Vec<Vec<(NodeId, EdgeKind)>>,
+    pred: Vec<Vec<(NodeId, EdgeKind)>>,
+    /// Declared snapshot locations, in `Program::locations_of` order,
+    /// with the node that must execute for the tracer to fire there.
+    pub locations: Vec<(Location, NodeId)>,
+}
+
+/// The entry node's id.
+pub const ENTRY: NodeId = 0;
+/// The exit node's id.
+pub const EXIT: NodeId = 1;
+
+impl<'a> Cfg<'a> {
+    /// Builds the CFG for `func`.
+    pub fn build(func: &'a FuncDecl) -> Cfg<'a> {
+        let mut cfg = Cfg {
+            func,
+            nodes: vec![NodeKind::Entry, NodeKind::Exit],
+            succ: vec![Vec::new(), Vec::new()],
+            pred: vec![Vec::new(), Vec::new()],
+            locations: vec![(Location::Entry, ENTRY)],
+        };
+        let mut returns = 0usize;
+        let outs = cfg.lower_block(&func.body, vec![(ENTRY, EdgeKind::Seq)], &mut returns);
+        for (from, kind) in outs {
+            cfg.add_edge(from, EXIT, kind);
+        }
+        cfg
+    }
+
+    /// Number of nodes (entry and exit included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a degenerate graph (never: entry and exit always
+    /// exist).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's kind.
+    pub fn node(&self, id: NodeId) -> NodeKind<'a> {
+        self.nodes[id]
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn succ(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.succ[id]
+    }
+
+    /// Incoming edges of `id` (edge kind is the label on the edge from
+    /// the predecessor).
+    pub fn pred(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.pred[id]
+    }
+
+    /// The set of nodes reachable from the entry, as a dense bitmap.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![ENTRY];
+        seen[ENTRY] = true;
+        while let Some(n) = stack.pop() {
+            for &(s, _) in &self.succ[n] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    fn add_node(&mut self, kind: NodeKind<'a>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(kind);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        self.succ[from].push((to, kind));
+        self.pred[to].push((from, kind));
+    }
+
+    fn connect(&mut self, preds: &[(NodeId, EdgeKind)], to: NodeId) {
+        for &(from, kind) in preds {
+            self.add_edge(from, to, kind);
+        }
+    }
+
+    /// Lowers a block; `preds` are the dangling out-edges flowing into
+    /// its first statement, the return value the dangling out-edges
+    /// flowing past its last. Statements after a `return` (or any other
+    /// dead region) are still lowered — with no incoming flow — so they
+    /// exist as (unreachable) nodes.
+    fn lower_block(
+        &mut self,
+        block: &'a Block,
+        mut preds: Vec<(NodeId, EdgeKind)>,
+        returns: &mut usize,
+    ) -> Vec<(NodeId, EdgeKind)> {
+        for stmt in &block.stmts {
+            preds = self.lower_stmt(stmt, preds, returns);
+        }
+        preds
+    }
+
+    fn lower_stmt(
+        &mut self,
+        stmt: &'a Stmt,
+        preds: Vec<(NodeId, EdgeKind)>,
+        returns: &mut usize,
+    ) -> Vec<(NodeId, EdgeKind)> {
+        let node = self.add_node(NodeKind::Stmt(stmt));
+        self.connect(&preds, node);
+        match &stmt.kind {
+            StmtKind::Label(l) => {
+                self.locations.push((Location::Label(*l), node));
+                vec![(node, EdgeKind::Seq)]
+            }
+            StmtKind::Return(_) => {
+                self.locations.push((Location::Exit(*returns), node));
+                *returns += 1;
+                self.add_edge(node, EXIT, EdgeKind::Seq);
+                Vec::new()
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let konst = const_bool(cond);
+                let then_in = if konst == Some(false) {
+                    Vec::new()
+                } else {
+                    vec![(node, EdgeKind::True)]
+                };
+                let else_in = if konst == Some(true) {
+                    Vec::new()
+                } else {
+                    vec![(node, EdgeKind::False)]
+                };
+                let mut outs = self.lower_block(then_blk, then_in, returns);
+                match else_blk {
+                    Some(blk) => outs.extend(self.lower_block(blk, else_in, returns)),
+                    None => outs.extend(else_in),
+                }
+                outs
+            }
+            StmtKind::While { label, cond, body } => {
+                if let Some(l) = label {
+                    self.locations.push((Location::LoopHead(*l), node));
+                }
+                let konst = const_bool(cond);
+                let body_in = if konst == Some(false) {
+                    Vec::new()
+                } else {
+                    vec![(node, EdgeKind::True)]
+                };
+                let body_outs = self.lower_block(body, body_in, returns);
+                self.connect(&body_outs, node);
+                if konst == Some(true) {
+                    Vec::new()
+                } else {
+                    vec![(node, EdgeKind::False)]
+                }
+            }
+            StmtKind::VarDecl { .. }
+            | StmtKind::Assign { .. }
+            | StmtKind::Free(_)
+            | StmtKind::ExprStmt(_) => vec![(node, EdgeKind::Seq)],
+        }
+    }
+}
+
+/// The condition's constant truth value, when it is a bare boolean
+/// literal. Anything fancier is treated as opaque — the graph stays
+/// conservative.
+fn const_bool(cond: &sling_lang::Expr) -> Option<bool> {
+    match cond.kind {
+        ExprKind::Bool(b) => Some(b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::parse_program;
+    use sling_logic::Symbol;
+
+    #[test]
+    fn locations_agree_with_locations_of() {
+        let src = "struct N { next: N*; }
+            fn f(x: N*) -> N* {
+                @pre;
+                var i: int = 0;
+                while @inv (x != null) { x = x->next; i = i + 1; }
+                if (i > 2) { return x; }
+                return null;
+            }";
+        let program = parse_program(src).expect("parses");
+        let cfg = Cfg::build(&program.funcs[0]);
+        let declared = program.locations_of(Symbol::intern("f"));
+        let from_cfg: Vec<Location> = cfg.locations.iter().map(|(l, _)| *l).collect();
+        assert_eq!(from_cfg, declared);
+    }
+
+    #[test]
+    fn return_severs_flow() {
+        let program = parse_program(
+            "fn g() -> int {
+                return 1;
+                return 2;
+            }",
+        )
+        .expect("parses");
+        let cfg = Cfg::build(&program.funcs[0]);
+        let reach = cfg.reachable();
+        // Node layout: 0 entry, 1 exit, 2 first return, 3 second return.
+        assert!(reach[2]);
+        assert!(!reach[3], "the second return is dead");
+    }
+
+    #[test]
+    fn while_true_has_no_exit_edge() {
+        let program = parse_program(
+            "fn spin() -> int {
+                while (true) { var x: int = 1; }
+                return 0;
+            }",
+        )
+        .expect("parses");
+        let cfg = Cfg::build(&program.funcs[0]);
+        let reach = cfg.reachable();
+        // 0 entry, 1 exit, 2 while, 3 body decl, 4 return.
+        assert!(reach[2] && reach[3]);
+        assert!(!reach[4], "code after while(true) is dead");
+    }
+}

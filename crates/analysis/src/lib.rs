@@ -1,0 +1,380 @@
+//! Static diagnostics over MiniC: a span-preserving AST-level CFG, a
+//! generic monotone-framework worklist solver, and the lint suite built
+//! on top of them.
+//!
+//! SLING itself is purely dynamic — it learns invariants from models the
+//! tracer observes at snapshot locations. That makes three classes of
+//! program defect silently corrosive rather than loud: a snapshot
+//! location no path reaches yields an *empty* inference site, an
+//! uninitialized or definitely-null pointer kills the run at trace
+//! time, and dead stores add noise to every model. This crate is the
+//! static complement: it grades a program *before* the engine runs it,
+//! as
+//!
+//! * a **build gate** — `EngineBuilder::static_analysis` fails the
+//!   build on deny-level findings;
+//! * an **upload gate** — the `sling-serve` daemon analyzes every
+//!   uploaded tenant program before pooling an engine for it, and
+//!   rejects hostile or broken uploads with a typed wire diagnostic
+//!   frame;
+//! * an **inference pre-filter** — statically-unreachable snapshot
+//!   locations are attached to reports, so an empty site is explained
+//!   instead of silent.
+//!
+//! # Lints
+//!
+//! | Code | Severity | Finding |
+//! | --- | --- | --- |
+//! | `SA001` | deny | use of a variable that is uninitialized on every path |
+//! | `SA002` | warning | use of a variable that is uninitialized on some path |
+//! | `SA003` | warning | dead store: no later statement *or snapshot* observes the value |
+//! | `SA004` | warning | local variable never read |
+//! | `SA005` | warning | unreachable statement |
+//! | `SA006` | deny | unreachable snapshot location (empty inference site) |
+//! | `SA007` | deny | dereference of a definitely-null pointer |
+//! | `SL001` | deny | unproductive inductive-predicate cycle (re-homed from `check_pred_env`) |
+//!
+//! # Example
+//!
+//! ```
+//! use sling_analysis::{analyze_program, AnalysisSettings};
+//! use sling_lang::parse_program;
+//!
+//! let program = parse_program(
+//!     "fn f(x: int) -> int {
+//!          var y: int;
+//!          return y;
+//!      }",
+//! )?;
+//! let analysis = analyze_program(&program, &AnalysisSettings::default());
+//! assert!(analysis.diagnostics.has_deny()); // SA001: `y` never initialized
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod diag;
+mod lints;
+pub mod solver;
+
+use std::collections::BTreeMap;
+
+use sling_lang::{FuncDecl, Location, Program};
+use sling_logic::Symbol;
+
+pub use cfg::{Cfg, EdgeKind, NodeId, NodeKind};
+pub use diag::{codes, Diagnostic, Diagnostics, Severity};
+pub use solver::{solve, Analysis, Direction, Solution};
+
+/// Which lints run, and how strictly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisSettings {
+    /// Use-before-init (`SA001`/`SA002`).
+    pub init: bool,
+    /// Dead stores and unused variables (`SA003`/`SA004`).
+    pub liveness: bool,
+    /// Unreachable statements and snapshot locations (`SA005`/`SA006`).
+    pub reachability: bool,
+    /// Definite-null dereferences (`SA007`).
+    pub nullness: bool,
+    /// Escalate every warning to deny level.
+    pub deny_warnings: bool,
+}
+
+impl Default for AnalysisSettings {
+    fn default() -> AnalysisSettings {
+        AnalysisSettings {
+            init: true,
+            liveness: true,
+            reachability: true,
+            nullness: true,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// The result of analyzing one function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionAnalysis {
+    /// Findings, in lint order then source order.
+    pub diagnostics: Diagnostics,
+    /// Declared snapshot locations no control-flow path reaches, in
+    /// declaration order (a subset of `Program::locations_of`).
+    pub unreachable_locations: Vec<Location>,
+}
+
+/// The result of analyzing a whole program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramAnalysis {
+    /// All findings, functions in declaration order.
+    pub diagnostics: Diagnostics,
+    /// Per-function statically-unreachable snapshot locations (only
+    /// functions that have any appear).
+    pub unreachable: BTreeMap<Symbol, Vec<Location>>,
+}
+
+impl ProgramAnalysis {
+    /// The unreachable locations of `func`, empty when none.
+    pub fn unreachable_in(&self, func: Symbol) -> &[Location] {
+        self.unreachable
+            .get(&func)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Analyzes one function.
+pub fn analyze_function(func: &FuncDecl, settings: &AnalysisSettings) -> FunctionAnalysis {
+    let cfg = Cfg::build(func);
+    let info = lints::FnInfo::new(func);
+    let mut diagnostics = Diagnostics::new();
+    let mut unreachable_locations = Vec::new();
+    if settings.reachability {
+        unreachable_locations = lints::reach::run(&cfg, &mut diagnostics);
+    }
+    if settings.init {
+        lints::init::run(&cfg, &info, &mut diagnostics);
+    }
+    if settings.liveness {
+        lints::live::run(&cfg, &info, &mut diagnostics);
+    }
+    if settings.nullness {
+        lints::null::run(&cfg, &info, &mut diagnostics);
+    }
+    if settings.deny_warnings {
+        for d in &mut diagnostics.items {
+            d.severity = Severity::Deny;
+        }
+    }
+    FunctionAnalysis {
+        diagnostics,
+        unreachable_locations,
+    }
+}
+
+/// Analyzes every function of `program`.
+pub fn analyze_program(program: &Program, settings: &AnalysisSettings) -> ProgramAnalysis {
+    let mut out = ProgramAnalysis::default();
+    for func in &program.funcs {
+        let fa = analyze_function(func, settings);
+        if !fa.unreachable_locations.is_empty() {
+            out.unreachable.insert(func.name, fa.unreachable_locations);
+        }
+        out.diagnostics.extend(fa.diagnostics);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_lang::parse_program;
+
+    fn analyze(src: &str) -> ProgramAnalysis {
+        let program = parse_program(src).expect("test source parses");
+        analyze_program(&program, &AnalysisSettings::default())
+    }
+
+    fn codes_of(a: &ProgramAnalysis) -> Vec<&str> {
+        a.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_function_is_clean() {
+        let a = analyze(
+            "struct N { next: N*; }
+             fn len(x: N*) -> int {
+                 var n: int = 0;
+                 while @inv (x != null) { x = x->next; n = n + 1; }
+                 return n;
+             }",
+        );
+        assert!(a.diagnostics.is_empty(), "{}", a.diagnostics);
+        assert!(a.unreachable.is_empty());
+    }
+
+    #[test]
+    fn definite_use_before_init_is_deny() {
+        let a = analyze("fn f() -> int { var y: int; return y; }");
+        assert_eq!(codes_of(&a), vec![codes::USE_BEFORE_INIT]);
+        assert!(a.diagnostics.has_deny());
+    }
+
+    #[test]
+    fn branch_init_is_a_warning_only() {
+        let a = analyze(
+            "fn f(c: bool) -> int {
+                 var y: int;
+                 if (c) { y = 1; }
+                 return y;
+             }",
+        );
+        assert_eq!(codes_of(&a), vec![codes::MAYBE_UNINIT]);
+        assert!(!a.diagnostics.has_deny());
+    }
+
+    #[test]
+    fn both_branches_init_is_clean() {
+        let a = analyze(
+            "fn f(c: bool) -> int {
+                 var y: int;
+                 if (c) { y = 1; } else { y = 2; }
+                 return y;
+             }",
+        );
+        assert!(a.diagnostics.is_empty(), "{}", a.diagnostics);
+    }
+
+    #[test]
+    fn overwritten_store_is_dead() {
+        let a = analyze(
+            "fn f() -> int {
+                 var x: int = 1;
+                 x = 2;
+                 return x;
+             }",
+        );
+        assert_eq!(codes_of(&a), vec![codes::DEAD_STORE]);
+    }
+
+    #[test]
+    fn snapshot_between_stores_keeps_the_first_alive() {
+        let a = analyze(
+            "fn f() -> int {
+                 var x: int = 1;
+                 @mid;
+                 x = 2;
+                 return x;
+             }",
+        );
+        assert!(a.diagnostics.is_empty(), "{}", a.diagnostics);
+    }
+
+    #[test]
+    fn unused_local_is_reported_once() {
+        let a = analyze(
+            "fn f() -> int {
+                 var x: int = 1;
+                 return 0;
+             }",
+        );
+        assert_eq!(codes_of(&a), vec![codes::UNUSED_VAR]);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let a = analyze(
+            "fn f() -> int {
+                 return 1;
+                 var x: int = 2;
+                 var y: int = 3;
+             }",
+        );
+        // One SA005 for the dead region head; the dead stores/unused
+        // vars inside the dead region are not separately reported
+        // (unused is syntactic, so those two still count).
+        assert!(codes_of(&a).contains(&codes::UNREACHABLE_STMT));
+    }
+
+    #[test]
+    fn unreachable_label_is_deny_and_listed() {
+        let a = analyze(
+            "fn f() -> int {
+                 return 1;
+                 @dead;
+             }",
+        );
+        assert!(codes_of(&a).contains(&codes::UNREACHABLE_LOCATION));
+        assert!(a.diagnostics.has_deny());
+        assert_eq!(
+            a.unreachable_in(sling_logic::Symbol::intern("f")),
+            &[Location::Label(sling_logic::Symbol::intern("dead"))]
+        );
+    }
+
+    #[test]
+    fn unreachable_second_return_is_a_dead_exit() {
+        let a = analyze("fn f() -> int { return 1; return 2; }");
+        assert!(codes_of(&a).contains(&codes::UNREACHABLE_LOCATION));
+        assert_eq!(
+            a.unreachable_in(sling_logic::Symbol::intern("f")),
+            &[Location::Exit(1)]
+        );
+    }
+
+    #[test]
+    fn null_branch_deref_is_deny() {
+        let a = analyze(
+            "struct N { next: N*; }
+             fn f(x: N*) -> N* {
+                 if (x == null) { x->next = null; }
+                 return x;
+             }",
+        );
+        assert_eq!(codes_of(&a), vec![codes::NULL_DEREF]);
+    }
+
+    #[test]
+    fn nonnull_branch_deref_is_clean() {
+        let a = analyze(
+            "struct N { next: N*; }
+             fn f(x: N*) -> N* {
+                 if (x != null) { x->next = null; }
+                 return x;
+             }",
+        );
+        assert!(a.diagnostics.is_empty(), "{}", a.diagnostics);
+    }
+
+    #[test]
+    fn null_literal_assignment_then_deref_is_deny() {
+        let a = analyze(
+            "struct N { next: N*; }
+             fn f() -> N* {
+                 var x: N* = null;
+                 return x->next;
+             }",
+        );
+        assert_eq!(codes_of(&a), vec![codes::NULL_DEREF]);
+    }
+
+    #[test]
+    fn reassignment_clears_nullness() {
+        let a = analyze(
+            "struct N { next: N*; }
+             fn f() -> N* {
+                 var x: N* = null;
+                 x = new N { next: null };
+                 return x->next;
+             }",
+        );
+        // The dead `null` initializer is (correctly) warned about, but
+        // the deref is clean: reassignment cleared the nullness.
+        assert_eq!(codes_of(&a), vec![codes::DEAD_STORE]);
+    }
+
+    #[test]
+    fn deny_warnings_escalates() {
+        let program = parse_program("fn f() -> int { var x: int = 1; return 0; }").unwrap();
+        let settings = AnalysisSettings {
+            deny_warnings: true,
+            ..AnalysisSettings::default()
+        };
+        let a = analyze_program(&program, &settings);
+        assert!(a.diagnostics.has_deny());
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let src = "struct N { next: N*; }
+             fn f(x: N*, c: bool) -> N* {
+                 var y: N*;
+                 if (c) { y = x; }
+                 while @w (x != null) { x = x->next; }
+                 return y;
+                 @dead;
+             }";
+        assert_eq!(analyze(src), analyze(src));
+    }
+}

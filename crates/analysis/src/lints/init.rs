@@ -1,0 +1,146 @@
+//! Use-before-init, via forward reaching-definitions over a pair of
+//! sets: variables *possibly* uninitialized (join = union) and
+//! variables *definitely* uninitialized (join = intersection). A read
+//! of a definitely-uninitialized variable is deny-level `SA001`; a read
+//! that is uninitialized only on some path is warning-level `SA002`.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Cfg, NodeId};
+use crate::diag::{codes, Diagnostic, Diagnostics, Severity};
+use crate::lints::{node_stmt, stmt_reads, FnInfo};
+use crate::solver::{solve, Analysis, Direction};
+
+use sling_lang::StmtKind;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Fact {
+    may_uninit: BTreeSet<usize>,
+    must_uninit: BTreeSet<usize>,
+}
+
+struct InitAnalysis<'i> {
+    info: &'i FnInfo,
+}
+
+impl<'a, 'i> Analysis<'a> for InitAnalysis<'i> {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _cfg: &Cfg<'a>) -> Fact {
+        // Bottom: nothing possibly-uninit (union identity), everything
+        // definitely-uninit (intersection identity).
+        Fact {
+            may_uninit: BTreeSet::new(),
+            must_uninit: (0..self.info.vars.len()).collect(),
+        }
+    }
+
+    fn boundary(&self, _cfg: &Cfg<'a>) -> Fact {
+        // At entry the parameters are initialized by the call; every
+        // local is not.
+        let locals: BTreeSet<usize> = (self.info.params..self.info.vars.len()).collect();
+        Fact {
+            may_uninit: locals.clone(),
+            must_uninit: locals,
+        }
+    }
+
+    fn join(&self, into: &mut Fact, from: &Fact) -> bool {
+        let may_before = into.may_uninit.len();
+        into.may_uninit.extend(&from.may_uninit);
+        let must_before = into.must_uninit.len();
+        into.must_uninit = into
+            .must_uninit
+            .intersection(&from.must_uninit)
+            .copied()
+            .collect();
+        may_before != into.may_uninit.len() || must_before != into.must_uninit.len()
+    }
+
+    fn transfer(&self, cfg: &Cfg<'a>, node: NodeId, fact: &Fact) -> Fact {
+        let mut out = fact.clone();
+        if let Some(stmt) = node_stmt(cfg, node) {
+            match &stmt.kind {
+                StmtKind::VarDecl {
+                    name, init: None, ..
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out.may_uninit.insert(slot);
+                        out.must_uninit.insert(slot);
+                    }
+                }
+                StmtKind::VarDecl {
+                    name,
+                    init: Some(_),
+                    ..
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out.may_uninit.remove(&slot);
+                        out.must_uninit.remove(&slot);
+                    }
+                }
+                StmtKind::Assign {
+                    lhs: sling_lang::LValue::Var(name),
+                    ..
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out.may_uninit.remove(&slot);
+                        out.must_uninit.remove(&slot);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Runs the lint over one function's CFG.
+pub(crate) fn run(cfg: &Cfg<'_>, info: &FnInfo, out: &mut Diagnostics) {
+    let analysis = InitAnalysis { info };
+    let solution = solve(cfg, &analysis);
+    let reachable = cfg.reachable();
+    let func = cfg.func.name;
+    for (node, ok) in reachable.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let Some(stmt) = node_stmt(cfg, node) else {
+            continue;
+        };
+        let fact = &solution.input[node];
+        let mut seen = BTreeSet::new();
+        stmt_reads(stmt, &mut |name| {
+            let Some(slot) = info.slot(name) else { return };
+            if !seen.insert(slot) {
+                return;
+            }
+            if fact.must_uninit.contains(&slot) {
+                out.push(
+                    Diagnostic::new(
+                        codes::USE_BEFORE_INIT,
+                        Severity::Deny,
+                        format!("variable `{name}` is used before it is initialized"),
+                    )
+                    .in_function(func)
+                    .with_span(stmt.span),
+                );
+            } else if fact.may_uninit.contains(&slot) {
+                out.push(
+                    Diagnostic::new(
+                        codes::MAYBE_UNINIT,
+                        Severity::Warning,
+                        format!("variable `{name}` may be used before it is initialized"),
+                    )
+                    .in_function(func)
+                    .with_span(stmt.span)
+                    .with_note("uninitialized on at least one path reaching this use"),
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Dead stores and unused variables, via backward liveness.
+//!
+//! Snapshot nodes (`@label;`, labelled loop heads, `return`) use every
+//! variable in scope — the tracer records the whole stack there, so a
+//! store feeding only a snapshot is *not* dead (see the module docs in
+//! [`crate::lints`]). An unused variable is purely syntactic: a local
+//! no statement ever reads.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Cfg, NodeId, NodeKind};
+use crate::diag::{codes, Diagnostic, Diagnostics, Severity};
+use crate::lints::{is_snapshot_node, node_stmt, stmt_def, stmt_reads, FnInfo};
+use crate::solver::{solve, Analysis, Direction};
+
+use sling_lang::StmtKind;
+
+struct Liveness<'i> {
+    info: &'i FnInfo,
+}
+
+impl<'a, 'i> Analysis<'a> for Liveness<'i> {
+    type Fact = BTreeSet<usize>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn init(&self, _cfg: &Cfg<'a>) -> BTreeSet<usize> {
+        BTreeSet::new()
+    }
+
+    fn boundary(&self, _cfg: &Cfg<'a>) -> BTreeSet<usize> {
+        BTreeSet::new()
+    }
+
+    fn join(&self, into: &mut BTreeSet<usize>, from: &BTreeSet<usize>) -> bool {
+        let before = into.len();
+        into.extend(from);
+        before != into.len()
+    }
+
+    fn transfer(&self, cfg: &Cfg<'a>, node: NodeId, fact: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = fact.clone();
+        let kind = cfg.node(node);
+        if let NodeKind::Stmt(stmt) = kind {
+            if let Some(def) = stmt_def(stmt) {
+                if let Some(slot) = self.info.slot(def) {
+                    out.remove(&slot);
+                }
+            }
+            stmt_reads(stmt, &mut |name| {
+                if let Some(slot) = self.info.slot(name) {
+                    out.insert(slot);
+                }
+            });
+            if is_snapshot_node(kind) {
+                out.extend(0..self.info.vars.len());
+            }
+        }
+        out
+    }
+}
+
+/// Runs the lint over one function's CFG.
+pub(crate) fn run(cfg: &Cfg<'_>, info: &FnInfo, out: &mut Diagnostics) {
+    let func = cfg.func.name;
+
+    // Syntactic read census over every statement, reachable or not.
+    let mut read_somewhere = vec![false; info.vars.len()];
+    for node in 0..cfg.len() {
+        if let Some(stmt) = node_stmt(cfg, node) {
+            stmt_reads(stmt, &mut |name| {
+                if let Some(slot) = info.slot(name) {
+                    read_somewhere[slot] = true;
+                }
+            });
+        }
+    }
+
+    // Unused variables: locals never read. Report at the (first)
+    // declaration.
+    let mut unused = vec![false; info.vars.len()];
+    let mut declared = BTreeSet::new();
+    for node in 0..cfg.len() {
+        let Some(stmt) = node_stmt(cfg, node) else {
+            continue;
+        };
+        if let StmtKind::VarDecl { name, .. } = &stmt.kind {
+            let Some(slot) = info.slot(*name) else {
+                continue;
+            };
+            if !read_somewhere[slot] && declared.insert(slot) {
+                unused[slot] = true;
+                out.push(
+                    Diagnostic::new(
+                        codes::UNUSED_VAR,
+                        Severity::Warning,
+                        format!("variable `{name}` is never read"),
+                    )
+                    .in_function(func)
+                    .with_span(stmt.span),
+                );
+            }
+        }
+    }
+
+    // Dead stores: definitions whose value is not live afterwards.
+    // Skip stores to unused variables (already reported once, above).
+    let solution = solve(cfg, &Liveness { info });
+    let reachable = cfg.reachable();
+    for (node, ok) in reachable.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let Some(stmt) = node_stmt(cfg, node) else {
+            continue;
+        };
+        let Some(def) = stmt_def(stmt) else { continue };
+        let Some(slot) = info.slot(def) else { continue };
+        if unused[slot] {
+            continue;
+        }
+        // Backward solution: `input[node]` is the fact *after* the
+        // statement executes.
+        if !solution.input[node].contains(&slot) {
+            let what = match stmt.kind {
+                StmtKind::VarDecl { .. } => "initializer of",
+                _ => "value assigned to",
+            };
+            out.push(
+                Diagnostic::new(
+                    codes::DEAD_STORE,
+                    Severity::Warning,
+                    format!("{what} `{def}` is never used"),
+                )
+                .in_function(func)
+                .with_span(stmt.span)
+                .with_note("no later statement or snapshot location observes this value"),
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The lint suite: each lint is one dataflow analysis (or a plain graph
+//! walk) over the function [`Cfg`](crate::cfg::Cfg) plus a reporting
+//! pass that turns fixpoint facts into [`Diagnostic`]s.
+//!
+//! A design point worth calling out: SLING's tracer snapshots the
+//! *entire* stack at every breakpoint — `@label;` statements, labelled
+//! loop heads, and every `return`. A store whose value no later
+//! statement reads is therefore still observable if a snapshot location
+//! sits between the store and the overwrite, and the liveness lint
+//! treats those nodes as using every variable in scope. Dead-store
+//! findings never ask you to delete a value the inference pipeline
+//! would have seen.
+
+pub mod init;
+pub mod live;
+pub mod null;
+pub mod reach;
+
+use std::collections::BTreeMap;
+
+use sling_lang::{Expr, ExprKind, FuncDecl, LValue, Stmt, StmtKind};
+use sling_logic::{Span, Symbol};
+
+use crate::cfg::{Cfg, NodeId, NodeKind};
+
+/// Per-function variable numbering shared by the dataflow lints:
+/// parameters first, then every declared local, in source order.
+#[derive(Debug)]
+pub(crate) struct FnInfo {
+    /// All variables, parameters first.
+    pub vars: Vec<Symbol>,
+    /// Name → index in `vars`. Re-declarations of the same name (MiniC
+    /// scoping permitting) share one slot — conservative for every lint
+    /// here.
+    pub index: BTreeMap<Symbol, usize>,
+    /// How many leading entries of `vars` are parameters.
+    pub params: usize,
+}
+
+impl FnInfo {
+    pub(crate) fn new(func: &FuncDecl) -> FnInfo {
+        let mut vars = Vec::new();
+        let mut index = BTreeMap::new();
+        for p in &func.params {
+            if let std::collections::btree_map::Entry::Vacant(e) = index.entry(p.name) {
+                e.insert(vars.len());
+                vars.push(p.name);
+            }
+        }
+        let params = vars.len();
+        collect_locals(&func.body, &mut vars, &mut index);
+        FnInfo {
+            vars,
+            index,
+            params,
+        }
+    }
+
+    /// The slot of `name`, if it is a known variable.
+    pub(crate) fn slot(&self, name: Symbol) -> Option<usize> {
+        self.index.get(&name).copied()
+    }
+}
+
+fn collect_locals(
+    block: &sling_lang::Block,
+    vars: &mut Vec<Symbol>,
+    index: &mut BTreeMap<Symbol, usize>,
+) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, .. } => {
+                if let std::collections::btree_map::Entry::Vacant(e) = index.entry(*name) {
+                    e.insert(vars.len());
+                    vars.push(*name);
+                }
+            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_locals(then_blk, vars, index);
+                if let Some(e) = else_blk {
+                    collect_locals(e, vars, index);
+                }
+            }
+            StmtKind::While { body, .. } => collect_locals(body, vars, index),
+            _ => {}
+        }
+    }
+}
+
+/// Calls `f` for every variable *read* in `expr` (lvalue bases count:
+/// `x->f = e` reads `x`).
+pub(crate) fn for_each_read(expr: &Expr, f: &mut impl FnMut(Symbol)) {
+    match &expr.kind {
+        ExprKind::Var(s) => f(*s),
+        ExprKind::Field(base, _) => for_each_read(base, f),
+        ExprKind::Unary(_, e) => for_each_read(e, f),
+        ExprKind::Binary(_, a, b) => {
+            for_each_read(a, f);
+            for_each_read(b, f);
+        }
+        ExprKind::New(_, inits) => {
+            for (_, e) in inits {
+                for_each_read(e, f);
+            }
+        }
+        ExprKind::Call(_, args) => {
+            for e in args {
+                for_each_read(e, f);
+            }
+        }
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Null => {}
+    }
+}
+
+/// The variables the statement node itself reads when it executes
+/// (branch bodies excluded: those are separate nodes).
+pub(crate) fn stmt_reads(stmt: &Stmt, f: &mut impl FnMut(Symbol)) {
+    match &stmt.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                for_each_read(e, f);
+            }
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            if let LValue::Field(base, _) = lhs {
+                for_each_read(base, f);
+            }
+            for_each_read(rhs, f);
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => for_each_read(cond, f),
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                for_each_read(e, f);
+            }
+        }
+        StmtKind::Free(e) | StmtKind::ExprStmt(e) => for_each_read(e, f),
+        StmtKind::Label(_) => {}
+    }
+}
+
+/// The variable the statement (re)defines, with its span: `x = e`,
+/// `var x: T = e`. `var x: T;` (no initializer) is *not* a definition —
+/// the init lint treats it as the opposite.
+pub(crate) fn stmt_def(stmt: &Stmt) -> Option<Symbol> {
+    match &stmt.kind {
+        StmtKind::VarDecl {
+            name,
+            init: Some(_),
+            ..
+        } => Some(*name),
+        StmtKind::Assign {
+            lhs: LValue::Var(name),
+            ..
+        } => Some(*name),
+        _ => None,
+    }
+}
+
+/// True when the tracer takes a snapshot at this node: `@label;`
+/// statements, labelled loop heads, and `return`s. Such nodes observe
+/// every variable in scope (see the module docs).
+pub(crate) fn is_snapshot_node(kind: NodeKind<'_>) -> bool {
+    match kind {
+        NodeKind::Stmt(stmt) => matches!(
+            stmt.kind,
+            StmtKind::Label(_) | StmtKind::Return(_) | StmtKind::While { label: Some(_), .. }
+        ),
+        NodeKind::Entry | NodeKind::Exit => false,
+    }
+}
+
+/// Calls `f` with `(pointer var, span of the access)` for every place
+/// the statement dereferences a *variable* directly: field reads and
+/// writes `x->f`, and `free(x)` (freeing null is a runtime fault).
+/// Dereferences of compound bases (`x->next->f`) report the inner
+/// variable access only — the outer base is no single variable.
+pub(crate) fn stmt_derefs(stmt: &Stmt, f: &mut impl FnMut(Symbol, Span)) {
+    fn walk_expr(expr: &Expr, f: &mut impl FnMut(Symbol, Span)) {
+        match &expr.kind {
+            ExprKind::Field(base, _) => {
+                if let ExprKind::Var(s) = base.kind {
+                    f(s, expr.span);
+                }
+                walk_expr(base, f);
+            }
+            ExprKind::Unary(_, e) => walk_expr(e, f),
+            ExprKind::Binary(_, a, b) => {
+                walk_expr(a, f);
+                walk_expr(b, f);
+            }
+            ExprKind::New(_, inits) => {
+                for (_, e) in inits {
+                    walk_expr(e, f);
+                }
+            }
+            ExprKind::Call(_, args) => {
+                for e in args {
+                    walk_expr(e, f);
+                }
+            }
+            ExprKind::Var(_) | ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Null => {}
+        }
+    }
+    match &stmt.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            if let LValue::Field(base, _) = lhs {
+                if let ExprKind::Var(s) = base.kind {
+                    f(s, base.span);
+                }
+                walk_expr(base, f);
+            }
+            walk_expr(rhs, f);
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => walk_expr(cond, f),
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                walk_expr(e, f);
+            }
+        }
+        StmtKind::Free(e) => {
+            if let ExprKind::Var(s) = e.kind {
+                f(s, e.span);
+            }
+            walk_expr(e, f);
+        }
+        StmtKind::ExprStmt(e) => walk_expr(e, f),
+        StmtKind::Label(_) => {}
+    }
+}
+
+/// The statement borrowed by a CFG node, when it is one.
+pub(crate) fn node_stmt<'a>(cfg: &Cfg<'a>, id: NodeId) -> Option<&'a Stmt> {
+    match cfg.node(id) {
+        NodeKind::Stmt(s) => Some(s),
+        _ => None,
+    }
+}

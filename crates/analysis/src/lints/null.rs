@@ -1,0 +1,221 @@
+//! Possible-null dereferences, via a forward flat nullness domain.
+//!
+//! Per variable: `Null` (definitely null), `NonNull` (definitely not),
+//! or `Unknown`; the whole fact is `None` while a node is unreached.
+//! Branch conditions seed the domain: on the true edge of
+//! `x == null` the variable is `Null`, on the false edge `NonNull`
+//! (and dually for `!=`, through `!`, `&&`-true and `||`-false).
+//! A successful dereference also refines its base to `NonNull` on the
+//! fall-through. Only *definite* nulls are reported — the lint is
+//! deny-level, and `Unknown` dereferences are the overwhelmingly common
+//! legitimate case in heap-manipulating code.
+
+use std::collections::BTreeSet;
+
+use sling_lang::{Expr, ExprKind, LValue, StmtKind, UnOp};
+
+use crate::cfg::{Cfg, EdgeKind, NodeId};
+use crate::diag::{codes, Diagnostic, Diagnostics, Severity};
+use crate::lints::{node_stmt, stmt_derefs, FnInfo};
+use crate::solver::{solve, Analysis, Direction};
+
+/// The flat per-variable lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Nullness {
+    Null,
+    NonNull,
+    Unknown,
+}
+
+impl Nullness {
+    fn join(self, other: Nullness) -> Nullness {
+        if self == other {
+            self
+        } else {
+            Nullness::Unknown
+        }
+    }
+}
+
+/// `None` = node not reached yet (the join identity).
+type Fact = Option<Vec<Nullness>>;
+
+struct NullAnalysis<'i> {
+    info: &'i FnInfo,
+}
+
+impl<'i> NullAnalysis<'i> {
+    fn eval(&self, expr: &Expr, fact: &[Nullness]) -> Nullness {
+        match &expr.kind {
+            ExprKind::Null => Nullness::Null,
+            ExprKind::New(..) => Nullness::NonNull,
+            ExprKind::Var(s) => self
+                .info
+                .slot(*s)
+                .map(|i| fact[i])
+                .unwrap_or(Nullness::Unknown),
+            _ => Nullness::Unknown,
+        }
+    }
+
+    /// Applies what `cond == truth` implies to `fact`.
+    fn refine(&self, cond: &Expr, truth: bool, fact: &mut [Nullness]) {
+        use sling_lang::BinOp;
+        match &cond.kind {
+            ExprKind::Unary(UnOp::Not, inner) => self.refine(inner, !truth, fact),
+            ExprKind::Binary(op, a, b) => match op {
+                BinOp::Eq | BinOp::Ne => {
+                    let var = match (&a.kind, &b.kind) {
+                        (ExprKind::Var(s), ExprKind::Null) => Some(*s),
+                        (ExprKind::Null, ExprKind::Var(s)) => Some(*s),
+                        _ => None,
+                    };
+                    if let Some(slot) = var.and_then(|s| self.info.slot(s)) {
+                        let is_null = (*op == BinOp::Eq) == truth;
+                        fact[slot] = if is_null {
+                            Nullness::Null
+                        } else {
+                            Nullness::NonNull
+                        };
+                    }
+                }
+                BinOp::And if truth => {
+                    self.refine(a, true, fact);
+                    self.refine(b, true, fact);
+                }
+                BinOp::Or if !truth => {
+                    self.refine(a, false, fact);
+                    self.refine(b, false, fact);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+impl<'a, 'i> Analysis<'a> for NullAnalysis<'i> {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _cfg: &Cfg<'a>) -> Fact {
+        None
+    }
+
+    fn boundary(&self, _cfg: &Cfg<'a>) -> Fact {
+        Some(vec![Nullness::Unknown; self.info.vars.len()])
+    }
+
+    fn join(&self, into: &mut Fact, from: &Fact) -> bool {
+        match (into.as_mut(), from) {
+            (_, None) => false,
+            (None, Some(_)) => {
+                *into = from.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let mut changed = false;
+                for (x, y) in a.iter_mut().zip(b) {
+                    let joined = x.join(*y);
+                    if joined != *x {
+                        *x = joined;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg<'a>, node: NodeId, fact: &Fact) -> Fact {
+        let Some(fact) = fact else { return None };
+        let mut out = fact.clone();
+        if let Some(stmt) = node_stmt(cfg, node) {
+            // A dereference that executed implies the base was non-null
+            // on the fall-through.
+            stmt_derefs(stmt, &mut |name, _span| {
+                if let Some(slot) = self.info.slot(name) {
+                    out[slot] = Nullness::NonNull;
+                }
+            });
+            match &stmt.kind {
+                StmtKind::VarDecl {
+                    name,
+                    init: Some(e),
+                    ..
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out[slot] = self.eval(e, fact);
+                    }
+                }
+                StmtKind::VarDecl {
+                    name, init: None, ..
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out[slot] = Nullness::Unknown;
+                    }
+                }
+                StmtKind::Assign {
+                    lhs: LValue::Var(name),
+                    rhs,
+                } => {
+                    if let Some(slot) = self.info.slot(*name) {
+                        out[slot] = self.eval(rhs, fact);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(out)
+    }
+
+    fn edge(&self, cfg: &Cfg<'a>, from: NodeId, kind: EdgeKind, fact: &Fact) -> Option<Fact> {
+        let truth = match kind {
+            EdgeKind::True => true,
+            EdgeKind::False => false,
+            EdgeKind::Seq => return None,
+        };
+        let Some(values) = fact else { return None };
+        let stmt = node_stmt(cfg, from)?;
+        let cond = match &stmt.kind {
+            StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond,
+            _ => return None,
+        };
+        let mut refined = values.clone();
+        self.refine(cond, truth, &mut refined);
+        Some(Some(refined))
+    }
+}
+
+/// Runs the lint over one function's CFG.
+pub(crate) fn run(cfg: &Cfg<'_>, info: &FnInfo, out: &mut Diagnostics) {
+    let analysis = NullAnalysis { info };
+    let solution = solve(cfg, &analysis);
+    let func = cfg.func.name;
+    for node in 0..cfg.len() {
+        let Some(fact) = &solution.input[node] else {
+            continue; // unreached
+        };
+        let Some(stmt) = node_stmt(cfg, node) else {
+            continue;
+        };
+        let mut reported = BTreeSet::new();
+        stmt_derefs(stmt, &mut |name, span| {
+            let Some(slot) = info.slot(name) else { return };
+            if fact[slot] == Nullness::Null && reported.insert((slot, span.lo, span.hi)) {
+                out.push(
+                    Diagnostic::new(
+                        codes::NULL_DEREF,
+                        Severity::Deny,
+                        format!("null dereference: `{name}` is null when this executes"),
+                    )
+                    .in_function(func)
+                    .with_span(span),
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,68 @@
+//! Unreachable code, as plain graph reachability from the CFG entry.
+//!
+//! Statements no path reaches are warning-level `SA005`, reported once
+//! per dead region (at its head). Declared *snapshot locations* no path
+//! reaches are deny-level `SA006`: the dynamic collector can never
+//! observe a model there, so inference at that location is silently
+//! empty — exactly the failure mode the static pass exists to explain.
+
+use sling_lang::Location;
+
+use crate::cfg::Cfg;
+use crate::diag::{codes, Diagnostic, Diagnostics, Severity};
+use crate::lints::node_stmt;
+
+/// Runs the lint; returns the statically-unreachable declared
+/// locations, in declaration order.
+pub(crate) fn run(cfg: &Cfg<'_>, out: &mut Diagnostics) -> Vec<Location> {
+    let reachable = cfg.reachable();
+    let func = cfg.func.name;
+
+    let mut unreachable_locs = Vec::new();
+    let mut loc_nodes = vec![None; cfg.len()];
+    for &(loc, node) in &cfg.locations {
+        loc_nodes[node] = Some(loc);
+        if !reachable[node] {
+            unreachable_locs.push(loc);
+        }
+    }
+
+    for node in 0..cfg.len() {
+        if reachable[node] {
+            continue;
+        }
+        let Some(stmt) = node_stmt(cfg, node) else {
+            continue;
+        };
+        if let Some(loc) = loc_nodes[node] {
+            out.push(
+                Diagnostic::new(
+                    codes::UNREACHABLE_LOCATION,
+                    Severity::Deny,
+                    format!("snapshot location `{loc}` is statically unreachable"),
+                )
+                .in_function(func)
+                .with_span(stmt.span)
+                .with_note("the dynamic collector can never take a model here"),
+            );
+            continue;
+        }
+        // Only the head of a dead region: a node with no unreachable
+        // predecessor (statements right after a `return` have no
+        // predecessors at all).
+        let head = cfg.pred(node).iter().all(|&(p, _)| reachable[p]);
+        if head {
+            out.push(
+                Diagnostic::new(
+                    codes::UNREACHABLE_STMT,
+                    Severity::Warning,
+                    "unreachable statement".to_string(),
+                )
+                .in_function(func)
+                .with_span(stmt.span),
+            );
+        }
+    }
+
+    unreachable_locs
+}

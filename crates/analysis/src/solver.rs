@@ -1,0 +1,128 @@
+//! A generic monotone-framework worklist solver.
+//!
+//! An [`Analysis`] supplies the join-semilattice (via `init`, the
+//! lattice bottom, and `join`), the direction, the per-node transfer
+//! function, and — optionally — an edge refinement applied to facts as
+//! they flow across labelled branch edges. [`solve`] iterates to the
+//! least fixpoint; termination is the analysis's responsibility
+//! (finite-height lattices and monotone transfers, as usual).
+
+use crate::cfg::{Cfg, EdgeKind, NodeId};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from entry towards exit.
+    Forward,
+    /// Facts flow from exit towards entry.
+    Backward,
+}
+
+/// One dataflow analysis over a [`Cfg`].
+pub trait Analysis<'a> {
+    /// The lattice element attached to each node boundary.
+    type Fact: Clone + PartialEq;
+
+    /// The flow direction.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom: the initial fact at every node boundary.
+    fn init(&self, cfg: &Cfg<'a>) -> Self::Fact;
+
+    /// The fact at the flow origin — the entry node for forward
+    /// analyses, the exit node for backward ones.
+    fn boundary(&self, cfg: &Cfg<'a>) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// The transfer function of node `node` applied to its input fact.
+    fn transfer(&self, cfg: &Cfg<'a>, node: NodeId, fact: &Self::Fact) -> Self::Fact;
+
+    /// Refines `fact` as it flows across the edge `from → _` labelled
+    /// `kind` (forward) or against it (backward). `None` means
+    /// "unchanged"; the default refines nothing.
+    fn edge(
+        &self,
+        cfg: &Cfg<'a>,
+        from: NodeId,
+        kind: EdgeKind,
+        fact: &Self::Fact,
+    ) -> Option<Self::Fact> {
+        let (_, _, _, _) = (cfg, from, kind, fact);
+        None
+    }
+}
+
+/// The least fixpoint: facts at each node's input and output boundary,
+/// indexed by [`NodeId`]. For forward analyses `input[n]` is the fact
+/// *before* `n` executes; for backward analyses it is the fact *after*
+/// (the side the join happens on, in both cases).
+#[derive(Debug)]
+pub struct Solution<F> {
+    /// The joined fact flowing into each node (in flow order).
+    pub input: Vec<F>,
+    /// `transfer` applied to `input`, per node.
+    pub output: Vec<F>,
+}
+
+/// Runs `analysis` over `cfg` to a fixpoint.
+pub fn solve<'a, A: Analysis<'a>>(cfg: &Cfg<'a>, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.init(cfg)).collect();
+    let origin = match analysis.direction() {
+        Direction::Forward => crate::cfg::ENTRY,
+        Direction::Backward => crate::cfg::EXIT,
+    };
+    input[origin] = analysis.boundary(cfg);
+    let mut output: Vec<A::Fact> = (0..n)
+        .map(|id| analysis.transfer(cfg, id, &input[id]))
+        .collect();
+
+    let mut on_list = vec![true; n];
+    let mut worklist: Vec<NodeId> = (0..n).collect();
+    while let Some(node) = worklist.pop() {
+        on_list[node] = false;
+        // Join over the flow-predecessors' outputs.
+        let mut fact = if node == origin {
+            analysis.boundary(cfg)
+        } else {
+            analysis.init(cfg)
+        };
+        let incoming: Vec<(NodeId, EdgeKind)> = match analysis.direction() {
+            Direction::Forward => cfg.pred(node).to_vec(),
+            Direction::Backward => cfg.succ(node).to_vec(),
+        };
+        for (other, kind) in incoming {
+            // The edge label lives on the branch source; for backward
+            // flow the "source" is this node's CFG successor side, but
+            // refinement is still keyed by the node that owns the
+            // condition — the forward `from`.
+            let from = match analysis.direction() {
+                Direction::Forward => other,
+                Direction::Backward => node,
+            };
+            match analysis.edge(cfg, from, kind, &output[other]) {
+                Some(refined) => analysis.join(&mut fact, &refined),
+                None => analysis.join(&mut fact, &output[other]),
+            };
+        }
+        input[node] = fact;
+        let new_out = analysis.transfer(cfg, node, &input[node]);
+        if new_out != output[node] {
+            output[node] = new_out;
+            let downstream: Vec<NodeId> = match analysis.direction() {
+                Direction::Forward => cfg.succ(node).iter().map(|&(s, _)| s).collect(),
+                Direction::Backward => cfg.pred(node).iter().map(|&(p, _)| p).collect(),
+            };
+            for d in downstream {
+                if !on_list[d] {
+                    on_list[d] = true;
+                    worklist.push(d);
+                }
+            }
+        }
+    }
+
+    Solution { input, output }
+}

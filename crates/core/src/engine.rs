@@ -111,6 +111,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sling_analysis::{analyze_program, AnalysisSettings, Diagnostic, Diagnostics, ProgramAnalysis};
 use sling_checker::{persist, CacheStats, CheckCache, CheckCtx, EnvProfile, PersistError};
 use sling_lang::{check_program, parse_program, Location, Program, Snapshot};
 use sling_logic::{check_pred_env, parse_predicates, PredDef, PredEnv, Symbol, TypeEnv};
@@ -134,6 +135,11 @@ pub enum BuildError {
     /// A predicate definition was rejected (duplicate name, ill-formed
     /// body, non-decreasing recursion, ...).
     Predicate(String),
+    /// The static-diagnostics pass found deny-level problems: the full
+    /// findings (warnings included, for context) ride along. Produced by
+    /// the lint gate enabled via [`EngineBuilder::static_analysis`] and
+    /// by the always-on predicate-productivity check (`SL001`).
+    Rejected(Diagnostics),
 }
 
 impl fmt::Display for BuildError {
@@ -149,6 +155,14 @@ impl fmt::Display for BuildError {
             BuildError::Type(e) => write!(f, "program type error: {e}"),
             BuildError::PredicateParse(e) => write!(f, "predicate parse error: {e}"),
             BuildError::Predicate(e) => write!(f, "predicate definition error: {e}"),
+            BuildError::Rejected(diags) => {
+                write!(
+                    f,
+                    "program rejected by static diagnostics ({} error{}):\n{diags}",
+                    diags.deny_count(),
+                    if diags.deny_count() == 1 { "" } else { "s" },
+                )
+            }
         }
     }
 }
@@ -185,6 +199,7 @@ pub struct EngineBuilder {
     cache_capacity: Option<usize>,
     parallelism: Option<usize>,
     executor: Option<Executor>,
+    analysis: Option<AnalysisSettings>,
 }
 
 impl EngineBuilder {
@@ -306,6 +321,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the static-diagnostics pass (`sling-analysis`) at
+    /// `build()`: the program's control flow is analyzed before any
+    /// trace runs, deny-level findings (definite use-before-init,
+    /// unreachable snapshot locations, definite-null dereferences, ...)
+    /// fail the build with [`BuildError::Rejected`], and warnings ride
+    /// along in every report's
+    /// [`Report::static_warnings`](crate::Report) for the report's
+    /// target. The pass also feeds the inference pre-filter: statically
+    /// unreachable snapshot locations are attached to reports so an
+    /// empty inference site is explained rather than silent. Off by
+    /// default.
+    pub fn static_analysis(mut self, settings: AnalysisSettings) -> EngineBuilder {
+        self.analysis = Some(settings);
+        self
+    }
+
     /// Type-checks the program, lints the predicate environment, and
     /// finalizes the engine.
     pub fn build(self) -> Result<Engine, BuildError> {
@@ -316,8 +347,25 @@ impl EngineBuilder {
         // additionally rejects unguarded call *cycles* across
         // definitions (mutual recursion that never consumes a cell),
         // which bounded unfolding — both the checker's and the
-        // verifier's — could not terminate on.
-        check_pred_env(&self.preds).map_err(|e| BuildError::Predicate(e.to_string()))?;
+        // verifier's — could not terminate on. Its findings flow through
+        // the shared diagnostics vocabulary (`SL001`).
+        if let Err(e) = check_pred_env(&self.preds) {
+            let mut diags = Diagnostics::new();
+            diags.push(Diagnostic::from_wf_error(&e));
+            return Err(BuildError::Rejected(diags));
+        }
+        // The opt-in lint gate: deny-level findings fail the build with
+        // the *full* report (warnings included, for context); with only
+        // warnings the analysis is kept on the engine, to be surfaced in
+        // every report for its target.
+        let analysis = self
+            .analysis
+            .map(|settings| analyze_program(&program, &settings));
+        if let Some(analysis) = &analysis {
+            if analysis.diagnostics.has_deny() {
+                return Err(BuildError::Rejected(analysis.diagnostics.clone()));
+            }
+        }
         let profile = EnvProfile::new(&types, &self.preds);
         let mut config = self.config;
         if let Some(executor) = self.executor.or_else(executor_from_env) {
@@ -365,6 +413,7 @@ impl EngineBuilder {
             warm_entries: AtomicU64::new(warm_entries),
             profile,
             parallelism: self.parallelism.unwrap_or_else(default_parallelism),
+            analysis,
         })
     }
 }
@@ -484,6 +533,11 @@ pub struct Engine {
     /// predicate.
     profile: EnvProfile,
     parallelism: usize,
+    /// The static-diagnostics result computed at build time, when the
+    /// builder opted in via [`EngineBuilder::static_analysis`]. By
+    /// construction it carries no deny-level findings — those fail
+    /// `build()` — only warnings and the unreachable-location map.
+    analysis: Option<ProgramAnalysis>,
 }
 
 impl Engine {
@@ -515,6 +569,13 @@ impl Engine {
     /// The number of worker threads [`Engine::analyze_all`] may use.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// The static-diagnostics result computed at build time, when the
+    /// engine was built with [`EngineBuilder::static_analysis`]. Never
+    /// contains deny-level findings (those fail the build).
+    pub fn diagnostics(&self) -> Option<&ProgramAnalysis> {
+        self.analysis.as_ref()
     }
 
     /// The program's compiled bytecode form (one chunk per function),
@@ -620,6 +681,20 @@ impl Engine {
             workers,
         );
         report.metrics.compile_seconds = self.compile_seconds;
+        if let Some(analysis) = &self.analysis {
+            // Surface the build-time static findings scoped to this
+            // report's target: warnings ride along, and statically
+            // unreachable snapshot locations explain empty inference
+            // sites (`Report::missing_locations`).
+            report.static_warnings = analysis
+                .diagnostics
+                .warnings()
+                .filter(|d| d.function == Some(request.target))
+                .cloned()
+                .collect();
+            report.metrics.static_warnings = report.static_warnings.len();
+            report.unreachable_locations = analysis.unreachable_in(request.target).to_vec();
+        }
         report
     }
 
@@ -799,10 +874,108 @@ mod tests {
             .unwrap()
             .build()
             .unwrap_err();
+        let BuildError::Rejected(ref diags) = err else {
+            panic!("expected Rejected, got {err}");
+        };
+        assert_eq!(diags.len(), 1);
+        let diag = &diags.items[0];
+        assert_eq!(diag.code, sling_analysis::codes::UNPRODUCTIVE_PRED);
+        assert!(diag.message.contains("not productive"), "{diag}");
         assert!(
-            matches!(err, BuildError::Predicate(ref e) if e.contains("not productive")),
-            "{err}"
+            diag.notes.iter().any(|n| n.contains("->")),
+            "cycle path note expected, got {diag}"
         );
+        // The rendered error keeps the historical substring.
+        assert!(err.to_string().contains("not productive"), "{err}");
+    }
+
+    #[test]
+    fn static_analysis_gate_rejects_deny_findings_at_build() {
+        // One fixture per deny lint: definite use-before-init,
+        // unreachable snapshot location, definite-null dereference.
+        let fixtures = [
+            (
+                "fn f() -> int { var y: int; return y; }",
+                sling_analysis::codes::USE_BEFORE_INIT,
+            ),
+            (
+                "fn f() -> int { return 1; @dead; }",
+                sling_analysis::codes::UNREACHABLE_LOCATION,
+            ),
+            (
+                "struct N { next: N*; }
+                 fn f() -> N* { var x: N* = null; return x->next; }",
+                sling_analysis::codes::NULL_DEREF,
+            ),
+        ];
+        for (src, code) in fixtures {
+            let err = Engine::builder()
+                .program_source(src)
+                .unwrap()
+                .static_analysis(AnalysisSettings::default())
+                .build()
+                .unwrap_err();
+            let BuildError::Rejected(ref diags) = err else {
+                panic!("expected Rejected for {code}, got {err}");
+            };
+            assert!(
+                diags.denies().any(|d| d.code == code),
+                "expected {code} in {diags}"
+            );
+            // Without the opt-in the same program builds fine: the gate
+            // never changes default behavior.
+            assert!(Engine::builder()
+                .program_source(src)
+                .unwrap()
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn static_warnings_and_unreachable_sites_ride_in_reports() {
+        // A warning-only program: `t`'s initializer is a dead store
+        // (overwritten with no snapshot in between), which warns but
+        // does not fail the build.
+        let engine = Engine::builder()
+            .program_source(
+                "struct TNode { next: TNode*; data: int; }
+                 fn touch(x: TNode*) -> TNode* {
+                     var t: int = 0;
+                     t = 1;
+                     return x;
+                 }",
+            )
+            .unwrap()
+            .static_analysis(AnalysisSettings::default())
+            .build()
+            .unwrap();
+        let analysis = engine.diagnostics().expect("analysis was computed");
+        assert!(!analysis.diagnostics.is_empty());
+        assert!(!analysis.diagnostics.has_deny());
+        let report = engine
+            .analyze(
+                &AnalysisRequest::new("touch").input(crate::InputSpec::seeded(1).arg(
+                    crate::ValueSpec::sll(
+                        sling_lang::ListLayout {
+                            ty: Symbol::intern("TNode"),
+                            nfields: 2,
+                            next: 0,
+                            prev: None,
+                            data: Some(1),
+                        },
+                        2,
+                    ),
+                )),
+            )
+            .unwrap();
+        assert!(!report.static_warnings.is_empty());
+        assert_eq!(report.metrics.static_warnings, report.static_warnings.len());
+        assert!(report
+            .static_warnings
+            .iter()
+            .all(|d| d.function == Some(Symbol::intern("touch"))));
+        assert!(report.unreachable_locations.is_empty());
     }
 
     #[test]

@@ -136,6 +136,10 @@ pub use report::{
     BatchReport, Invariant, InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics,
 };
 pub use request::{AnalysisRequest, InputBuilder, InputSource};
+pub use sling_analysis::{
+    analyze_program, codes as lint_codes, AnalysisSettings, Diagnostic, Diagnostics,
+    ProgramAnalysis, Severity,
+};
 pub use spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 pub use split::{split_heap, BoundaryItem, Split};
 pub use validate::validate_frame;

@@ -337,6 +337,10 @@ fn run_target_once(
             ..Default::default()
         },
         cache: Default::default(),
+        // Filled in by the engine when it carries a build-time static
+        // analysis; the raw pipeline has none.
+        static_warnings: Vec::new(),
+        unreachable_locations: Vec::new(),
     }
 }
 

@@ -7,6 +7,7 @@
 //! the re-exported [`CacheStats`].
 
 use crate::collect::Executor;
+use sling_analysis::Diagnostic;
 use sling_checker::CacheStats;
 use sling_lang::Location;
 use sling_logic::{SymHeap, Symbol};
@@ -136,6 +137,10 @@ pub struct RunMetrics {
     pub compile_seconds: f64,
     /// The execution tier that collected this report's traces.
     pub executor: Executor,
+    /// Warning-level static-diagnostics findings for the target function
+    /// (the count of [`Report::static_warnings`]). Zero unless the engine
+    /// was built with [`crate::EngineBuilder::static_analysis`].
+    pub static_warnings: usize,
 }
 
 /// The full analysis result for one target function.
@@ -158,12 +163,33 @@ pub struct Report {
     /// left zeroed and [`BatchReport::cache`] is the authoritative
     /// accounting.
     pub cache: CacheStats,
+    /// Warning-level findings the static-diagnostics pass attributed to
+    /// the target function. Empty unless the engine was built with
+    /// [`crate::EngineBuilder::static_analysis`] (deny-level findings
+    /// never reach a report: they fail the build).
+    pub static_warnings: Vec<Diagnostic>,
+    /// Declared snapshot locations the static pass proved unreachable:
+    /// the explanation for an empty inference site. A location listed
+    /// here appears in `declared_locations` but never in `locations`.
+    pub unreachable_locations: Vec<Location>,
 }
 
 impl Report {
     /// The analysis at `loc`, if any model reached it.
     pub fn at(&self, loc: Location) -> Option<&LocationAnalysis> {
         self.locations.iter().find(|r| r.location == loc)
+    }
+
+    /// Declared locations with no analysis entry, each paired with
+    /// `true` when the static pass proved the location unreachable
+    /// (the site is *necessarily* empty) or `false` when no model
+    /// happened to reach it on these inputs.
+    pub fn missing_locations(&self) -> Vec<(Location, bool)> {
+        self.declared_locations
+            .iter()
+            .filter(|loc| self.at(**loc).is_none())
+            .map(|loc| (*loc, self.unreachable_locations.contains(loc)))
+            .collect()
     }
 
     /// Total invariants across locations.

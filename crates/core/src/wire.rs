@@ -7,10 +7,10 @@
 //! space-separated tokens, opened by the protocol tag [`WIRE_VERSION`]
 //! and a frame kind, followed by the typed payload.
 //!
-//! # Grammar (version `sling5`)
+//! # Grammar (version `sling6`)
 //!
 //! ```text
-//! frame      := "sling5" SP kind SP payload          ; one line, LF-terminated on the wire
+//! frame      := "sling6" SP kind SP payload          ; one line, LF-terminated on the wire
 //! token      := atom | string | integer
 //! atom       := [^ "\n]+                             ; bare word (tags, numbers)
 //! string     := '"' escaped* '"'                     ; \\ \" \n \r \t escapes
@@ -50,9 +50,13 @@
 //! metrics    := traces:u64 runs:u64 faulted:u64 workers:u64 seconds:f64bits
 //!               verified:u64 refuted:u64 confirmed:u64 unknown:u64
 //!               refuted0:u64 cegir:u64 vseconds:f64bits cseconds:f64bits
-//!               bseconds:f64bits executor:("bytecode"|"treewalk")
+//!               bseconds:f64bits executor:("bytecode"|"treewalk") swarnings:u64
 //! cache      := hits:u64 warm:u64 misses:u64 entries:u64 evictions:u64 resident:u64
+//! severity   := "warn" | "deny"
+//! diagnostic := code:string severity ("-" | "f" fn:string) lo:u64 hi:u64
+//!               message:string nnotes:u64 note:string*
 //! report     := target:string metrics cache ndecl:u64 location* nlocs:u64 locreport*
+//!               nwarn:u64 diagnostic* nunreach:u64 location*
 //! ```
 //!
 //! Formulas travel as their [`Display`](std::fmt::Display) text and are re-parsed with
@@ -80,8 +84,9 @@
 
 use std::fmt;
 
+use sling_analysis::{Diagnostic, Severity};
 use sling_lang::{DataOrder, ListLayout, Location, TreeKind, TreeLayout};
-use sling_logic::{parse_formula, Symbol};
+use sling_logic::{parse_formula, Span, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
 
 use crate::collect::Executor;
@@ -94,7 +99,11 @@ use crate::spec::{ExactCell, ExactVal, InputSpec, ValueSpec};
 use crate::CacheStats;
 
 /// Protocol tag opening every frame; bump on any grammar change.
-/// (`sling5` added the per-request config-override slot to `request`
+/// (`sling6` added the static-diagnostics payloads: the `diagnostic`
+/// production, the warning count in `metrics`, the warning and
+/// unreachable-location lists in `report` — and, in the serve layer,
+/// the `rejected` frame the upload gate answers hostile programs with;
+/// `sling5` added the per-request config-override slot to `request`
 /// frames — and, in the serve layer, program-upload slots on `analyze`
 /// frames plus pool statistics on `hello`/`done`; `sling4` extended
 /// `metrics` with the collection/compile timings and the executor tag;
@@ -103,7 +112,7 @@ use crate::CacheStats;
 /// `sling2` extended `cachestats` with eviction and residency
 /// counters. Older peers are rejected with [`WireError::Version`]
 /// rather than misparsed.)
-pub const WIRE_VERSION: &str = "sling5";
+pub const WIRE_VERSION: &str = "sling6";
 
 /// Why a wire frame could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -899,6 +908,62 @@ fn read_location_analysis(r: &mut WireReader<'_>) -> Result<LocationAnalysis, Wi
     })
 }
 
+/// Writes one static [`Diagnostic`] into an open frame (the
+/// `diagnostic` production). Also used by the serve layer's `rejected`
+/// frames.
+pub fn write_diagnostic(w: &mut WireWriter, d: &Diagnostic) {
+    w.text(&d.code);
+    w.atom(match d.severity {
+        Severity::Warning => "warn",
+        Severity::Deny => "deny",
+    });
+    match d.function {
+        None => w.atom("-"),
+        Some(func) => {
+            w.atom("f");
+            w.text(&func.to_string());
+        }
+    }
+    w.u64(u64::from(d.span.lo));
+    w.u64(u64::from(d.span.hi));
+    w.text(&d.message);
+    w.u64(d.notes.len() as u64);
+    for note in &d.notes {
+        w.text(note);
+    }
+}
+
+/// Reads one static [`Diagnostic`] from an open frame.
+pub fn read_diagnostic(r: &mut WireReader<'_>) -> Result<Diagnostic, WireError> {
+    let code = r.text()?;
+    let severity = match r.atom()? {
+        "warn" => Severity::Warning,
+        "deny" => Severity::Deny,
+        other => return Err(syntax(format!("bad severity `{other}`"))),
+    };
+    let function = match r.atom()? {
+        "-" => None,
+        "f" => Some(Symbol::intern(&r.text()?)),
+        other => return Err(syntax(format!("bad diagnostic function tag `{other}`"))),
+    };
+    let lo = read_u32(r)?;
+    let hi = read_u32(r)?;
+    let message = r.text()?;
+    let nnotes = r.usize()?;
+    let mut notes = Vec::with_capacity(nnotes.min(1 << 16));
+    for _ in 0..nnotes {
+        notes.push(r.text()?);
+    }
+    Ok(Diagnostic {
+        code,
+        severity,
+        function,
+        span: Span::new(lo, hi),
+        message,
+        notes,
+    })
+}
+
 /// Writes [`RunMetrics`] into an open frame.
 pub fn write_metrics(w: &mut WireWriter, m: &RunMetrics) {
     w.u64(m.traces as u64);
@@ -916,6 +981,7 @@ pub fn write_metrics(w: &mut WireWriter, m: &RunMetrics) {
     w.f64(m.collect_seconds);
     w.f64(m.compile_seconds);
     w.atom(&m.executor.to_string());
+    w.u64(m.static_warnings as u64);
 }
 
 /// Reads [`RunMetrics`] from an open frame.
@@ -940,6 +1006,7 @@ pub fn read_metrics(r: &mut WireReader<'_>) -> Result<RunMetrics, WireError> {
             Executor::parse(name)
                 .ok_or_else(|| WireError::Syntax(format!("unknown executor {name:?}")))?
         },
+        static_warnings: r.usize()?,
     })
 }
 
@@ -978,6 +1045,14 @@ pub fn write_report(w: &mut WireWriter, report: &Report) {
     for loc in &report.locations {
         write_location_analysis(w, loc);
     }
+    w.u64(report.static_warnings.len() as u64);
+    for d in &report.static_warnings {
+        write_diagnostic(w, d);
+    }
+    w.u64(report.unreachable_locations.len() as u64);
+    for loc in &report.unreachable_locations {
+        write_location(w, *loc);
+    }
 }
 
 /// Reads one [`Report`] from an open frame.
@@ -995,12 +1070,24 @@ pub fn read_report(r: &mut WireReader<'_>) -> Result<Report, WireError> {
     for _ in 0..nlocs {
         locations.push(read_location_analysis(r)?);
     }
+    let nwarn = r.usize()?;
+    let mut static_warnings = Vec::with_capacity(nwarn.min(1 << 16));
+    for _ in 0..nwarn {
+        static_warnings.push(read_diagnostic(r)?);
+    }
+    let nunreach = r.usize()?;
+    let mut unreachable_locations = Vec::with_capacity(nunreach.min(1 << 16));
+    for _ in 0..nunreach {
+        unreachable_locations.push(read_location(r)?);
+    }
     Ok(Report {
         target,
         locations,
         declared_locations,
         metrics,
         cache,
+        static_warnings,
+        unreachable_locations,
     })
 }
 
@@ -1267,6 +1354,7 @@ mod tests {
             collect_seconds: 0.1 + 0.4,
             compile_seconds: 1e-7 + 3e-8,
             executor: Executor::Treewalk,
+            static_warnings: 6,
         };
         let mut w = WireWriter::new();
         write_metrics(&mut w, &metrics);
@@ -1347,6 +1435,67 @@ mod tests {
             decode_report(&w.finish()),
             Err(WireError::Formula(_))
         ));
+    }
+
+    #[test]
+    fn diagnostics_round_trip_with_hostile_payloads() {
+        use sling_analysis::codes;
+        let zoo = [
+            Diagnostic::new(codes::DEAD_STORE, Severity::Warning, "plain warning"),
+            Diagnostic::new(
+                codes::UNPRODUCTIVE_PRED,
+                Severity::Deny,
+                "message with \"quotes\"\nand newlines",
+            )
+            .in_function(Symbol::intern("evil \"fn\" name"))
+            .with_note("first note")
+            .with_note("cycle: a -> b -> a"),
+            Diagnostic::new(codes::NULL_DEREF, Severity::Deny, "")
+                .with_span(Span::new(7, u32::MAX)),
+        ];
+        for d in &zoo {
+            let mut w = WireWriter::new();
+            write_diagnostic(&mut w, d);
+            let line = w.finish();
+            let mut r = WireReader::new(&line);
+            let back = read_diagnostic(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(&back, d);
+        }
+        // Bad severity and function tags are typed syntax errors.
+        let mut w = WireWriter::new();
+        write_diagnostic(&mut w, &zoo[0]);
+        let bad = w.finish().replacen(" warn ", " fatal ", 1);
+        assert!(matches!(
+            read_diagnostic(&mut WireReader::new(&bad)),
+            Err(WireError::Syntax(e)) if e.contains("fatal")
+        ));
+    }
+
+    #[test]
+    fn reports_with_static_findings_round_trip() {
+        let mut report = sample_report();
+        report.static_warnings = vec![Diagnostic::new(
+            sling_analysis::codes::DEAD_STORE,
+            Severity::Warning,
+            "initializer of `c` is never used",
+        )
+        .in_function(Symbol::intern("walk"))
+        .with_span(Span::new(100, 120))
+        .with_note("no later statement or snapshot location observes this value")];
+        report.metrics.static_warnings = 1;
+        report.unreachable_locations =
+            vec![Location::Label(Symbol::intern("dead")), Location::Exit(1)];
+        let back = decode_report(&encode_report(&report)).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{report:?}"));
+        assert_eq!(
+            back.missing_locations()
+                .iter()
+                .filter(|(_, unreachable)| *unreachable)
+                .count(),
+            0,
+            "sample's declared locations are all reachable"
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use interp::{RtError, RtHeap, Vm, VmConfig};
 pub use lexer::{lex as lex_minic, MiniLexError, Tok};
 pub use parser::{parse_program, MiniParseError};
 pub use testgen::{
-    gen_circular_list, gen_list, gen_tree, DataOrder, ListLayout, TreeKind, TreeLayout,
+    gen_circular_list, gen_list, gen_program, gen_tree, DataOrder, ListLayout, TreeKind, TreeLayout,
 };
 pub use trace::{Location, Snapshot, TraceConfig, Tracer};
 pub use types::{check_program, TypeError};

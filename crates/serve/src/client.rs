@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use sling::wire::WireError;
-use sling::{AnalysisRequest, BatchReport, Report};
+use sling::{AnalysisRequest, BatchReport, Diagnostics, Report};
 
 use crate::proto::{ClientFrame, FrameBuffer, PoolStats, ProgramUpload, ServerFrame, VerifyTotals};
 
@@ -22,6 +22,10 @@ pub enum ServeError {
     Protocol(String),
     /// The server reported a failure (`error` frame).
     Remote(String),
+    /// The uploaded program failed the server's static diagnostics gate
+    /// (`rejected` frame): the structured findings travel typed, so the
+    /// caller can act on lint codes and spans.
+    Rejected(Diagnostics),
     /// The server is at its connection bound (`busy` frame) and closed
     /// the connection; retrying later — [`Client::connect_retry`] does —
     /// is the expected recovery.
@@ -41,6 +45,12 @@ impl fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "serve frame error: {e}"),
             ServeError::Protocol(why) => write!(f, "serve protocol violation: {why}"),
             ServeError::Remote(why) => write!(f, "server rejected the batch: {why}"),
+            ServeError::Rejected(diags) => write!(
+                f,
+                "server rejected the uploaded program ({} finding{}):\n{diags}",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" },
+            ),
             ServeError::Busy { active, max } => write!(
                 f,
                 "server is at its connection bound ({active}/{max}); retry later"
@@ -234,8 +244,10 @@ impl Client {
     /// [`Client::analyze_all`] against an uploaded program: the server
     /// resolves `upload` in its engine pool (building on first sight,
     /// reusing after), then serves the batch against that engine. A
-    /// build failure — parse, typecheck, productivity lint — comes back
-    /// as [`ServeError::Remote`]; the connection stays usable.
+    /// static-diagnostics rejection comes back typed as
+    /// [`ServeError::Rejected`] with the structured findings; other
+    /// build failures — parse, typecheck — as [`ServeError::Remote`].
+    /// Either way the connection stays usable.
     pub fn analyze_all_uploaded(
         &mut self,
         upload: &ProgramUpload,
@@ -335,6 +347,12 @@ impl Client {
                     self.verify_totals = verify;
                     self.pool_stats = pool;
                     return Ok(BatchReport { reports, cache });
+                }
+                ServerFrame::Rejected {
+                    id: got,
+                    diagnostics,
+                } if got == id => {
+                    return Err(ServeError::Rejected(diagnostics));
                 }
                 ServerFrame::Error { id: got, message } if got == id || got == 0 => {
                     return Err(ServeError::Remote(message));

@@ -353,6 +353,7 @@ fn main() -> ExitCode {
         config,
         parallelism: args.parallelism,
         cache_capacity: args.cache_cap,
+        analysis: Some(sling::AnalysisSettings::default()),
     };
     let pool_cap = args.pool_cap.unwrap_or(DEFAULT_POOL_CAPACITY);
     let pool = EnginePool::new(engine, pool_cap, settings);

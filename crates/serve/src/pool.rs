@@ -5,8 +5,13 @@
 //! either names the pre-warmed default tenant (no upload) or carries a
 //! [`ProgramUpload`], which the pool resolves to a built engine —
 //! reusing one built for an identical upload, or running the full build
-//! pipeline (parse → typecheck → productivity lint → bytecode compile)
-//! on a miss. Residency is bounded: past the cap, the least-recently-
+//! pipeline (parse → typecheck → static diagnostics → productivity lint
+//! → bytecode compile) on a miss. Uploaded programs pass the
+//! [`sling::AnalysisSettings`] lint gate by default — a tenant is
+//! untrusted source, and deny-level findings (use-before-init,
+//! unreachable snapshot locations, definite-null dereferences) reject
+//! the upload with the structured findings instead of pooling an engine
+//! that would fault or silently under-infer. Residency is bounded: past the cap, the least-recently-
 //! used engine is evicted (its entailment cache and compiled chunks go
 //! with it; a returning tenant rebuilds and counts a miss).
 //!
@@ -23,14 +28,14 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use sling::{BuildError, Engine, SlingConfig};
+use sling::{AnalysisSettings, BuildError, Engine, SlingConfig};
 
 use crate::proto::{PoolStats, ProgramUpload};
 
 /// Build-time settings every pool-built engine shares. (The default
 /// tenant keeps whatever it was built with; per-request [`SlingConfig`]
 /// overrides ride on the requests themselves and need no rebuild.)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PoolSettings {
     /// Base [`SlingConfig`] for uploaded tenants (requests may still
     /// override it per-request).
@@ -41,6 +46,21 @@ pub struct PoolSettings {
     /// Entailment-cache entry bound per built engine; `None` keeps the
     /// engine default.
     pub cache_capacity: Option<usize>,
+    /// Static-diagnostics settings applied to every upload before an
+    /// engine is pooled for it. Defaults to the full lint suite — an
+    /// upload is untrusted source; set `None` to run uploads ungated.
+    pub analysis: Option<AnalysisSettings>,
+}
+
+impl Default for PoolSettings {
+    fn default() -> PoolSettings {
+        PoolSettings {
+            config: SlingConfig::default(),
+            parallelism: None,
+            cache_capacity: None,
+            analysis: Some(AnalysisSettings::default()),
+        }
+    }
 }
 
 /// Why the pool could not produce an engine for a batch.
@@ -50,7 +70,9 @@ pub enum PoolError {
     /// one (`sling-serve` without `--program`/`--corpus`).
     NoDefault,
     /// The uploaded sources failed the build pipeline (parse, typecheck,
-    /// predicate productivity lint, ...).
+    /// predicate productivity lint, static diagnostics gate, ...). A
+    /// [`BuildError::Rejected`] inside carries the structured findings
+    /// the serve layer forwards as a `rejected` frame.
     Build(BuildError),
 }
 
@@ -248,6 +270,9 @@ impl EnginePool {
             .program_source(&upload.program)?
             .predicates_source(&upload.predicates)?
             .config(self.settings.config);
+        if let Some(settings) = self.settings.analysis {
+            builder = builder.static_analysis(settings);
+        }
         if let Some(workers) = self.settings.parallelism {
             builder = builder.parallelism(workers);
         }
@@ -377,6 +402,39 @@ mod tests {
         pool.resolve(Some(&corpus("PoolOk"))).expect("healthy pool");
         let stats = pool.stats();
         assert_eq!(stats.resident, 1);
+    }
+
+    #[test]
+    fn lint_gate_rejects_hostile_uploads_by_default() {
+        let pool = EnginePool::new(None, 4, PoolSettings::default());
+        // Use-before-init: `y` is read on every path without ever being
+        // written. The default settings deny this at build time.
+        let hostile = ProgramUpload {
+            program: "fn f() -> int { var y: int; return y; }".into(),
+            predicates: String::new(),
+        };
+        match pool.resolve(Some(&hostile)) {
+            Err(PoolError::Build(sling::BuildError::Rejected(diags))) => {
+                assert!(diags.has_deny());
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == sling::lint_codes::USE_BEFORE_INIT));
+            }
+            other => panic!("expected a rejected build, got {other:?}"),
+        }
+
+        // Opting out of the gate lets the same upload build.
+        let ungated = EnginePool::new(
+            None,
+            4,
+            PoolSettings {
+                analysis: None,
+                ..PoolSettings::default()
+            },
+        );
+        ungated
+            .resolve(Some(&hostile))
+            .expect("ungated pool builds the lint-dirty upload");
     }
 
     #[test]

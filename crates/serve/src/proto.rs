@@ -5,14 +5,15 @@
 //! client frames stream results:
 //!
 //! ```text
-//! client → server   sling5 analyze <id:u64> tenant <n:u64> request*
-//! client → server   sling5 ping
-//! server → client   sling5 hello <warm_entries:u64> <parallelism:u64> poolstats ; on connect
-//! server → client   sling5 busy <active:u64> <max:u64>                  ; on connect, saturated
-//! server → client   sling5 pong
-//! server → client   sling5 report <id:u64> <index:u64> report           ; completion order
-//! server → client   sling5 done <id:u64> <nreports:u64> cachestats verifytotals poolstats
-//! server → client   sling5 error <id:u64> <message:string>              ; id 0 = unattributable
+//! client → server   sling6 analyze <id:u64> tenant <n:u64> request*
+//! client → server   sling6 ping
+//! server → client   sling6 hello <warm_entries:u64> <parallelism:u64> poolstats ; on connect
+//! server → client   sling6 busy <active:u64> <max:u64>                  ; on connect, saturated
+//! server → client   sling6 pong
+//! server → client   sling6 report <id:u64> <index:u64> report           ; completion order
+//! server → client   sling6 done <id:u64> <nreports:u64> cachestats verifytotals poolstats
+//! server → client   sling6 rejected <id:u64> <n:u64> diagnostic*        ; upload failed the gate
+//! server → client   sling6 error <id:u64> <message:string>              ; id 0 = unattributable
 //!
 //! tenant       := "-"                                  ; the daemon's default engine
 //!               | "upload" program:string predicates:string
@@ -20,6 +21,9 @@
 //! verifytotals := verified:u64 refuted:u64 confirmed:u64 unknown:u64
 //!                 refuted0:u64 cegir:u64 vseconds:f64
 //! ```
+//!
+//! (`diagnostic` is the [`sling::wire`] production carrying one static
+//! finding: code, severity, function, span, message, notes.)
 //!
 //! `id` is a client-chosen correlation number echoed on every frame of
 //! the batch's response, so one connection can distinguish interleaved
@@ -30,8 +34,12 @@
 //! The `tenant` slot is what makes the daemon multi-tenant: an `upload`
 //! carries MiniC program and predicate-library source, and the server
 //! resolves it against its engine pool — building on miss, reusing on
-//! hit — before running the batch. A batch whose upload fails to build
-//! (parse, typecheck, productivity lint) gets a typed `error` frame and
+//! hit — before running the batch. Every upload passes the static
+//! diagnostics gate before pooling: a program with deny-level findings
+//! (use-before-init, unreachable snapshot locations, definite-null
+//! dereferences, unproductive predicate cycles) is answered with a
+//! typed `rejected` frame carrying the structured findings. Other build
+//! failures (parse, typecheck) get a plain `error` frame. Either way
 //! the connection stays healthy. `poolstats` on `hello` and `done` make
 //! the pool's behaviour (hits, misses, LRU evictions, residency against
 //! the cap) observable on the wire.
@@ -39,7 +47,7 @@
 use std::io::{self, Read};
 
 use sling::wire::{self, WireError, WireReader, WireWriter};
-use sling::{AnalysisRequest, CacheStats, Report};
+use sling::{AnalysisRequest, CacheStats, Diagnostics, Report};
 
 /// Verification-grade totals for a whole batch, summed over every
 /// report's [`RunMetrics`](sling::RunMetrics) and carried on the `done`
@@ -298,6 +306,16 @@ pub enum ServerFrame {
         /// Engine-pool counters through this batch.
         pool: PoolStats,
     },
+    /// Batch `id`'s upload failed the static diagnostics gate: the
+    /// program carries deny-level findings and no engine was pooled for
+    /// it. The structured findings travel typed, so clients can act on
+    /// codes and spans instead of parsing prose.
+    Rejected {
+        /// Correlation id of the batch.
+        id: u64,
+        /// The findings (deny-level and any accompanying warnings).
+        diagnostics: Diagnostics,
+    },
     /// Batch `id` (0 = unattributable) failed.
     Error {
         /// Correlation id, when it could be read.
@@ -345,6 +363,15 @@ impl ServerFrame {
                 pool.write(&mut w);
                 w.finish()
             }
+            ServerFrame::Rejected { id, diagnostics } => {
+                let mut w = WireWriter::frame("rejected");
+                w.u64(*id);
+                w.u64(diagnostics.len() as u64);
+                for d in diagnostics.iter() {
+                    wire::write_diagnostic(&mut w, d);
+                }
+                w.finish()
+            }
             ServerFrame::Error { id, message } => {
                 let mut w = WireWriter::frame("error");
                 w.u64(*id);
@@ -380,6 +407,15 @@ impl ServerFrame {
                 verify: VerifyTotals::read(&mut r)?,
                 pool: PoolStats::read(&mut r)?,
             },
+            "rejected" => {
+                let id = r.u64()?;
+                let count = r.usize()?;
+                let mut diagnostics = Diagnostics::new();
+                for _ in 0..count {
+                    diagnostics.push(wire::read_diagnostic(&mut r)?);
+                }
+                ServerFrame::Rejected { id, diagnostics }
+            }
             "error" => ServerFrame::Error {
                 id: r.u64()?,
                 message: r.text()?,
@@ -627,6 +663,41 @@ mod tests {
         .encode();
         match ServerFrame::decode(&done).unwrap() {
             ServerFrame::Done { pool: back, .. } => assert_eq!(back, pool),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejected_frame_round_trips_structured_diagnostics() {
+        use sling::{lint_codes, Diagnostic, Severity};
+        let mut diagnostics = Diagnostics::new();
+        diagnostics.push(
+            Diagnostic::new(
+                lint_codes::USE_BEFORE_INIT,
+                Severity::Deny,
+                "variable `y` is used before it is initialized",
+            )
+            .in_function(sling_logic::Symbol::intern("f"))
+            .with_span(sling_logic::Span::new(20, 29)),
+        );
+        diagnostics.push(
+            Diagnostic::new(lint_codes::UNUSED_VAR, Severity::Warning, "never read")
+                .with_note("context note"),
+        );
+        let line = ServerFrame::Rejected {
+            id: 11,
+            diagnostics: diagnostics.clone(),
+        }
+        .encode();
+        match ServerFrame::decode(&line).unwrap() {
+            ServerFrame::Rejected {
+                id,
+                diagnostics: back,
+            } => {
+                assert_eq!(id, 11);
+                assert_eq!(back, diagnostics);
+                assert!(back.has_deny());
+            }
             other => panic!("decoded {other:?}"),
         }
     }

@@ -137,6 +137,7 @@ impl Service {
             config: *engine.config(),
             parallelism: Some(engine.parallelism()),
             cache_capacity: None,
+            analysis: Some(sling::AnalysisSettings::default()),
         };
         let capacity = options.pool_capacity.unwrap_or(DEFAULT_POOL_CAPACITY);
         Service::bind_pool(
@@ -422,11 +423,16 @@ fn serve_frame(line: &str, shared: &Shared, writer: &Mutex<TcpStream>) -> bool {
             requests,
         }) => {
             // Resolve the tenant first: a missing default or a build
-            // failure (parse, typecheck, productivity lint) fails this
-            // batch with a typed error and leaves the connection — and
-            // the pool — healthy for the next frame.
+            // failure fails this batch and leaves the connection — and
+            // the pool — healthy for the next frame. Static-diagnostics
+            // rejections carry their structured findings in a typed
+            // `rejected` frame; everything else (parse, typecheck) is a
+            // plain `error` frame.
             let engine = match shared.pool.resolve(upload.as_ref()) {
                 Ok(engine) => engine,
+                Err(crate::pool::PoolError::Build(sling::BuildError::Rejected(diagnostics))) => {
+                    return send(writer, &ServerFrame::Rejected { id, diagnostics }).is_ok();
+                }
                 Err(e) => return send_error(writer, id, &e.to_string()),
             };
             // Stream each report the moment its request completes; the

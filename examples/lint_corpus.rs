@@ -1,0 +1,109 @@
+//! The corpus lint gate: runs the static diagnostics pass
+//! (`sling-analysis`, the same lints `EngineBuilder::static_analysis`
+//! and the serve upload gate enforce) over every benchmark and fails
+//! if any *deny* finding appears — the corpus must always build under
+//! the strictest gate. Warnings are tolerated only where expected: the
+//! five seeded-bug `∗` programs carry a snapshot of their warning
+//! fingerprints below, and any drift (a new warning anywhere, or a
+//! snapshotted one disappearing without this file being updated) fails
+//! the gate too.
+//!
+//! ```sh
+//! cargo run --release -p sling-examples --example lint_corpus
+//! # optional bench-name substring filters:
+//! cargo run --release -p sling-examples --example lint_corpus -- sll
+//! ```
+//!
+//! Exit status: 0 when the corpus is lint-clean (modulo the snapshot),
+//! 1 on any deny finding or warning drift, 2 on misuse.
+
+use sling::{analyze_program, AnalysisSettings, Severity};
+use sling_lang::{check_program, parse_program};
+use sling_suite::corpus::all_benches;
+
+/// Expected warnings, one `"bench-name code function"` fingerprint per
+/// finding. Add a fingerprint here (with a justification) only when a
+/// benchmark *must* warn — a seeded-bug or paper-verbatim program whose
+/// finding is the bug.
+const EXPECTED_WARNINGS: &[&str] = &[
+    // The §5.4 bug-explanation program, verbatim from the paper: the
+    // seeded bug comments out `j = k;`, so `j` is never read — but the
+    // tracer still snapshots it at `@inv` and the expected invariant
+    // names it, so the variable must stay.
+    "afwp_dll/dll_fix SA004 dll_fix",
+];
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<_> = all_benches()
+        .into_iter()
+        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.name.contains(f.as_str())))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("no benchmark matches {filters:?}");
+        std::process::exit(2);
+    }
+
+    let settings = AnalysisSettings::default();
+    let mut denies = 0usize;
+    let mut warnings: Vec<String> = Vec::new();
+    for bench in &benches {
+        let program = match parse_program(bench.source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: parse error: {e}", bench.name);
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = check_program(&program) {
+            eprintln!("{}: type error: {e}", bench.name);
+            std::process::exit(1);
+        }
+        let analysis = analyze_program(&program, &settings);
+        for d in analysis.diagnostics.iter() {
+            let fn_name = d.function.map(|f| f.to_string()).unwrap_or_default();
+            match d.severity {
+                Severity::Deny => {
+                    denies += 1;
+                    eprintln!(
+                        "{}: DENY [{}] {} ({})",
+                        bench.name, d.code, d.message, fn_name
+                    );
+                }
+                Severity::Warning => {
+                    let fingerprint = format!("{} {} {}", bench.name, d.code, fn_name);
+                    eprintln!("{}: warning [{}] {}", bench.name, d.code, d.message);
+                    warnings.push(fingerprint);
+                }
+            }
+        }
+    }
+
+    let unexpected: Vec<_> = warnings
+        .iter()
+        .filter(|w| !EXPECTED_WARNINGS.contains(&w.as_str()))
+        .collect();
+    let missing: Vec<_> = EXPECTED_WARNINGS
+        .iter()
+        .filter(|e| filters.is_empty() && !warnings.iter().any(|w| w == *e))
+        .collect();
+
+    println!(
+        "corpus lint: {} benchmark(s), {} deny finding(s), {} warning(s) \
+         ({} unexpected, {} snapshotted-but-gone)",
+        benches.len(),
+        denies,
+        warnings.len(),
+        unexpected.len(),
+        missing.len(),
+    );
+    if denies > 0 || !unexpected.is_empty() || !missing.is_empty() {
+        for w in unexpected {
+            eprintln!("unexpected warning: {w}");
+        }
+        for e in missing {
+            eprintln!("snapshotted warning no longer fires: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Tenant-isolation blitz for the multi-tenant engine pool: one daemon
 //! with no baked-in program serves many concurrent clients, each
-//! uploading its own program over `sling5`. Every tenant's reports must
+//! uploading its own program over `sling6`. Every tenant's reports must
 //! be formula-identical to an in-process run of the same program —
 //! zero cross-tenant bleed — with the pool's hit/miss/eviction
 //! counters observable on the wire, hostile uploads answered with
@@ -189,9 +189,10 @@ fn identical_uploads_share_one_engine_and_its_cache() {
 
 #[test]
 fn hostile_uploads_fail_typed_and_leave_the_pool_healthy() {
-    // Parse failure, type failure, and a productivity-lint failure each
-    // fail *their own batch* with a typed Remote error; the connection
-    // and the pool serve the next request as if nothing happened.
+    // Parse and type failures each fail *their own batch* with a typed
+    // Remote error, a productivity-lint failure with a typed Rejected
+    // frame carrying the structured finding; the connection and the
+    // pool serve the next request as if nothing happened.
     let corpus = ListCorpus::new("MtHostileNode");
     let good = upload_for(&corpus);
     let service = empty_daemon(4);
@@ -215,11 +216,7 @@ fn hostile_uploads_fail_typed_and_leave_the_pool_healthy() {
     };
 
     let probe = AnalysisRequest::new("reverse").input(InputSpec::seeded(1).arg(ValueSpec::nil()));
-    for (what, hostile) in [
-        ("parse", &parse_fail),
-        ("type", &type_fail),
-        ("lint", &lint_fail),
-    ] {
+    for (what, hostile) in [("parse", &parse_fail), ("type", &type_fail)] {
         match client.analyze_all_uploaded(hostile, std::slice::from_ref(&probe)) {
             Err(ServeError::Remote(message)) => {
                 assert!(message.contains("failed to build"), "{what}: {message}");
@@ -229,6 +226,20 @@ fn hostile_uploads_fail_typed_and_leave_the_pool_healthy() {
         // Same connection, next request: a good upload still serves.
         client.ping().expect("connection survives the rejection");
     }
+    // The productivity lint is a structured diagnostic since sling6: the
+    // batch fails with a typed `rejected` frame, not a stringly error.
+    match client.analyze_all_uploaded(&lint_fail, std::slice::from_ref(&probe)) {
+        Err(ServeError::Rejected(diags)) => {
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.code == sling::lint_codes::UNPRODUCTIVE_PRED),
+                "lint: SL001 missing from:\n{diags}"
+            );
+        }
+        other => panic!("lint failure must be Rejected, got {other:?}"),
+    }
+    client.ping().expect("connection survives the rejection");
     let served = client
         .analyze_all_uploaded(&good, &corpus.batch(1))
         .expect("good upload after three hostile ones");

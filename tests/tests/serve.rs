@@ -185,42 +185,43 @@ fn malformed_frames_get_typed_errors_not_dropped_connections() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling5 hello "), "{line:?}");
+    assert!(line.starts_with("sling6 hello "), "{line:?}");
 
     let bad_frames = [
         "complete nonsense\n",
-        "sling9 analyze 1 - 0\n",             // wrong protocol version
-        "sling2 ping\n",                      // previous protocol version
-        "sling4 analyze 1 1 \"reverse\" 0\n", // pre-upload protocol version
-        "sling5 frobnicate 1\n",              // unknown frame kind
-        "sling5 analyze 6 steal 0\n",         // unknown tenant tag
-        "sling5 analyze 7 - 1 \"no_such_fn\" - 0\n", // decodes, but unknown target
-        "sling5 analyze 8 - 2 \"reverse\" - 0\n", // truncated batch
-        "sling5 analyze 9 - 1 \"reverse\" - 1 zz 0\n", // bad integer token
+        "sling9 analyze 1 - 0\n",                 // wrong protocol version
+        "sling2 ping\n",                          // previous protocol version
+        "sling4 analyze 1 1 \"reverse\" 0\n",     // pre-upload protocol version
+        "sling5 analyze 5 - 1 \"reverse\" - 0\n", // pre-diagnostics protocol version
+        "sling6 frobnicate 1\n",                  // unknown frame kind
+        "sling6 analyze 6 steal 0\n",             // unknown tenant tag
+        "sling6 analyze 7 - 1 \"no_such_fn\" - 0\n", // decodes, but unknown target
+        "sling6 analyze 8 - 2 \"reverse\" - 0\n", // truncated batch
+        "sling6 analyze 9 - 1 \"reverse\" - 1 zz 0\n", // bad integer token
     ];
     for frame in bad_frames {
         writer.write_all(frame.as_bytes()).expect("write");
         line.clear();
         reader.read_line(&mut line).expect("error response");
         assert!(
-            line.starts_with("sling5 error "),
+            line.starts_with("sling6 error "),
             "bad frame {frame:?} must be answered with an error frame, \
              got {line:?}"
         );
     }
     // Correlation ids are salvaged when readable.
     writer
-        .write_all(b"sling5 analyze 42 - 1 \"reverse\" oops\n")
+        .write_all(b"sling6 analyze 42 - 1 \"reverse\" oops\n")
         .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("error response");
-    assert!(line.starts_with("sling5 error 42 "), "{line:?}");
+    assert!(line.starts_with("sling6 error 42 "), "{line:?}");
 
     // The connection still serves real work.
-    writer.write_all(b"sling5 ping\n").expect("write");
+    writer.write_all(b"sling6 ping\n").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("pong");
-    assert_eq!(line.trim_end(), "sling5 pong");
+    assert_eq!(line.trim_end(), "sling6 pong");
     drop(writer);
     drop(reader);
 
@@ -267,7 +268,7 @@ fn oversized_frames_get_a_typed_error_and_a_disconnect() {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).expect("hello banner");
-    assert!(line.starts_with("sling5 hello "), "{line:?}");
+    assert!(line.starts_with("sling6 hello "), "{line:?}");
 
     // Far past the cap, never a newline. The server may close mid-write
     // once the cap trips, so write errors are expected, not failures.
@@ -281,7 +282,7 @@ fn oversized_frames_get_a_typed_error_and_a_disconnect() {
     reader
         .read_line(&mut line)
         .expect("typed error before close");
-    assert!(line.starts_with("sling5 error 0 "), "{line:?}");
+    assert!(line.starts_with("sling6 error 0 "), "{line:?}");
     assert!(line.contains("frame too large"), "{line:?}");
     // Then EOF: the connection is gone, not wedged.
     line.clear();

@@ -1,9 +1,9 @@
-//! Property tests for the `sling::wire` codec and the `sling5` frame
+//! Property tests for the `sling::wire` codec and the `sling6` frame
 //! layer on top of it: arbitrary `InputSpec`/`Report`/`CacheStats`
 //! values round-trip bit-identically, requests round-trip with and
 //! without per-request [`SlingConfig`] overrides, `analyze` frames
 //! round-trip with and without a [`ProgramUpload`], frames tagged with
-//! the previous protocol (`sling4`) are rejected as
+//! previous protocols (`sling5` and older) are rejected as
 //! [`WireError::Version`], and arbitrary byte mutations of a valid
 //! frame never panic — every malformed input is rejected with a typed
 //! error.
@@ -16,12 +16,12 @@ use proptest::TestRng;
 
 use sling::wire::{self, WireError, WireReader, WireWriter};
 use sling::{
-    AnalysisRequest, CacheStats, DataOrder, ExactCell, ExactVal, InputSpec, Invariant,
-    InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics, SlingConfig, TreeKind,
-    ValueSpec, VerifyConfig, VerifySettings,
+    AnalysisRequest, CacheStats, DataOrder, Diagnostic, ExactCell, ExactVal, InputSpec, Invariant,
+    InvariantGrade, InvariantStats, LocationAnalysis, Report, RunMetrics, Severity, SlingConfig,
+    TreeKind, ValueSpec, VerifyConfig, VerifySettings,
 };
 use sling_lang::{ListLayout, Location, TreeLayout};
-use sling_logic::{parse_formula, SymHeap, Symbol};
+use sling_logic::{parse_formula, Span, SymHeap, Symbol};
 use sling_models::{Heap, HeapCell, Loc, Val};
 use sling_serve::proto::{encode_analyze_frame, ClientFrame};
 use sling_serve::ProgramUpload;
@@ -239,6 +239,33 @@ fn arb_metrics(rng: &mut TestRng) -> RunMetrics {
         } else {
             sling::Executor::Treewalk
         },
+        static_warnings: (rng.next_u64() % (1 << 20)) as usize,
+    }
+}
+
+fn arb_diagnostic(rng: &mut TestRng) -> Diagnostic {
+    let codes = ["SA001", "SA003", "SA006", "SL001", "quo\"te", ""];
+    let texts = ["", "plain", "with space", "esc\\ape\ttabs", "multi\nline"];
+    let pick_text = |rng: &mut TestRng| -> String {
+        texts[(rng.next_u64() % texts.len() as u64) as usize].to_string()
+    };
+    Diagnostic {
+        code: codes[(rng.next_u64() % codes.len() as u64) as usize].to_string(),
+        severity: if rng.next_u64().is_multiple_of(2) {
+            Severity::Warning
+        } else {
+            Severity::Deny
+        },
+        function: rng
+            .next_u64()
+            .is_multiple_of(2)
+            .then(|| Symbol::intern(&format!("wp_fn{}", rng.next_u64() % 4))),
+        span: Span::new(
+            (rng.next_u64() % 1000) as u32,
+            (rng.next_u64() >> 16) as u32,
+        ),
+        message: pick_text(rng),
+        notes: (0..rng.next_u64() % 3).map(|_| pick_text(rng)).collect(),
     }
 }
 
@@ -335,6 +362,10 @@ fn arb_report(rng: &mut TestRng, pool: &[SymHeap]) -> Report {
         declared_locations: (0..rng.next_u64() % 4).map(|_| arb_location(rng)).collect(),
         metrics: arb_metrics(rng),
         cache: arb_cache_stats(rng),
+        static_warnings: (0..rng.next_u64() % 3)
+            .map(|_| arb_diagnostic(rng))
+            .collect(),
+        unreachable_locations: (0..rng.next_u64() % 3).map(|_| arb_location(rng)).collect(),
     }
 }
 
@@ -438,7 +469,7 @@ proptest! {
         let upload = arb_upload(&mut rng);
         let analyze_line = encode_analyze_frame(pick_u64(&mut rng), Some(&upload), &[])
             .expect("upload-only frames encode");
-        for old in ["sling4", "sling3", "sling2", "sling1"] {
+        for old in ["sling5", "sling4", "sling3", "sling2", "sling1"] {
             let downlevel = |line: &str| line.replacen(wire::WIRE_VERSION, old, 1);
             prop_assert!(matches!(
                 wire::decode_request(&downlevel(&request_line)),
