@@ -17,7 +17,7 @@
 //! ```text
 //! env_tag: u64            ; overall environment fingerprint
 //! types_tag: u64          ; fingerprint of the TypeEnv alone
-//! generation: u64         ; save time (ms since epoch), newest-wins merge order
+//! generation: u64         ; save stamp ([`generation_stamp`]), newest-wins merge order
 //! npreds: u64             ; per-predicate fingerprint table
 //!   (name: string, fingerprint: u64)*
 //! nentries: u64
@@ -220,8 +220,8 @@ impl std::fmt::Display for MergeStats {
     }
 }
 
-/// Milliseconds since the Unix epoch — the snapshot generation stamp
-/// ordering newest-wins merges.
+/// Milliseconds since the Unix epoch — the wall-clock component of
+/// [`generation_stamp`].
 fn now_millis() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -229,21 +229,62 @@ fn now_millis() -> u64 {
         .unwrap_or(0)
 }
 
+/// Low bits of every [`generation_stamp`] reserved for the per-process
+/// monotonic sub-counter (4096 distinct stamps per millisecond before
+/// the counter borrows from future milliseconds — and even then stamps
+/// only ever move forward).
+const GENERATION_SUB_BITS: u32 = 12;
+
+/// A fresh generation stamp for newest-wins ordering: wall-clock
+/// milliseconds shifted left by `GENERATION_SUB_BITS`, forced
+/// *strictly* above both every stamp this process has already issued
+/// and `floor`.
+///
+/// The sub-counter is the same-millisecond tiebreak: two snapshots
+/// saved by one process within a single millisecond used to receive
+/// equal generations, and equal generations merge order-dependently
+/// (the colliding offer is skipped, so whichever snapshot merged first
+/// won). With the counter, stamps issued by a process are strictly
+/// increasing, so newest-wins is deterministic regardless of merge
+/// order. Cross-host, wall clocks remain the ordering, exactly as
+/// before; `floor` (callers pass the highest generation they have
+/// absorbed) keeps a process ahead of future-stamped siblings it has
+/// already merged.
+///
+/// The cache server reuses this stamp for `put` batches, which is what
+/// makes its anti-entropy watermark strictly increasing.
+pub fn generation_stamp(floor: u64) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static LAST: AtomicU64 = AtomicU64::new(0);
+    let wall = now_millis().saturating_mul(1 << GENERATION_SUB_BITS);
+    let mut prev = LAST.load(Ordering::Relaxed);
+    loop {
+        let next = wall
+            .max(prev.saturating_add(1))
+            .max(floor.saturating_add(1));
+        match LAST.compare_exchange_weak(prev, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return next,
+            Err(observed) => prev = observed,
+        }
+    }
+}
+
 /// Snapshots every entry of `cache` computed under `profile`'s
 /// environment to `path`, returning how many entries were written. The
 /// write is atomic: a sibling temp file is renamed over `path` only
 /// once fully written.
 ///
-/// The snapshot's generation stamp is the current wall-clock time, but
-/// never at or below the highest generation this cache has absorbed —
-/// so a process that merged a future-stamped sibling (cross-host clock
-/// skew) still writes snapshots that win newest-generation [`merge`]
-/// collisions against it. Wall clocks remain the cross-host ordering,
-/// so skew between hosts that never exchange snapshots can still
-/// mis-order; a shared directory self-corrects after one merge-save
-/// cycle.
+/// The snapshot's generation stamp is a [`generation_stamp`]: wall
+/// clock plus a per-process monotonic sub-counter (so two saves within
+/// one millisecond still order deterministically), and never at or
+/// below the highest generation this cache has absorbed — so a process
+/// that merged a future-stamped sibling (cross-host clock skew) still
+/// writes snapshots that win newest-generation [`merge`] collisions
+/// against it. Wall clocks remain the cross-host ordering, so skew
+/// between hosts that never exchange snapshots can still mis-order; a
+/// shared directory self-corrects after one merge-save cycle.
 pub fn save(cache: &CheckCache, profile: &EnvProfile, path: &Path) -> io::Result<u64> {
-    let generation = now_millis().max(cache.max_generation().saturating_add(1));
+    let generation = generation_stamp(cache.max_generation());
     save_at(cache, profile, path, generation)
 }
 
@@ -1065,6 +1106,75 @@ mod tests {
         }
         std::fs::remove_file(&old_path).ok();
         std::fs::remove_file(&new_path).ok();
+    }
+
+    #[test]
+    fn generation_stamps_are_strictly_monotonic_and_respect_floors() {
+        let a = generation_stamp(0);
+        let b = generation_stamp(0);
+        assert!(b > a, "back-to-back stamps must order strictly");
+        // A floor from a future-stamped sibling: the stamp lands above
+        // it, and later stamps never rewind below the raised watermark.
+        let future = b + (1 << 20);
+        let c = generation_stamp(future);
+        assert!(c > future);
+        let d = generation_stamp(0);
+        assert!(d > c, "the counter never rewinds after a high floor");
+    }
+
+    #[test]
+    fn same_millisecond_snapshots_merge_deterministically() {
+        // Two snapshots stamped back-to-back — the same wall-clock
+        // millisecond in practice — used to receive equal generations,
+        // and equal generations merge order-dependently (the colliding
+        // offer is skipped, so whichever snapshot merged first won).
+        // The per-process sub-counter must break the tie: both merge
+        // orders agree that the later save wins.
+        let (types, preds) = envs();
+        let profile = EnvProfile::new(&types, &preds);
+        let scope = QueryScope {
+            env_tag: profile.env_tag(),
+            node_budget: 7,
+            fuel_slack: 3,
+        };
+        let key = |text: &str| CacheKey::new(scope, text.to_string());
+        let red = |ids: &[u32]| {
+            Some(CachedReduction {
+                residual: ids.to_vec(),
+                inst: Vec::new(),
+            })
+        };
+
+        let first = CheckCache::new();
+        first.store(key("shared"), red(&[1]), &[]);
+        let second = CheckCache::new();
+        second.store(key("shared"), red(&[9]), &[]);
+
+        let g1 = generation_stamp(0);
+        let g2 = generation_stamp(0);
+        assert!(g2 > g1, "sub-counter must break the wall-clock tie");
+        assert_ne!(g1 >> GENERATION_SUB_BITS, 0, "wall component present");
+
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("sling-samems-1-{}.snap", std::process::id()));
+        let p2 = dir.join(format!("sling-samems-2-{}.snap", std::process::id()));
+        save_at(&first, &profile, &p1, g1).unwrap();
+        save_at(&second, &profile, &p2, g2).unwrap();
+
+        for order in [[&p1, &p2], [&p2, &p1]] {
+            let live = CheckCache::new();
+            for p in order {
+                merge(&live, &profile, p).unwrap();
+            }
+            let winner = live.lookup(&key("shared")).expect("shared key present");
+            assert_eq!(
+                winner.expect("positive verdict").residual,
+                vec![9],
+                "the later save must win regardless of merge order"
+            );
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
     }
 
     #[test]

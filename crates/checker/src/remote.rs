@@ -1,0 +1,317 @@
+//! The remote entailment-cache hook: a write-through second tier
+//! behind [`CheckCache`].
+//!
+//! A fleet of engines over the same predicate library re-derives the
+//! same entailments; this module lets them share a cache *server*
+//! instead of a shared snapshot directory. The checker stays transport
+//! agnostic: it sees only the [`RemoteCache`] trait — consult on local
+//! miss, publish fresh verdicts — and the network client lives a crate
+//! up (`sling::remote`), the server a crate above that
+//! (`sling-serve --cache-server`).
+//!
+//! Design constraints, in order:
+//!
+//! * **The hot path never blocks on the network.** [`RemoteCache::publish`]
+//!   must be fire-and-forget (implementations queue and flush from a
+//!   background thread), and [`RemoteCache::fetch`] must degrade to an
+//!   instant [`RemoteLookup::Degraded`] whenever the server is dead,
+//!   slow, or in reconnect backoff — a remote tier can make an analysis
+//!   faster, never fail or stall it.
+//! * **Verdicts travel as opaque blobs.** The cached-reduction encoding
+//!   (`encode_verdict`/`decode_verdict`, the per-entry value layout
+//!   of the v2 snapshot format) is private to this crate; transports
+//!   and the server move bytes. An undecodable blob is treated as a
+//!   miss, never an error — the local search simply runs.
+//! * **Validity rides the v2 per-predicate fingerprints.** Fetched and
+//!   synced entries carry the `(predicate, fingerprint)` pairs they
+//!   were computed under; [`EnvProfile::closure_matches`] re-runs the
+//!   snapshot loader's transitive closure check before any foreign
+//!   verdict is trusted ([`absorb_remote`]).
+
+use crate::cache::{CacheKey, CachedReduction, CanonName, CanonVal, QueryScope};
+use crate::{CheckCache, EnvProfile};
+use sling_logic::Symbol;
+
+/// A cache lookup in transportable form: the query scope minus the
+/// environment tag (the transport knows which environment it serves)
+/// plus the canonical query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteQuery<'a> {
+    /// Search-node budget of the querying context.
+    pub node_budget: u64,
+    /// Unfolding slack of the querying context.
+    pub fuel_slack: u32,
+    /// Canonical text of the `(model, formula)` pair.
+    pub text: &'a str,
+}
+
+/// Payload of a remote hit: the verdict blob (`None` is a memoized
+/// *unsatisfiable* verdict, not an absence), the predicate names the
+/// formula mentions, and the server-side generation stamp — entries
+/// absorbed from a hit are warm, at that generation, so a later
+/// anti-entropy sync or snapshot merge orders against them correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteHit {
+    /// Encoded `CachedReduction`, or `None` for a cached "no".
+    pub value: Option<Vec<u8>>,
+    /// Direct predicate mentions (persistence metadata).
+    pub preds: Vec<String>,
+    /// Server generation stamp.
+    pub generation: u64,
+}
+
+/// Outcome of one remote lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteLookup {
+    /// The server had a valid entry for this query.
+    Hit(RemoteHit),
+    /// The server answered and had nothing.
+    Miss,
+    /// The tier is degraded (server unreachable, round trip failed, or
+    /// reconnect backoff pending) — the analysis continues local-only.
+    Degraded,
+}
+
+/// A freshly computed verdict on its way to the server. Mirrors
+/// [`RemoteHit`] plus the query key fields; the transport attaches the
+/// per-predicate fingerprints and the server stamps the generation on
+/// arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemotePublish {
+    /// Search-node budget the verdict was computed under.
+    pub node_budget: u64,
+    /// Unfolding slack the verdict was computed under.
+    pub fuel_slack: u32,
+    /// Canonical text of the `(model, formula)` pair.
+    pub text: String,
+    /// Encoded `CachedReduction`, or `None` for a cached "no".
+    pub value: Option<Vec<u8>>,
+    /// Direct predicate mentions.
+    pub preds: Vec<String>,
+}
+
+/// A remote entry in full transportable form — what `sync` (anti
+/// entropy) and `put` move: key fields, verdict blob, the
+/// per-predicate fingerprints it was computed under, and its server
+/// generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteEntry {
+    /// Search-node budget of the entry's scope.
+    pub node_budget: u64,
+    /// Unfolding slack of the entry's scope.
+    pub fuel_slack: u32,
+    /// Canonical text of the `(model, formula)` pair.
+    pub text: String,
+    /// Encoded `CachedReduction`, or `None` for a cached "no".
+    pub value: Option<Vec<u8>>,
+    /// `(predicate, fingerprint)` pairs for the entry's direct
+    /// mentions, from the publishing engine's [`EnvProfile`].
+    pub preds: Vec<(String, u64)>,
+    /// Server generation stamp (0 on entries not yet stamped).
+    pub generation: u64,
+}
+
+/// The remote tier as the checker sees it. Implementations must be
+/// cheap to consult: `fetch` returns [`RemoteLookup::Degraded`]
+/// immediately when the server is unavailable, and `publish` queues
+/// without blocking (dropping entries under backpressure is fine —
+/// the tier is an accelerator, not a store of record).
+pub trait RemoteCache: Send + Sync + std::fmt::Debug {
+    /// Consults the server for a query that missed the local cache.
+    fn fetch(&self, query: &RemoteQuery<'_>) -> RemoteLookup;
+
+    /// Offers a freshly computed verdict for write-behind upload.
+    fn publish(&self, entry: RemotePublish);
+}
+
+/// Folds remotely synced entries into a live cache: each entry is
+/// validated against `profile` via the v2 per-predicate fingerprint
+/// closure check, re-keyed under the local environment tag, and merged
+/// newest-generation-wins (live-computed entries always survive).
+/// Returns how many entries were actually retained. Entries with
+/// undecodable blobs or foreign predicate closures are skipped, never
+/// errors — anti-entropy is best-effort by design.
+pub fn absorb_remote(cache: &CheckCache, profile: &EnvProfile, entries: &[RemoteEntry]) -> u64 {
+    let mut merged = 0u64;
+    for entry in entries {
+        let names: Vec<String> = entry.preds.iter().map(|(name, _)| name.clone()).collect();
+        if !profile.closure_matches(&entry.preds, &names) {
+            continue;
+        }
+        let value = match &entry.value {
+            None => None,
+            Some(blob) => match decode_verdict(blob) {
+                Some(red) => Some(red),
+                None => continue,
+            },
+        };
+        let scope = QueryScope {
+            env_tag: profile.env_tag(),
+            node_budget: entry.node_budget,
+            fuel_slack: entry.fuel_slack,
+        };
+        let key = CacheKey::new(scope, entry.text.clone());
+        let preds: Vec<Symbol> = names.iter().map(|name| Symbol::intern(name)).collect();
+        if cache.merge_warm(key, value, &preds, entry.generation) {
+            merged += 1;
+        }
+    }
+    merged
+}
+
+/// Encodes a positive verdict as an opaque blob — the per-entry value
+/// layout of the v2 snapshot format (residual ids, then tagged
+/// instantiation pairs), little-endian throughout.
+pub(crate) fn encode_verdict(red: &CachedReduction) -> Vec<u8> {
+    fn u32s(out: &mut Vec<u8>, n: u32) {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    fn u64s(out: &mut Vec<u8>, n: u64) {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    fn bytes(out: &mut Vec<u8>, b: &[u8]) {
+        u32s(out, b.len() as u32);
+        out.extend_from_slice(b);
+    }
+    let mut out = Vec::with_capacity(16 + 4 * red.residual.len() + 16 * red.inst.len());
+    u32s(&mut out, red.residual.len() as u32);
+    for id in &red.residual {
+        u32s(&mut out, *id);
+    }
+    u32s(&mut out, red.inst.len() as u32);
+    for (name, val) in &red.inst {
+        match name {
+            CanonName::Binder(i) => {
+                out.push(0);
+                u32s(&mut out, *i);
+            }
+            CanonName::Free(sym) => {
+                out.push(1);
+                bytes(&mut out, sym.as_str().as_bytes());
+            }
+        }
+        match val {
+            CanonVal::Nil => out.push(0),
+            CanonVal::Int(k) => {
+                out.push(1);
+                u64s(&mut out, *k as u64);
+            }
+            CanonVal::InHeap(id) => {
+                out.push(2);
+                u32s(&mut out, *id);
+            }
+            CanonVal::Dangling(id) => {
+                out.push(3);
+                u32s(&mut out, *id);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a verdict blob; `None` on any structural problem (foreign
+/// version, truncation, bad tags) — callers treat that as a miss.
+pub(crate) fn decode_verdict(blob: &[u8]) -> Option<CachedReduction> {
+    struct R<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> R<'a> {
+        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            let end = self.pos.checked_add(n)?;
+            let slice = self.bytes.get(self.pos..end)?;
+            self.pos = end;
+            Some(slice)
+        }
+        fn u8(&mut self) -> Option<u8> {
+            Some(self.take(1)?[0])
+        }
+        fn u32(&mut self) -> Option<u32> {
+            Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+        }
+        fn u64(&mut self) -> Option<u64> {
+            Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+        }
+        fn string(&mut self) -> Option<String> {
+            let len = self.u32()? as usize;
+            String::from_utf8(self.take(len)?.to_vec()).ok()
+        }
+    }
+    let mut r = R {
+        bytes: blob,
+        pos: 0,
+    };
+    let n = r.u32()? as usize;
+    let mut residual = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        residual.push(r.u32()?);
+    }
+    let n = r.u32()? as usize;
+    let mut inst = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = match r.u8()? {
+            0 => CanonName::Binder(r.u32()?),
+            1 => CanonName::Free(Symbol::intern(&r.string()?)),
+            _ => return None,
+        };
+        let val = match r.u8()? {
+            0 => CanonVal::Nil,
+            1 => CanonVal::Int(r.u64()? as i64),
+            2 => CanonVal::InHeap(r.u32()?),
+            3 => CanonVal::Dangling(r.u32()?),
+            _ => return None,
+        };
+        inst.push((name, val));
+    }
+    if r.pos != blob.len() {
+        return None;
+    }
+    Some(CachedReduction { residual, inst })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict() -> CachedReduction {
+        CachedReduction {
+            residual: vec![3, 1, 4],
+            inst: vec![
+                (CanonName::Binder(0), CanonVal::Nil),
+                (CanonName::Binder(1), CanonVal::Int(-7)),
+                (CanonName::Free(Symbol::intern("tmp")), CanonVal::InHeap(2)),
+                (CanonName::Binder(2), CanonVal::Dangling(9)),
+            ],
+        }
+    }
+
+    #[test]
+    fn verdict_blobs_round_trip() {
+        let red = verdict();
+        assert_eq!(decode_verdict(&encode_verdict(&red)), Some(red));
+        let empty = CachedReduction {
+            residual: Vec::new(),
+            inst: Vec::new(),
+        };
+        assert_eq!(decode_verdict(&encode_verdict(&empty)), Some(empty));
+    }
+
+    #[test]
+    fn mangled_blobs_decode_to_none_never_panic() {
+        let blob = encode_verdict(&verdict());
+        // Truncations at every prefix length.
+        for len in 0..blob.len() {
+            let _ = decode_verdict(&blob[..len]);
+        }
+        // Trailing garbage is rejected (a blob is exactly one verdict).
+        let mut long = blob.clone();
+        long.push(0);
+        assert_eq!(decode_verdict(&long), None);
+        // Corrupt tags.
+        let mut bad = blob;
+        *bad.last_mut().unwrap() = 0xff;
+        let _ = decode_verdict(&bad);
+        // Absurd length prefix on an empty tail.
+        assert_eq!(decode_verdict(&u32::MAX.to_le_bytes()), None);
+    }
+}

@@ -5,6 +5,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use sling::backoff::{jitter_seed, retry_delay};
 use sling::wire::WireError;
 use sling::{AnalysisRequest, BatchReport, Diagnostics, Report};
 
@@ -98,42 +99,6 @@ pub struct Client {
     next_id: u64,
     verify_totals: VerifyTotals,
     pool_stats: PoolStats,
-}
-
-/// First retry delay of [`Client::connect_retry`]'s backoff schedule.
-const RETRY_BASE: Duration = Duration::from_millis(10);
-/// Ceiling on any single retry delay.
-const RETRY_CAP: Duration = Duration::from_secs(1);
-
-/// The backoff schedule: attempt `k` (0-based) sleeps a jittered delay
-/// in `[cap/2, cap]`, where `cap = min(RETRY_BASE << k, RETRY_CAP)` —
-/// exponential growth, bounded, with enough jitter (seeded per call)
-/// that a stampede of clients racing one just-booted server spreads
-/// out instead of reconnecting in lockstep. Pure deadline math, so the
-/// schedule is unit-testable without sockets.
-fn retry_delay(attempt: u32, seed: u64) -> Duration {
-    let cap = RETRY_BASE
-        .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
-        .min(RETRY_CAP);
-    let cap_ns = cap.as_nanos() as u64;
-    let half = cap_ns / 2;
-    // xorshift over (seed, attempt): cheap, deterministic per input,
-    // and well-spread across clients with distinct seeds.
-    let mut x = seed ^ u64::from(attempt + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    Duration::from_nanos(half + x % (cap_ns - half).max(1))
-}
-
-/// A per-call jitter seed. `RandomState` is the standard library's
-/// per-process randomly seeded hasher — no extra dependency, and two
-/// clients (or two calls) get different schedules.
-fn jitter_seed() -> u64 {
-    use std::hash::{BuildHasher, Hasher};
-    std::collections::hash_map::RandomState::new()
-        .build_hasher()
-        .finish()
 }
 
 impl Client {
@@ -398,64 +363,17 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sling::backoff::{RETRY_BASE, RETRY_CAP};
 
     #[test]
-    fn retry_delays_grow_exponentially_to_the_cap() {
-        let seed = 0xdead_beef;
-        for attempt in 0..40 {
-            let cap = RETRY_BASE
-                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
-                .min(RETRY_CAP);
-            let delay = retry_delay(attempt, seed);
-            assert!(
-                delay >= cap / 2 && delay <= cap,
-                "attempt {attempt}: {delay:?} outside [{:?}, {cap:?}]",
-                cap / 2
-            );
-        }
-        // The cap binds: far-out attempts never exceed RETRY_CAP.
-        assert!(retry_delay(63, seed) <= RETRY_CAP);
-        assert!(retry_delay(63, seed) >= RETRY_CAP / 2);
-    }
-
-    #[test]
-    fn retry_delays_are_deterministic_per_seed_and_jittered_across_seeds() {
-        assert_eq!(retry_delay(5, 42), retry_delay(5, 42));
-        // With the cap at 320ms for attempt 5, distinct seeds landing on
-        // the exact same nanosecond would be a broken jitter.
-        let distinct: std::collections::HashSet<Duration> = (0..64u64)
-            .map(|seed| retry_delay(5, seed * 7 + 1))
-            .collect();
-        assert!(distinct.len() > 32, "jitter collapsed: {}", distinct.len());
-    }
-
-    #[test]
-    fn retry_schedule_stays_within_a_deadline_by_clamping() {
-        // connect_retry clamps each sleep to the remaining deadline;
-        // simulate the same arithmetic: total sleep time never passes
-        // the deadline no matter how many attempts fail.
-        let deadline = Duration::from_millis(200);
-        let mut elapsed = Duration::ZERO;
-        let seed = 7;
-        for attempt in 0..32 {
-            if elapsed >= deadline {
-                break;
-            }
-            let sleep = retry_delay(attempt, seed).min(deadline - elapsed);
-            elapsed += sleep;
-        }
-        assert!(elapsed <= deadline);
-        // And the schedule actually reaches the deadline (it does not
-        // stall short of it with zero-length sleeps).
-        assert!(elapsed >= deadline - Duration::from_nanos(1));
-    }
-
-    #[test]
-    fn first_retry_is_prompt() {
-        // A driver racing a just-booted server should not wait long on
-        // its first retry: attempt 0 sleeps at most RETRY_BASE.
-        for seed in 0..32 {
-            assert!(retry_delay(0, seed) <= RETRY_BASE);
-        }
+    fn connect_retry_backoff_is_total_at_the_saturated_attempt_counter() {
+        // connect_retry grows `attempt` with saturating_add, so a long
+        // deadline pins it at u32::MAX; the schedule used to compute
+        // `attempt + 1` in u32 there and panic in debug builds. The
+        // shared schedule must stay a plain capped draw.
+        let delay = retry_delay(u32::MAX, jitter_seed());
+        assert!(delay >= RETRY_CAP / 2 && delay <= RETRY_CAP);
+        // And the prompt first retry still holds after the extraction.
+        assert!(retry_delay(0, 1) <= RETRY_BASE);
     }
 }

@@ -1,0 +1,133 @@
+//! A two-engine fleet sharing one entailment-cache server.
+//!
+//! Boots a cache server (an external one when an address is given,
+//! else in-process), runs one engine cold so its fresh verdicts ride
+//! the write-behind queue up to the server, then runs a second engine
+//! with a fresh local cache over the same corpus and shows it
+//! answering from the tier. Every formula from both engines is diffed
+//! against a local-only `Engine::analyze_all` — the tier is an
+//! accelerator, and this example doubles as the proof that it never
+//! changes a result:
+//!
+//! ```sh
+//! cargo run -p sling-examples --example cache_tier
+//! # or against an already-running cache server:
+//! sling-serve --cache-server --addr 127.0.0.1:7350 &
+//! cargo run -p sling-examples --example cache_tier -- 127.0.0.1:7350
+//! # custom node-type name (distinct corpora get distinct cache keys):
+//! cargo run -p sling-examples --example cache_tier -- 127.0.0.1:7350 CiCacheNode
+//! ```
+//!
+//! Exits nonzero when the second engine saw no remote hits or any
+//! formula differs from the local-only run.
+
+use std::time::Duration;
+
+use sling::{Engine, Report};
+use sling_serve::CacheServer;
+use sling_suite::fixtures::ListCorpus;
+
+/// Everything formula-relevant about a report (timing and cache deltas
+/// legitimately differ between remote-backed and local-only runs).
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{}\n", report.target);
+    for loc in &report.locations {
+        let _ = writeln!(out, "  {}", loc.location);
+        for inv in &loc.invariants {
+            let _ = writeln!(out, "    [spurious={}] {}", inv.spurious, inv.formula);
+        }
+    }
+    out
+}
+
+fn build(corpus: &ListCorpus) -> Result<sling::EngineBuilder, Box<dyn std::error::Error>> {
+    Ok(Engine::builder()
+        .program_source(&corpus.program())?
+        .predicates_source(&corpus.predicates())?
+        .parallelism(1))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let external = std::env::args().nth(1);
+    let node = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "CacheTierExample".into());
+    let corpus = ListCorpus::new(&node);
+    let batch = corpus.batch(1);
+
+    // The local-only reference: the formulas both fleet engines must
+    // reproduce exactly.
+    let reference = build(&corpus)?.build()?.analyze_all(&batch)?;
+
+    let local = match external {
+        Some(_) => None,
+        None => Some(CacheServer::bind("127.0.0.1:0")?),
+    };
+    let addr = match (&external, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    println!("cache tier at {addr}");
+
+    // Engine A: cold local cache, empty (or foreign) server — remote
+    // misses, then write-behind publish of every fresh verdict.
+    let engine_a = build(&corpus)?.remote_cache(&addr).build()?;
+    let batch_a = engine_a.analyze_all(&batch)?;
+    let client_a = engine_a.remote_cache().expect("remote tier configured");
+    if !client_a.flush(Duration::from_secs(10)) {
+        return Err("write-behind queue did not drain".into());
+    }
+    println!(
+        "  engine A: {} reports, {} remote misses, {} entries published",
+        batch_a.reports.len(),
+        batch_a.cache.remote_misses,
+        client_a.stats().published,
+    );
+
+    // Engine B: fresh local cache, same predicate library — its local
+    // misses come back as remote hits.
+    let engine_b = build(&corpus)?.remote_cache(&addr).build()?;
+    let batch_b = engine_b.analyze_all(&batch)?;
+    println!(
+        "  engine B: {} reports, {} remote hits, {} remote misses",
+        batch_b.reports.len(),
+        batch_b.cache.remote_hits,
+        batch_b.cache.remote_misses,
+    );
+
+    let mut mismatches = 0;
+    for served in [&batch_a, &batch_b] {
+        for (mine, theirs) in reference.reports.iter().zip(&served.reports) {
+            if fingerprint(mine) != fingerprint(theirs) {
+                eprintln!(
+                    "MISMATCH for `{}`:\n--- local-only ---\n{}--- via cache tier ---\n{}",
+                    mine.target,
+                    fingerprint(mine),
+                    fingerprint(theirs)
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    if let Some(server) = local {
+        let stats = server.stats();
+        println!(
+            "  server: {} gets ({} hits), {} puts, {} entries resident",
+            stats.gets, stats.hits, stats.puts, stats.entries
+        );
+        server.shutdown();
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} reports diverged from local-only").into());
+    }
+    if batch_b.cache.remote_hits == 0 {
+        return Err("second engine saw no remote hits".into());
+    }
+    println!(
+        "fleet identical to local-only analyze_all: {} targets per engine",
+        reference.reports.len()
+    );
+    Ok(())
+}

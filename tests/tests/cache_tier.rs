@@ -1,0 +1,240 @@
+//! End-to-end tests of the distributed entailment-cache tier: a
+//! cache server on a loopback socket, write-through engine clients,
+//! degradation when the server dies, and anti-entropy sync. The tier
+//! is an accelerator — every test also asserts the engines' formulas
+//! stay identical to a local-only run.
+
+use std::time::Duration;
+
+use sling::{Engine, RemoteCache, RemoteLookup, RemoteQuery, Report};
+use sling_serve::CacheServer;
+use sling_suite::fixtures::ListCorpus;
+
+fn corpus_engine(corpus: &ListCorpus) -> sling::EngineBuilder {
+    Engine::builder()
+        .program_source(&corpus.program())
+        .expect("corpus program parses")
+        .predicates_source(&corpus.predicates())
+        .expect("corpus predicates parse")
+        .parallelism(1)
+}
+
+/// Everything formula-relevant about a report (timing and cache deltas
+/// legitimately differ between remote-backed and local-only runs).
+fn fingerprint(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{} runs={} traces={} declared={:?}\n",
+        report.target, report.metrics.runs, report.metrics.traces, report.declared_locations
+    );
+    for loc in &report.locations {
+        let _ = writeln!(
+            out,
+            "  {} models={} snaps={} tainted={}",
+            loc.location, loc.models_used, loc.snapshots_seen, loc.tainted
+        );
+        for inv in &loc.invariants {
+            let _ = writeln!(
+                out,
+                "    [{}|{}|{:?}] {} :: residues={:?} activations={:?}",
+                inv.spurious, inv.grade, inv.stats, inv.formula, inv.residues, inv.activations
+            );
+        }
+    }
+    out
+}
+
+fn fingerprints(reports: &[Report]) -> Vec<String> {
+    reports.iter().map(fingerprint).collect()
+}
+
+#[test]
+fn second_engine_answers_from_the_cache_tier_with_identical_formulas() {
+    let corpus = ListCorpus::new("CacheTierNode");
+    let batch = corpus.batch(1);
+
+    // Local-only reference run: the formulas every remote-backed run
+    // must reproduce exactly.
+    let reference = corpus_engine(&corpus)
+        .build()
+        .expect("engine builds")
+        .analyze_all(&batch)
+        .expect("local-only batch runs");
+
+    let server = CacheServer::bind("127.0.0.1:0").expect("cache server binds");
+    let addr = server.local_addr().to_string();
+
+    // Engine A runs cold against an empty server: every remote lookup
+    // misses, every fresh verdict rides the write-behind queue up.
+    let engine_a = corpus_engine(&corpus)
+        .remote_cache(&addr)
+        .build()
+        .expect("engine A builds");
+    let batch_a = engine_a.analyze_all(&batch).expect("engine A batch runs");
+    assert_eq!(
+        fingerprints(&batch_a.reports),
+        fingerprints(&reference.reports)
+    );
+    assert!(
+        batch_a.cache.remote_misses > 0,
+        "a cold engine against an empty server must record remote misses: {:?}",
+        batch_a.cache
+    );
+
+    let client_a = engine_a.remote_cache().expect("engine A has a remote tier");
+    assert!(
+        client_a.flush(Duration::from_secs(10)),
+        "write-behind queue must drain"
+    );
+    let stats = server.stats();
+    assert!(stats.puts > 0, "server saw no puts: {stats:?}");
+    assert!(stats.entries > 0, "server stored no entries: {stats:?}");
+    assert_eq!(client_a.stats().dropped, 0, "{:?}", client_a.stats());
+
+    // Engine B — fresh local cache, same predicate library — answers
+    // part of its batch from A's published verdicts.
+    let engine_b = corpus_engine(&corpus)
+        .remote_cache(&addr)
+        .build()
+        .expect("engine B builds");
+    let batch_b = engine_b.analyze_all(&batch).expect("engine B batch runs");
+    assert_eq!(
+        fingerprints(&batch_b.reports),
+        fingerprints(&reference.reports)
+    );
+    assert!(
+        batch_b.cache.remote_hits > 0,
+        "the second engine must answer from the tier: {:?}",
+        batch_b.cache
+    );
+    assert!(
+        server.stats().hits > 0,
+        "server-side hit counter must agree: {:?}",
+        server.stats()
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn dead_cache_server_degrades_to_local_only_and_reconnects_after_rebind() {
+    let corpus = ListCorpus::new("CacheTierFaultNode");
+    let batch = corpus.batch(1);
+
+    let reference = corpus_engine(&corpus)
+        .build()
+        .expect("engine builds")
+        .analyze_all(&batch)
+        .expect("local-only batch runs");
+
+    let server = CacheServer::bind("127.0.0.1:0").expect("cache server binds");
+    let addr = server.local_addr().to_string();
+
+    // Kill the server before the engine's first batch: every remote
+    // lookup in the batch finds the tier dead.
+    server.shutdown();
+
+    let engine = corpus_engine(&corpus)
+        .remote_cache(&addr)
+        .build()
+        .expect("engine builds against a dead server");
+    let degraded_batch = engine
+        .analyze_all(&batch)
+        .expect("analysis completes with the tier down");
+    assert_eq!(
+        fingerprints(&degraded_batch.reports),
+        fingerprints(&reference.reports),
+        "a degraded tier must not change a single formula"
+    );
+    assert!(
+        degraded_batch.cache.remote_degraded > 0,
+        "degraded lookups must be counted: {:?}",
+        degraded_batch.cache
+    );
+    assert_eq!(
+        degraded_batch.cache.remote_hits, 0,
+        "a dead server cannot serve hits: {:?}",
+        degraded_batch.cache
+    );
+    let client = engine.remote_cache().expect("engine has a remote tier");
+    assert!(client.degraded(), "fetch path must report the tier down");
+
+    // Restart the tier on the same address, wait out the reconnect
+    // backoff (capped at one second), and drive the fetch path
+    // directly: the client must come back clean, no rebuild needed.
+    let revived = CacheServer::bind(&addr).expect("same address rebinds after shutdown");
+    std::thread::sleep(Duration::from_millis(1200));
+    let lookup = client.fetch(&RemoteQuery {
+        node_budget: 1,
+        fuel_slack: 0,
+        text: "probe-after-restart",
+    });
+    assert_eq!(
+        lookup,
+        RemoteLookup::Miss,
+        "a revived empty server answers (miss), not Degraded"
+    );
+    assert!(
+        !client.degraded(),
+        "reconnect must clear the degraded state"
+    );
+    revived.shutdown();
+}
+
+#[test]
+fn anti_entropy_sync_absorbs_a_peers_entries() {
+    let corpus = ListCorpus::new("CacheTierSyncNode");
+    let batch = corpus.batch(1);
+
+    let reference = corpus_engine(&corpus)
+        .build()
+        .expect("engine builds")
+        .analyze_all(&batch)
+        .expect("local-only batch runs");
+
+    let server = CacheServer::bind("127.0.0.1:0").expect("cache server binds");
+    let addr = server.local_addr().to_string();
+
+    // Engine A computes and publishes the corpus verdicts.
+    let engine_a = corpus_engine(&corpus)
+        .remote_cache(&addr)
+        .build()
+        .expect("engine A builds");
+    engine_a.analyze_all(&batch).expect("engine A batch runs");
+    assert!(engine_a
+        .remote_cache()
+        .expect("engine A has a remote tier")
+        .flush(Duration::from_secs(10)));
+    assert!(server.stats().entries > 0);
+
+    // Engine B pulls them via anti-entropy *before* analyzing anything
+    // — a long periodic interval keeps the background thread out of
+    // the way so the explicit round is the only sync.
+    let engine_b = corpus_engine(&corpus)
+        .remote_cache(&addr)
+        .remote_sync_interval(Duration::from_secs(3600))
+        .build()
+        .expect("engine B builds");
+    let client_b = engine_b.remote_cache().expect("engine B has a remote tier");
+    let absorbed = client_b.sync_now().expect("sync round reaches the server");
+    assert!(absorbed > 0, "sync must absorb the peer's entries");
+
+    // A second round above the advanced watermark is empty — the
+    // cursor moved.
+    assert_eq!(client_b.sync_now(), Some(0));
+
+    // The synced entries answer engine B's batch as warm local hits,
+    // with formulas identical to the local-only run.
+    let batch_b = engine_b.analyze_all(&batch).expect("engine B batch runs");
+    assert_eq!(
+        fingerprints(&batch_b.reports),
+        fingerprints(&reference.reports)
+    );
+    assert!(
+        batch_b.cache.warm_hits > 0,
+        "synced entries must answer as warm hits: {:?}",
+        batch_b.cache
+    );
+
+    server.shutdown();
+}
